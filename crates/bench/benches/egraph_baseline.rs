@@ -1,0 +1,90 @@
+//! Criterion benches for Table 2's baseline: e-graph primitives and the
+//! Split/Reroll/Unsplit synthesizer as trace length and nesting grow.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use webrobot_benchmarks::benchmark;
+use webrobot_egraph::{BaselineSynthesizer, ClassId, EGraph, Language};
+
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+enum Pair {
+    Leaf(u32),
+    Node(ClassId, ClassId),
+}
+
+impl Language for Pair {
+    fn children(&self) -> Vec<ClassId> {
+        match self {
+            Pair::Leaf(_) => vec![],
+            Pair::Node(a, b) => vec![*a, *b],
+        }
+    }
+    fn map_children(&self, f: &mut dyn FnMut(ClassId) -> ClassId) -> Self {
+        match self {
+            Pair::Leaf(n) => Pair::Leaf(*n),
+            Pair::Node(a, b) => Pair::Node(f(*a), f(*b)),
+        }
+    }
+}
+
+/// Raw e-graph throughput: balanced tree insertion plus a union/rebuild
+/// wave at the leaves.
+fn bench_egraph_core(c: &mut Criterion) {
+    let mut group = c.benchmark_group("egraph_core");
+    for leaves in [64u32, 256, 1024] {
+        group.bench_with_input(BenchmarkId::from_parameter(leaves), &leaves, |b, &n| {
+            b.iter(|| {
+                let mut eg: EGraph<Pair> = EGraph::new();
+                let mut layer: Vec<ClassId> = (0..n).map(|i| eg.add(Pair::Leaf(i))).collect();
+                while layer.len() > 1 {
+                    layer = layer
+                        .chunks(2)
+                        .map(|w| {
+                            if w.len() == 2 {
+                                eg.add(Pair::Node(w[0], w[1]))
+                            } else {
+                                w[0]
+                            }
+                        })
+                        .collect();
+                }
+                // Merge even leaves into odd leaves: congruence cascades up.
+                for i in (0..n).step_by(2) {
+                    let a = eg.lookup(&Pair::Leaf(i)).unwrap();
+                    let b2 = eg.lookup(&Pair::Leaf((i + 1) % n)).unwrap();
+                    eg.union(a, b2);
+                }
+                eg.rebuild();
+                std::hint::black_box(eg.class_count())
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Baseline synthesis time as trace length grows (flat loops, b15-style)
+/// and with nesting (b12-style) — the Table 2 growth curves.
+fn bench_baseline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline_synthesize");
+    group.sample_size(10);
+    for (label, id, prefix) in [
+        ("b73_flat_len6", 73u32, 6usize),
+        ("b15_fields_len9", 15, 9),
+        ("b12_nested_len18", 12, 18),
+    ] {
+        let b = benchmark(id).unwrap();
+        let trace = b.record().unwrap().trace;
+        let prefix_trace = trace.prefix(prefix.min(trace.len()));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &prefix_trace,
+            |bench, t| {
+                let synth = BaselineSynthesizer::default();
+                bench.iter(|| std::hint::black_box(synth.synthesize(t)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_egraph_core, bench_baseline);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion benches for the substrates the synthesizer leans on: trace
+//! semantics execution, selector resolution, alternative-selector
+//! enumeration, and ground-truth recording.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use webrobot_benchmarks::benchmark;
+use webrobot_dom::{alternatives, AltConfig};
+use webrobot_semantics::execute;
+
+/// Trace-semantics simulation of a ground truth over its own recording —
+/// the inner operation of `Validate` (Alg. 3).
+fn bench_execute(c: &mut Criterion) {
+    let mut group = c.benchmark_group("semantics_execute");
+    for id in [73u32, 12, 31, 59] {
+        let b = benchmark(id).unwrap();
+        let rec = b.record().unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(format!("b{id}")), &rec, |bench, r| {
+            bench.iter(|| {
+                std::hint::black_box(
+                    execute(b.ground_truth.statements(), r.trace.doms(), r.trace.input())
+                        .unwrap(),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Alternative-selector enumeration on a recorded action's node (the inner
+/// operation of anti-unification and parametrization).
+fn bench_alternatives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alternative_selectors");
+    for id in [12u32, 31] {
+        let b = benchmark(id).unwrap();
+        let rec = b.record().unwrap();
+        let action = rec.trace.actions()[0].clone();
+        let dom = rec.trace.doms()[0].clone();
+        let path = action.selector().unwrap().clone();
+        group.bench_with_input(BenchmarkId::from_parameter(format!("b{id}")), &dom, |bench, d| {
+            let cfg = AltConfig::default();
+            bench.iter(|| std::hint::black_box(alternatives(d, &path, &cfg)));
+        });
+    }
+    group.finish();
+}
+
+/// End-to-end ground-truth recording (live execution + DOM snapshots).
+fn bench_recording(c: &mut Criterion) {
+    let mut group = c.benchmark_group("record_demonstration");
+    group.sample_size(20);
+    for id in [73u32, 31, 59] {
+        let b = benchmark(id).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(format!("b{id}")), &b, |bench, b| {
+            bench.iter(|| std::hint::black_box(b.record().unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_execute, bench_alternatives, bench_recording);
+criterion_main!(benches);

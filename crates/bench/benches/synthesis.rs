@@ -1,0 +1,63 @@
+//! Criterion benches for the synthesis engine (Fig. 12 / Table 1 backing
+//! measurements): per-prediction latency across benchmark families, the
+//! incremental fast path, and from-scratch synthesis.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use webrobot_benchmarks::benchmark;
+use webrobot_synth::{SynthConfig, Synthesizer};
+
+/// From-scratch synthesis on a fixed prefix of a benchmark's trace.
+fn bench_scratch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("synthesize_scratch");
+    for (id, prefix) in [(73u32, 4usize), (15, 8), (12, 18), (7, 8)] {
+        let b = benchmark(id).unwrap();
+        let trace = b.record().unwrap().trace;
+        let k = prefix.min(trace.len());
+        let prefix_trace = trace.prefix(k);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("b{id}_k{k}")),
+            &prefix_trace,
+            |bench, t| {
+                bench.iter(|| {
+                    let mut s = Synthesizer::new(SynthConfig::default(), t.clone());
+                    std::hint::black_box(s.synthesize())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// The incremental fast path: one more observed action re-validated
+/// against the cached generalizing program (the dominant per-test cost in
+/// the Q1 protocol).
+fn bench_incremental_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("synthesize_incremental_step");
+    for id in [73u32, 15, 12] {
+        let b = benchmark(id).unwrap();
+        let trace = b.record().unwrap().trace;
+        let n = trace.len();
+        let warm = n - 2;
+        group.bench_with_input(BenchmarkId::from_parameter(format!("b{id}")), &trace, |bench, t| {
+            bench.iter_batched(
+                || {
+                    let mut s = Synthesizer::new(SynthConfig::default(), t.prefix(2));
+                    for k in 3..=warm {
+                        s.observe(t.actions()[k - 1].clone(), t.doms()[k].clone());
+                        s.synthesize();
+                    }
+                    s
+                },
+                |mut s| {
+                    s.observe(t.actions()[warm].clone(), t.doms()[warm + 1].clone());
+                    std::hint::black_box(s.synthesize())
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scratch, bench_incremental_step);
+criterion_main!(benches);

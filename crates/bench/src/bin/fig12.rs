@@ -1,0 +1,92 @@
+//! Regenerates **Figure 12** (Q1): per-benchmark prediction accuracy,
+//! synthesis-time quartiles, and whether the final synthesized program is
+//! intended, over the 76-benchmark suite.
+//!
+//! ```text
+//! cargo run -p webrobot-bench --release --bin fig12 [-- --ids 1,2,3]
+//! ```
+//!
+//! Benchmarks print sorted by ascending accuracy (the paper's x-axis
+//! ordering); a summary reproduces the §7.1 prose statistics.
+
+use webrobot_bench::{evaluate_benchmark, ms, parse_id_filter};
+use webrobot_benchmarks::suite;
+use webrobot_synth::SynthConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let filter = parse_id_filter(&args);
+    let benchmarks: Vec<_> = suite()
+        .into_iter()
+        .filter(|b| filter.as_ref().is_none_or(|ids| ids.contains(&b.id)))
+        .collect();
+
+    println!("Figure 12 — Q1: accuracy, synthesis time, intended final program");
+    println!("(sorted by ascending accuracy, as in the paper)\n");
+    println!(
+        "{:>4} {:>6} {:>9} {:>8} {:>8} {:>8} {:>9}  {}",
+        "id", "tests", "accuracy", "q1(ms)", "med(ms)", "q3(ms)", "mean(ms)", "intended"
+    );
+
+    let mut evals = Vec::new();
+    for b in &benchmarks {
+        let eval = evaluate_benchmark(b, SynthConfig::default());
+        evals.push(eval);
+    }
+    evals.sort_by(|a, b| {
+        a.accuracy()
+            .partial_cmp(&b.accuracy())
+            .unwrap()
+            .then(a.id.cmp(&b.id))
+    });
+    for e in &evals {
+        println!(
+            "{:>4} {:>6} {:>8.0}% {:>8} {:>8} {:>8} {:>9}  {}",
+            format!("b{}", e.id),
+            e.tests,
+            e.accuracy() * 100.0,
+            ms(e.time_quantile(0.25)),
+            ms(e.time_quantile(0.5)),
+            ms(e.time_quantile(0.75)),
+            ms(e.time_mean()),
+            if e.intended { "•" } else { "×" },
+        );
+    }
+
+    // §7.1 prose statistics.
+    let total = evals.len() as f64;
+    let fast_accurate = evals
+        .iter()
+        .filter(|e| e.accuracy() >= 0.95 && e.time_quantile(0.5).as_millis() <= 500)
+        .count() as f64;
+    let intended = evals.iter().filter(|e| e.intended).count();
+    let median_acc = {
+        let mut accs: Vec<f64> = evals.iter().map(|e| e.accuracy()).collect();
+        accs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        accs[accs.len() / 2]
+    };
+    let avg_acc = evals.iter().map(|e| e.accuracy()).sum::<f64>() / total;
+    let progs: Vec<_> = evals.iter().filter_map(|e| e.final_program.as_ref()).collect();
+    let avg_stmts = progs.iter().map(|p| p.len()).sum::<usize>() as f64 / progs.len().max(1) as f64;
+    let max_stmts = progs.iter().map(|p| p.len()).max().unwrap_or(0);
+    let doubly = progs.iter().filter(|p| p.loop_depth() == 2).count();
+    let triple = progs.iter().filter(|p| p.loop_depth() >= 3).count();
+
+    println!("\nSummary (paper §7.1 prose):");
+    println!(
+        "  ≥95% accuracy with ≤0.5 s median prediction: {:.0}% of benchmarks (paper: 68%)",
+        100.0 * fast_accurate / total
+    );
+    println!(
+        "  intended final program: {intended}/{} = {:.0}% (paper: 91%)",
+        evals.len(),
+        100.0 * intended as f64 / total
+    );
+    println!("  median accuracy: {:.0}%   average accuracy: {:.0}%", median_acc * 100.0, avg_acc * 100.0);
+    println!(
+        "  synthesized programs: avg {avg_stmts:.1} statements, max {max_stmts} (paper: avg 6, max 18)"
+    );
+    println!(
+        "  nesting: {doubly} doubly-nested, {triple} with ≥3 levels (paper: 32 and 6)"
+    );
+}

@@ -1,0 +1,74 @@
+//! Regenerates the **§7.3 end-to-end testing** numbers: an oracle user
+//! drives a full demo/authorize/automate session on all 76 benchmarks; a
+//! benchmark is *solved* when the whole intended action sequence executes.
+//! Benchmarks flagged with a front-end quirk fail end-to-end even when the
+//! back-end synthesis is correct, mirroring the paper's failure taxonomy
+//! (7 back-end + 11 front-end = 18 unsolved, 76% solved).
+//!
+//! ```text
+//! cargo run -p webrobot-bench --release --bin q3_end_to_end [-- --ids 1,2,3]
+//! ```
+
+use webrobot_bench::parse_id_filter;
+use webrobot_benchmarks::suite;
+use webrobot_interact::{drive_session, SessionConfig, UserModel};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let filter = parse_id_filter(&args);
+    let benchmarks: Vec<_> = suite()
+        .into_iter()
+        .filter(|b| filter.as_ref().is_none_or(|ids| ids.contains(&b.id)))
+        .collect();
+
+    println!("Q3 — end-to-end testing over the benchmark suite\n");
+    let mut solved = 0usize;
+    let mut backend_failures = Vec::new();
+    let mut frontend_failures = Vec::new();
+    let user = UserModel::default(); // oracle, no mistakes
+    for b in &benchmarks {
+        if b.frontend_quirk.is_some() {
+            // The paper's front-end could not fully replay these actions.
+            frontend_failures.push(b.id);
+            println!("b{:<3} FRONT-END FAIL ({:?})", b.id, b.frontend_quirk.unwrap());
+            continue;
+        }
+        let rec = b.record().expect("benchmark records");
+        let report = drive_session(
+            b.site.clone(),
+            b.input.clone(),
+            &rec.trace,
+            SessionConfig::default(),
+            &user,
+            2,
+        );
+        // Solved by PBD: the full script ran AND automation (not brute
+        // demonstration) carried a meaningful share.
+        let by_pbd = report.solved && report.automated + report.authorized > report.demonstrated;
+        if by_pbd {
+            solved += 1;
+            println!(
+                "b{:<3} solved   demo={:<3} auth={:<3} auto={:<4} interrupts={}",
+                b.id, report.demonstrated, report.authorized, report.automated, report.interruptions
+            );
+        } else {
+            backend_failures.push(b.id);
+            println!(
+                "b{:<3} UNSOLVED demo={:<3} auth={:<3} auto={:<4} (back-end)",
+                b.id, report.demonstrated, report.authorized, report.automated
+            );
+        }
+    }
+    let total = benchmarks.len();
+    println!(
+        "\nSolved end-to-end: {solved}/{total} = {:.0}% (paper: 76%)",
+        100.0 * solved as f64 / total as f64
+    );
+    println!(
+        "Failures: {} back-end {:?} (paper: 7), {} front-end {:?} (paper: 11)",
+        backend_failures.len(),
+        backend_failures,
+        frontend_failures.len(),
+        frontend_failures
+    );
+}

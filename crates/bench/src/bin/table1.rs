@@ -1,0 +1,79 @@
+//! Regenerates **Table 1** (Q2): ablation study — full-fledged vs
+//! *No selector* vs *No incremental*.
+//!
+//! ```text
+//! cargo run -p webrobot-bench --release --bin table1 [-- --ids 1,2,3]
+//! ```
+//!
+//! A benchmark counts as *solved* when the final synthesized program is
+//! intended (live replay reproduces the ground-truth outputs).
+
+use std::time::Duration;
+
+use webrobot_bench::{evaluate_benchmark, parse_id_filter, BenchmarkEval};
+use webrobot_benchmarks::suite;
+use webrobot_synth::SynthConfig;
+
+struct Row {
+    name: &'static str,
+    solved: usize,
+    total: usize,
+    median_acc: f64,
+    avg_acc: f64,
+    avg_time: Duration,
+}
+
+fn evaluate_variant(name: &'static str, cfg: SynthConfig, ids: &Option<Vec<u32>>) -> Row {
+    let evals: Vec<BenchmarkEval> = suite()
+        .into_iter()
+        .filter(|b| ids.as_ref().is_none_or(|ids| ids.contains(&b.id)))
+        .map(|b| evaluate_benchmark(&b, cfg.clone()))
+        .collect();
+    let mut accs: Vec<f64> = evals.iter().map(|e| e.accuracy()).collect();
+    accs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let times: Vec<Duration> = evals.iter().flat_map(|e| e.times.iter().copied()).collect();
+    let avg_time = if times.is_empty() {
+        Duration::ZERO
+    } else {
+        times.iter().sum::<Duration>() / times.len() as u32
+    };
+    Row {
+        name,
+        solved: evals.iter().filter(|e| e.intended).count(),
+        total: evals.len(),
+        median_acc: accs[accs.len() / 2],
+        avg_acc: accs.iter().sum::<f64>() / accs.len() as f64,
+        avg_time,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let ids = parse_id_filter(&args);
+
+    println!("Table 1 — Q2 ablation study");
+    println!(
+        "{:<16} {:>10} {:>14} {:>14} {:>14}",
+        "Variant", "# solved", "acc (median)", "acc (average)", "time per test"
+    );
+    let variants = [
+        ("Full-fledged", SynthConfig::default()),
+        ("No selector", SynthConfig::no_selector()),
+        ("No incremental", SynthConfig::no_incremental()),
+    ];
+    for (name, cfg) in variants {
+        let row = evaluate_variant(name, cfg, &ids);
+        println!(
+            "{:<16} {:>7}/{:<3} {:>13.0}% {:>13.0}% {:>12}ms",
+            row.name,
+            row.solved,
+            row.total,
+            row.median_acc * 100.0,
+            row.avg_acc * 100.0,
+            row.avg_time.as_millis()
+        );
+    }
+    println!("\nPaper reference: Full 69 solved, 98%/90%, 23 ms;");
+    println!("                 No selector 38 solved, 88%/57%, 54 ms;");
+    println!("                 No incremental 45 solved, 96%/72%, 32 ms.");
+}

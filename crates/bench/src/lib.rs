@@ -1,0 +1,167 @@
+//! Shared experiment harness: the per-test prediction protocol of paper
+//! §7.1, the intended-program check, and report formatting, reused by the
+//! `fig12` / `table1` / `table2` / `q3_*` binaries and the Criterion
+//! benches.
+
+use std::time::{Duration, Instant};
+
+use webrobot_benchmarks::Benchmark;
+use webrobot_browser::{run_program, Browser, Recording};
+use webrobot_lang::Program;
+use webrobot_semantics::action_consistent;
+use webrobot_synth::{SynthConfig, Synthesizer};
+
+/// Result of evaluating one benchmark under the §7.1 protocol.
+#[derive(Debug, Clone)]
+pub struct BenchmarkEval {
+    /// Benchmark id.
+    pub id: u32,
+    /// Number of prediction tests (`n − 1`).
+    pub tests: usize,
+    /// Tests whose prediction matched the recorded next action.
+    pub correct: usize,
+    /// Per-test synthesis times for tests that produced a prediction.
+    pub times: Vec<Duration>,
+    /// Whether the final synthesized program is intended (live replay
+    /// reproduces the ground truth's outputs).
+    pub intended: bool,
+    /// The final best program, if any.
+    pub final_program: Option<Program>,
+}
+
+impl BenchmarkEval {
+    /// Prediction accuracy in `[0, 1]`.
+    pub fn accuracy(&self) -> f64 {
+        if self.tests == 0 {
+            return 0.0;
+        }
+        self.correct as f64 / self.tests as f64
+    }
+
+    /// `p`-quantile of the per-test times (0.0–1.0); zero when no test
+    /// produced a prediction.
+    pub fn time_quantile(&self, p: f64) -> Duration {
+        if self.times.is_empty() {
+            return Duration::ZERO;
+        }
+        let mut sorted = self.times.clone();
+        sorted.sort();
+        let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+        sorted[idx]
+    }
+
+    /// Mean per-test time over prediction-producing tests.
+    pub fn time_mean(&self) -> Duration {
+        if self.times.is_empty() {
+            return Duration::ZERO;
+        }
+        self.times.iter().sum::<Duration>() / self.times.len() as u32
+    }
+}
+
+/// Does `program`, replayed live on a fresh browser, reproduce the ground
+/// truth's scraped outputs? This is the "intended program" criterion used
+/// across the experiments (the paper judges intendedness manually).
+pub fn is_intended(program: &Program, benchmark: &Benchmark, recording: &Recording) -> bool {
+    let mut browser = Browser::new(benchmark.site.clone(), benchmark.input.clone());
+    let budget = recording.trace.len() * 4 + 64;
+    if run_program(&mut browser, program.statements(), budget).is_err() {
+        return false;
+    }
+    let got: Vec<&str> = browser.outputs().iter().map(|o| o.payload()).collect();
+    let want: Vec<&str> = recording.outputs.iter().map(|o| o.payload()).collect();
+    got == want
+}
+
+/// Runs the §7.1 per-test protocol on one benchmark: for `k = 1..n−1`,
+/// synthesize from the first `k` actions (+ `k+1` DOMs) and check the
+/// prediction of `a_{k+1}`. Synthesis is incremental across tests unless
+/// the configuration disables it.
+pub fn evaluate_benchmark(benchmark: &Benchmark, cfg: SynthConfig) -> BenchmarkEval {
+    let recording = benchmark
+        .record()
+        .unwrap_or_else(|e| panic!("b{} failed to record: {e}", benchmark.id));
+    let trace = &recording.trace;
+    let n = trace.len();
+    let mut synth = Synthesizer::new(cfg, trace.prefix(0));
+    let mut correct = 0;
+    let mut times = Vec::new();
+    let mut final_program: Option<Program> = None;
+    for k in 1..n {
+        synth.observe(trace.actions()[k - 1].clone(), trace.doms()[k].clone());
+        let started = Instant::now();
+        let result = synth.synthesize();
+        let elapsed = started.elapsed();
+        if !result.predictions.is_empty() {
+            times.push(elapsed);
+        }
+        let want = &trace.actions()[k];
+        if result
+            .predictions
+            .iter()
+            .any(|p| action_consistent(p, want, &trace.doms()[k]))
+        {
+            correct += 1;
+        }
+        if let Some(rp) = result.programs.first() {
+            final_program = Some(rp.program.clone());
+        }
+    }
+    let intended = final_program
+        .as_ref()
+        .is_some_and(|p| is_intended(p, benchmark, &recording));
+    BenchmarkEval {
+        id: benchmark.id,
+        tests: n.saturating_sub(1),
+        correct,
+        times,
+        intended,
+        final_program,
+    }
+}
+
+/// Parses a `--ids 1,5,9` style argument list; `None` means "all".
+pub fn parse_id_filter(args: &[String]) -> Option<Vec<u32>> {
+    let pos = args.iter().position(|a| a == "--ids")?;
+    let list = args.get(pos + 1)?;
+    Some(
+        list.split(',')
+            .filter_map(|s| s.trim().parse().ok())
+            .collect(),
+    )
+}
+
+/// Formats a duration in integer milliseconds.
+pub fn ms(d: Duration) -> String {
+    format!("{}", d.as_millis())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webrobot_benchmarks::benchmark;
+
+    #[test]
+    fn protocol_runs_on_a_small_benchmark() {
+        let b = benchmark(73).unwrap();
+        let eval = evaluate_benchmark(&b, SynthConfig::default());
+        assert!(eval.tests >= 5);
+        assert!(eval.accuracy() > 0.7, "{eval:?}");
+        assert!(eval.intended);
+        assert!(eval.time_quantile(0.5) <= eval.time_quantile(1.0));
+    }
+
+    #[test]
+    fn designed_failure_is_not_intended() {
+        let b = benchmark(9).unwrap();
+        let eval = evaluate_benchmark(&b, SynthConfig::default());
+        assert!(!eval.intended, "{:?}", eval.final_program);
+    }
+
+    #[test]
+    fn id_filter_parses() {
+        let args: Vec<String> = ["--ids".into(), "1,5, 9".into()].to_vec();
+        assert_eq!(parse_id_filter(&args), Some(vec![1, 5, 9]));
+        assert_eq!(parse_id_filter(&[]), None);
+    }
+}

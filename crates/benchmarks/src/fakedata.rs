@@ -1,0 +1,129 @@
+//! Seeded fake-data generation for benchmark sites (store names, streets,
+//! phone numbers, people, keywords).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const FIRST_NAMES: &[&str] = &[
+    "Ada", "Grace", "Alan", "Edsger", "Barbara", "Donald", "Tony", "John", "Leslie", "Robin",
+    "Frances", "Niklaus", "Dennis", "Ken", "Bjarne", "Guido",
+];
+const LAST_NAMES: &[&str] = &[
+    "Lovelace", "Hopper", "Turing", "Dijkstra", "Liskov", "Knuth", "Hoare", "McCarthy",
+    "Lamport", "Milner", "Allen", "Wirth", "Ritchie", "Thompson", "Stroustrup", "Rossum",
+];
+const STREETS: &[&str] = &[
+    "Maple St", "Oak Ave", "Main St", "Elm Dr", "Cedar Ln", "Pine Rd", "Birch Blvd",
+    "Walnut Way", "Chestnut Ct", "Spruce Pl",
+];
+const CITIES: &[&str] = &[
+    "Ann Arbor", "Springfield", "Riverton", "Lakeside", "Hillview", "Fairmont", "Brookfield",
+    "Georgetown", "Clinton", "Greenville",
+];
+const PRODUCTS: &[&str] = &[
+    "Widget", "Gadget", "Sprocket", "Gizmo", "Doohickey", "Contraption", "Apparatus",
+    "Device", "Instrument", "Mechanism",
+];
+const KEYWORDS: &[&str] = &[
+    "engineer", "designer", "analyst", "manager", "developer", "architect", "scientist",
+    "technician", "consultant", "administrator",
+];
+
+/// Deterministic fake-data source. Two fakers with the same seed produce
+/// the same sequence, which keeps every benchmark reproducible.
+#[derive(Debug)]
+pub struct Faker {
+    rng: StdRng,
+}
+
+impl Faker {
+    /// Creates a faker from a seed.
+    pub fn new(seed: u64) -> Faker {
+        Faker {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    fn pick<'a>(&mut self, pool: &[&'a str]) -> &'a str {
+        pool[self.rng.gen_range(0..pool.len())]
+    }
+
+    /// A person name, e.g. `Grace Hopper`.
+    pub fn person(&mut self) -> String {
+        format!("{} {}", self.pick(FIRST_NAMES), self.pick(LAST_NAMES))
+    }
+
+    /// A street address, e.g. `742 Oak Ave`.
+    pub fn address(&mut self) -> String {
+        format!("{} {}", self.rng.gen_range(100..1000), self.pick(STREETS))
+    }
+
+    /// A city name.
+    pub fn city(&mut self) -> String {
+        self.pick(CITIES).to_string()
+    }
+
+    /// A phone number, e.g. `555-0142`.
+    pub fn phone(&mut self) -> String {
+        format!("555-{:04}", self.rng.gen_range(0..10_000))
+    }
+
+    /// A product name, e.g. `Sprocket 37`.
+    pub fn product(&mut self) -> String {
+        format!("{} {}", self.pick(PRODUCTS), self.rng.gen_range(1..100))
+    }
+
+    /// A price string, e.g. `$23.99`.
+    pub fn price(&mut self) -> String {
+        format!("${}.{:02}", self.rng.gen_range(5..200), self.rng.gen_range(0..100))
+    }
+
+    /// A search keyword.
+    pub fn keyword(&mut self) -> String {
+        self.pick(KEYWORDS).to_string()
+    }
+
+    /// A five-digit zip code.
+    pub fn zip(&mut self) -> String {
+        format!("{:05}", self.rng.gen_range(10_000..99_999))
+    }
+
+    /// A uniformly random count in `lo..=hi`.
+    pub fn count(&mut self, lo: usize, hi: usize) -> usize {
+        self.rng.gen_range(lo..=hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = Faker::new(42);
+        let mut b = Faker::new(42);
+        for _ in 0..20 {
+            assert_eq!(a.person(), b.person());
+            assert_eq!(a.phone(), b.phone());
+            assert_eq!(a.count(1, 10), b.count(1, 10));
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Faker::new(1);
+        let mut b = Faker::new(2);
+        let sa: Vec<String> = (0..10).map(|_| a.person()).collect();
+        let sb: Vec<String> = (0..10).map(|_| b.person()).collect();
+        assert_ne!(sa, sb);
+    }
+
+    #[test]
+    fn counts_respect_bounds() {
+        let mut f = Faker::new(7);
+        for _ in 0..100 {
+            let c = f.count(3, 5);
+            assert!((3..=5).contains(&c));
+        }
+    }
+}

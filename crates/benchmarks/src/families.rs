@@ -1,0 +1,806 @@
+//! Benchmark family constructors: each builds a simulated site, the input
+//! data source, and a ground-truth program.
+
+use std::sync::Arc;
+
+use webrobot_browser::{PageId, Site, SiteBuilder};
+use webrobot_data::Value;
+use webrobot_lang::{parse_program, Program, Statement};
+
+use crate::fakedata::Faker;
+use crate::sites::{disabled_next_button, item_block, next_button, page, searchbar};
+
+/// Everything a family constructor produces.
+#[derive(Debug, Clone)]
+pub(crate) struct Parts {
+    pub site: Arc<Site>,
+    pub input: Value,
+    pub gt: Program,
+}
+
+fn parse(src: &str) -> Program {
+    parse_program(src).unwrap_or_else(|e| panic!("ground-truth parse error: {e}\n{src}"))
+}
+
+fn no_input() -> Value {
+    Value::Object(vec![])
+}
+
+/// Names of the `f` standard scrape fields: distinct tags so plain lists
+/// need no attribute predicates.
+const PLAIN_FIELD_TAGS: &[&str] = &["h3", "span", "b", "em", "i", "u"];
+
+fn plain_fields(faker: &mut Faker, f: usize) -> Vec<(&'static str, Option<&'static str>, String)> {
+    (0..f)
+        .map(|k| {
+            let text = match k {
+                0 => faker.product(),
+                1 => faker.price(),
+                2 => faker.city(),
+                _ => faker.phone(),
+            };
+            (PLAIN_FIELD_TAGS[k], None, text)
+        })
+        .collect()
+}
+
+/// Family A (plain): a single page of `<li>` items with `f` sub-fields of
+/// distinct tags, **no leading offset and no attribute predicates needed**
+/// — the shape whose ground truth "involves only selector loops and no
+/// alternative selectors" (Q4 eligibility, b12/b15/b20/b48/b56/b73–76).
+pub(crate) fn plain_list(seed: u64, items: usize, f: usize) -> Parts {
+    assert!(f >= 1 && f <= PLAIN_FIELD_TAGS.len());
+    let mut faker = Faker::new(seed);
+    let mut body = String::from("<ul>");
+    for _ in 0..items {
+        body.push_str("<li>");
+        if f == 1 {
+            body.push_str(&faker.product());
+        } else {
+            for (tag, _, text) in plain_fields(&mut faker, f) {
+                body.push_str(&format!("<{tag}>{text}</{tag}>"));
+            }
+        }
+        body.push_str("</li>");
+    }
+    body.push_str("</ul>");
+    let mut b = SiteBuilder::new();
+    let home = b.add_page(format!("https://plain{seed}.test/"), page(&body));
+    let site = Arc::new(b.start_at(home).finish());
+    let gt = if f == 1 {
+        parse("foreach %r0 in Children(/body[1]/ul[1], li) do {\n  ScrapeText(%r0)\n}")
+    } else {
+        let scrapes: String = PLAIN_FIELD_TAGS[..f]
+            .iter()
+            .map(|t| format!("  ScrapeText(%r0/{t}[1])\n"))
+            .collect();
+        parse(&format!(
+            "foreach %r0 in Children(/body[1]/ul[1], li) do {{\n{scrapes}}}"
+        ))
+    };
+    Parts {
+        site,
+        input: no_input(),
+        gt,
+    }
+}
+
+/// Family A (styled): a single listing page with a header offset and
+/// class-discriminated fields — requires alternative-selector search.
+pub(crate) fn styled_list(seed: u64, items: usize) -> Parts {
+    let mut faker = Faker::new(seed);
+    let mut body = String::from("<div class='header'><span>Results</span></div>");
+    for _ in 0..items {
+        body.push_str(&item_block(
+            "item",
+            &[
+                ("h3", None, faker.product()),
+                ("div", Some("price"), faker.price()),
+            ],
+        ));
+    }
+    let mut b = SiteBuilder::new();
+    let home = b.add_page(format!("https://styled{seed}.test/"), page(&body));
+    let site = Arc::new(b.start_at(home).finish());
+    let gt = parse(
+        "foreach %r0 in Dscts(eps, div[@class='item']) do {\n\
+           ScrapeText(%r0//h3[1])\n\
+           ScrapeText(%r0//div[@class='price'][1])\n\
+         }",
+    );
+    Parts {
+        site,
+        input: no_input(),
+        gt,
+    }
+}
+
+/// Family I: sections × rows on one page (doubly-nested loops). `plain`
+/// uses bare `table`/`tr` tags (no alternative selectors, b12 shape);
+/// otherwise class-discriminated divs with header offsets.
+pub(crate) fn sections_list(seed: u64, sections: usize, rows: usize, plain: bool) -> Parts {
+    let mut faker = Faker::new(seed);
+    let mut body = String::new();
+    if plain {
+        // Each table carries a header cell scraped by the outer loop, so
+        // the task cannot be flattened into one descendant loop over rows.
+        for s in 0..sections {
+            body.push_str(&format!("<table><th>Session {s}</th>"));
+            for _ in 0..rows {
+                body.push_str(&format!("<tr>{}</tr>", faker.person()));
+            }
+            body.push_str("</table>");
+        }
+    } else {
+        body.push_str("<div class='banner'><span>Sections</span></div>");
+        for s in 0..sections {
+            body.push_str(&format!("<div class='section'><h2>Section {s}</h2>"));
+            for _ in 0..rows {
+                body.push_str(&format!("<div class='row'>{}</div>", faker.address()));
+            }
+            body.push_str("</div>");
+        }
+    }
+    let mut b = SiteBuilder::new();
+    let home = b.add_page(format!("https://sections{seed}.test/"), page(&body));
+    let site = Arc::new(b.start_at(home).finish());
+    let gt = if plain {
+        parse(
+            "foreach %r0 in Dscts(eps, table) do {\n\
+               ScrapeText(%r0/th[1])\n\
+               foreach %r1 in Children(%r0, tr) do {\n\
+                 ScrapeText(%r1)\n\
+               }\n\
+             }",
+        )
+    } else {
+        parse(
+            "foreach %r0 in Dscts(eps, div[@class='section']) do {\n\
+               foreach %r1 in Children(%r0, div) do {\n\
+                 ScrapeText(%r1)\n\
+               }\n\
+             }",
+        )
+    };
+    Parts {
+        site,
+        input: no_input(),
+        gt,
+    }
+}
+
+/// b56: three nested selector loops on one page (groups × tables × rows),
+/// no alternative selectors needed.
+pub(crate) fn deep_sections(seed: u64, groups: usize, tables: usize, rows: usize) -> Parts {
+    let mut faker = Faker::new(seed);
+    let mut body = String::new();
+    // Labels at the group and table levels pin the loop structure: no
+    // flatter program produces the interleaved label/row outputs.
+    for g in 0..groups {
+        body.push_str(&format!("<section><h2>Group {g}</h2>"));
+        for t in 0..tables {
+            body.push_str(&format!("<table><th>T{g}.{t}</th>"));
+            for _ in 0..rows {
+                body.push_str(&format!("<tr>{}</tr>", faker.product()));
+            }
+            body.push_str("</table>");
+        }
+        body.push_str("</section>");
+    }
+    let mut b = SiteBuilder::new();
+    let home = b.add_page(format!("https://deep{seed}.test/"), page(&body));
+    let site = Arc::new(b.start_at(home).finish());
+    let gt = parse(
+        "foreach %r0 in Dscts(eps, section) do {\n\
+           ScrapeText(%r0/h2[1])\n\
+           foreach %r1 in Children(%r0, table) do {\n\
+             ScrapeText(%r1/th[1])\n\
+             foreach %r2 in Children(%r1, tr) do {\n\
+               ScrapeText(%r2)\n\
+             }\n\
+           }\n\
+         }",
+    );
+    Parts {
+        site,
+        input: no_input(),
+        gt,
+    }
+}
+
+/// Renders one results page body: header + items + optional next button.
+fn results_body(faker: &mut Faker, count: usize, next: Option<usize>, bar: &str) -> String {
+    let mut items = String::from("<div class='header'>results</div>");
+    for _ in 0..count {
+        items.push_str(&item_block(
+            "item",
+            &[
+                ("h3", None, faker.product()),
+                ("div", Some("price"), faker.price()),
+            ],
+        ));
+    }
+    let tail = match next {
+        Some(t) => next_button(t),
+        None => String::new(),
+    };
+    format!("{bar}<div class='results'>{items}{tail}</div>")
+}
+
+/// Family C: one listing paginated over `pages` (item counts per page),
+/// `while { foreach … ; Click(next) }`.
+pub(crate) fn paginated_list(seed: u64, pages: &[usize]) -> Parts {
+    let mut faker = Faker::new(seed);
+    let mut b = SiteBuilder::new();
+    for (pi, &count) in pages.iter().enumerate() {
+        let next = (pi + 1 < pages.len()).then_some(pi + 1);
+        let body = results_body(&mut faker, count, next, "");
+        b.add_page(format!("https://paged{seed}.test/{}", pi + 1), page(&body));
+    }
+    let site = Arc::new(b.start_at(PageId::from_index(0)).finish());
+    let gt = parse(
+        "while true do {\n\
+           foreach %r0 in Dscts(eps, div[@class='item']) do {\n\
+             ScrapeText(%r0//h3[1])\n\
+             ScrapeText(%r0//div[@class='price'][1])\n\
+           }\n\
+           Click(//button[@class='next'][1])\n\
+         }",
+    );
+    Parts {
+        site,
+        input: no_input(),
+        gt,
+    }
+}
+
+/// Family D: master–detail navigation with `GoBack`, single listing page.
+pub(crate) fn master_detail(seed: u64, items: usize) -> Parts {
+    let mut faker = Faker::new(seed);
+    let mut b = SiteBuilder::new();
+    // Listing is page 0; details are 1..=items.
+    let mut body = String::from("<div class='header'>catalog</div>");
+    let mut details = Vec::new();
+    for i in 0..items {
+        body.push_str(&format!(
+            "<div class='item'><h3>{}</h3><a href='#p{}'>view</a></div>",
+            faker.product(),
+            i + 1
+        ));
+        details.push(format!(
+            "<div class='spec'>{}</div><div class='stock'>{} in stock</div>",
+            faker.address(),
+            faker.count(1, 40)
+        ));
+    }
+    let home = b.add_page(format!("https://catalog{seed}.test/"), page(&body));
+    for (i, detail) in details.iter().enumerate() {
+        b.add_page(format!("https://catalog{seed}.test/{i}"), page(detail));
+    }
+    let site = Arc::new(b.start_at(home).finish());
+    let gt = parse(
+        "foreach %r0 in Dscts(eps, div[@class='item']) do {\n\
+           ScrapeText(%r0//h3[1])\n\
+           Click(%r0//a[1])\n\
+           ScrapeText(//div[@class='spec'][1])\n\
+           GoBack\n\
+         }",
+    );
+    Parts {
+        site,
+        input: no_input(),
+        gt,
+    }
+}
+
+/// Family E: paginated master–detail:
+/// `while { foreach { scrape; click; scrape; GoBack }; Click(next) }`.
+pub(crate) fn master_detail_paginated(seed: u64, pages: &[usize]) -> Parts {
+    let mut faker = Faker::new(seed);
+    let mut b = SiteBuilder::new();
+    // Page layout: listing pages first (ids 0..pages.len()), then details.
+    let mut detail_id = pages.len();
+    let mut listing_bodies = Vec::new();
+    for (pi, &count) in pages.iter().enumerate() {
+        let mut body = String::from("<div class='header'>catalog</div>");
+        for i in 0..count {
+            body.push_str(&format!(
+                "<div class='item'><h3>{}</h3><a href='#p{}'>view</a></div>",
+                faker.product(),
+                detail_id + i
+            ));
+        }
+        if pi + 1 < pages.len() {
+            body.push_str(&next_button(pi + 1));
+        }
+        listing_bodies.push(body);
+        detail_id += count;
+    }
+    for body in &listing_bodies {
+        b.add_page(format!("https://mcat{seed}.test/"), page(body));
+    }
+    for (pi, &count) in pages.iter().enumerate() {
+        for i in 0..count {
+            b.add_page(
+                format!("https://mcat{seed}.test/{pi}/{i}"),
+                page(&format!(
+                    "<div class='spec'>{}</div>",
+                    faker.address()
+                )),
+            );
+        }
+    }
+    let site = Arc::new(b.start_at(PageId::from_index(0)).finish());
+    let gt = parse(
+        "while true do {\n\
+           foreach %r0 in Dscts(eps, div[@class='item']) do {\n\
+             ScrapeText(%r0//h3[1])\n\
+             Click(%r0//a[1])\n\
+             ScrapeText(//div[@class='spec'][1])\n\
+             GoBack\n\
+           }\n\
+           Click(//button[@class='next'][1])\n\
+         }",
+    );
+    Parts {
+        site,
+        input: no_input(),
+        gt,
+    }
+}
+
+/// Family F: search-driven scraping. Every query routes to one results
+/// page. With `inner_loop` the body scrapes all items (2-level program);
+/// otherwise it scrapes two fixed summary fields (1-level).
+pub(crate) fn search_scrape(seed: u64, queries: usize, inner_loop: bool) -> Parts {
+    let mut faker = Faker::new(seed);
+    let words: Vec<String> = (0..queries)
+        .map(|i| format!("{}-{i}", faker.keyword()))
+        .collect();
+    let bar = searchbar("q");
+    let mut b = SiteBuilder::new();
+    let home = b.add_page(
+        format!("https://jobs{seed}.test/"),
+        page(&bar),
+    );
+    let mut routes = Vec::new();
+    for (qi, word) in words.iter().enumerate() {
+        routes.push((word.clone(), PageId::from_index(qi + 1)));
+        let body = if inner_loop {
+            let count = faker.count(3, 6);
+            results_body(&mut faker, count, None, &bar)
+        } else {
+            format!(
+                "{bar}<div class='summary'><div class='count'>{} hits</div>\
+                 <div class='top'>{}</div></div>",
+                faker.count(5, 90),
+                faker.product()
+            )
+        };
+        b.add_page(format!("https://jobs{seed}.test/?q={word}"), page(&body));
+    }
+    let miss = b.add_page(
+        format!("https://jobs{seed}.test/none"),
+        page(&format!("{bar}<div class='summary'><div class='count'>0 hits</div><div class='top'>-</div></div>")),
+    );
+    b.add_search("q", routes, miss);
+    let site = Arc::new(b.start_at(home).finish());
+    let input = Value::object([(
+        "keywords".to_string(),
+        Value::str_array(words),
+    )]);
+    let gt = if inner_loop {
+        parse(
+            "foreach %v0 in ValuePaths(x[keywords]) do {\n\
+               EnterData(//input[@name='search'][1], %v0)\n\
+               Click(//button[@class='go'][1])\n\
+               foreach %r1 in Dscts(eps, div[@class='item']) do {\n\
+                 ScrapeText(%r1//h3[1])\n\
+                 ScrapeText(%r1//div[@class='price'][1])\n\
+               }\n\
+             }",
+        )
+    } else {
+        parse(
+            "foreach %v0 in ValuePaths(x[keywords]) do {\n\
+               EnterData(//input[@name='search'][1], %v0)\n\
+               Click(//button[@class='go'][1])\n\
+               ScrapeText(//div[@class='count'][1])\n\
+               ScrapeText(//div[@class='top'][1])\n\
+             }",
+        )
+    };
+    Parts { site, input, gt }
+}
+
+/// Family G: search + pagination (the Subway scenario, paper Figs. 4–5).
+/// `sections` adds a fourth nesting level (items grouped in sections on
+/// every page).
+pub(crate) fn search_paginated(
+    seed: u64,
+    queries: usize,
+    pages_per_query: &[usize],
+    sections: bool,
+) -> Parts {
+    let mut faker = Faker::new(seed);
+    let zips: Vec<String> = (0..queries).map(|_| faker.zip()).collect();
+    let bar = searchbar("q");
+    let mut b = SiteBuilder::new();
+    let home = b.add_page(format!("https://stores{seed}.test/"), page(&bar));
+    let mut routes = Vec::new();
+    let mut next_id = 1usize;
+    for zip in &zips {
+        routes.push((zip.clone(), PageId::from_index(next_id)));
+        for (pi, &count) in pages_per_query.iter().enumerate() {
+            let mut items = String::from("<div class='header'>results</div>");
+            if sections {
+                for s in 0..count {
+                    items.push_str("<div class='section'>");
+                    for _ in 0..2 {
+                        items.push_str(&item_block(
+                            "item",
+                            &[("h3", None, format!("{} ({s})", faker.product()))],
+                        ));
+                    }
+                    items.push_str("</div>");
+                }
+            } else {
+                for _ in 0..count {
+                    items.push_str(&item_block(
+                        "item",
+                        &[
+                            ("h3", None, faker.address()),
+                            ("div", Some("phone"), faker.phone()),
+                        ],
+                    ));
+                }
+            }
+            let tail = if pi + 1 < pages_per_query.len() {
+                next_button(next_id + 1)
+            } else {
+                String::new()
+            };
+            b.add_page(
+                format!("https://stores{seed}.test/?q={zip}&page={}", pi + 1),
+                page(&format!("{bar}<div class='results'>{items}{tail}</div>")),
+            );
+            next_id += 1;
+        }
+    }
+    let miss = b.add_page(
+        format!("https://stores{seed}.test/none"),
+        page(&format!("{bar}<div class='results'><div class='header'>none</div></div>")),
+    );
+    b.add_search("q", routes, miss);
+    let site = Arc::new(b.start_at(home).finish());
+    let input = Value::object([("zips".to_string(), Value::str_array(zips))]);
+    let gt = if sections {
+        parse(
+            "foreach %v0 in ValuePaths(x[zips]) do {\n\
+               EnterData(//input[@name='search'][1], %v0)\n\
+               Click(//button[@class='go'][1])\n\
+               while true do {\n\
+                 foreach %r1 in Dscts(eps, div[@class='section']) do {\n\
+                   foreach %r2 in Children(%r1, div) do {\n\
+                     ScrapeText(%r2//h3[1])\n\
+                   }\n\
+                 }\n\
+                 Click(//button[@class='next'][1])\n\
+               }\n\
+             }",
+        )
+    } else {
+        parse(
+            "foreach %v0 in ValuePaths(x[zips]) do {\n\
+               EnterData(//input[@name='search'][1], %v0)\n\
+               Click(//button[@class='go'][1])\n\
+               while true do {\n\
+                 foreach %r1 in Dscts(eps, div[@class='item']) do {\n\
+                   ScrapeText(%r1//h3[1])\n\
+                   ScrapeText(%r1//div[@class='phone'][1])\n\
+                 }\n\
+                 Click(//button[@class='next'][1])\n\
+               }\n\
+             }",
+        )
+    };
+    Parts { site, input, gt }
+}
+
+/// Family H: the unicorn-name generator (paper Fig. 2): enter each person's
+/// name, click generate, scrape the result.
+pub(crate) fn form_generator(seed: u64, people: usize, object_rows: bool) -> Parts {
+    let mut faker = Faker::new(seed);
+    let names: Vec<String> = (0..people).map(|_| faker.person()).collect();
+    let bar = searchbar("name");
+    let mut b = SiteBuilder::new();
+    let home = b.add_page(format!("https://unicorn{seed}.test/"), page(&bar));
+    let mut routes = Vec::new();
+    for (i, name) in names.iter().enumerate() {
+        routes.push((name.clone(), PageId::from_index(i + 1)));
+        b.add_page(
+            format!("https://unicorn{seed}.test/{i}"),
+            page(&format!(
+                "{bar}<div class='generated'>{} the {}</div>",
+                name.split(' ').next().unwrap_or(name),
+                faker.product()
+            )),
+        );
+    }
+    let miss = b.add_page(
+        format!("https://unicorn{seed}.test/none"),
+        page(&format!("{bar}<div class='generated'>???</div>")),
+    );
+    b.add_search("name", routes, miss);
+    let site = Arc::new(b.start_at(home).finish());
+    let (input, gt) = if object_rows {
+        let input = Value::object([(
+            "customers".to_string(),
+            Value::Array(
+                names
+                    .iter()
+                    .map(|n| {
+                        Value::object([
+                            ("name".to_string(), Value::str(n.clone())),
+                            ("city".to_string(), Value::str(faker.city())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        )]);
+        let gt = parse(
+            "foreach %v0 in ValuePaths(x[customers]) do {\n\
+               EnterData(//input[@name='search'][1], %v0[name])\n\
+               Click(//button[@class='go'][1])\n\
+               ScrapeText(//div[@class='generated'][1])\n\
+             }",
+        );
+        (input, gt)
+    } else {
+        let input = Value::object([("names".to_string(), Value::str_array(names))]);
+        let gt = parse(
+            "foreach %v0 in ValuePaths(x[names]) do {\n\
+               EnterData(//input[@name='search'][1], %v0)\n\
+               Click(//button[@class='go'][1])\n\
+               ScrapeText(//div[@class='generated'][1])\n\
+             }",
+        );
+        (input, gt)
+    };
+    Parts { site, input, gt }
+}
+
+/// The one data-entry benchmark without cross-page navigation: a
+/// single-page filter box (modeled as a SPA — the URL never changes).
+pub(crate) fn inline_form(seed: u64, entries: usize) -> Parts {
+    let mut faker = Faker::new(seed);
+    let codes: Vec<String> = (0..entries).map(|_| faker.zip()).collect();
+    let bar = searchbar("f");
+    let url = format!("https://spa{seed}.test/");
+    let mut b = SiteBuilder::new();
+    let home = b.add_page(url.clone(), page(&format!("{bar}<div class='rate'>-</div>")));
+    let mut routes = Vec::new();
+    for (i, code) in codes.iter().enumerate() {
+        routes.push((code.clone(), PageId::from_index(i + 1)));
+        b.add_page(
+            url.clone(),
+            page(&format!(
+                "{bar}<div class='rate'>{}% ({code})</div>",
+                faker.count(1, 99)
+            )),
+        );
+    }
+    let miss = b.add_page(url, page(&format!("{bar}<div class='rate'>n/a</div>")));
+    b.add_search("f", routes, miss);
+    let site = Arc::new(b.start_at(home).finish());
+    let input = Value::object([("codes".to_string(), Value::str_array(codes))]);
+    let gt = parse(
+        "foreach %v0 in ValuePaths(x[codes]) do {\n\
+           EnterData(//input[@name='search'][1], %v0)\n\
+           Click(//button[@class='go'][1])\n\
+           ScrapeText(//div[@class='rate'][1])\n\
+         }",
+    );
+    Parts { site, input, gt }
+}
+
+/// Failure family (b1–b3): items alternate between two classes with ad
+/// divs interleaved. No single predicate `t[@τ=s]` covers exactly the
+/// items, and a bare-tag predicate over-matches the ads — the paper's
+/// "disjunctive logics for selectors" limitation. The ground truth is the
+/// straight-line demonstration (the DSL cannot express the intended loop).
+pub(crate) fn disjunctive_list(seed: u64, items: usize) -> Parts {
+    let mut faker = Faker::new(seed);
+    let mut body = String::from("<div class='header'>matches</div>");
+    let mut selectors = Vec::new();
+    let mut div_idx = 1; // child index among body's divs (header is 1)
+    for i in 0..items {
+        div_idx += 1;
+        let class = if i % 2 == 0 { "match" } else { "match highlight" };
+        body.push_str(&format!(
+            "<div class='{class}'><h3>{}</h3></div>",
+            faker.person()
+        ));
+        selectors.push(format!("/body[1]/div[{div_idx}]/h3[1]"));
+        if i % 2 == 1 {
+            div_idx += 1;
+            body.push_str("<div class='ad'><h3>buy now</h3></div>");
+        }
+    }
+    let mut b = SiteBuilder::new();
+    let home = b.add_page(format!("https://matches{seed}.test/"), page(&body));
+    let site = Arc::new(b.start_at(home).finish());
+    let gt: Program = selectors
+        .iter()
+        .map(|s| Statement::ScrapeText(webrobot_lang::Selector::rooted(s.parse().unwrap())))
+        .collect();
+    Parts {
+        site,
+        input: no_input(),
+        gt,
+    }
+}
+
+/// Failure family (b5–b6): master–detail where only *active* rows are
+/// processed; activity is marked by a `data-status` attribute the selector
+/// language's predicate vocabulary does not discriminate (the paper's
+/// "selectors with multiple attributes" limitation).
+pub(crate) fn multi_attr_detail(seed: u64, rows: usize) -> Parts {
+    let mut faker = Faker::new(seed);
+    let mut b = SiteBuilder::new();
+    let mut body = String::from("<div class='header'>players</div>");
+    let mut active = Vec::new();
+    for i in 0..rows {
+        let is_active = i % 3 != 1; // irregularly interleaved
+        let status = if is_active { "active" } else { "retired" };
+        body.push_str(&format!(
+            "<div class='row' data-status='{status}'><h3>{}</h3><a href='#p{}'>stats</a></div>",
+            faker.person(),
+            i + 1
+        ));
+        if is_active {
+            active.push(i);
+        }
+    }
+    let home = b.add_page(format!("https://players{seed}.test/"), page(&body));
+    for i in 0..rows {
+        b.add_page(
+            format!("https://players{seed}.test/{i}"),
+            page(&format!("<div class='stat'>{} goals</div>", faker.count(0, 60))),
+        );
+    }
+    let site = Arc::new(b.start_at(home).finish());
+    // Straight-line demonstration over the active rows only.
+    let mut stmts = Vec::new();
+    for &i in &active {
+        let row = i + 2; // header is div[1]
+        stmts.push(format!("ScrapeText(/body[1]/div[{row}]/h3[1])"));
+        stmts.push(format!("Click(/body[1]/div[{row}]/a[1])"));
+        stmts.push("ScrapeText(/body[1]/div[1])".to_string());
+        stmts.push("GoBack".to_string());
+    }
+    let gt = parse(&stmts.join("\n"));
+    Parts {
+        site,
+        input: no_input(),
+        gt,
+    }
+}
+
+/// Failure family (b9, b11): pagination via a next button that is still
+/// present (but inert) on the last page. The click-terminated `while` loop
+/// cannot express "stop when the button stops working" (§7.1 "Pagination
+/// beyond next page"). Ground truth is the straight-line demonstration.
+pub(crate) fn disabled_pagination(seed: u64, pages: &[usize]) -> Parts {
+    let mut faker = Faker::new(seed);
+    let mut b = SiteBuilder::new();
+    let mut gt_lines: Vec<String> = Vec::new();
+    for (pi, &count) in pages.iter().enumerate() {
+        let mut items = String::from("<div class='header'>results</div>");
+        for _ in 0..count {
+            items.push_str(&item_block(
+                "item",
+                &[("h3", None, faker.product())],
+            ));
+        }
+        let tail = if pi + 1 < pages.len() {
+            next_button(pi + 1)
+        } else {
+            disabled_next_button()
+        };
+        b.add_page(
+            format!("https://inert{seed}.test/{}", pi + 1),
+            page(&format!("<div class='results'>{items}{tail}</div>")),
+        );
+        for k in 0..count {
+            gt_lines.push(format!(
+                "ScrapeText(/body[1]/div[1]/div[{}]/h3[1])",
+                k + 2
+            ));
+        }
+        if pi + 1 < pages.len() {
+            gt_lines.push("Click(//button[@class='next'][1])".to_string());
+        }
+    }
+    let site = Arc::new(b.start_at(PageId::from_index(0)).finish());
+    let gt = parse(&gt_lines.join("\n"));
+    Parts {
+        site,
+        input: no_input(),
+        gt,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webrobot_browser::{record_demonstration, RecordLimits};
+    use webrobot_semantics::satisfies;
+
+    fn roundtrip(parts: &Parts) -> usize {
+        let rec = record_demonstration(
+            parts.site.clone(),
+            parts.input.clone(),
+            parts.gt.statements(),
+            RecordLimits::default(),
+        )
+        .expect("ground truth replays");
+        assert!(
+            satisfies(parts.gt.statements(), &rec.trace),
+            "gt must satisfy its own trace"
+        );
+        rec.trace.len()
+    }
+
+    #[test]
+    fn plain_list_records() {
+        assert_eq!(roundtrip(&plain_list(1, 5, 1)), 5);
+        assert_eq!(roundtrip(&plain_list(2, 4, 3)), 12);
+    }
+
+    #[test]
+    fn styled_list_records() {
+        assert_eq!(roundtrip(&styled_list(3, 6)), 12);
+    }
+
+    #[test]
+    fn sections_record() {
+        // 3 tables × (1 header + 4 rows).
+        assert_eq!(roundtrip(&sections_list(4, 3, 4, true)), 15);
+        assert_eq!(roundtrip(&sections_list(5, 2, 3, false)), 6);
+        // 2 groups × (1 label + 2 tables × (1 header + 3 rows)).
+        assert_eq!(roundtrip(&deep_sections(6, 2, 2, 3)), 18);
+    }
+
+    #[test]
+    fn paginated_list_records() {
+        // 3+2 items × 2 fields + 1 next click.
+        assert_eq!(roundtrip(&paginated_list(7, &[3, 2])), 11);
+    }
+
+    #[test]
+    fn master_detail_records() {
+        // 4 items × (scrape + click + scrape + goback).
+        assert_eq!(roundtrip(&master_detail(8, 4)), 16);
+        assert_eq!(roundtrip(&master_detail_paginated(9, &[2, 2])), 17);
+    }
+
+    #[test]
+    fn search_families_record() {
+        // 3 queries × (enter + click + 2 scrapes).
+        assert_eq!(roundtrip(&search_scrape(10, 3, false)), 12);
+        assert!(roundtrip(&search_scrape(11, 2, true)) >= 10);
+        assert!(roundtrip(&search_paginated(12, 2, &[2, 2], false)) > 10);
+        assert!(roundtrip(&search_paginated(13, 1, &[2, 2], true)) > 8);
+        assert_eq!(roundtrip(&form_generator(14, 4, false)), 12);
+        assert_eq!(roundtrip(&form_generator(15, 3, true)), 9);
+        assert_eq!(roundtrip(&inline_form(16, 3)), 9);
+    }
+
+    #[test]
+    fn failure_families_record() {
+        assert_eq!(roundtrip(&disjunctive_list(17, 6)), 6);
+        assert!(roundtrip(&multi_attr_detail(18, 6)) >= 12);
+        assert_eq!(roundtrip(&disabled_pagination(19, &[3, 2])), 6);
+    }
+}

@@ -1,0 +1,84 @@
+//! Low-level HTML/site construction helpers shared by benchmark families.
+
+use webrobot_dom::{parse_html, Dom};
+
+/// Wraps body markup in `<html><body>…</body></html>` and parses it.
+///
+/// # Panics
+///
+/// Panics on malformed markup — benchmark construction is infallible by
+/// design, so a parse failure is a suite bug.
+pub(crate) fn page(body: &str) -> Dom {
+    parse_html(&format!("<html><body>{body}</body></html>"))
+        .unwrap_or_else(|e| panic!("benchmark page failed to parse: {e}\n{body}"))
+}
+
+/// A search bar whose button routes through the site's `key` form.
+pub(crate) fn searchbar(key: &str) -> String {
+    format!(
+        "<div class='searchbar'>\
+         <input name='search' data-field='{key}' value=''/>\
+         <button class='go' data-search='{key}'>GO</button></div>"
+    )
+}
+
+/// One listing item: a container div with the given class holding one
+/// element per `(tag, class, text)` field.
+pub(crate) fn item_block(item_class: &str, fields: &[(&str, Option<&str>, String)]) -> String {
+    let mut out = format!("<div class='{item_class}'>");
+    for (tag, class, text) in fields {
+        match class {
+            Some(c) => out.push_str(&format!("<{tag} class='{c}'>{text}</{tag}>")),
+            None => out.push_str(&format!("<{tag}>{text}</{tag}>")),
+        }
+    }
+    out.push_str("</div>");
+    out
+}
+
+/// A "next page" button linking to site page `target`.
+pub(crate) fn next_button(target: usize) -> String {
+    format!("<button class='next' href='#p{target}'>&gt;</button>")
+}
+
+/// A present-but-inert "next" button (no `href`): clicking it does nothing,
+/// yet `valid(ρ, π)` still holds — the pagination mechanism the paper's
+/// click-terminated `while` loop cannot express (§7.1 "Pagination beyond
+/// next page").
+pub(crate) fn disabled_next_button() -> String {
+    "<button class='next'>&gt;</button>".to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_parses_and_roots_at_html() {
+        let dom = page("<h3>x</h3>");
+        assert_eq!(dom.tag(webrobot_dom::NodeId::ROOT), "html");
+        assert_eq!(dom.len(), 3);
+    }
+
+    #[test]
+    fn item_block_renders_fields() {
+        let html = item_block(
+            "item",
+            &[
+                ("h3", None, "Name".to_string()),
+                ("span", Some("phone"), "555".to_string()),
+            ],
+        );
+        let dom = page(&html);
+        let body = dom.children(webrobot_dom::NodeId::ROOT)[0];
+        let item = dom.children(body)[0];
+        assert_eq!(dom.attr(item, "class"), Some("item"));
+        assert_eq!(dom.children(item).len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "failed to parse")]
+    fn malformed_markup_panics() {
+        let _ = page("<div>");
+    }
+}

@@ -1,0 +1,350 @@
+//! The 76-benchmark suite specification: ids, families, features, and
+//! expectations.
+
+use std::sync::Arc;
+
+use webrobot_browser::{record_demonstration, BrowserError, RecordLimits, Recording, Site};
+use webrobot_data::Value;
+use webrobot_lang::Program;
+
+use crate::families;
+
+/// Benchmark family, mirroring the task shapes of the paper's suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Family {
+    /// Single-page list, no offsets or attribute predicates (Q4-eligible).
+    PlainList,
+    /// Single-page list with header offset + class predicates.
+    StyledList,
+    /// Sections × rows on one page (doubly-nested).
+    Sections,
+    /// Groups × tables × rows on one page (triple-nested, b56).
+    DeepSections,
+    /// Paginated listing (`while` + `foreach`).
+    PaginatedList,
+    /// Master–detail with `GoBack`.
+    MasterDetail,
+    /// Paginated master–detail.
+    MasterDetailPaginated,
+    /// Search-driven scraping (value-path loop).
+    SearchScrape,
+    /// Search + pagination (the Subway scenario; 3–4 level nests).
+    SearchPaginated,
+    /// Form-filling generator (the unicorn scenario).
+    FormGenerator,
+    /// Single-page filter form (entry without navigation).
+    InlineForm,
+    /// Failure: disjunctive item classes (b1–b3).
+    Disjunctive,
+    /// Failure: multi-attribute row selection (b5–b6).
+    MultiAttr,
+    /// Failure: inert next button (b9-style pagination).
+    DisabledPagination,
+}
+
+/// Which action categories a benchmark involves (paper §7 statistics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Features {
+    /// Data extraction (true for all 76).
+    pub extraction: bool,
+    /// Programmatic data entry from the input source.
+    pub entry: bool,
+    /// Navigation across webpages.
+    pub navigation: bool,
+    /// Pagination.
+    pub pagination: bool,
+}
+
+/// Front-end replay limitation flags (paper §7.3: 11 of the end-to-end
+/// failures were front-end issues, 7 of them replay-related).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Quirk {
+    /// The front-end cannot fully replay some recorded action.
+    ReplayUnsupported,
+    /// Another UI limitation (visualization, focus handling, …).
+    UiLimitation,
+}
+
+/// One benchmark: a simulated site, input data, ground truth and metadata.
+#[derive(Debug, Clone)]
+pub struct Benchmark {
+    /// Paper-style id `b1..b76`.
+    pub id: u32,
+    /// Human-readable task name.
+    pub name: &'static str,
+    /// Structural family.
+    pub family: Family,
+    /// The simulated website.
+    pub site: Arc<Site>,
+    /// The input data source `I` (empty object when unused).
+    pub input: Value,
+    /// The ground-truth program. For the seven designed-to-fail benchmarks
+    /// this is the straight-line demonstration (the DSL cannot express the
+    /// intended automation).
+    pub ground_truth: Program,
+    /// Involved action categories.
+    pub features: Features,
+    /// `false` for the seven benchmarks whose intended automation is
+    /// outside the DSL (the paper's back-end failures).
+    pub expect_intended: bool,
+    /// Front-end replay quirk (affects only the Q3 end-to-end experiment).
+    pub frontend_quirk: Option<Quirk>,
+    /// `true` when the ground truth uses only selector loops and no
+    /// alternative selectors (eligibility for the Q4 egg-baseline
+    /// comparison: b12, b15, b20, b48, b56, b73–b76).
+    pub no_alternative_selectors: bool,
+}
+
+impl Benchmark {
+    /// Records the ground-truth demonstration: action trace with absolute
+    /// XPaths + DOM snapshots, capped at 500 actions (paper §7.1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrowserError`] only on suite-authoring bugs (every ground
+    /// truth must replay on its own site — a unit test enforces this).
+    pub fn record(&self) -> Result<Recording, BrowserError> {
+        record_demonstration(
+            self.site.clone(),
+            self.input.clone(),
+            self.ground_truth.statements(),
+            RecordLimits::default(),
+        )
+    }
+}
+
+fn feat(entry: bool, navigation: bool, pagination: bool) -> Features {
+    Features {
+        extraction: true,
+        entry,
+        navigation,
+        pagination,
+    }
+}
+
+/// Benchmarks carrying a front-end quirk for the Q3 experiment.
+const QUIRKS: &[(u32, Quirk)] = &[
+    (17, Quirk::ReplayUnsupported),
+    (22, Quirk::ReplayUnsupported),
+    (33, Quirk::ReplayUnsupported),
+    (38, Quirk::ReplayUnsupported),
+    (44, Quirk::ReplayUnsupported),
+    (50, Quirk::ReplayUnsupported),
+    (59, Quirk::ReplayUnsupported),
+    (26, Quirk::UiLimitation),
+    (40, Quirk::UiLimitation),
+    (64, Quirk::UiLimitation),
+    (68, Quirk::UiLimitation),
+];
+
+/// Builds benchmark `id` (1–76), or `None` for out-of-range ids.
+///
+/// Construction is deterministic: the same id always yields the same site,
+/// data and ground truth.
+pub fn benchmark(id: u32) -> Option<Benchmark> {
+    if !(1..=76).contains(&id) {
+        return None;
+    }
+    let seed = 1000 + id as u64;
+    use Family::*;
+    // (family, name, parts, features, expect_intended, no_alt)
+    let (family, name, parts, features, expect_intended, no_alt) = match id {
+        // ── Designed-to-fail: complex selectors (paper b1–b3) ────────────
+        1 => (Disjunctive, "forum posts with mixed classes", families::disjunctive_list(seed, 10), feat(false, false, false), false, false),
+        2 => (Disjunctive, "mixed announcement rows", families::disjunctive_list(seed, 14), feat(false, false, false), false, false),
+        3 => (Disjunctive, "alternating result cards", families::disjunctive_list(seed, 8), feat(false, false, false), false, false),
+        // ── The one entry-without-navigation benchmark ───────────────────
+        4 => (InlineForm, "single-page rate lookup", families::inline_form(seed, 14), feat(true, false, false), true, false),
+        // ── Designed-to-fail: multi-attribute selectors (paper b6) ──────
+        5 => (MultiAttr, "active player stats", families::multi_attr_detail(seed, 9), feat(false, true, false), false, false),
+        6 => (MultiAttr, "match and match-highlight players", families::multi_attr_detail(seed, 12), feat(false, true, false), false, false),
+        // ── Short-trace benchmarks (paper b7, b8, b10) ───────────────────
+        7 => (PaginatedList, "tiny paginated news list", families::paginated_list(seed, &[3, 2]), feat(false, true, true), true, false),
+        8 => (StyledList, "short product list", families::styled_list(seed, 4), feat(false, false, false), true, false),
+        // ── Designed-to-fail: unsupported pagination (paper b9) ─────────
+        9 => (DisabledPagination, "job search with inert next", families::disabled_pagination(seed, &[6, 5, 4]), feat(false, true, true), false, false),
+        10 => (StyledList, "short directory list", families::styled_list(seed, 5), feat(false, false, false), true, false),
+        11 => (DisabledPagination, "archive with inert next", families::disabled_pagination(seed, &[5, 4]), feat(false, true, true), false, false),
+        // ── Q4-eligible plain structures ─────────────────────────────────
+        12 => (Sections, "tables of attendees", families::sections_list(seed, 4, 10, true), feat(false, false, false), true, true),
+        13 => (Sections, "styled sections of addresses", families::sections_list(seed, 5, 8, false), feat(false, false, false), true, false),
+        15 => (PlainList, "three-field store list", families::plain_list(seed, 18, 3), feat(false, false, false), true, true),
+        20 => (PlainList, "six-field census rows", families::plain_list(seed, 12, 6), feat(false, false, false), true, true),
+        48 => (PlainList, "four-field inventory", families::plain_list(seed, 15, 4), feat(false, false, false), true, true),
+        56 => (DeepSections, "groups × tables × rows", families::deep_sections(seed, 4, 3, 5), feat(false, false, false), true, true),
+        73 => (PlainList, "headline list", families::plain_list(seed, 26, 1), feat(false, false, false), true, true),
+        74 => (PlainList, "link title list", families::plain_list(seed, 22, 1), feat(false, false, false), true, true),
+        75 => (PlainList, "quote list", families::plain_list(seed, 24, 1), feat(false, false, false), true, true),
+        76 => (PlainList, "ticker list", families::plain_list(seed, 28, 1), feat(false, false, false), true, true),
+        // ── Paginated listings (family C) ────────────────────────────────
+        14 | 16 | 17 | 18 | 19 | 21 | 22 | 23 | 24 | 25 | 26 | 27 | 28 => {
+            let shapes: [&[usize]; 13] = [
+                &[10, 9, 8], &[9, 9, 9], &[12, 11], &[7, 7, 7, 7], &[12, 10, 5],
+                &[10, 10, 10], &[9, 8, 6], &[14, 9], &[10, 8, 9], &[12, 12],
+                &[9, 9, 8], &[10, 6, 6], &[8, 9, 10],
+            ];
+            let idx = [14u32, 16, 17, 18, 19, 21, 22, 23, 24, 25, 26, 27, 28]
+                .iter()
+                .position(|&x| x == id)
+                .unwrap();
+            (PaginatedList, "paginated listing", families::paginated_list(seed, shapes[idx]), feat(false, true, true), true, false)
+        }
+        // ── Master–detail (family D) ─────────────────────────────────────
+        29 => (MasterDetail, "product catalog with specs", families::master_detail(seed, 14), feat(false, true, false), true, false),
+        30 => (MasterDetail, "company directory with profiles", families::master_detail(seed, 16), feat(false, true, false), true, false),
+        // ── Paginated master–detail (family E) ───────────────────────────
+        31..=42 => {
+            let shapes: [&[usize]; 12] = [
+                &[7, 6], &[8, 5], &[6, 5, 4], &[5, 5, 5], &[8, 7], &[9, 5],
+                &[6, 6, 5], &[5, 6, 5], &[8, 8], &[7, 8], &[5, 5, 6], &[9, 7],
+            ];
+            (MasterDetailPaginated, "paginated catalog with details", families::master_detail_paginated(seed, shapes[(id - 31) as usize]), feat(false, true, true), true, false)
+        }
+        // ── Search-driven scraping (family F) ────────────────────────────
+        // 1-level (fixed summary fields):
+        43 | 44 | 45 | 46 | 47 | 49 | 50 | 51 | 52 => {
+            let queries = 8 + (id as usize % 5);
+            (SearchScrape, "keyword search summary", families::search_scrape(seed, queries, false), feat(true, true, false), true, false)
+        }
+        // 2-level (inner result loop):
+        53 | 54 | 55 | 57 => {
+            let queries = 4 + (id as usize % 3);
+            (SearchScrape, "keyword search with result list", families::search_scrape(seed, queries, true), feat(true, true, false), true, false)
+        }
+        // ── Search + pagination (family G) ───────────────────────────────
+        58 => (SearchPaginated, "sectioned store finder (4-level)", families::search_paginated(seed, 3, &[3, 3], true), feat(true, true, true), true, false),
+        59..=62 => {
+            let shapes: [&[usize]; 4] = [&[7, 6, 5], &[7, 7], &[9, 8], &[6, 5, 5]];
+            (SearchPaginated, "store finder by zip", families::search_paginated(seed, 3, shapes[(id - 59) as usize], false), feat(true, true, true), true, false)
+        }
+        // ── Form generators (family H) ───────────────────────────────────
+        63..=72 => {
+            let people = 10 + (id as usize % 6);
+            let object_rows = id % 2 == 0;
+            (FormGenerator, "name generator form", families::form_generator(seed, people, object_rows), feat(true, true, false), true, false)
+        }
+        _ => unreachable!("all ids 1..=76 are covered"),
+    };
+    let frontend_quirk = QUIRKS
+        .iter()
+        .find(|(qid, _)| *qid == id)
+        .map(|(_, q)| *q);
+    Some(Benchmark {
+        id,
+        name,
+        family,
+        site: parts.site,
+        input: parts.input,
+        ground_truth: parts.gt,
+        features,
+        expect_intended,
+        frontend_quirk,
+        no_alternative_selectors: no_alt,
+    })
+}
+
+/// The full 76-benchmark suite, in id order.
+pub fn suite() -> Vec<Benchmark> {
+    (1..=76).map(|id| benchmark(id).expect("ids 1..=76 exist")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_paper_statistics() {
+        let suite = suite();
+        assert_eq!(suite.len(), 76);
+        assert!(suite.iter().all(|b| b.features.extraction), "all 76 extract");
+        let entry = suite.iter().filter(|b| b.features.entry).count();
+        assert_eq!(entry, 29, "29 involve data entry");
+        let nav = suite.iter().filter(|b| b.features.navigation).count();
+        assert_eq!(nav, 60, "60 involve navigation");
+        let pag = suite.iter().filter(|b| b.features.pagination).count();
+        assert_eq!(pag, 33, "33 involve pagination");
+        let all_three = suite
+            .iter()
+            .filter(|b| b.features.entry && b.features.extraction && b.features.navigation)
+            .count();
+        assert_eq!(all_three, 28, "28 involve entry+extraction+navigation");
+    }
+
+    #[test]
+    fn nesting_statistics_match_paper() {
+        let suite = suite();
+        let doubly = suite
+            .iter()
+            .filter(|b| b.expect_intended && b.ground_truth.loop_depth() == 2)
+            .count();
+        assert_eq!(doubly, 32, "32 doubly-nested ground truths");
+        let triple_plus = suite
+            .iter()
+            .filter(|b| b.ground_truth.loop_depth() >= 3)
+            .count();
+        assert_eq!(triple_plus, 6, "6 with at least three levels");
+    }
+
+    #[test]
+    fn failure_and_quirk_counts() {
+        let suite = suite();
+        let failures = suite.iter().filter(|b| !b.expect_intended).count();
+        assert_eq!(failures, 7, "7 designed back-end failures (76 − 69)");
+        let quirks = suite.iter().filter(|b| b.frontend_quirk.is_some()).count();
+        assert_eq!(quirks, 11, "11 front-end quirks");
+        // Quirks never overlap with designed failures (the paper's 18
+        // end-to-end failures split 7 back-end + 11 front-end).
+        assert!(suite
+            .iter()
+            .all(|b| b.expect_intended || b.frontend_quirk.is_none()));
+    }
+
+    #[test]
+    fn q4_benchmarks_are_flagged() {
+        for id in [12, 15, 20, 48, 56, 73, 74, 75, 76] {
+            let b = benchmark(id).unwrap();
+            assert!(b.no_alternative_selectors, "b{id} must be Q4-eligible");
+            assert!(b.ground_truth.loop_depth() >= 1);
+        }
+        assert_eq!(
+            suite().iter().filter(|b| b.no_alternative_selectors).count(),
+            9,
+            "exactly the 9 Q4 benchmarks"
+        );
+    }
+
+    #[test]
+    fn construction_is_deterministic() {
+        let a = benchmark(31).unwrap();
+        let b = benchmark(31).unwrap();
+        assert_eq!(a.ground_truth, b.ground_truth);
+        assert_eq!(a.input, b.input);
+        assert_eq!(a.site.page_count(), b.site.page_count());
+        for p in 0..a.site.page_count() {
+            let pid = webrobot_browser::PageId::from_index(p);
+            assert_eq!(a.site.dom(pid), b.site.dom(pid));
+        }
+    }
+
+    #[test]
+    fn out_of_range_ids_are_none() {
+        assert!(benchmark(0).is_none());
+        assert!(benchmark(77).is_none());
+    }
+
+    #[test]
+    fn every_ground_truth_replays_on_its_site() {
+        for b in suite() {
+            let rec = b
+                .record()
+                .unwrap_or_else(|e| panic!("b{} failed to record: {e}", b.id));
+            assert!(rec.trace.len() >= 2, "b{} trace too short", b.id);
+            assert!(!rec.truncated, "b{} hit the action cap", b.id);
+            assert!(
+                webrobot_semantics::satisfies(b.ground_truth.statements(), &rec.trace),
+                "b{} ground truth must satisfy its own recording",
+                b.id
+            );
+        }
+    }
+}

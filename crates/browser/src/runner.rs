@@ -1,0 +1,329 @@
+//! Live program execution: the real-side-effect counterpart of the trace
+//! semantics.
+
+use webrobot_data::{PathSeg, ValuePath};
+use webrobot_dom::Path;
+use webrobot_lang::{Action, SelVar, Selector, Statement, ValuePathExpr, VpVar};
+
+use crate::browser::{Browser, BrowserError};
+
+/// Result of running a program live.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// The actions actually performed, with **absolute XPath** selectors —
+    /// the same form the paper's front-end records during demonstrations.
+    pub actions: Vec<Action>,
+    /// `true` iff execution stopped at the action cap rather than by
+    /// program termination.
+    pub truncated: bool,
+}
+
+/// Runs `program` against `browser`, performing every action for real.
+///
+/// Loop guards (`valid(ρ, π)`) are answered by the **live** DOM, so selector
+/// loops stop at the last matching element on the current page and while
+/// loops stop when the click target disappears — this is the execution the
+/// trace semantics simulates.
+///
+/// At most `max_actions` actions are performed (the paper caps ground-truth
+/// recordings at 500).
+///
+/// # Errors
+///
+/// Returns [`BrowserError`] when an action cannot be replayed or when the
+/// program references an unbound loop variable.
+pub fn run_program(
+    browser: &mut Browser,
+    program: &[Statement],
+    max_actions: usize,
+) -> Result<RunOutcome, BrowserError> {
+    run_observed(browser, program, max_actions, |_, _| {})
+}
+
+/// Like [`run_program`], but invokes `observe(action, browser)` right
+/// *before* each action is performed — the hook the trace recorder uses to
+/// snapshot the pre-action DOM.
+pub(crate) fn run_observed<F>(
+    browser: &mut Browser,
+    program: &[Statement],
+    max_actions: usize,
+    observe: F,
+) -> Result<RunOutcome, BrowserError>
+where
+    F: FnMut(&Action, &Browser),
+{
+    let mut runner = Runner {
+        browser,
+        max_actions,
+        actions: Vec::new(),
+        env: Env::default(),
+        observe,
+    };
+    let flow = runner.exec_block(program)?;
+    Ok(RunOutcome {
+        actions: runner.actions,
+        truncated: flow == Flow::Capped,
+    })
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Flow {
+    Continue,
+    Capped,
+}
+
+#[derive(Debug, Default)]
+struct Env {
+    sel: Vec<(SelVar, Path)>,
+    vp: Vec<(VpVar, ValuePath)>,
+}
+
+impl Env {
+    fn resolve_selector(&self, s: &Selector) -> Result<Path, BrowserError> {
+        match s.base_var() {
+            None => Ok(s.path.clone()),
+            Some(v) => {
+                let binding = self
+                    .sel
+                    .iter()
+                    .rev()
+                    .find(|(var, _)| *var == v)
+                    .map(|(_, p)| p)
+                    .ok_or_else(|| BrowserError::OpenProgram {
+                        variable: v.to_string(),
+                    })?;
+                Ok(binding.concat(&s.path))
+            }
+        }
+    }
+
+    fn resolve_vp(&self, v: &ValuePathExpr) -> Result<ValuePath, BrowserError> {
+        match v.base_var() {
+            None => Ok(v.path.clone()),
+            Some(var) => {
+                let binding = self
+                    .vp
+                    .iter()
+                    .rev()
+                    .find(|(x, _)| *x == var)
+                    .map(|(_, p)| p)
+                    .ok_or_else(|| BrowserError::OpenProgram {
+                        variable: var.to_string(),
+                    })?;
+                Ok(binding.concat(&v.path))
+            }
+        }
+    }
+}
+
+struct Runner<'a, F> {
+    browser: &'a mut Browser,
+    max_actions: usize,
+    actions: Vec<Action>,
+    env: Env,
+    observe: F,
+}
+
+impl<F: FnMut(&Action, &Browser)> Runner<'_, F> {
+    fn exec_block(&mut self, stmts: &[Statement]) -> Result<Flow, BrowserError> {
+        for s in stmts {
+            if self.exec_stmt(s)? == Flow::Capped {
+                return Ok(Flow::Capped);
+            }
+        }
+        Ok(Flow::Continue)
+    }
+
+    /// Rewrites the selector of `action` to the absolute XPath of the node
+    /// it denotes on the live DOM (paper §7.1: the front-end records
+    /// absolute XPaths), then performs it.
+    fn perform(&mut self, action: Action) -> Result<Flow, BrowserError> {
+        if self.actions.len() >= self.max_actions {
+            return Ok(Flow::Capped);
+        }
+        let absolute = match action.selector() {
+            None => action,
+            Some(path) => {
+                let node =
+                    path.resolve(self.browser.dom())
+                        .ok_or_else(|| BrowserError::SelectorNotFound {
+                            action: action.to_string(),
+                        })?;
+                let abs = self.browser.dom().absolute_path(node);
+                match action {
+                    Action::Click(_) => Action::Click(abs),
+                    Action::ScrapeText(_) => Action::ScrapeText(abs),
+                    Action::ScrapeLink(_) => Action::ScrapeLink(abs),
+                    Action::Download(_) => Action::Download(abs),
+                    Action::SendKeys(_, s) => Action::SendKeys(abs, s),
+                    Action::EnterData(_, v) => Action::EnterData(abs, v),
+                    Action::GoBack | Action::ExtractUrl => unreachable!("no selector"),
+                }
+            }
+        };
+        (self.observe)(&absolute, self.browser);
+        self.browser.perform(&absolute)?;
+        self.actions.push(absolute);
+        Ok(Flow::Continue)
+    }
+
+    fn exec_stmt(&mut self, stmt: &Statement) -> Result<Flow, BrowserError> {
+        match stmt {
+            Statement::Click(s) => {
+                let p = self.env.resolve_selector(s)?;
+                self.perform(Action::Click(p))
+            }
+            Statement::ScrapeText(s) => {
+                let p = self.env.resolve_selector(s)?;
+                self.perform(Action::ScrapeText(p))
+            }
+            Statement::ScrapeLink(s) => {
+                let p = self.env.resolve_selector(s)?;
+                self.perform(Action::ScrapeLink(p))
+            }
+            Statement::Download(s) => {
+                let p = self.env.resolve_selector(s)?;
+                self.perform(Action::Download(p))
+            }
+            Statement::GoBack => self.perform(Action::GoBack),
+            Statement::ExtractUrl => self.perform(Action::ExtractUrl),
+            Statement::SendKeys(s, text) => {
+                let p = self.env.resolve_selector(s)?;
+                self.perform(Action::SendKeys(p, text.clone()))
+            }
+            Statement::EnterData(s, v) => {
+                let p = self.env.resolve_selector(s)?;
+                let vp = self.env.resolve_vp(v)?;
+                self.perform(Action::EnterData(p, vp))
+            }
+            Statement::ForeachSel(l) => {
+                let base = self.env.resolve_selector(&l.list.base)?;
+                let mut i = 1usize;
+                loop {
+                    let element = l.list.element(&base, i);
+                    if !element.valid(self.browser.dom()) {
+                        return Ok(Flow::Continue);
+                    }
+                    self.env.sel.push((l.var, element));
+                    let flow = self.exec_block(&l.body)?;
+                    self.env.sel.pop();
+                    if flow == Flow::Capped {
+                        return Ok(Flow::Capped);
+                    }
+                    i += 1;
+                }
+            }
+            Statement::ForeachVal(l) => {
+                let array_path = self.env.resolve_vp(&l.list.array)?;
+                let count = self
+                    .browser
+                    .input()
+                    .get_array(&array_path)
+                    .map(|a| a.len())
+                    .unwrap_or(0);
+                for i in 1..=count {
+                    let element = array_path.join(PathSeg::Index(i));
+                    self.env.vp.push((l.var, element));
+                    let flow = self.exec_block(&l.body)?;
+                    self.env.vp.pop();
+                    if flow == Flow::Capped {
+                        return Ok(Flow::Capped);
+                    }
+                }
+                Ok(Flow::Continue)
+            }
+            Statement::While(w) => loop {
+                if self.exec_block(&w.body)? == Flow::Capped {
+                    return Ok(Flow::Capped);
+                }
+                let click = self.env.resolve_selector(&w.click)?;
+                if !click.valid(self.browser.dom()) {
+                    return Ok(Flow::Continue);
+                }
+                if self.perform(Action::Click(click))? == Flow::Capped {
+                    return Ok(Flow::Capped);
+                }
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::browser::Output;
+    use crate::site::SiteBuilder;
+    use std::sync::Arc;
+    use webrobot_data::Value;
+    use webrobot_dom::parse_html;
+    use webrobot_lang::parse_program;
+
+    /// Two-page paginated listing: page 1 has two items and a next button,
+    /// page 2 has one item and no next button.
+    fn paginated_site() -> Arc<crate::site::Site> {
+        let mut b = SiteBuilder::new();
+        let p1 = b.add_page(
+            "https://list.test/1",
+            parse_html(
+                "<html><div class='item'><h3>A</h3></div>\
+                 <div class='item'><h3>B</h3></div>\
+                 <span class='next' href='#p1'>next</span></html>",
+            )
+            .unwrap(),
+        );
+        assert_eq!(p1.index(), 0);
+        let _p2 = b.add_page(
+            "https://list.test/2",
+            parse_html("<html><div class='item'><h3>C</h3></div></html>").unwrap(),
+        );
+        Arc::new(b.start_at(p1).finish())
+    }
+
+    #[test]
+    fn nested_while_foreach_scrapes_all_pages() {
+        let mut browser = Browser::new(paginated_site(), Value::Object(vec![]));
+        let prog = parse_program(
+            "while true do {\n\
+               foreach %r0 in Dscts(eps, div[@class='item']) do {\n\
+                 ScrapeText(%r0//h3[1])\n\
+               }\n\
+               Click(//span[@class='next'][1])\n\
+             }",
+        )
+        .unwrap();
+        let out = run_program(&mut browser, prog.statements(), 500).unwrap();
+        assert!(!out.truncated);
+        let texts: Vec<&str> = browser.outputs().iter().map(Output::payload).collect();
+        assert_eq!(texts, ["A", "B", "C"]);
+        // 3 scrapes + 1 pagination click.
+        assert_eq!(out.actions.len(), 4);
+    }
+
+    #[test]
+    fn recorded_actions_use_absolute_xpaths() {
+        let mut browser = Browser::new(paginated_site(), Value::Object(vec![]));
+        let prog = parse_program("ScrapeText(//div[@class='item'][2]//h3[1])").unwrap();
+        let out = run_program(&mut browser, prog.statements(), 500).unwrap();
+        assert_eq!(out.actions[0].to_string(), "ScrapeText(/div[2]/h3[1])");
+    }
+
+    #[test]
+    fn action_cap_truncates() {
+        let mut browser = Browser::new(paginated_site(), Value::Object(vec![]));
+        let prog = parse_program(
+            "foreach %r0 in Dscts(eps, div[@class='item']) do {\n  ScrapeText(%r0//h3[1])\n}",
+        )
+        .unwrap();
+        let out = run_program(&mut browser, prog.statements(), 1).unwrap();
+        assert!(out.truncated);
+        assert_eq!(out.actions.len(), 1);
+    }
+
+    #[test]
+    fn open_program_is_rejected() {
+        let mut browser = Browser::new(paginated_site(), Value::Object(vec![]));
+        let prog = parse_program("Click(%r3)").unwrap();
+        let err = run_program(&mut browser, prog.statements(), 10).unwrap_err();
+        assert!(matches!(err, BrowserError::OpenProgram { .. }));
+    }
+}

@@ -1,0 +1,226 @@
+//! Simulated websites: pages plus navigation/search behaviour.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use webrobot_dom::Dom;
+
+/// Identifier of a page within a [`Site`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageId(pub(crate) usize);
+
+impl PageId {
+    /// Raw index of the page.
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Builds a `PageId` from a raw index.
+    ///
+    /// Page ids are assigned sequentially by [`SiteBuilder::add_page`], so
+    /// sites with cyclic links (page 1's "next" button pointing at page 2,
+    /// added later) can pre-plan ids. [`SiteBuilder::finish`] validates that
+    /// all referenced ids exist.
+    pub fn from_index(index: usize) -> PageId {
+        PageId(index)
+    }
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Page {
+    pub dom: Arc<Dom>,
+    pub url: String,
+}
+
+/// A deterministic website: immutable page templates plus search-form
+/// routing tables.
+///
+/// Interactive behaviour is encoded in DOM attributes:
+///
+/// * `href="#p7"` — clicking the node navigates to page 7 (other `href`
+///   values are external links: clicking them is a no-op, scraping them
+///   yields the raw value);
+/// * `data-search="K"` on a button — clicking routes to
+///   `search table K[entered text]`, where the entered text is read from
+///   the input node carrying `data-field="K"` on the current page;
+/// * any other node — clicking is a no-op (like clicking plain text).
+///
+/// Build sites with [`SiteBuilder`].
+#[derive(Debug, Clone)]
+pub struct Site {
+    pub(crate) pages: Vec<Page>,
+    pub(crate) start: PageId,
+    /// form key -> (query text -> result page), plus a miss page.
+    pub(crate) searches: HashMap<String, SearchForm>,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct SearchForm {
+    pub results: HashMap<String, PageId>,
+    pub miss: PageId,
+}
+
+impl Site {
+    /// The page the browser starts on.
+    pub fn start(&self) -> PageId {
+        self.start
+    }
+
+    /// Number of pages.
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// DOM template of `page`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is not a page of this site.
+    pub fn dom(&self, page: PageId) -> &Arc<Dom> {
+        &self.pages[page.0].dom
+    }
+
+    /// URL of `page`.
+    pub fn url(&self, page: PageId) -> &str {
+        &self.pages[page.0].url
+    }
+}
+
+/// Builder for [`Site`]s.
+///
+/// # Example
+///
+/// ```
+/// # use webrobot_browser::SiteBuilder;
+/// # use webrobot_dom::parse_html;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = SiteBuilder::new();
+/// let home = b.add_page("https://example.test/", parse_html("<html><a href='#p1'>go</a></html>")?);
+/// let other = b.add_page("https://example.test/other", parse_html("<html><h3>hi</h3></html>")?);
+/// assert_eq!(other.index(), 1);
+/// let site = b.start_at(home).finish();
+/// assert_eq!(site.page_count(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct SiteBuilder {
+    pages: Vec<Page>,
+    start: Option<PageId>,
+    searches: HashMap<String, SearchForm>,
+}
+
+impl SiteBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> SiteBuilder {
+        SiteBuilder::default()
+    }
+
+    /// Adds a page and returns its id. Ids are assigned sequentially, so a
+    /// page can link to a page added later if the caller plans indices.
+    pub fn add_page(&mut self, url: impl Into<String>, dom: Dom) -> PageId {
+        let id = PageId(self.pages.len());
+        self.pages.push(Page {
+            dom: Arc::new(dom),
+            url: url.into(),
+        });
+        id
+    }
+
+    /// Replaces the DOM of an existing page (useful when pages link in
+    /// cycles).
+    pub fn set_dom(&mut self, page: PageId, dom: Dom) {
+        self.pages[page.0].dom = Arc::new(dom);
+    }
+
+    /// Registers a search form: clicking a `data-search="key"` button
+    /// navigates to `results[entered]`, or to `miss` for unknown input.
+    pub fn add_search(
+        &mut self,
+        key: impl Into<String>,
+        results: impl IntoIterator<Item = (String, PageId)>,
+        miss: PageId,
+    ) -> &mut SiteBuilder {
+        self.searches.insert(
+            key.into(),
+            SearchForm {
+                results: results.into_iter().collect(),
+                miss,
+            },
+        );
+        self
+    }
+
+    /// Sets the start page.
+    pub fn start_at(mut self, page: PageId) -> SiteBuilder {
+        self.start = Some(page);
+        self
+    }
+
+    /// Finalizes the site.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the builder has no pages, no start page, or a dangling
+    /// search-result page id.
+    pub fn finish(self) -> Site {
+        assert!(!self.pages.is_empty(), "a site needs at least one page");
+        let start = self.start.expect("start page must be set");
+        let n = self.pages.len();
+        assert!(start.0 < n, "start page out of range");
+        for form in self.searches.values() {
+            assert!(form.miss.0 < n, "search miss page out of range");
+            for target in form.results.values() {
+                assert!(target.0 < n, "search result page out of range");
+            }
+        }
+        Site {
+            pages: self.pages,
+            start,
+            searches: self.searches,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webrobot_dom::parse_html;
+
+    #[test]
+    fn builder_assigns_sequential_ids() {
+        let mut b = SiteBuilder::new();
+        let p0 = b.add_page("u0", parse_html("<html></html>").unwrap());
+        let p1 = b.add_page("u1", parse_html("<html></html>").unwrap());
+        assert_eq!((p0.index(), p1.index()), (0, 1));
+        let site = b.start_at(p0).finish();
+        assert_eq!(site.url(p1), "u1");
+        assert_eq!(site.start(), p0);
+    }
+
+    #[test]
+    #[should_panic(expected = "start page")]
+    fn finish_requires_start() {
+        let mut b = SiteBuilder::new();
+        b.add_page("u", parse_html("<html></html>").unwrap());
+        let _ = b.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "search result page out of range")]
+    fn finish_validates_search_targets() {
+        let mut b = SiteBuilder::new();
+        let p = b.add_page("u", parse_html("<html></html>").unwrap());
+        b.add_search("k", [("q".to_string(), PageId(9))], p);
+        let _ = b.start_at(p).finish();
+    }
+
+    #[test]
+    fn set_dom_replaces_template() {
+        let mut b = SiteBuilder::new();
+        let p = b.add_page("u", parse_html("<html></html>").unwrap());
+        b.set_dom(p, parse_html("<html><h3>new</h3></html>").unwrap());
+        let site = b.start_at(p).finish();
+        assert_eq!(site.dom(p).len(), 2);
+    }
+}

@@ -1,0 +1,356 @@
+//! JSON-like values and concrete value paths.
+
+use std::fmt;
+
+/// A JSON-like semi-structured value: the paper's data source grammar
+/// (strings, integers, objects and arrays).
+///
+/// Objects preserve insertion order (they are association lists, matching
+/// how spreadsheet-like sources enumerate columns deterministically).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Value {
+    /// A string leaf.
+    Str(String),
+    /// An integer leaf.
+    Int(i64),
+    /// An ordered key–value mapping `{ key: value, .. }`.
+    Object(Vec<(String, Value)>),
+    /// An array `[ value, .. ]`.
+    Array(Vec<Value>),
+}
+
+impl Value {
+    /// Convenience constructor for a string leaf.
+    pub fn str(s: impl Into<String>) -> Value {
+        Value::Str(s.into())
+    }
+
+    /// Convenience constructor for an object from key–value pairs.
+    pub fn object(pairs: impl IntoIterator<Item = (String, Value)>) -> Value {
+        Value::Object(pairs.into_iter().collect())
+    }
+
+    /// Convenience constructor for an array of strings — the most common
+    /// data-source shape in the benchmarks (e.g. a list of zip codes).
+    pub fn str_array(items: impl IntoIterator<Item = impl Into<String>>) -> Value {
+        Value::Array(items.into_iter().map(|s| Value::Str(s.into())).collect())
+    }
+
+    /// Returns the string content if this is a string leaf.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the integer if this is an integer leaf.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Returns the elements if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Looks up `key` if this is an object.
+    pub fn field(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Navigates a concrete value path from this value.
+    ///
+    /// Array indices are **1-based**, matching the paper's
+    /// `ValuePaths(v) ⇝ [θ[1], ··, θ[|arr|]]` convention.
+    pub fn get(&self, path: &ValuePath) -> Option<&Value> {
+        let mut cur = self;
+        for seg in &path.segs {
+            cur = match seg {
+                PathSeg::Key(k) => cur.field(k)?,
+                PathSeg::Index(i) => {
+                    let items = cur.as_array()?;
+                    if *i == 0 || *i > items.len() {
+                        return None;
+                    }
+                    &items[*i - 1]
+                }
+            };
+        }
+        Some(cur)
+    }
+
+    /// The paper's `GetArray(Σ[x], θ)`: navigates `path` and returns the
+    /// array found there, or `None` if the path is invalid or does not land
+    /// on an array.
+    pub fn get_array(&self, path: &ValuePath) -> Option<&[Value]> {
+        self.get(path)?.as_array()
+    }
+
+    /// Renders the value a user would see when this value is entered into a
+    /// form field (strings verbatim, integers in decimal; containers render
+    /// as JSON).
+    pub fn render(&self) -> String {
+        match self {
+            Value::Str(s) => s.clone(),
+            Value::Int(i) => i.to_string(),
+            other => other.to_json(),
+        }
+    }
+
+    /// Serializes to JSON text. Inverse of [`crate::parse_json`].
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write_json(&mut out);
+        out
+    }
+
+    fn write_json(&self, out: &mut String) {
+        match self {
+            Value::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\t' => out.push_str("\\t"),
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Value::Int(i) => out.push_str(&i.to_string()),
+            Value::Object(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    Value::Str(k.clone()).write_json(out);
+                    out.push(':');
+                    v.write_json(out);
+                }
+                out.push('}');
+            }
+            Value::Array(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write_json(out);
+                }
+                out.push(']');
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_json())
+    }
+}
+
+/// One segment of a value path: a key access `[key]` or a 1-based array
+/// index `[i]`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PathSeg {
+    /// Object key access.
+    Key(String),
+    /// 1-based array index access.
+    Index(usize),
+}
+
+impl PathSeg {
+    /// Convenience constructor for a key segment.
+    pub fn key(k: impl Into<String>) -> PathSeg {
+        PathSeg::Key(k.into())
+    }
+}
+
+impl fmt::Display for PathSeg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PathSeg::Key(k) => write!(f, "[{k}]"),
+            PathSeg::Index(i) => write!(f, "[{i}]"),
+        }
+    }
+}
+
+/// A concrete value path `θ ::= x | θ[key] | θ[i]`, rooted at the program
+/// input `x`.
+///
+/// Displayed as `x[zips][2]`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct ValuePath {
+    segs: Vec<PathSeg>,
+}
+
+impl ValuePath {
+    /// The path `x` (the whole input).
+    pub fn input() -> ValuePath {
+        ValuePath { segs: Vec::new() }
+    }
+
+    /// Builds a path from segments.
+    pub fn new(segs: Vec<PathSeg>) -> ValuePath {
+        ValuePath { segs }
+    }
+
+    /// The segments of this path.
+    pub fn segs(&self) -> &[PathSeg] {
+        &self.segs
+    }
+
+    /// Number of segments.
+    pub fn len(&self) -> usize {
+        self.segs.len()
+    }
+
+    /// `true` iff this is the bare input path `x`.
+    pub fn is_empty(&self) -> bool {
+        self.segs.is_empty()
+    }
+
+    /// Returns a new path with `seg` appended.
+    pub fn join(&self, seg: PathSeg) -> ValuePath {
+        let mut segs = self.segs.clone();
+        segs.push(seg);
+        ValuePath { segs }
+    }
+
+    /// Concatenates two paths.
+    pub fn concat(&self, suffix: &ValuePath) -> ValuePath {
+        let mut segs = self.segs.clone();
+        segs.extend(suffix.segs.iter().cloned());
+        ValuePath { segs }
+    }
+
+    /// `true` iff `prefix` is a segment-wise prefix of this path.
+    pub fn starts_with(&self, prefix: &ValuePath) -> bool {
+        self.segs.len() >= prefix.segs.len() && self.segs[..prefix.segs.len()] == prefix.segs
+    }
+
+    /// Strips `prefix`, returning the remaining suffix path.
+    pub fn strip_prefix(&self, prefix: &ValuePath) -> Option<ValuePath> {
+        if self.starts_with(prefix) {
+            Some(ValuePath {
+                segs: self.segs[prefix.segs.len()..].to_vec(),
+            })
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for ValuePath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x")?;
+        for seg in &self.segs {
+            write!(f, "{seg}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Value {
+        Value::object([
+            ("zips".to_string(), Value::str_array(["48105", "10001"])),
+            (
+                "rows".to_string(),
+                Value::Array(vec![
+                    Value::object([
+                        ("name".to_string(), Value::str("Ada")),
+                        ("age".to_string(), Value::Int(36)),
+                    ]),
+                    Value::object([
+                        ("name".to_string(), Value::str("Grace")),
+                        ("age".to_string(), Value::Int(45)),
+                    ]),
+                ]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn get_navigates_keys_and_indices() {
+        let v = sample();
+        let p = ValuePath::new(vec![
+            PathSeg::key("rows"),
+            PathSeg::Index(2),
+            PathSeg::key("name"),
+        ]);
+        assert_eq!(v.get(&p).unwrap().as_str(), Some("Grace"));
+    }
+
+    #[test]
+    fn indices_are_one_based() {
+        let v = sample();
+        let first = ValuePath::new(vec![PathSeg::key("zips"), PathSeg::Index(1)]);
+        assert_eq!(v.get(&first).unwrap().as_str(), Some("48105"));
+        let zero = ValuePath::new(vec![PathSeg::key("zips"), PathSeg::Index(0)]);
+        assert!(v.get(&zero).is_none());
+        let oob = ValuePath::new(vec![PathSeg::key("zips"), PathSeg::Index(3)]);
+        assert!(v.get(&oob).is_none());
+    }
+
+    #[test]
+    fn get_array_requires_array() {
+        let v = sample();
+        assert_eq!(
+            v.get_array(&ValuePath::new(vec![PathSeg::key("zips")]))
+                .unwrap()
+                .len(),
+            2
+        );
+        assert!(v
+            .get_array(&ValuePath::new(vec![
+                PathSeg::key("rows"),
+                PathSeg::Index(1)
+            ]))
+            .is_none());
+    }
+
+    #[test]
+    fn display_format() {
+        let p = ValuePath::new(vec![PathSeg::key("zips"), PathSeg::Index(2)]);
+        assert_eq!(p.to_string(), "x[zips][2]");
+        assert_eq!(ValuePath::input().to_string(), "x");
+    }
+
+    #[test]
+    fn prefix_operations() {
+        let p = ValuePath::new(vec![
+            PathSeg::key("rows"),
+            PathSeg::Index(1),
+            PathSeg::key("name"),
+        ]);
+        let pre = ValuePath::new(vec![PathSeg::key("rows"), PathSeg::Index(1)]);
+        assert!(p.starts_with(&pre));
+        let suffix = p.strip_prefix(&pre).unwrap();
+        assert_eq!(suffix.segs(), &[PathSeg::key("name")]);
+        assert_eq!(pre.concat(&suffix), p);
+        assert!(pre.strip_prefix(&p).is_none());
+    }
+
+    #[test]
+    fn render_shows_user_visible_text() {
+        assert_eq!(Value::str("48105").render(), "48105");
+        assert_eq!(Value::Int(7).render(), "7");
+    }
+}

@@ -1,0 +1,269 @@
+//! `AlternativeSelectors`: enumerating selectors equivalent to a recorded
+//! absolute XPath (paper §2 "Selector search", Figs. 10–11).
+//!
+//! The recorder emits full absolute XPaths, but intended programs usually
+//! need more general selectors (e.g. `//div[@class='locatorPhone']`). Given
+//! a concrete selector and the DOM it was recorded on, [`alternatives`]
+//! returns a bounded set of selectors that all denote the *same* node on
+//! that DOM, in three shapes:
+//!
+//! 1. the input selector itself (identity),
+//! 2. `abs(ancestor) · //φ[k]` — one descendant hop straight to the node,
+//! 3. `abs(ancestor) · //φ_m[k] · rel` — one descendant hop to an
+//!    intermediate ancestor `m`, followed by either the absolute child steps
+//!    from `m` to the node or a second descendant hop `//φ_t[k']`.
+//!
+//! Predicates `φ` range over the bare tag and `tag[@τ=s]` for each
+//! *discriminating attribute* `τ` (by default `id`, `class`, `name`). All
+//! results are verified by resolution and deduplicated.
+
+use std::collections::BTreeSet;
+
+use crate::node::{Dom, NodeId};
+use crate::path::{Path, Pred, Step};
+
+/// Tuning knobs for [`alternatives`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AltConfig {
+    /// Attributes allowed to appear in `t[@τ=s]` predicates.
+    pub attrs: Vec<String>,
+    /// Maximum number of alternatives returned (smallest paths first).
+    pub max_alternatives: usize,
+    /// Maximum number of ancestors considered as hop bases, counted upward
+    /// from the target node (the document root is always considered).
+    pub max_ancestor_depth: usize,
+}
+
+impl Default for AltConfig {
+    fn default() -> AltConfig {
+        AltConfig {
+            attrs: vec!["id".to_string(), "class".to_string(), "name".to_string()],
+            max_alternatives: 128,
+            max_ancestor_depth: 8,
+        }
+    }
+}
+
+/// Candidate predicates for `node`: its bare tag plus one `tag[@τ=s]` per
+/// configured attribute present on the node.
+fn preds_of(dom: &Dom, node: NodeId, cfg: &AltConfig) -> Vec<Pred> {
+    let mut out = vec![Pred::tag(dom.tag(node))];
+    for attr in &cfg.attrs {
+        if let Some(value) = dom.attr(node, attr) {
+            out.push(Pred::with_attr(dom.tag(node), attr.clone(), value));
+        }
+    }
+    out
+}
+
+/// Chain of ancestors of `node` from the root down to `node` itself.
+fn ancestor_chain(dom: &Dom, node: NodeId) -> Vec<NodeId> {
+    let mut chain = vec![node];
+    let mut cur = node;
+    while let Some(p) = dom.parent(cur) {
+        chain.push(p);
+        cur = p;
+    }
+    chain.reverse();
+    chain
+}
+
+/// Absolute child steps from `from` (an ancestor) down to `to`.
+fn child_steps_between(dom: &Dom, from: NodeId, to: NodeId) -> Vec<Step> {
+    let mut steps = Vec::new();
+    let mut cur = to;
+    while cur != from {
+        let parent = dom.parent(cur).expect("from must be an ancestor of to");
+        let pred = Pred::tag(dom.tag(cur));
+        let idx = dom
+            .child_match_index(parent, &pred, cur)
+            .expect("attached node");
+        steps.push(Step::child(pred, idx));
+        cur = parent;
+    }
+    steps.reverse();
+    steps
+}
+
+/// Enumerates alternative selectors for the node denoted by `path` on `dom`.
+///
+/// Every returned path resolves to the same node as `path` on `dom`. The
+/// input `path` itself is always included (so the result is never empty),
+/// which makes the *no-selector-search* ablation of paper §7.2 a special
+/// case (`max_alternatives = 1` with identity only).
+///
+/// Returns an empty vector when `path` does not resolve on `dom`.
+///
+/// # Example
+///
+/// ```
+/// # use webrobot_dom::{alternatives, parse_html, AltConfig, Path};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let dom = parse_html(
+///     "<html><body><div class='nav'></div>\
+///      <div class='item'><h3>x</h3></div></body></html>",
+/// )?;
+/// let abs: Path = "/body[1]/div[2]/h3[1]".parse()?;
+/// let alts = alternatives(&dom, &abs, &AltConfig::default());
+/// assert!(alts.contains(&"//div[@class='item'][1]//h3[1]".parse()?));
+/// # Ok(())
+/// # }
+/// ```
+pub fn alternatives(dom: &Dom, path: &Path, cfg: &AltConfig) -> Vec<Path> {
+    let Some(target) = path.resolve(dom) else {
+        return Vec::new();
+    };
+    let mut set: BTreeSet<Path> = BTreeSet::new();
+    set.insert(path.clone());
+    set.insert(dom.absolute_path(target));
+
+    let chain = ancestor_chain(dom, target);
+    // Positions in `chain`: chain[0] = root, chain.last() = target.
+    let lo = chain.len().saturating_sub(cfg.max_ancestor_depth + 1);
+
+    // `m` ranges over ancestors-or-self of the target (excluding the root):
+    // the node reached by the descendant hop.
+    for (mi, &m) in chain.iter().enumerate().skip(1) {
+        if mi < lo && m != target {
+            continue;
+        }
+        // `anc` ranges over proper ancestors of `m`: the hop base.
+        for &anc in &chain[..mi] {
+            let anc_abs = if anc == NodeId::ROOT {
+                Path::root()
+            } else {
+                dom.absolute_path(anc)
+            };
+            for pred in preds_of(dom, m, cfg) {
+                let Some(k) = dom.descendant_match_index(anc, &pred, m) else {
+                    continue;
+                };
+                let hop = anc_abs.join(Step::descendant(pred, k));
+                if m == target {
+                    set.insert(hop);
+                    continue;
+                }
+                // Shape 3a: hop + absolute child steps m -> target.
+                let mut with_children = hop.clone();
+                for s in child_steps_between(dom, m, target) {
+                    with_children = with_children.join(s);
+                }
+                set.insert(with_children);
+                // Shape 3b: hop + second descendant hop m -> target.
+                for tpred in preds_of(dom, target, cfg) {
+                    if let Some(k2) = dom.descendant_match_index(m, &tpred, target) {
+                        set.insert(hop.join(Step::descendant(tpred, k2)));
+                    }
+                }
+            }
+        }
+    }
+
+    let mut out: Vec<Path> = set.into_iter().collect();
+    debug_assert!(
+        out.iter().all(|p| p.resolve(dom) == Some(target)),
+        "every alternative must denote the same node"
+    );
+    // Prefer short selectors; keep ordering deterministic.
+    out.sort_by_key(|p| (p.len(), p.to_string()));
+    out.truncate(cfg.max_alternatives);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::DomBuilder;
+
+    /// body > (div.header, div.listing > (div.item > (h3, span.phone)) x3)
+    fn listing_dom() -> Dom {
+        let mut b = DomBuilder::new("html")
+            .open("body")
+            .open_with("div", &[("class", "header")])
+            .leaf_text("span", "Store finder")
+            .close()
+            .open_with("div", &[("class", "listing")]);
+        for i in 1..=3 {
+            b = b
+                .open_with("div", &[("class", "item")])
+                .leaf_text("h3", &format!("Store {i}"))
+                .leaf_with("span", &[("class", "phone")], &format!("555-000{i}"))
+                .close();
+        }
+        b.close().close().finish()
+    }
+
+    #[test]
+    fn identity_is_always_included() {
+        let dom = listing_dom();
+        let abs: Path = "/body[1]/div[2]/div[1]/h3[1]".parse().unwrap();
+        let alts = alternatives(&dom, &abs, &AltConfig::default());
+        assert!(alts.contains(&abs));
+    }
+
+    #[test]
+    fn all_alternatives_resolve_to_same_node() {
+        let dom = listing_dom();
+        let abs: Path = "/body[1]/div[2]/div[2]/span[1]".parse().unwrap();
+        let target = abs.resolve(&dom).unwrap();
+        let alts = alternatives(&dom, &abs, &AltConfig::default());
+        assert!(alts.len() > 3);
+        for alt in &alts {
+            assert_eq!(alt.resolve(&dom), Some(target), "alt {alt}");
+        }
+    }
+
+    #[test]
+    fn class_hop_is_generated() {
+        let dom = listing_dom();
+        let abs: Path = "/body[1]/div[2]/div[1]/h3[1]".parse().unwrap();
+        let alts = alternatives(&dom, &abs, &AltConfig::default());
+        let want: Path = "//div[@class='item'][1]//h3[1]".parse().unwrap();
+        assert!(alts.contains(&want), "missing {want} in {alts:?}");
+    }
+
+    #[test]
+    fn second_item_gets_index_two() {
+        let dom = listing_dom();
+        let abs: Path = "/body[1]/div[2]/div[2]/h3[1]".parse().unwrap();
+        let alts = alternatives(&dom, &abs, &AltConfig::default());
+        let want: Path = "//div[@class='item'][2]//h3[1]".parse().unwrap();
+        assert!(alts.contains(&want));
+    }
+
+    #[test]
+    fn attr_hop_on_target_itself() {
+        let dom = listing_dom();
+        let abs: Path = "/body[1]/div[2]/div[1]/span[1]".parse().unwrap();
+        let alts = alternatives(&dom, &abs, &AltConfig::default());
+        let want: Path = "//span[@class='phone'][1]".parse().unwrap();
+        assert!(alts.contains(&want));
+    }
+
+    #[test]
+    fn unresolvable_path_yields_nothing() {
+        let dom = listing_dom();
+        let bad: Path = "/body[1]/div[9]".parse().unwrap();
+        assert!(alternatives(&dom, &bad, &AltConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn respects_max_alternatives() {
+        let dom = listing_dom();
+        let abs: Path = "/body[1]/div[2]/div[1]/h3[1]".parse().unwrap();
+        let cfg = AltConfig {
+            max_alternatives: 2,
+            ..AltConfig::default()
+        };
+        assert_eq!(alternatives(&dom, &abs, &cfg).len(), 2);
+    }
+
+    #[test]
+    fn root_is_never_hop_target() {
+        let dom = listing_dom();
+        let abs = Path::root();
+        let alts = alternatives(&dom, &abs, &AltConfig::default());
+        // Only ε denotes the root.
+        assert_eq!(alts, vec![Path::root()]);
+    }
+}

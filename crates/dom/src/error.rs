@@ -1,0 +1,68 @@
+//! Error types for the DOM substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when parsing a selector path fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathParseError {
+    input: String,
+    position: usize,
+    message: &'static str,
+}
+
+impl PathParseError {
+    pub(crate) fn new(input: &str, position: usize, message: &'static str) -> PathParseError {
+        PathParseError {
+            input: input.to_string(),
+            position,
+            message,
+        }
+    }
+
+    /// Byte offset in the input where parsing failed.
+    pub fn position(&self) -> usize {
+        self.position
+    }
+}
+
+impl fmt::Display for PathParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid selector syntax at byte {} of {:?}: {}",
+            self.position, self.input, self.message
+        )
+    }
+}
+
+impl Error for PathParseError {}
+
+/// Error produced when parsing HTML fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DomError {
+    message: String,
+    position: usize,
+}
+
+impl DomError {
+    pub(crate) fn new(message: impl Into<String>, position: usize) -> DomError {
+        DomError {
+            message: message.into(),
+            position,
+        }
+    }
+
+    /// Byte offset in the input where parsing failed.
+    pub fn position(&self) -> usize {
+        self.position
+    }
+}
+
+impl fmt::Display for DomError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid html at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl Error for DomError {}

@@ -1,0 +1,306 @@
+//! A small HTML subset parser and serializer.
+//!
+//! The website simulator and tests describe pages in ordinary HTML. The
+//! subset is deliberately strict: every element has an explicit closing tag
+//! or is self-closed (`<input .../>`), attributes are double- or
+//! single-quoted, and text may not contain `<`. Comments (`<!-- -->`) and a
+//! leading doctype are skipped.
+
+use crate::error::DomError;
+use crate::node::{Dom, NodeId};
+
+/// Parses an HTML document into a [`Dom`].
+///
+/// The outermost element becomes the DOM root.
+///
+/// # Errors
+///
+/// Returns [`DomError`] on malformed markup (unclosed tags, tag mismatch,
+/// stray text outside the root element).
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), webrobot_dom::DomError> {
+/// let dom = webrobot_dom::parse_html(
+///     "<html><body><input name='q' value=''/><button>GO</button></body></html>",
+/// )?;
+/// assert_eq!(dom.len(), 4);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_html(input: &str) -> Result<Dom, DomError> {
+    Parser {
+        input,
+        pos: 0,
+    }
+    .parse_document()
+}
+
+struct Parser<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: impl Into<String>) -> DomError {
+        DomError::new(message, self.pos)
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    fn skip_ws(&mut self) {
+        let trimmed = self.rest().trim_start();
+        self.pos = self.input.len() - trimmed.len();
+    }
+
+    fn skip_meta(&mut self) {
+        loop {
+            self.skip_ws();
+            if self.rest().starts_with("<!--") {
+                match self.rest().find("-->") {
+                    Some(end) => self.pos += end + 3,
+                    None => {
+                        self.pos = self.input.len();
+                        return;
+                    }
+                }
+            } else if self.rest().starts_with("<!") {
+                match self.rest().find('>') {
+                    Some(end) => self.pos += end + 1,
+                    None => {
+                        self.pos = self.input.len();
+                        return;
+                    }
+                }
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn parse_document(mut self) -> Result<Dom, DomError> {
+        self.skip_meta();
+        if !self.rest().starts_with('<') {
+            return Err(self.err("expected root element"));
+        }
+        let (tag, attrs, self_closing) = self.parse_open_tag()?;
+        let mut dom = Dom::new(tag.clone());
+        for (k, v) in attrs {
+            dom.set_attr(NodeId::ROOT, k, v);
+        }
+        if !self_closing {
+            self.parse_children(&mut dom, NodeId::ROOT, &tag)?;
+        }
+        self.skip_meta();
+        if !self.rest().is_empty() {
+            return Err(self.err("trailing content after root element"));
+        }
+        Ok(dom)
+    }
+
+    /// Parses children of `parent` until the matching close tag.
+    fn parse_children(&mut self, dom: &mut Dom, parent: NodeId, tag: &str) -> Result<(), DomError> {
+        loop {
+            self.skip_meta();
+            if self.rest().starts_with("</") {
+                self.pos += 2;
+                let name = self.parse_name()?;
+                self.skip_ws();
+                if !self.rest().starts_with('>') {
+                    return Err(self.err("expected '>' in closing tag"));
+                }
+                self.pos += 1;
+                if name != tag {
+                    return Err(self.err(format!("mismatched close: </{name}> for <{tag}>")));
+                }
+                return Ok(());
+            } else if self.rest().starts_with('<') {
+                let (child_tag, attrs, self_closing) = self.parse_open_tag()?;
+                let child = dom.append(parent, child_tag.clone());
+                for (k, v) in attrs {
+                    dom.set_attr(child, k, v);
+                }
+                if !self_closing {
+                    self.parse_children(dom, child, &child_tag)?;
+                }
+            } else if self.rest().is_empty() {
+                return Err(self.err(format!("unclosed element <{tag}>")));
+            } else {
+                let end = self.rest().find('<').unwrap_or(self.rest().len());
+                let text = self.rest()[..end].trim();
+                if !text.is_empty() {
+                    let existing = dom.text(parent).to_string();
+                    if existing.is_empty() {
+                        dom.set_text(parent, text);
+                    } else {
+                        dom.set_text(parent, format!("{existing} {text}"));
+                    }
+                }
+                self.pos += end;
+            }
+        }
+    }
+
+    fn parse_name(&mut self) -> Result<String, DomError> {
+        let start = self.pos;
+        let bytes = self.input.as_bytes();
+        while self.pos < bytes.len()
+            && (bytes[self.pos].is_ascii_alphanumeric() || bytes[self.pos] == b'-')
+        {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err("expected name"));
+        }
+        Ok(self.input[start..self.pos].to_string())
+    }
+
+    fn parse_open_tag(&mut self) -> Result<(String, Vec<(String, String)>, bool), DomError> {
+        debug_assert!(self.rest().starts_with('<'));
+        self.pos += 1;
+        let tag = self.parse_name()?;
+        let mut attrs = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.rest().starts_with("/>") {
+                self.pos += 2;
+                return Ok((tag, attrs, true));
+            }
+            if self.rest().starts_with('>') {
+                self.pos += 1;
+                return Ok((tag, attrs, false));
+            }
+            if self.rest().is_empty() {
+                return Err(self.err("unterminated open tag"));
+            }
+            let name = self.parse_name()?;
+            self.skip_ws();
+            if !self.rest().starts_with('=') {
+                attrs.push((name, String::new()));
+                continue;
+            }
+            self.pos += 1;
+            self.skip_ws();
+            let quote = match self.rest().chars().next() {
+                Some(q @ ('"' | '\'')) => q,
+                _ => return Err(self.err("expected quoted attribute value")),
+            };
+            self.pos += 1;
+            let end = self
+                .rest()
+                .find(quote)
+                .ok_or_else(|| self.err("unterminated attribute value"))?;
+            let value = self.rest()[..end].to_string();
+            self.pos += end + 1;
+            attrs.push((name, value));
+        }
+    }
+}
+
+/// Serializes a [`Dom`] back to HTML.
+///
+/// Inverse of [`parse_html`] up to whitespace: `parse_html(to_html(d)) == d`
+/// for DOMs whose text contains no markup characters.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), webrobot_dom::DomError> {
+/// let html = "<div class='x'><span>hi</span></div>";
+/// let dom = webrobot_dom::parse_html(html)?;
+/// let out = webrobot_dom::to_html(&dom);
+/// assert_eq!(webrobot_dom::parse_html(&out)?, dom);
+/// # Ok(())
+/// # }
+/// ```
+pub fn to_html(dom: &Dom) -> String {
+    let mut out = String::new();
+    write_node(dom, NodeId::ROOT, &mut out);
+    out
+}
+
+fn write_node(dom: &Dom, node: NodeId, out: &mut String) {
+    out.push('<');
+    out.push_str(dom.tag(node));
+    for (k, v) in dom.attrs(node) {
+        out.push(' ');
+        out.push_str(k);
+        out.push_str("=\"");
+        out.push_str(v);
+        out.push('"');
+    }
+    out.push('>');
+    if !dom.text(node).is_empty() {
+        out.push_str(dom.text(node));
+    }
+    for &c in dom.children(node) {
+        write_node(dom, c, out);
+    }
+    out.push_str("</");
+    out.push_str(dom.tag(node));
+    out.push('>');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_elements() {
+        let dom = parse_html("<html><body><div class=\"a\"><h3>hi</h3></div></body></html>")
+            .unwrap();
+        assert_eq!(dom.len(), 4);
+        let body = dom.children(NodeId::ROOT)[0];
+        let div = dom.children(body)[0];
+        assert_eq!(dom.attr(div, "class"), Some("a"));
+    }
+
+    #[test]
+    fn parses_self_closing_and_single_quotes() {
+        let dom = parse_html("<body><input name='q' value=''/><br/></body>").unwrap();
+        let input = dom.children(NodeId::ROOT)[0];
+        assert_eq!(dom.tag(input), "input");
+        assert_eq!(dom.attr(input, "name"), Some("q"));
+        assert_eq!(dom.tag(dom.children(NodeId::ROOT)[1]), "br");
+    }
+
+    #[test]
+    fn parses_bare_attribute() {
+        let dom = parse_html("<body><input disabled/></body>").unwrap();
+        let input = dom.children(NodeId::ROOT)[0];
+        assert_eq!(dom.attr(input, "disabled"), Some(""));
+    }
+
+    #[test]
+    fn skips_comments_and_doctype() {
+        let dom = parse_html("<!DOCTYPE html><!-- hi --><html><body></body></html>").unwrap();
+        assert_eq!(dom.tag(NodeId::ROOT), "html");
+    }
+
+    #[test]
+    fn rejects_mismatched_tags() {
+        assert!(parse_html("<a><b></a></b>").is_err());
+        assert!(parse_html("<a>").is_err());
+        assert!(parse_html("text only").is_err());
+        assert!(parse_html("<a></a><b></b>").is_err());
+    }
+
+    #[test]
+    fn round_trip() {
+        let html = "<html><body><div class=\"item\">x<h3>one</h3></div></body></html>";
+        let dom = parse_html(html).unwrap();
+        let printed = to_html(&dom);
+        assert_eq!(parse_html(&printed).unwrap(), dom);
+    }
+
+    #[test]
+    fn text_is_attached_to_parent() {
+        let dom = parse_html("<p>hello <b>bold</b> world</p>").unwrap();
+        assert_eq!(dom.text(NodeId::ROOT), "hello world");
+        let b = dom.children(NodeId::ROOT)[0];
+        assert_eq!(dom.text(b), "bold");
+    }
+}

@@ -1,0 +1,414 @@
+//! Concrete selectors: the paper's `ρ ::= ε | ρ/φ[i] | ρ//φ[i]` with
+//! predicates `φ ::= t | t[@τ = s]`.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::error::PathParseError;
+use crate::node::{Dom, NodeId};
+
+/// Step axis: `/` (child) or `//` (descendant).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Axis {
+    /// `n/φ[i]`: the `i`-th child of `n` satisfying `φ`.
+    Child,
+    /// `n//φ[i]`: the `i`-th node in the subtree rooted at `n` (document
+    /// order, excluding `n`) satisfying `φ`.
+    Descendant,
+}
+
+impl fmt::Display for Axis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Axis::Child => write!(f, "/"),
+            Axis::Descendant => write!(f, "//"),
+        }
+    }
+}
+
+/// Node predicate `φ ::= t | t[@τ = s]`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Pred {
+    /// HTML tag `t`.
+    pub tag: String,
+    /// Optional attribute constraint `@τ = s`.
+    pub attr: Option<(String, String)>,
+}
+
+impl Pred {
+    /// Bare tag predicate `t`.
+    pub fn tag(tag: impl Into<String>) -> Pred {
+        Pred {
+            tag: tag.into(),
+            attr: None,
+        }
+    }
+
+    /// Attribute predicate `t[@τ = s]`.
+    pub fn with_attr(
+        tag: impl Into<String>,
+        name: impl Into<String>,
+        value: impl Into<String>,
+    ) -> Pred {
+        Pred {
+            tag: tag.into(),
+            attr: Some((name.into(), value.into())),
+        }
+    }
+}
+
+impl fmt::Display for Pred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.attr {
+            None => write!(f, "{}", self.tag),
+            Some((n, v)) => write!(f, "{}[@{}='{}']", self.tag, n, v),
+        }
+    }
+}
+
+/// One selector step `axis φ [i]` with a 1-based match index.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Step {
+    /// Child or descendant axis.
+    pub axis: Axis,
+    /// Node predicate.
+    pub pred: Pred,
+    /// 1-based index among nodes matching `pred` along `axis`.
+    pub index: usize,
+}
+
+impl Step {
+    /// Child-axis step `/φ[i]`.
+    pub fn child(pred: Pred, index: usize) -> Step {
+        Step {
+            axis: Axis::Child,
+            pred,
+            index,
+        }
+    }
+
+    /// Descendant-axis step `//φ[i]`.
+    pub fn descendant(pred: Pred, index: usize) -> Step {
+        Step {
+            axis: Axis::Descendant,
+            pred,
+            index,
+        }
+    }
+
+    /// Resolves this step from `base` on `dom`.
+    pub fn resolve_from(&self, dom: &Dom, base: NodeId) -> Option<NodeId> {
+        match self.axis {
+            Axis::Child => dom.nth_child(base, &self.pred, self.index),
+            Axis::Descendant => dom.nth_descendant(base, &self.pred, self.index),
+        }
+    }
+}
+
+impl fmt::Display for Step {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}[{}]", self.axis, self.pred, self.index)
+    }
+}
+
+/// A concrete selector `ρ`: a sequence of steps rooted at the document root
+/// (`ε`).
+///
+/// Displayed and parsed in XPath-like syntax, e.g.
+/// `/body[1]//div[@class='item'][2]/h3[1]`.
+///
+/// # Example
+///
+/// ```
+/// use webrobot_dom::Path;
+///
+/// let p: Path = "//div[@class='item'][2]/h3[1]".parse()?;
+/// assert_eq!(p.to_string(), "//div[@class='item'][2]/h3[1]");
+/// # Ok::<(), webrobot_dom::PathParseError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Path {
+    steps: Vec<Step>,
+}
+
+impl Path {
+    /// The empty selector `ε` (denotes the document root).
+    pub fn root() -> Path {
+        Path { steps: Vec::new() }
+    }
+
+    /// Builds a path from steps.
+    pub fn new(steps: Vec<Step>) -> Path {
+        Path { steps }
+    }
+
+    /// The steps of this path.
+    pub fn steps(&self) -> &[Step] {
+        &self.steps
+    }
+
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// `true` iff this is `ε`.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Returns a new path with `step` appended.
+    pub fn join(&self, step: Step) -> Path {
+        let mut steps = self.steps.clone();
+        steps.push(step);
+        Path { steps }
+    }
+
+    /// Concatenates two paths.
+    pub fn concat(&self, suffix: &Path) -> Path {
+        let mut steps = self.steps.clone();
+        steps.extend(suffix.steps.iter().cloned());
+        Path { steps }
+    }
+
+    /// `true` iff `prefix` is a step-wise prefix of this path.
+    pub fn starts_with(&self, prefix: &Path) -> bool {
+        self.steps.len() >= prefix.steps.len() && self.steps[..prefix.steps.len()] == prefix.steps
+    }
+
+    /// Strips `prefix`, returning the remaining suffix path.
+    pub fn strip_prefix(&self, prefix: &Path) -> Option<Path> {
+        if self.starts_with(prefix) {
+            Some(Path {
+                steps: self.steps[prefix.steps.len()..].to_vec(),
+            })
+        } else {
+            None
+        }
+    }
+
+    /// The prefix consisting of the first `n` steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > self.len()`.
+    pub fn prefix(&self, n: usize) -> Path {
+        Path {
+            steps: self.steps[..n].to_vec(),
+        }
+    }
+
+    /// Resolves the path on `dom` starting from the document root.
+    ///
+    /// Returns `None` when any step has no `i`-th match — the paper's
+    /// `¬valid(ρ, π)`.
+    pub fn resolve(&self, dom: &Dom) -> Option<NodeId> {
+        self.resolve_from(dom, NodeId::ROOT)
+    }
+
+    /// Resolves the path on `dom` starting from `base`.
+    pub fn resolve_from(&self, dom: &Dom, base: NodeId) -> Option<NodeId> {
+        let mut cur = base;
+        for step in &self.steps {
+            cur = step.resolve_from(dom, cur)?;
+        }
+        Some(cur)
+    }
+
+    /// The paper's `valid(ρ, π)`: does the selector denote a node on `dom`?
+    pub fn valid(&self, dom: &Dom) -> bool {
+        self.resolve(dom).is_some()
+    }
+}
+
+impl fmt::Display for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.steps.is_empty() {
+            return write!(f, "ε");
+        }
+        for step in &self.steps {
+            write!(f, "{step}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for Path {
+    type Err = PathParseError;
+
+    fn from_str(s: &str) -> Result<Path, PathParseError> {
+        let steps = parse_steps(s)?;
+        Ok(Path { steps })
+    }
+}
+
+/// Parses a step list in XPath-like syntax. Shared with the symbolic
+/// selector parser in `webrobot-lang`.
+pub(crate) fn parse_steps(s: &str) -> Result<Vec<Step>, PathParseError> {
+    let mut steps = Vec::new();
+    let bytes = s.as_bytes();
+    let mut pos = 0;
+    if s == "ε" || s.is_empty() {
+        return Ok(steps);
+    }
+    while pos < bytes.len() {
+        let axis = if s[pos..].starts_with("//") {
+            pos += 2;
+            Axis::Descendant
+        } else if s[pos..].starts_with('/') {
+            pos += 1;
+            Axis::Child
+        } else {
+            return Err(PathParseError::new(s, pos, "expected '/' or '//'"));
+        };
+        let tag_start = pos;
+        while pos < bytes.len() && (bytes[pos].is_ascii_alphanumeric() || bytes[pos] == b'-') {
+            pos += 1;
+        }
+        if pos == tag_start {
+            return Err(PathParseError::new(s, pos, "expected tag name"));
+        }
+        let tag = &s[tag_start..pos];
+        let mut attr = None;
+        if s[pos..].starts_with("[@") {
+            pos += 2;
+            let name_start = pos;
+            while pos < bytes.len() && bytes[pos] != b'=' {
+                pos += 1;
+            }
+            let name = &s[name_start..pos];
+            if !s[pos..].starts_with("='") {
+                return Err(PathParseError::new(s, pos, "expected ='value'"));
+            }
+            pos += 2;
+            let val_start = pos;
+            while pos < bytes.len() && bytes[pos] != b'\'' {
+                pos += 1;
+            }
+            let value = &s[val_start..pos];
+            if !s[pos..].starts_with("']") {
+                return Err(PathParseError::new(s, pos, "expected closing ']"));
+            }
+            pos += 2;
+            attr = Some((name.to_string(), value.to_string()));
+        }
+        if !s[pos..].starts_with('[') {
+            return Err(PathParseError::new(s, pos, "expected '[index]'"));
+        }
+        pos += 1;
+        let idx_start = pos;
+        while pos < bytes.len() && bytes[pos].is_ascii_digit() {
+            pos += 1;
+        }
+        let index: usize = s[idx_start..pos]
+            .parse()
+            .map_err(|_| PathParseError::new(s, idx_start, "expected index"))?;
+        if !s[pos..].starts_with(']') {
+            return Err(PathParseError::new(s, pos, "expected ']'"));
+        }
+        pos += 1;
+        steps.push(Step {
+            axis,
+            pred: Pred {
+                tag: tag.to_string(),
+                attr,
+            },
+            index,
+        });
+    }
+    Ok(steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::DomBuilder;
+
+    fn sample() -> Dom {
+        DomBuilder::new("html")
+            .open("body")
+            .open_with("div", &[("class", "nav")])
+            .leaf_text("span", "menu")
+            .close()
+            .open_with("div", &[("class", "item")])
+            .leaf_text("h3", "one")
+            .close()
+            .open_with("div", &[("class", "item")])
+            .leaf_text("h3", "two")
+            .close()
+            .close()
+            .finish()
+    }
+
+    #[test]
+    fn resolve_child_steps() {
+        let dom = sample();
+        let p: Path = "/body[1]/div[2]/h3[1]".parse().unwrap();
+        let n = p.resolve(&dom).unwrap();
+        assert_eq!(dom.text_content(n), "one");
+    }
+
+    #[test]
+    fn resolve_descendant_with_attr() {
+        let dom = sample();
+        let p: Path = "//div[@class='item'][2]//h3[1]".parse().unwrap();
+        let n = p.resolve(&dom).unwrap();
+        assert_eq!(dom.text_content(n), "two");
+    }
+
+    #[test]
+    fn invalid_when_index_out_of_range() {
+        let dom = sample();
+        let p: Path = "//div[@class='item'][3]".parse().unwrap();
+        assert!(!p.valid(&dom));
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for s in [
+            "/body[1]/div[2]/h3[1]",
+            "//div[@class='item'][2]//h3[1]",
+            "//a[17]",
+            "/html-like[1]",
+        ] {
+            let p: Path = s.parse().unwrap();
+            assert_eq!(p.to_string(), s);
+            let back: Path = p.to_string().parse().unwrap();
+            assert_eq!(back, p);
+        }
+    }
+
+    #[test]
+    fn empty_path_is_root() {
+        let dom = sample();
+        assert_eq!(Path::root().resolve(&dom), Some(NodeId::ROOT));
+        assert_eq!(Path::root().to_string(), "ε");
+        let parsed: Path = "ε".parse().unwrap();
+        assert!(parsed.is_empty());
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!("body[1]".parse::<Path>().is_err());
+        assert!("/body".parse::<Path>().is_err());
+        assert!("/body[x]".parse::<Path>().is_err());
+        assert!("/body[@class=1]".parse::<Path>().is_err());
+    }
+
+    #[test]
+    fn prefix_and_strip() {
+        let p: Path = "/body[1]/div[2]/h3[1]".parse().unwrap();
+        let pre = p.prefix(2);
+        assert!(p.starts_with(&pre));
+        let suffix = p.strip_prefix(&pre).unwrap();
+        assert_eq!(suffix.to_string(), "/h3[1]");
+        assert_eq!(pre.concat(&suffix), p);
+    }
+
+    #[test]
+    fn zero_index_never_resolves() {
+        let dom = sample();
+        let p = Path::new(vec![Step::child(Pred::tag("body"), 0)]);
+        assert!(!p.valid(&dom));
+    }
+}

@@ -1,0 +1,378 @@
+//! A small, self-contained e-graph: hash-consing, union-find and
+//! congruence closure with explicit rebuilding — the same architecture as
+//! `egg` (memo + per-class parent lists + deferred repair), without the
+//! pattern-matching DSL: rules are written as plain Rust over the node
+//! store.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::Hash;
+
+/// Identifier of an e-class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClassId(pub u32);
+
+impl fmt::Display for ClassId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// A node language: each node may reference child e-classes.
+pub trait Language: Clone + PartialEq + Eq + Hash {
+    /// The child classes referenced by this node.
+    fn children(&self) -> Vec<ClassId>;
+    /// Rebuilds the node with every child id mapped through `f`.
+    fn map_children(&self, f: &mut dyn FnMut(ClassId) -> ClassId) -> Self;
+}
+
+#[derive(Debug, Clone)]
+struct ClassData<L> {
+    nodes: Vec<L>,
+    /// Nodes (with their owning class) that reference this class as a
+    /// child — consulted during repair to restore congruence.
+    parents: Vec<(L, ClassId)>,
+}
+
+/// An e-graph over language `L`.
+///
+/// Nodes are hash-consed: adding a node whose canonical form already exists
+/// returns the existing class. [`EGraph::union`] merges classes;
+/// [`EGraph::rebuild`] restores congruence (`a ≡ a′ ∧ b ≡ b′ ⇒
+/// f(a,b) ≡ f(a′,b′)`) and must be called after a batch of unions.
+#[derive(Debug, Clone)]
+pub struct EGraph<L: Language> {
+    uf: Vec<u32>,
+    memo: HashMap<L, ClassId>,
+    classes: HashMap<ClassId, ClassData<L>>,
+    worklist: Vec<ClassId>,
+}
+
+impl<L: Language> Default for EGraph<L> {
+    fn default() -> Self {
+        EGraph::new()
+    }
+}
+
+impl<L: Language> EGraph<L> {
+    /// Creates an empty e-graph.
+    pub fn new() -> EGraph<L> {
+        EGraph {
+            uf: Vec::new(),
+            memo: HashMap::new(),
+            classes: HashMap::new(),
+            worklist: Vec::new(),
+        }
+    }
+
+    /// Number of canonical e-classes.
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Total number of hash-consed nodes.
+    pub fn node_count(&self) -> usize {
+        self.memo.len()
+    }
+
+    /// Canonical representative of `id`.
+    pub fn find(&self, id: ClassId) -> ClassId {
+        let mut cur = id.0;
+        while self.uf[cur as usize] != cur {
+            cur = self.uf[cur as usize];
+        }
+        ClassId(cur)
+    }
+
+    fn find_compress(&mut self, id: ClassId) -> ClassId {
+        let root = self.find(id);
+        let mut cur = id.0;
+        while self.uf[cur as usize] != root.0 {
+            let next = self.uf[cur as usize];
+            self.uf[cur as usize] = root.0;
+            cur = next;
+        }
+        root
+    }
+
+    fn canonicalize(&mut self, node: &L) -> L {
+        node.map_children(&mut |c| self.find_compress(c))
+    }
+
+    /// Adds `node`, returning its class (the existing class when the node
+    /// is already present — hash-consing).
+    pub fn add(&mut self, node: L) -> ClassId {
+        let node = self.canonicalize(&node);
+        if let Some(&id) = self.memo.get(&node) {
+            return self.find(id);
+        }
+        let id = ClassId(self.uf.len() as u32);
+        self.uf.push(id.0);
+        self.classes.insert(
+            id,
+            ClassData {
+                nodes: vec![node.clone()],
+                parents: Vec::new(),
+            },
+        );
+        for child in node.children() {
+            let child = self.find(child);
+            self.classes
+                .get_mut(&child)
+                .expect("child is canonical")
+                .parents
+                .push((node.clone(), id));
+        }
+        self.memo.insert(node, id);
+        id
+    }
+
+    /// Looks a node up without inserting.
+    pub fn lookup(&mut self, node: &L) -> Option<ClassId> {
+        let node = self.canonicalize(node);
+        self.memo.get(&node).map(|&id| self.find(id))
+    }
+
+    /// Merges the classes of `a` and `b`; returns the surviving root and
+    /// whether anything changed. Call [`EGraph::rebuild`] before relying on
+    /// congruence again.
+    pub fn union(&mut self, a: ClassId, b: ClassId) -> (ClassId, bool) {
+        let ra = self.find_compress(a);
+        let rb = self.find_compress(b);
+        if ra == rb {
+            return (ra, false);
+        }
+        let (winner, loser) = {
+            let pa = self.classes[&ra].parents.len();
+            let pb = self.classes[&rb].parents.len();
+            if pa >= pb {
+                (ra, rb)
+            } else {
+                (rb, ra)
+            }
+        };
+        self.uf[loser.0 as usize] = winner.0;
+        let loser_data = self.classes.remove(&loser).expect("loser was canonical");
+        let w = self.classes.get_mut(&winner).expect("winner is canonical");
+        w.nodes.extend(loser_data.nodes);
+        w.parents.extend(loser_data.parents);
+        self.worklist.push(winner);
+        (winner, true)
+    }
+
+    /// Restores the hashcons and congruence closure after unions. Returns
+    /// the number of congruence-induced unions performed.
+    pub fn rebuild(&mut self) -> usize {
+        let mut congruences = 0;
+        while let Some(class) = self.worklist.pop() {
+            let root = self.find_compress(class);
+            if !self.classes.contains_key(&root) {
+                continue;
+            }
+            congruences += self.repair(root);
+        }
+        congruences
+    }
+
+    fn repair(&mut self, class: ClassId) -> usize {
+        let mut congruences = 0;
+        // Re-canonicalize the parents of the merged class; congruent
+        // parents collapse.
+        let parents = std::mem::take(
+            &mut self
+                .classes
+                .get_mut(&class)
+                .expect("repair target is canonical")
+                .parents,
+        );
+        let mut fresh: HashMap<L, ClassId> = HashMap::with_capacity(parents.len());
+        for (pnode, pclass) in parents {
+            self.memo.remove(&pnode);
+            let canon = self.canonicalize(&pnode);
+            let pclass = self.find_compress(pclass);
+            if let Some(&existing) = fresh.get(&canon) {
+                let (merged, did) = self.union(existing, pclass);
+                if did {
+                    congruences += 1;
+                }
+                fresh.insert(canon, merged);
+                continue;
+            }
+            if let Some(&existing) = self.memo.get(&canon) {
+                let existing = self.find_compress(existing);
+                if existing != pclass {
+                    let (merged, did) = self.union(existing, pclass);
+                    if did {
+                        congruences += 1;
+                    }
+                    self.memo.insert(canon.clone(), merged);
+                    fresh.insert(canon, merged);
+                    continue;
+                }
+            }
+            self.memo.insert(canon.clone(), pclass);
+            fresh.insert(canon, pclass);
+        }
+        // The class may have been merged away by the unions above.
+        let root = self.find_compress(class);
+        if let Some(data) = self.classes.get_mut(&root) {
+            data.parents
+                .extend(fresh.into_iter().map(|(n, c)| (n, c)));
+        }
+        // Keep the class's own nodes canonical and deduplicated for
+        // consumers of `nodes()`.
+        let root = self.find_compress(class);
+        if self.classes.contains_key(&root) {
+            let nodes = std::mem::take(&mut self.classes.get_mut(&root).unwrap().nodes);
+            let mut seen: HashMap<L, ()> = HashMap::with_capacity(nodes.len());
+            let mut canon_nodes = Vec::with_capacity(nodes.len());
+            for n in nodes {
+                let c = self.canonicalize(&n);
+                if seen.insert(c.clone(), ()).is_none() {
+                    canon_nodes.push(c);
+                }
+            }
+            self.classes.get_mut(&root).unwrap().nodes = canon_nodes;
+        }
+        congruences
+    }
+
+    /// The nodes currently stored in the class of `id`.
+    pub fn nodes(&self, id: ClassId) -> &[L] {
+        &self.classes[&self.find(id)].nodes
+    }
+
+    /// Iterates over `(canonical class, nodes)` pairs.
+    pub fn classes(&self) -> impl Iterator<Item = (ClassId, &[L])> {
+        self.classes
+            .iter()
+            .map(|(&id, data)| (id, data.nodes.as_slice()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, PartialEq, Eq, Hash, Debug)]
+    enum Arith {
+        Num(i32),
+        Var(&'static str),
+        Add(ClassId, ClassId),
+        Mul(ClassId, ClassId),
+    }
+
+    impl Language for Arith {
+        fn children(&self) -> Vec<ClassId> {
+            match self {
+                Arith::Num(_) | Arith::Var(_) => vec![],
+                Arith::Add(a, b) | Arith::Mul(a, b) => vec![*a, *b],
+            }
+        }
+        fn map_children(&self, f: &mut dyn FnMut(ClassId) -> ClassId) -> Self {
+            match self {
+                Arith::Num(n) => Arith::Num(*n),
+                Arith::Var(v) => Arith::Var(v),
+                Arith::Add(a, b) => Arith::Add(f(*a), f(*b)),
+                Arith::Mul(a, b) => Arith::Mul(f(*a), f(*b)),
+            }
+        }
+    }
+
+    #[test]
+    fn hash_consing_dedups() {
+        let mut eg: EGraph<Arith> = EGraph::new();
+        let a = eg.add(Arith::Num(1));
+        let b = eg.add(Arith::Num(1));
+        assert_eq!(a, b);
+        let x = eg.add(Arith::Add(a, b));
+        let y = eg.add(Arith::Add(a, b));
+        assert_eq!(x, y);
+        assert_eq!(eg.node_count(), 2);
+    }
+
+    #[test]
+    fn union_merges_classes() {
+        let mut eg: EGraph<Arith> = EGraph::new();
+        let one = eg.add(Arith::Num(1));
+        let x = eg.add(Arith::Var("x"));
+        let (_, changed) = eg.union(one, x);
+        assert!(changed);
+        eg.rebuild();
+        assert_eq!(eg.find(one), eg.find(x));
+        assert_eq!(eg.nodes(one).len(), 2);
+    }
+
+    #[test]
+    fn congruence_closure_propagates() {
+        // x = y  ⟹  x + 1 = y + 1.
+        let mut eg: EGraph<Arith> = EGraph::new();
+        let x = eg.add(Arith::Var("x"));
+        let y = eg.add(Arith::Var("y"));
+        let one = eg.add(Arith::Num(1));
+        let x1 = eg.add(Arith::Add(x, one));
+        let y1 = eg.add(Arith::Add(y, one));
+        assert_ne!(eg.find(x1), eg.find(y1));
+        eg.union(x, y);
+        let congruences = eg.rebuild();
+        assert!(congruences >= 1);
+        assert_eq!(eg.find(x1), eg.find(y1));
+    }
+
+    #[test]
+    fn congruence_closure_is_transitive() {
+        // x = y propagates through two levels: g(f(x)) = g(f(y)).
+        let mut eg: EGraph<Arith> = EGraph::new();
+        let x = eg.add(Arith::Var("x"));
+        let y = eg.add(Arith::Var("y"));
+        let two = eg.add(Arith::Num(2));
+        let fx = eg.add(Arith::Mul(x, two));
+        let fy = eg.add(Arith::Mul(y, two));
+        let gfx = eg.add(Arith::Add(fx, two));
+        let gfy = eg.add(Arith::Add(fy, two));
+        eg.union(x, y);
+        eg.rebuild();
+        assert_eq!(eg.find(fx), eg.find(fy));
+        assert_eq!(eg.find(gfx), eg.find(gfy));
+    }
+
+    #[test]
+    fn add_after_union_hits_existing_class() {
+        let mut eg: EGraph<Arith> = EGraph::new();
+        let x = eg.add(Arith::Var("x"));
+        let y = eg.add(Arith::Var("y"));
+        eg.union(x, y);
+        eg.rebuild();
+        let one = eg.add(Arith::Num(1));
+        let via_x = eg.add(Arith::Add(x, one));
+        let via_y = eg.add(Arith::Add(y, one));
+        assert_eq!(eg.find(via_x), eg.find(via_y));
+    }
+
+    #[test]
+    fn classes_iterates_canonical_only() {
+        let mut eg: EGraph<Arith> = EGraph::new();
+        let x = eg.add(Arith::Var("x"));
+        let y = eg.add(Arith::Var("y"));
+        eg.union(x, y);
+        eg.rebuild();
+        assert_eq!(eg.classes().count(), 1);
+        assert_eq!(eg.class_count(), 1);
+    }
+
+    #[test]
+    fn diamond_congruence() {
+        // a=b and c=d ⟹ Add(a,c) = Add(b,d).
+        let mut eg: EGraph<Arith> = EGraph::new();
+        let a = eg.add(Arith::Var("a"));
+        let b = eg.add(Arith::Var("b"));
+        let c = eg.add(Arith::Var("c"));
+        let d = eg.add(Arith::Var("d"));
+        let ac = eg.add(Arith::Add(a, c));
+        let bd = eg.add(Arith::Add(b, d));
+        eg.union(a, b);
+        eg.union(c, d);
+        eg.rebuild();
+        assert_eq!(eg.find(ac), eg.find(bd));
+    }
+}

@@ -1,0 +1,50 @@
+//! E-graph substrate and the conventional rewrite-based synthesis baseline
+//! (paper §7.4).
+//!
+//! The paper compares WebRobot against a baseline built with the `egg`
+//! library: purely rule-based, correct-by-construction rewriting with
+//! `Split`, `Reroll` and `Unsplit` rules over action traces, supporting
+//! selector loops without alternative selectors. `egg` is unavailable
+//! offline, so this crate provides the substitution documented in
+//! `DESIGN.md` §4:
+//!
+//! * [`EGraph`] — a self-contained e-graph library (hash-consing,
+//!   union-find with congruence closure, rebuilding), unit-tested on its
+//!   own and usable independently of the baseline;
+//! * [`BaselineSynthesizer`] — the Split/Reroll/Unsplit equality-saturation
+//!   synthesizer. `Split` materializes every contiguous slice of the trace
+//!   as an e-class with all `Unsplit` (concatenation) nodes; `Reroll`
+//!   rewrites a slice that is *exactly* `k ≥ 2` verbatim loop iterations
+//!   into a loop node — pattern-matching **all** iterations, in contrast to
+//!   WebRobot's speculate-two-then-validate; `Unsplit` re-flattens, which
+//!   the sequence extraction performs implicitly.
+//!
+//! # Example
+//!
+//! ```
+//! use webrobot_egraph::{EGraph, Language};
+//!
+//! #[derive(Clone, PartialEq, Eq, Hash, Debug)]
+//! enum Arith { Num(i32), Add(webrobot_egraph::ClassId, webrobot_egraph::ClassId) }
+//! impl Language for Arith {
+//!     fn children(&self) -> Vec<webrobot_egraph::ClassId> {
+//!         match self { Arith::Num(_) => vec![], Arith::Add(a, b) => vec![*a, *b] }
+//!     }
+//!     fn map_children(&self, f: &mut dyn FnMut(webrobot_egraph::ClassId) -> webrobot_egraph::ClassId) -> Self {
+//!         match self { Arith::Num(n) => Arith::Num(*n), Arith::Add(a, b) => Arith::Add(f(*a), f(*b)) }
+//!     }
+//! }
+//!
+//! let mut eg: EGraph<Arith> = EGraph::new();
+//! let one = eg.add(Arith::Num(1));
+//! let two = eg.add(Arith::Num(2));
+//! let a = eg.add(Arith::Add(one, two));
+//! let b = eg.add(Arith::Add(one, two));
+//! assert_eq!(a, b); // hash-consing
+//! ```
+
+mod baseline;
+mod egraph;
+
+pub use baseline::{BaselineConfig, BaselineOutcome, BaselineSynthesizer};
+pub use egraph::{ClassId, EGraph, Language};

@@ -1,0 +1,27 @@
+//! The human-in-the-loop interaction model (paper §6) and simulated users
+//! (for the §7.3 experiments).
+//!
+//! A [`Session`] implements the schematic workflow of paper Fig. 3:
+//!
+//! 1. **Demonstrate** — the user performs actions; each is executed on the
+//!    live (simulated) browser, recorded with its DOM snapshot, and handed
+//!    to the incremental synthesizer;
+//! 2. **Synthesize + predict** — after every action the engine proposes the
+//!    next action(s);
+//! 3. **Authorize** — the user accepts or rejects each prediction; accepted
+//!    predictions are executed and fed back as if demonstrated;
+//! 4. **Automate** — after enough consecutive accepts the session executes
+//!    predictions without asking, until the program stops producing actions
+//!    or the user interrupts.
+//!
+//! [`OracleUser`] replays a recorded ground-truth demonstration through a
+//! session, accepting exactly the correct predictions — the driver for the
+//! end-to-end experiment. [`UserModel`] adds per-action latencies and
+//! mistake injection for the simulated user study (a substitution for the
+//! paper's human participants; see `DESIGN.md` §4).
+
+mod session;
+mod user;
+
+pub use session::{Mode, Session, SessionConfig, StepOutcome};
+pub use user::{drive_session, LatencyModel, OracleUser, SessionReport, UserModel};

@@ -1,0 +1,354 @@
+//! Demo/authorize/automate sessions.
+
+use std::sync::Arc;
+
+use webrobot_browser::{Browser, BrowserError, Site};
+use webrobot_data::Value;
+use webrobot_lang::Action;
+use webrobot_semantics::Trace;
+use webrobot_synth::{SynthConfig, Synthesizer};
+
+/// Session phase (paper §6 "Demo-auth-auto workflow").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// The user performs actions manually.
+    Demonstrate,
+    /// Predictions await user approval.
+    Authorize,
+    /// The synthesized program executes without confirmation.
+    Automate,
+    /// The session has ended.
+    Done,
+}
+
+/// Session tuning.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// Synthesizer configuration.
+    pub synth: SynthConfig,
+    /// Consecutive accepted predictions before switching to automation
+    /// (the paper's "after a couple of rounds, WebRobot takes over").
+    pub accepts_before_automation: usize,
+    /// Hard cap on automated actions (runaway protection).
+    pub max_automation_steps: usize,
+}
+
+impl Default for SessionConfig {
+    fn default() -> SessionConfig {
+        SessionConfig {
+            synth: SynthConfig::default(),
+            accepts_before_automation: 2,
+            max_automation_steps: 10_000,
+        }
+    }
+}
+
+/// What a session step did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// The action was executed and recorded; predictions may be available.
+    Recorded,
+    /// Automation executed this action.
+    Automated(Action),
+    /// No program generalizes: the ball is back in the user's court.
+    NeedDemonstration,
+    /// The current program produced no further action (task segment done).
+    ProgramFinished,
+}
+
+/// An interactive programming-by-demonstration session over a simulated
+/// website.
+///
+/// # Example
+///
+/// ```
+/// # use std::sync::Arc;
+/// # use webrobot_browser::SiteBuilder;
+/// # use webrobot_dom::parse_html;
+/// # use webrobot_interact::{Mode, Session, SessionConfig};
+/// # use webrobot_lang::{Action, Value};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = SiteBuilder::new();
+/// let home = b.add_page("https://x.test/", parse_html(
+///     "<html><a>1</a><a>2</a><a>3</a></html>")?);
+/// let site = Arc::new(b.start_at(home).finish());
+/// let mut session = Session::new(site, Value::Object(vec![]), SessionConfig::default());
+/// session.demonstrate(&Action::ScrapeText("/a[1]".parse()?))?;
+/// session.demonstrate(&Action::ScrapeText("/a[2]".parse()?))?;
+/// assert_eq!(session.mode(), Mode::Authorize);
+/// assert!(!session.predictions().is_empty());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Session {
+    cfg: SessionConfig,
+    browser: Browser,
+    synth: Synthesizer,
+    mode: Mode,
+    predictions: Vec<Action>,
+    consecutive_accepts: usize,
+    executed: Vec<Action>,
+    automated_steps: usize,
+}
+
+impl Session {
+    /// Opens a session on the site's start page.
+    pub fn new(site: Arc<Site>, input: Value, cfg: SessionConfig) -> Session {
+        let browser = Browser::new(site, input.clone());
+        let trace = Trace::new(browser.snapshot(), input);
+        let synth = Synthesizer::new(cfg.synth.clone(), trace);
+        Session {
+            cfg,
+            browser,
+            synth,
+            mode: Mode::Demonstrate,
+            predictions: Vec::new(),
+            consecutive_accepts: 0,
+            executed: Vec::new(),
+            automated_steps: 0,
+        }
+    }
+
+    /// Current phase.
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// The live browser (current page, outputs scraped so far).
+    pub fn browser(&self) -> &Browser {
+        &self.browser
+    }
+
+    /// Every action executed so far (demonstrated, authorized, automated),
+    /// in absolute-XPath form.
+    pub fn executed(&self) -> &[Action] {
+        &self.executed
+    }
+
+    /// Current predictions, best first (paper §6 "Navigating across
+    /// multiple predictions").
+    pub fn predictions(&self) -> &[Action] {
+        &self.predictions
+    }
+
+    /// The best generalizing program, if any.
+    pub fn current_program(&self) -> Option<webrobot_lang::Program> {
+        self.synth.best_program().map(webrobot_lang::Program::new)
+    }
+
+    /// Rewrites an action's selector to the absolute XPath of the node it
+    /// denotes on the current page (what the front-end records).
+    fn absolutize(&self, action: &Action) -> Result<Action, BrowserError> {
+        let Some(path) = action.selector() else {
+            return Ok(action.clone());
+        };
+        let node = path
+            .resolve(self.browser.dom())
+            .ok_or_else(|| BrowserError::SelectorNotFound {
+                action: action.to_string(),
+            })?;
+        let abs = self.browser.dom().absolute_path(node);
+        Ok(match action.clone() {
+            Action::Click(_) => Action::Click(abs),
+            Action::ScrapeText(_) => Action::ScrapeText(abs),
+            Action::ScrapeLink(_) => Action::ScrapeLink(abs),
+            Action::Download(_) => Action::Download(abs),
+            Action::SendKeys(_, s) => Action::SendKeys(abs, s),
+            Action::EnterData(_, v) => Action::EnterData(abs, v),
+            Action::GoBack | Action::ExtractUrl => unreachable!("no selector"),
+        })
+    }
+
+    /// Executes `action` on the browser and records it in the trace.
+    fn perform_and_record(&mut self, action: &Action) -> Result<Action, BrowserError> {
+        let absolute = self.absolutize(action)?;
+        self.browser.perform(&absolute)?;
+        self.synth.observe(absolute.clone(), self.browser.snapshot());
+        self.executed.push(absolute.clone());
+        Ok(absolute)
+    }
+
+    /// Step 1 of Fig. 3: the user demonstrates one action. Synthesis runs
+    /// afterwards; if a program generalizes, the session moves to
+    /// [`Mode::Authorize`] with predictions to inspect.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrowserError`] when the action cannot be replayed.
+    pub fn demonstrate(&mut self, action: &Action) -> Result<StepOutcome, BrowserError> {
+        self.perform_and_record(action)?;
+        self.consecutive_accepts = 0;
+        self.refresh_predictions();
+        Ok(StepOutcome::Recorded)
+    }
+
+    fn refresh_predictions(&mut self) {
+        let result = self.synth.synthesize();
+        self.predictions = result.predictions;
+        self.mode = if self.predictions.is_empty() {
+            Mode::Demonstrate
+        } else {
+            Mode::Authorize
+        };
+    }
+
+    /// Step 4 of Fig. 3: the user accepts prediction `index` (it executes
+    /// and is recorded as if demonstrated) or rejects them all
+    /// (`None` → back to demonstration).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrowserError`] when the accepted prediction fails to
+    /// replay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range of [`Session::predictions`].
+    pub fn authorize(&mut self, index: Option<usize>) -> Result<StepOutcome, BrowserError> {
+        match index {
+            None => {
+                self.predictions.clear();
+                self.consecutive_accepts = 0;
+                self.mode = Mode::Demonstrate;
+                Ok(StepOutcome::NeedDemonstration)
+            }
+            Some(i) => {
+                let action = self.predictions[i].clone();
+                self.perform_and_record(&action)?;
+                self.consecutive_accepts += 1;
+                self.refresh_predictions();
+                if self.mode == Mode::Authorize
+                    && self.consecutive_accepts >= self.cfg.accepts_before_automation
+                {
+                    self.mode = Mode::Automate;
+                }
+                Ok(StepOutcome::Recorded)
+            }
+        }
+    }
+
+    /// Step 6 of Fig. 3: one automated step — execute the best program's
+    /// next predicted action without confirmation.
+    ///
+    /// Returns [`StepOutcome::ProgramFinished`] when the program produces
+    /// no further action (e.g. the loop ran off the last item), putting the
+    /// session back into demonstration mode.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrowserError`] when the predicted action fails to replay.
+    pub fn automate_step(&mut self) -> Result<StepOutcome, BrowserError> {
+        if self.automated_steps >= self.cfg.max_automation_steps {
+            self.mode = Mode::Done;
+            return Ok(StepOutcome::ProgramFinished);
+        }
+        let Some(action) = self.predictions.first().cloned() else {
+            self.mode = Mode::Demonstrate;
+            self.consecutive_accepts = 0;
+            return Ok(StepOutcome::ProgramFinished);
+        };
+        self.perform_and_record(&action)?;
+        self.automated_steps += 1;
+        self.refresh_predictions();
+        if self.mode == Mode::Authorize {
+            // Stay in automation while predictions keep coming.
+            self.mode = Mode::Automate;
+        }
+        Ok(StepOutcome::Automated(action))
+    }
+
+    /// The user interrupts automation (paper §2: "if at any point the user
+    /// spots anything abnormal, they can interrupt").
+    pub fn interrupt(&mut self) {
+        self.predictions.clear();
+        self.consecutive_accepts = 0;
+        self.mode = Mode::Demonstrate;
+    }
+
+    /// Ends the session.
+    pub fn finish(&mut self) {
+        self.mode = Mode::Done;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webrobot_browser::SiteBuilder;
+    use webrobot_dom::parse_html;
+
+    fn anchor_site(n: usize) -> Arc<Site> {
+        let body: String = (1..=n).map(|i| format!("<a>item {i}</a>")).collect();
+        let mut b = SiteBuilder::new();
+        let home = b.add_page(
+            "https://anchors.test/",
+            parse_html(&format!("<html>{body}</html>")).unwrap(),
+        );
+        Arc::new(b.start_at(home).finish())
+    }
+
+    fn scrape(i: usize) -> Action {
+        Action::ScrapeText(format!("/a[{i}]").parse().unwrap())
+    }
+
+    #[test]
+    fn demo_auth_auto_workflow() {
+        let mut s = Session::new(anchor_site(6), Value::Object(vec![]), SessionConfig::default());
+        assert_eq!(s.mode(), Mode::Demonstrate);
+        s.demonstrate(&scrape(1)).unwrap();
+        assert_eq!(s.mode(), Mode::Demonstrate, "one action cannot generalize");
+        s.demonstrate(&scrape(2)).unwrap();
+        assert_eq!(s.mode(), Mode::Authorize);
+        // Accept twice → automation takes over.
+        s.authorize(Some(0)).unwrap();
+        assert_eq!(s.mode(), Mode::Authorize);
+        s.authorize(Some(0)).unwrap();
+        assert_eq!(s.mode(), Mode::Automate);
+        // Automation scrapes the remaining items, then the loop finishes.
+        let mut automated = 0;
+        while s.mode() == Mode::Automate {
+            match s.automate_step().unwrap() {
+                StepOutcome::Automated(_) => automated += 1,
+                StepOutcome::ProgramFinished => break,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(automated, 2, "items 5 and 6");
+        assert_eq!(s.executed().len(), 6);
+        assert_eq!(s.browser().outputs().len(), 6);
+        assert_eq!(s.mode(), Mode::Demonstrate);
+    }
+
+    #[test]
+    fn reject_returns_to_demonstration() {
+        let mut s = Session::new(anchor_site(4), Value::Object(vec![]), SessionConfig::default());
+        s.demonstrate(&scrape(1)).unwrap();
+        s.demonstrate(&scrape(2)).unwrap();
+        assert_eq!(s.mode(), Mode::Authorize);
+        s.authorize(None).unwrap();
+        assert_eq!(s.mode(), Mode::Demonstrate);
+        assert!(s.predictions().is_empty());
+    }
+
+    #[test]
+    fn interrupt_stops_automation() {
+        let mut s = Session::new(anchor_site(8), Value::Object(vec![]), SessionConfig::default());
+        s.demonstrate(&scrape(1)).unwrap();
+        s.demonstrate(&scrape(2)).unwrap();
+        s.authorize(Some(0)).unwrap();
+        s.authorize(Some(0)).unwrap();
+        assert_eq!(s.mode(), Mode::Automate);
+        s.automate_step().unwrap();
+        s.interrupt();
+        assert_eq!(s.mode(), Mode::Demonstrate);
+        assert_eq!(s.executed().len(), 5);
+    }
+
+    #[test]
+    fn failed_demonstration_is_an_error() {
+        let mut s = Session::new(anchor_site(2), Value::Object(vec![]), SessionConfig::default());
+        assert!(s.demonstrate(&scrape(9)).is_err());
+        assert!(s.executed().is_empty());
+    }
+}

@@ -1,0 +1,344 @@
+//! Simulated users: the substitution for the paper's §7.3 human
+//! participants (documented in `DESIGN.md` §4).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use webrobot_browser::Site;
+use webrobot_data::Value;
+use webrobot_dom::Dom;
+use webrobot_lang::{Action, ActionKind};
+use webrobot_semantics::{action_consistent, Trace};
+
+use crate::session::{Mode, Session, SessionConfig, StepOutcome};
+
+/// A scripted user that knows the intended action sequence (the recorded
+/// ground-truth trace) and authorizes predictions accordingly.
+#[derive(Debug, Clone)]
+pub struct OracleUser {
+    script: Vec<Action>,
+    pos: usize,
+}
+
+impl OracleUser {
+    /// Builds an oracle from the recorded ground-truth trace.
+    pub fn new(recording: &Trace) -> OracleUser {
+        OracleUser {
+            script: recording.actions().to_vec(),
+            pos: 0,
+        }
+    }
+
+    /// The next intended action, if any remain.
+    pub fn next_action(&self) -> Option<&Action> {
+        self.script.get(self.pos)
+    }
+
+    /// Whether `prediction` matches the next intended action on `dom`.
+    pub fn approves(&self, prediction: &Action, dom: &Dom) -> bool {
+        match self.next_action() {
+            Some(want) => action_consistent(prediction, want, dom),
+            None => false,
+        }
+    }
+
+    fn advance(&mut self) {
+        self.pos += 1;
+    }
+
+    /// `true` when the whole script has been executed.
+    pub fn done(&self) -> bool {
+        self.pos >= self.script.len()
+    }
+}
+
+/// Per-action latency model for the simulated user study: how long a human
+/// takes to perform / approve an action, in milliseconds (sampled
+/// uniformly from the given ranges).
+#[derive(Debug, Clone)]
+pub struct LatencyModel {
+    /// Drag-and-drop data entry (paper §6: slow, deliberate).
+    pub enter_data_ms: (u64, u64),
+    /// Clicks and scrape selections.
+    pub click_ms: (u64, u64),
+    /// Inspecting + accepting one prediction.
+    pub authorize_ms: (u64, u64),
+}
+
+impl Default for LatencyModel {
+    fn default() -> LatencyModel {
+        LatencyModel {
+            enter_data_ms: (2500, 4500),
+            click_ms: (900, 2200),
+            authorize_ms: (600, 1400),
+        }
+    }
+}
+
+impl LatencyModel {
+    fn demonstrate(&self, rng: &mut StdRng, action: &Action) -> Duration {
+        let (lo, hi) = match action.kind() {
+            ActionKind::EnterData | ActionKind::SendKeys => self.enter_data_ms,
+            _ => self.click_ms,
+        };
+        Duration::from_millis(rng.gen_range(lo..=hi))
+    }
+
+    fn authorize(&self, rng: &mut StdRng) -> Duration {
+        let (lo, hi) = self.authorize_ms;
+        Duration::from_millis(rng.gen_range(lo..=hi))
+    }
+}
+
+/// A simulated participant: an oracle plus latency and mistake models.
+#[derive(Debug, Clone)]
+pub struct UserModel {
+    /// RNG seed (one per participant).
+    pub seed: u64,
+    /// Probability of a mis-click per demonstrated action (paper §7.3:
+    /// "novice users make mistakes"; a mistake forces a session restart).
+    pub mistake_rate: f64,
+    /// Latency model.
+    pub latency: LatencyModel,
+}
+
+impl Default for UserModel {
+    fn default() -> UserModel {
+        UserModel {
+            seed: 7,
+            mistake_rate: 0.0,
+            latency: LatencyModel::default(),
+        }
+    }
+}
+
+/// Outcome of driving one session to completion.
+#[derive(Debug, Clone)]
+pub struct SessionReport {
+    /// The entire intended script was executed consistently.
+    pub solved: bool,
+    /// Actions the user demonstrated manually.
+    pub demonstrated: usize,
+    /// Predictions accepted one-by-one in the authorization phase.
+    pub authorized: usize,
+    /// Actions executed by automation.
+    pub automated: usize,
+    /// Times the user interrupted automation.
+    pub interruptions: usize,
+    /// Times a mistake forced a session restart.
+    pub restarts: usize,
+    /// Simulated human time spent demonstrating + authorizing.
+    pub human_time: Duration,
+}
+
+/// Drives a full session with a simulated user over `site`: demonstrate
+/// when the engine has nothing, authorize correct predictions, let
+/// automation run, interrupt on divergence — the end-to-end protocol of
+/// paper §7.3.
+///
+/// `max_restarts` bounds mistake-induced restarts before giving up.
+pub fn drive_session(
+    site: Arc<Site>,
+    input: Value,
+    recording: &Trace,
+    cfg: SessionConfig,
+    user: &UserModel,
+    max_restarts: usize,
+) -> SessionReport {
+    let mut rng = StdRng::seed_from_u64(user.seed);
+    let mut restarts = 0;
+    loop {
+        let report = drive_once(site.clone(), input.clone(), recording, cfg.clone(), user, &mut rng);
+        match report {
+            Ok(mut r) => {
+                r.restarts = restarts;
+                return r;
+            }
+            Err(mut r) => {
+                restarts += 1;
+                if restarts > max_restarts {
+                    r.restarts = restarts;
+                    return r;
+                }
+            }
+        }
+    }
+}
+
+/// One attempt; `Err` means a mistake happened and the session restarts.
+#[allow(clippy::result_large_err)]
+fn drive_once(
+    site: Arc<Site>,
+    input: Value,
+    recording: &Trace,
+    cfg: SessionConfig,
+    user: &UserModel,
+    rng: &mut StdRng,
+) -> Result<SessionReport, SessionReport> {
+    let mut session = Session::new(site, input, cfg);
+    let mut oracle = OracleUser::new(recording);
+    let mut report = SessionReport {
+        solved: false,
+        demonstrated: 0,
+        authorized: 0,
+        automated: 0,
+        interruptions: 0,
+        restarts: 0,
+        human_time: Duration::ZERO,
+    };
+    let step_limit = recording.actions().len() * 4 + 64;
+    let mut steps = 0;
+    loop {
+        steps += 1;
+        if steps > step_limit {
+            return Ok(report); // stuck: unsolved
+        }
+        match session.mode() {
+            Mode::Demonstrate => {
+                let Some(action) = oracle.next_action().cloned() else {
+                    report.solved = true;
+                    session.finish();
+                    return Ok(report);
+                };
+                report.human_time += user.latency.demonstrate(rng, &action);
+                if rng.gen_bool(user.mistake_rate) {
+                    // Mis-click: the paper's protocol restarts the tool.
+                    return Err(report);
+                }
+                if session.demonstrate(&action).is_err() {
+                    // Front-end replay failure: unsolved.
+                    return Ok(report);
+                }
+                report.demonstrated += 1;
+                oracle.advance();
+            }
+            Mode::Authorize => {
+                report.human_time += user.latency.authorize(rng);
+                let choice = session
+                    .predictions()
+                    .iter()
+                    .position(|p| oracle.approves(p, session.browser().dom()));
+                match choice {
+                    Some(i) => {
+                        if session.authorize(Some(i)).is_err() {
+                            return Ok(report);
+                        }
+                        report.authorized += 1;
+                        oracle.advance();
+                    }
+                    None => {
+                        session.authorize(None).ok();
+                    }
+                }
+            }
+            Mode::Automate => {
+                // The user watches; a divergent prediction triggers an
+                // interrupt before it executes.
+                let next_ok = session
+                    .predictions()
+                    .first()
+                    .is_some_and(|p| oracle.approves(p, session.browser().dom()));
+                if !next_ok {
+                    session.interrupt();
+                    report.interruptions += 1;
+                    continue;
+                }
+                match session.automate_step() {
+                    Ok(StepOutcome::Automated(_)) => {
+                        report.automated += 1;
+                        oracle.advance();
+                    }
+                    Ok(_) => {}
+                    Err(_) => return Ok(report),
+                }
+            }
+            Mode::Done => {
+                report.solved = oracle.done();
+                return Ok(report);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webrobot_benchmarks::benchmark;
+
+    #[test]
+    fn oracle_solves_a_simple_benchmark() {
+        let b = benchmark(73).unwrap(); // plain headline list
+        let rec = b.record().unwrap();
+        let report = drive_session(
+            b.site.clone(),
+            b.input.clone(),
+            &rec.trace,
+            SessionConfig::default(),
+            &UserModel::default(),
+            2,
+        );
+        assert!(report.solved, "{report:?}");
+        assert!(report.demonstrated <= 4, "few manual actions: {report:?}");
+        assert!(report.automated > 0);
+        assert!(report.human_time > Duration::ZERO);
+    }
+
+    #[test]
+    fn oracle_solves_pagination_with_mid_task_demos() {
+        let b = benchmark(7).unwrap(); // tiny paginated list
+        let rec = b.record().unwrap();
+        let report = drive_session(
+            b.site.clone(),
+            b.input.clone(),
+            &rec.trace,
+            SessionConfig::default(),
+            &UserModel::default(),
+            2,
+        );
+        assert!(report.solved, "{report:?}");
+        assert_eq!(
+            report.demonstrated + report.authorized + report.automated,
+            rec.trace.len()
+        );
+    }
+
+    #[test]
+    fn disjunctive_benchmark_is_not_solved() {
+        let b = benchmark(1).unwrap();
+        let rec = b.record().unwrap();
+        let report = drive_session(
+            b.site.clone(),
+            b.input.clone(),
+            &rec.trace,
+            SessionConfig::default(),
+            &UserModel::default(),
+            1,
+        );
+        // The user can always brute-force by demonstrating everything, but
+        // then nothing was automated — we count that as unsolved-by-PBD.
+        assert!(report.automated < rec.trace.len() / 2, "{report:?}");
+    }
+
+    #[test]
+    fn mistakes_cause_restarts() {
+        let b = benchmark(73).unwrap();
+        let rec = b.record().unwrap();
+        let user = UserModel {
+            mistake_rate: 0.9,
+            seed: 3,
+            ..UserModel::default()
+        };
+        let report = drive_session(
+            b.site.clone(),
+            b.input.clone(),
+            &rec.trace,
+            SessionConfig::default(),
+            &user,
+            3,
+        );
+        assert!(report.restarts >= 1);
+    }
+}

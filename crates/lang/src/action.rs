@@ -1,0 +1,196 @@
+//! Concrete actions — the trace language of paper §3.2.
+//!
+//! ```text
+//! a ::= Click(ρ) | ScrapeText(ρ) | ScrapeLink(ρ) | Download(ρ)
+//!     | GoBack | ExtractURL | SendKeys(ρ, s) | EnterData(ρ, θ)
+//! ```
+
+use std::fmt;
+
+use webrobot_data::ValuePath;
+use webrobot_dom::Path;
+
+use crate::program::Statement;
+use crate::selector::Selector;
+use crate::valuepath::ValuePathExpr;
+
+/// A loop-free action with concrete selector / value-path arguments.
+///
+/// Actions are what the recorder logs during a demonstration and what the
+/// trace semantics emits when simulating a program.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Action {
+    /// Click the node at `ρ`.
+    Click(Path),
+    /// Scrape the text content of the node at `ρ`.
+    ScrapeText(Path),
+    /// Scrape the link (href) of the node at `ρ`.
+    ScrapeLink(Path),
+    /// Download the resource at the node at `ρ`.
+    Download(Path),
+    /// Navigate back to the previous page.
+    GoBack,
+    /// Record the URL of the current page.
+    ExtractUrl,
+    /// Type the constant string `s` into the field at `ρ`.
+    SendKeys(Path, String),
+    /// Enter the input-data value at path `θ` into the field at `ρ`.
+    EnterData(Path, ValuePath),
+}
+
+/// Discriminant of an [`Action`] / loop-free [`Statement`], used for cheap
+/// shape checks during speculation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)]
+pub enum ActionKind {
+    Click,
+    ScrapeText,
+    ScrapeLink,
+    Download,
+    GoBack,
+    ExtractUrl,
+    SendKeys,
+    EnterData,
+}
+
+impl Action {
+    /// The action's discriminant.
+    pub fn kind(&self) -> ActionKind {
+        match self {
+            Action::Click(_) => ActionKind::Click,
+            Action::ScrapeText(_) => ActionKind::ScrapeText,
+            Action::ScrapeLink(_) => ActionKind::ScrapeLink,
+            Action::Download(_) => ActionKind::Download,
+            Action::GoBack => ActionKind::GoBack,
+            Action::ExtractUrl => ActionKind::ExtractUrl,
+            Action::SendKeys(_, _) => ActionKind::SendKeys,
+            Action::EnterData(_, _) => ActionKind::EnterData,
+        }
+    }
+
+    /// The selector argument, if the action has one.
+    pub fn selector(&self) -> Option<&Path> {
+        match self {
+            Action::Click(p)
+            | Action::ScrapeText(p)
+            | Action::ScrapeLink(p)
+            | Action::Download(p)
+            | Action::SendKeys(p, _)
+            | Action::EnterData(p, _) => Some(p),
+            Action::GoBack | Action::ExtractUrl => None,
+        }
+    }
+
+    /// The value-path argument, if the action has one.
+    pub fn value_path(&self) -> Option<&ValuePath> {
+        match self {
+            Action::EnterData(_, v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// `true` for actions that may change the page (and therefore the DOM
+    /// snapshot that follows them in the trace).
+    pub fn is_mutating(&self) -> bool {
+        matches!(
+            self,
+            Action::Click(_) | Action::GoBack | Action::SendKeys(_, _) | Action::EnterData(_, _)
+        )
+    }
+
+    /// Converts the action into the corresponding loop-free statement
+    /// (concrete selectors become root-based symbolic selectors). This is
+    /// how the synthesizer forms the initial program
+    /// `P₀ = a₁; ··; a_m` (paper Alg. 1, line 1).
+    pub fn to_statement(&self) -> Statement {
+        match self {
+            Action::Click(p) => Statement::Click(Selector::rooted(p.clone())),
+            Action::ScrapeText(p) => Statement::ScrapeText(Selector::rooted(p.clone())),
+            Action::ScrapeLink(p) => Statement::ScrapeLink(Selector::rooted(p.clone())),
+            Action::Download(p) => Statement::Download(Selector::rooted(p.clone())),
+            Action::GoBack => Statement::GoBack,
+            Action::ExtractUrl => Statement::ExtractUrl,
+            Action::SendKeys(p, s) => {
+                Statement::SendKeys(Selector::rooted(p.clone()), s.clone())
+            }
+            Action::EnterData(p, v) => Statement::EnterData(
+                Selector::rooted(p.clone()),
+                ValuePathExpr::input(v.clone()),
+            ),
+        }
+    }
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Action::Click(p) => write!(f, "Click({p})"),
+            Action::ScrapeText(p) => write!(f, "ScrapeText({p})"),
+            Action::ScrapeLink(p) => write!(f, "ScrapeLink({p})"),
+            Action::Download(p) => write!(f, "Download({p})"),
+            Action::GoBack => write!(f, "GoBack"),
+            Action::ExtractUrl => write!(f, "ExtractURL"),
+            Action::SendKeys(p, s) => write!(f, "SendKeys({p}, \"{s}\")"),
+            Action::EnterData(p, v) => write!(f, "EnterData({p}, {v})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webrobot_data::PathSeg;
+
+    fn path(s: &str) -> Path {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn kinds_match_variants() {
+        assert_eq!(Action::GoBack.kind(), ActionKind::GoBack);
+        assert_eq!(Action::Click(path("//a[1]")).kind(), ActionKind::Click);
+        assert_eq!(
+            Action::EnterData(path("//input[1]"), ValuePath::input()).kind(),
+            ActionKind::EnterData
+        );
+    }
+
+    #[test]
+    fn selector_accessor() {
+        let a = Action::ScrapeText(path("//h3[2]"));
+        assert_eq!(a.selector().unwrap().to_string(), "//h3[2]");
+        assert!(Action::GoBack.selector().is_none());
+    }
+
+    #[test]
+    fn to_statement_round_trips_concrete_parts() {
+        let a = Action::EnterData(
+            path("//input[1]"),
+            ValuePath::new(vec![PathSeg::key("zips"), PathSeg::Index(1)]),
+        );
+        match a.to_statement() {
+            Statement::EnterData(sel, vp) => {
+                assert_eq!(sel.as_concrete().unwrap(), &path("//input[1]"));
+                assert_eq!(vp.as_concrete().unwrap().to_string(), "x[zips][1]");
+            }
+            other => panic!("unexpected statement {other:?}"),
+        }
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(
+            Action::SendKeys(path("//input[1]"), "hi".into()).to_string(),
+            "SendKeys(//input[1], \"hi\")"
+        );
+        assert_eq!(Action::ExtractUrl.to_string(), "ExtractURL");
+    }
+
+    #[test]
+    fn mutating_classification() {
+        assert!(Action::Click(path("//a[1]")).is_mutating());
+        assert!(Action::GoBack.is_mutating());
+        assert!(!Action::ScrapeText(path("//a[1]")).is_mutating());
+        assert!(!Action::ExtractUrl.is_mutating());
+    }
+}

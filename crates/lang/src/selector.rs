@@ -1,0 +1,259 @@
+//! Symbolic selectors `n ::= ε | ϱ | n/φ[i] | n//φ[i]` and selector
+//! collections `N ::= Children(n, φ) | Dscts(n, φ)`.
+
+use std::fmt;
+
+use webrobot_dom::{Axis, Path, Pred, Step};
+
+use crate::vars::SelVar;
+
+/// Base of a symbolic selector: the document root `ε` or a loop variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SelBase {
+    /// The document root `ε`.
+    Root,
+    /// A selector loop variable `ϱ`.
+    Var(SelVar),
+}
+
+/// A symbolic selector: a base followed by concrete steps.
+///
+/// Loop-free programs use `Root`-based selectors only; loop bodies may use
+/// the enclosing loop's variable as the base (the grammar puts variables
+/// only "at the beginning" of a selector, paper §3.1).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Selector {
+    /// Root or loop variable.
+    pub base: SelBase,
+    /// The concrete steps after the base.
+    pub path: Path,
+}
+
+impl Selector {
+    /// A root-based selector with the given steps.
+    pub fn rooted(path: Path) -> Selector {
+        Selector {
+            base: SelBase::Root,
+            path,
+        }
+    }
+
+    /// A selector that is exactly a loop variable.
+    pub fn var(var: SelVar) -> Selector {
+        Selector {
+            base: SelBase::Var(var),
+            path: Path::root(),
+        }
+    }
+
+    /// A selector rooted at a loop variable with trailing steps.
+    pub fn var_path(var: SelVar, path: Path) -> Selector {
+        Selector {
+            base: SelBase::Var(var),
+            path,
+        }
+    }
+
+    /// `true` iff the selector mentions no variable.
+    pub fn is_concrete(&self) -> bool {
+        self.base == SelBase::Root
+    }
+
+    /// The variable at the base, if any.
+    pub fn base_var(&self) -> Option<SelVar> {
+        match self.base {
+            SelBase::Root => None,
+            SelBase::Var(v) => Some(v),
+        }
+    }
+
+    /// Returns the concrete path if the selector is root-based.
+    pub fn as_concrete(&self) -> Option<&Path> {
+        match self.base {
+            SelBase::Root => Some(&self.path),
+            SelBase::Var(_) => None,
+        }
+    }
+
+    /// Substitutes a concrete path for the base variable (the auxiliary
+    /// rules (1)–(4) of paper Fig. 8). Root-based selectors are returned
+    /// unchanged.
+    pub fn substitute(&self, var: SelVar, binding: &Path) -> Selector {
+        match self.base {
+            SelBase::Var(v) if v == var => Selector::rooted(binding.concat(&self.path)),
+            _ => self.clone(),
+        }
+    }
+
+    /// AST size (for program ranking): 1 per step plus 1 for the base.
+    pub fn size(&self) -> usize {
+        1 + self.path.len()
+    }
+}
+
+impl fmt::Display for Selector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.base {
+            SelBase::Root => {
+                if self.path.is_empty() {
+                    write!(f, "eps")
+                } else {
+                    write!(f, "{}", self.path)
+                }
+            }
+            SelBase::Var(v) => {
+                write!(f, "{v}")?;
+                if !self.path.is_empty() {
+                    write!(f, "{}", self.path)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl From<Path> for Selector {
+    fn from(path: Path) -> Selector {
+        Selector::rooted(path)
+    }
+}
+
+/// Which collection constructor a selector loop iterates over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CollectionKind {
+    /// `Children(n, φ)`: children of `n` satisfying `φ`.
+    Children,
+    /// `Dscts(n, φ)`: descendants of `n` (document order) satisfying `φ`.
+    Dscts,
+}
+
+impl CollectionKind {
+    /// The selector-step axis corresponding to this collection.
+    pub fn axis(self) -> Axis {
+        match self {
+            CollectionKind::Children => Axis::Child,
+            CollectionKind::Dscts => Axis::Descendant,
+        }
+    }
+}
+
+/// A selector collection `N ::= Children(n, φ) | Dscts(n, φ)`.
+///
+/// During the `i`-th iteration of `foreach ϱ in N do P`, the loop variable
+/// binds to the selector `n/φ[i]` (children) or `n//φ[i]` (descendants) —
+/// Fig. 8 rules (9)–(10).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SelectorList {
+    /// `Children` or `Dscts`.
+    pub kind: CollectionKind,
+    /// The base selector `n` (may use an enclosing loop's variable).
+    pub base: Selector,
+    /// The element predicate `φ`.
+    pub pred: Pred,
+}
+
+impl SelectorList {
+    /// `Dscts(base, pred)`.
+    pub fn dscts(base: impl Into<Selector>, pred: Pred) -> SelectorList {
+        SelectorList {
+            kind: CollectionKind::Dscts,
+            base: base.into(),
+            pred,
+        }
+    }
+
+    /// `Children(base, pred)`.
+    pub fn children(base: impl Into<Selector>, pred: Pred) -> SelectorList {
+        SelectorList {
+            kind: CollectionKind::Children,
+            base: base.into(),
+            pred,
+        }
+    }
+
+    /// The `i`-th (1-based) element selector of this collection, given the
+    /// resolved concrete base.
+    pub fn element(&self, resolved_base: &Path, i: usize) -> Path {
+        resolved_base.join(Step {
+            axis: self.kind.axis(),
+            pred: self.pred.clone(),
+            index: i,
+        })
+    }
+
+    /// AST size.
+    pub fn size(&self) -> usize {
+        1 + self.base.size()
+    }
+}
+
+impl fmt::Display for SelectorList {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self.kind {
+            CollectionKind::Children => "Children",
+            CollectionKind::Dscts => "Dscts",
+        };
+        write!(f, "{name}({}, {})", self.base, self.pred)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pred(tag: &str) -> Pred {
+        Pred::tag(tag)
+    }
+
+    #[test]
+    fn substitute_replaces_base_var() {
+        let v = SelVar(0);
+        let sel = Selector::var_path(v, "/h3[1]".parse().unwrap());
+        let binding: Path = "//div[@class='item'][2]".parse().unwrap();
+        let out = sel.substitute(v, &binding);
+        assert_eq!(
+            out.as_concrete().unwrap().to_string(),
+            "//div[@class='item'][2]/h3[1]"
+        );
+    }
+
+    #[test]
+    fn substitute_ignores_other_vars() {
+        let sel = Selector::var(SelVar(1));
+        let binding: Path = "//a[1]".parse().unwrap();
+        assert_eq!(sel.substitute(SelVar(0), &binding), sel);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Selector::rooted(Path::root()).to_string(), "eps");
+        assert_eq!(
+            Selector::rooted("/body[1]".parse().unwrap()).to_string(),
+            "/body[1]"
+        );
+        assert_eq!(Selector::var(SelVar(2)).to_string(), "%r2");
+        assert_eq!(
+            Selector::var_path(SelVar(0), "//h3[1]".parse().unwrap()).to_string(),
+            "%r0//h3[1]"
+        );
+    }
+
+    #[test]
+    fn collection_elements_enumerate_indices() {
+        let list = SelectorList::dscts(Selector::rooted(Path::root()), pred("a"));
+        let base = Path::root();
+        assert_eq!(list.element(&base, 1).to_string(), "//a[1]");
+        assert_eq!(list.element(&base, 3).to_string(), "//a[3]");
+        let list = SelectorList::children(Selector::rooted(Path::root()), pred("li"));
+        assert_eq!(list.element(&base, 2).to_string(), "/li[2]");
+    }
+
+    #[test]
+    fn collection_display() {
+        let list = SelectorList::dscts(
+            Selector::rooted(Path::root()),
+            Pred::with_attr("div", "class", "item"),
+        );
+        assert_eq!(list.to_string(), "Dscts(eps, div[@class='item'])");
+    }
+}

@@ -1,0 +1,186 @@
+//! Symbolic value paths `v ::= x | ϑ | v[key] | v[i]` and value-path
+//! collections `V ::= ValuePaths(v)`.
+
+use std::fmt;
+
+use webrobot_data::{PathSeg, ValuePath};
+
+use crate::vars::VpVar;
+
+/// Base of a symbolic value path: the program input `x` or a loop variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum VpBase {
+    /// The program input `x`.
+    Input,
+    /// A value-path loop variable `ϑ`.
+    Var(VpVar),
+}
+
+/// A symbolic value path: a base followed by concrete segments.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ValuePathExpr {
+    /// Input or loop variable.
+    pub base: VpBase,
+    /// The concrete segments after the base.
+    pub path: ValuePath,
+}
+
+impl ValuePathExpr {
+    /// A path rooted at the input `x`.
+    pub fn input(path: ValuePath) -> ValuePathExpr {
+        ValuePathExpr {
+            base: VpBase::Input,
+            path,
+        }
+    }
+
+    /// A path that is exactly a loop variable.
+    pub fn var(var: VpVar) -> ValuePathExpr {
+        ValuePathExpr {
+            base: VpBase::Var(var),
+            path: ValuePath::input(),
+        }
+    }
+
+    /// A path rooted at a loop variable with trailing segments.
+    pub fn var_path(var: VpVar, path: ValuePath) -> ValuePathExpr {
+        ValuePathExpr {
+            base: VpBase::Var(var),
+            path,
+        }
+    }
+
+    /// `true` iff the path mentions no variable.
+    pub fn is_concrete(&self) -> bool {
+        self.base == VpBase::Input
+    }
+
+    /// The variable at the base, if any.
+    pub fn base_var(&self) -> Option<VpVar> {
+        match self.base {
+            VpBase::Input => None,
+            VpBase::Var(v) => Some(v),
+        }
+    }
+
+    /// Returns the concrete path if the expression is input-rooted.
+    pub fn as_concrete(&self) -> Option<&ValuePath> {
+        match self.base {
+            VpBase::Input => Some(&self.path),
+            VpBase::Var(_) => None,
+        }
+    }
+
+    /// Substitutes a concrete path for the base variable (Fig. 8 rules
+    /// (5)–(8)). Input-rooted paths are returned unchanged.
+    pub fn substitute(&self, var: VpVar, binding: &ValuePath) -> ValuePathExpr {
+        match self.base {
+            VpBase::Var(v) if v == var => ValuePathExpr::input(binding.concat(&self.path)),
+            _ => self.clone(),
+        }
+    }
+
+    /// AST size.
+    pub fn size(&self) -> usize {
+        1 + self.path.len()
+    }
+}
+
+impl fmt::Display for ValuePathExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.base {
+            VpBase::Input => write!(f, "{}", self.path),
+            VpBase::Var(v) => {
+                write!(f, "{v}")?;
+                for seg in self.path.segs() {
+                    write!(f, "{seg}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl From<ValuePath> for ValuePathExpr {
+    fn from(path: ValuePath) -> ValuePathExpr {
+        ValuePathExpr::input(path)
+    }
+}
+
+/// A value-path collection `V ::= ValuePaths(v)`.
+///
+/// Evaluates to `[θ[1], ··, θ[|arr|]]` where `θ` is the resolution of `v`
+/// and `arr` is the array found at `θ` in the input data (Fig. 8 rule (11)).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ValuePathList {
+    /// The path `v` denoting the array to iterate over.
+    pub array: ValuePathExpr,
+}
+
+impl ValuePathList {
+    /// `ValuePaths(array)`.
+    pub fn new(array: impl Into<ValuePathExpr>) -> ValuePathList {
+        ValuePathList {
+            array: array.into(),
+        }
+    }
+
+    /// The `i`-th (1-based) element path of this collection, given the
+    /// resolved concrete array path.
+    pub fn element(&self, resolved_array: &ValuePath, i: usize) -> ValuePath {
+        resolved_array.join(PathSeg::Index(i))
+    }
+
+    /// AST size.
+    pub fn size(&self) -> usize {
+        1 + self.array.size()
+    }
+}
+
+impl fmt::Display for ValuePathList {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ValuePaths({})", self.array)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn substitute_replaces_base_var() {
+        let v = VpVar(0);
+        let expr = ValuePathExpr::var_path(v, ValuePath::new(vec![PathSeg::key("name")]));
+        let binding = ValuePath::new(vec![PathSeg::key("rows"), PathSeg::Index(2)]);
+        let out = expr.substitute(v, &binding);
+        assert_eq!(out.as_concrete().unwrap().to_string(), "x[rows][2][name]");
+    }
+
+    #[test]
+    fn substitute_ignores_other_vars() {
+        let expr = ValuePathExpr::var(VpVar(1));
+        let binding = ValuePath::input();
+        assert_eq!(expr.substitute(VpVar(0), &binding), expr);
+    }
+
+    #[test]
+    fn display_forms() {
+        let p = ValuePathExpr::input(ValuePath::new(vec![
+            PathSeg::key("zips"),
+            PathSeg::Index(1),
+        ]));
+        assert_eq!(p.to_string(), "x[zips][1]");
+        assert_eq!(ValuePathExpr::var(VpVar(0)).to_string(), "%v0");
+        let q = ValuePathExpr::var_path(VpVar(0), ValuePath::new(vec![PathSeg::key("name")]));
+        assert_eq!(q.to_string(), "%v0[name]");
+    }
+
+    #[test]
+    fn list_elements_enumerate_indices() {
+        let list = ValuePathList::new(ValuePath::new(vec![PathSeg::key("zips")]));
+        let resolved = ValuePath::new(vec![PathSeg::key("zips")]);
+        assert_eq!(list.element(&resolved, 1).to_string(), "x[zips][1]");
+        assert_eq!(list.element(&resolved, 5).to_string(), "x[zips][5]");
+        assert_eq!(list.to_string(), "ValuePaths(x[zips])");
+    }
+}

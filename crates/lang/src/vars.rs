@@ -1,0 +1,77 @@
+//! Loop variables `ϱ` (selector) and `ϑ` (value path).
+
+use std::fmt;
+
+/// A selector loop variable `ϱ`, bound by `foreach ϱ in N do P`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SelVar(pub u32);
+
+impl fmt::Display for SelVar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%r{}", self.0)
+    }
+}
+
+/// A value-path loop variable `ϑ`, bound by `foreach ϑ in V do P`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VpVar(pub u32);
+
+impl fmt::Display for VpVar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%v{}", self.0)
+    }
+}
+
+/// Generator of fresh loop variables, used by the synthesizer's
+/// anti-unification step ("ϱ fresh" in paper Fig. 10).
+#[derive(Debug, Clone, Default)]
+pub struct VarGen {
+    next: u32,
+}
+
+impl VarGen {
+    /// Creates a generator starting at `%r0` / `%v0`.
+    pub fn new() -> VarGen {
+        VarGen::default()
+    }
+
+    /// Creates a generator whose first variable has index `next`.
+    pub fn starting_at(next: u32) -> VarGen {
+        VarGen { next }
+    }
+
+    /// Returns a fresh selector variable.
+    pub fn fresh_sel(&mut self) -> SelVar {
+        let v = SelVar(self.next);
+        self.next += 1;
+        v
+    }
+
+    /// Returns a fresh value-path variable.
+    pub fn fresh_vp(&mut self) -> VpVar {
+        let v = VpVar(self.next);
+        self.next += 1;
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_vars_are_distinct() {
+        let mut g = VarGen::new();
+        let a = g.fresh_sel();
+        let b = g.fresh_sel();
+        let c = g.fresh_vp();
+        assert_ne!(a, b);
+        assert_ne!(b.0, c.0);
+    }
+
+    #[test]
+    fn display_uses_ascii_names() {
+        assert_eq!(SelVar(3).to_string(), "%r3");
+        assert_eq!(VpVar(0).to_string(), "%v0");
+    }
+}

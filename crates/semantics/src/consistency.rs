@@ -1,0 +1,131 @@
+//! Action and trace consistency (paper Def. 4.1's auxiliary relation).
+//!
+//! Two actions are consistent *given a DOM* when they are the same kind of
+//! action and their arguments match; selector arguments match when they
+//! denote the **same DOM node** on that DOM (not when they are syntactically
+//! equal — the whole point of selector search is that the synthesized
+//! program uses different selectors than the recorded absolute XPaths).
+
+use std::sync::Arc;
+
+use webrobot_dom::{Dom, Path};
+use webrobot_lang::Action;
+
+/// `true` iff `p1` and `p2` denote the same node on `dom`.
+///
+/// Both must resolve: a selector that denotes nothing matches nothing
+/// (including another selector that denotes nothing).
+pub fn same_node(p1: &Path, p2: &Path, dom: &Dom) -> bool {
+    match (p1.resolve(dom), p2.resolve(dom)) {
+        (Some(a), Some(b)) => a == b,
+        _ => false,
+    }
+}
+
+/// Consistency of two actions given the DOM both were (or would be)
+/// performed on.
+pub fn action_consistent(a: &Action, b: &Action, dom: &Dom) -> bool {
+    use Action::*;
+    match (a, b) {
+        (Click(p1), Click(p2))
+        | (ScrapeText(p1), ScrapeText(p2))
+        | (ScrapeLink(p1), ScrapeLink(p2))
+        | (Download(p1), Download(p2)) => same_node(p1, p2, dom),
+        (GoBack, GoBack) | (ExtractUrl, ExtractUrl) => true,
+        (SendKeys(p1, s1), SendKeys(p2, s2)) => s1 == s2 && same_node(p1, p2, dom),
+        (EnterData(p1, v1), EnterData(p2, v2)) => v1 == v2 && same_node(p1, p2, dom),
+        _ => false,
+    }
+}
+
+/// Consistency of two equal-length action traces given a DOM trace: the
+/// `i`-th actions must be consistent on the `i`-th DOM.
+///
+/// Returns `false` when lengths differ or when `doms` is shorter than the
+/// traces.
+pub fn trace_consistent(a: &[Action], b: &[Action], doms: &[Arc<Dom>]) -> bool {
+    a.len() == b.len()
+        && a.len() <= doms.len()
+        && a.iter()
+            .zip(b)
+            .zip(doms)
+            .all(|((x, y), dom)| action_consistent(x, y, dom))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webrobot_data::{PathSeg, ValuePath};
+    use webrobot_dom::parse_html;
+
+    fn dom() -> Dom {
+        parse_html(
+            "<html><body><div class='nav'><a>skip</a></div>\
+             <div class='item'><h3>one</h3></div></body></html>",
+        )
+        .unwrap()
+    }
+
+    fn p(s: &str) -> Path {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn different_selectors_same_node_are_consistent() {
+        let d = dom();
+        let abs = Action::ScrapeText(p("/body[1]/div[2]/h3[1]"));
+        let alt = Action::ScrapeText(p("//div[@class='item'][1]//h3[1]"));
+        assert!(action_consistent(&abs, &alt, &d));
+    }
+
+    #[test]
+    fn same_kind_different_node_is_inconsistent() {
+        let d = dom();
+        let a = Action::Click(p("//a[1]"));
+        let b = Action::Click(p("//h3[1]"));
+        assert!(!action_consistent(&a, &b, &d));
+    }
+
+    #[test]
+    fn different_kinds_are_inconsistent() {
+        let d = dom();
+        let a = Action::Click(p("//h3[1]"));
+        let b = Action::ScrapeText(p("//h3[1]"));
+        assert!(!action_consistent(&a, &b, &d));
+    }
+
+    #[test]
+    fn unresolvable_selector_matches_nothing() {
+        let d = dom();
+        let ghost = Action::Click(p("//div[9]"));
+        assert!(!action_consistent(&ghost, &ghost, &d));
+    }
+
+    #[test]
+    fn enter_data_compares_value_paths_syntactically() {
+        let d = dom();
+        let path1 = ValuePath::new(vec![PathSeg::key("zips"), PathSeg::Index(1)]);
+        let path2 = ValuePath::new(vec![PathSeg::key("zips"), PathSeg::Index(2)]);
+        let a = Action::EnterData(p("//h3[1]"), path1.clone());
+        assert!(action_consistent(&a, &Action::EnterData(p("//h3[1]"), path1), &d));
+        assert!(!action_consistent(&a, &Action::EnterData(p("//h3[1]"), path2), &d));
+    }
+
+    #[test]
+    fn send_keys_compares_strings() {
+        let d = dom();
+        let a = Action::SendKeys(p("//h3[1]"), "x".into());
+        let b = Action::SendKeys(p("//h3[1]"), "y".into());
+        assert!(!action_consistent(&a, &b, &d));
+    }
+
+    #[test]
+    fn trace_consistency_is_pointwise() {
+        let d = Arc::new(dom());
+        let xs = vec![Action::GoBack, Action::Click(p("//h3[1]"))];
+        let ys = vec![Action::GoBack, Action::Click(p("/body[1]/div[2]/h3[1]"))];
+        assert!(trace_consistent(&xs, &ys, &[d.clone(), d.clone()]));
+        assert!(!trace_consistent(&xs, &ys[..1], &[d.clone(), d.clone()]));
+        assert!(!trace_consistent(&xs, &ys, &[d]));
+    }
+}

@@ -1,0 +1,93 @@
+//! The synthesis-problem definitions (paper §4).
+
+use webrobot_lang::{Action, Statement};
+
+use crate::consistency::trace_consistent;
+use crate::interp::execute;
+use crate::trace::Trace;
+
+/// Def. 4.1 (Satisfaction): `P` satisfies the trace iff simulating `P` on
+/// the full DOM trace reproduces (at least) all demonstrated actions, each
+/// consistent with its recorded counterpart on the corresponding DOM.
+///
+/// Programs with unbound variables never satisfy anything.
+pub fn satisfies(program: &[Statement], trace: &Trace) -> bool {
+    let Ok(out) = execute(program, trace.doms(), trace.input()) else {
+        return false;
+    };
+    out.actions.len() >= trace.len()
+        && trace_consistent(&out.actions[..trace.len()], trace.actions(), trace.doms())
+}
+
+/// Def. 4.2 (Generalization): `P` generalizes the trace iff it satisfies it
+/// *and* produces at least one further action — the prediction `a_{m+1}`
+/// that would execute on the latest DOM `π_{m+1}`.
+///
+/// Returns the prediction on success.
+pub fn generalizes(program: &[Statement], trace: &Trace) -> Option<Action> {
+    let out = execute(program, trace.doms(), trace.input()).ok()?;
+    let m = trace.len();
+    if out.actions.len() >= m + 1
+        && trace_consistent(&out.actions[..m], trace.actions(), trace.doms())
+    {
+        Some(out.actions[m].clone())
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use webrobot_data::Value;
+    use webrobot_dom::parse_html;
+    use webrobot_lang::parse_program;
+
+    /// Trace: scrape the first two of three anchors; π₄ still shows all
+    /// three anchors.
+    fn two_scrapes() -> Trace {
+        let d = Arc::new(parse_html("<html><a>1</a><a>2</a><a>3</a></html>").unwrap());
+        let mut t = Trace::new(d.clone(), Value::Object(vec![]));
+        t.push(Action::ScrapeText("//a[1]".parse().unwrap()), d.clone());
+        t.push(Action::ScrapeText("//a[2]".parse().unwrap()), d);
+        t
+    }
+
+    #[test]
+    fn straight_line_program_satisfies_but_does_not_generalize() {
+        let t = two_scrapes();
+        let p = parse_program("ScrapeText(//a[1])\nScrapeText(//a[2])").unwrap();
+        assert!(satisfies(p.statements(), &t));
+        assert_eq!(generalizes(p.statements(), &t), None);
+    }
+
+    #[test]
+    fn loop_satisfies_and_predicts_next_action() {
+        let t = two_scrapes();
+        let p = parse_program("foreach %r0 in Dscts(eps, a) do {\n  ScrapeText(%r0)\n}").unwrap();
+        assert!(satisfies(p.statements(), &t));
+        let prediction = generalizes(p.statements(), &t).expect("loop generalizes");
+        assert_eq!(prediction.to_string(), "ScrapeText(//a[3])");
+    }
+
+    #[test]
+    fn wrong_program_neither_satisfies_nor_generalizes() {
+        let t = two_scrapes();
+        let p = parse_program("foreach %r0 in Dscts(eps, a) do {\n  Click(%r0)\n}").unwrap();
+        assert!(!satisfies(p.statements(), &t));
+        assert_eq!(generalizes(p.statements(), &t), None);
+    }
+
+    #[test]
+    fn empty_trace_is_satisfied_by_everything_but_generalized_by_producers() {
+        let d = Arc::new(parse_html("<html><a>1</a></html>").unwrap());
+        let t = Trace::new(d, Value::Object(vec![]));
+        let empty = parse_program("").unwrap();
+        assert!(satisfies(empty.statements(), &t));
+        assert_eq!(generalizes(empty.statements(), &t), None);
+        let p = parse_program("ScrapeText(//a[1])").unwrap();
+        assert!(satisfies(p.statements(), &t));
+        assert!(generalizes(p.statements(), &t).is_some());
+    }
+}

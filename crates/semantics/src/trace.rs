@@ -1,0 +1,149 @@
+//! Recorded demonstrations: an action trace, the DOM trace it was performed
+//! on, and the input data source.
+
+use std::fmt;
+use std::sync::Arc;
+
+use webrobot_data::Value;
+use webrobot_dom::Dom;
+use webrobot_lang::Action;
+
+/// A recorded demonstration.
+///
+/// Maintains the paper's invariant that the DOM trace is one longer than
+/// the action trace: action `a_i` was performed on DOM `π_i`, and the final
+/// DOM `π_{m+1}` is the page currently in front of the user (the one a
+/// prediction would execute on) — paper Def. 4.3.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    actions: Vec<Action>,
+    doms: Vec<Arc<Dom>>,
+    input: Value,
+}
+
+impl Trace {
+    /// Starts an empty trace on `initial_dom` with data source `input`.
+    pub fn new(initial_dom: Arc<Dom>, input: Value) -> Trace {
+        Trace {
+            actions: Vec::new(),
+            doms: vec![initial_dom],
+            input,
+        }
+    }
+
+    /// Builds a trace from parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `doms.len() == actions.len() + 1`.
+    pub fn from_parts(actions: Vec<Action>, doms: Vec<Arc<Dom>>, input: Value) -> Trace {
+        assert_eq!(
+            doms.len(),
+            actions.len() + 1,
+            "DOM trace must have one more entry than the action trace"
+        );
+        Trace {
+            actions,
+            doms,
+            input,
+        }
+    }
+
+    /// Records one step: `action` was performed on the current last DOM and
+    /// the page transitioned to `resulting_dom`.
+    pub fn push(&mut self, action: Action, resulting_dom: Arc<Dom>) {
+        self.actions.push(action);
+        self.doms.push(resulting_dom);
+    }
+
+    /// The demonstrated actions `A = [a₁, ··, a_m]`.
+    pub fn actions(&self) -> &[Action] {
+        &self.actions
+    }
+
+    /// The DOM trace `Π = [π₁, ··, π_{m+1}]`.
+    pub fn doms(&self) -> &[Arc<Dom>] {
+        &self.doms
+    }
+
+    /// The input data source `I`.
+    pub fn input(&self) -> &Value {
+        &self.input
+    }
+
+    /// Number of demonstrated actions `m`.
+    pub fn len(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// `true` iff nothing has been demonstrated yet.
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+
+    /// The DOM the next (predicted) action would execute on: `π_{m+1}`.
+    pub fn latest_dom(&self) -> &Arc<Dom> {
+        self.doms.last().expect("trace always holds ≥ 1 DOM")
+    }
+
+    /// A prefix of this trace with `k` actions and `k + 1` DOMs — the shape
+    /// used by the paper's per-test evaluation protocol (§7.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > self.len()`.
+    pub fn prefix(&self, k: usize) -> Trace {
+        assert!(k <= self.len());
+        Trace {
+            actions: self.actions[..k].to_vec(),
+            doms: self.doms[..k + 1].to_vec(),
+            input: self.input.clone(),
+        }
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "trace of {} actions:", self.actions.len())?;
+        for (i, a) in self.actions.iter().enumerate() {
+            writeln!(f, "  {:>4}  {a}", i + 1)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webrobot_dom::parse_html;
+
+    fn d() -> Arc<Dom> {
+        Arc::new(parse_html("<html><a>x</a></html>").unwrap())
+    }
+
+    #[test]
+    fn push_keeps_invariant() {
+        let mut t = Trace::new(d(), Value::Object(vec![]));
+        assert!(t.is_empty());
+        t.push(Action::Click("//a[1]".parse().unwrap()), d());
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.doms().len(), 2);
+    }
+
+    #[test]
+    fn prefix_truncates_both_traces() {
+        let mut t = Trace::new(d(), Value::Object(vec![]));
+        for _ in 0..3 {
+            t.push(Action::GoBack, d());
+        }
+        let p = t.prefix(2);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.doms().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "one more entry")]
+    fn from_parts_validates_lengths() {
+        let _ = Trace::from_parts(vec![Action::GoBack], vec![d()], Value::Object(vec![]));
+    }
+}

@@ -1,0 +1,144 @@
+//! Fidelity tests against the paper's worked derivation (Example 3.1 /
+//! Fig. 9) and the rule-by-rule behaviour of the trace semantics.
+
+use std::sync::Arc;
+
+use webrobot_data::Value;
+use webrobot_dom::{parse_html, Dom};
+use webrobot_lang::{parse_program, Action};
+use webrobot_semantics::{execute, generalizes, satisfies, Trace};
+
+fn dom(html: &str) -> Arc<Dom> {
+    Arc::new(parse_html(html).unwrap())
+}
+
+/// Example 3.1: `foreach ϱ in Dscts(ε, a) do { Click(ϱ) }` on Π = [π₁, π₂]
+/// produces exactly [Click(//a[1]), Click(//a[2])] — the Fig. 9 result.
+#[test]
+fn example_31_derivation() {
+    let pi = dom("<html><a>x</a><a>y</a><a>z</a></html>");
+    let prog = parse_program("foreach %r0 in Dscts(eps, a) do {\n  Click(%r0)\n}").unwrap();
+    let out = execute(
+        prog.statements(),
+        &[pi.clone(), pi],
+        &Value::Object(vec![]),
+    )
+    .unwrap();
+    let rendered: Vec<String> = out.actions.iter().map(|a| a.to_string()).collect();
+    assert_eq!(rendered, ["Click(//a[1])", "Click(//a[2])"]);
+    // Fig. 9 bottoms out in the Term rule: Π is exhausted mid-loop.
+    assert!(out.exhausted);
+}
+
+/// Example 3.1's P′: `Click(ϱ/b[1])` inside the loop. The element check
+/// (S-Cont) still passes — //a[1] exists — but the click action refers to
+/// //a[1]/b[1]; consistency (not the interpreter) rejects such programs.
+#[test]
+fn example_31_p_prime() {
+    let pi = dom("<html><a>x</a><a>y</a></html>");
+    let prog = parse_program("foreach %r0 in Dscts(eps, a) do {\n  Click(%r0/b[1])\n}").unwrap();
+    let out = execute(prog.statements(), &[pi.clone(), pi.clone()], &Value::Object(vec![]))
+        .unwrap();
+    assert_eq!(out.actions.len(), 2);
+    // Against a demonstration that clicked the anchors themselves, P′
+    // neither satisfies nor generalizes.
+    let mut trace = Trace::new(pi.clone(), Value::Object(vec![]));
+    trace.push(Action::Click("/a[1]".parse().unwrap()), pi);
+    assert!(!satisfies(prog.statements(), &trace));
+    assert_eq!(generalizes(prog.statements(), &trace), None);
+}
+
+/// S-Term: the selector loop ends exactly when the next element stops
+/// existing, not one iteration later.
+#[test]
+fn s_term_fires_at_first_invalid_element() {
+    let pi = dom("<html><a>x</a><a>y</a><h3>t</h3></html>");
+    let prog = parse_program(
+        "foreach %r0 in Dscts(eps, a) do {\n  ScrapeText(%r0)\n}\nScrapeText(/h3[1])",
+    )
+    .unwrap();
+    let doms: Vec<_> = (0..3).map(|_| pi.clone()).collect();
+    let out = execute(prog.statements(), &doms, &Value::Object(vec![])).unwrap();
+    let rendered: Vec<String> = out.actions.iter().map(|a| a.to_string()).collect();
+    assert_eq!(
+        rendered,
+        ["ScrapeText(//a[1])", "ScrapeText(//a[2])", "ScrapeText(/h3[1])"]
+    );
+    assert!(!out.exhausted);
+}
+
+/// While-Init runs the body once before any click-validity check: the
+/// first iteration happens even if the click target never exists.
+#[test]
+fn while_init_runs_body_before_check() {
+    let pi = dom("<html><h3>only page</h3></html>");
+    let prog = parse_program(
+        "while true do {\n  ScrapeText(/h3[1])\n  Click(//button[1])\n}",
+    )
+    .unwrap();
+    let out = execute(prog.statements(), &[pi.clone(), pi], &Value::Object(vec![])).unwrap();
+    let rendered: Vec<String> = out.actions.iter().map(|a| a.to_string()).collect();
+    assert_eq!(rendered, ["ScrapeText(/h3[1])"]);
+    assert!(!out.exhausted, "While-Term fired, execution continued normally");
+}
+
+/// VP-Loop is eager: it iterates exactly |arr| times even when later
+/// iterations' actions run out of DOMs (Term mid-loop).
+#[test]
+fn vp_loop_eagerness_meets_term() {
+    let pi = dom("<html><input/></html>");
+    let prog = parse_program(
+        "foreach %v0 in ValuePaths(x[zips]) do {\n  EnterData(/input[1], %v0)\n}",
+    )
+    .unwrap();
+    let input = Value::object([(
+        "zips".to_string(),
+        Value::str_array(["a", "b", "c", "d"]),
+    )]);
+    // Only two DOMs available for four entries.
+    let out = execute(prog.statements(), &[pi.clone(), pi], &input).unwrap();
+    assert_eq!(out.actions.len(), 2);
+    assert!(out.exhausted);
+}
+
+/// The angelic DOM transition: base statements do not check validity; a
+/// Click on a non-existent node still consumes a DOM and emits an action
+/// (Def. 4.1's consistency is what rules such programs out).
+#[test]
+fn base_statements_are_angelic() {
+    let pi = dom("<html><a>x</a></html>");
+    let prog = parse_program("Click(/div[9])").unwrap();
+    let out = execute(prog.statements(), &[pi], &Value::Object(vec![])).unwrap();
+    assert_eq!(out.actions.len(), 1);
+}
+
+/// Environment scoping: an inner loop variable shadows nothing and outer
+/// bindings are restored after the loop (Fig. 8 rules (1)–(4)).
+#[test]
+fn nested_variable_scoping_follows_fig8() {
+    let pi = dom(
+        "<html><ul><li>a</li></ul><ul><li>b</li><li>c</li></ul></html>",
+    );
+    let prog = parse_program(
+        "foreach %r0 in Dscts(eps, ul) do {\n\
+           foreach %r1 in Children(%r0, li) do {\n\
+             ScrapeText(%r1)\n\
+           }\n\
+           ScrapeText(%r0/li[1])\n\
+         }",
+    )
+    .unwrap();
+    let doms: Vec<_> = (0..6).map(|_| pi.clone()).collect();
+    let out = execute(prog.statements(), &doms, &Value::Object(vec![])).unwrap();
+    let rendered: Vec<String> = out.actions.iter().map(|a| a.to_string()).collect();
+    assert_eq!(
+        rendered,
+        [
+            "ScrapeText(//ul[1]/li[1])",
+            "ScrapeText(//ul[1]/li[1])", // outer var still bound to ul[1]
+            "ScrapeText(//ul[2]/li[1])",
+            "ScrapeText(//ul[2]/li[2])",
+            "ScrapeText(//ul[2]/li[1])",
+        ]
+    );
+}

@@ -1,0 +1,432 @@
+//! Anti-unification (paper Fig. 10): merging a first-iteration statement
+//! with its second-iteration counterpart into a parametrized template plus
+//! the collection the target loop iterates over.
+
+use std::collections::HashMap;
+
+use webrobot_data::{PathSeg, ValuePath};
+use webrobot_dom::{Axis, Path};
+use webrobot_lang::{
+    CollectionKind, SelVar, Selector, SelectorList, Statement, ValuePathExpr, ValuePathList,
+    VpVar,
+};
+
+use crate::context::SynthContext;
+
+/// A successful anti-unification: the skeleton of a loop to speculate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LoopSeed {
+    /// Seed for a selector loop `foreach ϱ in N do {·· template ··}`.
+    Sel {
+        /// The merged statement `S′_p`, using `var`.
+        template: Statement,
+        /// The fresh loop variable `ϱ`.
+        var: SelVar,
+        /// The collection `N` the loop iterates over.
+        list: SelectorList,
+    },
+    /// Seed for a value-path loop `foreach ϑ in V do {·· template ··}`.
+    Vp {
+        /// The merged statement `S′_p`, using `var`.
+        template: Statement,
+        /// The fresh loop variable `ϑ`.
+        var: VpVar,
+        /// The collection `V` the loop iterates over.
+        list: ValuePathList,
+    },
+}
+
+/// Anti-unifies `sp` (first iteration, first action on DOM `dom_p`) with
+/// `sq` (second iteration, first action on DOM `dom_q`).
+///
+/// Implements the rules of Fig. 10:
+///
+/// * rule (1) + (4): loop-free selector statements whose selectors (or
+///   alternative selectors thereof) differ at exactly one step index, 1 vs
+///   2, with a common prefix and suffix;
+/// * rule (2) + (5): two selector loops with alpha-equivalent bodies whose
+///   collection bases anti-unify;
+/// * rule (3): two `EnterData` statements on the same field whose value
+///   paths differ at exactly one array index, 1 vs 2;
+/// * the value-path analogue of rule (2) for nested value-path loops.
+pub fn anti_unify(
+    sp: &Statement,
+    sq: &Statement,
+    dom_p: usize,
+    dom_q: usize,
+    ctx: &mut SynthContext,
+) -> Vec<LoopSeed> {
+    use Statement::*;
+    match (sp, sq) {
+        (Click(a), Click(b)) => sel_seeds(a, b, dom_p, dom_q, ctx, Click),
+        (ScrapeText(a), ScrapeText(b)) => sel_seeds(a, b, dom_p, dom_q, ctx, ScrapeText),
+        (ScrapeLink(a), ScrapeLink(b)) => sel_seeds(a, b, dom_p, dom_q, ctx, ScrapeLink),
+        (Download(a), Download(b)) => sel_seeds(a, b, dom_p, dom_q, ctx, Download),
+        (SendKeys(a, s1), SendKeys(b, s2)) if s1 == s2 => {
+            let text = s1.clone();
+            sel_seeds(a, b, dom_p, dom_q, ctx, move |sel| {
+                SendKeys(sel, text.clone())
+            })
+        }
+        (EnterData(a, v1), EnterData(b, v2)) => {
+            let mut out = Vec::new();
+            // Rule (3): same field, value paths differing at one index.
+            if a == b {
+                if let (Some(p1), Some(p2)) = (v1.as_concrete(), v2.as_concrete()) {
+                    for (prefix, suffix) in anti_unify_vps(p1, p2) {
+                        let var = ctx.vargen.fresh_vp();
+                        out.push(LoopSeed::Vp {
+                            template: EnterData(a.clone(), ValuePathExpr::var_path(var, suffix)),
+                            var,
+                            list: ValuePathList::new(prefix),
+                        });
+                    }
+                }
+            }
+            // Selector-loop flavour: same value path, selectors differing
+            // at one step (e.g. filling every row of a form table).
+            if v1 == v2 {
+                let vp = v1.clone();
+                out.extend(sel_seeds(a, b, dom_p, dom_q, ctx, move |sel| {
+                    EnterData(sel, vp.clone())
+                }));
+            }
+            out
+        }
+        (ForeachSel(l1), ForeachSel(l2)) => {
+            // Rule (2): alpha-equivalent bodies, same collection shape;
+            // anti-unify the collection bases (rule (5)).
+            if l1.list.kind != l2.list.kind || l1.list.pred != l2.list.pred {
+                return Vec::new();
+            }
+            // "P₁, P₂ alpha equivalent": compare the loops with their
+            // collections normalized away, so only the bound bodies count.
+            let mut sq_norm = l2.clone();
+            sq_norm.list = l1.list.clone();
+            if !sp.alpha_eq(&ForeachSel(sq_norm)) {
+                return Vec::new();
+            }
+            let (Some(base1), Some(base2)) =
+                (l1.list.base.as_concrete(), l2.list.base.as_concrete())
+            else {
+                return Vec::new();
+            };
+            let base1 = base1.clone();
+            let base2 = base2.clone();
+            let inner = l1.clone();
+            let mut out = Vec::new();
+            let var = ctx.vargen.fresh_sel();
+            for (sel, list) in anti_unify_selectors(&base1, &base2, dom_p, dom_q, ctx, var) {
+                let mut loop_stmt = inner.clone();
+                loop_stmt.list.base = sel;
+                out.push(LoopSeed::Sel {
+                    template: ForeachSel(loop_stmt),
+                    var,
+                    list,
+                });
+            }
+            out
+        }
+        (ForeachVal(l1), ForeachVal(l2)) => {
+            // Value-path analogue of rule (2): bodies alpha-equivalent
+            // modulo the collection.
+            let mut sq_norm = l2.clone();
+            sq_norm.list = l1.list.clone();
+            if !sp.alpha_eq(&ForeachVal(sq_norm)) {
+                return Vec::new();
+            }
+            let (Some(a1), Some(a2)) =
+                (l1.list.array.as_concrete(), l2.list.array.as_concrete())
+            else {
+                return Vec::new();
+            };
+            let mut out = Vec::new();
+            for (prefix, suffix) in anti_unify_vps(a1, a2) {
+                let var = ctx.vargen.fresh_vp();
+                let mut loop_stmt = l1.clone();
+                loop_stmt.list = ValuePathList::new(ValuePathExpr::var_path(var, suffix));
+                out.push(LoopSeed::Vp {
+                    template: ForeachVal(loop_stmt),
+                    var,
+                    list: ValuePathList::new(prefix),
+                });
+            }
+            out
+        }
+        _ => Vec::new(),
+    }
+}
+
+/// Anti-unifies two concrete selector statements through a constructor.
+fn sel_seeds(
+    a: &Selector,
+    b: &Selector,
+    dom_p: usize,
+    dom_q: usize,
+    ctx: &mut SynthContext,
+    make: impl Fn(Selector) -> Statement,
+) -> Vec<LoopSeed> {
+    let (Some(pa), Some(pb)) = (a.as_concrete(), b.as_concrete()) else {
+        return Vec::new();
+    };
+    let pa = pa.clone();
+    let pb = pb.clone();
+    let var = ctx.vargen.fresh_sel();
+    anti_unify_selectors(&pa, &pb, dom_p, dom_q, ctx, var)
+        .into_iter()
+        .map(|(sel, list)| LoopSeed::Sel {
+            template: make(sel),
+            var,
+            list,
+        })
+        .collect()
+}
+
+/// Fig. 10 rule (4) (and its `Dscts` twin): finds all `(n, N)` such that
+/// some alternative of `p_path` equals `N[1]·suffix` and some alternative
+/// of `q_path` equals `N[2]·suffix`, where `n = ϱ·suffix`.
+pub(crate) fn anti_unify_selectors(
+    p_path: &Path,
+    q_path: &Path,
+    dom_p: usize,
+    dom_q: usize,
+    ctx: &mut SynthContext,
+    var: SelVar,
+) -> Vec<(Selector, SelectorList)> {
+    let d1 = ctx.decomps(dom_p, p_path, 1);
+    let d2 = ctx.decomps(dom_q, q_path, 2);
+    // Hash-join on (prefix, axis, pred, suffix).
+    let mut index: HashMap<(&Path, Axis, &webrobot_dom::Pred, &Path), ()> = HashMap::new();
+    for d in d2.iter() {
+        index.insert((&d.prefix, d.axis, &d.pred, &d.suffix), ());
+    }
+    let mut out = Vec::new();
+    for d in d1.iter() {
+        if index.contains_key(&(&d.prefix, d.axis, &d.pred, &d.suffix)) {
+            let kind = match d.axis {
+                Axis::Child => CollectionKind::Children,
+                Axis::Descendant => CollectionKind::Dscts,
+            };
+            out.push((
+                Selector::var_path(var, d.suffix.clone()),
+                SelectorList {
+                    kind,
+                    base: Selector::rooted(d.prefix.clone()),
+                    pred: d.pred.clone(),
+                },
+            ));
+        }
+    }
+    out.dedup();
+    out
+}
+
+/// Fig. 10 rule (3) decomposition: positions where `p1` carries index 1 and
+/// `p2` carries index 2 with a common prefix and suffix. Returns
+/// `(prefix, suffix)` pairs.
+pub(crate) fn anti_unify_vps(p1: &ValuePath, p2: &ValuePath) -> Vec<(ValuePath, ValuePath)> {
+    if p1.len() != p2.len() {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for k in 0..p1.len() {
+        if p1.segs()[..k] != p2.segs()[..k] || p1.segs()[k + 1..] != p2.segs()[k + 1..] {
+            continue;
+        }
+        if p1.segs()[k] == PathSeg::Index(1) && p2.segs()[k] == PathSeg::Index(2) {
+            out.push((
+                ValuePath::new(p1.segs()[..k].to_vec()),
+                ValuePath::new(p1.segs()[k + 1..].to_vec()),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use webrobot_data::Value;
+    use webrobot_dom::parse_html;
+    use webrobot_lang::Action;
+    use webrobot_semantics::Trace;
+    use webrobot_synth_test_util::*;
+
+    /// Tiny in-crate test utilities.
+    mod webrobot_synth_test_util {
+        use super::*;
+        use crate::config::SynthConfig;
+
+        pub fn listing_ctx() -> SynthContext {
+            let dom = Arc::new(
+                parse_html(
+                    "<html><body><div class='nav'></div>\
+                     <div class='item'><h3>a</h3><span class='ph'>1</span></div>\
+                     <div class='item'><h3>b</h3><span class='ph'>2</span></div>\
+                     <div class='item'><h3>c</h3><span class='ph'>3</span></div>\
+                     </body></html>",
+                )
+                .unwrap(),
+            );
+            let mut trace = Trace::new(dom.clone(), Value::Object(vec![]));
+            for i in 1..=2 {
+                trace.push(
+                    Action::ScrapeText(format!("/body[1]/div[{}]/h3[1]", i + 1).parse().unwrap()),
+                    dom.clone(),
+                );
+            }
+            SynthContext::new(SynthConfig::default(), trace)
+        }
+    }
+
+    fn scrape(path: &str) -> Statement {
+        Statement::ScrapeText(Selector::rooted(path.parse().unwrap()))
+    }
+
+    #[test]
+    fn scrapes_of_adjacent_items_anti_unify() {
+        let mut ctx = listing_ctx();
+        let seeds = anti_unify(
+            &scrape("/body[1]/div[2]/h3[1]"),
+            &scrape("/body[1]/div[3]/h3[1]"),
+            0,
+            1,
+            &mut ctx,
+        );
+        assert!(!seeds.is_empty());
+        // One of the seeds must iterate over the class-predicated items.
+        let found = seeds.iter().any(|s| match s {
+            LoopSeed::Sel { list, .. } => list.to_string() == "Dscts(eps, div[@class='item'])",
+            _ => false,
+        });
+        assert!(found, "seeds: {seeds:?}");
+    }
+
+    #[test]
+    fn absolute_sibling_steps_anti_unify_without_alternatives() {
+        let mut ctx = listing_ctx();
+        ctx.cfg.alternative_selectors = false;
+        // div[2] vs div[3] do NOT anti-unify without alternatives (indices
+        // are 2 and 3, not 1 and 2) — this is exactly why selector search
+        // matters on recorded absolute paths with a leading nav div.
+        let seeds = anti_unify(
+            &scrape("/body[1]/div[2]/h3[1]"),
+            &scrape("/body[1]/div[3]/h3[1]"),
+            0,
+            1,
+            &mut ctx,
+        );
+        assert!(seeds.is_empty());
+        // But on an offset-free site (items are div[1], div[2], …) the
+        // recorded absolute paths anti-unify directly.
+        let dom = Arc::new(
+            parse_html(
+                "<html><body>\
+                 <div class='item'><h3>a</h3></div>\
+                 <div class='item'><h3>b</h3></div>\
+                 </body></html>",
+            )
+            .unwrap(),
+        );
+        let mut trace = Trace::new(dom.clone(), Value::Object(vec![]));
+        trace.push(
+            Action::ScrapeText("/body[1]/div[1]/h3[1]".parse().unwrap()),
+            dom,
+        );
+        let mut ctx = SynthContext::new(crate::SynthConfig::no_selector(), trace);
+        let seeds = anti_unify(
+            &scrape("/body[1]/div[1]/h3[1]"),
+            &scrape("/body[1]/div[2]/h3[1]"),
+            0,
+            1,
+            &mut ctx,
+        );
+        assert!(!seeds.is_empty());
+    }
+
+    #[test]
+    fn mismatched_kinds_never_anti_unify() {
+        let mut ctx = listing_ctx();
+        let seeds = anti_unify(
+            &scrape("/body[1]/div[2]/h3[1]"),
+            &Statement::Click(Selector::rooted("/body[1]/div[3]/h3[1]".parse().unwrap())),
+            0,
+            1,
+            &mut ctx,
+        );
+        assert!(seeds.is_empty());
+        assert!(anti_unify(&Statement::GoBack, &Statement::GoBack, 0, 1, &mut ctx).is_empty());
+    }
+
+    #[test]
+    fn send_keys_requires_equal_strings() {
+        let mut ctx = listing_ctx();
+        let a = Statement::SendKeys(
+            Selector::rooted("/body[1]/div[2]/h3[1]".parse().unwrap()),
+            "x".into(),
+        );
+        let b = Statement::SendKeys(
+            Selector::rooted("/body[1]/div[3]/h3[1]".parse().unwrap()),
+            "y".into(),
+        );
+        assert!(anti_unify(&a, &b, 0, 1, &mut ctx).is_empty());
+    }
+
+    #[test]
+    fn enter_data_rule_three() {
+        let mut ctx = listing_ctx();
+        let vp = |i: usize| {
+            ValuePathExpr::input(ValuePath::new(vec![PathSeg::key("zips"), PathSeg::Index(i)]))
+        };
+        let sel = Selector::rooted("/body[1]/div[1]".parse().unwrap());
+        let a = Statement::EnterData(sel.clone(), vp(1));
+        let b = Statement::EnterData(sel, vp(2));
+        let seeds = anti_unify(&a, &b, 0, 1, &mut ctx);
+        let vp_seed = seeds.iter().find_map(|s| match s {
+            LoopSeed::Vp { list, template, .. } => Some((list, template)),
+            _ => None,
+        });
+        let (list, template) = vp_seed.expect("rule (3) fires");
+        assert_eq!(list.to_string(), "ValuePaths(x[zips])");
+        match template {
+            Statement::EnterData(_, v) => assert!(v.base_var().is_some()),
+            other => panic!("unexpected template {other:?}"),
+        }
+    }
+
+    #[test]
+    fn vp_anti_unification_requires_one_and_two() {
+        let p = |i: usize| ValuePath::new(vec![PathSeg::key("rows"), PathSeg::Index(i), PathSeg::key("name")]);
+        assert_eq!(anti_unify_vps(&p(1), &p(2)).len(), 1);
+        let (prefix, suffix) = anti_unify_vps(&p(1), &p(2)).remove(0);
+        assert_eq!(prefix.to_string(), "x[rows]");
+        assert_eq!(suffix.segs(), &[PathSeg::key("name")]);
+        assert!(anti_unify_vps(&p(2), &p(3)).is_empty());
+        assert!(anti_unify_vps(&p(1), &p(1)).is_empty());
+    }
+
+    #[test]
+    fn foreach_loops_anti_unify_via_bases() {
+        use webrobot_lang::parse_program;
+        // Two inner loops over the spans of item 1 (div[2]) and item 2
+        // (div[3]); the bases anti-unify through the class alternative.
+        let mk = |i: usize, v: u32| {
+            parse_program(&format!(
+                "foreach %r{v} in Children(/body[1]/div[{i}], span) do {{\n  ScrapeText(%r{v})\n}}"
+            ))
+            .unwrap()
+            .into_statements()
+            .remove(0)
+        };
+        let mut ctx = listing_ctx();
+        // Different inner variable numbering must not matter (alpha-eq).
+        let seeds = anti_unify(&mk(2, 0), &mk(3, 7), 0, 1, &mut ctx);
+        let sel = seeds.iter().find_map(|s| match s {
+            LoopSeed::Sel { list, .. } => Some(list),
+            _ => None,
+        });
+        let list = sel.expect("foreach loops anti-unify");
+        assert_eq!(list.to_string(), "Dscts(eps, div[@class='item'])");
+    }
+}

@@ -1,0 +1,188 @@
+//! Shared synthesis context: the trace plus memoized selector analyses.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use webrobot_dom::{alternatives, AltConfig, Axis, Path, Pred};
+use webrobot_lang::VarGen;
+use webrobot_semantics::Trace;
+
+use crate::config::SynthConfig;
+
+/// One way of writing an alternative selector as
+/// `prefix · axis pred[index] · suffix` — the decomposition shape consumed
+/// by anti-unification (Fig. 10 rule (4)) and parametrization (Fig. 11
+/// rule (2)).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) struct Decomp {
+    pub prefix: Path,
+    pub axis: Axis,
+    pub pred: Pred,
+    pub suffix: Path,
+}
+
+/// Mutable synthesis context: owns the growing [`Trace`], the fresh-variable
+/// generator, and caches keyed by `(DOM index, recorded path)`.
+///
+/// The DOM trace is append-only, so cache entries stay valid as the
+/// demonstration grows — this cache is a large part of what makes
+/// incremental synthesis cheap.
+#[derive(Debug)]
+pub struct SynthContext {
+    pub(crate) cfg: SynthConfig,
+    pub(crate) trace: Trace,
+    pub(crate) vargen: VarGen,
+    alt_cache: HashMap<(usize, Path), Rc<Vec<Path>>>,
+    decomp_cache: HashMap<(usize, Path, usize), Rc<Vec<Decomp>>>,
+}
+
+impl SynthContext {
+    /// Creates a context over `trace`.
+    pub fn new(cfg: SynthConfig, trace: Trace) -> SynthContext {
+        SynthContext {
+            cfg,
+            trace,
+            vargen: VarGen::new(),
+            alt_cache: HashMap::new(),
+            decomp_cache: HashMap::new(),
+        }
+    }
+
+    /// The demonstration being generalized.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SynthConfig {
+        &self.cfg
+    }
+
+    fn alt_config(&self) -> AltConfig {
+        AltConfig {
+            max_alternatives: self.cfg.max_alternatives,
+            ..AltConfig::default()
+        }
+    }
+
+    /// Alternative selectors for `path` on DOM `dom_idx` of the trace.
+    ///
+    /// Honors the *No selector* ablation: with `alternative_selectors`
+    /// disabled only the recorded path itself is returned.
+    pub(crate) fn alternatives(&mut self, dom_idx: usize, path: &Path) -> Rc<Vec<Path>> {
+        let key = (dom_idx, path.clone());
+        if let Some(hit) = self.alt_cache.get(&key) {
+            return hit.clone();
+        }
+        let alts = if self.cfg.alternative_selectors {
+            alternatives(&self.trace.doms()[dom_idx], path, &self.alt_config())
+        } else if path.valid(&self.trace.doms()[dom_idx]) {
+            vec![path.clone()]
+        } else {
+            Vec::new()
+        };
+        let rc = Rc::new(alts);
+        self.alt_cache.insert(key, rc.clone());
+        rc
+    }
+
+    /// All decompositions `prefix · axis pred[want_index] · suffix` of the
+    /// alternatives of `path` on DOM `dom_idx` whose pivot step has index
+    /// `want_index` (1 for first-iteration statements, 2 for
+    /// second-iteration statements).
+    pub(crate) fn decomps(
+        &mut self,
+        dom_idx: usize,
+        path: &Path,
+        want_index: usize,
+    ) -> Rc<Vec<Decomp>> {
+        let key = (dom_idx, path.clone(), want_index);
+        if let Some(hit) = self.decomp_cache.get(&key) {
+            return hit.clone();
+        }
+        let alts = self.alternatives(dom_idx, path);
+        let mut out = Vec::new();
+        for alt in alts.iter() {
+            let steps = alt.steps();
+            for (k, step) in steps.iter().enumerate() {
+                if step.index != want_index {
+                    continue;
+                }
+                out.push(Decomp {
+                    prefix: alt.prefix(k),
+                    axis: step.axis,
+                    pred: step.pred.clone(),
+                    suffix: Path::new(steps[k + 1..].to_vec()),
+                });
+            }
+        }
+        out.sort_by_key(|d| (d.prefix.len(), d.suffix.len()));
+        out.dedup();
+        let rc = Rc::new(out);
+        self.decomp_cache.insert(key, rc.clone());
+        rc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use webrobot_data::Value;
+    use webrobot_dom::parse_html;
+
+    fn ctx(cfg: SynthConfig) -> SynthContext {
+        let dom = Arc::new(
+            parse_html(
+                "<html><body><div class='nav'></div>\
+                 <div class='item'><h3>a</h3></div>\
+                 <div class='item'><h3>b</h3></div></body></html>",
+            )
+            .unwrap(),
+        );
+        let trace = Trace::new(dom, Value::Object(vec![]));
+        SynthContext::new(cfg, trace)
+    }
+
+    #[test]
+    fn alternatives_respect_ablation() {
+        let path: Path = "/body[1]/div[2]/h3[1]".parse().unwrap();
+        let mut full = ctx(SynthConfig::default());
+        assert!(full.alternatives(0, &path).len() > 1);
+        let mut ablated = ctx(SynthConfig::no_selector());
+        assert_eq!(ablated.alternatives(0, &path).as_slice(), &[path]);
+    }
+
+    #[test]
+    fn decomps_filter_by_pivot_index() {
+        let path: Path = "/body[1]/div[2]/h3[1]".parse().unwrap();
+        let mut c = ctx(SynthConfig::default());
+        let d1 = c.decomps(0, &path, 1);
+        assert!(!d1.is_empty());
+        assert!(d1.iter().all(|d| {
+            // Reconstruct and verify pivot index.
+            let mut p = d.prefix.clone();
+            p = p.join(webrobot_dom::Step {
+                axis: d.axis,
+                pred: d.pred.clone(),
+                index: 1,
+            });
+            p.concat(&d.suffix).valid(&c.trace().doms()[0])
+        }));
+        // The second item decomposes with pivot index 2 at the item step.
+        let path2: Path = "/body[1]/div[3]/h3[1]".parse().unwrap();
+        let d2 = c.decomps(0, &path2, 2);
+        assert!(d2
+            .iter()
+            .any(|d| d.pred == Pred::with_attr("div", "class", "item")));
+    }
+
+    #[test]
+    fn caches_are_hit() {
+        let path: Path = "/body[1]/div[2]/h3[1]".parse().unwrap();
+        let mut c = ctx(SynthConfig::default());
+        let a = c.alternatives(0, &path);
+        let b = c.alternatives(0, &path);
+        assert!(Rc::ptr_eq(&a, &b));
+    }
+}

@@ -1,0 +1,494 @@
+//! The top-level worklist algorithm (paper Alg. 1) with incremental
+//! synthesis (paper §5.4).
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+use std::time::{Duration, Instant};
+
+use webrobot_dom::Dom;
+use webrobot_lang::{Action, Program, Statement};
+use webrobot_semantics::{action_consistent, generalizes, Trace};
+
+use crate::config::SynthConfig;
+use crate::context::SynthContext;
+use crate::item::Item;
+use crate::speculate::{speculate, SRewrite};
+use crate::validate::validate;
+
+/// A generalizing program together with its ranking key and prediction.
+#[derive(Debug, Clone)]
+pub struct RankedProgram {
+    /// The synthesized program.
+    pub program: Program,
+    /// AST size (primary ranking key: smaller is better, paper §4).
+    pub size: usize,
+    /// The predicted next action `a_{m+1}`.
+    pub prediction: Action,
+}
+
+/// Bookkeeping for one `synthesize` call.
+#[derive(Debug, Clone, Default)]
+pub struct SynthStats {
+    /// Items popped from the worklist.
+    pub pops: usize,
+    /// Items pushed (after validation and dedup).
+    pub pushes: usize,
+    /// s-rewrites validated (Alg. 3 invocations).
+    pub validations: usize,
+    /// Wall-clock time of the call.
+    pub elapsed: Duration,
+    /// `true` when cached generalizing programs answered the call without
+    /// touching the worklist (the incremental fast path).
+    pub fast_path: bool,
+    /// `true` when the call ended on the timeout rather than exhausting the
+    /// worklist.
+    pub timed_out: bool,
+}
+
+/// Result of one `synthesize` call.
+#[derive(Debug, Clone, Default)]
+pub struct SynthResult {
+    /// Generalizing programs, best first.
+    pub programs: Vec<RankedProgram>,
+    /// Distinct predictions surfaced to the user (deduplicated by
+    /// node-consistency on the latest DOM), best program's first.
+    pub predictions: Vec<Action>,
+    /// Call statistics.
+    pub stats: SynthStats,
+}
+
+impl SynthResult {
+    /// The best program's prediction, if any program generalizes.
+    pub fn best_prediction(&self) -> Option<&Action> {
+        self.predictions.first()
+    }
+}
+
+/// Worklist entry ordered *smallest statement count first* (ties broken by
+/// insertion order for determinism).
+#[derive(Debug, Clone)]
+struct HeapEntry {
+    len: usize,
+    seq: u64,
+    item: Item,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && self.seq == other.seq
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap: invert for min-by-(len, seq).
+        (other.len, other.seq).cmp(&(self.len, self.seq))
+    }
+}
+
+/// The interactive, incremental synthesizer (paper Alg. 1 + §5.4).
+///
+/// Feed demonstrated actions with [`Synthesizer::observe`], then call
+/// [`Synthesizer::synthesize`] to obtain generalizing programs and their
+/// predictions. State (worklist, processed rewrites, caches, generalizing
+/// programs) persists across calls unless the *No incremental* ablation is
+/// configured.
+#[derive(Debug)]
+pub struct Synthesizer {
+    ctx: SynthContext,
+    worklist: BinaryHeap<HeapEntry>,
+    processed: Vec<Item>,
+    generalizing: Vec<Item>,
+    seen: HashSet<u64>,
+    seq: u64,
+    /// Trace length the stored items were last extended to.
+    synced_len: usize,
+}
+
+impl Synthesizer {
+    /// Creates a synthesizer over an initial trace (possibly empty).
+    pub fn new(cfg: SynthConfig, trace: Trace) -> Synthesizer {
+        let mut synth = Synthesizer {
+            synced_len: trace.len(),
+            ctx: SynthContext::new(cfg, trace),
+            worklist: BinaryHeap::new(),
+            processed: Vec::new(),
+            generalizing: Vec::new(),
+            seen: HashSet::new(),
+            seq: 0,
+        };
+        let initial = Item::initial(synth.ctx.trace());
+        synth.push_item(initial);
+        synth
+    }
+
+    /// The demonstration observed so far.
+    pub fn trace(&self) -> &Trace {
+        self.ctx.trace()
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SynthConfig {
+        self.ctx.config()
+    }
+
+    /// Records one demonstrated (or authorized) action and the DOM the page
+    /// transitioned to.
+    pub fn observe(&mut self, action: Action, resulting_dom: std::sync::Arc<Dom>) {
+        self.ctx.trace.push(action, resulting_dom);
+    }
+
+    fn push_item(&mut self, item: Item) {
+        if self.seen.insert(item.canonical_hash()) {
+            self.seq += 1;
+            self.worklist.push(HeapEntry {
+                len: item.len(),
+                seq: self.seq,
+                item,
+            });
+        }
+    }
+
+    /// Synthesizes with the configured timeout.
+    pub fn synthesize(&mut self) -> SynthResult {
+        let timeout = self.ctx.cfg.timeout;
+        self.synthesize_until(Instant::now() + timeout)
+    }
+
+    /// Synthesizes until `deadline`.
+    ///
+    /// With incremental synthesis enabled this first re-checks the cached
+    /// generalizing programs (fast path: if any still generalizes the
+    /// extended trace, no rewriting happens at all), then resumes the
+    /// worklist from `W ∪ W′` with newly demonstrated actions appended to
+    /// every stored rewrite and trailing loops re-validated so they absorb
+    /// the new actions.
+    pub fn synthesize_until(&mut self, deadline: Instant) -> SynthResult {
+        let started = Instant::now();
+        let mut stats = SynthStats::default();
+
+        if !self.ctx.cfg.incremental {
+            self.reset_from_scratch();
+        } else {
+            // Fast path (paper §7.2: re-synthesis happens only when the
+            // previous program fails to predict the next action).
+            let trace = self.ctx.trace();
+            let latest = trace.latest_dom().clone();
+            self.generalizing.retain(|item| {
+                match generalizes(item.statements(), trace) {
+                    Some(pred) => pred.selector().is_none_or(|s| s.valid(&latest)),
+                    None => false,
+                }
+            });
+            if !self.generalizing.is_empty() {
+                stats.fast_path = true;
+                stats.elapsed = started.elapsed();
+                return self.rank(stats);
+            }
+            self.sync_items();
+        }
+
+        // Main worklist loop (Alg. 1 lines 3–7).
+        while let Some(entry) = self.worklist.pop() {
+            if Instant::now() > deadline {
+                stats.timed_out = true;
+                // Not destructive: put the item back for the next call.
+                self.worklist.push(entry);
+                break;
+            }
+            let item = entry.item;
+            stats.pops += 1;
+            if generalizes(item.statements(), self.ctx.trace()).is_some() {
+                self.store_generalizing(item.clone());
+            }
+            let rewrites: Vec<SRewrite> = speculate(&item, &mut self.ctx, deadline);
+            for sr in &rewrites {
+                stats.validations += 1;
+                if let Some(new_item) = validate(sr, &item, &self.ctx) {
+                    stats.pushes += 1;
+                    self.push_item(new_item);
+                }
+                if stats.validations % 64 == 0 && Instant::now() > deadline {
+                    stats.timed_out = true;
+                    break;
+                }
+            }
+            self.processed.push(item);
+            if self.worklist.len() + self.processed.len() > self.ctx.cfg.max_items {
+                break;
+            }
+            if stats.timed_out {
+                break;
+            }
+        }
+
+        stats.elapsed = started.elapsed();
+        self.rank(stats)
+    }
+
+    /// Keeps at most `max_programs` generalizing rewrites, evicting the
+    /// largest when full so small (well-ranked) programs always survive.
+    fn store_generalizing(&mut self, item: Item) {
+        if self.generalizing.len() < self.ctx.cfg.max_programs {
+            self.generalizing.push(item);
+            return;
+        }
+        let new_size = item.to_program().size();
+        if let Some((idx, worst)) = self
+            .generalizing
+            .iter()
+            .map(|i| i.to_program().size())
+            .enumerate()
+            .max_by_key(|&(_, s)| s)
+        {
+            if new_size < worst {
+                self.generalizing[idx] = item;
+            }
+        }
+    }
+
+    /// The *No incremental* ablation: drop every stored rewrite and start
+    /// from the singleton program `P₀` again.
+    fn reset_from_scratch(&mut self) {
+        self.worklist.clear();
+        self.processed.clear();
+        self.generalizing.clear();
+        self.seen.clear();
+        self.synced_len = self.ctx.trace().len();
+        let initial = Item::initial(self.ctx.trace());
+        self.push_item(initial);
+    }
+
+    /// Incremental resume (§5.4): extend every stored item (worklist,
+    /// processed `W′`, and previously generalizing) with the newly
+    /// demonstrated actions as singleton statements, and let trailing loops
+    /// absorb them by re-validation. A no-op when the trace hasn't grown
+    /// since the last sync.
+    fn sync_items(&mut self) {
+        let m = self.ctx.trace().len();
+        if m == self.synced_len {
+            return;
+        }
+        self.synced_len = m;
+        let mut stored: Vec<Item> = Vec::with_capacity(
+            self.worklist.len() + self.processed.len() + self.generalizing.len() + 1,
+        );
+        stored.extend(self.worklist.drain().map(|e| e.item));
+        stored.extend(self.processed.drain(..));
+        stored.extend(self.generalizing.drain(..));
+        // Extended items carry fresh hashes; dedup within this batch only
+        // (the global `seen` set still filters future rewrites).
+        let mut batch: HashSet<u64> = HashSet::new();
+        let requeue = |synth: &mut Synthesizer, item: Item, batch: &mut HashSet<u64>| {
+            let hash = item.canonical_hash();
+            if batch.insert(hash) {
+                synth.seen.insert(hash);
+                synth.seq += 1;
+                synth.worklist.push(HeapEntry {
+                    len: item.len(),
+                    seq: synth.seq,
+                    item,
+                });
+            }
+        };
+        for item in stored {
+            debug_assert!(item.covered() <= m, "traces only grow");
+            let boundary = item.len(); // index of first appended singleton
+            let extended = item.extended_to(self.ctx.trace());
+            // Absorption: if the item's last statement is a loop whose
+            // coverage ended at the old frontier, re-validate it so it
+            // swallows the fresh singletons. When absorption succeeds, the
+            // *unabsorbed* variant is dropped: its trailing loop would
+            // overrun its slice when re-executed on the longer DOM trace,
+            // producing spuriously-generalizing "zombie" programs.
+            if boundary > 0 && extended.len() > boundary {
+                let k = boundary - 1;
+                if !extended.statements()[k].is_loop_free() {
+                    let sr = SRewrite {
+                        stmt: extended.statements()[k].clone(),
+                        i: k,
+                        j: k,
+                    };
+                    if let Some(absorbed) = validate(&sr, &extended, &self.ctx) {
+                        requeue(self, absorbed, &mut batch);
+                        continue;
+                    }
+                }
+            }
+            requeue(self, extended, &mut batch);
+        }
+    }
+
+    /// Ranks generalizing programs by AST size (then statement count, then
+    /// rendering, for determinism) and extracts distinct predictions.
+    ///
+    /// Programs whose prediction does not denote a node on the latest DOM
+    /// are dropped: the front-end could neither visualize nor perform such
+    /// an action (paper §6, prediction authorization).
+    fn rank(&self, stats: SynthStats) -> SynthResult {
+        let trace = self.ctx.trace();
+        let latest_dom = trace.latest_dom().clone();
+        let mut ranked: Vec<RankedProgram> = Vec::new();
+        for item in &self.generalizing {
+            if let Some(prediction) = generalizes(item.statements(), trace) {
+                if let Some(selector) = prediction.selector() {
+                    if !selector.valid(&latest_dom) {
+                        continue;
+                    }
+                }
+                let program = item.to_program();
+                ranked.push(RankedProgram {
+                    size: program.size(),
+                    program,
+                    prediction,
+                });
+            }
+        }
+        ranked.sort_by(|a, b| {
+            (a.size, a.program.len(), a.program.to_string()).cmp(&(
+                b.size,
+                b.program.len(),
+                b.program.to_string(),
+            ))
+        });
+        ranked.dedup_by(|a, b| a.program == b.program);
+
+        let latest = trace.latest_dom().clone();
+        let mut predictions: Vec<Action> = Vec::new();
+        for rp in &ranked {
+            if predictions.len() >= self.ctx.cfg.max_predictions {
+                break;
+            }
+            if !predictions
+                .iter()
+                .any(|p| action_consistent(p, &rp.prediction, &latest))
+            {
+                predictions.push(rp.prediction.clone());
+            }
+        }
+        SynthResult {
+            programs: ranked,
+            predictions,
+            stats,
+        }
+    }
+
+    /// Direct access to generalizing rewrites (e.g. for inspecting slice
+    /// boundaries in tests and experiments).
+    pub fn generalizing_items(&self) -> &[Item] {
+        &self.generalizing
+    }
+
+    /// Convenience: the statements of the current best program, if any.
+    pub fn best_program(&self) -> Option<Vec<Statement>> {
+        let trace = self.ctx.trace();
+        self.generalizing
+            .iter()
+            .filter(|item| generalizes(item.statements(), trace).is_some())
+            .min_by_key(|item| item.to_program().size())
+            .map(|item| item.statements().to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use webrobot_data::Value;
+    use webrobot_dom::parse_html;
+
+    fn anchors(n: usize) -> Arc<Dom> {
+        let body: String = (1..=n).map(|i| format!("<a>item {i}</a>")).collect();
+        Arc::new(parse_html(&format!("<html>{body}</html>")).unwrap())
+    }
+
+    fn scrape_trace(demonstrated: usize, total: usize) -> Trace {
+        let dom = anchors(total);
+        let mut t = Trace::new(dom.clone(), Value::Object(vec![]));
+        for i in 1..=demonstrated {
+            t.push(
+                Action::ScrapeText(format!("/a[{i}]").parse().unwrap()),
+                dom.clone(),
+            );
+        }
+        t
+    }
+
+    #[test]
+    fn synthesizes_single_loop_from_two_actions() {
+        let mut synth = Synthesizer::new(SynthConfig::default(), scrape_trace(2, 5));
+        let result = synth.synthesize();
+        assert!(!result.programs.is_empty());
+        let best = &result.programs[0];
+        assert_eq!(best.program.len(), 1);
+        assert_eq!(best.program.loop_depth(), 1);
+        let want = Action::ScrapeText("/a[3]".parse().unwrap());
+        assert!(action_consistent(
+            &want,
+            result.best_prediction().unwrap(),
+            synth.trace().latest_dom()
+        ));
+    }
+
+    #[test]
+    fn one_action_cannot_generalize() {
+        let mut synth = Synthesizer::new(SynthConfig::default(), scrape_trace(1, 5));
+        let result = synth.synthesize();
+        assert!(result.programs.is_empty());
+        assert!(result.best_prediction().is_none());
+    }
+
+    #[test]
+    fn incremental_fast_path_reuses_program() {
+        let full = scrape_trace(4, 6);
+        let mut synth = Synthesizer::new(SynthConfig::default(), full.prefix(2));
+        let r1 = synth.synthesize();
+        assert!(!r1.stats.fast_path);
+        assert!(!r1.programs.is_empty());
+        // The user accepts the prediction: the trace grows by one action.
+        synth.observe(full.actions()[2].clone(), full.doms()[3].clone());
+        let r2 = synth.synthesize();
+        assert!(r2.stats.fast_path, "cached program still generalizes");
+        assert!(action_consistent(
+            r2.best_prediction().unwrap(),
+            &Action::ScrapeText("/a[4]".parse().unwrap()),
+            synth.trace().latest_dom()
+        ));
+    }
+
+    #[test]
+    fn no_incremental_restarts_every_time() {
+        let full = scrape_trace(3, 6);
+        let mut synth = Synthesizer::new(SynthConfig::no_incremental(), full.prefix(2));
+        let r1 = synth.synthesize();
+        assert!(!r1.programs.is_empty());
+        synth.observe(full.actions()[2].clone(), full.doms()[3].clone());
+        let r2 = synth.synthesize();
+        assert!(!r2.stats.fast_path);
+        assert!(!r2.programs.is_empty());
+    }
+
+    #[test]
+    fn empty_trace_yields_nothing() {
+        let dom = anchors(2);
+        let t = Trace::new(dom, Value::Object(vec![]));
+        let mut synth = Synthesizer::new(SynthConfig::default(), t);
+        let result = synth.synthesize();
+        assert!(result.programs.is_empty());
+    }
+
+    #[test]
+    fn predictions_are_deduplicated_by_node() {
+        // Children(...) and Dscts(...) loops predict syntactically
+        // different but node-identical actions: one prediction surfaces.
+        let mut synth = Synthesizer::new(SynthConfig::default(), scrape_trace(3, 5));
+        let result = synth.synthesize();
+        assert!(result.programs.len() >= 2, "ambiguity exists");
+        assert_eq!(result.predictions.len(), 1);
+    }
+}

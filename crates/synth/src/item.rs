@@ -1,0 +1,177 @@
+//! Worklist items: a partial rewrite of the trace plus the slice
+//! boundaries that witness invariants I1/I2 of paper Alg. 1.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+use webrobot_lang::{Program, Statement};
+use webrobot_semantics::Trace;
+
+/// A worklist entry `(P, A⃗, Π⃗)`.
+///
+/// `stmts` is the program rewritten so far; `bounds` partitions the action
+/// trace: statement `k` covers actions `bounds[k] .. bounds[k+1]` (and the
+/// DOMs of the same indices). The invariants of Alg. 1 —
+///
+/// * **I1**: the slices concatenate back to the full trace, and
+/// * **I2**: each statement satisfies its slice —
+///
+/// hold by construction: items are only created by [`Item::initial`]
+/// (singleton statements) and by `validate` (which checks I2 semantically).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Item {
+    pub(crate) stmts: Vec<Statement>,
+    pub(crate) bounds: Vec<usize>,
+}
+
+impl Item {
+    /// The initial item `P₀ = a₁; ··; a_m` with singleton slices.
+    pub fn initial(trace: &Trace) -> Item {
+        let stmts: Vec<Statement> = trace.actions().iter().map(|a| a.to_statement()).collect();
+        let bounds = (0..=trace.len()).collect();
+        Item { stmts, bounds }
+    }
+
+    /// The rewritten program.
+    pub fn statements(&self) -> &[Statement] {
+        &self.stmts
+    }
+
+    /// Slice boundaries (length `statements().len() + 1`).
+    pub fn bounds(&self) -> &[usize] {
+        &self.bounds
+    }
+
+    /// Number of statements.
+    pub fn len(&self) -> usize {
+        self.stmts.len()
+    }
+
+    /// `true` for the empty item (empty trace).
+    pub fn is_empty(&self) -> bool {
+        self.stmts.is_empty()
+    }
+
+    /// Number of actions this item covers (= trace length at creation).
+    pub fn covered(&self) -> usize {
+        *self.bounds.last().expect("bounds never empty")
+    }
+
+    /// First action index covered by statement `k` — also the index of the
+    /// DOM that statement's first action executes on.
+    pub fn slice_start(&self, k: usize) -> usize {
+        self.bounds[k]
+    }
+
+    /// Extends the item with newly demonstrated actions as singleton
+    /// statements (incremental synthesis, paper §5.4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is shorter than what the item already covers.
+    pub fn extended_to(&self, trace: &Trace) -> Item {
+        let covered = self.covered();
+        assert!(trace.len() >= covered, "trace shrank under an item");
+        let mut stmts = self.stmts.clone();
+        let mut bounds = self.bounds.clone();
+        for idx in covered..trace.len() {
+            stmts.push(trace.actions()[idx].to_statement());
+            bounds.push(idx + 1);
+        }
+        Item { stmts, bounds }
+    }
+
+    /// The item as a [`Program`].
+    pub fn to_program(&self) -> Program {
+        Program::new(self.stmts.clone())
+    }
+
+    /// Hash of the canonicalized program + bounds, used to deduplicate
+    /// alpha-equivalent rewrites across the worklist.
+    pub fn canonical_hash(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        self.to_program().canonicalize().hash(&mut h);
+        self.bounds.hash(&mut h);
+        h.finish()
+    }
+
+    /// Replaces statements `i..=r` with `stmt`, whose slice is
+    /// `bounds[i] .. bounds[r+1]`.
+    pub(crate) fn splice(&self, i: usize, r: usize, stmt: Statement) -> Item {
+        let mut stmts = Vec::with_capacity(self.stmts.len() - (r - i));
+        stmts.extend_from_slice(&self.stmts[..i]);
+        stmts.push(stmt);
+        stmts.extend_from_slice(&self.stmts[r + 1..]);
+        let mut bounds = Vec::with_capacity(self.bounds.len() - (r - i));
+        bounds.extend_from_slice(&self.bounds[..=i]);
+        bounds.extend_from_slice(&self.bounds[r + 1..]);
+        Item { stmts, bounds }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use webrobot_data::Value;
+    use webrobot_dom::parse_html;
+    use webrobot_lang::Action;
+
+    fn trace(n: usize) -> Trace {
+        let dom = Arc::new(parse_html("<html><a>x</a></html>").unwrap());
+        let mut t = Trace::new(dom.clone(), Value::Object(vec![]));
+        for _ in 0..n {
+            t.push(Action::ScrapeText("/a[1]".parse().unwrap()), dom.clone());
+        }
+        t
+    }
+
+    #[test]
+    fn initial_item_has_singleton_slices() {
+        let t = trace(3);
+        let item = Item::initial(&t);
+        assert_eq!(item.len(), 3);
+        assert_eq!(item.bounds(), &[0, 1, 2, 3]);
+        assert_eq!(item.covered(), 3);
+    }
+
+    #[test]
+    fn extension_appends_singletons() {
+        let t3 = trace(3);
+        let item = Item::initial(&t3.prefix(1));
+        let ext = item.extended_to(&t3);
+        assert_eq!(ext.len(), 3);
+        assert_eq!(ext.bounds(), &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn splice_replaces_slice_range() {
+        let t = trace(4);
+        let item = Item::initial(&t);
+        let spliced = item.splice(1, 2, Statement::GoBack);
+        assert_eq!(spliced.len(), 3);
+        assert_eq!(spliced.bounds(), &[0, 1, 3, 4]);
+        assert_eq!(spliced.statements()[1], Statement::GoBack);
+    }
+
+    #[test]
+    fn canonical_hash_ignores_var_numbering() {
+        use webrobot_lang::{parse_program, SelVar};
+        let t = trace(2);
+        let mut a = Item::initial(&t);
+        let mut b = Item::initial(&t);
+        let make = |v: u32| {
+            parse_program(&format!(
+                "foreach %r{v} in Dscts(eps, a) do {{\n  ScrapeText(%r{v})\n}}"
+            ))
+            .unwrap()
+            .into_statements()
+            .remove(0)
+        };
+        a.stmts[0] = make(0);
+        b.stmts[0] = make(9);
+        let _ = SelVar(0); // silence unused import lint in some cfgs
+        assert_eq!(a.canonical_hash(), b.canonical_hash());
+        assert_ne!(a.canonical_hash(), Item::initial(&t).canonical_hash());
+    }
+}

@@ -1,0 +1,64 @@
+//! The WebRobot synthesis engine (paper §5): **speculative rewriting**.
+//!
+//! Given a demonstration [`Trace`] (actions + DOMs + input data), the
+//! [`Synthesizer`] searches for web RPA programs that *generalize* the
+//! trace — reproduce every demonstrated action and predict at least one
+//! more (paper Defs. 4.1–4.3). The search is a worklist of partial rewrites
+//! (Alg. 1):
+//!
+//! 1. **Speculate** (Alg. 2, [`speculate`]): pattern-match just the *first
+//!    two iterations* of a would-be loop using anti-unification (Fig. 10)
+//!    and parametrization (Fig. 11), producing cheap, over-approximate
+//!    *s-rewrites*;
+//! 2. **Validate** (Alg. 3, [`validate`]): execute each s-rewrite under the
+//!    trace semantics and keep only *true rewrites* — those that actually
+//!    reproduce a longer slice of the trace than the two iterations they
+//!    were guessed from.
+//!
+//! Nested loops emerge inside-out: a validated loop becomes a single
+//! statement that later speculation rounds can fold into outer loops.
+//! Synthesis is **incremental** (§5.4): the worklist survives across calls,
+//! newly demonstrated actions are appended to stored rewrites, and trailing
+//! loops *absorb* the new actions by re-validation.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use webrobot_dom::parse_html;
+//! use webrobot_lang::{Action, Value};
+//! use webrobot_semantics::Trace;
+//! use webrobot_synth::{SynthConfig, Synthesizer};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let page = Arc::new(parse_html("<html><a>1</a><a>2</a><a>3</a></html>")?);
+//! let mut trace = Trace::new(page.clone(), Value::Object(vec![]));
+//! trace.push(Action::ScrapeText("/a[1]".parse()?), page.clone());
+//! trace.push(Action::ScrapeText("/a[2]".parse()?), page);
+//!
+//! let mut synth = Synthesizer::new(SynthConfig::default(), trace);
+//! let result = synth.synthesize();
+//! let best = result.programs.first().expect("a loop generalizes this trace");
+//! assert_eq!(best.prediction.to_string(), "ScrapeText(/a[3])");
+//! # Ok(())
+//! # }
+//! ```
+
+mod antiunify;
+mod config;
+mod context;
+mod engine;
+mod item;
+mod parametrize;
+mod speculate;
+mod validate;
+
+pub use antiunify::{anti_unify, LoopSeed};
+pub use config::SynthConfig;
+pub use context::SynthContext;
+pub use engine::{RankedProgram, SynthResult, SynthStats, Synthesizer};
+pub use item::Item;
+pub use speculate::{speculate, SRewrite};
+pub use validate::validate;
+
+pub use webrobot_semantics::Trace;

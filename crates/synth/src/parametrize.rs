@@ -1,0 +1,205 @@
+//! Parametrization (paper Fig. 11): rewriting the remaining statements of a
+//! speculated first iteration against the loop variable's first-iteration
+//! binding.
+
+use webrobot_data::ValuePath;
+use webrobot_dom::Path;
+use webrobot_lang::{SelVar, Selector, Statement, ValuePathExpr, VpVar};
+
+use crate::context::SynthContext;
+
+/// All parametrizations of `stmt` with respect to the selector binding
+/// `var ↦ binding` (the first element of the speculated collection).
+///
+/// Always includes the identity (Fig. 11 rules (1)/(3): a statement inside
+/// a loop need not use the loop variable). A selector is parametrized when
+/// one of its alternatives (on the DOM of the statement's first action,
+/// `dom_idx`) extends `binding`: the alternative `binding · suffix` becomes
+/// `var · suffix` (rules (2)/(4)–(6)).
+pub(crate) fn parametrize_sel(
+    stmt: &Statement,
+    var: SelVar,
+    binding: &Path,
+    dom_idx: usize,
+    ctx: &mut SynthContext,
+) -> Vec<Statement> {
+    let mut out = vec![stmt.clone()];
+    match stmt {
+        Statement::Click(s)
+        | Statement::ScrapeText(s)
+        | Statement::ScrapeLink(s)
+        | Statement::Download(s)
+        | Statement::SendKeys(s, _)
+        | Statement::EnterData(s, _) => {
+            for replacement in selector_rewrites(s, var, binding, dom_idx, ctx) {
+                out.push(replace_selector(stmt, replacement));
+            }
+        }
+        Statement::ForeachSel(l) => {
+            // Rules (4)–(6): parametrize the collection base.
+            for replacement in selector_rewrites(&l.list.base, var, binding, dom_idx, ctx) {
+                let mut new_loop = l.clone();
+                new_loop.list.base = replacement;
+                out.push(Statement::ForeachSel(new_loop));
+            }
+        }
+        // Fig. 11 gives no rules descending into value-path loops or while
+        // loops; they participate as-is (identity).
+        Statement::ForeachVal(_) | Statement::While(_) | Statement::GoBack
+        | Statement::ExtractUrl => {}
+    }
+    out.dedup();
+    out
+}
+
+/// Variable-based rewrites of one concrete selector.
+fn selector_rewrites(
+    sel: &Selector,
+    var: SelVar,
+    binding: &Path,
+    dom_idx: usize,
+    ctx: &mut SynthContext,
+) -> Vec<Selector> {
+    let Some(path) = sel.as_concrete() else {
+        return Vec::new();
+    };
+    let path = path.clone();
+    let mut out = Vec::new();
+    for alt in ctx.alternatives(dom_idx, &path).iter() {
+        if let Some(suffix) = alt.strip_prefix(binding) {
+            out.push(Selector::var_path(var, suffix));
+        }
+    }
+    out.dedup();
+    out
+}
+
+fn replace_selector(stmt: &Statement, sel: Selector) -> Statement {
+    match stmt {
+        Statement::Click(_) => Statement::Click(sel),
+        Statement::ScrapeText(_) => Statement::ScrapeText(sel),
+        Statement::ScrapeLink(_) => Statement::ScrapeLink(sel),
+        Statement::Download(_) => Statement::Download(sel),
+        Statement::SendKeys(_, s) => Statement::SendKeys(sel, s.clone()),
+        Statement::EnterData(_, v) => Statement::EnterData(sel, v.clone()),
+        other => other.clone(),
+    }
+}
+
+/// All parametrizations of `stmt` with respect to the value-path binding
+/// `var ↦ binding` (the first element of the speculated `ValuePaths`
+/// collection). Includes the identity.
+pub(crate) fn parametrize_vp(stmt: &Statement, var: VpVar, binding: &ValuePath) -> Vec<Statement> {
+    let mut out = vec![stmt.clone()];
+    match stmt {
+        Statement::EnterData(sel, vp) => {
+            if let Some(concrete) = vp.as_concrete() {
+                if let Some(suffix) = concrete.strip_prefix(binding) {
+                    out.push(Statement::EnterData(
+                        sel.clone(),
+                        ValuePathExpr::var_path(var, suffix),
+                    ));
+                }
+            }
+        }
+        Statement::ForeachVal(l) => {
+            if let Some(concrete) = l.list.array.as_concrete() {
+                if let Some(suffix) = concrete.strip_prefix(binding) {
+                    let mut new_loop = l.clone();
+                    new_loop.list.array = ValuePathExpr::var_path(var, suffix);
+                    out.push(Statement::ForeachVal(new_loop));
+                }
+            }
+        }
+        _ => {}
+    }
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SynthConfig;
+    use std::sync::Arc;
+    use webrobot_data::{PathSeg, Value};
+    use webrobot_dom::parse_html;
+    use webrobot_semantics::Trace;
+
+    fn ctx() -> SynthContext {
+        let dom = Arc::new(
+            parse_html(
+                "<html><body>\
+                 <div class='item'><h3>a</h3><span class='ph'>1</span></div>\
+                 <div class='item'><h3>b</h3><span class='ph'>2</span></div>\
+                 </body></html>",
+            )
+            .unwrap(),
+        );
+        let trace = Trace::new(dom, Value::Object(vec![]));
+        SynthContext::new(SynthConfig::default(), trace)
+    }
+
+    #[test]
+    fn identity_is_always_first() {
+        let mut c = ctx();
+        let stmt = Statement::GoBack;
+        let binding: Path = "//div[@class='item'][1]".parse().unwrap();
+        let outs = parametrize_sel(&stmt, SelVar(0), &binding, 0, &mut c);
+        assert_eq!(outs, vec![Statement::GoBack]);
+    }
+
+    #[test]
+    fn sibling_field_is_parametrized() {
+        let mut c = ctx();
+        // The phone span of item 1, recorded as an absolute path.
+        let stmt = Statement::ScrapeText(Selector::rooted(
+            "/body[1]/div[1]/span[1]".parse().unwrap(),
+        ));
+        let binding: Path = "//div[@class='item'][1]".parse().unwrap();
+        let outs = parametrize_sel(&stmt, SelVar(3), &binding, 0, &mut c);
+        assert!(outs.len() > 1);
+        let rendered: Vec<String> = outs.iter().map(|s| s.to_string()).collect();
+        assert!(
+            rendered.iter().any(|s| s.contains("%r3//span[@class='ph'][1]")
+                || s.contains("%r3/span[1]")),
+            "{rendered:?}"
+        );
+    }
+
+    #[test]
+    fn unrelated_selector_only_gets_identity() {
+        let mut c = ctx();
+        let stmt = Statement::Click(Selector::rooted("/body[1]".parse().unwrap()));
+        let binding: Path = "//div[@class='item'][1]".parse().unwrap();
+        let outs = parametrize_sel(&stmt, SelVar(0), &binding, 0, &mut c);
+        assert_eq!(outs.len(), 1);
+    }
+
+    #[test]
+    fn vp_parametrization_strips_prefix() {
+        let binding = ValuePath::new(vec![PathSeg::key("rows"), PathSeg::Index(1)]);
+        let concrete = ValuePath::new(vec![
+            PathSeg::key("rows"),
+            PathSeg::Index(1),
+            PathSeg::key("name"),
+        ]);
+        let stmt = Statement::EnterData(
+            Selector::rooted("/body[1]".parse().unwrap()),
+            ValuePathExpr::input(concrete),
+        );
+        let outs = parametrize_vp(&stmt, VpVar(5), &binding);
+        assert_eq!(outs.len(), 2);
+        assert!(outs[1].to_string().contains("%v5[name]"));
+    }
+
+    #[test]
+    fn vp_parametrization_ignores_unrelated_paths() {
+        let binding = ValuePath::new(vec![PathSeg::key("rows"), PathSeg::Index(1)]);
+        let stmt = Statement::EnterData(
+            Selector::rooted("/body[1]".parse().unwrap()),
+            ValuePathExpr::input(ValuePath::new(vec![PathSeg::key("other")])),
+        );
+        assert_eq!(parametrize_vp(&stmt, VpVar(0), &binding).len(), 1);
+    }
+}

@@ -1,0 +1,364 @@
+//! The `Speculate` procedure (paper Alg. 2): generating speculative
+//! rewrites from the first two iterations of would-be loops.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashSet;
+use std::hash::{Hash, Hasher};
+use std::mem::discriminant;
+use std::time::Instant;
+
+use webrobot_lang::{ForeachSel, ForeachVal, Statement, While};
+
+use crate::antiunify::{anti_unify, LoopSeed};
+use crate::context::SynthContext;
+use crate::item::Item;
+use crate::parametrize::{parametrize_sel, parametrize_vp};
+
+/// A speculative rewrite `(S′, S_i, S_j)`: `stmt` is a loop whose *first
+/// iteration* reproduces statements `i..=j` of the item it was speculated
+/// from. Whether it is a *true* rewrite (covers more than that iteration)
+/// is decided by [`validate`](crate::validate).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SRewrite {
+    /// The speculated loop statement.
+    pub stmt: Statement,
+    /// Start of the first iteration (statement index, 0-based).
+    pub i: usize,
+    /// End of the first iteration (inclusive).
+    pub j: usize,
+}
+
+/// Runs Alg. 2 on `item`, producing s-rewrites for selector loops,
+/// value-path loops and while loops.
+///
+/// `deadline` aborts the (cubic) enumeration early; partial results are
+/// returned. Results are deduplicated up to alpha-equivalence.
+pub fn speculate(item: &Item, ctx: &mut SynthContext, deadline: Instant) -> Vec<SRewrite> {
+    let mut out = Vec::new();
+    let mut seen: HashSet<(u64, usize, usize)> = HashSet::new();
+    speculate_foreach(item, ctx, deadline, &mut out, &mut seen);
+    speculate_while(item, ctx, &mut out, &mut seen);
+    out
+}
+
+fn stmt_hash(stmt: &Statement) -> u64 {
+    let mut h = DefaultHasher::new();
+    stmt.canonicalize().hash(&mut h);
+    h.finish()
+}
+
+fn push_unique(
+    out: &mut Vec<SRewrite>,
+    seen: &mut HashSet<(u64, usize, usize)>,
+    sr: SRewrite,
+) {
+    if seen.insert((stmt_hash(&sr.stmt), sr.i, sr.j)) {
+        out.push(sr);
+    }
+}
+
+/// Lines 2–13 of Alg. 2: windows `[S_i ·· S_j]` as first iterations, with
+/// the anti-unified pair `(S_p, S_q)`, `q = p + window length`.
+fn speculate_foreach(
+    item: &Item,
+    ctx: &mut SynthContext,
+    deadline: Instant,
+    out: &mut Vec<SRewrite>,
+    seen: &mut HashSet<(u64, usize, usize)>,
+) {
+    let stmts = item.statements();
+    let l = stmts.len();
+    let max_w = ctx.cfg.max_window;
+    for i in 0..l {
+        for len in 1..=max_w {
+            let j = i + len - 1;
+            if j >= l {
+                break;
+            }
+            if Instant::now() > deadline {
+                return;
+            }
+            // p walks the window; q is its second-iteration counterpart.
+            // If the statement kinds at (i+t, i+len+t) diverge for some t,
+            // no p ≥ i+t can belong to a real second iteration: stop.
+            for p in i..=j {
+                let q = p + len;
+                if q >= l {
+                    break;
+                }
+                if discriminant(&stmts[p]) != discriminant(&stmts[q]) {
+                    break;
+                }
+                let seeds = anti_unify(
+                    &stmts[p],
+                    &stmts[q],
+                    item.slice_start(p),
+                    item.slice_start(q),
+                    ctx,
+                );
+                for seed in seeds {
+                    expand_seed(item, ctx, seed, i, j, p, out, seen);
+                }
+            }
+        }
+    }
+}
+
+/// Lines 4–7 / 10–13 of Alg. 2: build every loop body from the Cartesian
+/// product of per-statement parametrizations (capped).
+#[allow(clippy::too_many_arguments)]
+fn expand_seed(
+    item: &Item,
+    ctx: &mut SynthContext,
+    seed: LoopSeed,
+    i: usize,
+    j: usize,
+    p: usize,
+    out: &mut Vec<SRewrite>,
+    seen: &mut HashSet<(u64, usize, usize)>,
+) {
+    let stmts = item.statements();
+    // Per-position choices: the template at p, parametrizations elsewhere.
+    let mut choices: Vec<Vec<Statement>> = Vec::with_capacity(j - i + 1);
+    match &seed {
+        LoopSeed::Sel { template, var, list } => {
+            let Some(base) = list.base.as_concrete() else {
+                return;
+            };
+            let first = list.element(base, 1);
+            for k in i..=j {
+                if k == p {
+                    choices.push(vec![template.clone()]);
+                } else {
+                    choices.push(parametrize_sel(
+                        &stmts[k],
+                        *var,
+                        &first,
+                        item.slice_start(k),
+                        ctx,
+                    ));
+                }
+            }
+        }
+        LoopSeed::Vp { template, var, list } => {
+            let Some(array) = list.array.as_concrete() else {
+                return;
+            };
+            let first = list.element(array, 1);
+            for k in i..=j {
+                if k == p {
+                    choices.push(vec![template.clone()]);
+                } else {
+                    choices.push(parametrize_vp(&stmts[k], *var, &first));
+                }
+            }
+        }
+    }
+    let cap = ctx.cfg.max_bodies_per_seed;
+    for body in cartesian(&choices, cap) {
+        let stmt = match &seed {
+            LoopSeed::Sel { var, list, .. } => Statement::ForeachSel(ForeachSel {
+                var: *var,
+                list: list.clone(),
+                body,
+            }),
+            LoopSeed::Vp { var, list, .. } => Statement::ForeachVal(ForeachVal {
+                var: *var,
+                list: list.clone(),
+                body,
+            }),
+        };
+        push_unique(out, seen, SRewrite { stmt, i, j });
+    }
+}
+
+/// Odometer-style Cartesian product, capped at `cap` results.
+fn cartesian(choices: &[Vec<Statement>], cap: usize) -> Vec<Vec<Statement>> {
+    let mut out: Vec<Vec<Statement>> = vec![Vec::new()];
+    for slot in choices {
+        let mut next = Vec::with_capacity(out.len() * slot.len());
+        'fill: for prefix in &out {
+            for choice in slot {
+                let mut body = prefix.clone();
+                body.push(choice.clone());
+                next.push(body);
+                if next.len() >= cap {
+                    break 'fill;
+                }
+            }
+        }
+        out = next;
+        if out.is_empty() {
+            return out;
+        }
+    }
+    out
+}
+
+/// Lines 14–16 of Alg. 2: while loops. The first iteration is
+/// `S_i ·· S_p` where `S_p` is a `Click`; its counterpart `S_q` (with
+/// `p − i + 1 = q − p`) must be the *same* click.
+fn speculate_while(
+    item: &Item,
+    ctx: &mut SynthContext,
+    out: &mut Vec<SRewrite>,
+    seen: &mut HashSet<(u64, usize, usize)>,
+) {
+    let stmts = item.statements();
+    let l = stmts.len();
+    let max_w = ctx.cfg.max_window;
+    for p in 1..l {
+        let Statement::Click(click) = &stmts[p] else {
+            continue;
+        };
+        if click.as_concrete().is_none() {
+            continue;
+        }
+        // Body length p − i ranges 1..=max_w (paper requires i < p).
+        for body_len in 1..=max_w.min(p) {
+            let i = p - body_len;
+            let q = 2 * p - i + 1;
+            if q >= l {
+                continue;
+            }
+            if stmts[q] != stmts[p] {
+                continue;
+            }
+            let stmt = Statement::While(While {
+                body: stmts[i..p].to_vec(),
+                click: click.clone(),
+            });
+            push_unique(out, seen, SRewrite { stmt, i, j: p });
+        }
+    }
+    let _ = ctx;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SynthConfig;
+    use std::sync::Arc;
+    use std::time::Duration;
+    use webrobot_data::Value;
+    use webrobot_dom::parse_html;
+    use webrobot_lang::Action;
+    use webrobot_semantics::Trace;
+
+    fn far_deadline() -> Instant {
+        Instant::now() + Duration::from_secs(60)
+    }
+
+    /// Trace scraping two fields of the first two of three items.
+    fn two_field_trace() -> Trace {
+        let dom = Arc::new(
+            parse_html(
+                "<html><body>\
+                 <div class='item'><h3>a</h3><span class='ph'>1</span></div>\
+                 <div class='item'><h3>b</h3><span class='ph'>2</span></div>\
+                 <div class='item'><h3>c</h3><span class='ph'>3</span></div>\
+                 </body></html>",
+            )
+            .unwrap(),
+        );
+        let mut t = Trace::new(dom.clone(), Value::Object(vec![]));
+        for i in 1..=2 {
+            t.push(
+                Action::ScrapeText(format!("/body[1]/div[{i}]/h3[1]").parse().unwrap()),
+                dom.clone(),
+            );
+            t.push(
+                Action::ScrapeText(format!("/body[1]/div[{i}]/span[1]").parse().unwrap()),
+                dom.clone(),
+            );
+        }
+        t
+    }
+
+    #[test]
+    fn speculates_two_statement_loop_body() {
+        let trace = two_field_trace();
+        let mut ctx = SynthContext::new(SynthConfig::default(), trace.clone());
+        let item = Item::initial(&trace);
+        let srs = speculate(&item, &mut ctx, far_deadline());
+        // Look for a loop whose first iteration is statements 0..=1 and
+        // whose body scrapes both fields through the loop variable.
+        let found = srs.iter().any(|sr| {
+            sr.i == 0
+                && sr.j == 1
+                && matches!(&sr.stmt, Statement::ForeachSel(l)
+                    if l.body.len() == 2
+                    && l.body.iter().all(|s| s.selector().is_some_and(|sel| sel.base_var().is_some())))
+        });
+        assert!(found, "wanted a fully parametrized 2-stmt loop body");
+    }
+
+    #[test]
+    fn while_rule_requires_equal_clicks() {
+        // [Scrape, Click(next), Scrape, Click(next)] → while {Scrape; Click}.
+        let dom = Arc::new(
+            parse_html("<html><h3>t</h3><span class='next'>&gt;</span></html>").unwrap(),
+        );
+        let mut t = Trace::new(dom.clone(), Value::Object(vec![]));
+        for _ in 0..2 {
+            t.push(Action::ScrapeText("/h3[1]".parse().unwrap()), dom.clone());
+            t.push(Action::Click("/span[1]".parse().unwrap()), dom.clone());
+        }
+        let mut ctx = SynthContext::new(SynthConfig::default(), t.clone());
+        let item = Item::initial(&t);
+        let srs = speculate(&item, &mut ctx, far_deadline());
+        let whiles: Vec<_> = srs
+            .iter()
+            .filter(|sr| matches!(sr.stmt, Statement::While(_)))
+            .collect();
+        assert_eq!(whiles.len(), 1);
+        assert_eq!((whiles[0].i, whiles[0].j), (0, 1));
+    }
+
+    #[test]
+    fn kind_mismatch_windows_are_speculated_but_rejected() {
+        // [Scrape a1, GoBack, Scrape a2, Scrape a3]: a window (i=0, j=1)
+        // with pair (a1, a2) IS speculated — s-rewrites over-approximate —
+        // but its body [Scrape(ϱ…); GoBack] cannot reproduce the recorded
+        // slice, so validation filters it out (speculate-and-validate).
+        let dom = Arc::new(parse_html("<html><a>1</a><a>2</a><a>3</a></html>").unwrap());
+        let mut t = Trace::new(dom.clone(), Value::Object(vec![]));
+        t.push(Action::ScrapeText("/a[1]".parse().unwrap()), dom.clone());
+        t.push(Action::GoBack, dom.clone());
+        t.push(Action::ScrapeText("/a[2]".parse().unwrap()), dom.clone());
+        t.push(Action::ScrapeText("/a[3]".parse().unwrap()), dom.clone());
+        let mut ctx = SynthContext::new(SynthConfig::default(), t.clone());
+        let item = Item::initial(&t);
+        let srs = speculate(&item, &mut ctx, far_deadline());
+        let spurious: Vec<_> = srs
+            .iter()
+            .filter(|sr| sr.i == 0 && sr.j == 1 && matches!(sr.stmt, Statement::ForeachSel(_)))
+            .collect();
+        assert!(!spurious.is_empty(), "the over-approximation exists");
+        for sr in spurious {
+            assert!(
+                crate::validate(sr, &item, &ctx).is_none(),
+                "validation must reject {}",
+                sr.stmt
+            );
+        }
+    }
+
+    #[test]
+    fn deadline_aborts_enumeration() {
+        let trace = two_field_trace();
+        let mut ctx = SynthContext::new(SynthConfig::default(), trace.clone());
+        let item = Item::initial(&trace);
+        let srs = speculate(&item, &mut ctx, Instant::now() - Duration::from_secs(1));
+        // Only the (cheap) while pass may contribute; foreach pass aborted.
+        assert!(srs.iter().all(|sr| matches!(sr.stmt, Statement::While(_))));
+    }
+
+    #[test]
+    fn cartesian_caps_products() {
+        let a = Statement::GoBack;
+        let choices = vec![vec![a.clone(); 4], vec![a.clone(); 4], vec![a; 4]];
+        assert_eq!(cartesian(&choices, 10).len(), 10);
+        assert_eq!(cartesian(&choices, 1000).len(), 64);
+    }
+}

@@ -1,0 +1,63 @@
+//! A step-by-step transcript of the human-in-the-loop interaction model
+//! (paper §6): demonstrate → authorize → automate, with a visible mode
+//! transition after every step.
+//!
+//! ```text
+//! cargo run --example interactive_session
+//! ```
+
+use std::error::Error;
+use std::sync::Arc;
+
+use webrobot::{Action, Mode, Session, SessionConfig, SiteBuilder, Value};
+use webrobot_dom::parse_html;
+use webrobot_interact::StepOutcome;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let mut builder = SiteBuilder::new();
+    let home = builder.add_page(
+        "https://directory.test/",
+        parse_html(
+            "<html><body>\
+             <div class='person'><h3>Ada Lovelace</h3><span>room 101</span></div>\
+             <div class='person'><h3>Grace Hopper</h3><span>room 102</span></div>\
+             <div class='person'><h3>Alan Turing</h3><span>room 103</span></div>\
+             <div class='person'><h3>Barbara Liskov</h3><span>room 104</span></div>\
+             <div class='person'><h3>Leslie Lamport</h3><span>room 105</span></div>\
+             </body></html>",
+        )?,
+    );
+    let site = Arc::new(builder.start_at(home).finish());
+    let mut session = Session::new(site, Value::Object(vec![]), SessionConfig::default());
+
+    println!("mode: {:?} — the user scrapes the first two names…", session.mode());
+    session.demonstrate(&Action::ScrapeText("/body[1]/div[1]/h3[1]".parse()?))?;
+    session.demonstrate(&Action::ScrapeText("/body[1]/div[2]/h3[1]".parse()?))?;
+    println!("mode: {:?} — predictions: ", session.mode());
+    for (i, p) in session.predictions().iter().enumerate() {
+        println!("   [{i}] {p}");
+    }
+
+    // The user inspects and accepts the correct prediction twice.
+    session.authorize(Some(0))?;
+    println!("accepted once → mode: {:?}", session.mode());
+    session.authorize(Some(0))?;
+    println!("accepted twice → mode: {:?}", session.mode());
+
+    // Automation takes over for the rest of the directory.
+    while session.mode() == Mode::Automate {
+        match session.automate_step()? {
+            StepOutcome::Automated(a) => println!("   auto: {a}"),
+            StepOutcome::ProgramFinished => println!("   program finished"),
+            other => println!("   {other:?}"),
+        }
+    }
+    println!("mode: {:?}", session.mode());
+    println!("\nScraped {} names:", session.browser().outputs().len());
+    for out in session.browser().outputs() {
+        println!("   {}", out.payload());
+    }
+    println!("\nFinal program:\n{}", session.current_program().expect("synthesized"));
+    assert_eq!(session.browser().outputs().len(), 5);
+    Ok(())
+}

@@ -1,0 +1,59 @@
+//! The paper's motivating example (Figs. 4–5): scrape address and phone
+//! number for all stores, across all result pages, for all zip codes.
+//!
+//! ```text
+//! cargo run --example subway_stores
+//! ```
+//!
+//! Replays the recorded demonstration through the incremental synthesizer
+//! and prints the program evolution P₁ → P₃ → P₄: an inner scraping loop,
+//! then a pagination `while`, and finally the three-level nest over the
+//! zip-code list.
+
+use std::error::Error;
+
+use webrobot::{action_consistent, SynthConfig, Synthesizer};
+use webrobot_benchmarks::benchmark;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // b59 is the suite's Subway-style store finder: a search page, multiple
+    // zips, paginated results.
+    let bench = benchmark(59).expect("b59 exists");
+    println!("Benchmark b59: {}\nGround truth:\n{}", bench.name, bench.ground_truth);
+
+    let recording = bench.record()?;
+    let trace = recording.trace;
+    let n = trace.len();
+    println!("Recorded demonstration: {n} actions, {} DOM snapshots\n", n + 1);
+
+    let mut synth = Synthesizer::new(SynthConfig::default(), trace.prefix(0));
+    let mut last_depth = 0usize;
+    let mut correct = 0usize;
+    for k in 1..n {
+        synth.observe(trace.actions()[k - 1].clone(), trace.doms()[k].clone());
+        let result = synth.synthesize();
+        if let Some(best) = result.programs.first() {
+            let depth = best.program.loop_depth();
+            if depth > last_depth {
+                println!("── after action {k}: program with {depth}-level nesting ──");
+                println!("{}", best.program);
+                last_depth = depth;
+            }
+        }
+        let want = &trace.actions()[k];
+        if result
+            .predictions
+            .iter()
+            .any(|p| action_consistent(p, want, &trace.doms()[k]))
+        {
+            correct += 1;
+        }
+    }
+    println!(
+        "Prediction accuracy over the session: {correct}/{} = {:.0}%",
+        n - 1,
+        100.0 * correct as f64 / (n - 1) as f64
+    );
+    assert_eq!(last_depth, 3, "the final program is the paper's P4 shape");
+    Ok(())
+}

@@ -1,0 +1,50 @@
+//! The paper's introduction scenario (Fig. 2): for every customer in a
+//! spreadsheet, enter their name into a web-based unicorn-name generator
+//! and scrape the generated name.
+//!
+//! ```text
+//! cargo run --example unicorn_names
+//! ```
+//!
+//! Drives a full demo/authorize/automate session with an oracle user: a
+//! few manual actions, a couple of authorizations, then automation does
+//! the rest — and the scraped outputs match doing it all by hand.
+
+use std::error::Error;
+
+use webrobot_benchmarks::benchmark;
+use webrobot_interact::{drive_session, SessionConfig, UserModel};
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // b63 is the suite's unicorn-style form generator.
+    let bench = benchmark(63).expect("b63 exists");
+    println!("Benchmark b63: {}\nGround truth:\n{}", bench.name, bench.ground_truth);
+    println!("Customers: {}\n", bench.input.to_json());
+
+    let recording = bench.record()?;
+    println!(
+        "Doing it by hand costs {} actions. With WebRobot:",
+        recording.trace.len()
+    );
+
+    let report = drive_session(
+        bench.site.clone(),
+        bench.input.clone(),
+        &recording.trace,
+        SessionConfig::default(),
+        &UserModel::default(),
+        2,
+    );
+    println!(
+        "  demonstrated {} actions, authorized {}, automation did {}",
+        report.demonstrated, report.authorized, report.automated
+    );
+    println!(
+        "  simulated human effort: {:.1} s; task solved: {}",
+        report.human_time.as_secs_f64(),
+        report.solved
+    );
+    assert!(report.solved);
+    assert!(report.demonstrated < recording.trace.len() / 2);
+    Ok(())
+}

@@ -1,0 +1,6 @@
+//! Workspace root package: hosts the runnable examples (`examples/`) and
+//! the cross-crate integration tests (`tests/`) of the WebRobot
+//! reproduction. All functionality lives in the `crates/` members; see the
+//! [`webrobot`] facade crate for the public API.
+
+pub use webrobot;

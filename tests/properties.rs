@@ -1,0 +1,190 @@
+//! Property-based tests over the core data structures and the formal
+//! invariants of the trace semantics.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use webrobot::{execute, generalizes, satisfies, Trace};
+use webrobot_data::{parse_json, PathSeg, Value, ValuePath};
+use webrobot_dom::{parse_html, to_html, Dom, NodeId, Path};
+use webrobot_lang::{parse_program, Action, Program};
+
+// ───────────────────────── strategies ─────────────────────────
+
+/// A small random DOM: nested divs/spans/h3 with classes and text.
+fn dom_strategy() -> impl Strategy<Value = Dom> {
+    // Depth-bounded recursive HTML text generation.
+    let leaf = prop_oneof![
+        "[a-z]{1,8}".prop_map(|t| format!("<span>{t}</span>")),
+        "[a-z]{1,8}".prop_map(|t| format!("<h3>{t}</h3>")),
+        ("[a-z]{1,6}", "[a-z]{1,8}")
+            .prop_map(|(c, t)| format!("<b class='{c}'>{t}</b>")),
+    ];
+    let node = leaf.prop_recursive(3, 24, 4, |inner| {
+        (proptest::collection::vec(inner, 1..4), "[a-z]{1,6}")
+            .prop_map(|(children, class)| {
+                format!("<div class='{class}'>{}</div>", children.concat())
+            })
+    });
+    proptest::collection::vec(node, 1..5)
+        .prop_map(|nodes| parse_html(&format!("<html><body>{}</body></html>", nodes.concat())).unwrap())
+}
+
+/// A random JSON-subset value.
+fn value_strategy() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        "[a-zA-Z0-9 ]{0,12}".prop_map(Value::Str),
+        any::<i32>().prop_map(|n| Value::Int(n as i64)),
+    ];
+    leaf.prop_recursive(3, 32, 4, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..4).prop_map(Value::Array),
+            proptest::collection::vec(("[a-z]{1,6}", inner), 0..4)
+                .prop_map(|pairs| Value::Object(
+                    pairs.into_iter().map(|(k, v)| (k, v)).collect()
+                )),
+        ]
+    })
+}
+
+// ───────────────────────── DOM properties ─────────────────────────
+
+proptest! {
+    /// Absolute paths resolve back to the node they were computed from.
+    #[test]
+    fn absolute_paths_roundtrip(dom in dom_strategy()) {
+        for node in dom.all_nodes() {
+            let path = dom.absolute_path(node);
+            prop_assert_eq!(path.resolve(&dom), Some(node));
+        }
+    }
+
+    /// HTML serialization round-trips through the parser.
+    #[test]
+    fn html_roundtrips(dom in dom_strategy()) {
+        let printed = to_html(&dom);
+        let reparsed = parse_html(&printed).unwrap();
+        prop_assert_eq!(reparsed, dom);
+    }
+
+    /// Selector display round-trips through the parser.
+    #[test]
+    fn selector_display_roundtrips(dom in dom_strategy()) {
+        for node in dom.all_nodes().into_iter().skip(1) {
+            let path = dom.absolute_path(node);
+            let reparsed: Path = path.to_string().parse().unwrap();
+            prop_assert_eq!(reparsed, path);
+        }
+    }
+
+    /// Every alternative selector denotes the same node as the original.
+    #[test]
+    fn alternatives_preserve_node(dom in dom_strategy()) {
+        use webrobot_dom::{alternatives, AltConfig};
+        let cfg = AltConfig::default();
+        for node in dom.all_nodes().into_iter().skip(1).take(8) {
+            let path = dom.absolute_path(node);
+            for alt in alternatives(&dom, &path, &cfg) {
+                prop_assert_eq!(alt.resolve(&dom), Some(node), "alt {} for {}", alt, node);
+            }
+        }
+    }
+}
+
+// ───────────────────────── data properties ─────────────────────────
+
+proptest! {
+    /// JSON printing round-trips through the parser.
+    #[test]
+    fn json_roundtrips(v in value_strategy()) {
+        let text = v.to_json();
+        prop_assert_eq!(parse_json(&text).unwrap(), v);
+    }
+
+    /// `get` with a path built from an actual traversal finds the value.
+    #[test]
+    fn value_paths_navigate(v in value_strategy()) {
+        // Walk down the first child repeatedly, recording the path.
+        let mut path = ValuePath::input();
+        let mut cur = &v;
+        loop {
+            prop_assert_eq!(cur, v.get(&path).unwrap());
+            match cur {
+                Value::Array(items) if !items.is_empty() => {
+                    path = path.join(PathSeg::Index(1));
+                    cur = &items[0];
+                }
+                Value::Object(pairs) if !pairs.is_empty() => {
+                    path = path.join(PathSeg::key(pairs[0].0.clone()));
+                    cur = &pairs[0].1;
+                }
+                _ => break,
+            }
+        }
+    }
+}
+
+// ───────────────────────── semantics properties ─────────────────────────
+
+/// Builds the trace that a straight-line scrape of `k` nodes produces.
+fn scrape_trace(dom: &Arc<Dom>, k: usize) -> Option<Trace> {
+    let nodes: Vec<NodeId> = dom.all_nodes().into_iter().skip(1).take(k).collect();
+    if nodes.len() < k {
+        return None;
+    }
+    let mut t = Trace::new(dom.clone(), Value::Object(vec![]));
+    for n in nodes {
+        t.push(Action::ScrapeText(dom.absolute_path(n)), dom.clone());
+    }
+    Some(t)
+}
+
+proptest! {
+    /// The straight-line program of a trace always satisfies it and never
+    /// strictly generalizes it (Defs. 4.1/4.2 sanity).
+    #[test]
+    fn straight_line_satisfies_but_never_generalizes(dom in dom_strategy(), k in 1usize..6) {
+        let dom = Arc::new(dom);
+        if let Some(trace) = scrape_trace(&dom, k) {
+            let program: Program = trace.actions().iter().map(|a| a.to_statement()).collect();
+            prop_assert!(satisfies(program.statements(), &trace));
+            prop_assert_eq!(generalizes(program.statements(), &trace), None);
+        }
+    }
+
+    /// Simulated execution consumes exactly one DOM per action.
+    #[test]
+    fn execution_consumes_one_dom_per_action(dom in dom_strategy(), k in 1usize..6) {
+        let dom = Arc::new(dom);
+        if let Some(trace) = scrape_trace(&dom, k) {
+            let program: Program = trace.actions().iter().map(|a| a.to_statement()).collect();
+            let out = execute(program.statements(), trace.doms(), trace.input()).unwrap();
+            prop_assert_eq!(out.actions.len(), k);
+        }
+    }
+}
+
+// ───────────────────────── language properties ─────────────────────────
+
+proptest! {
+    /// Programs recovered from recorded benchmark ground truths round-trip
+    /// through the pretty-printer and parser.
+    #[test]
+    fn ground_truth_programs_roundtrip(id in 1u32..=76) {
+        let b = webrobot_benchmarks::benchmark(id).unwrap();
+        let printed = b.ground_truth.to_string();
+        let reparsed = parse_program(&printed).unwrap();
+        prop_assert_eq!(reparsed, b.ground_truth);
+    }
+
+    /// Canonicalization is idempotent and preserves alpha-equivalence.
+    #[test]
+    fn canonicalization_is_idempotent(id in 1u32..=76) {
+        let b = webrobot_benchmarks::benchmark(id).unwrap();
+        let once = b.ground_truth.canonicalize();
+        let twice = once.canonicalize();
+        prop_assert_eq!(&once, &twice);
+        prop_assert!(b.ground_truth.alpha_eq(&once));
+    }
+}
