@@ -14,14 +14,18 @@ fn bench_execute(c: &mut Criterion) {
     for id in [73u32, 12, 31, 59] {
         let b = benchmark(id).unwrap();
         let rec = b.record().unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(format!("b{id}")), &rec, |bench, r| {
-            bench.iter(|| {
-                std::hint::black_box(
-                    execute(b.ground_truth.statements(), r.trace.doms(), r.trace.input())
-                        .unwrap(),
-                )
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("b{id}")),
+            &rec,
+            |bench, r| {
+                bench.iter(|| {
+                    std::hint::black_box(
+                        execute(b.ground_truth.statements(), r.trace.doms(), r.trace.input())
+                            .unwrap(),
+                    )
+                });
+            },
+        );
     }
     group.finish();
 }
@@ -36,10 +40,14 @@ fn bench_alternatives(c: &mut Criterion) {
         let action = rec.trace.actions()[0].clone();
         let dom = rec.trace.doms()[0].clone();
         let path = action.selector().unwrap().clone();
-        group.bench_with_input(BenchmarkId::from_parameter(format!("b{id}")), &dom, |bench, d| {
-            let cfg = AltConfig::default();
-            bench.iter(|| std::hint::black_box(alternatives(d, &path, &cfg)));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("b{id}")),
+            &dom,
+            |bench, d| {
+                let cfg = AltConfig::default();
+                bench.iter(|| std::hint::black_box(alternatives(d, &path, &cfg)));
+            },
+        );
     }
     group.finish();
 }
@@ -50,9 +58,13 @@ fn bench_recording(c: &mut Criterion) {
     group.sample_size(20);
     for id in [73u32, 31, 59] {
         let b = benchmark(id).unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(format!("b{id}")), &b, |bench, b| {
-            bench.iter(|| std::hint::black_box(b.record().unwrap()));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("b{id}")),
+            &b,
+            |bench, b| {
+                bench.iter(|| std::hint::black_box(b.record().unwrap()));
+            },
+        );
     }
     group.finish();
 }

@@ -38,23 +38,27 @@ fn bench_incremental_step(c: &mut Criterion) {
         let trace = b.record().unwrap().trace;
         let n = trace.len();
         let warm = n - 2;
-        group.bench_with_input(BenchmarkId::from_parameter(format!("b{id}")), &trace, |bench, t| {
-            bench.iter_batched(
-                || {
-                    let mut s = Synthesizer::new(SynthConfig::default(), t.prefix(2));
-                    for k in 3..=warm {
-                        s.observe(t.actions()[k - 1].clone(), t.doms()[k].clone());
-                        s.synthesize();
-                    }
-                    s
-                },
-                |mut s| {
-                    s.observe(t.actions()[warm].clone(), t.doms()[warm + 1].clone());
-                    std::hint::black_box(s.synthesize())
-                },
-                criterion::BatchSize::LargeInput,
-            );
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("b{id}")),
+            &trace,
+            |bench, t| {
+                bench.iter_batched(
+                    || {
+                        let mut s = Synthesizer::new(SynthConfig::default(), t.prefix(2));
+                        for k in 3..=warm {
+                            s.observe(t.actions()[k - 1].clone(), t.doms()[k].clone());
+                            s.synthesize();
+                        }
+                        s
+                    },
+                    |mut s| {
+                        s.observe(t.actions()[warm].clone(), t.doms()[warm + 1].clone());
+                        std::hint::black_box(s.synthesize())
+                    },
+                    criterion::BatchSize::LargeInput,
+                );
+            },
+        );
     }
     group.finish();
 }

@@ -20,12 +20,16 @@ fn main() {
         .into_iter()
         .filter(|b| filter.as_ref().is_none_or(|ids| ids.contains(&b.id)))
         .collect();
+    if benchmarks.is_empty() {
+        eprintln!("no benchmarks matched the --ids filter (ids are 1..=76)");
+        std::process::exit(2);
+    }
 
     println!("Figure 12 — Q1: accuracy, synthesis time, intended final program");
     println!("(sorted by ascending accuracy, as in the paper)\n");
     println!(
-        "{:>4} {:>6} {:>9} {:>8} {:>8} {:>8} {:>9}  {}",
-        "id", "tests", "accuracy", "q1(ms)", "med(ms)", "q3(ms)", "mean(ms)", "intended"
+        "{:>4} {:>6} {:>9} {:>8} {:>8} {:>8} {:>9}  intended",
+        "id", "tests", "accuracy", "q1(ms)", "med(ms)", "q3(ms)", "mean(ms)"
     );
 
     let mut evals = Vec::new();
@@ -66,7 +70,10 @@ fn main() {
         accs[accs.len() / 2]
     };
     let avg_acc = evals.iter().map(|e| e.accuracy()).sum::<f64>() / total;
-    let progs: Vec<_> = evals.iter().filter_map(|e| e.final_program.as_ref()).collect();
+    let progs: Vec<_> = evals
+        .iter()
+        .filter_map(|e| e.final_program.as_ref())
+        .collect();
     let avg_stmts = progs.iter().map(|p| p.len()).sum::<usize>() as f64 / progs.len().max(1) as f64;
     let max_stmts = progs.iter().map(|p| p.len()).max().unwrap_or(0);
     let doubly = progs.iter().filter(|p| p.loop_depth() == 2).count();
@@ -82,11 +89,13 @@ fn main() {
         evals.len(),
         100.0 * intended as f64 / total
     );
-    println!("  median accuracy: {:.0}%   average accuracy: {:.0}%", median_acc * 100.0, avg_acc * 100.0);
+    println!(
+        "  median accuracy: {:.0}%   average accuracy: {:.0}%",
+        median_acc * 100.0,
+        avg_acc * 100.0
+    );
     println!(
         "  synthesized programs: avg {avg_stmts:.1} statements, max {max_stmts} (paper: avg 6, max 18)"
     );
-    println!(
-        "  nesting: {doubly} doubly-nested, {triple} with ≥3 levels (paper: 32 and 6)"
-    );
+    println!("  nesting: {doubly} doubly-nested, {triple} with ≥3 levels (paper: 32 and 6)");
 }

@@ -20,6 +20,10 @@ fn main() {
         .into_iter()
         .filter(|b| filter.as_ref().is_none_or(|ids| ids.contains(&b.id)))
         .collect();
+    if benchmarks.is_empty() {
+        eprintln!("no benchmarks matched the --ids filter (ids are 1..=76)");
+        std::process::exit(2);
+    }
 
     println!("Q3 — end-to-end testing over the benchmark suite\n");
     let mut solved = 0usize;
@@ -27,10 +31,10 @@ fn main() {
     let mut frontend_failures = Vec::new();
     let user = UserModel::default(); // oracle, no mistakes
     for b in &benchmarks {
-        if b.frontend_quirk.is_some() {
+        if let Some(quirk) = b.frontend_quirk {
             // The paper's front-end could not fully replay these actions.
             frontend_failures.push(b.id);
-            println!("b{:<3} FRONT-END FAIL ({:?})", b.id, b.frontend_quirk.unwrap());
+            println!("b{:<3} FRONT-END FAIL ({quirk:?})", b.id);
             continue;
         }
         let rec = b.record().expect("benchmark records");
@@ -49,7 +53,11 @@ fn main() {
             solved += 1;
             println!(
                 "b{:<3} solved   demo={:<3} auth={:<3} auto={:<4} interrupts={}",
-                b.id, report.demonstrated, report.authorized, report.automated, report.interruptions
+                b.id,
+                report.demonstrated,
+                report.authorized,
+                report.automated,
+                report.interruptions
             );
         } else {
             backend_failures.push(b.id);

@@ -27,25 +27,28 @@ fn main() {
     println!("  entry + extraction + nav:      {all_three} (28)");
 
     let dsl: Vec<_> = suite.iter().filter(|b| b.expect_intended).collect();
-    let avg_stmts: f64 = dsl
-        .iter()
-        .map(|b| b.ground_truth.len() as f64)
-        .sum::<f64>()
-        / dsl.len() as f64;
+    let avg_stmts: f64 =
+        dsl.iter().map(|b| b.ground_truth.len() as f64).sum::<f64>() / dsl.len() as f64;
     let avg_size: f64 = dsl
         .iter()
         .map(|b| b.ground_truth.size() as f64)
         .sum::<f64>()
         / dsl.len() as f64;
     let max_size = suite.iter().map(|b| b.ground_truth.size()).max().unwrap();
-    let doubly = dsl.iter().filter(|b| b.ground_truth.loop_depth() == 2).count();
+    let doubly = dsl
+        .iter()
+        .filter(|b| b.ground_truth.loop_depth() == 2)
+        .count();
     let triple = suite
         .iter()
         .filter(|b| b.ground_truth.loop_depth() >= 3)
         .count();
     let scripted = suite.iter().filter(|b| !b.expect_intended).count();
     println!("\nGround-truth programs (DSL; the paper used Selenium, avg 36.3 LoC, max 142):");
-    println!("  expressible in the DSL:        {}(+{scripted} straight-line failure demos)", dsl.len());
+    println!(
+        "  expressible in the DSL:        {}(+{scripted} straight-line failure demos)",
+        dsl.len()
+    );
     println!("  avg statements / AST size:     {avg_stmts:.1} / {avg_size:.1}");
     println!("  max AST size:                  {max_size}");
     println!("  doubly-nested ground truths:   {doubly} (32)");
@@ -66,7 +69,11 @@ fn main() {
             b.ground_truth.len(),
             b.ground_truth.size(),
             b.ground_truth.loop_depth(),
-            if b.frontend_quirk.is_some() { "yes" } else { "-" },
+            if b.frontend_quirk.is_some() {
+                "yes"
+            } else {
+                "-"
+            },
             if b.expect_intended { "yes" } else { "no" },
         );
     }

@@ -11,7 +11,7 @@
 use std::time::Duration;
 
 use webrobot_bench::{evaluate_benchmark, parse_id_filter, BenchmarkEval};
-use webrobot_benchmarks::suite;
+use webrobot_benchmarks::{suite, Benchmark};
 use webrobot_synth::SynthConfig;
 
 struct Row {
@@ -23,11 +23,10 @@ struct Row {
     avg_time: Duration,
 }
 
-fn evaluate_variant(name: &'static str, cfg: SynthConfig, ids: &Option<Vec<u32>>) -> Row {
-    let evals: Vec<BenchmarkEval> = suite()
-        .into_iter()
-        .filter(|b| ids.as_ref().is_none_or(|ids| ids.contains(&b.id)))
-        .map(|b| evaluate_benchmark(&b, cfg.clone()))
+fn evaluate_variant(name: &'static str, cfg: SynthConfig, benchmarks: &[Benchmark]) -> Row {
+    let evals: Vec<BenchmarkEval> = benchmarks
+        .iter()
+        .map(|b| evaluate_benchmark(b, cfg.clone()))
         .collect();
     let mut accs: Vec<f64> = evals.iter().map(|e| e.accuracy()).collect();
     accs.sort_by(|a, b| a.partial_cmp(b).unwrap());
@@ -50,6 +49,14 @@ fn evaluate_variant(name: &'static str, cfg: SynthConfig, ids: &Option<Vec<u32>>
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let ids = parse_id_filter(&args);
+    let benchmarks: Vec<Benchmark> = suite()
+        .into_iter()
+        .filter(|b| ids.as_ref().is_none_or(|ids| ids.contains(&b.id)))
+        .collect();
+    if benchmarks.is_empty() {
+        eprintln!("no benchmarks matched the --ids filter (ids are 1..=76)");
+        std::process::exit(2);
+    }
 
     println!("Table 1 — Q2 ablation study");
     println!(
@@ -62,7 +69,7 @@ fn main() {
         ("No incremental", SynthConfig::no_incremental()),
     ];
     for (name, cfg) in variants {
-        let row = evaluate_variant(name, cfg, &ids);
+        let row = evaluate_variant(name, cfg, &benchmarks);
         println!(
             "{:<16} {:>7}/{:<3} {:>13.0}% {:>13.0}% {:>12}ms",
             row.name,

@@ -55,10 +55,7 @@ fn webrobot_cell(b: &Benchmark) -> String {
     let trace = &recording.trace;
     let mut synth = Synthesizer::new(SynthConfig::default(), trace.prefix(0));
     for len in 1..=trace.len() {
-        synth.observe(
-            trace.actions()[len - 1].clone(),
-            trace.doms()[len].clone(),
-        );
+        synth.observe(trace.actions()[len - 1].clone(), trace.doms()[len].clone());
         let started = Instant::now();
         let result = synth.synthesize();
         let elapsed = started.elapsed();

@@ -3,6 +3,8 @@
 //! `fig12` / `table1` / `table2` / `q3_*` binaries and the Criterion
 //! benches.
 
+pub mod protocol;
+
 use std::time::{Duration, Instant};
 
 use webrobot_benchmarks::Benchmark;

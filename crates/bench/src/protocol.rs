@@ -1,0 +1,76 @@
+//! Human-readable reporting for the §7.1 per-test prediction protocol:
+//! the logic behind the `run_benchmark` workspace example, kept here so
+//! other binaries (and tests) can reuse it instead of re-implementing the
+//! loop inline.
+
+use std::error::Error;
+
+use webrobot_benchmarks::benchmark;
+use webrobot_lang::Program;
+use webrobot_semantics::action_consistent;
+use webrobot_synth::{SynthConfig, Synthesizer};
+
+/// Runs the prediction protocol on benchmark `id` and prints a report to
+/// stdout: suite metadata, the ground truth, per-suite accuracy, the index
+/// of the first correct prediction, and the final synthesized program.
+pub fn report(id: u32) -> Result<(), Box<dyn Error>> {
+    let bench = benchmark(id).ok_or("benchmark ids are 1..=76")?;
+    println!("b{}: {} ({:?})", bench.id, bench.name, bench.family);
+    println!(
+        "features: entry={} navigation={} pagination={}  expected intended: {}",
+        bench.features.entry,
+        bench.features.navigation,
+        bench.features.pagination,
+        bench.expect_intended
+    );
+    println!("\nGround truth:\n{}", bench.ground_truth);
+
+    let recording = bench.record()?;
+    let trace = recording.trace;
+    let n = trace.len();
+    println!("Recorded {n} actions. Running the prediction protocol…");
+
+    let mut synth = Synthesizer::new(SynthConfig::default(), trace.prefix(0));
+    let mut correct = 0;
+    let mut first_hit = None;
+    for k in 1..n {
+        synth.observe(trace.actions()[k - 1].clone(), trace.doms()[k].clone());
+        let result = synth.synthesize();
+        let ok = result
+            .predictions
+            .iter()
+            .any(|p| action_consistent(p, &trace.actions()[k], &trace.doms()[k]));
+        if ok {
+            correct += 1;
+            first_hit.get_or_insert(k);
+        }
+    }
+    println!(
+        "accuracy: {correct}/{} = {:.0}%   first correct prediction at k={:?}",
+        n - 1,
+        100.0 * correct as f64 / (n - 1) as f64,
+        first_hit
+    );
+    if let Some(stmts) = synth.best_program() {
+        println!("\nFinal program:\n{}", Program::new(stmts));
+    } else {
+        println!("\nNo generalizing program at the end (task demonstrated to completion).");
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_runs_on_a_small_benchmark() {
+        report(73).expect("b73 reports cleanly");
+    }
+
+    #[test]
+    fn unknown_ids_are_rejected() {
+        assert!(report(0).is_err());
+        assert!(report(10_000).is_err());
+    }
+}

@@ -9,24 +9,70 @@ const FIRST_NAMES: &[&str] = &[
     "Frances", "Niklaus", "Dennis", "Ken", "Bjarne", "Guido",
 ];
 const LAST_NAMES: &[&str] = &[
-    "Lovelace", "Hopper", "Turing", "Dijkstra", "Liskov", "Knuth", "Hoare", "McCarthy",
-    "Lamport", "Milner", "Allen", "Wirth", "Ritchie", "Thompson", "Stroustrup", "Rossum",
+    "Lovelace",
+    "Hopper",
+    "Turing",
+    "Dijkstra",
+    "Liskov",
+    "Knuth",
+    "Hoare",
+    "McCarthy",
+    "Lamport",
+    "Milner",
+    "Allen",
+    "Wirth",
+    "Ritchie",
+    "Thompson",
+    "Stroustrup",
+    "Rossum",
 ];
 const STREETS: &[&str] = &[
-    "Maple St", "Oak Ave", "Main St", "Elm Dr", "Cedar Ln", "Pine Rd", "Birch Blvd",
-    "Walnut Way", "Chestnut Ct", "Spruce Pl",
+    "Maple St",
+    "Oak Ave",
+    "Main St",
+    "Elm Dr",
+    "Cedar Ln",
+    "Pine Rd",
+    "Birch Blvd",
+    "Walnut Way",
+    "Chestnut Ct",
+    "Spruce Pl",
 ];
 const CITIES: &[&str] = &[
-    "Ann Arbor", "Springfield", "Riverton", "Lakeside", "Hillview", "Fairmont", "Brookfield",
-    "Georgetown", "Clinton", "Greenville",
+    "Ann Arbor",
+    "Springfield",
+    "Riverton",
+    "Lakeside",
+    "Hillview",
+    "Fairmont",
+    "Brookfield",
+    "Georgetown",
+    "Clinton",
+    "Greenville",
 ];
 const PRODUCTS: &[&str] = &[
-    "Widget", "Gadget", "Sprocket", "Gizmo", "Doohickey", "Contraption", "Apparatus",
-    "Device", "Instrument", "Mechanism",
+    "Widget",
+    "Gadget",
+    "Sprocket",
+    "Gizmo",
+    "Doohickey",
+    "Contraption",
+    "Apparatus",
+    "Device",
+    "Instrument",
+    "Mechanism",
 ];
 const KEYWORDS: &[&str] = &[
-    "engineer", "designer", "analyst", "manager", "developer", "architect", "scientist",
-    "technician", "consultant", "administrator",
+    "engineer",
+    "designer",
+    "analyst",
+    "manager",
+    "developer",
+    "architect",
+    "scientist",
+    "technician",
+    "consultant",
+    "administrator",
 ];
 
 /// Deterministic fake-data source. Two fakers with the same seed produce
@@ -75,7 +121,11 @@ impl Faker {
 
     /// A price string, e.g. `$23.99`.
     pub fn price(&mut self) -> String {
-        format!("${}.{:02}", self.rng.gen_range(5..200), self.rng.gen_range(0..100))
+        format!(
+            "${}.{:02}",
+            self.rng.gen_range(5..200),
+            self.rng.gen_range(0..100)
+        )
     }
 
     /// A search keyword.

@@ -323,10 +323,7 @@ pub(crate) fn master_detail_paginated(seed: u64, pages: &[usize]) -> Parts {
         for i in 0..count {
             b.add_page(
                 format!("https://mcat{seed}.test/{pi}/{i}"),
-                page(&format!(
-                    "<div class='spec'>{}</div>",
-                    faker.address()
-                )),
+                page(&format!("<div class='spec'>{}</div>", faker.address())),
             );
         }
     }
@@ -359,10 +356,7 @@ pub(crate) fn search_scrape(seed: u64, queries: usize, inner_loop: bool) -> Part
         .collect();
     let bar = searchbar("q");
     let mut b = SiteBuilder::new();
-    let home = b.add_page(
-        format!("https://jobs{seed}.test/"),
-        page(&bar),
-    );
+    let home = b.add_page(format!("https://jobs{seed}.test/"), page(&bar));
     let mut routes = Vec::new();
     for (qi, word) in words.iter().enumerate() {
         routes.push((word.clone(), PageId::from_index(qi + 1)));
@@ -385,10 +379,7 @@ pub(crate) fn search_scrape(seed: u64, queries: usize, inner_loop: bool) -> Part
     );
     b.add_search("q", routes, miss);
     let site = Arc::new(b.start_at(home).finish());
-    let input = Value::object([(
-        "keywords".to_string(),
-        Value::str_array(words),
-    )]);
+    let input = Value::object([("keywords".to_string(), Value::str_array(words))]);
     let gt = if inner_loop {
         parse(
             "foreach %v0 in ValuePaths(x[keywords]) do {\n\
@@ -469,7 +460,9 @@ pub(crate) fn search_paginated(
     }
     let miss = b.add_page(
         format!("https://stores{seed}.test/none"),
-        page(&format!("{bar}<div class='results'><div class='header'>none</div></div>")),
+        page(&format!(
+            "{bar}<div class='results'><div class='header'>none</div></div>"
+        )),
     );
     b.add_search("q", routes, miss);
     let site = Arc::new(b.start_at(home).finish());
@@ -578,7 +571,10 @@ pub(crate) fn inline_form(seed: u64, entries: usize) -> Parts {
     let bar = searchbar("f");
     let url = format!("https://spa{seed}.test/");
     let mut b = SiteBuilder::new();
-    let home = b.add_page(url.clone(), page(&format!("{bar}<div class='rate'>-</div>")));
+    let home = b.add_page(
+        url.clone(),
+        page(&format!("{bar}<div class='rate'>-</div>")),
+    );
     let mut routes = Vec::new();
     for (i, code) in codes.iter().enumerate() {
         routes.push((code.clone(), PageId::from_index(i + 1)));
@@ -616,13 +612,17 @@ pub(crate) fn disjunctive_list(seed: u64, items: usize) -> Parts {
     let mut div_idx = 1; // child index among body's divs (header is 1)
     for i in 0..items {
         div_idx += 1;
-        let class = if i % 2 == 0 { "match" } else { "match highlight" };
+        let class = if i.is_multiple_of(2) {
+            "match"
+        } else {
+            "match highlight"
+        };
         body.push_str(&format!(
             "<div class='{class}'><h3>{}</h3></div>",
             faker.person()
         ));
         selectors.push(format!("/body[1]/div[{div_idx}]/h3[1]"));
-        if i % 2 == 1 {
+        if !i.is_multiple_of(2) {
             div_idx += 1;
             body.push_str("<div class='ad'><h3>buy now</h3></div>");
         }
@@ -666,7 +666,10 @@ pub(crate) fn multi_attr_detail(seed: u64, rows: usize) -> Parts {
     for i in 0..rows {
         b.add_page(
             format!("https://players{seed}.test/{i}"),
-            page(&format!("<div class='stat'>{} goals</div>", faker.count(0, 60))),
+            page(&format!(
+                "<div class='stat'>{} goals</div>",
+                faker.count(0, 60)
+            )),
         );
     }
     let site = Arc::new(b.start_at(home).finish());
@@ -698,10 +701,7 @@ pub(crate) fn disabled_pagination(seed: u64, pages: &[usize]) -> Parts {
     for (pi, &count) in pages.iter().enumerate() {
         let mut items = String::from("<div class='header'>results</div>");
         for _ in 0..count {
-            items.push_str(&item_block(
-                "item",
-                &[("h3", None, faker.product())],
-            ));
+            items.push_str(&item_block("item", &[("h3", None, faker.product())]));
         }
         let tail = if pi + 1 < pages.len() {
             next_button(pi + 1)
@@ -713,10 +713,7 @@ pub(crate) fn disabled_pagination(seed: u64, pages: &[usize]) -> Parts {
             page(&format!("<div class='results'>{items}{tail}</div>")),
         );
         for k in 0..count {
-            gt_lines.push(format!(
-                "ScrapeText(/body[1]/div[1]/div[{}]/h3[1])",
-                k + 2
-            ));
+            gt_lines.push(format!("ScrapeText(/body[1]/div[1]/div[{}]/h3[1])", k + 2));
         }
         if pi + 1 < pages.len() {
             gt_lines.push("Click(//button[@class='next'][1])".to_string());

@@ -150,85 +150,312 @@ pub fn benchmark(id: u32) -> Option<Benchmark> {
     // (family, name, parts, features, expect_intended, no_alt)
     let (family, name, parts, features, expect_intended, no_alt) = match id {
         // ── Designed-to-fail: complex selectors (paper b1–b3) ────────────
-        1 => (Disjunctive, "forum posts with mixed classes", families::disjunctive_list(seed, 10), feat(false, false, false), false, false),
-        2 => (Disjunctive, "mixed announcement rows", families::disjunctive_list(seed, 14), feat(false, false, false), false, false),
-        3 => (Disjunctive, "alternating result cards", families::disjunctive_list(seed, 8), feat(false, false, false), false, false),
+        1 => (
+            Disjunctive,
+            "forum posts with mixed classes",
+            families::disjunctive_list(seed, 10),
+            feat(false, false, false),
+            false,
+            false,
+        ),
+        2 => (
+            Disjunctive,
+            "mixed announcement rows",
+            families::disjunctive_list(seed, 14),
+            feat(false, false, false),
+            false,
+            false,
+        ),
+        3 => (
+            Disjunctive,
+            "alternating result cards",
+            families::disjunctive_list(seed, 8),
+            feat(false, false, false),
+            false,
+            false,
+        ),
         // ── The one entry-without-navigation benchmark ───────────────────
-        4 => (InlineForm, "single-page rate lookup", families::inline_form(seed, 14), feat(true, false, false), true, false),
+        4 => (
+            InlineForm,
+            "single-page rate lookup",
+            families::inline_form(seed, 14),
+            feat(true, false, false),
+            true,
+            false,
+        ),
         // ── Designed-to-fail: multi-attribute selectors (paper b6) ──────
-        5 => (MultiAttr, "active player stats", families::multi_attr_detail(seed, 9), feat(false, true, false), false, false),
-        6 => (MultiAttr, "match and match-highlight players", families::multi_attr_detail(seed, 12), feat(false, true, false), false, false),
+        5 => (
+            MultiAttr,
+            "active player stats",
+            families::multi_attr_detail(seed, 9),
+            feat(false, true, false),
+            false,
+            false,
+        ),
+        6 => (
+            MultiAttr,
+            "match and match-highlight players",
+            families::multi_attr_detail(seed, 12),
+            feat(false, true, false),
+            false,
+            false,
+        ),
         // ── Short-trace benchmarks (paper b7, b8, b10) ───────────────────
-        7 => (PaginatedList, "tiny paginated news list", families::paginated_list(seed, &[3, 2]), feat(false, true, true), true, false),
-        8 => (StyledList, "short product list", families::styled_list(seed, 4), feat(false, false, false), true, false),
+        7 => (
+            PaginatedList,
+            "tiny paginated news list",
+            families::paginated_list(seed, &[3, 2]),
+            feat(false, true, true),
+            true,
+            false,
+        ),
+        8 => (
+            StyledList,
+            "short product list",
+            families::styled_list(seed, 4),
+            feat(false, false, false),
+            true,
+            false,
+        ),
         // ── Designed-to-fail: unsupported pagination (paper b9) ─────────
-        9 => (DisabledPagination, "job search with inert next", families::disabled_pagination(seed, &[6, 5, 4]), feat(false, true, true), false, false),
-        10 => (StyledList, "short directory list", families::styled_list(seed, 5), feat(false, false, false), true, false),
-        11 => (DisabledPagination, "archive with inert next", families::disabled_pagination(seed, &[5, 4]), feat(false, true, true), false, false),
+        9 => (
+            DisabledPagination,
+            "job search with inert next",
+            families::disabled_pagination(seed, &[6, 5, 4]),
+            feat(false, true, true),
+            false,
+            false,
+        ),
+        10 => (
+            StyledList,
+            "short directory list",
+            families::styled_list(seed, 5),
+            feat(false, false, false),
+            true,
+            false,
+        ),
+        11 => (
+            DisabledPagination,
+            "archive with inert next",
+            families::disabled_pagination(seed, &[5, 4]),
+            feat(false, true, true),
+            false,
+            false,
+        ),
         // ── Q4-eligible plain structures ─────────────────────────────────
-        12 => (Sections, "tables of attendees", families::sections_list(seed, 4, 10, true), feat(false, false, false), true, true),
-        13 => (Sections, "styled sections of addresses", families::sections_list(seed, 5, 8, false), feat(false, false, false), true, false),
-        15 => (PlainList, "three-field store list", families::plain_list(seed, 18, 3), feat(false, false, false), true, true),
-        20 => (PlainList, "six-field census rows", families::plain_list(seed, 12, 6), feat(false, false, false), true, true),
-        48 => (PlainList, "four-field inventory", families::plain_list(seed, 15, 4), feat(false, false, false), true, true),
-        56 => (DeepSections, "groups × tables × rows", families::deep_sections(seed, 4, 3, 5), feat(false, false, false), true, true),
-        73 => (PlainList, "headline list", families::plain_list(seed, 26, 1), feat(false, false, false), true, true),
-        74 => (PlainList, "link title list", families::plain_list(seed, 22, 1), feat(false, false, false), true, true),
-        75 => (PlainList, "quote list", families::plain_list(seed, 24, 1), feat(false, false, false), true, true),
-        76 => (PlainList, "ticker list", families::plain_list(seed, 28, 1), feat(false, false, false), true, true),
+        12 => (
+            Sections,
+            "tables of attendees",
+            families::sections_list(seed, 4, 10, true),
+            feat(false, false, false),
+            true,
+            true,
+        ),
+        13 => (
+            Sections,
+            "styled sections of addresses",
+            families::sections_list(seed, 5, 8, false),
+            feat(false, false, false),
+            true,
+            false,
+        ),
+        15 => (
+            PlainList,
+            "three-field store list",
+            families::plain_list(seed, 18, 3),
+            feat(false, false, false),
+            true,
+            true,
+        ),
+        20 => (
+            PlainList,
+            "six-field census rows",
+            families::plain_list(seed, 12, 6),
+            feat(false, false, false),
+            true,
+            true,
+        ),
+        48 => (
+            PlainList,
+            "four-field inventory",
+            families::plain_list(seed, 15, 4),
+            feat(false, false, false),
+            true,
+            true,
+        ),
+        56 => (
+            DeepSections,
+            "groups × tables × rows",
+            families::deep_sections(seed, 4, 3, 5),
+            feat(false, false, false),
+            true,
+            true,
+        ),
+        73 => (
+            PlainList,
+            "headline list",
+            families::plain_list(seed, 26, 1),
+            feat(false, false, false),
+            true,
+            true,
+        ),
+        74 => (
+            PlainList,
+            "link title list",
+            families::plain_list(seed, 22, 1),
+            feat(false, false, false),
+            true,
+            true,
+        ),
+        75 => (
+            PlainList,
+            "quote list",
+            families::plain_list(seed, 24, 1),
+            feat(false, false, false),
+            true,
+            true,
+        ),
+        76 => (
+            PlainList,
+            "ticker list",
+            families::plain_list(seed, 28, 1),
+            feat(false, false, false),
+            true,
+            true,
+        ),
         // ── Paginated listings (family C) ────────────────────────────────
         14 | 16 | 17 | 18 | 19 | 21 | 22 | 23 | 24 | 25 | 26 | 27 | 28 => {
             let shapes: [&[usize]; 13] = [
-                &[10, 9, 8], &[9, 9, 9], &[12, 11], &[7, 7, 7, 7], &[12, 10, 5],
-                &[10, 10, 10], &[9, 8, 6], &[14, 9], &[10, 8, 9], &[12, 12],
-                &[9, 9, 8], &[10, 6, 6], &[8, 9, 10],
+                &[10, 9, 8],
+                &[9, 9, 9],
+                &[12, 11],
+                &[7, 7, 7, 7],
+                &[12, 10, 5],
+                &[10, 10, 10],
+                &[9, 8, 6],
+                &[14, 9],
+                &[10, 8, 9],
+                &[12, 12],
+                &[9, 9, 8],
+                &[10, 6, 6],
+                &[8, 9, 10],
             ];
             let idx = [14u32, 16, 17, 18, 19, 21, 22, 23, 24, 25, 26, 27, 28]
                 .iter()
                 .position(|&x| x == id)
                 .unwrap();
-            (PaginatedList, "paginated listing", families::paginated_list(seed, shapes[idx]), feat(false, true, true), true, false)
+            (
+                PaginatedList,
+                "paginated listing",
+                families::paginated_list(seed, shapes[idx]),
+                feat(false, true, true),
+                true,
+                false,
+            )
         }
         // ── Master–detail (family D) ─────────────────────────────────────
-        29 => (MasterDetail, "product catalog with specs", families::master_detail(seed, 14), feat(false, true, false), true, false),
-        30 => (MasterDetail, "company directory with profiles", families::master_detail(seed, 16), feat(false, true, false), true, false),
+        29 => (
+            MasterDetail,
+            "product catalog with specs",
+            families::master_detail(seed, 14),
+            feat(false, true, false),
+            true,
+            false,
+        ),
+        30 => (
+            MasterDetail,
+            "company directory with profiles",
+            families::master_detail(seed, 16),
+            feat(false, true, false),
+            true,
+            false,
+        ),
         // ── Paginated master–detail (family E) ───────────────────────────
         31..=42 => {
             let shapes: [&[usize]; 12] = [
-                &[7, 6], &[8, 5], &[6, 5, 4], &[5, 5, 5], &[8, 7], &[9, 5],
-                &[6, 6, 5], &[5, 6, 5], &[8, 8], &[7, 8], &[5, 5, 6], &[9, 7],
+                &[7, 6],
+                &[8, 5],
+                &[6, 5, 4],
+                &[5, 5, 5],
+                &[8, 7],
+                &[9, 5],
+                &[6, 6, 5],
+                &[5, 6, 5],
+                &[8, 8],
+                &[7, 8],
+                &[5, 5, 6],
+                &[9, 7],
             ];
-            (MasterDetailPaginated, "paginated catalog with details", families::master_detail_paginated(seed, shapes[(id - 31) as usize]), feat(false, true, true), true, false)
+            (
+                MasterDetailPaginated,
+                "paginated catalog with details",
+                families::master_detail_paginated(seed, shapes[(id - 31) as usize]),
+                feat(false, true, true),
+                true,
+                false,
+            )
         }
         // ── Search-driven scraping (family F) ────────────────────────────
         // 1-level (fixed summary fields):
         43 | 44 | 45 | 46 | 47 | 49 | 50 | 51 | 52 => {
             let queries = 8 + (id as usize % 5);
-            (SearchScrape, "keyword search summary", families::search_scrape(seed, queries, false), feat(true, true, false), true, false)
+            (
+                SearchScrape,
+                "keyword search summary",
+                families::search_scrape(seed, queries, false),
+                feat(true, true, false),
+                true,
+                false,
+            )
         }
         // 2-level (inner result loop):
         53 | 54 | 55 | 57 => {
             let queries = 4 + (id as usize % 3);
-            (SearchScrape, "keyword search with result list", families::search_scrape(seed, queries, true), feat(true, true, false), true, false)
+            (
+                SearchScrape,
+                "keyword search with result list",
+                families::search_scrape(seed, queries, true),
+                feat(true, true, false),
+                true,
+                false,
+            )
         }
         // ── Search + pagination (family G) ───────────────────────────────
-        58 => (SearchPaginated, "sectioned store finder (4-level)", families::search_paginated(seed, 3, &[3, 3], true), feat(true, true, true), true, false),
+        58 => (
+            SearchPaginated,
+            "sectioned store finder (4-level)",
+            families::search_paginated(seed, 3, &[3, 3], true),
+            feat(true, true, true),
+            true,
+            false,
+        ),
         59..=62 => {
             let shapes: [&[usize]; 4] = [&[7, 6, 5], &[7, 7], &[9, 8], &[6, 5, 5]];
-            (SearchPaginated, "store finder by zip", families::search_paginated(seed, 3, shapes[(id - 59) as usize], false), feat(true, true, true), true, false)
+            (
+                SearchPaginated,
+                "store finder by zip",
+                families::search_paginated(seed, 3, shapes[(id - 59) as usize], false),
+                feat(true, true, true),
+                true,
+                false,
+            )
         }
         // ── Form generators (family H) ───────────────────────────────────
         63..=72 => {
             let people = 10 + (id as usize % 6);
-            let object_rows = id % 2 == 0;
-            (FormGenerator, "name generator form", families::form_generator(seed, people, object_rows), feat(true, true, false), true, false)
+            let object_rows = id.is_multiple_of(2);
+            (
+                FormGenerator,
+                "name generator form",
+                families::form_generator(seed, people, object_rows),
+                feat(true, true, false),
+                true,
+                false,
+            )
         }
         _ => unreachable!("all ids 1..=76 are covered"),
     };
-    let frontend_quirk = QUIRKS
-        .iter()
-        .find(|(qid, _)| *qid == id)
-        .map(|(_, q)| *q);
+    let frontend_quirk = QUIRKS.iter().find(|(qid, _)| *qid == id).map(|(_, q)| *q);
     Some(Benchmark {
         id,
         name,
@@ -245,7 +472,9 @@ pub fn benchmark(id: u32) -> Option<Benchmark> {
 
 /// The full 76-benchmark suite, in id order.
 pub fn suite() -> Vec<Benchmark> {
-    (1..=76).map(|id| benchmark(id).expect("ids 1..=76 exist")).collect()
+    (1..=76)
+        .map(|id| benchmark(id).expect("ids 1..=76 exist"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -256,7 +485,10 @@ mod tests {
     fn suite_has_paper_statistics() {
         let suite = suite();
         assert_eq!(suite.len(), 76);
-        assert!(suite.iter().all(|b| b.features.extraction), "all 76 extract");
+        assert!(
+            suite.iter().all(|b| b.features.extraction),
+            "all 76 extract"
+        );
         let entry = suite.iter().filter(|b| b.features.entry).count();
         assert_eq!(entry, 29, "29 involve data entry");
         let nav = suite.iter().filter(|b| b.features.navigation).count();
@@ -307,7 +539,10 @@ mod tests {
             assert!(b.ground_truth.loop_depth() >= 1);
         }
         assert_eq!(
-            suite().iter().filter(|b| b.no_alternative_selectors).count(),
+            suite()
+                .iter()
+                .filter(|b| b.no_alternative_selectors)
+                .count(),
             9,
             "exactly the 9 Q4 benchmarks"
         );

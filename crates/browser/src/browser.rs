@@ -231,12 +231,12 @@ impl Browser {
             }
             Action::EnterData(p, vpath) => {
                 let node = self.resolve(p, action)?;
-                let value =
-                    self.input
-                        .get(vpath)
-                        .ok_or_else(|| BrowserError::MissingInput {
-                            path: vpath.to_string(),
-                        })?;
+                let value = self
+                    .input
+                    .get(vpath)
+                    .ok_or_else(|| BrowserError::MissingInput {
+                        path: vpath.to_string(),
+                    })?;
                 let rendered = value.render();
                 self.dom.set_attr(node, "value", rendered);
                 Ok(())
@@ -257,10 +257,12 @@ impl Browser {
             return Ok(()); // external link: no-op in the simulator
         }
         if let Some(key) = self.dom.attr(node, "data-search").map(str::to_string) {
-            let form =
-                self.site.searches.get(&key).cloned().ok_or_else(|| BrowserError::BrokenForm {
-                    key: key.clone(),
-                })?;
+            let form = self
+                .site
+                .searches
+                .get(&key)
+                .cloned()
+                .ok_or_else(|| BrowserError::BrokenForm { key: key.clone() })?;
             // Read what was entered into the form's input field.
             let field = self
                 .dom
@@ -381,12 +383,8 @@ mod tests {
             .perform(&Action::EnterData(p("//input[1]"), path))
             .unwrap();
         browser.perform(&Action::Click(p("//button[1]"))).unwrap();
-        browser
-            .perform(&Action::ScrapeText(p("//h3[1]")))
-            .unwrap();
-        browser
-            .perform(&Action::ScrapeLink(p("//a[1]")))
-            .unwrap();
+        browser.perform(&Action::ScrapeText(p("//h3[1]"))).unwrap();
+        browser.perform(&Action::ScrapeLink(p("//a[1]"))).unwrap();
         browser.perform(&Action::ExtractUrl).unwrap();
         assert_eq!(
             browser.outputs(),
@@ -401,9 +399,7 @@ mod tests {
     #[test]
     fn missing_selector_is_a_replay_error() {
         let mut browser = Browser::new(search_site(), zips_input());
-        let err = browser
-            .perform(&Action::Click(p("//div[7]")))
-            .unwrap_err();
+        let err = browser.perform(&Action::Click(p("//div[7]"))).unwrap_err();
         assert!(matches!(err, BrowserError::SelectorNotFound { .. }));
     }
 

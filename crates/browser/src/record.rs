@@ -117,7 +117,10 @@ mod tests {
         assert!(!rec.truncated);
         assert_eq!(rec.outputs.len(), 3);
         // Recorded selectors are absolute.
-        assert_eq!(rec.trace.actions()[0].to_string(), "ScrapeText(/div[1]/h3[1])");
+        assert_eq!(
+            rec.trace.actions()[0].to_string(),
+            "ScrapeText(/div[1]/h3[1])"
+        );
     }
 
     #[test]

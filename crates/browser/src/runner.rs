@@ -144,11 +144,11 @@ impl<F: FnMut(&Action, &Browser)> Runner<'_, F> {
         let absolute = match action.selector() {
             None => action,
             Some(path) => {
-                let node =
-                    path.resolve(self.browser.dom())
-                        .ok_or_else(|| BrowserError::SelectorNotFound {
-                            action: action.to_string(),
-                        })?;
+                let node = path.resolve(self.browser.dom()).ok_or_else(|| {
+                    BrowserError::SelectorNotFound {
+                        action: action.to_string(),
+                    }
+                })?;
                 let abs = self.browser.dom().absolute_path(node);
                 match action {
                     Action::Click(_) => Action::Click(abs),

@@ -57,9 +57,7 @@ pub use webrobot_browser::{
     Site, SiteBuilder,
 };
 pub use webrobot_interact::{Mode, Session, SessionConfig};
-pub use webrobot_lang::{
-    parse_program, Action, Program, Selector, Statement, Value, ValuePath,
-};
+pub use webrobot_lang::{parse_program, Action, Program, Selector, Statement, Value, ValuePath};
 pub use webrobot_semantics::{
     action_consistent, execute, generalizes, satisfies, trace_consistent, Trace,
 };
@@ -125,9 +123,7 @@ mod tests {
 
     #[test]
     fn facade_round_trip() {
-        let page = Arc::new(
-            parse_html("<html><a>1</a><a>2</a><a>3</a></html>").unwrap(),
-        );
+        let page = Arc::new(parse_html("<html><a>1</a><a>2</a><a>3</a></html>").unwrap());
         let mut robot = WebRobot::on_page(page.clone(), Value::Object(vec![]));
         robot.observe(Action::ScrapeText("/a[1]".parse().unwrap()), page.clone());
         robot.observe(Action::ScrapeText("/a[2]".parse().unwrap()), page);
@@ -139,11 +135,7 @@ mod tests {
     #[test]
     fn ablation_configs_are_reachable() {
         let page = Arc::new(parse_html("<html><a>1</a></html>").unwrap());
-        let robot = WebRobot::with_config(
-            SynthConfig::no_selector(),
-            page,
-            Value::Object(vec![]),
-        );
+        let robot = WebRobot::with_config(SynthConfig::no_selector(), page, Value::Object(vec![]));
         assert!(!robot.synth.config().alternative_selectors);
     }
 }

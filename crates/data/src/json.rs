@@ -33,7 +33,11 @@ impl JsonError {
 
 impl fmt::Display for JsonError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid json at byte {}: {}", self.position, self.message)
+        write!(
+            f,
+            "invalid json at byte {}: {}",
+            self.position, self.message
+        )
     }
 }
 

@@ -61,7 +61,11 @@ impl DomError {
 
 impl fmt::Display for DomError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid html at byte {}: {}", self.position, self.message)
+        write!(
+            f,
+            "invalid html at byte {}: {}",
+            self.position, self.message
+        )
     }
 }
 

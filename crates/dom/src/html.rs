@@ -30,12 +30,11 @@ use crate::node::{Dom, NodeId};
 /// # }
 /// ```
 pub fn parse_html(input: &str) -> Result<Dom, DomError> {
-    Parser {
-        input,
-        pos: 0,
-    }
-    .parse_document()
+    Parser { input, pos: 0 }.parse_document()
 }
+
+/// A parsed open tag: element name, attributes, and whether it self-closed.
+type OpenTag = (String, Vec<(String, String)>, bool);
 
 struct Parser<'a> {
     input: &'a str,
@@ -158,7 +157,7 @@ impl<'a> Parser<'a> {
         Ok(self.input[start..self.pos].to_string())
     }
 
-    fn parse_open_tag(&mut self) -> Result<(String, Vec<(String, String)>, bool), DomError> {
+    fn parse_open_tag(&mut self) -> Result<OpenTag, DomError> {
         debug_assert!(self.rest().starts_with('<'));
         self.pos += 1;
         let tag = self.parse_name()?;
@@ -250,8 +249,8 @@ mod tests {
 
     #[test]
     fn parses_nested_elements() {
-        let dom = parse_html("<html><body><div class=\"a\"><h3>hi</h3></div></body></html>")
-            .unwrap();
+        let dom =
+            parse_html("<html><body><div class=\"a\"><h3>hi</h3></div></body></html>").unwrap();
         assert_eq!(dom.len(), 4);
         let body = dom.children(NodeId::ROOT)[0];
         let div = dom.children(body)[0];

@@ -474,10 +474,7 @@ mod tests {
     #[test]
     fn descendants_are_preorder() {
         let dom = sample();
-        let tags: Vec<&str> = dom
-            .descendants(NodeId::ROOT)
-            .map(|n| dom.tag(n))
-            .collect();
+        let tags: Vec<&str> = dom.descendants(NodeId::ROOT).map(|n| dom.tag(n)).collect();
         assert_eq!(tags, vec!["body", "div", "h3", "div", "h3"]);
     }
 

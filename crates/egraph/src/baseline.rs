@@ -127,8 +127,8 @@ impl BaselineSynthesizer {
 
         // Saturated Split: one class per contiguous slice, with every Cat.
         let mut slice: HashMap<(usize, usize), ClassId> = HashMap::new();
-        for i in 0..n {
-            let single = eg.add(TraceLang::Single(action_classes[i]));
+        for (i, &class) in action_classes.iter().enumerate() {
+            let single = eg.add(TraceLang::Single(class));
             slice.insert((i, i + 1), single);
         }
         let mut timed_out = false;
@@ -199,9 +199,7 @@ impl BaselineSynthesizer {
             if let Some(root_seqs) = seqs.get(&(0, n)) {
                 let mut candidates: Vec<Program> = root_seqs
                     .iter()
-                    .map(|seq| {
-                        Program::new(seq.iter().map(|&s| stmts.get(s).clone()).collect())
-                    })
+                    .map(|seq| Program::new(seq.iter().map(|&s| stmts.get(s).clone()).collect()))
                     .collect();
                 candidates.sort_by_key(|p| (p.size(), p.to_string()));
                 program = candidates
@@ -321,7 +319,7 @@ fn try_reroll(stmts: &[Statement], var_counter: &mut u32) -> Vec<Statement> {
     let len = stmts.len();
     let mut out = Vec::new();
     for body_len in 1..=len / 2 {
-        if len % body_len != 0 {
+        if !len.is_multiple_of(body_len) {
             continue;
         }
         let r = len / body_len;
@@ -422,10 +420,7 @@ fn unify_flat_column(column: &[&Statement], var: SelVar) -> Option<(Statement, S
     use Statement::*;
     let paths: Vec<&Path> = column
         .iter()
-        .map(|s| {
-            s.selector()
-                .and_then(Selector::as_concrete)
-        })
+        .map(|s| s.selector().and_then(Selector::as_concrete))
         .collect::<Option<Vec<_>>>()?;
     // All statements must have the same kind and non-selector arguments.
     let same_shape = column.windows(2).all(|w| match (w[0], w[1]) {
@@ -597,8 +592,7 @@ mod tests {
 
     #[test]
     fn constant_columns_reroll_offsets_do_not() {
-        let dom =
-            Arc::new(parse_html("<html><a>1</a><a>2</a><a>3</a><h3>t</h3></html>").unwrap());
+        let dom = Arc::new(parse_html("<html><a>1</a><a>2</a><a>3</a><h3>t</h3></html>").unwrap());
         let mut t = Trace::new(dom.clone(), Value::Object(vec![]));
         for i in 1..=2 {
             t.push(

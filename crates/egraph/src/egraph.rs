@@ -216,8 +216,7 @@ impl<L: Language> EGraph<L> {
         // The class may have been merged away by the unions above.
         let root = self.find_compress(class);
         if let Some(data) = self.classes.get_mut(&root) {
-            data.parents
-                .extend(fresh.into_iter().map(|(n, c)| (n, c)));
+            data.parents.extend(fresh);
         }
         // Keep the class's own nodes canonical and deduplicated for
         // consumers of `nodes()`.

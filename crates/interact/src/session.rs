@@ -5,7 +5,7 @@ use std::sync::Arc;
 use webrobot_browser::{Browser, BrowserError, Site};
 use webrobot_data::Value;
 use webrobot_lang::Action;
-use webrobot_semantics::Trace;
+use webrobot_semantics::{satisfies, Trace};
 use webrobot_synth::{SynthConfig, Synthesizer};
 
 /// Session phase (paper §6 "Demo-auth-auto workflow").
@@ -90,6 +90,7 @@ pub struct Session {
     consecutive_accepts: usize,
     executed: Vec<Action>,
     automated_steps: usize,
+    last_program: Option<webrobot_lang::Program>,
 }
 
 impl Session {
@@ -107,6 +108,7 @@ impl Session {
             consecutive_accepts: 0,
             executed: Vec::new(),
             automated_steps: 0,
+            last_program: None,
         }
     }
 
@@ -132,9 +134,22 @@ impl Session {
         &self.predictions
     }
 
-    /// The best generalizing program, if any.
+    /// The best generalizing program, if any. Once the task has run to
+    /// completion nothing generalizes the finished trace any more (Def. 4.2
+    /// demands one further action), so this falls back to the most recent
+    /// generalizing program — but only while it still *satisfies* the
+    /// trace (Def. 4.1); a cached program invalidated by a later
+    /// demonstration, or discarded by an explicit rejection, is not
+    /// returned.
     pub fn current_program(&self) -> Option<webrobot_lang::Program> {
-        self.synth.best_program().map(webrobot_lang::Program::new)
+        self.synth
+            .best_program()
+            .map(webrobot_lang::Program::new)
+            .or_else(|| {
+                self.last_program
+                    .clone()
+                    .filter(|p| satisfies(p.statements(), self.synth.trace()))
+            })
     }
 
     /// Rewrites an action's selector to the absolute XPath of the node it
@@ -143,11 +158,11 @@ impl Session {
         let Some(path) = action.selector() else {
             return Ok(action.clone());
         };
-        let node = path
-            .resolve(self.browser.dom())
-            .ok_or_else(|| BrowserError::SelectorNotFound {
-                action: action.to_string(),
-            })?;
+        let node =
+            path.resolve(self.browser.dom())
+                .ok_or_else(|| BrowserError::SelectorNotFound {
+                    action: action.to_string(),
+                })?;
         let abs = self.browser.dom().absolute_path(node);
         Ok(match action.clone() {
             Action::Click(_) => Action::Click(abs),
@@ -164,7 +179,8 @@ impl Session {
     fn perform_and_record(&mut self, action: &Action) -> Result<Action, BrowserError> {
         let absolute = self.absolutize(action)?;
         self.browser.perform(&absolute)?;
-        self.synth.observe(absolute.clone(), self.browser.snapshot());
+        self.synth
+            .observe(absolute.clone(), self.browser.snapshot());
         self.executed.push(absolute.clone());
         Ok(absolute)
     }
@@ -185,6 +201,9 @@ impl Session {
 
     fn refresh_predictions(&mut self) {
         let result = self.synth.synthesize();
+        if let Some(best) = result.programs.first() {
+            self.last_program = Some(best.program.clone());
+        }
         self.predictions = result.predictions;
         self.mode = if self.predictions.is_empty() {
             Mode::Demonstrate
@@ -210,6 +229,7 @@ impl Session {
             None => {
                 self.predictions.clear();
                 self.consecutive_accepts = 0;
+                self.last_program = None;
                 self.mode = Mode::Demonstrate;
                 Ok(StepOutcome::NeedDemonstration)
             }
@@ -294,7 +314,11 @@ mod tests {
 
     #[test]
     fn demo_auth_auto_workflow() {
-        let mut s = Session::new(anchor_site(6), Value::Object(vec![]), SessionConfig::default());
+        let mut s = Session::new(
+            anchor_site(6),
+            Value::Object(vec![]),
+            SessionConfig::default(),
+        );
         assert_eq!(s.mode(), Mode::Demonstrate);
         s.demonstrate(&scrape(1)).unwrap();
         assert_eq!(s.mode(), Mode::Demonstrate, "one action cannot generalize");
@@ -322,7 +346,11 @@ mod tests {
 
     #[test]
     fn reject_returns_to_demonstration() {
-        let mut s = Session::new(anchor_site(4), Value::Object(vec![]), SessionConfig::default());
+        let mut s = Session::new(
+            anchor_site(4),
+            Value::Object(vec![]),
+            SessionConfig::default(),
+        );
         s.demonstrate(&scrape(1)).unwrap();
         s.demonstrate(&scrape(2)).unwrap();
         assert_eq!(s.mode(), Mode::Authorize);
@@ -333,7 +361,11 @@ mod tests {
 
     #[test]
     fn interrupt_stops_automation() {
-        let mut s = Session::new(anchor_site(8), Value::Object(vec![]), SessionConfig::default());
+        let mut s = Session::new(
+            anchor_site(8),
+            Value::Object(vec![]),
+            SessionConfig::default(),
+        );
         s.demonstrate(&scrape(1)).unwrap();
         s.demonstrate(&scrape(2)).unwrap();
         s.authorize(Some(0)).unwrap();
@@ -347,7 +379,11 @@ mod tests {
 
     #[test]
     fn failed_demonstration_is_an_error() {
-        let mut s = Session::new(anchor_site(2), Value::Object(vec![]), SessionConfig::default());
+        let mut s = Session::new(
+            anchor_site(2),
+            Value::Object(vec![]),
+            SessionConfig::default(),
+        );
         assert!(s.demonstrate(&scrape(9)).is_err());
         assert!(s.executed().is_empty());
     }

@@ -151,7 +151,14 @@ pub fn drive_session(
     let mut rng = StdRng::seed_from_u64(user.seed);
     let mut restarts = 0;
     loop {
-        let report = drive_once(site.clone(), input.clone(), recording, cfg.clone(), user, &mut rng);
+        let report = drive_once(
+            site.clone(),
+            input.clone(),
+            recording,
+            cfg.clone(),
+            user,
+            &mut rng,
+        );
         match report {
             Ok(mut r) => {
                 r.restarts = restarts;

@@ -110,13 +110,10 @@ impl Action {
             Action::Download(p) => Statement::Download(Selector::rooted(p.clone())),
             Action::GoBack => Statement::GoBack,
             Action::ExtractUrl => Statement::ExtractUrl,
-            Action::SendKeys(p, s) => {
-                Statement::SendKeys(Selector::rooted(p.clone()), s.clone())
+            Action::SendKeys(p, s) => Statement::SendKeys(Selector::rooted(p.clone()), s.clone()),
+            Action::EnterData(p, v) => {
+                Statement::EnterData(Selector::rooted(p.clone()), ValuePathExpr::input(v.clone()))
             }
-            Action::EnterData(p, v) => Statement::EnterData(
-                Selector::rooted(p.clone()),
-                ValuePathExpr::input(v.clone()),
-            ),
         }
     }
 }

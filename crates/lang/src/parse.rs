@@ -283,7 +283,10 @@ impl<'a> Parser<'a> {
         if self.rest().starts_with("[@") {
             // Reuse the path parser by parsing a one-step pseudo path.
             let pseudo_start = self.pos;
-            let close = self.rest().find(']').ok_or_else(|| self.err("expected ]"))?;
+            let close = self
+                .rest()
+                .find(']')
+                .ok_or_else(|| self.err("expected ]"))?;
             let attr_text = &self.input[pseudo_start..pseudo_start + close + 1];
             let pseudo = format!("/{tag}{attr_text}[1]");
             let path: Path = pseudo
@@ -307,9 +310,7 @@ impl<'a> Parser<'a> {
         };
         // Steps run until a delimiter that cannot start a step.
         let rest = self.rest();
-        let end = rest
-            .find(|c: char| matches!(c, ',' | ')' | '\n' | ' '))
-            .unwrap_or(rest.len());
+        let end = rest.find([',', ')', '\n', ' ']).unwrap_or(rest.len());
         let text = &rest[..end];
         let path: Path = if text.is_empty() {
             Path::root()

@@ -255,9 +255,7 @@ impl Renamer {
             Statement::Download(sel) => Statement::Download(self.selector(sel)),
             Statement::GoBack => Statement::GoBack,
             Statement::ExtractUrl => Statement::ExtractUrl,
-            Statement::SendKeys(sel, text) => {
-                Statement::SendKeys(self.selector(sel), text.clone())
-            }
+            Statement::SendKeys(sel, text) => Statement::SendKeys(self.selector(sel), text.clone()),
             Statement::EnterData(sel, vp) => {
                 Statement::EnterData(self.selector(sel), self.vp_expr(vp))
             }

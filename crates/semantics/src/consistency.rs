@@ -107,8 +107,16 @@ mod tests {
         let path1 = ValuePath::new(vec![PathSeg::key("zips"), PathSeg::Index(1)]);
         let path2 = ValuePath::new(vec![PathSeg::key("zips"), PathSeg::Index(2)]);
         let a = Action::EnterData(p("//h3[1]"), path1.clone());
-        assert!(action_consistent(&a, &Action::EnterData(p("//h3[1]"), path1), &d));
-        assert!(!action_consistent(&a, &Action::EnterData(p("//h3[1]"), path2), &d));
+        assert!(action_consistent(
+            &a,
+            &Action::EnterData(p("//h3[1]"), path1),
+            &d
+        ));
+        assert!(!action_consistent(
+            &a,
+            &Action::EnterData(p("//h3[1]"), path2),
+            &d
+        ));
     }
 
     #[test]

@@ -89,11 +89,19 @@ struct Env {
 
 impl Env {
     fn lookup_sel(&self, v: SelVar) -> Option<&Path> {
-        self.sel.iter().rev().find(|(var, _)| *var == v).map(|(_, p)| p)
+        self.sel
+            .iter()
+            .rev()
+            .find(|(var, _)| *var == v)
+            .map(|(_, p)| p)
     }
 
     fn lookup_vp(&self, v: VpVar) -> Option<&ValuePath> {
-        self.vp.iter().rev().find(|(var, _)| *var == v).map(|(_, p)| p)
+        self.vp
+            .iter()
+            .rev()
+            .find(|(var, _)| *var == v)
+            .map(|(_, p)| p)
     }
 
     fn resolve_selector(&self, s: &Selector) -> Result<Path, EvalError> {
@@ -405,9 +413,7 @@ mod tests {
 
     #[test]
     fn nested_loops_shadow_and_restore_bindings() {
-        let d = dom(
-            "<html><ul><li>a</li><li>b</li></ul><ul><li>c</li></ul></html>",
-        );
+        let d = dom("<html><ul><li>a</li><li>b</li></ul><ul><li>c</li></ul></html>");
         let doms: Vec<_> = (0..3).map(|_| d.clone()).collect();
         let out = run(
             "foreach %r0 in Dscts(eps, ul) do {\n  foreach %r1 in Children(%r0, li) do {\n    ScrapeText(%r1)\n  }\n}",

@@ -27,9 +27,7 @@ pub fn satisfies(program: &[Statement], trace: &Trace) -> bool {
 pub fn generalizes(program: &[Statement], trace: &Trace) -> Option<Action> {
     let out = execute(program, trace.doms(), trace.input()).ok()?;
     let m = trace.len();
-    if out.actions.len() >= m + 1
-        && trace_consistent(&out.actions[..m], trace.actions(), trace.doms())
-    {
+    if out.actions.len() > m && trace_consistent(&out.actions[..m], trace.actions(), trace.doms()) {
         Some(out.actions[m].clone())
     } else {
         None

@@ -18,12 +18,7 @@ fn dom(html: &str) -> Arc<Dom> {
 fn example_31_derivation() {
     let pi = dom("<html><a>x</a><a>y</a><a>z</a></html>");
     let prog = parse_program("foreach %r0 in Dscts(eps, a) do {\n  Click(%r0)\n}").unwrap();
-    let out = execute(
-        prog.statements(),
-        &[pi.clone(), pi],
-        &Value::Object(vec![]),
-    )
-    .unwrap();
+    let out = execute(prog.statements(), &[pi.clone(), pi], &Value::Object(vec![])).unwrap();
     let rendered: Vec<String> = out.actions.iter().map(|a| a.to_string()).collect();
     assert_eq!(rendered, ["Click(//a[1])", "Click(//a[2])"]);
     // Fig. 9 bottoms out in the Term rule: Π is exhausted mid-loop.
@@ -37,8 +32,12 @@ fn example_31_derivation() {
 fn example_31_p_prime() {
     let pi = dom("<html><a>x</a><a>y</a></html>");
     let prog = parse_program("foreach %r0 in Dscts(eps, a) do {\n  Click(%r0/b[1])\n}").unwrap();
-    let out = execute(prog.statements(), &[pi.clone(), pi.clone()], &Value::Object(vec![]))
-        .unwrap();
+    let out = execute(
+        prog.statements(),
+        &[pi.clone(), pi.clone()],
+        &Value::Object(vec![]),
+    )
+    .unwrap();
     assert_eq!(out.actions.len(), 2);
     // Against a demonstration that clicked the anchors themselves, P′
     // neither satisfies nor generalizes.
@@ -62,7 +61,11 @@ fn s_term_fires_at_first_invalid_element() {
     let rendered: Vec<String> = out.actions.iter().map(|a| a.to_string()).collect();
     assert_eq!(
         rendered,
-        ["ScrapeText(//a[1])", "ScrapeText(//a[2])", "ScrapeText(/h3[1])"]
+        [
+            "ScrapeText(//a[1])",
+            "ScrapeText(//a[2])",
+            "ScrapeText(/h3[1])"
+        ]
     );
     assert!(!out.exhausted);
 }
@@ -72,14 +75,15 @@ fn s_term_fires_at_first_invalid_element() {
 #[test]
 fn while_init_runs_body_before_check() {
     let pi = dom("<html><h3>only page</h3></html>");
-    let prog = parse_program(
-        "while true do {\n  ScrapeText(/h3[1])\n  Click(//button[1])\n}",
-    )
-    .unwrap();
+    let prog =
+        parse_program("while true do {\n  ScrapeText(/h3[1])\n  Click(//button[1])\n}").unwrap();
     let out = execute(prog.statements(), &[pi.clone(), pi], &Value::Object(vec![])).unwrap();
     let rendered: Vec<String> = out.actions.iter().map(|a| a.to_string()).collect();
     assert_eq!(rendered, ["ScrapeText(/h3[1])"]);
-    assert!(!out.exhausted, "While-Term fired, execution continued normally");
+    assert!(
+        !out.exhausted,
+        "While-Term fired, execution continued normally"
+    );
 }
 
 /// VP-Loop is eager: it iterates exactly |arr| times even when later
@@ -87,14 +91,10 @@ fn while_init_runs_body_before_check() {
 #[test]
 fn vp_loop_eagerness_meets_term() {
     let pi = dom("<html><input/></html>");
-    let prog = parse_program(
-        "foreach %v0 in ValuePaths(x[zips]) do {\n  EnterData(/input[1], %v0)\n}",
-    )
-    .unwrap();
-    let input = Value::object([(
-        "zips".to_string(),
-        Value::str_array(["a", "b", "c", "d"]),
-    )]);
+    let prog =
+        parse_program("foreach %v0 in ValuePaths(x[zips]) do {\n  EnterData(/input[1], %v0)\n}")
+            .unwrap();
+    let input = Value::object([("zips".to_string(), Value::str_array(["a", "b", "c", "d"]))]);
     // Only two DOMs available for four entries.
     let out = execute(prog.statements(), &[pi.clone(), pi], &input).unwrap();
     assert_eq!(out.actions.len(), 2);
@@ -116,9 +116,7 @@ fn base_statements_are_angelic() {
 /// bindings are restored after the loop (Fig. 8 rules (1)–(4)).
 #[test]
 fn nested_variable_scoping_follows_fig8() {
-    let pi = dom(
-        "<html><ul><li>a</li></ul><ul><li>b</li><li>c</li></ul></html>",
-    );
+    let pi = dom("<html><ul><li>a</li></ul><ul><li>b</li><li>c</li></ul></html>");
     let prog = parse_program(
         "foreach %r0 in Dscts(eps, ul) do {\n\
            foreach %r1 in Children(%r0, li) do {\n\

@@ -7,8 +7,7 @@ use std::collections::HashMap;
 use webrobot_data::{PathSeg, ValuePath};
 use webrobot_dom::{Axis, Path};
 use webrobot_lang::{
-    CollectionKind, SelVar, Selector, SelectorList, Statement, ValuePathExpr, ValuePathList,
-    VpVar,
+    CollectionKind, SelVar, Selector, SelectorList, Statement, ValuePathExpr, ValuePathList, VpVar,
 };
 
 use crate::context::SynthContext;
@@ -135,8 +134,7 @@ pub fn anti_unify(
             if !sp.alpha_eq(&ForeachVal(sq_norm)) {
                 return Vec::new();
             }
-            let (Some(a1), Some(a2)) =
-                (l1.list.array.as_concrete(), l2.list.array.as_concrete())
+            let (Some(a1), Some(a2)) = (l1.list.array.as_concrete(), l2.list.array.as_concrete())
             else {
                 return Vec::new();
             };
@@ -377,7 +375,10 @@ mod tests {
     fn enter_data_rule_three() {
         let mut ctx = listing_ctx();
         let vp = |i: usize| {
-            ValuePathExpr::input(ValuePath::new(vec![PathSeg::key("zips"), PathSeg::Index(i)]))
+            ValuePathExpr::input(ValuePath::new(vec![
+                PathSeg::key("zips"),
+                PathSeg::Index(i),
+            ]))
         };
         let sel = Selector::rooted("/body[1]/div[1]".parse().unwrap());
         let a = Statement::EnterData(sel.clone(), vp(1));
@@ -397,7 +398,13 @@ mod tests {
 
     #[test]
     fn vp_anti_unification_requires_one_and_two() {
-        let p = |i: usize| ValuePath::new(vec![PathSeg::key("rows"), PathSeg::Index(i), PathSeg::key("name")]);
+        let p = |i: usize| {
+            ValuePath::new(vec![
+                PathSeg::key("rows"),
+                PathSeg::Index(i),
+                PathSeg::key("name"),
+            ])
+        };
         assert_eq!(anti_unify_vps(&p(1), &p(2)).len(), 1);
         let (prefix, suffix) = anti_unify_vps(&p(1), &p(2)).remove(0);
         assert_eq!(prefix.to_string(), "x[rows]");

@@ -179,12 +179,11 @@ impl Synthesizer {
             // previous program fails to predict the next action).
             let trace = self.ctx.trace();
             let latest = trace.latest_dom().clone();
-            self.generalizing.retain(|item| {
-                match generalizes(item.statements(), trace) {
+            self.generalizing
+                .retain(|item| match generalizes(item.statements(), trace) {
                     Some(pred) => pred.selector().is_none_or(|s| s.valid(&latest)),
                     None => false,
-                }
-            });
+                });
             if !self.generalizing.is_empty() {
                 stats.fast_path = true;
                 stats.elapsed = started.elapsed();
@@ -279,8 +278,8 @@ impl Synthesizer {
             self.worklist.len() + self.processed.len() + self.generalizing.len() + 1,
         );
         stored.extend(self.worklist.drain().map(|e| e.item));
-        stored.extend(self.processed.drain(..));
-        stored.extend(self.generalizing.drain(..));
+        stored.append(&mut self.processed);
+        stored.append(&mut self.generalizing);
         // Extended items carry fresh hashes; dedup within this batch only
         // (the global `seen` set still filters future rewrites).
         let mut batch: HashSet<u64> = HashSet::new();

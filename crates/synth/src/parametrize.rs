@@ -45,7 +45,9 @@ pub(crate) fn parametrize_sel(
         }
         // Fig. 11 gives no rules descending into value-path loops or while
         // loops; they participate as-is (identity).
-        Statement::ForeachVal(_) | Statement::While(_) | Statement::GoBack
+        Statement::ForeachVal(_)
+        | Statement::While(_)
+        | Statement::GoBack
         | Statement::ExtractUrl => {}
     }
     out.dedup();
@@ -153,16 +155,16 @@ mod tests {
     fn sibling_field_is_parametrized() {
         let mut c = ctx();
         // The phone span of item 1, recorded as an absolute path.
-        let stmt = Statement::ScrapeText(Selector::rooted(
-            "/body[1]/div[1]/span[1]".parse().unwrap(),
-        ));
+        let stmt =
+            Statement::ScrapeText(Selector::rooted("/body[1]/div[1]/span[1]".parse().unwrap()));
         let binding: Path = "//div[@class='item'][1]".parse().unwrap();
         let outs = parametrize_sel(&stmt, SelVar(3), &binding, 0, &mut c);
         assert!(outs.len() > 1);
         let rendered: Vec<String> = outs.iter().map(|s| s.to_string()).collect();
         assert!(
-            rendered.iter().any(|s| s.contains("%r3//span[@class='ph'][1]")
-                || s.contains("%r3/span[1]")),
+            rendered
+                .iter()
+                .any(|s| s.contains("%r3//span[@class='ph'][1]") || s.contains("%r3/span[1]")),
             "{rendered:?}"
         );
     }

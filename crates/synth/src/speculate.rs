@@ -47,11 +47,7 @@ fn stmt_hash(stmt: &Statement) -> u64 {
     h.finish()
 }
 
-fn push_unique(
-    out: &mut Vec<SRewrite>,
-    seen: &mut HashSet<(u64, usize, usize)>,
-    sr: SRewrite,
-) {
+fn push_unique(out: &mut Vec<SRewrite>, seen: &mut HashSet<(u64, usize, usize)>, sr: SRewrite) {
     if seen.insert((stmt_hash(&sr.stmt), sr.i, sr.j)) {
         out.push(sr);
     }
@@ -121,17 +117,21 @@ fn expand_seed(
     // Per-position choices: the template at p, parametrizations elsewhere.
     let mut choices: Vec<Vec<Statement>> = Vec::with_capacity(j - i + 1);
     match &seed {
-        LoopSeed::Sel { template, var, list } => {
+        LoopSeed::Sel {
+            template,
+            var,
+            list,
+        } => {
             let Some(base) = list.base.as_concrete() else {
                 return;
             };
             let first = list.element(base, 1);
-            for k in i..=j {
+            for (k, stmt) in stmts.iter().enumerate().take(j + 1).skip(i) {
                 if k == p {
                     choices.push(vec![template.clone()]);
                 } else {
                     choices.push(parametrize_sel(
-                        &stmts[k],
+                        stmt,
                         *var,
                         &first,
                         item.slice_start(k),
@@ -140,16 +140,20 @@ fn expand_seed(
                 }
             }
         }
-        LoopSeed::Vp { template, var, list } => {
+        LoopSeed::Vp {
+            template,
+            var,
+            list,
+        } => {
             let Some(array) = list.array.as_concrete() else {
                 return;
             };
             let first = list.element(array, 1);
-            for k in i..=j {
+            for (k, stmt) in stmts.iter().enumerate().take(j + 1).skip(i) {
                 if k == p {
                     choices.push(vec![template.clone()]);
                 } else {
-                    choices.push(parametrize_vp(&stmts[k], *var, &first));
+                    choices.push(parametrize_vp(stmt, *var, &first));
                 }
             }
         }
@@ -296,9 +300,8 @@ mod tests {
     #[test]
     fn while_rule_requires_equal_clicks() {
         // [Scrape, Click(next), Scrape, Click(next)] → while {Scrape; Click}.
-        let dom = Arc::new(
-            parse_html("<html><h3>t</h3><span class='next'>&gt;</span></html>").unwrap(),
-        );
+        let dom =
+            Arc::new(parse_html("<html><h3>t</h3><span class='next'>&gt;</span></html>").unwrap());
         let mut t = Trace::new(dom.clone(), Value::Object(vec![]));
         for _ in 0..2 {
             t.push(Action::ScrapeText("/h3[1]".parse().unwrap()), dom.clone());

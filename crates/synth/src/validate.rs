@@ -22,12 +22,7 @@ pub fn validate(sr: &SRewrite, item: &Item, ctx: &SynthContext) -> Option<Item> 
     let m = item.covered();
     let start = item.bounds()[sr.i];
     let doms = &trace.doms()[start..m];
-    let out = execute(
-        std::slice::from_ref(&sr.stmt),
-        doms,
-        trace.input(),
-    )
-    .ok()?;
+    let out = execute(std::slice::from_ref(&sr.stmt), doms, trace.input()).ok()?;
     let end = start + out.actions.len();
     // The produced trace must stop exactly at a statement boundary…
     let boundary = item.bounds().binary_search(&end).ok()?;
@@ -61,9 +56,8 @@ mod tests {
     /// Four items, two demonstrated: validation must stretch a speculated
     /// loop across all four recorded scrapes.
     fn four_anchor_trace() -> Trace {
-        let dom = Arc::new(
-            parse_html("<html><a>1</a><a>2</a><a>3</a><a>4</a><a>5</a></html>").unwrap(),
-        );
+        let dom =
+            Arc::new(parse_html("<html><a>1</a><a>2</a><a>3</a><a>4</a><a>5</a></html>").unwrap());
         let mut t = Trace::new(dom.clone(), Value::Object(vec![]));
         for i in 1..=4 {
             t.push(
@@ -151,12 +145,10 @@ mod tests {
         }
         let ctx = SynthContext::new(SynthConfig::default(), t.clone());
         let item = Item::initial(&t);
-        let loop_stmt = parse_program(
-            "foreach %r0 in Dscts(eps, h3) do {\n  ScrapeText(%r0)\n}",
-        )
-        .unwrap()
-        .into_statements()
-        .remove(0);
+        let loop_stmt = parse_program("foreach %r0 in Dscts(eps, h3) do {\n  ScrapeText(%r0)\n}")
+            .unwrap()
+            .into_statements()
+            .remove(0);
         // This loop would produce [h3#1, h3#2] = recorded actions 0 and 2 —
         // not a contiguous slice; action 1 (the <b>) mismatches.
         let sr = SRewrite {

@@ -32,7 +32,10 @@ fn subway_site(zips: &[(&str, &[usize])]) -> Arc<webrobot_browser::Site> {
     // next page is predictable.
     let mut next_id = 1usize;
     for (zip, pages) in zips {
-        routes.push((zip.to_string(), webrobot_browser::PageId::from_index(next_id)));
+        routes.push((
+            zip.to_string(),
+            webrobot_browser::PageId::from_index(next_id),
+        ));
         for (pi, &count) in pages.iter().enumerate() {
             let mut items = String::from("<div class='header'>results</div>");
             for item in 0..count {
@@ -42,7 +45,10 @@ fn subway_site(zips: &[(&str, &[usize])]) -> Arc<webrobot_browser::Site> {
                 ));
             }
             let next = if pi + 1 < pages.len() {
-                format!("<button class='next' href='#p{}'>&gt;</button>", next_id + 1)
+                format!(
+                    "<button class='next' href='#p{}'>&gt;</button>",
+                    next_id + 1
+                )
             } else {
                 String::new()
             };
@@ -88,10 +94,7 @@ fn subway_ground_truth() -> Program {
 /// correct predictions (the paper's accuracy measure). The "final program"
 /// is the best program of the last test (the one predicting `a_n`), as in
 /// the paper's §7.1 protocol.
-fn replay(
-    trace: &Trace,
-    cfg: SynthConfig,
-) -> (usize, usize, Option<Program>, Synthesizer) {
+fn replay(trace: &Trace, cfg: SynthConfig) -> (usize, usize, Option<Program>, Synthesizer) {
     let n = trace.len();
     let mut synth = Synthesizer::new(cfg, trace.prefix(0));
     let mut correct = 0;
@@ -118,13 +121,15 @@ fn replay(
 #[test]
 fn subway_scenario_synthesizes_three_level_loop() {
     let site = subway_site(&[("48105", &[5, 4, 3]), ("10001", &[4, 3])]);
-    let input = Value::object([(
-        "zips".to_string(),
-        Value::str_array(["48105", "10001"]),
-    )]);
+    let input = Value::object([("zips".to_string(), Value::str_array(["48105", "10001"]))]);
     let gt = subway_ground_truth();
-    let rec = record_demonstration(site.clone(), input.clone(), gt.statements(), RecordLimits::default())
-        .expect("ground truth replays");
+    let rec = record_demonstration(
+        site.clone(),
+        input.clone(),
+        gt.statements(),
+        RecordLimits::default(),
+    )
+    .expect("ground truth replays");
     assert!(!rec.truncated);
     assert!(satisfies(gt.statements(), &rec.trace));
 
@@ -305,8 +310,7 @@ fn value_path_rows_with_two_fields() {
          }",
     )
     .unwrap();
-    let rec =
-        record_demonstration(site, input, gt.statements(), RecordLimits::default()).unwrap();
+    let rec = record_demonstration(site, input, gt.statements(), RecordLimits::default()).unwrap();
     assert_eq!(rec.trace.len(), 16);
     let (correct, total, best, _) = replay(&rec.trace, SynthConfig::default());
     assert!(correct as f64 / total as f64 > 0.6, "{correct}/{total}");
@@ -321,8 +325,7 @@ fn trace_prefixes_share_dom_snapshots() {
     let site = subway_site(&[("48105", &[2])]);
     let input = Value::object([("zips".to_string(), Value::str_array(["48105"]))]);
     let gt = subway_ground_truth();
-    let rec =
-        record_demonstration(site, input, gt.statements(), RecordLimits::default()).unwrap();
+    let rec = record_demonstration(site, input, gt.statements(), RecordLimits::default()).unwrap();
     let p = rec.trace.prefix(2);
     assert!(Arc::ptr_eq(&p.doms()[0], &rec.trace.doms()[0]));
     let _: &Dom = &p.doms()[0];

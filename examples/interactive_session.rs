@@ -30,7 +30,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     let site = Arc::new(builder.start_at(home).finish());
     let mut session = Session::new(site, Value::Object(vec![]), SessionConfig::default());
 
-    println!("mode: {:?} — the user scrapes the first two names…", session.mode());
+    println!(
+        "mode: {:?} — the user scrapes the first two names…",
+        session.mode()
+    );
     session.demonstrate(&Action::ScrapeText("/body[1]/div[1]/h3[1]".parse()?))?;
     session.demonstrate(&Action::ScrapeText("/body[1]/div[2]/h3[1]".parse()?))?;
     println!("mode: {:?} — predictions: ", session.mode());
@@ -57,7 +60,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     for out in session.browser().outputs() {
         println!("   {}", out.payload());
     }
-    println!("\nFinal program:\n{}", session.current_program().expect("synthesized"));
+    println!(
+        "\nFinal program:\n{}",
+        session.current_program().expect("synthesized")
+    );
     assert_eq!(session.browser().outputs().len(), 5);
     Ok(())
 }

@@ -32,17 +32,29 @@ fn main() -> Result<(), Box<dyn Error>> {
     // The user scrapes the first two headlines. The recorder logs absolute
     // XPaths — note the stories start at div[2] because of the banner, so
     // the intended program NEEDS alternative-selector search.
-    robot.observe(Action::ScrapeText("/body[1]/div[2]/h3[1]".parse()?), page.clone());
-    robot.observe(Action::ScrapeText("/body[1]/div[3]/h3[1]".parse()?), page.clone());
+    robot.observe(
+        Action::ScrapeText("/body[1]/div[2]/h3[1]".parse()?),
+        page.clone(),
+    );
+    robot.observe(
+        Action::ScrapeText("/body[1]/div[3]/h3[1]".parse()?),
+        page.clone(),
+    );
 
     let result = robot.synthesize();
     let best = result.programs.first().expect("a loop generalizes");
 
-    println!("Demonstrated 2 actions; synthesized program (size {}):\n", best.size);
+    println!(
+        "Demonstrated 2 actions; synthesized program (size {}):\n",
+        best.size
+    );
     println!("{}", best.program);
     println!("Predicted next action: {}", best.prediction);
-    println!("({} candidate programs, {} distinct predictions)",
-        result.programs.len(), result.predictions.len());
+    println!(
+        "({} candidate programs, {} distinct predictions)",
+        result.programs.len(),
+        result.predictions.len()
+    );
 
     assert_eq!(best.program.loop_depth(), 1);
     Ok(())

@@ -7,7 +7,7 @@
 
 use std::error::Error;
 
-use webrobot_bench_protocol::report;
+use webrobot_bench::protocol::report;
 
 fn main() -> Result<(), Box<dyn Error>> {
     let id: u32 = std::env::args()
@@ -15,57 +15,4 @@ fn main() -> Result<(), Box<dyn Error>> {
         .and_then(|s| s.parse().ok())
         .unwrap_or(73);
     report(id)
-}
-
-/// Kept in a module so the example reads top-down.
-mod webrobot_bench_protocol {
-    use super::*;
-    use webrobot::{action_consistent, SynthConfig, Synthesizer};
-    use webrobot_benchmarks::benchmark;
-
-    pub fn report(id: u32) -> Result<(), Box<dyn Error>> {
-        let bench = benchmark(id).ok_or("benchmark ids are 1..=76")?;
-        println!("b{}: {} ({:?})", bench.id, bench.name, bench.family);
-        println!(
-            "features: entry={} navigation={} pagination={}  expected intended: {}",
-            bench.features.entry,
-            bench.features.navigation,
-            bench.features.pagination,
-            bench.expect_intended
-        );
-        println!("\nGround truth:\n{}", bench.ground_truth);
-
-        let recording = bench.record()?;
-        let trace = recording.trace;
-        let n = trace.len();
-        println!("Recorded {n} actions. Running the prediction protocol…");
-
-        let mut synth = Synthesizer::new(SynthConfig::default(), trace.prefix(0));
-        let mut correct = 0;
-        let mut first_hit = None;
-        for k in 1..n {
-            synth.observe(trace.actions()[k - 1].clone(), trace.doms()[k].clone());
-            let result = synth.synthesize();
-            let ok = result
-                .predictions
-                .iter()
-                .any(|p| action_consistent(p, &trace.actions()[k], &trace.doms()[k]));
-            if ok {
-                correct += 1;
-                first_hit.get_or_insert(k);
-            }
-        }
-        println!(
-            "accuracy: {correct}/{} = {:.0}%   first correct prediction at k={:?}",
-            n - 1,
-            100.0 * correct as f64 / (n - 1) as f64,
-            first_hit
-        );
-        if let Some(stmts) = synth.best_program() {
-            println!("\nFinal program:\n{}", webrobot::Program::new(stmts));
-        } else {
-            println!("\nNo generalizing program at the end (task demonstrated to completion).");
-        }
-        Ok(())
-    }
 }

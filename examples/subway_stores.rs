@@ -19,12 +19,18 @@ fn main() -> Result<(), Box<dyn Error>> {
     // b59 is the suite's Subway-style store finder: a search page, multiple
     // zips, paginated results.
     let bench = benchmark(59).expect("b59 exists");
-    println!("Benchmark b59: {}\nGround truth:\n{}", bench.name, bench.ground_truth);
+    println!(
+        "Benchmark b59: {}\nGround truth:\n{}",
+        bench.name, bench.ground_truth
+    );
 
     let recording = bench.record()?;
     let trace = recording.trace;
     let n = trace.len();
-    println!("Recorded demonstration: {n} actions, {} DOM snapshots\n", n + 1);
+    println!(
+        "Recorded demonstration: {n} actions, {} DOM snapshots\n",
+        n + 1
+    );
 
     let mut synth = Synthesizer::new(SynthConfig::default(), trace.prefix(0));
     let mut last_depth = 0usize;

@@ -18,7 +18,10 @@ use webrobot_interact::{drive_session, SessionConfig, UserModel};
 fn main() -> Result<(), Box<dyn Error>> {
     // b63 is the suite's unicorn-style form generator.
     let bench = benchmark(63).expect("b63 exists");
-    println!("Benchmark b63: {}\nGround truth:\n{}", bench.name, bench.ground_truth);
+    println!(
+        "Benchmark b63: {}\nGround truth:\n{}",
+        bench.name, bench.ground_truth
+    );
     println!("Customers: {}\n", bench.input.to_json());
 
     let recording = bench.record()?;

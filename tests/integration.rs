@@ -82,7 +82,11 @@ fn baseline_and_webrobot_agree_on_plain_lists() {
     // WebRobot solves it at the same prefix.
     let mut synth = Synthesizer::new(SynthConfig::default(), trace.prefix(2));
     let result = synth.synthesize();
-    let wp = &result.programs.first().expect("webrobot solves b73").program;
+    let wp = &result
+        .programs
+        .first()
+        .expect("webrobot solves b73")
+        .program;
     assert!(is_intended(wp, &b, &recording));
 }
 

@@ -18,17 +18,16 @@ fn dom_strategy() -> impl Strategy<Value = Dom> {
     let leaf = prop_oneof![
         "[a-z]{1,8}".prop_map(|t| format!("<span>{t}</span>")),
         "[a-z]{1,8}".prop_map(|t| format!("<h3>{t}</h3>")),
-        ("[a-z]{1,6}", "[a-z]{1,8}")
-            .prop_map(|(c, t)| format!("<b class='{c}'>{t}</b>")),
+        ("[a-z]{1,6}", "[a-z]{1,8}").prop_map(|(c, t)| format!("<b class='{c}'>{t}</b>")),
     ];
     let node = leaf.prop_recursive(3, 24, 4, |inner| {
-        (proptest::collection::vec(inner, 1..4), "[a-z]{1,6}")
-            .prop_map(|(children, class)| {
-                format!("<div class='{class}'>{}</div>", children.concat())
-            })
+        (proptest::collection::vec(inner, 1..4), "[a-z]{1,6}").prop_map(|(children, class)| {
+            format!("<div class='{class}'>{}</div>", children.concat())
+        })
     });
-    proptest::collection::vec(node, 1..5)
-        .prop_map(|nodes| parse_html(&format!("<html><body>{}</body></html>", nodes.concat())).unwrap())
+    proptest::collection::vec(node, 1..5).prop_map(|nodes| {
+        parse_html(&format!("<html><body>{}</body></html>", nodes.concat())).unwrap()
+    })
 }
 
 /// A random JSON-subset value.
@@ -41,9 +40,7 @@ fn value_strategy() -> impl Strategy<Value = Value> {
         prop_oneof![
             proptest::collection::vec(inner.clone(), 0..4).prop_map(Value::Array),
             proptest::collection::vec(("[a-z]{1,6}", inner), 0..4)
-                .prop_map(|pairs| Value::Object(
-                    pairs.into_iter().map(|(k, v)| (k, v)).collect()
-                )),
+                .prop_map(|pairs| Value::Object(pairs.into_iter().collect())),
         ]
     })
 }

@@ -1,0 +1,40 @@
+//! Workspace smoke checks: the benchmark suite is present and every
+//! specific benchmark id the cross-crate tests rely on actually resolves,
+//! so a suite re-numbering fails here with a clear message instead of deep
+//! inside an integration test.
+
+use webrobot_benchmarks::{benchmark, suite};
+
+/// Benchmark ids pinned by `tests/integration.rs` (representative picks,
+/// designed failures, baseline comparisons, and the session test).
+const PINNED_IDS: &[u32] = &[1, 4, 8, 9, 10, 12, 13, 14, 29, 43, 63, 73];
+
+#[test]
+fn suite_is_non_empty_and_densely_numbered() {
+    let all = suite();
+    assert!(!all.is_empty(), "benchmark suite must not be empty");
+    for (i, b) in all.iter().enumerate() {
+        assert_eq!(
+            b.id as usize,
+            i + 1,
+            "suite ids must be dense and 1-based (b{} at position {i})",
+            b.id
+        );
+        assert_eq!(benchmark(b.id).map(|x| x.id), Some(b.id));
+    }
+}
+
+#[test]
+fn every_pinned_integration_id_resolves() {
+    for &id in PINNED_IDS {
+        let b = benchmark(id).unwrap_or_else(|| panic!("pinned benchmark b{id} missing"));
+        assert_eq!(b.id, id);
+        assert!(!b.name.is_empty(), "b{id} has an empty name");
+    }
+}
+
+#[test]
+fn out_of_range_ids_are_none() {
+    assert!(benchmark(0).is_none());
+    assert!(benchmark(u32::MAX).is_none());
+}

@@ -1,0 +1,290 @@
+//! Minimal, API-compatible stub of the
+//! [`criterion`](https://crates.io/crates/criterion) benchmark harness,
+//! vendored because this repository builds in an offline container.
+//!
+//! The measurement loop is deliberately simple — warm up briefly, then time
+//! batches until a small wall-clock budget is spent — and results are
+//! printed as `group/id  mean <t>  (min <t>, n samples)` lines rather than
+//! criterion's HTML reports. Environment knobs:
+//!
+//! - `CRITERION_SAMPLE_MS`: per-benchmark measurement budget in
+//!   milliseconds (default 300).
+//! - `CRITERION_WARMUP_MS`: warm-up budget in milliseconds (default 100).
+//!
+//! Only the surface the workspace's benches use is provided: `Criterion`,
+//! `BenchmarkGroup`, `Bencher::{iter, iter_batched}`, `BenchmarkId`,
+//! `BatchSize`, `black_box`, and the `criterion_group!`/`criterion_main!`
+//! macros.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard black box (criterion's own is deprecated in
+/// favour of this one anyway).
+pub use std::hint::black_box;
+
+fn env_ms(var: &str, default_ms: u64) -> Duration {
+    std::env::var(var)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .map_or(Duration::from_millis(default_ms), Duration::from_millis)
+}
+
+/// Top-level harness handle, one per `criterion_group!`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Reads configuration from the environment (flag parsing is not
+    /// supported by the stub; unknown CLI arguments are ignored).
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 100,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one("", id, 100, &mut f);
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Caps the number of timed samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmarks `f`, passing it `input` alongside the [`Bencher`].
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&self.name, &id.0, self.sample_size, &mut |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks `f` under `id` with no extra input.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&self.name, &id.to_string(), self.sample_size, &mut f);
+        self
+    }
+
+    /// Ends the group (accepted for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+fn run_one(group: &str, id: &str, sample_cap: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let label = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        warmup: env_ms("CRITERION_WARMUP_MS", 100),
+        budget: env_ms("CRITERION_SAMPLE_MS", 300),
+        sample_cap,
+    };
+    f(&mut bencher);
+    let samples = &bencher.samples;
+    if samples.is_empty() {
+        println!("{label:<48} (no samples)");
+        return;
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let min = *samples.iter().min().expect("non-empty");
+    println!(
+        "{label:<48} mean {:>12?}  (min {:>12?}, {} samples)",
+        mean,
+        min,
+        samples.len()
+    );
+}
+
+/// How `iter_batched` amortizes setup cost; the stub times every routine
+/// call individually, so the variants only exist for API compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One routine call per batch.
+    PerIteration,
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId(format!("{}/{}", function_name.into(), parameter))
+    }
+
+    /// An id made of the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Collects timing samples for one benchmark.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    warmup: Duration,
+    budget: Duration,
+    sample_cap: usize,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        self.iter_batched(|| (), |()| routine(), BatchSize::PerIteration);
+    }
+
+    /// Times `routine` over fresh inputs built by `setup`; only the routine
+    /// is timed.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Warm-up: at least one call, until the warm-up budget is spent.
+        let warm_start = Instant::now();
+        loop {
+            let input = setup();
+            black_box(routine(input));
+            if warm_start.elapsed() >= self.warmup {
+                break;
+            }
+        }
+        // Measurement: individual samples until budget or cap.
+        let measure_start = Instant::now();
+        while self.samples.len() < self.sample_cap {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t.elapsed());
+            if measure_start.elapsed() >= self.budget {
+                break;
+            }
+        }
+    }
+
+    /// Variant of `iter_batched` where the routine takes the input by
+    /// reference.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, mut setup: S, mut routine: R, size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        self.iter_batched(&mut setup, |mut input| routine(&mut input), size);
+    }
+}
+
+/// Declares a benchmark group runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $config.configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collects_samples_and_prints() {
+        std::env::set_var("CRITERION_SAMPLE_MS", "5");
+        std::env::set_var("CRITERION_WARMUP_MS", "1");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("stub");
+        group.sample_size(5);
+        let mut runs = 0u64;
+        group.bench_with_input(BenchmarkId::from_parameter("t"), &3u64, |b, &n| {
+            b.iter(|| {
+                runs += 1;
+                (0..n).sum::<u64>()
+            });
+        });
+        group.finish();
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn iter_batched_times_only_routine() {
+        std::env::set_var("CRITERION_SAMPLE_MS", "5");
+        std::env::set_var("CRITERION_WARMUP_MS", "1");
+        let mut c = Criterion::default();
+        let mut setups = 0u64;
+        let mut calls = 0u64;
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![1u8; 16]
+                },
+                |v| {
+                    calls += 1;
+                    v.len()
+                },
+                BatchSize::LargeInput,
+            );
+        });
+        assert!(setups >= calls, "setup runs at least once per routine call");
+        assert!(calls > 0);
+    }
+}

@@ -1,0 +1,135 @@
+//! Minimal, API-compatible stub of the
+//! [`proptest`](https://crates.io/crates/proptest) property-testing crate,
+//! vendored because this repository builds in an offline container.
+//!
+//! Supported surface (exactly what the workspace's property tests use):
+//!
+//! - the [`Strategy`] trait with [`Strategy::prop_map`],
+//!   [`Strategy::prop_recursive`], and [`Strategy::boxed`]
+//! - strategies for integer ranges (`0..10`, `1..=6`), string literals with
+//!   a `[class]{lo,hi}` regex subset, tuples, and [`collection::vec`]
+//! - [`prelude::any`] over the common scalar types
+//! - the [`proptest!`], [`prop_oneof!`], [`prop_assert!`],
+//!   [`prop_assert_eq!`], and [`prop_assert_ne!`] macros
+//!
+//! Differences from real proptest: cases are generated from a fixed
+//! deterministic seed per test (derived from the test name), there is **no
+//! shrinking**, and failure reports print the case index instead of a
+//! minimized input. The number of cases per test defaults to 32 and can be
+//! overridden with `PROPTEST_CASES`.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use std::ops::Range;
+
+    use crate::strategy::{Strategy, VecStrategy};
+
+    /// A strategy for `Vec`s of `element` values with length drawn from
+    /// `size` (half-open, as every call site in this workspace uses).
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy::new(element, size)
+    }
+}
+
+/// Everything a property test usually imports.
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+    /// Alias mirroring proptest's `prelude::prop` module.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Runs each `#[test]` body against many generated cases.
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     // In a real test module this would carry `#[test]`.
+///     fn addition_commutes(a in 0..1000i64, b in 0..1000i64) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// addition_commutes();
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::test_runner::run(stringify!($name), |__wr_rng| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), __wr_rng);)+
+                    #[allow(clippy::redundant_closure_call)]
+                    let __wr_outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    __wr_outcome
+                });
+            }
+        )*
+    };
+}
+
+/// A strategy choosing uniformly among the listed strategies (all arms must
+/// produce the same value type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Like `assert!`, but fails the surrounding property case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Like `assert_eq!`, but fails the surrounding property case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), left, right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left == *right, $($fmt)*);
+    }};
+}
+
+/// Like `assert_ne!`, but fails the surrounding property case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left
+        );
+    }};
+}

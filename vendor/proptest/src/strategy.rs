@@ -1,0 +1,362 @@
+//! Value-generation strategies: a no-shrinking subset of proptest's
+//! `Strategy` machinery.
+
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// The RNG handed to strategies; re-exported so generated code can name it.
+pub type TestRng = StdRng;
+
+/// Generates values of an associated type from an RNG.
+pub trait Strategy: 'static {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O + 'static,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds a depth-bounded recursive strategy: `self` generates leaves
+    /// and `recurse` wraps a strategy for subtrees into one for parents.
+    /// `_desired_size` and `_expected_branch_size` are accepted for
+    /// API compatibility but unused (depth alone bounds recursion here).
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized,
+        R: Strategy<Value = Self::Value>,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let leaf = self.boxed();
+        let mut current = leaf.clone();
+        for _ in 0..depth {
+            // At each level, half the mass stays on leaves so generated
+            // trees terminate quickly.
+            current = Union::new(vec![leaf.clone(), recurse(current).boxed()]).boxed();
+        }
+        current
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// Object-safe view of [`Strategy`], used by [`BoxedStrategy`].
+trait DynStrategy {
+    type Value;
+    fn dyn_generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy> DynStrategy for S {
+    type Value = S::Value;
+    fn dyn_generate(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A cheaply clonable, type-erased strategy.
+pub struct BoxedStrategy<V>(Rc<dyn DynStrategy<Value = V>>);
+
+impl<V> Clone for BoxedStrategy<V> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<V: 'static> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        self.0.dyn_generate(rng)
+    }
+}
+
+/// Always generates a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<V>(pub V);
+
+impl<V: Clone + 'static> Strategy for Just<V> {
+    type Value = V;
+    fn generate(&self, _rng: &mut TestRng) -> V {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O + 'static,
+    O: 'static,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Chooses uniformly among its arms; produced by `prop_oneof!`.
+pub struct Union<V> {
+    arms: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    /// Builds a union over `arms` (must be non-empty).
+    pub fn new(arms: Vec<BoxedStrategy<V>>) -> Union<V> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<V: 'static> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let pick = rng.gen_range(0..self.arms.len());
+        self.arms[pick].generate(rng)
+    }
+}
+
+/// See [`crate::collection::vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> VecStrategy<S> {
+    pub(crate) fn new(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec size range");
+        VecStrategy { element, size }
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = rng.gen_range(self.size.clone());
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+// ───────────────────── scalar strategies ─────────────────────
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Types with a canonical "any value" strategy; a pared-down
+/// `proptest::arbitrary::Arbitrary`.
+pub trait Arbitrary: Sized + 'static {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.gen_range(<$t>::MIN..=<$t>::MAX)
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.gen_bool(0.5)
+    }
+}
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<A>(std::marker::PhantomData<A>);
+
+impl<A: Arbitrary> Strategy for Any<A> {
+    type Value = A;
+    fn generate(&self, rng: &mut TestRng) -> A {
+        A::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `A` (`any::<i32>()`).
+pub fn any<A: Arbitrary>() -> Any<A> {
+    Any(std::marker::PhantomData)
+}
+
+// ───────────────────── tuples ─────────────────────
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+// ───────────────────── string patterns ─────────────────────
+
+/// String literals act as regex strategies; the stub supports the
+/// `[class]{lo,hi}` subset (character classes with ranges and literals,
+/// followed by a bounded repetition), which covers every pattern in this
+/// workspace. Unsupported patterns panic loudly rather than silently
+/// generating the wrong distribution.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (chars, lo, hi) = parse_class_repeat(self)
+            .unwrap_or_else(|| panic!("unsupported proptest-stub pattern: {self:?}"));
+        let len = rng.gen_range(lo..=hi);
+        (0..len)
+            .map(|_| chars[rng.gen_range(0..chars.len())])
+            .collect()
+    }
+}
+
+/// Parses `[class]{lo,hi}` into (expanded character set, lo, hi).
+fn parse_class_repeat(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = pattern.strip_prefix('[')?;
+    let (class, rest) = rest.split_once(']')?;
+    let rest = rest.strip_prefix('{')?;
+    let counts = rest.strip_suffix('}')?;
+    let (lo, hi) = counts.split_once(',')?;
+    let lo: usize = lo.trim().parse().ok()?;
+    let hi: usize = hi.trim().parse().ok()?;
+    if lo > hi {
+        return None;
+    }
+    let mut chars = Vec::new();
+    let items: Vec<char> = class.chars().collect();
+    let mut i = 0;
+    while i < items.len() {
+        if i + 2 < items.len() && items[i + 1] == '-' {
+            let (start, end) = (items[i], items[i + 2]);
+            if start > end {
+                return None;
+            }
+            chars.extend((start..=end).filter(|c| c.is_ascii()));
+            i += 3;
+        } else {
+            chars.push(items[i]);
+            i += 1;
+        }
+    }
+    if chars.is_empty() {
+        return None;
+    }
+    Some((chars, lo, hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> TestRng {
+        TestRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn string_patterns_generate_in_class() {
+        let mut rng = rng();
+        for _ in 0..200 {
+            let s = "[a-z]{1,8}".generate(&mut rng);
+            assert!((1..=8).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+            let t = "[a-zA-Z0-9 ]{0,12}".generate(&mut rng);
+            assert!(t.len() <= 12);
+            assert!(t.chars().all(|c| c.is_ascii_alphanumeric() || c == ' '));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported proptest-stub pattern")]
+    fn unsupported_patterns_panic() {
+        "(a|b)+".generate(&mut rng());
+    }
+
+    #[test]
+    fn vec_and_tuple_strategies_compose() {
+        let mut rng = rng();
+        let strat = crate::collection::vec(("[a-z]{1,3}", 0..5i32), 1..4);
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!((1..4).contains(&v.len()));
+            for (s, n) in v {
+                assert!((1..=3).contains(&s.len()));
+                assert!((0..5).contains(&n));
+            }
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        let mut rng = rng();
+        let leaf = "[a-z]{1,2}".prop_map(|s| format!("({s})"));
+        let nested = leaf.prop_recursive(3, 24, 4, |inner| {
+            crate::collection::vec(inner, 1..3).prop_map(|xs| xs.concat())
+        });
+        for _ in 0..100 {
+            let s = nested.generate(&mut rng);
+            assert!(!s.is_empty());
+        }
+    }
+
+    #[test]
+    fn union_draws_every_arm() {
+        let mut rng = rng();
+        let strat = Union::new(vec![(0..1i32).boxed(), (10..11i32).boxed()]);
+        let draws: Vec<i32> = (0..100).map(|_| strat.generate(&mut rng)).collect();
+        assert!(draws.contains(&0) && draws.contains(&10));
+    }
+}

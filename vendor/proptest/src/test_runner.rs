@@ -1,0 +1,84 @@
+//! The per-test case loop: deterministic seeds, no shrinking.
+
+use rand::SeedableRng;
+
+use crate::strategy::TestRng;
+
+/// A failed property case (what `prop_assert!` returns).
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Builds a failure with `message`.
+    pub fn fail(message: impl Into<String>) -> TestCaseError {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Number of cases per property (override with `PROPTEST_CASES`).
+fn case_count() -> u64 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(32)
+}
+
+/// FNV-1a, used to derive a stable per-test seed from its name.
+fn fnv1a(data: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in data.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Runs `case` against `case_count()` generated inputs; panics (failing the
+/// enclosing `#[test]`) on the first case that returns `Err`.
+pub fn run(test_name: &str, case: impl Fn(&mut TestRng) -> Result<(), TestCaseError>) {
+    let base = fnv1a(test_name);
+    for i in 0..case_count() {
+        let mut rng = TestRng::seed_from_u64(base.wrapping_add(i));
+        if let Err(e) = case(&mut rng) {
+            panic!("proptest '{test_name}' failed at case {i} (seed {base}+{i}): {e}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut count = std::cell::Cell::new(0u64);
+        run("always_passes", |_| {
+            count.set(count.get() + 1);
+            Ok(())
+        });
+        assert_eq!(*count.get_mut(), case_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case 0")]
+    fn failing_property_panics_with_case_index() {
+        run("always_fails", |_| Err(TestCaseError::fail("nope")));
+    }
+
+    #[test]
+    fn seeds_differ_between_tests() {
+        assert_ne!(fnv1a("a"), fnv1a("b"));
+    }
+}
