@@ -59,7 +59,7 @@ pub use webrobot_browser::{
 pub use webrobot_interact::{Mode, Session, SessionConfig};
 pub use webrobot_lang::{parse_program, Action, Program, Selector, Statement, Value, ValuePath};
 pub use webrobot_semantics::{
-    action_consistent, execute, generalizes, satisfies, trace_consistent, Trace,
+    action_consistent, execute, generalizes, satisfies, trace_consistent, Stepper, Trace,
 };
 pub use webrobot_synth::{RankedProgram, SynthConfig, SynthResult, Synthesizer};
 

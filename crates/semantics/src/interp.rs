@@ -80,11 +80,11 @@ enum Flow {
 }
 
 /// Environment Σ: lexically scoped bindings for selector and value-path
-/// loop variables.
-#[derive(Debug, Default)]
-struct Env {
-    sel: Vec<(SelVar, Path)>,
-    vp: Vec<(VpVar, ValuePath)>,
+/// loop variables. Shared with the resumable [`Stepper`](crate::Stepper).
+#[derive(Debug, Default, Clone)]
+pub(crate) struct Env {
+    pub(crate) sel: Vec<(SelVar, Path)>,
+    pub(crate) vp: Vec<(VpVar, ValuePath)>,
 }
 
 impl Env {
@@ -104,7 +104,7 @@ impl Env {
             .map(|(_, p)| p)
     }
 
-    fn resolve_selector(&self, s: &Selector) -> Result<Path, EvalError> {
+    pub(crate) fn resolve_selector(&self, s: &Selector) -> Result<Path, EvalError> {
         match s.base_var() {
             None => Ok(s.path.clone()),
             Some(v) => {
@@ -114,7 +114,7 @@ impl Env {
         }
     }
 
-    fn resolve_vp(&self, v: &ValuePathExpr) -> Result<ValuePath, EvalError> {
+    pub(crate) fn resolve_vp(&self, v: &ValuePathExpr) -> Result<ValuePath, EvalError> {
         match v.base_var() {
             None => Ok(v.path.clone()),
             Some(var) => {

@@ -40,9 +40,11 @@
 mod consistency;
 mod interp;
 mod problem;
+mod stepper;
 mod trace;
 
 pub use consistency::{action_consistent, same_node, trace_consistent};
 pub use interp::{execute, EvalError, EvalOutcome};
 pub use problem::{generalizes, satisfies};
+pub use stepper::Stepper;
 pub use trace::Trace;

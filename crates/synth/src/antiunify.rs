@@ -3,11 +3,13 @@
 //! the collection the target loop iterates over.
 
 use std::collections::HashMap;
+use std::rc::Rc;
 
 use webrobot_data::{PathSeg, ValuePath};
 use webrobot_dom::{Axis, Path};
 use webrobot_lang::{
-    CollectionKind, SelVar, Selector, SelectorList, Statement, ValuePathExpr, ValuePathList, VpVar,
+    CollectionKind, ForeachSel, ForeachVal, SelBase, SelVar, Selector, SelectorList, Statement,
+    ValuePathExpr, ValuePathList, VpBase, VpVar, While,
 };
 
 use crate::context::SynthContext;
@@ -35,6 +37,120 @@ pub enum LoopSeed {
     },
 }
 
+impl LoopSeed {
+    /// A copy of the seed with its loop variable renamed to one freshly
+    /// drawn from `ctx` — how memoized seeds keep the "binders are never
+    /// reused" invariant on every cache hit.
+    ///
+    /// The rename is capture-free by construction: the stored variable
+    /// was globally fresh when the seed was computed, so no binder inside
+    /// the template can shadow it.
+    pub(crate) fn freshened(&self, ctx: &mut SynthContext) -> LoopSeed {
+        match self {
+            LoopSeed::Sel {
+                template,
+                var,
+                list,
+            } => {
+                let fresh = ctx.vargen.fresh_sel();
+                LoopSeed::Sel {
+                    template: rename_sel_var(template, *var, fresh),
+                    var: fresh,
+                    list: SelectorList {
+                        kind: list.kind,
+                        base: rename_sel_in_selector(&list.base, *var, fresh),
+                        pred: list.pred.clone(),
+                    },
+                }
+            }
+            LoopSeed::Vp {
+                template,
+                var,
+                list,
+            } => {
+                let fresh = ctx.vargen.fresh_vp();
+                LoopSeed::Vp {
+                    template: rename_vp_var(template, *var, fresh),
+                    var: fresh,
+                    list: ValuePathList::new(rename_vp_in_expr(&list.array, *var, fresh)),
+                }
+            }
+        }
+    }
+}
+
+fn rename_sel_in_selector(s: &Selector, old: SelVar, new: SelVar) -> Selector {
+    match s.base {
+        SelBase::Var(v) if v == old => Selector::var_path(new, s.path.clone()),
+        _ => s.clone(),
+    }
+}
+
+fn rename_vp_in_expr(v: &ValuePathExpr, old: VpVar, new: VpVar) -> ValuePathExpr {
+    match v.base {
+        VpBase::Var(var) if var == old => ValuePathExpr::var_path(new, v.path.clone()),
+        _ => v.clone(),
+    }
+}
+
+/// Renames free occurrences of the selector variable `old` to `new`.
+/// Binders never collide with `old` (all binders are vargen-fresh), so no
+/// scope tracking is needed.
+fn rename_sel_var(stmt: &Statement, old: SelVar, new: SelVar) -> Statement {
+    let sel = |s: &Selector| rename_sel_in_selector(s, old, new);
+    match stmt {
+        Statement::Click(s) => Statement::Click(sel(s)),
+        Statement::ScrapeText(s) => Statement::ScrapeText(sel(s)),
+        Statement::ScrapeLink(s) => Statement::ScrapeLink(sel(s)),
+        Statement::Download(s) => Statement::Download(sel(s)),
+        Statement::GoBack => Statement::GoBack,
+        Statement::ExtractUrl => Statement::ExtractUrl,
+        Statement::SendKeys(s, text) => Statement::SendKeys(sel(s), text.clone()),
+        Statement::EnterData(s, v) => Statement::EnterData(sel(s), v.clone()),
+        Statement::ForeachSel(l) => Statement::ForeachSel(ForeachSel {
+            var: l.var,
+            list: SelectorList {
+                kind: l.list.kind,
+                base: sel(&l.list.base),
+                pred: l.list.pred.clone(),
+            },
+            body: l.body.iter().map(|s| rename_sel_var(s, old, new)).collect(),
+        }),
+        Statement::ForeachVal(l) => Statement::ForeachVal(ForeachVal {
+            var: l.var,
+            list: l.list.clone(),
+            body: l.body.iter().map(|s| rename_sel_var(s, old, new)).collect(),
+        }),
+        Statement::While(w) => Statement::While(While {
+            body: w.body.iter().map(|s| rename_sel_var(s, old, new)).collect(),
+            click: sel(&w.click),
+        }),
+    }
+}
+
+/// Renames free occurrences of the value-path variable `old` to `new`.
+fn rename_vp_var(stmt: &Statement, old: VpVar, new: VpVar) -> Statement {
+    let vp = |v: &ValuePathExpr| rename_vp_in_expr(v, old, new);
+    match stmt {
+        Statement::EnterData(s, v) => Statement::EnterData(s.clone(), vp(v)),
+        Statement::ForeachSel(l) => Statement::ForeachSel(ForeachSel {
+            var: l.var,
+            list: l.list.clone(),
+            body: l.body.iter().map(|s| rename_vp_var(s, old, new)).collect(),
+        }),
+        Statement::ForeachVal(l) => Statement::ForeachVal(ForeachVal {
+            var: l.var,
+            list: ValuePathList::new(vp(&l.list.array)),
+            body: l.body.iter().map(|s| rename_vp_var(s, old, new)).collect(),
+        }),
+        Statement::While(w) => Statement::While(While {
+            body: w.body.iter().map(|s| rename_vp_var(s, old, new)).collect(),
+            click: w.click.clone(),
+        }),
+        other => other.clone(),
+    }
+}
+
 /// Anti-unifies `sp` (first iteration, first action on DOM `dom_p`) with
 /// `sq` (second iteration, first action on DOM `dom_q`).
 ///
@@ -48,7 +164,34 @@ pub enum LoopSeed {
 /// * rule (3): two `EnterData` statements on the same field whose value
 ///   paths differ at exactly one array index, 1 vs 2;
 /// * the value-path analogue of rule (2) for nested value-path loops.
+///
+/// Results are memoized in `ctx` keyed on the *canonicalized* pair plus
+/// the DOM indices (when [`SynthConfig::memoization`](crate::SynthConfig)
+/// is on). Cached seeds are returned with their loop variable renamed to
+/// a fresh one on every hit — reusing the stored variable verbatim could
+/// shadow a binder that an earlier hit introduced into the same item,
+/// breaking the engine's "all binders are globally fresh" invariant.
 pub fn anti_unify(
+    sp: &Statement,
+    sq: &Statement,
+    dom_p: usize,
+    dom_q: usize,
+    ctx: &mut SynthContext,
+) -> Vec<LoopSeed> {
+    if !ctx.config().memoization {
+        return anti_unify_uncached(sp, sq, dom_p, dom_q, ctx);
+    }
+    let key = (dom_p, dom_q, sp.canonicalize(), sq.canonicalize());
+    if let Some(hit) = ctx.antiunify_hit(&key) {
+        return hit.iter().map(|seed| seed.freshened(ctx)).collect();
+    }
+    let seeds = anti_unify_uncached(sp, sq, dom_p, dom_q, ctx);
+    ctx.antiunify_store(key, Rc::new(seeds.clone()));
+    seeds
+}
+
+/// The memo-free rules of Fig. 10 (see [`anti_unify`]).
+fn anti_unify_uncached(
     sp: &Statement,
     sq: &Statement,
     dom_p: usize,

@@ -37,6 +37,25 @@ pub struct SynthConfig {
     /// Maximum number of distinct predictions surfaced to the user
     /// (the paper's front-end shows multiple predictions; max observed 6).
     pub max_predictions: usize,
+    /// Memoize anti-unification and parametrization results in the
+    /// [`SynthContext`](crate::SynthContext) so the same canonicalized
+    /// statement pair is analyzed once instead of once per enclosing
+    /// speculation window. Purely an optimization: predictions are
+    /// unchanged (see `tests/differential.rs`).
+    pub memoization: bool,
+    /// Cap on entries per memo table. Once a table is full, further
+    /// results are computed but not stored (lookups still hit).
+    pub memo_capacity: usize,
+    /// Skip speculation windows whose statement-kind sequences cannot
+    /// form two loop iterations, using a precomputed run-length table
+    /// instead of entering the inner anti-unification loop.
+    pub window_pruning: bool,
+    /// Dirty-track incremental state: cached generalizing programs keep a
+    /// resumable execution cursor (advanced one step per observed action
+    /// instead of re-executed over the whole trace), and stored worklist
+    /// items are re-extended lazily on pop instead of eagerly on every
+    /// observation. Disable for the ablation/differential reference.
+    pub dirty_tracking: bool,
 }
 
 impl Default for SynthConfig {
@@ -51,6 +70,10 @@ impl Default for SynthConfig {
             max_items: 20_000,
             max_programs: 128,
             max_predictions: 6,
+            memoization: true,
+            memo_capacity: 65_536,
+            window_pruning: true,
+            dirty_tracking: true,
         }
     }
 }
@@ -73,6 +96,20 @@ impl SynthConfig {
             ..SynthConfig::default()
         }
     }
+
+    /// Every hot-path optimization of the speculation/incremental rework
+    /// disabled: no memo tables, no window pruning, no dirty tracking.
+    /// This is the reference configuration the differential test harness
+    /// compares against — it must predict exactly what the full
+    /// configuration predicts, only slower.
+    pub fn no_optimizations() -> SynthConfig {
+        SynthConfig {
+            memoization: false,
+            window_pruning: false,
+            dirty_tracking: false,
+            ..SynthConfig::default()
+        }
+    }
 }
 
 #[cfg(test)]
@@ -87,5 +124,15 @@ mod tests {
         assert!(full.alternative_selectors && full.incremental);
         assert!(!no_sel.alternative_selectors && no_sel.incremental);
         assert!(no_inc.alternative_selectors && !no_inc.incremental);
+    }
+
+    #[test]
+    fn optimizations_default_on_and_ablate_together() {
+        let full = SynthConfig::default();
+        assert!(full.memoization && full.window_pruning && full.dirty_tracking);
+        let plain = SynthConfig::no_optimizations();
+        assert!(!plain.memoization && !plain.window_pruning && !plain.dirty_tracking);
+        // The semantic switches are untouched: this is a perf ablation.
+        assert!(plain.alternative_selectors && plain.incremental);
     }
 }

@@ -1,13 +1,22 @@
-//! Shared synthesis context: the trace plus memoized selector analyses.
+//! Shared synthesis context: the trace plus memoized selector analyses and
+//! the speculation memo tables.
 
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 
 use webrobot_dom::{alternatives, AltConfig, Axis, Path, Pred};
-use webrobot_lang::VarGen;
+use webrobot_lang::{Statement, VarGen};
 use webrobot_semantics::Trace;
 
+use crate::antiunify::LoopSeed;
 use crate::config::SynthConfig;
+
+/// Memo key for [`anti_unify`](crate::anti_unify): the DOM indices the two
+/// statements execute on plus the pair itself, **canonicalized** so
+/// alpha-variant pairs (the same rewrite reached through different fresh
+/// variables) share one entry.
+pub(crate) type AuKey = (usize, usize, Statement, Statement);
 
 /// One way of writing an alternative selector as
 /// `prefix · axis pred[index] · suffix` — the decomposition shape consumed
@@ -34,6 +43,25 @@ pub struct SynthContext {
     pub(crate) vargen: VarGen,
     alt_cache: HashMap<(usize, Path), Rc<Vec<Path>>>,
     decomp_cache: HashMap<(usize, Path, usize), Rc<Vec<Decomp>>>,
+    /// Anti-unification results per canonicalized statement pair. The same
+    /// `(S_p, S_q)` pair is revisited by up to `max_window` enclosing
+    /// windows (and again by every worklist item sharing the statements),
+    /// so this table turns the inner loop of Alg. 2 into a lookup.
+    antiunify_cache: HashMap<AuKey, Rc<Vec<LoopSeed>>>,
+    /// Parametrization suffixes per `(DOM, recorded path, binding)`: the
+    /// alternatives of the path that extend the binding, with the binding
+    /// stripped. Variable-independent, so one entry serves every seed.
+    suffix_cache: HashMap<(usize, Path, Path), Rc<Vec<Path>>>,
+    /// Validation outcomes per `(canonicalized statement, start action,
+    /// trace length)`: where the statement's simulated execution stops on
+    /// `doms[start..len]` while staying consistent with the recorded
+    /// actions (`None` = inconsistent somewhere). Execution is
+    /// item-independent — only the boundary check of Alg. 3 is not — and
+    /// sibling worklist items speculate the same rewrites over the same
+    /// slices constantly, so this cache removes the dominant cost of the
+    /// worklist loop. Interior-mutable because `validate` reads the
+    /// context immutably.
+    validate_cache: RefCell<HashMap<(Statement, usize, usize), Option<usize>>>,
 }
 
 impl SynthContext {
@@ -45,12 +73,31 @@ impl SynthContext {
             vargen: VarGen::new(),
             alt_cache: HashMap::new(),
             decomp_cache: HashMap::new(),
+            antiunify_cache: HashMap::new(),
+            suffix_cache: HashMap::new(),
+            validate_cache: RefCell::new(HashMap::new()),
         }
     }
 
     /// The demonstration being generalized.
     pub fn trace(&self) -> &Trace {
         &self.trace
+    }
+
+    /// Appends one observed action to the trace.
+    ///
+    /// Validation outcomes are keyed on the trace length (a statement
+    /// that stopped exactly at the old frontier may continue on the
+    /// grown trace), so the old generation of entries can never hit
+    /// again — drop them instead of letting dead keys exhaust the memo
+    /// capacity over a long session.
+    pub(crate) fn observe(
+        &mut self,
+        action: webrobot_lang::Action,
+        dom: std::sync::Arc<webrobot_dom::Dom>,
+    ) {
+        self.trace.push(action, dom);
+        self.validate_cache.borrow_mut().clear();
     }
 
     /// The active configuration.
@@ -121,6 +168,91 @@ impl SynthContext {
         let rc = Rc::new(out);
         self.decomp_cache.insert(key, rc.clone());
         rc
+    }
+
+    /// Cached anti-unification seeds for a canonicalized pair, or `None`
+    /// on a miss (and always when memoization is disabled).
+    pub(crate) fn antiunify_hit(&self, key: &AuKey) -> Option<Rc<Vec<LoopSeed>>> {
+        if !self.cfg.memoization {
+            return None;
+        }
+        self.antiunify_cache.get(key).cloned()
+    }
+
+    /// Stores freshly computed anti-unification seeds, respecting the
+    /// memo capacity (full table ⇒ results are recomputed, never wrong).
+    pub(crate) fn antiunify_store(&mut self, key: AuKey, seeds: Rc<Vec<LoopSeed>>) {
+        if self.cfg.memoization && self.antiunify_cache.len() < self.cfg.memo_capacity {
+            self.antiunify_cache.insert(key, seeds);
+        }
+    }
+
+    /// The suffixes `s` such that some alternative of `path` (on DOM
+    /// `dom_idx`) equals `binding · s` — the variable-independent core of
+    /// parametrization rule (2) of Fig. 11, memoized per
+    /// `(dom_idx, path, binding)`.
+    pub(crate) fn strip_suffixes(
+        &mut self,
+        dom_idx: usize,
+        path: &Path,
+        binding: &Path,
+    ) -> Rc<Vec<Path>> {
+        if self.cfg.memoization {
+            let key = (dom_idx, path.clone(), binding.clone());
+            if let Some(hit) = self.suffix_cache.get(&key) {
+                return hit.clone();
+            }
+            let rc = Rc::new(self.compute_suffixes(dom_idx, path, binding));
+            if self.suffix_cache.len() < self.cfg.memo_capacity {
+                self.suffix_cache.insert(key, rc.clone());
+            }
+            rc
+        } else {
+            Rc::new(self.compute_suffixes(dom_idx, path, binding))
+        }
+    }
+
+    /// The memo key for one validation execution: canonicalized statement
+    /// (alpha-variants execute identically) plus the slice `start..m` it
+    /// runs against. `m` matters: a statement that stopped exactly at the
+    /// old frontier may continue on a grown trace.
+    ///
+    /// `None` when this execution should not go through the memo table —
+    /// memoization disabled, or the slice so short that running it is
+    /// cheaper than canonicalize-and-hash bookkeeping.
+    pub(crate) fn validation_key(
+        &self,
+        stmt: &Statement,
+        start: usize,
+        m: usize,
+    ) -> Option<(Statement, usize, usize)> {
+        if !self.cfg.memoization || m - start < 4 {
+            return None;
+        }
+        Some((stmt.canonicalize(), start, m))
+    }
+
+    /// Cached execution stop index for a [`validation_key`](Self::validation_key).
+    pub(crate) fn validation_hit(&self, key: &(Statement, usize, usize)) -> Option<Option<usize>> {
+        self.validate_cache.borrow().get(key).copied()
+    }
+
+    /// Stores one validation execution outcome, respecting the capacity.
+    pub(crate) fn validation_store(&self, key: (Statement, usize, usize), end: Option<usize>) {
+        let mut cache = self.validate_cache.borrow_mut();
+        if cache.len() < self.cfg.memo_capacity {
+            cache.insert(key, end);
+        }
+    }
+
+    fn compute_suffixes(&mut self, dom_idx: usize, path: &Path, binding: &Path) -> Vec<Path> {
+        let mut out: Vec<Path> = self
+            .alternatives(dom_idx, path)
+            .iter()
+            .filter_map(|alt| alt.strip_prefix(binding))
+            .collect();
+        out.dedup();
+        out
     }
 }
 

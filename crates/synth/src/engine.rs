@@ -1,5 +1,5 @@
 //! The top-level worklist algorithm (paper Alg. 1) with incremental
-//! synthesis (paper §5.4).
+//! synthesis (paper §5.4) and the dirty-tracked fast path (§7.2).
 
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashSet};
@@ -7,7 +7,7 @@ use std::time::{Duration, Instant};
 
 use webrobot_dom::Dom;
 use webrobot_lang::{Action, Program, Statement};
-use webrobot_semantics::{action_consistent, generalizes, Trace};
+use webrobot_semantics::{action_consistent, generalizes, Stepper, Trace};
 
 use crate::config::SynthConfig;
 use crate::context::SynthContext;
@@ -43,6 +43,9 @@ pub struct SynthStats {
     /// `true` when the call ended on the timeout rather than exhausting the
     /// worklist.
     pub timed_out: bool,
+    /// `true` when the call ended because the stored-item cap
+    /// (`max_items`) was reached rather than exhausting the worklist.
+    pub truncated: bool,
 }
 
 /// Result of one `synthesize` call.
@@ -64,18 +67,34 @@ impl SynthResult {
     }
 }
 
-/// Worklist entry ordered *smallest statement count first* (ties broken by
-/// insertion order for determinism).
+/// Worklist entry ordered *smallest statement count first*.
+///
+/// The key is `len − covered` rather than `len`: appending the newly
+/// demonstrated actions to an item adds the same delta to both, so the
+/// difference is invariant under trace growth. That is what lets the
+/// dirty-tracked resume leave queued items untouched (extension deferred
+/// to pop time) without perturbing the pop order an eager re-queue would
+/// have produced. Ties break by insertion order for determinism.
 #[derive(Debug, Clone)]
 struct HeapEntry {
-    len: usize,
+    key: i64,
     seq: u64,
     item: Item,
 }
 
+impl HeapEntry {
+    fn keyed(item: Item, seq: u64) -> HeapEntry {
+        HeapEntry {
+            key: item.len() as i64 - item.covered() as i64,
+            seq,
+            item,
+        }
+    }
+}
+
 impl PartialEq for HeapEntry {
     fn eq(&self, other: &Self) -> bool {
-        self.len == other.len && self.seq == other.seq
+        self.key == other.key && self.seq == other.seq
     }
 }
 impl Eq for HeapEntry {}
@@ -86,8 +105,87 @@ impl PartialOrd for HeapEntry {
 }
 impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap: invert for min-by-(len, seq).
-        (other.len, other.seq).cmp(&(self.len, self.seq))
+        // BinaryHeap is a max-heap: invert for min-by-(key, seq).
+        (other.key, other.seq).cmp(&(self.key, self.seq))
+    }
+}
+
+/// Resumable prediction state of a cached generalizing program: the
+/// [`Stepper`] has consumed every DOM of the trace (length `synced`), and
+/// `prediction` is the action it produced on the latest one.
+#[derive(Debug)]
+struct PredState {
+    stepper: Stepper,
+    prediction: Action,
+    synced: usize,
+}
+
+/// A cached generalizing program with its ranking keys precomputed.
+///
+/// `canon` (the canonicalized rendering) is the deterministic tie-break:
+/// unlike the raw rendering it is independent of fresh-variable numbering,
+/// so memoized and unmemoized runs — which consume different variables —
+/// rank identically.
+#[derive(Debug)]
+struct GenEntry {
+    item: Item,
+    program: Program,
+    size: usize,
+    canon: String,
+    /// `Some` under dirty tracking; `None` in the ablation, where every
+    /// call re-executes the program from scratch.
+    pred: Option<PredState>,
+}
+
+impl GenEntry {
+    /// Builds an entry iff `item`'s program generalizes `trace`
+    /// (Def. 4.2). Under dirty tracking the check *is* the construction of
+    /// the resumable stepper, so the program executes exactly once.
+    ///
+    /// `program` and `canon` are passed in because the caller needs the
+    /// canonical rendering *before* this O(trace) check — an
+    /// alpha-equivalent program that is already cached should not be
+    /// re-executed just to be discarded.
+    fn build(
+        item: &Item,
+        program: Program,
+        canon: String,
+        trace: &Trace,
+        dirty: bool,
+    ) -> Option<GenEntry> {
+        let pred = if dirty {
+            let mut stepper = Stepper::new(program.statements(), trace.input().clone());
+            let m = trace.len();
+            for t in 0..m {
+                match stepper.step(&trace.doms()[t]) {
+                    Ok(Some(a)) if action_consistent(&a, &trace.actions()[t], &trace.doms()[t]) => {
+                    }
+                    _ => return None,
+                }
+            }
+            let prediction = stepper.step(&trace.doms()[m]).ok().flatten()?;
+            Some(PredState {
+                stepper,
+                prediction,
+                synced: m,
+            })
+        } else {
+            generalizes(item.statements(), trace)?;
+            None
+        };
+        Some(GenEntry {
+            item: item.clone(),
+            size: program.size(),
+            canon,
+            program,
+            pred,
+        })
+    }
+
+    /// The total ranking order (no ties between distinct canonical
+    /// programs), also used for deterministic eviction.
+    fn rank_key(&self) -> (usize, usize, &str) {
+        (self.size, self.program.len(), self.canon.as_str())
     }
 }
 
@@ -98,15 +196,22 @@ impl Ord for HeapEntry {
 /// predictions. State (worklist, processed rewrites, caches, generalizing
 /// programs) persists across calls unless the *No incremental* ablation is
 /// configured.
+///
+/// With `dirty_tracking` (the default) the per-observation cost is
+/// decoupled from the trace length: cached generalizing programs carry a
+/// resumable [`Stepper`] advanced one action per observation instead of
+/// being re-executed over the whole demonstration, and stored worklist
+/// items are extended lazily when popped instead of eagerly re-queued on
+/// every observation.
 #[derive(Debug)]
 pub struct Synthesizer {
     ctx: SynthContext,
     worklist: BinaryHeap<HeapEntry>,
     processed: Vec<Item>,
-    generalizing: Vec<Item>,
+    generalizing: Vec<GenEntry>,
     seen: HashSet<u64>,
     seq: u64,
-    /// Trace length the stored items were last extended to.
+    /// Trace length the stored items were last synced to.
     synced_len: usize,
 }
 
@@ -140,17 +245,17 @@ impl Synthesizer {
     /// Records one demonstrated (or authorized) action and the DOM the page
     /// transitioned to.
     pub fn observe(&mut self, action: Action, resulting_dom: std::sync::Arc<Dom>) {
-        self.ctx.trace.push(action, resulting_dom);
+        self.ctx.observe(action, resulting_dom);
+    }
+
+    fn requeue(&mut self, item: Item) {
+        self.seq += 1;
+        self.worklist.push(HeapEntry::keyed(item, self.seq));
     }
 
     fn push_item(&mut self, item: Item) {
         if self.seen.insert(item.canonical_hash()) {
-            self.seq += 1;
-            self.worklist.push(HeapEntry {
-                len: item.len(),
-                seq: self.seq,
-                item,
-            });
+            self.requeue(item);
         }
     }
 
@@ -177,19 +282,13 @@ impl Synthesizer {
         } else {
             // Fast path (paper §7.2: re-synthesis happens only when the
             // previous program fails to predict the next action).
-            let trace = self.ctx.trace();
-            let latest = trace.latest_dom().clone();
-            self.generalizing
-                .retain(|item| match generalizes(item.statements(), trace) {
-                    Some(pred) => pred.selector().is_none_or(|s| s.valid(&latest)),
-                    None => false,
-                });
+            self.refresh_generalizing();
             if !self.generalizing.is_empty() {
                 stats.fast_path = true;
                 stats.elapsed = started.elapsed();
                 return self.rank(stats);
             }
-            self.sync_items();
+            self.resume_incremental();
         }
 
         // Main worklist loop (Alg. 1 lines 3–7).
@@ -200,10 +299,22 @@ impl Synthesizer {
                 self.worklist.push(entry);
                 break;
             }
-            let item = entry.item;
+            let Some(item) = self.admit(entry.item) else {
+                continue;
+            };
             stats.pops += 1;
-            if generalizes(item.statements(), self.ctx.trace()).is_some() {
-                self.store_generalizing(item.clone());
+            let program = item.to_program();
+            let canon = program.canonicalize().to_string();
+            if !self.generalizing.iter().any(|e| e.canon == canon) {
+                if let Some(gen) = GenEntry::build(
+                    &item,
+                    program,
+                    canon,
+                    self.ctx.trace(),
+                    self.ctx.cfg.dirty_tracking,
+                ) {
+                    self.store_generalizing(gen);
+                }
             }
             let rewrites: Vec<SRewrite> = speculate(&item, &mut self.ctx, deadline);
             for sr in &rewrites {
@@ -219,6 +330,7 @@ impl Synthesizer {
             }
             self.processed.push(item);
             if self.worklist.len() + self.processed.len() > self.ctx.cfg.max_items {
+                stats.truncated = true;
                 break;
             }
             if stats.timed_out {
@@ -230,25 +342,83 @@ impl Synthesizer {
         self.rank(stats)
     }
 
-    /// Keeps at most `max_programs` generalizing rewrites, evicting the
-    /// largest when full so small (well-ranked) programs always survive.
-    fn store_generalizing(&mut self, item: Item) {
+    /// Drops cached generalizing programs that no longer generalize the
+    /// (possibly grown) trace, or whose prediction does not denote a node
+    /// on the latest DOM.
+    ///
+    /// Under dirty tracking each entry advances its resumable stepper by
+    /// exactly the newly observed actions — O(new actions), not O(trace) —
+    /// relying on the interpreter being deterministic in the DOM prefix.
+    /// The ablation re-executes every program over the whole trace, which
+    /// is the original (provably equivalent, measurably slower) behavior.
+    fn refresh_generalizing(&mut self) {
+        let trace = &self.ctx.trace;
+        let m = trace.len();
+        let latest = trace.latest_dom().clone();
+        if self.ctx.cfg.dirty_tracking {
+            self.generalizing.retain_mut(|entry| {
+                let Some(pred) = entry.pred.as_mut() else {
+                    return false;
+                };
+                while pred.synced < m {
+                    let t = pred.synced;
+                    if !action_consistent(&pred.prediction, &trace.actions()[t], &trace.doms()[t]) {
+                        return false;
+                    }
+                    match pred.stepper.step(&trace.doms()[t + 1]) {
+                        Ok(Some(a)) => {
+                            pred.prediction = a;
+                            pred.synced = t + 1;
+                        }
+                        _ => return false,
+                    }
+                }
+                pred.prediction.selector().is_none_or(|s| s.valid(&latest))
+            });
+        } else {
+            self.generalizing
+                .retain(|entry| match generalizes(entry.item.statements(), trace) {
+                    Some(pred) => pred.selector().is_none_or(|s| s.valid(&latest)),
+                    None => false,
+                });
+        }
+    }
+
+    /// Keeps at most `max_programs` generalizing programs. Both admission
+    /// and eviction follow the total ranking order (size, then statement
+    /// count, then canonical rendering), so the retained set depends only
+    /// on *which* programs were found, not on the order they were found in
+    /// — a prerequisite for the incremental ≡ from-scratch equivalence.
+    fn store_generalizing(&mut self, entry: GenEntry) {
+        debug_assert!(
+            !self.generalizing.iter().any(|e| e.canon == entry.canon),
+            "alpha-duplicates are filtered before the generalization check"
+        );
         if self.generalizing.len() < self.ctx.cfg.max_programs {
-            self.generalizing.push(item);
+            self.generalizing.push(entry);
             return;
         }
-        let new_size = item.to_program().size();
         if let Some((idx, worst)) = self
             .generalizing
             .iter()
-            .map(|i| i.to_program().size())
             .enumerate()
-            .max_by_key(|&(_, s)| s)
+            .max_by(|(_, a), (_, b)| a.rank_key().cmp(&b.rank_key()))
         {
-            if new_size < worst {
-                self.generalizing[idx] = item;
+            if entry.rank_key() < worst.rank_key() {
+                self.generalizing[idx] = entry;
             }
         }
+    }
+
+    /// Drops every stored rewrite (worklist, processed, generalizing
+    /// programs) so the next call synthesizes from the singleton program
+    /// `P₀` again, exactly as a freshly constructed synthesizer would —
+    /// but keeping the context's selector caches warm.
+    ///
+    /// This is the from-scratch reference of the differential test
+    /// harness (`tests/differential.rs`).
+    pub fn reset_incremental(&mut self) {
+        self.reset_from_scratch();
     }
 
     /// The *No incremental* ablation: drop every stored rewrite and start
@@ -263,101 +433,161 @@ impl Synthesizer {
         self.push_item(initial);
     }
 
-    /// Incremental resume (§5.4): extend every stored item (worklist,
-    /// processed `W′`, and previously generalizing) with the newly
-    /// demonstrated actions as singleton statements, and let trailing loops
-    /// absorb them by re-validation. A no-op when the trace hasn't grown
-    /// since the last sync.
-    fn sync_items(&mut self) {
+    /// Incremental resume (§5.4): make the stored rewrites (worklist and
+    /// processed `W′`) cover the newly demonstrated actions again.
+    ///
+    /// Under dirty tracking, queued items **carry over untouched**: the
+    /// heap key is growth-invariant (see [`HeapEntry`]), so extension —
+    /// and the trailing-loop absorption check, the only work whose result
+    /// actually depends on the new actions — is deferred to
+    /// [`Synthesizer::admit`] at pop time. Only the processed list is
+    /// re-queued, un-extended. The ablation reproduces the original eager
+    /// behavior: drain everything, extend and re-validate every item, and
+    /// rebuild the heap, which is O(stored items × program length) per
+    /// observation.
+    fn resume_incremental(&mut self) {
         let m = self.ctx.trace().len();
         if m == self.synced_len {
             return;
         }
         self.synced_len = m;
-        let mut stored: Vec<Item> = Vec::with_capacity(
-            self.worklist.len() + self.processed.len() + self.generalizing.len() + 1,
-        );
+        if self.ctx.cfg.dirty_tracking {
+            // Only *suffix-reachable* items — those whose trailing
+            // statement is a loop that may absorb the new actions, and
+            // whose worklist rank may therefore change — are re-extended
+            // now. Everything else carries over untouched: the heap key
+            // is growth-invariant, so deferring the (pure-append)
+            // extension to pop time preserves the eager pop order.
+            let mut carried: Vec<HeapEntry> = Vec::with_capacity(self.worklist.len());
+            let mut absorbers: Vec<Item> = Vec::new();
+            for entry in self.worklist.drain() {
+                let loop_tail = entry
+                    .item
+                    .statements()
+                    .last()
+                    .is_some_and(|s| !s.is_loop_free());
+                if loop_tail {
+                    absorbers.push(entry.item);
+                } else {
+                    carried.push(entry);
+                }
+            }
+            self.worklist.extend(carried);
+            for item in std::mem::take(&mut self.processed) {
+                let loop_tail = item.statements().last().is_some_and(|s| !s.is_loop_free());
+                if loop_tail {
+                    absorbers.push(item);
+                } else {
+                    self.requeue(item);
+                }
+            }
+            for item in absorbers {
+                let extended = self.extend_and_absorb(item);
+                if self.seen.insert(extended.canonical_hash()) {
+                    self.requeue(extended);
+                }
+            }
+            return;
+        }
+        let mut stored: Vec<Item> = Vec::with_capacity(self.worklist.len() + self.processed.len());
         stored.extend(self.worklist.drain().map(|e| e.item));
         stored.append(&mut self.processed);
-        stored.append(&mut self.generalizing);
         // Extended items carry fresh hashes; dedup within this batch only
         // (the global `seen` set still filters future rewrites).
         let mut batch: HashSet<u64> = HashSet::new();
-        let requeue = |synth: &mut Synthesizer, item: Item, batch: &mut HashSet<u64>| {
-            let hash = item.canonical_hash();
-            if batch.insert(hash) {
-                synth.seen.insert(hash);
-                synth.seq += 1;
-                synth.worklist.push(HeapEntry {
-                    len: item.len(),
-                    seq: synth.seq,
-                    item,
-                });
-            }
-        };
         for item in stored {
             debug_assert!(item.covered() <= m, "traces only grow");
-            let boundary = item.len(); // index of first appended singleton
-            let extended = item.extended_to(self.ctx.trace());
-            // Absorption: if the item's last statement is a loop whose
-            // coverage ended at the old frontier, re-validate it so it
-            // swallows the fresh singletons. When absorption succeeds, the
-            // *unabsorbed* variant is dropped: its trailing loop would
-            // overrun its slice when re-executed on the longer DOM trace,
-            // producing spuriously-generalizing "zombie" programs.
-            if boundary > 0 && extended.len() > boundary {
-                let k = boundary - 1;
-                if !extended.statements()[k].is_loop_free() {
-                    let sr = SRewrite {
-                        stmt: extended.statements()[k].clone(),
-                        i: k,
-                        j: k,
-                    };
-                    if let Some(absorbed) = validate(&sr, &extended, &self.ctx) {
-                        requeue(self, absorbed, &mut batch);
-                        continue;
-                    }
-                }
+            let extended = self.extend_and_absorb(item);
+            let hash = extended.canonical_hash();
+            if batch.insert(hash) {
+                self.seen.insert(hash);
+                self.requeue(extended);
             }
-            requeue(self, extended, &mut batch);
         }
     }
 
+    /// Pop-time admission (the lazy half of the dirty-tracked resume): an
+    /// item that predates the newest observations is extended and
+    /// absorption-checked now, and discarded if an identical item was
+    /// already admitted through another path.
+    fn admit(&mut self, item: Item) -> Option<Item> {
+        if item.covered() == self.ctx.trace().len() {
+            return Some(item);
+        }
+        let extended = self.extend_and_absorb(item);
+        if self.seen.insert(extended.canonical_hash()) {
+            Some(extended)
+        } else {
+            None
+        }
+    }
+
+    /// Extends `item` with the newly demonstrated actions as singleton
+    /// statements and, if its last pre-extension statement is a loop whose
+    /// coverage ended at the old frontier, re-validates that loop so it
+    /// absorbs the fresh singletons. When absorption succeeds, the
+    /// *unabsorbed* variant is dropped: its trailing loop would overrun
+    /// its slice when re-executed on the longer DOM trace, producing
+    /// spuriously-generalizing "zombie" programs.
+    fn extend_and_absorb(&mut self, item: Item) -> Item {
+        let boundary = item.len(); // index of first appended singleton
+        let extended = item.extended_to(self.ctx.trace());
+        if boundary > 0 && extended.len() > boundary {
+            let k = boundary - 1;
+            if !extended.statements()[k].is_loop_free() {
+                let sr = SRewrite {
+                    stmt: extended.statements()[k].clone(),
+                    i: k,
+                    j: k,
+                };
+                if let Some(absorbed) = validate(&sr, &extended, &self.ctx) {
+                    return absorbed;
+                }
+            }
+        }
+        extended
+    }
+
     /// Ranks generalizing programs by AST size (then statement count, then
-    /// rendering, for determinism) and extracts distinct predictions.
+    /// *canonicalized* rendering — deterministic and independent of
+    /// fresh-variable numbering) and extracts distinct predictions.
     ///
     /// Programs whose prediction does not denote a node on the latest DOM
     /// are dropped: the front-end could neither visualize nor perform such
     /// an action (paper §6, prediction authorization).
     fn rank(&self, stats: SynthStats) -> SynthResult {
         let trace = self.ctx.trace();
-        let latest_dom = trace.latest_dom().clone();
-        let mut ranked: Vec<RankedProgram> = Vec::new();
-        for item in &self.generalizing {
-            if let Some(prediction) = generalizes(item.statements(), trace) {
-                if let Some(selector) = prediction.selector() {
-                    if !selector.valid(&latest_dom) {
-                        continue;
-                    }
-                }
-                let program = item.to_program();
-                ranked.push(RankedProgram {
-                    size: program.size(),
-                    program,
-                    prediction,
-                });
-            }
-        }
-        ranked.sort_by(|a, b| {
-            (a.size, a.program.len(), a.program.to_string()).cmp(&(
-                b.size,
-                b.program.len(),
-                b.program.to_string(),
-            ))
-        });
-        ranked.dedup_by(|a, b| a.program == b.program);
-
         let latest = trace.latest_dom().clone();
+        let mut ranked: Vec<(&GenEntry, RankedProgram)> = Vec::new();
+        for entry in &self.generalizing {
+            let prediction = match &entry.pred {
+                Some(p) => {
+                    debug_assert_eq!(p.synced, trace.len(), "entries are refreshed before rank");
+                    p.prediction.clone()
+                }
+                None => match generalizes(entry.item.statements(), trace) {
+                    Some(p) => p,
+                    None => continue,
+                },
+            };
+            if let Some(selector) = prediction.selector() {
+                if !selector.valid(&latest) {
+                    continue;
+                }
+            }
+            ranked.push((
+                entry,
+                RankedProgram {
+                    size: entry.size,
+                    program: entry.program.clone(),
+                    prediction,
+                },
+            ));
+        }
+        ranked.sort_by(|(a, _), (b, _)| a.rank_key().cmp(&b.rank_key()));
+        ranked.dedup_by(|(a, _), (b, _)| a.canon == b.canon);
+        let ranked: Vec<RankedProgram> = ranked.into_iter().map(|(_, rp)| rp).collect();
+
         let mut predictions: Vec<Action> = Vec::new();
         for rp in &ranked {
             if predictions.len() >= self.ctx.cfg.max_predictions {
@@ -379,8 +609,8 @@ impl Synthesizer {
 
     /// Direct access to generalizing rewrites (e.g. for inspecting slice
     /// boundaries in tests and experiments).
-    pub fn generalizing_items(&self) -> &[Item] {
-        &self.generalizing
+    pub fn generalizing_items(&self) -> impl Iterator<Item = &Item> {
+        self.generalizing.iter().map(|e| &e.item)
     }
 
     /// Convenience: the statements of the current best program, if any.
@@ -388,9 +618,9 @@ impl Synthesizer {
         let trace = self.ctx.trace();
         self.generalizing
             .iter()
-            .filter(|item| generalizes(item.statements(), trace).is_some())
-            .min_by_key(|item| item.to_program().size())
-            .map(|item| item.statements().to_vec())
+            .filter(|entry| generalizes(entry.item.statements(), trace).is_some())
+            .min_by(|a, b| a.rank_key().cmp(&b.rank_key()))
+            .map(|entry| entry.item.statements().to_vec())
     }
 }
 
@@ -461,6 +691,25 @@ mod tests {
     }
 
     #[test]
+    fn fast_path_matches_legacy_retention() {
+        // The stepper-driven fast path and the ablation (full re-execution
+        // per call) must agree call by call on a growing demonstration.
+        let full = scrape_trace(5, 7);
+        let mut dirty = Synthesizer::new(SynthConfig::default(), full.prefix(2));
+        let mut legacy = Synthesizer::new(SynthConfig::no_optimizations(), full.prefix(2));
+        for k in 2..=5 {
+            if k > 2 {
+                dirty.observe(full.actions()[k - 1].clone(), full.doms()[k].clone());
+                legacy.observe(full.actions()[k - 1].clone(), full.doms()[k].clone());
+            }
+            let rd = dirty.synthesize();
+            let rl = legacy.synthesize();
+            assert_eq!(rd.stats.fast_path, rl.stats.fast_path, "prefix {k}");
+            assert_eq!(rd.predictions, rl.predictions, "prefix {k}");
+        }
+    }
+
+    #[test]
     fn no_incremental_restarts_every_time() {
         let full = scrape_trace(3, 6);
         let mut synth = Synthesizer::new(SynthConfig::no_incremental(), full.prefix(2));
@@ -470,6 +719,21 @@ mod tests {
         let r2 = synth.synthesize();
         assert!(!r2.stats.fast_path);
         assert!(!r2.programs.is_empty());
+    }
+
+    #[test]
+    fn reset_incremental_matches_fresh_synthesizer() {
+        let full = scrape_trace(4, 6);
+        let mut warm = Synthesizer::new(SynthConfig::default(), full.prefix(2));
+        warm.synthesize();
+        warm.observe(full.actions()[2].clone(), full.doms()[3].clone());
+        warm.reset_incremental();
+        let r_reset = warm.synthesize();
+        let mut fresh = Synthesizer::new(SynthConfig::default(), full.prefix(3));
+        let r_fresh = fresh.synthesize();
+        assert!(!r_reset.stats.fast_path);
+        assert_eq!(r_reset.predictions, r_fresh.predictions);
+        assert_eq!(r_reset.programs.len(), r_fresh.programs.len());
     }
 
     #[test]

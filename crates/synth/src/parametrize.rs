@@ -54,7 +54,9 @@ pub(crate) fn parametrize_sel(
     out
 }
 
-/// Variable-based rewrites of one concrete selector.
+/// Variable-based rewrites of one concrete selector. The suffix scan over
+/// the selector's alternatives is variable-independent and memoized in
+/// `ctx` (`strip_suffixes`), so every seed sharing a binding reuses it.
 fn selector_rewrites(
     sel: &Selector,
     var: SelVar,
@@ -66,14 +68,10 @@ fn selector_rewrites(
         return Vec::new();
     };
     let path = path.clone();
-    let mut out = Vec::new();
-    for alt in ctx.alternatives(dom_idx, &path).iter() {
-        if let Some(suffix) = alt.strip_prefix(binding) {
-            out.push(Selector::var_path(var, suffix));
-        }
-    }
-    out.dedup();
-    out
+    ctx.strip_suffixes(dom_idx, &path, binding)
+        .iter()
+        .map(|suffix| Selector::var_path(var, suffix.clone()))
+        .collect()
 }
 
 fn replace_selector(stmt: &Statement, sel: Selector) -> Statement {

@@ -55,6 +55,13 @@ fn push_unique(out: &mut Vec<SRewrite>, seen: &mut HashSet<(u64, usize, usize)>,
 
 /// Lines 2–13 of Alg. 2: windows `[S_i ·· S_j]` as first iterations, with
 /// the anti-unified pair `(S_p, S_q)`, `q = p + window length`.
+///
+/// With `window_pruning` enabled, a per-shift "kind run-length" table
+/// (`runs[len-1][t]` = how many consecutive positions from `t` have
+/// `kind(S_t) == kind(S_{t+len})`) bounds the inner `p` loop up front:
+/// windows whose statement-kind sequences cannot start a second iteration
+/// are skipped without entering the loop at all. The enumeration order —
+/// and therefore every downstream tie-break — is unchanged.
 fn speculate_foreach(
     item: &Item,
     ctx: &mut SynthContext,
@@ -65,19 +72,42 @@ fn speculate_foreach(
     let stmts = item.statements();
     let l = stmts.len();
     let max_w = ctx.cfg.max_window;
+    let runs: Option<Vec<Vec<u32>>> = ctx.cfg.window_pruning.then(|| {
+        (1..=max_w)
+            .map(|len| {
+                let mut run = vec![0u32; l];
+                for t in (0..l).rev() {
+                    if t + len < l && discriminant(&stmts[t]) == discriminant(&stmts[t + len]) {
+                        run[t] = run.get(t + 1).copied().unwrap_or(0) + 1;
+                    }
+                }
+                run
+            })
+            .collect()
+    });
     for i in 0..l {
         for len in 1..=max_w {
             let j = i + len - 1;
             if j >= l {
                 break;
             }
-            if Instant::now() > deadline {
-                return;
-            }
             // p walks the window; q is its second-iteration counterpart.
             // If the statement kinds at (i+t, i+len+t) diverge for some t,
             // no p ≥ i+t can belong to a real second iteration: stop.
-            for p in i..=j {
+            let p_end = match &runs {
+                Some(r) => {
+                    let n = r[len - 1][i] as usize;
+                    if n == 0 {
+                        continue;
+                    }
+                    j.min(i + n - 1)
+                }
+                None => j,
+            };
+            if Instant::now() > deadline {
+                return;
+            }
+            for p in i..=p_end {
                 let q = p + len;
                 if q >= l {
                     break;
@@ -93,7 +123,7 @@ fn speculate_foreach(
                     ctx,
                 );
                 for seed in seeds {
-                    expand_seed(item, ctx, seed, i, j, p, out, seen);
+                    expand_seed(item, ctx, seed, i, j, p, deadline, out, seen);
                 }
             }
         }
@@ -102,6 +132,12 @@ fn speculate_foreach(
 
 /// Lines 4–7 / 10–13 of Alg. 2: build every loop body from the Cartesian
 /// product of per-statement parametrizations (capped).
+///
+/// `deadline` also bounds the product expansion itself: a seed over a wide
+/// window with many parametrizations per slot can be expensive even under
+/// the `max_bodies_per_seed` cap, and previously ran to completion no
+/// matter how late it was. Partial results are returned — only complete
+/// loop bodies, never truncated ones.
 #[allow(clippy::too_many_arguments)]
 fn expand_seed(
     item: &Item,
@@ -110,6 +146,7 @@ fn expand_seed(
     i: usize,
     j: usize,
     p: usize,
+    deadline: Instant,
     out: &mut Vec<SRewrite>,
     seen: &mut HashSet<(u64, usize, usize)>,
 ) {
@@ -159,7 +196,7 @@ fn expand_seed(
         }
     }
     let cap = ctx.cfg.max_bodies_per_seed;
-    for body in cartesian(&choices, cap) {
+    for body in cartesian(&choices, cap, deadline) {
         let stmt = match &seed {
             LoopSeed::Sel { var, list, .. } => Statement::ForeachSel(ForeachSel {
                 var: *var,
@@ -176,27 +213,40 @@ fn expand_seed(
     }
 }
 
-/// Odometer-style Cartesian product, capped at `cap` results.
-fn cartesian(choices: &[Vec<Statement>], cap: usize) -> Vec<Vec<Statement>> {
-    let mut out: Vec<Vec<Statement>> = vec![Vec::new()];
-    for slot in choices {
-        let mut next = Vec::with_capacity(out.len() * slot.len());
-        'fill: for prefix in &out {
-            for choice in slot {
-                let mut body = prefix.clone();
-                body.push(choice.clone());
-                next.push(body);
-                if next.len() >= cap {
-                    break 'fill;
-                }
-            }
-        }
-        out = next;
-        if out.is_empty() {
+/// Odometer-style Cartesian product: the first `cap` complete bodies in
+/// lexicographic slot order (last slot varying fastest), stopping early —
+/// with only whole bodies emitted — once `deadline` passes.
+fn cartesian(choices: &[Vec<Statement>], cap: usize, deadline: Instant) -> Vec<Vec<Statement>> {
+    if choices.iter().any(Vec::is_empty) {
+        return Vec::new();
+    }
+    let mut out: Vec<Vec<Statement>> = Vec::new();
+    let mut odometer = vec![0usize; choices.len()];
+    loop {
+        out.push(
+            choices
+                .iter()
+                .zip(&odometer)
+                .map(|(slot, &k)| slot[k].clone())
+                .collect(),
+        );
+        if out.len() >= cap || Instant::now() > deadline {
             return out;
         }
+        // Increment, last slot fastest; full wrap-around means done.
+        let mut slot = choices.len();
+        loop {
+            let Some(s) = slot.checked_sub(1) else {
+                return out;
+            };
+            slot = s;
+            odometer[slot] += 1;
+            if odometer[slot] < choices[slot].len() {
+                break;
+            }
+            odometer[slot] = 0;
+        }
     }
-    out
 }
 
 /// Lines 14–16 of Alg. 2: while loops. The first iteration is
@@ -235,7 +285,6 @@ fn speculate_while(
             push_unique(out, seen, SRewrite { stmt, i, j: p });
         }
     }
-    let _ = ctx;
 }
 
 #[cfg(test)]
@@ -361,7 +410,77 @@ mod tests {
     fn cartesian_caps_products() {
         let a = Statement::GoBack;
         let choices = vec![vec![a.clone(); 4], vec![a.clone(); 4], vec![a; 4]];
-        assert_eq!(cartesian(&choices, 10).len(), 10);
-        assert_eq!(cartesian(&choices, 1000).len(), 64);
+        assert_eq!(cartesian(&choices, 10, far_deadline()).len(), 10);
+        assert_eq!(cartesian(&choices, 1000, far_deadline()).len(), 64);
     }
+
+    proptest::proptest! {
+        /// The odometer rewrite preserves the original cap behavior: the
+        /// first `cap` products of the slot-lexicographic enumeration
+        /// (last slot fastest), exactly as the old prefix-growing
+        /// implementation produced them.
+        #[test]
+        fn cartesian_cap_behavior_is_unchanged(
+            shape in proptest::collection::vec(1usize..4, 1..4),
+            cap in 1usize..30,
+        ) {
+            // Distinguishable statements per slot: GoBack vs scrapes of
+            // distinct anchors.
+            let slot = |n: usize, s: usize| -> Vec<Statement> {
+                (0..n)
+                    .map(|k| {
+                        Statement::ScrapeText(Selector::rooted(
+                            format!("/a[{}]", s * 10 + k + 1).parse().unwrap(),
+                        ))
+                    })
+                    .collect()
+            };
+            let choices: Vec<Vec<Statement>> =
+                shape.iter().enumerate().map(|(s, &n)| slot(n, s)).collect();
+            // Reference: the pre-rewrite prefix-growing algorithm.
+            let mut reference: Vec<Vec<Statement>> = vec![Vec::new()];
+            for slot in &choices {
+                let mut next = Vec::new();
+                'fill: for prefix in &reference {
+                    for choice in slot {
+                        let mut body = prefix.clone();
+                        body.push(choice.clone());
+                        next.push(body);
+                        if next.len() >= cap {
+                            break 'fill;
+                        }
+                    }
+                }
+                reference = next;
+            }
+            let got = cartesian(&choices, cap, far_deadline());
+            proptest::prop_assert_eq!(got, reference);
+        }
+    }
+
+    #[test]
+    fn cartesian_deadline_returns_partial_complete_bodies() {
+        // Regression: a deadline mid-expansion must return *some* bodies,
+        // each of full window length (never truncated), and they must be
+        // a prefix of the unbounded enumeration.
+        let mk = |s: &str| Statement::ScrapeText(Selector::rooted(s.parse().unwrap()));
+        let choices = vec![
+            vec![mk("/a[1]"), mk("/a[2]")],
+            vec![mk("/b[1]"), mk("/b[2]"), mk("/b[3]")],
+            vec![mk("/c[1]"), mk("/c[2]")],
+        ];
+        let expired = Instant::now() - Duration::from_secs(1);
+        let partial = cartesian(&choices, 1000, expired);
+        let full = cartesian(&choices, 1000, far_deadline());
+        assert_eq!(full.len(), 12);
+        assert!(!partial.is_empty(), "at least one body is always produced");
+        assert!(
+            partial.len() < full.len(),
+            "deadline actually cut the product"
+        );
+        assert!(partial.iter().all(|body| body.len() == choices.len()));
+        assert_eq!(partial[..], full[..partial.len()]);
+    }
+
+    use webrobot_lang::Selector;
 }

@@ -1,7 +1,7 @@
 //! The `Validate` procedure (paper Alg. 3): checking s-rewrites against the
 //! trace semantics and turning true rewrites into new worklist items.
 
-use webrobot_semantics::{action_consistent, execute};
+use webrobot_semantics::{action_consistent, Stepper};
 
 use crate::context::SynthContext;
 use crate::item::Item;
@@ -15,30 +15,68 @@ use crate::speculate::SRewrite;
 /// recorded slice up to some statement boundary `r > j` (consistency is
 /// node-identity per DOM, not selector syntax).
 ///
+/// Execution is driven step by step through the resumable [`Stepper`] and
+/// compared against the recorded slice *as it goes*: most speculative
+/// rewrites are spurious and die on their first or second action, so
+/// aborting there — instead of simulating the statement across the whole
+/// slice and comparing afterwards — removes the dominant cost of the
+/// worklist loop. Accept/reject verdicts are unchanged: a rewrite whose
+/// produced trace mismatches anywhere is rejected either way, and one
+/// that matches everywhere runs the exact same number of steps.
+///
 /// On success, returns the rewritten item with statements `i..=r` replaced
 /// by the loop; invariants I1/I2 hold by this very check.
 pub fn validate(sr: &SRewrite, item: &Item, ctx: &SynthContext) -> Option<Item> {
-    let trace = ctx.trace();
     let m = item.covered();
     let start = item.bounds()[sr.i];
-    let doms = &trace.doms()[start..m];
-    let out = execute(std::slice::from_ref(&sr.stmt), doms, trace.input()).ok()?;
-    let end = start + out.actions.len();
+    // The execution outcome is item-independent (it only reads the slice
+    // `start..m` of the shared trace), so sibling items speculating the
+    // same rewrite share one run through the memo table.
+    let end = match ctx.validation_key(&sr.stmt, start, m) {
+        Some(key) => match ctx.validation_hit(&key) {
+            Some(hit) => hit?,
+            None => {
+                let end = consistent_stop(&sr.stmt, start, m, ctx);
+                ctx.validation_store(key, end);
+                end?
+            }
+        },
+        None => consistent_stop(&sr.stmt, start, m, ctx)?,
+    };
     // The produced trace must stop exactly at a statement boundary…
     let boundary = item.bounds().binary_search(&end).ok()?;
     // …strictly beyond the first iteration (r ≥ j + 1, boundary = r + 1).
     if boundary < sr.j + 2 {
         return None;
     }
-    // …and reproduce the recorded actions on their recorded DOMs.
-    let recorded = &trace.actions()[start..end];
-    let dom_slice = &trace.doms()[start..end];
-    for ((produced, want), dom) in out.actions.iter().zip(recorded).zip(dom_slice) {
-        if !action_consistent(produced, want, dom) {
-            return None;
+    Some(item.splice(sr.i, boundary - 1, sr.stmt.clone()))
+}
+
+/// Drives `stmt` over `doms[start..m]` and returns where its produced
+/// trace stops, or `None` as soon as a produced action is inconsistent
+/// with its recorded counterpart.
+fn consistent_stop(
+    stmt: &webrobot_lang::Statement,
+    start: usize,
+    m: usize,
+    ctx: &SynthContext,
+) -> Option<usize> {
+    let trace = ctx.trace();
+    let mut stepper = Stepper::new(std::slice::from_ref(stmt), trace.input().clone());
+    let mut end = start;
+    while end < m {
+        match stepper.step(&trace.doms()[end]) {
+            Ok(Some(produced)) => {
+                if !action_consistent(&produced, &trace.actions()[end], &trace.doms()[end]) {
+                    return None;
+                }
+                end += 1;
+            }
+            Ok(None) => break,
+            Err(_) => return None,
         }
     }
-    Some(item.splice(sr.i, boundary - 1, sr.stmt.clone()))
+    Some(end)
 }
 
 #[cfg(test)]

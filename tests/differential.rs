@@ -1,0 +1,221 @@
+//! Suite-wide differential test harness: the before/after equivalence
+//! proof for the speculation/incremental perf work.
+//!
+//! For every benchmark in `webrobot_benchmarks::suite()` (all 76), the
+//! recorded demonstration is replayed prefix-by-prefix and, at each
+//! prefix, the predictions of
+//!
+//! 1. an **incremental** synthesizer (state carried across observations),
+//! 2. a **from-scratch** synthesizer ([`Synthesizer::reset_incremental`]
+//!    before every call),
+//! 3. an incremental synthesizer with **memoization and window pruning
+//!    disabled** (dirty tracking still on), and
+//! 4. a **fully legacy** incremental synthesizer
+//!    ([`SynthConfig::no_optimizations`]: additionally no dirty
+//!    tracking — eager re-extension of every stored item per
+//!    observation, full re-execution of every cached program per call)
+//!
+//! are compared.
+//!
+//! **Claim (b) — memoization/pruning change nothing, checked
+//! unconditionally:** the memo tables and the kind-run-length pruning
+//! only skip *recomputed* work, never results, and leave the enumeration
+//! order intact; so (1) and (3) must produce byte-identical prediction
+//! lists at every single prefix, truncated search or not.
+//!
+//! **Claim (c) — dirty tracking changes nothing observable, checked
+//! while neither side has ever been truncated:** the dirty-tracked
+//! resume visits stored items in a different order than the legacy eager
+//! resync (that reordering is where the speed comes from), so under a
+//! cap-truncated search the two explore different frontiers; but
+//! wherever both searches have always run to exhaustion, reachability is
+//! order-independent and ranking/eviction are content-deterministic, so
+//! (3) and (4) must produce byte-identical prediction lists.
+//!
+//! **Claim (a) — incremental ≡ from-scratch (paper §5.4), checked at
+//! every prefix where both searches ran to exhaustion:** same top
+//! prediction (compared by node-consistency on the latest DOM, because
+//! alternative-selector programs of equal rank may render the same node
+//! differently), same verdict on whether *any* program generalizes, and
+//! incremental never predicts something from-scratch would not. When a
+//! search is cut off by the worklist cap, no equivalence is claimable
+//! even in principle (the paper's incremental-completeness argument also
+//! presumes complete searches), so such prefixes — and incremental
+//! prefixes whose carried state descends from a truncated search — only
+//! get the unconditional (b) check. The harness asserts the gated
+//! claims still cover the vast majority of the suite, so the proof
+//! keeps its teeth.
+//!
+//! The synthesis timeout is effectively removed (a timed-out search stops
+//! at a machine-speed-dependent point — flaky by construction) and the
+//! search arena is bounded deterministically instead: the *local* caps
+//! (window length, alternatives per node, bodies per seed) truncate
+//! per-site, independently of enumeration order, and the worklist cap
+//! cuts by item count. All four synthesizers run the same arena, so
+//! shrinking it below the interactive defaults bounds CI runtime without
+//! weakening the equivalence claim.
+
+use std::time::Duration;
+
+use webrobot_benchmarks::suite;
+use webrobot_semantics::{action_consistent, Trace};
+use webrobot_synth::{SynthConfig, Synthesizer};
+
+fn harness_config(mut cfg: SynthConfig) -> SynthConfig {
+    cfg.timeout = Duration::from_secs(3600);
+    cfg.max_window = 5;
+    cfg.max_alternatives = 8;
+    cfg.max_bodies_per_seed = 16;
+    cfg.max_items = 1_000;
+    cfg
+}
+
+fn no_memo_no_pruning() -> SynthConfig {
+    SynthConfig {
+        memoization: false,
+        window_pruning: false,
+        ..SynthConfig::default()
+    }
+}
+
+#[derive(Default)]
+struct Tally {
+    prefixes: usize,
+    scratch_compared: usize,
+    legacy_compared: usize,
+    predicted: usize,
+}
+
+/// Drives one benchmark through all four synthesizers, prefix by prefix.
+fn check_benchmark(id: u32, trace: &Trace, tally: &mut Tally) {
+    let n = trace.len();
+    let mut inc = Synthesizer::new(harness_config(SynthConfig::default()), trace.prefix(1));
+    let mut scratch = Synthesizer::new(harness_config(SynthConfig::default()), trace.prefix(1));
+    let mut plain = Synthesizer::new(harness_config(no_memo_no_pruning()), trace.prefix(1));
+    let mut legacy = Synthesizer::new(
+        harness_config(SynthConfig::no_optimizations()),
+        trace.prefix(1),
+    );
+    // Once a search is truncated, every later incremental call builds on
+    // the cut-off frontier: the exhaustion-gated claims are suspended
+    // from there on.
+    let mut inc_tainted = false;
+    let mut legacy_tainted = false;
+
+    for k in 1..=n {
+        if k > 1 {
+            let action = trace.actions()[k - 1].clone();
+            let dom = trace.doms()[k].clone();
+            inc.observe(action.clone(), dom.clone());
+            scratch.observe(action.clone(), dom.clone());
+            plain.observe(action.clone(), dom.clone());
+            legacy.observe(action, dom);
+        }
+        scratch.reset_incremental();
+
+        let ri = inc.synthesize();
+        let rs = scratch.synthesize();
+        let rp = plain.synthesize();
+        let rl = legacy.synthesize();
+        tally.prefixes += 1;
+        inc_tainted |= ri.stats.truncated || ri.stats.timed_out;
+        legacy_tainted |= rl.stats.truncated || rl.stats.timed_out;
+
+        // Claim (b), unconditional.
+        assert_eq!(
+            ri.predictions, rp.predictions,
+            "b{id} prefix {k}: memoized+pruned vs plain incremental"
+        );
+
+        // Claim (c): dirty-tracked vs legacy incremental, while both
+        // histories are truncation-free.
+        if !inc_tainted && !legacy_tainted {
+            tally.legacy_compared += 1;
+            assert_eq!(
+                rp.predictions, rl.predictions,
+                "b{id} prefix {k}: dirty-tracked vs legacy incremental"
+            );
+        }
+
+        // Claim (a), on complete searches only.
+        if inc_tainted || rs.stats.truncated || rs.stats.timed_out {
+            continue;
+        }
+        tally.scratch_compared += 1;
+        if ri.best_prediction().is_some() {
+            tally.predicted += 1;
+        }
+        let latest = inc.trace().latest_dom();
+        match (ri.best_prediction(), rs.best_prediction()) {
+            (None, None) => {}
+            (Some(a), Some(b)) => {
+                assert!(
+                    action_consistent(a, b, latest),
+                    "b{id} prefix {k}: incremental top {a} vs scratch top {b}"
+                );
+            }
+            (a, b) => panic!(
+                "b{id} prefix {k}: prediction presence diverged \
+                 (incremental {a:?}, scratch {b:?})"
+            ),
+        }
+        // Incremental predictions are always a subset of the scratch
+        // predictions (the fast path deliberately re-synthesizes nothing,
+        // so secondary programs found only on the longer trace may be
+        // missing) — but never the other way around.
+        assert!(
+            ri.predictions.iter().all(|x| rs
+                .predictions
+                .iter()
+                .any(|y| action_consistent(x, y, latest))),
+            "b{id} prefix {k}: incremental predicted something scratch did not\n  \
+             incremental: {:?}\n  scratch: {:?}",
+            ri.predictions,
+            rs.predictions,
+        );
+    }
+}
+
+#[test]
+fn incremental_scratch_and_unoptimized_agree_on_all_76() {
+    let mut tally = Tally::default();
+    for b in suite() {
+        let started = std::time::Instant::now();
+        let rec = b
+            .record()
+            .unwrap_or_else(|e| panic!("b{} failed to record: {e}", b.id));
+        check_benchmark(b.id, &rec.trace, &mut tally);
+        eprintln!(
+            "differential b{:<2} ok: {} prefixes in {:?}",
+            b.id,
+            rec.trace.len(),
+            started.elapsed()
+        );
+    }
+    eprintln!(
+        "differential: {} prefixes, {} with complete-search scratch comparison \
+         ({} of those with a prediction), {} with legacy comparison",
+        tally.prefixes, tally.scratch_compared, tally.predicted, tally.legacy_compared
+    );
+    // The exhaustion-gated comparisons must keep covering the vast
+    // majority of the suite — and a healthy share of compared prefixes
+    // must actually carry predictions — or the proof has no teeth.
+    assert!(
+        tally.scratch_compared * 10 >= tally.prefixes * 8,
+        "too few complete-search prefixes: {}/{}",
+        tally.scratch_compared,
+        tally.prefixes
+    );
+    assert!(
+        tally.legacy_compared * 10 >= tally.prefixes * 7,
+        "too few legacy-comparison prefixes: {}/{}",
+        tally.legacy_compared,
+        tally.prefixes
+    );
+    assert!(
+        tally.predicted * 10 >= tally.scratch_compared * 4,
+        "too few predicted prefixes: {}/{}",
+        tally.predicted,
+        tally.scratch_compared
+    );
+}

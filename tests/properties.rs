@@ -5,7 +5,7 @@ use std::sync::Arc;
 
 use proptest::prelude::*;
 
-use webrobot::{execute, generalizes, satisfies, Trace};
+use webrobot::{execute, generalizes, satisfies, Stepper, Trace};
 use webrobot_data::{parse_json, PathSeg, Value, ValuePath};
 use webrobot_dom::{parse_html, to_html, Dom, NodeId, Path};
 use webrobot_lang::{parse_program, Action, Program};
@@ -159,6 +159,31 @@ proptest! {
             let out = execute(program.statements(), trace.doms(), trace.input()).unwrap();
             prop_assert_eq!(out.actions.len(), k);
         }
+    }
+
+    /// The resumable stepper is action-trace equivalent to the recursive
+    /// interpreter on every benchmark ground truth driven over its own
+    /// recorded DOM trace — the invariant the incremental fast path and
+    /// early-abort validation rest on.
+    #[test]
+    fn stepper_matches_execute_on_ground_truths(id in 1u32..=76) {
+        let b = webrobot_benchmarks::benchmark(id).unwrap();
+        let rec = b.record().unwrap();
+        let reference = execute(
+            b.ground_truth.statements(),
+            rec.trace.doms(),
+            rec.trace.input(),
+        )
+        .unwrap();
+        let mut stepper = Stepper::new(b.ground_truth.statements(), rec.trace.input().clone());
+        let mut stepped = Vec::new();
+        for dom in rec.trace.doms() {
+            match stepper.step(dom).unwrap() {
+                Some(a) => stepped.push(a),
+                None => break,
+            }
+        }
+        prop_assert_eq!(stepped, reference.actions);
     }
 }
 

@@ -10,6 +10,14 @@
 //! - `CRITERION_SAMPLE_MS`: per-benchmark measurement budget in
 //!   milliseconds (default 300).
 //! - `CRITERION_WARMUP_MS`: warm-up budget in milliseconds (default 100).
+//! - `CRITERION_JSON_DIR`: where to write the machine-readable
+//!   `BENCH_<bench>.json` snapshot (default: the current directory; set
+//!   it to the repo root to refresh the committed baselines).
+//!
+//! Besides the stdout lines, each bench target writes a JSON snapshot
+//! `BENCH_<bench>.json` mapping every benchmark id to `mean_ns` /
+//! `min_ns` / `samples`, so perf PRs can diff baselines mechanically
+//! instead of hand-editing BENCH_NOTES.md.
 //!
 //! Only the surface the workspace's benches use is provided: `Criterion`,
 //! `BenchmarkGroup`, `Bencher::{iter, iter_batched}`, `BenchmarkId`,
@@ -17,6 +25,8 @@
 //! macros.
 
 use std::fmt::Display;
+use std::path::PathBuf;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Re-export of the standard black box (criterion's own is deprecated in
@@ -28,6 +38,66 @@ fn env_ms(var: &str, default_ms: u64) -> Duration {
         .ok()
         .and_then(|v| v.parse().ok())
         .map_or(Duration::from_millis(default_ms), Duration::from_millis)
+}
+
+/// One benchmark's aggregate, collected for the JSON snapshot.
+#[derive(Debug, Clone)]
+struct BenchRecord {
+    label: String,
+    mean_ns: u128,
+    min_ns: u128,
+    samples: usize,
+}
+
+/// Results of every benchmark run so far in this process.
+static RESULTS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
+
+/// The bench target's name, recovered from the executable path (cargo
+/// names bench binaries `<name>-<metadata hash>`).
+fn bench_target_name() -> String {
+    std::env::args()
+        .next()
+        .and_then(|argv0| {
+            PathBuf::from(argv0)
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+        })
+        .map(|stem| match stem.rsplit_once('-') {
+            Some((name, hash))
+                if !name.is_empty()
+                    && hash.len() == 16
+                    && hash.bytes().all(|b| b.is_ascii_hexdigit()) =>
+            {
+                name.to_string()
+            }
+            _ => stem,
+        })
+        .unwrap_or_else(|| "bench".to_string())
+}
+
+/// Writes `BENCH_<bench>.json` (benchmark id → mean/min ns + sample
+/// count) next to the stdout report. Called by [`criterion_main!`] after
+/// all groups ran; harmless no-op when nothing was measured.
+pub fn write_json_snapshot() {
+    let results = RESULTS.lock().expect("results lock").clone();
+    if results.is_empty() {
+        return;
+    }
+    let dir = std::env::var("CRITERION_JSON_DIR").unwrap_or_else(|_| ".".to_string());
+    let path = PathBuf::from(dir).join(format!("BENCH_{}.json", bench_target_name()));
+    let mut body = String::from("{\n");
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        body.push_str(&format!(
+            "  \"{}\": {{\"mean_ns\": {}, \"min_ns\": {}, \"samples\": {}}}{comma}\n",
+            r.label, r.mean_ns, r.min_ns, r.samples
+        ));
+    }
+    body.push_str("}\n");
+    match std::fs::write(&path, body) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
 }
 
 /// Top-level harness handle, one per `criterion_group!`.
@@ -130,6 +200,12 @@ fn run_one(group: &str, id: &str, sample_cap: usize, f: &mut dyn FnMut(&mut Benc
         min,
         samples.len()
     );
+    RESULTS.lock().expect("results lock").push(BenchRecord {
+        label,
+        mean_ns: mean.as_nanos(),
+        min_ns: min.as_nanos(),
+        samples: samples.len(),
+    });
 }
 
 /// How `iter_batched` amortizes setup cost; the stub times every routine
@@ -232,12 +308,14 @@ macro_rules! criterion_group {
     };
 }
 
-/// Declares `main` running the listed groups, mirroring criterion's macro.
+/// Declares `main` running the listed groups, mirroring criterion's
+/// macro, then writes the `BENCH_<bench>.json` snapshot.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::write_json_snapshot();
         }
     };
 }
@@ -262,6 +340,35 @@ mod tests {
         });
         group.finish();
         assert!(runs > 0);
+    }
+
+    #[test]
+    fn json_snapshot_is_written() {
+        std::env::set_var("CRITERION_SAMPLE_MS", "5");
+        std::env::set_var("CRITERION_WARMUP_MS", "1");
+        let dir = std::env::temp_dir().join(format!("criterion-stub-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::env::set_var("CRITERION_JSON_DIR", &dir);
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("snapshot");
+        group.sample_size(3);
+        group.bench_function("probe", |b| b.iter(|| black_box(2 + 2)));
+        group.finish();
+        write_json_snapshot();
+        std::env::remove_var("CRITERION_JSON_DIR");
+        let written: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| {
+                let name = e.file_name().to_string_lossy().into_owned();
+                name.starts_with("BENCH_") && name.ends_with(".json")
+            })
+            .collect();
+        assert_eq!(written.len(), 1, "exactly one snapshot file");
+        let body = std::fs::read_to_string(written[0].path()).unwrap();
+        assert!(body.contains("\"snapshot/probe\""), "{body}");
+        assert!(body.contains("\"mean_ns\""), "{body}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
