@@ -1,0 +1,216 @@
+//! Criterion bench for the multi-tenant session service: how many full
+//! demo→authorize→automate workflows per second the [`SessionManager`]
+//! sustains over the v1 JSON wire protocol, with sessions interleaved the
+//! way concurrent front-ends would interleave them.
+//!
+//! The `service_wire` group declares `Throughput::Elements(sessions)`, so
+//! the committed `BENCH_service.json` carries an explicit
+//! `elements_per_sec` — the sessions-per-second baseline.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use webrobot_browser::{Site, SiteBuilder};
+use webrobot_data::parse_json;
+use webrobot_dom::parse_html;
+use webrobot_interact::Event;
+use webrobot_lang::{Action, Value};
+use webrobot_service::{Request, ServiceConfig, SessionManager};
+
+const ITEMS_PER_SITE: usize = 6;
+
+fn anchor_site(n: usize) -> Arc<Site> {
+    let body: String = (1..=n).map(|i| format!("<a>item {i}</a>")).collect();
+    let mut b = SiteBuilder::new();
+    let home = b.add_page(
+        "https://bench.test/",
+        parse_html(&format!("<html>{body}</html>")).unwrap(),
+    );
+    Arc::new(b.start_at(home).finish())
+}
+
+fn manager(max_live: usize) -> SessionManager {
+    let mut m = SessionManager::new(ServiceConfig {
+        max_live_sessions: max_live,
+        ..ServiceConfig::default()
+    });
+    m.register_site(
+        "anchors",
+        anchor_site(ITEMS_PER_SITE),
+        Value::Object(vec![]),
+    );
+    m
+}
+
+fn event_request(session: &str, event: Event) -> String {
+    Request::Event {
+        session: session.to_string(),
+        event,
+    }
+    .to_json()
+}
+
+fn scrape(i: usize) -> Event {
+    Event::Demonstrate(Action::ScrapeText(format!("/a[{i}]").parse().unwrap()))
+}
+
+/// One wire client: picks its next request from the mode the previous
+/// response reported, exactly as a front-end state machine would.
+struct Client {
+    session: String,
+    mode: String,
+    demonstrated: usize,
+    done: bool,
+}
+
+impl Client {
+    fn open(manager: &mut SessionManager) -> Client {
+        let reply = manager.handle_json(
+            &Request::Create {
+                site: "anchors".to_string(),
+                input: None,
+                deadline_ms: None,
+            }
+            .to_json(),
+        );
+        let reply = parse_json(&reply).expect("valid response json");
+        Client {
+            session: reply
+                .field("session")
+                .and_then(Value::as_str)
+                .expect("created")
+                .to_string(),
+            mode: "demonstrate".to_string(),
+            demonstrated: 0,
+            done: false,
+        }
+    }
+
+    /// Sends one request; returns `false` once the session is closed.
+    fn step(&mut self, manager: &mut SessionManager) -> bool {
+        if self.done {
+            return false;
+        }
+        let event = match self.mode.as_str() {
+            "demonstrate" if self.demonstrated < 2 => {
+                self.demonstrated += 1;
+                scrape(self.demonstrated)
+            }
+            // Automation ran the task to the end: finish and close.
+            "demonstrate" => {
+                manager.handle_json(&event_request(&self.session, Event::Finish));
+                manager.handle_json(
+                    &Request::Close {
+                        session: self.session.clone(),
+                    }
+                    .to_json(),
+                );
+                self.done = true;
+                return false;
+            }
+            "authorize" => Event::Accept { index: 0 },
+            _ => Event::AutomateStep,
+        };
+        let reply = manager.handle_json(&event_request(&self.session, event));
+        let reply = parse_json(&reply).expect("valid response json");
+        assert_eq!(
+            reply.field("status").and_then(Value::as_str),
+            Some("ok"),
+            "{reply}"
+        );
+        self.mode = reply
+            .field("mode")
+            .and_then(Value::as_str)
+            .expect("mode")
+            .to_string();
+        true
+    }
+}
+
+/// Runs `sessions` full workflows round-robin-interleaved over the wire.
+fn run_interleaved(manager: &mut SessionManager, sessions: usize) {
+    let mut clients: Vec<Client> = (0..sessions).map(|_| Client::open(manager)).collect();
+    loop {
+        let mut progressed = false;
+        for client in &mut clients {
+            progressed |= client.step(manager);
+        }
+        if !progressed {
+            break;
+        }
+    }
+    let stats = manager.stats();
+    assert_eq!(stats.sessions_closed as usize, sessions);
+}
+
+/// Full interleaved sessions per second through the JSON boundary — the
+/// service's headline throughput number.
+fn bench_interleaved(c: &mut Criterion) {
+    let mut group = c.benchmark_group("service_wire");
+    group.sample_size(20);
+    for sessions in [2usize, 8] {
+        group.throughput(Throughput::Elements(sessions as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("interleaved_s{sessions}")),
+            &sessions,
+            |bench, &sessions| {
+                bench.iter_batched(
+                    || manager(64),
+                    |mut m| {
+                        run_interleaved(&mut m, sessions);
+                        m
+                    },
+                    criterion::BatchSize::LargeInput,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+/// The same workload squeezed through a single live slot, so every
+/// session switch is a snapshot eviction + replay restoration — the cost
+/// of the memory/compute trade the eviction policy makes.
+fn bench_evict_thrash(c: &mut Criterion) {
+    let mut group = c.benchmark_group("service_evict");
+    group.sample_size(10);
+    let sessions = 4usize;
+    group.throughput(Throughput::Elements(sessions as u64));
+    group.bench_with_input(
+        BenchmarkId::from_parameter(format!("thrash_s{sessions}")),
+        &sessions,
+        |bench, &sessions| {
+            bench.iter_batched(
+                || manager(1),
+                |mut m| {
+                    run_interleaved(&mut m, sessions);
+                    assert!(m.stats().restores > 0, "eviction path exercised");
+                    m
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        },
+    );
+    group.finish();
+}
+
+/// Raw codec cost: decode a demonstrate request and re-encode the
+/// response-sized reply, no session behind it.
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("service_codec");
+    let raw = event_request("s-1", scrape(3));
+    group.bench_with_input(
+        BenchmarkId::from_parameter("request_roundtrip"),
+        &raw,
+        |bench, raw| {
+            bench.iter(|| {
+                let request = Request::from_json(std::hint::black_box(raw)).unwrap();
+                std::hint::black_box(request.to_json())
+            });
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_interleaved, bench_evict_thrash, bench_codec);
+criterion_main!(benches);

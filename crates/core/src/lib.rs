@@ -19,7 +19,8 @@
 //! | [`webrobot_semantics`] | Trace semantics (Figs. 7–9), satisfaction & generalization |
 //! | [`webrobot_synth`] | Speculate + validate synthesis engine (paper §5) |
 //! | [`webrobot_browser`] | Simulated websites, live execution, trace recording |
-//! | [`webrobot_interact`] | Demo/authorize/automate sessions (paper §6) |
+//! | [`webrobot_interact`] | Demo/authorize/automate sessions (paper §6): typed [`Event`]/[`SessionError`] state machine, snapshot/restore |
+//! | [`webrobot_service`] | Multi-tenant [`SessionManager`] + the v1 JSON wire protocol (`PROTOCOL.md`) |
 //!
 //! This facade re-exports the most important types and offers [`WebRobot`],
 //! a batteries-included entry point.
@@ -47,6 +48,37 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! # Serving sessions over the wire protocol
+//!
+//! The same workflow is available as a multi-tenant service: a
+//! [`SessionManager`] owns many concurrent sessions and speaks the
+//! versioned v1 JSON protocol (string in, string out — see `PROTOCOL.md`
+//! for the full shapes and error codes):
+//!
+//! ```
+//! use std::sync::Arc;
+//! use webrobot::{ServiceConfig, SessionManager, SiteBuilder, Value};
+//! use webrobot_dom::parse_html;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = SiteBuilder::new();
+//! let home = b.add_page("https://x.test/", parse_html(
+//!     "<html><h3>A</h3><h3>B</h3><h3>C</h3></html>")?);
+//! let mut manager = SessionManager::new(ServiceConfig::default());
+//! manager.register_site("news", Arc::new(b.start_at(home).finish()),
+//!     Value::Object(vec![]));
+//!
+//! let reply = manager.handle_json(r#"{"v": 1, "kind": "create", "site": "news"}"#);
+//! assert!(reply.contains(r#""session":"s-1""#), "{reply}");
+//! let reply = manager.handle_json(
+//!     r#"{"v": 1, "kind": "event", "session": "s-1", "event":
+//!        {"type": "demonstrate", "action": {"op": "scrape_text", "selector": "/h3[1]"}}}"#,
+//! );
+//! assert!(reply.contains(r#""outcome":"recorded""#), "{reply}");
+//! # Ok(())
+//! # }
+//! ```
 
 use std::sync::Arc;
 
@@ -56,10 +88,16 @@ pub use webrobot_browser::{
     record_demonstration, run_program, Browser, BrowserError, Output, RecordLimits, Recording,
     Site, SiteBuilder,
 };
-pub use webrobot_interact::{Mode, Session, SessionConfig};
+pub use webrobot_interact::{
+    Event, Mode, Session, SessionConfig, SessionError, SessionSnapshot, StepOutcome,
+};
 pub use webrobot_lang::{parse_program, Action, Program, Selector, Statement, Value, ValuePath};
 pub use webrobot_semantics::{
     action_consistent, execute, generalizes, satisfies, trace_consistent, Stepper, Trace,
+};
+pub use webrobot_service::{
+    Request, Response, ServiceConfig, ServiceError, ServiceStats, SessionId, SessionManager,
+    PROTOCOL_VERSION,
 };
 pub use webrobot_synth::{RankedProgram, SynthConfig, SynthResult, Synthesizer};
 

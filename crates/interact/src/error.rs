@@ -1,0 +1,121 @@
+//! Typed session errors.
+//!
+//! Every public entry point of this crate is *total*: invalid input is a
+//! [`SessionError`], never a panic. The error's [`code`](SessionError::code)
+//! doubles as the stable machine-readable identifier used by the
+//! `webrobot_service` wire protocol (see `PROTOCOL.md` at the repo root).
+
+use std::error::Error;
+use std::fmt;
+
+use webrobot_browser::BrowserError;
+
+use crate::session::Mode;
+
+/// Why a session rejected an [`Event`](crate::Event).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionError {
+    /// `Accept { index }` with `index` out of range of the current
+    /// predictions (this used to be a panic).
+    InvalidPrediction {
+        /// The requested prediction index.
+        index: usize,
+        /// How many predictions are currently on offer.
+        available: usize,
+    },
+    /// The session is [`Mode::Done`]: no further event is accepted (calls
+    /// used to be silently executed).
+    SessionClosed,
+    /// The event is not valid in the session's current mode (e.g.
+    /// `AutomateStep` while demonstrating).
+    WrongMode {
+        /// The rejected event, rendered (e.g. `"accept"`).
+        event: &'static str,
+        /// The mode the session was in.
+        mode: Mode,
+    },
+    /// The underlying browser could not replay an action.
+    Browser(BrowserError),
+}
+
+impl SessionError {
+    /// Stable machine-readable error code (the wire protocol's
+    /// `error.code` field).
+    pub fn code(&self) -> &'static str {
+        match self {
+            SessionError::InvalidPrediction { .. } => "invalid_prediction",
+            SessionError::SessionClosed => "session_closed",
+            SessionError::WrongMode { .. } => "wrong_mode",
+            SessionError::Browser(_) => "browser_error",
+        }
+    }
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::InvalidPrediction { index, available } => write!(
+                f,
+                "prediction index {index} is out of range ({available} available)"
+            ),
+            SessionError::SessionClosed => write!(f, "the session has finished"),
+            SessionError::WrongMode { event, mode } => {
+                write!(f, "event '{event}' is not valid in mode {mode:?}")
+            }
+            SessionError::Browser(e) => write!(f, "browser error: {e}"),
+        }
+    }
+}
+
+impl Error for SessionError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SessionError::Browser(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<BrowserError> for SessionError {
+    fn from(e: BrowserError) -> SessionError {
+        SessionError::Browser(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable() {
+        assert_eq!(
+            SessionError::InvalidPrediction {
+                index: 3,
+                available: 1
+            }
+            .code(),
+            "invalid_prediction"
+        );
+        assert_eq!(SessionError::SessionClosed.code(), "session_closed");
+        assert_eq!(
+            SessionError::WrongMode {
+                event: "accept",
+                mode: Mode::Demonstrate
+            }
+            .code(),
+            "wrong_mode"
+        );
+        assert_eq!(
+            SessionError::Browser(BrowserError::NoHistory).code(),
+            "browser_error"
+        );
+    }
+
+    #[test]
+    fn browser_errors_wrap_with_source() {
+        let e = SessionError::from(BrowserError::NoHistory);
+        assert!(matches!(e, SessionError::Browser(_)));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(e.to_string().contains("history"));
+    }
+}

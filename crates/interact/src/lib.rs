@@ -1,7 +1,9 @@
 //! The human-in-the-loop interaction model (paper §6) and simulated users
 //! (for the §7.3 experiments).
 //!
-//! A [`Session`] implements the schematic workflow of paper Fig. 3:
+//! A [`Session`] is a *total, typed state machine* over [`Event`]s —
+//! every invalid input is a [`SessionError`], never a panic — implementing
+//! the schematic workflow of paper Fig. 3:
 //!
 //! 1. **Demonstrate** — the user performs actions; each is executed on the
 //!    live (simulated) browser, recorded with its DOM snapshot, and handed
@@ -14,14 +16,21 @@
 //!    predictions without asking, until the program stops producing actions
 //!    or the user interrupts.
 //!
+//! Sessions are also *suspendable*: [`Session::snapshot`] captures a
+//! compact replayable description and [`Session::restore`] rebuilds an
+//! equivalent live session — the substrate for `webrobot_service`'s
+//! multi-session eviction.
+//!
 //! [`OracleUser`] replays a recorded ground-truth demonstration through a
 //! session, accepting exactly the correct predictions — the driver for the
 //! end-to-end experiment. [`UserModel`] adds per-action latencies and
 //! mistake injection for the simulated user study (a substitution for the
 //! paper's human participants; see `DESIGN.md` §4).
 
+mod error;
 mod session;
 mod user;
 
-pub use session::{Mode, Session, SessionConfig, StepOutcome};
+pub use error::SessionError;
+pub use session::{Event, Mode, Session, SessionConfig, SessionSnapshot, StepOutcome};
 pub use user::{drive_session, LatencyModel, OracleUser, SessionReport, UserModel};

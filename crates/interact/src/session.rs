@@ -1,4 +1,16 @@
 //! Demo/authorize/automate sessions.
+//!
+//! A [`Session`] is a *total, typed state machine*: every input is an
+//! [`Event`] dispatched through [`Session::handle`], every invalid input is
+//! a [`SessionError`] (never a panic), and nothing executes after the
+//! session reaches [`Mode::Done`]. The legacy method surface
+//! ([`Session::demonstrate`], [`Session::authorize`], …) is kept as thin
+//! wrappers over `handle`.
+//!
+//! Sessions can be suspended and resumed: [`Session::snapshot`] captures a
+//! compact, replayable description (no synthesizer worklists, no live DOM)
+//! and [`Session::restore`] rebuilds an equivalent live session from it —
+//! the mechanism behind `webrobot_service`'s eviction of idle sessions.
 
 use std::sync::Arc;
 
@@ -7,6 +19,8 @@ use webrobot_data::Value;
 use webrobot_lang::Action;
 use webrobot_semantics::{satisfies, Trace};
 use webrobot_synth::{SynthConfig, Synthesizer};
+
+use crate::error::SessionError;
 
 /// Session phase (paper §6 "Demo-auth-auto workflow").
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -21,6 +35,72 @@ pub enum Mode {
     Done,
 }
 
+impl Mode {
+    /// Stable lowercase rendering (the wire protocol's `mode` field).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Mode::Demonstrate => "demonstrate",
+            Mode::Authorize => "authorize",
+            Mode::Automate => "automate",
+            Mode::Done => "done",
+        }
+    }
+}
+
+/// One user input to the session state machine.
+///
+/// The event/mode validity table (rows are events, columns the mode the
+/// session is in when the event arrives; `✓` = accepted):
+///
+/// | Event          | Demonstrate | Authorize | Automate | Done |
+/// |----------------|-------------|-----------|----------|------|
+/// | `Demonstrate`  | ✓           | ✓ (keeps demonstrating past the predictions) | `WrongMode` | `SessionClosed` |
+/// | `Accept`       | `WrongMode` | ✓ (index must be in range) | `WrongMode` | `SessionClosed` |
+/// | `RejectAll`    | `WrongMode` | ✓         | `WrongMode` | `SessionClosed` |
+/// | `AutomateStep` | `WrongMode` | `WrongMode` | ✓      | `SessionClosed` |
+/// | `Interrupt`    | ✓ (still discards the cached program) | ✓ | ✓ | `SessionClosed` |
+/// | `Finish`       | ✓           | ✓         | ✓        | `SessionClosed` |
+///
+/// `Interrupt` is the user's emergency stop (paper §2: "if at any point the
+/// user spots anything abnormal, they can interrupt"), so it is accepted in
+/// every open mode. Like `RejectAll`, it *discards* the cached
+/// last-generalizing program: a program the user interrupted must not
+/// resurface through [`Session::current_program`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// The user demonstrates one action (step 1 of Fig. 3).
+    Demonstrate(Action),
+    /// The user accepts prediction `index` (step 4 of Fig. 3).
+    Accept {
+        /// Index into [`Session::predictions`].
+        index: usize,
+    },
+    /// The user rejects all current predictions (back to demonstration).
+    RejectAll,
+    /// Execute the best program's next predicted action without
+    /// confirmation (step 6 of Fig. 3).
+    AutomateStep,
+    /// Emergency stop: abandon predictions and the cached program.
+    Interrupt,
+    /// End the session.
+    Finish,
+}
+
+impl Event {
+    /// Stable lowercase name (the wire protocol's `event.type` field and
+    /// the `WrongMode` error payload).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Event::Demonstrate(_) => "demonstrate",
+            Event::Accept { .. } => "accept",
+            Event::RejectAll => "reject_all",
+            Event::AutomateStep => "automate_step",
+            Event::Interrupt => "interrupt",
+            Event::Finish => "finish",
+        }
+    }
+}
+
 /// Session tuning.
 #[derive(Debug, Clone)]
 pub struct SessionConfig {
@@ -29,7 +109,8 @@ pub struct SessionConfig {
     /// Consecutive accepted predictions before switching to automation
     /// (the paper's "after a couple of rounds, WebRobot takes over").
     pub accepts_before_automation: usize,
-    /// Hard cap on automated actions (runaway protection).
+    /// Hard cap on automated actions (runaway protection). Reaching the
+    /// cap finishes the session.
     pub max_automation_steps: usize,
 }
 
@@ -54,6 +135,58 @@ pub enum StepOutcome {
     NeedDemonstration,
     /// The current program produced no further action (task segment done).
     ProgramFinished,
+    /// The user interrupted; predictions and the cached program are gone.
+    Interrupted,
+    /// The session ended.
+    Finished,
+}
+
+impl StepOutcome {
+    /// Stable lowercase rendering (the wire protocol's `outcome` field).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            StepOutcome::Recorded => "recorded",
+            StepOutcome::Automated(_) => "automated",
+            StepOutcome::NeedDemonstration => "need_demonstration",
+            StepOutcome::ProgramFinished => "program_finished",
+            StepOutcome::Interrupted => "interrupted",
+            StepOutcome::Finished => "finished",
+        }
+    }
+}
+
+/// A compact, replayable description of a [`Session`] — everything needed
+/// to rebuild an equivalent live session, and nothing else (no synthesizer
+/// worklists, no memo tables, no live DOM copy).
+///
+/// Produced by [`Session::snapshot`], consumed by [`Session::restore`].
+/// Restoration replays the executed actions through a fresh browser and
+/// synthesizer; since both are deterministic, the restored session
+/// produces the same predictions and outputs as the original (see the
+/// snapshot round-trip tests and `tests/service.rs`).
+#[derive(Debug, Clone)]
+pub struct SessionSnapshot {
+    site: Arc<Site>,
+    input: Value,
+    cfg: SessionConfig,
+    executed: Vec<Action>,
+    mode: Mode,
+    predictions: Vec<Action>,
+    consecutive_accepts: usize,
+    automated_steps: usize,
+    last_program: Option<webrobot_lang::Program>,
+}
+
+impl SessionSnapshot {
+    /// The actions executed so far (what restoration replays).
+    pub fn executed(&self) -> &[Action] {
+        &self.executed
+    }
+
+    /// The mode the session was in when snapshotted.
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
 }
 
 /// An interactive programming-by-demonstration session over a simulated
@@ -65,7 +198,7 @@ pub enum StepOutcome {
 /// # use std::sync::Arc;
 /// # use webrobot_browser::SiteBuilder;
 /// # use webrobot_dom::parse_html;
-/// # use webrobot_interact::{Mode, Session, SessionConfig};
+/// # use webrobot_interact::{Event, Mode, Session, SessionConfig};
 /// # use webrobot_lang::{Action, Value};
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let mut b = SiteBuilder::new();
@@ -73,8 +206,8 @@ pub enum StepOutcome {
 ///     "<html><a>1</a><a>2</a><a>3</a></html>")?);
 /// let site = Arc::new(b.start_at(home).finish());
 /// let mut session = Session::new(site, Value::Object(vec![]), SessionConfig::default());
-/// session.demonstrate(&Action::ScrapeText("/a[1]".parse()?))?;
-/// session.demonstrate(&Action::ScrapeText("/a[2]".parse()?))?;
+/// session.handle(Event::Demonstrate(Action::ScrapeText("/a[1]".parse()?)))?;
+/// session.handle(Event::Demonstrate(Action::ScrapeText("/a[2]".parse()?)))?;
 /// assert_eq!(session.mode(), Mode::Authorize);
 /// assert!(!session.predictions().is_empty());
 /// # Ok(())
@@ -83,6 +216,8 @@ pub enum StepOutcome {
 #[derive(Debug)]
 pub struct Session {
     cfg: SessionConfig,
+    site: Arc<Site>,
+    input: Value,
     browser: Browser,
     synth: Synthesizer,
     mode: Mode,
@@ -96,11 +231,13 @@ pub struct Session {
 impl Session {
     /// Opens a session on the site's start page.
     pub fn new(site: Arc<Site>, input: Value, cfg: SessionConfig) -> Session {
-        let browser = Browser::new(site, input.clone());
-        let trace = Trace::new(browser.snapshot(), input);
+        let browser = Browser::new(site.clone(), input.clone());
+        let trace = Trace::new(browser.snapshot(), input.clone());
         let synth = Synthesizer::new(cfg.synth.clone(), trace);
         Session {
             cfg,
+            site,
+            input,
             browser,
             synth,
             mode: Mode::Demonstrate,
@@ -115,6 +252,11 @@ impl Session {
     /// Current phase.
     pub fn mode(&self) -> Mode {
         self.mode
+    }
+
+    /// The site this session runs on.
+    pub fn site(&self) -> &Arc<Site> {
+        &self.site
     }
 
     /// The live browser (current page, outputs scraped so far).
@@ -139,8 +281,8 @@ impl Session {
     /// demands one further action), so this falls back to the most recent
     /// generalizing program — but only while it still *satisfies* the
     /// trace (Def. 4.1); a cached program invalidated by a later
-    /// demonstration, or discarded by an explicit rejection, is not
-    /// returned.
+    /// demonstration, or discarded by an explicit rejection or interrupt,
+    /// is not returned.
     pub fn current_program(&self) -> Option<webrobot_lang::Program> {
         self.synth
             .best_program()
@@ -152,8 +294,62 @@ impl Session {
             })
     }
 
+    /// Dispatches one event through the state machine. This is the single
+    /// entry point every legacy wrapper delegates to; the validity table
+    /// lives on [`Event`].
+    ///
+    /// # Errors
+    ///
+    /// - [`SessionError::SessionClosed`] for any event once the session is
+    ///   [`Mode::Done`];
+    /// - [`SessionError::WrongMode`] when the event is not valid in the
+    ///   current mode;
+    /// - [`SessionError::InvalidPrediction`] for an out-of-range accept;
+    /// - [`SessionError::Browser`] when an action fails to replay.
+    pub fn handle(&mut self, event: Event) -> Result<StepOutcome, SessionError> {
+        if self.mode == Mode::Done {
+            return Err(SessionError::SessionClosed);
+        }
+        match event {
+            Event::Demonstrate(ref action) => match self.mode {
+                Mode::Demonstrate | Mode::Authorize => self.do_demonstrate(action),
+                mode => Err(SessionError::WrongMode {
+                    event: event.name(),
+                    mode,
+                }),
+            },
+            Event::Accept { index } => match self.mode {
+                Mode::Authorize => self.do_accept(index),
+                mode => Err(SessionError::WrongMode {
+                    event: event.name(),
+                    mode,
+                }),
+            },
+            Event::RejectAll => match self.mode {
+                Mode::Authorize => Ok(self.do_reject_all()),
+                mode => Err(SessionError::WrongMode {
+                    event: event.name(),
+                    mode,
+                }),
+            },
+            Event::AutomateStep => match self.mode {
+                Mode::Automate => self.do_automate_step(),
+                mode => Err(SessionError::WrongMode {
+                    event: event.name(),
+                    mode,
+                }),
+            },
+            Event::Interrupt => Ok(self.do_interrupt()),
+            Event::Finish => {
+                self.mode = Mode::Done;
+                Ok(StepOutcome::Finished)
+            }
+        }
+    }
+
     /// Rewrites an action's selector to the absolute XPath of the node it
-    /// denotes on the current page (what the front-end records).
+    /// denotes on the current page (what the front-end records). Actions
+    /// without a selector pass through unchanged.
     fn absolutize(&self, action: &Action) -> Result<Action, BrowserError> {
         let Some(path) = action.selector() else {
             return Ok(action.clone());
@@ -171,7 +367,8 @@ impl Session {
             Action::Download(_) => Action::Download(abs),
             Action::SendKeys(_, s) => Action::SendKeys(abs, s),
             Action::EnterData(_, v) => Action::EnterData(abs, v),
-            Action::GoBack | Action::ExtractUrl => unreachable!("no selector"),
+            // Selector-free actions were returned above already.
+            a @ (Action::GoBack | Action::ExtractUrl) => a,
         })
     }
 
@@ -185,14 +382,7 @@ impl Session {
         Ok(absolute)
     }
 
-    /// Step 1 of Fig. 3: the user demonstrates one action. Synthesis runs
-    /// afterwards; if a program generalizes, the session moves to
-    /// [`Mode::Authorize`] with predictions to inspect.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`BrowserError`] when the action cannot be replayed.
-    pub fn demonstrate(&mut self, action: &Action) -> Result<StepOutcome, BrowserError> {
+    fn do_demonstrate(&mut self, action: &Action) -> Result<StepOutcome, SessionError> {
         self.perform_and_record(action)?;
         self.consecutive_accepts = 0;
         self.refresh_predictions();
@@ -212,53 +402,33 @@ impl Session {
         };
     }
 
-    /// Step 4 of Fig. 3: the user accepts prediction `index` (it executes
-    /// and is recorded as if demonstrated) or rejects them all
-    /// (`None` → back to demonstration).
-    ///
-    /// # Errors
-    ///
-    /// Returns [`BrowserError`] when the accepted prediction fails to
-    /// replay.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `index` is out of range of [`Session::predictions`].
-    pub fn authorize(&mut self, index: Option<usize>) -> Result<StepOutcome, BrowserError> {
-        match index {
-            None => {
-                self.predictions.clear();
-                self.consecutive_accepts = 0;
-                self.last_program = None;
-                self.mode = Mode::Demonstrate;
-                Ok(StepOutcome::NeedDemonstration)
-            }
-            Some(i) => {
-                let action = self.predictions[i].clone();
-                self.perform_and_record(&action)?;
-                self.consecutive_accepts += 1;
-                self.refresh_predictions();
-                if self.mode == Mode::Authorize
-                    && self.consecutive_accepts >= self.cfg.accepts_before_automation
-                {
-                    self.mode = Mode::Automate;
-                }
-                Ok(StepOutcome::Recorded)
-            }
+    fn do_accept(&mut self, index: usize) -> Result<StepOutcome, SessionError> {
+        let Some(action) = self.predictions.get(index).cloned() else {
+            return Err(SessionError::InvalidPrediction {
+                index,
+                available: self.predictions.len(),
+            });
+        };
+        self.perform_and_record(&action)?;
+        self.consecutive_accepts += 1;
+        self.refresh_predictions();
+        if self.mode == Mode::Authorize
+            && self.consecutive_accepts >= self.cfg.accepts_before_automation
+        {
+            self.mode = Mode::Automate;
         }
+        Ok(StepOutcome::Recorded)
     }
 
-    /// Step 6 of Fig. 3: one automated step — execute the best program's
-    /// next predicted action without confirmation.
-    ///
-    /// Returns [`StepOutcome::ProgramFinished`] when the program produces
-    /// no further action (e.g. the loop ran off the last item), putting the
-    /// session back into demonstration mode.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`BrowserError`] when the predicted action fails to replay.
-    pub fn automate_step(&mut self) -> Result<StepOutcome, BrowserError> {
+    fn do_reject_all(&mut self) -> StepOutcome {
+        self.predictions.clear();
+        self.consecutive_accepts = 0;
+        self.last_program = None;
+        self.mode = Mode::Demonstrate;
+        StepOutcome::NeedDemonstration
+    }
+
+    fn do_automate_step(&mut self) -> Result<StepOutcome, SessionError> {
         if self.automated_steps >= self.cfg.max_automation_steps {
             self.mode = Mode::Done;
             return Ok(StepOutcome::ProgramFinished);
@@ -278,17 +448,118 @@ impl Session {
         Ok(StepOutcome::Automated(action))
     }
 
-    /// The user interrupts automation (paper §2: "if at any point the user
-    /// spots anything abnormal, they can interrupt").
-    pub fn interrupt(&mut self) {
+    /// Interrupt semantics (pinned by `interrupt_discards_cached_program`):
+    /// an interrupt is a rejection of the *running program*, not just of
+    /// the pending predictions, so the cached last-generalizing program is
+    /// discarded too — it must not resurface via
+    /// [`Session::current_program`].
+    fn do_interrupt(&mut self) -> StepOutcome {
         self.predictions.clear();
         self.consecutive_accepts = 0;
+        self.last_program = None;
         self.mode = Mode::Demonstrate;
+        StepOutcome::Interrupted
     }
 
-    /// Ends the session.
-    pub fn finish(&mut self) {
-        self.mode = Mode::Done;
+    // ───────────────────── legacy wrappers ─────────────────────
+
+    /// Step 1 of Fig. 3: the user demonstrates one action. Thin wrapper
+    /// over [`Session::handle`] with [`Event::Demonstrate`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Session::handle`].
+    pub fn demonstrate(&mut self, action: &Action) -> Result<StepOutcome, SessionError> {
+        self.handle(Event::Demonstrate(action.clone()))
+    }
+
+    /// Step 4 of Fig. 3: the user accepts prediction `index` or rejects
+    /// them all (`None`). Thin wrapper over [`Session::handle`] with
+    /// [`Event::Accept`] / [`Event::RejectAll`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Session::handle`]. An out-of-range index is
+    /// [`SessionError::InvalidPrediction`] (it used to be a panic).
+    pub fn authorize(&mut self, index: Option<usize>) -> Result<StepOutcome, SessionError> {
+        match index {
+            Some(index) => self.handle(Event::Accept { index }),
+            None => self.handle(Event::RejectAll),
+        }
+    }
+
+    /// Step 6 of Fig. 3: one automated step. Thin wrapper over
+    /// [`Session::handle`] with [`Event::AutomateStep`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Session::handle`].
+    pub fn automate_step(&mut self) -> Result<StepOutcome, SessionError> {
+        self.handle(Event::AutomateStep)
+    }
+
+    /// The user interrupts (paper §2). Thin wrapper over
+    /// [`Session::handle`] with [`Event::Interrupt`].
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::SessionClosed`] if the session already finished.
+    pub fn interrupt(&mut self) -> Result<StepOutcome, SessionError> {
+        self.handle(Event::Interrupt)
+    }
+
+    /// Ends the session. Thin wrapper over [`Session::handle`] with
+    /// [`Event::Finish`].
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::SessionClosed`] if the session already finished.
+    pub fn finish(&mut self) -> Result<StepOutcome, SessionError> {
+        self.handle(Event::Finish)
+    }
+
+    // ───────────────────── snapshot / restore ─────────────────────
+
+    /// Captures a compact, replayable snapshot of this session (site
+    /// handle, input, config, executed actions, and the user-visible state:
+    /// mode, predictions, accept/automation counters, cached program).
+    pub fn snapshot(&self) -> SessionSnapshot {
+        SessionSnapshot {
+            site: self.site.clone(),
+            input: self.input.clone(),
+            cfg: self.cfg.clone(),
+            executed: self.executed.clone(),
+            mode: self.mode,
+            predictions: self.predictions.clone(),
+            consecutive_accepts: self.consecutive_accepts,
+            automated_steps: self.automated_steps,
+            last_program: self.last_program.clone(),
+        }
+    }
+
+    /// Rebuilds a live session from a snapshot by replaying the executed
+    /// actions through a fresh browser and synthesizer (one synthesis run
+    /// per action, exactly as the original session ran), then restoring the
+    /// user-visible state. Browser and synthesizer are deterministic, so
+    /// the restored session behaves like the original (modulo synthesis
+    /// deadline truncation under extreme load; see `SynthConfig::timeout`).
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::Browser`] when a recorded action no longer replays
+    /// (only possible for snapshots tampered with by hand).
+    pub fn restore(snap: &SessionSnapshot) -> Result<Session, SessionError> {
+        let mut session = Session::new(snap.site.clone(), snap.input.clone(), snap.cfg.clone());
+        for action in &snap.executed {
+            session.perform_and_record(action)?;
+            session.refresh_predictions();
+        }
+        session.mode = snap.mode;
+        session.predictions = snap.predictions.clone();
+        session.consecutive_accepts = snap.consecutive_accepts;
+        session.automated_steps = snap.automated_steps;
+        session.last_program = snap.last_program.clone();
+        Ok(session)
     }
 }
 
@@ -308,17 +579,21 @@ mod tests {
         Arc::new(b.start_at(home).finish())
     }
 
+    fn session(n: usize) -> Session {
+        Session::new(
+            anchor_site(n),
+            Value::Object(vec![]),
+            SessionConfig::default(),
+        )
+    }
+
     fn scrape(i: usize) -> Action {
         Action::ScrapeText(format!("/a[{i}]").parse().unwrap())
     }
 
     #[test]
     fn demo_auth_auto_workflow() {
-        let mut s = Session::new(
-            anchor_site(6),
-            Value::Object(vec![]),
-            SessionConfig::default(),
-        );
+        let mut s = session(6);
         assert_eq!(s.mode(), Mode::Demonstrate);
         s.demonstrate(&scrape(1)).unwrap();
         assert_eq!(s.mode(), Mode::Demonstrate, "one action cannot generalize");
@@ -346,45 +621,214 @@ mod tests {
 
     #[test]
     fn reject_returns_to_demonstration() {
-        let mut s = Session::new(
-            anchor_site(4),
-            Value::Object(vec![]),
-            SessionConfig::default(),
-        );
+        let mut s = session(4);
         s.demonstrate(&scrape(1)).unwrap();
         s.demonstrate(&scrape(2)).unwrap();
         assert_eq!(s.mode(), Mode::Authorize);
-        s.authorize(None).unwrap();
+        assert_eq!(s.authorize(None), Ok(StepOutcome::NeedDemonstration));
         assert_eq!(s.mode(), Mode::Demonstrate);
         assert!(s.predictions().is_empty());
     }
 
     #[test]
     fn interrupt_stops_automation() {
-        let mut s = Session::new(
-            anchor_site(8),
-            Value::Object(vec![]),
-            SessionConfig::default(),
-        );
+        let mut s = session(8);
         s.demonstrate(&scrape(1)).unwrap();
         s.demonstrate(&scrape(2)).unwrap();
         s.authorize(Some(0)).unwrap();
         s.authorize(Some(0)).unwrap();
         assert_eq!(s.mode(), Mode::Automate);
         s.automate_step().unwrap();
-        s.interrupt();
+        assert_eq!(s.interrupt(), Ok(StepOutcome::Interrupted));
         assert_eq!(s.mode(), Mode::Demonstrate);
         assert_eq!(s.executed().len(), 5);
     }
 
     #[test]
     fn failed_demonstration_is_an_error() {
-        let mut s = Session::new(
-            anchor_site(2),
-            Value::Object(vec![]),
-            SessionConfig::default(),
-        );
-        assert!(s.demonstrate(&scrape(9)).is_err());
+        let mut s = session(2);
+        assert!(matches!(
+            s.demonstrate(&scrape(9)),
+            Err(SessionError::Browser(_))
+        ));
         assert!(s.executed().is_empty());
+    }
+
+    /// Regression (used to panic): accepting an out-of-range prediction is
+    /// a typed error and leaves the session untouched.
+    #[test]
+    fn out_of_range_accept_is_a_typed_error() {
+        let mut s = session(4);
+        s.demonstrate(&scrape(1)).unwrap();
+        s.demonstrate(&scrape(2)).unwrap();
+        assert_eq!(s.mode(), Mode::Authorize);
+        let available = s.predictions().len();
+        let err = s.authorize(Some(available + 5)).unwrap_err();
+        assert_eq!(
+            err,
+            SessionError::InvalidPrediction {
+                index: available + 5,
+                available
+            }
+        );
+        // Nothing executed, session still usable.
+        assert_eq!(s.executed().len(), 2);
+        assert_eq!(s.mode(), Mode::Authorize);
+        s.authorize(Some(0)).unwrap();
+        assert_eq!(s.executed().len(), 3);
+    }
+
+    /// Regression (used to execute silently): no event is accepted after
+    /// the session finished, and nothing touches the browser.
+    #[test]
+    fn events_after_finish_are_rejected() {
+        let mut s = session(4);
+        s.demonstrate(&scrape(1)).unwrap();
+        assert_eq!(s.finish(), Ok(StepOutcome::Finished));
+        assert_eq!(s.mode(), Mode::Done);
+        let executed = s.executed().len();
+        let outputs = s.browser().outputs().len();
+        assert_eq!(s.demonstrate(&scrape(2)), Err(SessionError::SessionClosed));
+        assert_eq!(s.automate_step(), Err(SessionError::SessionClosed));
+        assert_eq!(s.authorize(Some(0)), Err(SessionError::SessionClosed));
+        assert_eq!(s.authorize(None), Err(SessionError::SessionClosed));
+        assert_eq!(s.interrupt(), Err(SessionError::SessionClosed));
+        assert_eq!(s.finish(), Err(SessionError::SessionClosed));
+        assert_eq!(s.executed().len(), executed, "no side effects after Done");
+        assert_eq!(s.browser().outputs().len(), outputs);
+    }
+
+    /// Events outside their mode are `WrongMode`, not executed.
+    #[test]
+    fn wrong_mode_events_are_rejected() {
+        let mut s = session(6);
+        // Demonstrate mode: accept / reject / automate are invalid.
+        for (event, name) in [
+            (Event::Accept { index: 0 }, "accept"),
+            (Event::RejectAll, "reject_all"),
+            (Event::AutomateStep, "automate_step"),
+        ] {
+            assert_eq!(
+                s.handle(event),
+                Err(SessionError::WrongMode {
+                    event: name,
+                    mode: Mode::Demonstrate
+                })
+            );
+        }
+        // Automate mode: demonstrating without interrupting first is invalid.
+        s.demonstrate(&scrape(1)).unwrap();
+        s.demonstrate(&scrape(2)).unwrap();
+        s.authorize(Some(0)).unwrap();
+        s.authorize(Some(0)).unwrap();
+        assert_eq!(s.mode(), Mode::Automate);
+        assert_eq!(
+            s.demonstrate(&scrape(1)),
+            Err(SessionError::WrongMode {
+                event: "demonstrate",
+                mode: Mode::Automate
+            })
+        );
+        assert_eq!(s.executed().len(), 4);
+    }
+
+    /// The user may keep demonstrating past pending predictions (paper §6:
+    /// predictions are suggestions, not obligations).
+    #[test]
+    fn demonstrating_past_predictions_is_allowed() {
+        let mut s = session(6);
+        s.demonstrate(&scrape(1)).unwrap();
+        s.demonstrate(&scrape(2)).unwrap();
+        assert_eq!(s.mode(), Mode::Authorize);
+        s.demonstrate(&scrape(3)).unwrap();
+        assert_eq!(s.executed().len(), 3);
+    }
+
+    /// Pinned semantics: an interrupt discards the cached program — a
+    /// program the user rejected by interrupting must not resurface via
+    /// `current_program`. (It used to survive the interrupt.)
+    #[test]
+    fn interrupt_discards_cached_program() {
+        let mut s = session(4);
+        s.demonstrate(&scrape(1)).unwrap();
+        s.demonstrate(&scrape(2)).unwrap();
+        s.authorize(Some(0)).unwrap();
+        s.authorize(Some(0)).unwrap();
+        // Run automation to the end of the list: the trace is complete, so
+        // nothing generalizes it and `current_program` falls back to the
+        // cached last program.
+        while s.mode() == Mode::Automate {
+            if s.automate_step().unwrap() == StepOutcome::ProgramFinished {
+                break;
+            }
+        }
+        assert!(
+            s.current_program().is_some(),
+            "completed run keeps its program"
+        );
+        s.interrupt().unwrap();
+        assert_eq!(
+            s.current_program(),
+            None,
+            "interrupt must discard the cached program"
+        );
+    }
+
+    /// Snapshot → restore round-trips mid-workflow: the restored session
+    /// produces the same predictions and continues identically.
+    #[test]
+    fn snapshot_restore_round_trips() {
+        let mut original = session(8);
+        original.demonstrate(&scrape(1)).unwrap();
+        original.demonstrate(&scrape(2)).unwrap();
+        original.authorize(Some(0)).unwrap();
+        let snap = original.snapshot();
+        assert_eq!(snap.executed().len(), 3);
+        assert_eq!(snap.mode(), Mode::Authorize);
+
+        let mut restored = Session::restore(&snap).unwrap();
+        assert_eq!(restored.mode(), original.mode());
+        assert_eq!(restored.executed(), original.executed());
+        assert_eq!(restored.predictions(), original.predictions());
+        assert_eq!(
+            restored.browser().outputs(),
+            original.browser().outputs(),
+            "scraped outputs replay identically"
+        );
+
+        // Both sessions continue identically to the end of the task.
+        loop {
+            let (a, b) = (
+                original.handle(Event::Accept { index: 0 }),
+                restored.handle(Event::Accept { index: 0 }),
+            );
+            assert_eq!(a, b);
+            assert_eq!(original.mode(), restored.mode());
+            assert_eq!(original.predictions(), restored.predictions());
+            if original.mode() != Mode::Authorize {
+                break;
+            }
+        }
+        while original.mode() == Mode::Automate {
+            assert_eq!(original.automate_step(), restored.automate_step());
+        }
+        assert_eq!(original.browser().outputs(), restored.browser().outputs());
+        assert_eq!(original.executed(), restored.executed());
+    }
+
+    /// A snapshot taken right after a rejection restores with cleared
+    /// predictions (the replay alone would re-derive them).
+    #[test]
+    fn snapshot_preserves_rejection_state() {
+        let mut s = session(5);
+        s.demonstrate(&scrape(1)).unwrap();
+        s.demonstrate(&scrape(2)).unwrap();
+        s.authorize(None).unwrap();
+        let restored = Session::restore(&s.snapshot()).unwrap();
+        assert_eq!(restored.mode(), Mode::Demonstrate);
+        assert!(restored.predictions().is_empty());
+        // Rejection clears the cached fallback, not the engine's live
+        // results: both sessions agree either way.
+        assert_eq!(restored.current_program(), s.current_program());
     }
 }

@@ -207,7 +207,7 @@ fn drive_once(
             Mode::Demonstrate => {
                 let Some(action) = oracle.next_action().cloned() else {
                     report.solved = true;
-                    session.finish();
+                    session.finish().ok();
                     return Ok(report);
                 };
                 report.human_time += user.latency.demonstrate(rng, &action);
@@ -249,7 +249,7 @@ fn drive_once(
                     .first()
                     .is_some_and(|p| oracle.approves(p, session.browser().dom()));
                 if !next_ok {
-                    session.interrupt();
+                    session.interrupt().ok();
                     report.interruptions += 1;
                     continue;
                 }

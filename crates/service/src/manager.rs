@@ -1,0 +1,744 @@
+//! The multi-tenant session manager: many concurrent [`Session`]s keyed by
+//! generated [`SessionId`], with LRU/idle eviction backed by
+//! [`SessionSnapshot`]s and aggregate [`ServiceStats`].
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::str::FromStr;
+use std::sync::Arc;
+use std::time::Duration;
+
+use webrobot_browser::{Output, Site};
+use webrobot_data::Value;
+use webrobot_interact::{
+    Event, Mode, Session, SessionConfig, SessionError, SessionSnapshot, StepOutcome,
+};
+use webrobot_lang::Action;
+
+use crate::protocol::{Request, Response};
+
+/// Opaque identifier of a managed session. Rendered as `s-<n>` on the
+/// wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SessionId(u64);
+
+impl fmt::Display for SessionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s-{}", self.0)
+    }
+}
+
+impl FromStr for SessionId {
+    type Err = ();
+
+    fn from_str(s: &str) -> Result<SessionId, ()> {
+        let id = s
+            .strip_prefix("s-")
+            .and_then(|n| n.parse().ok())
+            .map(SessionId)
+            .ok_or(())?;
+        // Only the canonical spelling is an id: "s-007"/"s-+7" must not
+        // alias "s-7", or responses echoing the client's raw string would
+        // stop correlating with the id the session was issued under.
+        if id.to_string() == s {
+            Ok(id)
+        } else {
+            Err(())
+        }
+    }
+}
+
+/// Why the service rejected an operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// `create` referenced a site name that was never registered.
+    UnknownSite(String),
+    /// The request referenced a session this manager does not know.
+    UnknownSession(String),
+    /// `create` would exceed [`ServiceConfig::max_sessions`].
+    TooManySessions {
+        /// The configured cap.
+        max: usize,
+    },
+    /// The session itself rejected the event.
+    Session(SessionError),
+}
+
+impl ServiceError {
+    /// Stable machine-readable error code (the wire protocol's
+    /// `error.code` field).
+    pub fn code(&self) -> &'static str {
+        match self {
+            ServiceError::UnknownSite(_) => "unknown_site",
+            ServiceError::UnknownSession(_) => "unknown_session",
+            ServiceError::TooManySessions { .. } => "too_many_sessions",
+            ServiceError::Session(e) => e.code(),
+        }
+    }
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::UnknownSite(name) => write!(f, "no site registered as '{name}'"),
+            ServiceError::UnknownSession(id) => write!(f, "no session '{id}'"),
+            ServiceError::TooManySessions { max } => {
+                write!(f, "session cap reached ({max} sessions)")
+            }
+            ServiceError::Session(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Session(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SessionError> for ServiceError {
+    fn from(e: SessionError) -> ServiceError {
+        ServiceError::Session(e)
+    }
+}
+
+/// Service tuning.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Per-session configuration template. A `create` request's
+    /// `deadline_ms` overrides `session.synth.timeout` for that session
+    /// only (the per-session synthesis deadline).
+    pub session: SessionConfig,
+    /// How many sessions may be *live* (holding a browser + synthesizer)
+    /// at once. The least-recently-used live session beyond this cap is
+    /// evicted to a compact snapshot and transparently restored on its
+    /// next event.
+    pub max_live_sessions: usize,
+    /// Hard cap on tracked sessions, live + evicted. Further `create`
+    /// requests fail with `too_many_sessions`.
+    pub max_sessions: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            session: SessionConfig::default(),
+            max_live_sessions: 64,
+            max_sessions: 4096,
+        }
+    }
+}
+
+/// Aggregate service statistics (the wire protocol's `stats` reply).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Sessions ever created.
+    pub sessions_created: u64,
+    /// Sessions closed (finished and forgotten).
+    pub sessions_closed: u64,
+    /// Sessions currently live (browser + synthesizer in memory).
+    pub live_sessions: u64,
+    /// Sessions currently evicted to snapshots.
+    pub evicted_sessions: u64,
+    /// Events dispatched successfully.
+    pub events_ok: u64,
+    /// Events rejected with a typed error.
+    pub events_rejected: u64,
+    /// Live→snapshot evictions performed.
+    pub evictions: u64,
+    /// Snapshot→live restorations performed.
+    pub restores: u64,
+}
+
+/// What one dispatched event did, plus the session state a front-end
+/// needs to render its next screen.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventReply {
+    /// What the step did.
+    pub outcome: StepOutcome,
+    /// The session's mode after the event.
+    pub mode: Mode,
+    /// Current predictions, best first.
+    pub predictions: Vec<Action>,
+    /// How many outputs the session has scraped so far.
+    pub outputs: usize,
+}
+
+/// A site a front-end can open sessions on, with its default data source.
+#[derive(Debug, Clone)]
+struct RegisteredSite {
+    site: Arc<Site>,
+    input: Value,
+}
+
+/// One tracked session: live (boxed — a live session is orders of
+/// magnitude larger than a snapshot), or evicted to a compact snapshot.
+#[derive(Debug)]
+enum Slot {
+    Live {
+        session: Box<Session>,
+        last_used: u64,
+    },
+    Evicted {
+        snapshot: Box<SessionSnapshot>,
+    },
+}
+
+/// Owns many concurrent [`Session`]s behind the v1 wire protocol.
+///
+/// The manager is the string-in/string-out boundary a browser-extension
+/// front-end (or `examples/service_loop.rs`) drives: feed it request JSON
+/// via [`SessionManager::handle_json`], get response JSON back. Every
+/// request is total — malformed input, unknown sessions, out-of-range
+/// accepts and events after `finish` all come back as typed error
+/// responses, never a panic.
+///
+/// Sessions beyond [`ServiceConfig::max_live_sessions`] are evicted
+/// least-recently-used to [`SessionSnapshot`]s and restored on demand, so
+/// a manager can track far more sessions than it keeps hot.
+///
+/// # Example
+///
+/// ```
+/// # use std::sync::Arc;
+/// # use webrobot_browser::SiteBuilder;
+/// # use webrobot_dom::parse_html;
+/// # use webrobot_service::{SessionManager, ServiceConfig};
+/// # use webrobot_lang::Value;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = SiteBuilder::new();
+/// let home = b.add_page("https://x.test/", parse_html(
+///     "<html><a>1</a><a>2</a><a>3</a></html>")?);
+/// let mut manager = SessionManager::new(ServiceConfig::default());
+/// manager.register_site("anchors", Arc::new(b.start_at(home).finish()),
+///     Value::Object(vec![]));
+///
+/// let reply = manager.handle_json(r#"{"v": 1, "kind": "create", "site": "anchors"}"#);
+/// assert!(reply.contains(r#""status":"ok""#), "{reply}");
+/// let reply = manager.handle_json(
+///     r#"{"v": 1, "kind": "event", "session": "s-1", "event":
+///        {"type": "demonstrate", "action": {"op": "scrape_text", "selector": "/a[1]"}}}"#,
+/// );
+/// assert!(reply.contains(r#""outcome":"recorded""#), "{reply}");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct SessionManager {
+    cfg: ServiceConfig,
+    sites: BTreeMap<String, RegisteredSite>,
+    sessions: BTreeMap<u64, Slot>,
+    /// Count of `Slot::Live` entries, maintained at every live↔evicted
+    /// transition so the per-event capacity check is O(1) instead of a
+    /// full map scan.
+    live: usize,
+    next_id: u64,
+    clock: u64,
+    stats: ServiceStats,
+}
+
+impl SessionManager {
+    /// Creates an empty manager.
+    pub fn new(cfg: ServiceConfig) -> SessionManager {
+        SessionManager {
+            cfg,
+            sites: BTreeMap::new(),
+            sessions: BTreeMap::new(),
+            live: 0,
+            next_id: 1,
+            clock: 0,
+            stats: ServiceStats::default(),
+        }
+    }
+
+    /// Registers a site under `name` with its default data source, so
+    /// `create` requests can reference it by name over the wire.
+    /// Re-registering a name replaces the previous entry (existing
+    /// sessions keep their own `Arc<Site>` handle).
+    pub fn register_site(&mut self, name: impl Into<String>, site: Arc<Site>, input: Value) {
+        self.sites
+            .insert(name.into(), RegisteredSite { site, input });
+    }
+
+    /// The names `create` currently accepts.
+    pub fn site_names(&self) -> impl Iterator<Item = &str> {
+        self.sites.keys().map(String::as_str)
+    }
+
+    /// Opens a session on a registered site.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownSite`] for an unregistered name,
+    /// [`ServiceError::TooManySessions`] at the session cap.
+    pub fn create(
+        &mut self,
+        site: &str,
+        input: Option<Value>,
+        deadline: Option<Duration>,
+    ) -> Result<SessionId, ServiceError> {
+        if self.sessions.len() >= self.cfg.max_sessions {
+            return Err(ServiceError::TooManySessions {
+                max: self.cfg.max_sessions,
+            });
+        }
+        let registered = self
+            .sites
+            .get(site)
+            .ok_or_else(|| ServiceError::UnknownSite(site.to_string()))?;
+        let mut session_cfg = self.cfg.session.clone();
+        if let Some(deadline) = deadline {
+            session_cfg.synth.timeout = deadline;
+        }
+        let session = Session::new(
+            registered.site.clone(),
+            input.unwrap_or_else(|| registered.input.clone()),
+            session_cfg,
+        );
+        let id = SessionId(self.next_id);
+        self.next_id += 1;
+        self.clock += 1;
+        self.sessions.insert(
+            id.0,
+            Slot::Live {
+                session: Box::new(session),
+                last_used: self.clock,
+            },
+        );
+        self.live += 1;
+        self.stats.sessions_created += 1;
+        self.enforce_live_capacity(Some(id.0));
+        Ok(id)
+    }
+
+    /// Dispatches one event to a session, transparently restoring it from
+    /// its snapshot if it was evicted.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownSession`] for an untracked id; otherwise
+    /// whatever the session's own state machine rejects (wrapped
+    /// [`SessionError`]).
+    pub fn dispatch(&mut self, id: SessionId, event: Event) -> Result<EventReply, ServiceError> {
+        self.ensure_live(id)?;
+        // Enforce the live cap up front so a restore that displaced the
+        // cap holds even when the event itself is rejected below.
+        self.enforce_live_capacity(Some(id.0));
+        let Some(Slot::Live { session, .. }) = self.sessions.get_mut(&id.0) else {
+            return Err(ServiceError::UnknownSession(id.to_string()));
+        };
+        let result = session.handle(event);
+        let reply = match result {
+            Ok(outcome) => EventReply {
+                outcome,
+                mode: session.mode(),
+                predictions: session.predictions().to_vec(),
+                outputs: session.browser().outputs().len(),
+            },
+            Err(e) => {
+                self.stats.events_rejected += 1;
+                return Err(ServiceError::Session(e));
+            }
+        };
+        self.stats.events_ok += 1;
+        Ok(reply)
+    }
+
+    /// Everything a session has scraped so far (restores it if evicted).
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownSession`] for an untracked id.
+    pub fn outputs(&mut self, id: SessionId) -> Result<Vec<Output>, ServiceError> {
+        self.ensure_live(id)?;
+        self.enforce_live_capacity(Some(id.0));
+        match self.sessions.get(&id.0) {
+            Some(Slot::Live { session, .. }) => Ok(session.browser().outputs().to_vec()),
+            _ => Err(ServiceError::UnknownSession(id.to_string())),
+        }
+    }
+
+    /// Finishes and forgets a session (live or evicted).
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownSession`] for an untracked id.
+    pub fn close(&mut self, id: SessionId) -> Result<(), ServiceError> {
+        match self.sessions.remove(&id.0) {
+            Some(mut slot) => {
+                if let Slot::Live { session, .. } = &mut slot {
+                    session.finish().ok(); // idempotent best effort
+                    self.live -= 1;
+                }
+                self.stats.sessions_closed += 1;
+                Ok(())
+            }
+            None => Err(ServiceError::UnknownSession(id.to_string())),
+        }
+    }
+
+    /// Evicts one session to its snapshot, releasing its browser and
+    /// synthesizer. Returns `false` when the id is unknown or the session
+    /// is already evicted. The session transparently restores on its next
+    /// event.
+    pub fn evict(&mut self, id: SessionId) -> bool {
+        match self.sessions.get_mut(&id.0) {
+            Some(slot) => match slot {
+                Slot::Live { session, .. } => {
+                    let snapshot = Box::new(session.snapshot());
+                    *slot = Slot::Evicted { snapshot };
+                    self.live -= 1;
+                    self.stats.evictions += 1;
+                    true
+                }
+                Slot::Evicted { .. } => false,
+            },
+            None => false,
+        }
+    }
+
+    /// Evicts every live session not used within the last `max_idle`
+    /// manager operations (the logical idle horizon; the manager's clock
+    /// ticks once per create/dispatch/outputs). Returns how many sessions
+    /// were evicted.
+    pub fn evict_idle(&mut self, max_idle: u64) -> usize {
+        let horizon = self.clock.saturating_sub(max_idle);
+        let idle: Vec<u64> = self
+            .sessions
+            .iter()
+            .filter_map(|(&id, slot)| match slot {
+                Slot::Live { last_used, .. } if *last_used < horizon => Some(id),
+                _ => None,
+            })
+            .collect();
+        let count = idle.len();
+        for id in idle {
+            self.evict(SessionId(id));
+        }
+        count
+    }
+
+    /// Current aggregate statistics.
+    pub fn stats(&self) -> ServiceStats {
+        let mut stats = self.stats.clone();
+        stats.live_sessions = self.live as u64;
+        stats.evicted_sessions = (self.sessions.len() - self.live) as u64;
+        stats
+    }
+
+    /// How many sessions are currently live.
+    pub fn live_count(&self) -> usize {
+        self.live
+    }
+
+    /// How many sessions the manager tracks (live + evicted).
+    pub fn session_count(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Whether `id` is currently evicted to a snapshot.
+    pub fn is_evicted(&self, id: SessionId) -> bool {
+        matches!(self.sessions.get(&id.0), Some(Slot::Evicted { .. }))
+    }
+
+    /// Handles one typed request. Never panics: every failure is a
+    /// [`Response::Error`].
+    pub fn handle(&mut self, request: Request) -> Response {
+        match request {
+            Request::Create {
+                site,
+                input,
+                deadline_ms,
+            } => match self.create(&site, input, deadline_ms.map(Duration::from_millis)) {
+                Ok(id) => Response::Created {
+                    session: id.to_string(),
+                    mode: Mode::Demonstrate,
+                },
+                Err(e) => error_response(&e),
+            },
+            Request::Event { session, event } => match self.parse_id(&session) {
+                Ok(id) => match self.dispatch(id, event) {
+                    Ok(reply) => Response::Event {
+                        session,
+                        outcome: reply.outcome,
+                        mode: reply.mode,
+                        predictions: reply.predictions,
+                        outputs: reply.outputs,
+                    },
+                    Err(e) => error_response(&e),
+                },
+                Err(e) => error_response(&e),
+            },
+            Request::Outputs { session } => {
+                match self.parse_id(&session).and_then(|id| self.outputs(id)) {
+                    Ok(outputs) => Response::Outputs { session, outputs },
+                    Err(e) => error_response(&e),
+                }
+            }
+            Request::Stats => Response::Stats(self.stats()),
+            Request::Close { session } => {
+                match self.parse_id(&session).and_then(|id| self.close(id)) {
+                    Ok(()) => Response::Closed { session },
+                    Err(e) => error_response(&e),
+                }
+            }
+        }
+    }
+
+    /// The string-in/string-out service boundary: decodes a request,
+    /// handles it, encodes the response. Total — malformed input comes
+    /// back as an error response, never a panic.
+    pub fn handle_json(&mut self, request: &str) -> String {
+        match Request::from_json(request) {
+            Ok(request) => self.handle(request),
+            Err(e) => Response::from(e),
+        }
+        .to_json()
+    }
+
+    // ───────────────────── internals ─────────────────────
+
+    fn parse_id(&self, raw: &str) -> Result<SessionId, ServiceError> {
+        raw.parse()
+            .map_err(|()| ServiceError::UnknownSession(raw.to_string()))
+    }
+
+    /// Restores `id` from its snapshot if evicted, and stamps its LRU
+    /// clock.
+    fn ensure_live(&mut self, id: SessionId) -> Result<(), ServiceError> {
+        self.clock += 1;
+        let clock = self.clock;
+        let slot = self
+            .sessions
+            .get_mut(&id.0)
+            .ok_or_else(|| ServiceError::UnknownSession(id.to_string()))?;
+        match slot {
+            Slot::Live { last_used, .. } => {
+                *last_used = clock;
+                Ok(())
+            }
+            Slot::Evicted { snapshot } => {
+                let session = Session::restore(snapshot).map_err(ServiceError::Session)?;
+                *slot = Slot::Live {
+                    session: Box::new(session),
+                    last_used: clock,
+                };
+                self.live += 1;
+                self.stats.restores += 1;
+                Ok(())
+            }
+        }
+    }
+
+    /// Evicts least-recently-used live sessions (never `keep`) until the
+    /// live count fits [`ServiceConfig::max_live_sessions`].
+    fn enforce_live_capacity(&mut self, keep: Option<u64>) {
+        while self.live_count() > self.cfg.max_live_sessions.max(1) {
+            let lru = self
+                .sessions
+                .iter()
+                .filter_map(|(&id, slot)| match slot {
+                    Slot::Live { last_used, .. } if Some(id) != keep => Some((*last_used, id)),
+                    _ => None,
+                })
+                .min();
+            match lru {
+                Some((_, id)) => {
+                    self.evict(SessionId(id));
+                }
+                None => break, // only `keep` is live
+            }
+        }
+    }
+}
+
+fn error_response(e: &ServiceError) -> Response {
+    Response::Error {
+        code: e.code().to_string(),
+        message: e.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webrobot_browser::SiteBuilder;
+    use webrobot_dom::parse_html;
+
+    fn anchor_site(n: usize) -> Arc<Site> {
+        let body: String = (1..=n).map(|i| format!("<a>item {i}</a>")).collect();
+        let mut b = SiteBuilder::new();
+        let home = b.add_page(
+            "https://anchors.test/",
+            parse_html(&format!("<html>{body}</html>")).unwrap(),
+        );
+        Arc::new(b.start_at(home).finish())
+    }
+
+    fn manager(cfg: ServiceConfig) -> SessionManager {
+        let mut m = SessionManager::new(cfg);
+        m.register_site("anchors", anchor_site(6), Value::Object(vec![]));
+        m
+    }
+
+    fn scrape(i: usize) -> Event {
+        Event::Demonstrate(Action::ScrapeText(format!("/a[{i}]").parse().unwrap()))
+    }
+
+    #[test]
+    fn session_ids_render_and_parse() {
+        let id: SessionId = "s-42".parse().unwrap();
+        assert_eq!(id.to_string(), "s-42");
+        assert!("42".parse::<SessionId>().is_err());
+        assert!("s-".parse::<SessionId>().is_err());
+        assert!("s-x".parse::<SessionId>().is_err());
+        // Non-canonical spellings must not alias canonical ids.
+        assert!("s-007".parse::<SessionId>().is_err());
+        assert!("s-+7".parse::<SessionId>().is_err());
+        assert!("s- 7".parse::<SessionId>().is_err());
+    }
+
+    #[test]
+    fn full_workflow_through_the_typed_api() {
+        let mut m = manager(ServiceConfig::default());
+        let id = m.create("anchors", None, None).unwrap();
+        m.dispatch(id, scrape(1)).unwrap();
+        let reply = m.dispatch(id, scrape(2)).unwrap();
+        assert_eq!(reply.mode, Mode::Authorize);
+        assert!(!reply.predictions.is_empty());
+        m.dispatch(id, Event::Accept { index: 0 }).unwrap();
+        let reply = m.dispatch(id, Event::Accept { index: 0 }).unwrap();
+        assert_eq!(reply.mode, Mode::Automate);
+        let mut automated = 0;
+        loop {
+            let reply = m.dispatch(id, Event::AutomateStep).unwrap();
+            match reply.outcome {
+                StepOutcome::Automated(_) => automated += 1,
+                _ => break,
+            }
+            if reply.mode != Mode::Automate {
+                break; // the loop ran off the last item
+            }
+        }
+        assert_eq!(automated, 2);
+        assert_eq!(m.outputs(id).unwrap().len(), 6);
+        m.close(id).unwrap();
+        assert_eq!(
+            m.dispatch(id, scrape(1)),
+            Err(ServiceError::UnknownSession(id.to_string()))
+        );
+    }
+
+    #[test]
+    fn unknown_site_and_session_are_typed_errors() {
+        let mut m = manager(ServiceConfig::default());
+        assert_eq!(
+            m.create("nope", None, None),
+            Err(ServiceError::UnknownSite("nope".to_string()))
+        );
+        assert_eq!(
+            m.dispatch(SessionId(99), Event::Finish),
+            Err(ServiceError::UnknownSession("s-99".to_string()))
+        );
+    }
+
+    #[test]
+    fn session_cap_is_enforced() {
+        let mut m = manager(ServiceConfig {
+            max_sessions: 2,
+            ..ServiceConfig::default()
+        });
+        m.create("anchors", None, None).unwrap();
+        m.create("anchors", None, None).unwrap();
+        assert_eq!(
+            m.create("anchors", None, None),
+            Err(ServiceError::TooManySessions { max: 2 })
+        );
+        // Closing frees a slot.
+        m.close(SessionId(1)).unwrap();
+        m.create("anchors", None, None).unwrap();
+    }
+
+    #[test]
+    fn lru_eviction_and_transparent_restore() {
+        let mut m = manager(ServiceConfig {
+            max_live_sessions: 1,
+            ..ServiceConfig::default()
+        });
+        let a = m.create("anchors", None, None).unwrap();
+        m.dispatch(a, scrape(1)).unwrap();
+        let b = m.create("anchors", None, None).unwrap();
+        // Creating (and touching) b evicted a.
+        assert!(m.is_evicted(a));
+        assert!(!m.is_evicted(b));
+        assert_eq!(m.live_count(), 1);
+        // Touching a restores it and evicts b.
+        let reply = m.dispatch(a, scrape(2)).unwrap();
+        assert_eq!(reply.mode, Mode::Authorize, "restored session continues");
+        assert!(m.is_evicted(b));
+        let stats = m.stats();
+        assert!(stats.evictions >= 2);
+        assert_eq!(stats.restores, 1);
+        assert_eq!(stats.live_sessions, 1);
+        assert_eq!(stats.evicted_sessions, 1);
+    }
+
+    #[test]
+    fn idle_eviction_frees_stale_sessions() {
+        let mut m = manager(ServiceConfig::default());
+        let a = m.create("anchors", None, None).unwrap();
+        let b = m.create("anchors", None, None).unwrap();
+        m.dispatch(a, scrape(1)).unwrap();
+        for _ in 0..10 {
+            m.dispatch(a, Event::Interrupt).unwrap();
+        }
+        assert_eq!(m.evict_idle(5), 1, "only the stale session is evicted");
+        assert!(m.is_evicted(b));
+        assert!(!m.is_evicted(a));
+    }
+
+    #[test]
+    fn per_session_deadline_overrides_the_template() {
+        let mut m = manager(ServiceConfig::default());
+        let id = m
+            .create("anchors", None, Some(Duration::from_millis(250)))
+            .unwrap();
+        // The deadline is applied to this session only; the template is
+        // untouched (observable: the default-config session still works).
+        let other = m.create("anchors", None, None).unwrap();
+        m.dispatch(id, scrape(1)).unwrap();
+        m.dispatch(other, scrape(1)).unwrap();
+    }
+
+    #[test]
+    fn rejected_events_are_counted_not_fatal() {
+        let mut m = manager(ServiceConfig::default());
+        let id = m.create("anchors", None, None).unwrap();
+        assert!(matches!(
+            m.dispatch(id, Event::AutomateStep),
+            Err(ServiceError::Session(SessionError::WrongMode { .. }))
+        ));
+        m.dispatch(id, scrape(1)).unwrap();
+        let stats = m.stats();
+        assert_eq!(stats.events_rejected, 1);
+        assert_eq!(stats.events_ok, 1);
+    }
+
+    #[test]
+    fn handle_json_is_total_on_garbage() {
+        let mut m = manager(ServiceConfig::default());
+        for raw in [
+            "",
+            "][",
+            r#"{"v": 9, "kind": "stats"}"#,
+            r#"{"v": 1, "kind": "event", "session": "bogus", "event": {"type": "finish"}}"#,
+            r#"{"v": 1, "kind": "close", "session": "s-77"}"#,
+        ] {
+            let reply = m.handle_json(raw);
+            assert!(reply.contains(r#""status":"error""#), "{raw} → {reply}");
+        }
+    }
+}

@@ -1,0 +1,627 @@
+//! The versioned wire protocol (v1): string-in/string-out request and
+//! response types over the paper's own JSON subset.
+//!
+//! Everything on the wire is expressible in `webrobot_data`'s data-source
+//! grammar — objects, arrays, strings and integers; no booleans, floats or
+//! `null` — so the protocol needs no serialization dependency beyond
+//! [`webrobot_data::parse_json`] / [`Value::to_json`]. Status is the
+//! string `"ok"` / `"error"`, optional fields are simply absent.
+//!
+//! The complete request/response shapes and error-code table are
+//! documented in `PROTOCOL.md` at the repository root; the shapes are
+//! exercised end-to-end by `examples/service_loop.rs` and
+//! `tests/service.rs`.
+
+use std::error::Error;
+use std::fmt;
+
+use webrobot_browser::Output;
+use webrobot_data::{parse_json, PathSeg, Value, ValuePath};
+use webrobot_interact::{Event, Mode, StepOutcome};
+use webrobot_lang::Action;
+
+use crate::manager::ServiceStats;
+
+/// The protocol version this build speaks. Requests must carry
+/// `{"v": 1}`; anything else is rejected with `unsupported_version`.
+pub const PROTOCOL_VERSION: i64 = 1;
+
+/// A malformed or unsupported request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtocolError {
+    code: &'static str,
+    message: String,
+}
+
+impl ProtocolError {
+    fn bad(message: impl Into<String>) -> ProtocolError {
+        ProtocolError {
+            code: "bad_request",
+            message: message.into(),
+        }
+    }
+
+    fn version(message: impl Into<String>) -> ProtocolError {
+        ProtocolError {
+            code: "unsupported_version",
+            message: message.into(),
+        }
+    }
+
+    /// Stable machine-readable error code (`bad_request` or
+    /// `unsupported_version`).
+    pub fn code(&self) -> &'static str {
+        self.code
+    }
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.code, self.message)
+    }
+}
+
+impl Error for ProtocolError {}
+
+/// A decoded v1 request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Open a session on a registered site.
+    Create {
+        /// Name the site was registered under.
+        site: String,
+        /// Data source override (defaults to the site's registered input).
+        input: Option<Value>,
+        /// Per-session synthesis deadline override, in milliseconds.
+        deadline_ms: Option<u64>,
+    },
+    /// Dispatch one session event.
+    Event {
+        /// The session id (`"s-<n>"`).
+        session: String,
+        /// The event to dispatch.
+        event: Event,
+    },
+    /// Fetch everything a session has scraped so far.
+    Outputs {
+        /// The session id.
+        session: String,
+    },
+    /// Fetch aggregate service statistics.
+    Stats,
+    /// Finish and forget a session.
+    Close {
+        /// The session id.
+        session: String,
+    },
+}
+
+impl Request {
+    /// Decodes a v1 request from its JSON wire form.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError`] with code `bad_request` on malformed input,
+    /// `unsupported_version` when `v` is not [`PROTOCOL_VERSION`].
+    pub fn from_json(input: &str) -> Result<Request, ProtocolError> {
+        let value =
+            parse_json(input).map_err(|e| ProtocolError::bad(format!("invalid json: {e}")))?;
+        let version = value
+            .field("v")
+            .and_then(Value::as_int)
+            .ok_or_else(|| ProtocolError::version("missing integer field 'v'"))?;
+        if version != PROTOCOL_VERSION {
+            return Err(ProtocolError::version(format!(
+                "protocol version {version} is not supported (this build speaks v{PROTOCOL_VERSION})"
+            )));
+        }
+        let kind = require_str(&value, "kind")?;
+        match kind {
+            "create" => Ok(Request::Create {
+                site: require_str(&value, "site")?.to_string(),
+                input: value.field("input").cloned(),
+                deadline_ms: match value.field("deadline_ms") {
+                    None => None,
+                    Some(v) => Some(v.as_int().and_then(|n| u64::try_from(n).ok()).ok_or_else(
+                        || ProtocolError::bad("'deadline_ms' must be a non-negative integer"),
+                    )?),
+                },
+            }),
+            "event" => Ok(Request::Event {
+                session: require_str(&value, "session")?.to_string(),
+                event: event_from_value(
+                    value
+                        .field("event")
+                        .ok_or_else(|| ProtocolError::bad("missing field 'event'"))?,
+                )?,
+            }),
+            "outputs" => Ok(Request::Outputs {
+                session: require_str(&value, "session")?.to_string(),
+            }),
+            "stats" => Ok(Request::Stats),
+            "close" => Ok(Request::Close {
+                session: require_str(&value, "session")?.to_string(),
+            }),
+            other => Err(ProtocolError::bad(format!(
+                "unknown request kind '{other}'"
+            ))),
+        }
+    }
+
+    /// Encodes the request into its JSON wire form (what a front-end
+    /// sends).
+    pub fn to_json(&self) -> String {
+        let mut fields = vec![("v".to_string(), Value::Int(PROTOCOL_VERSION))];
+        match self {
+            Request::Create {
+                site,
+                input,
+                deadline_ms,
+            } => {
+                fields.push(("kind".to_string(), Value::str("create")));
+                fields.push(("site".to_string(), Value::str(site.clone())));
+                if let Some(input) = input {
+                    fields.push(("input".to_string(), input.clone()));
+                }
+                if let Some(ms) = deadline_ms {
+                    fields.push(("deadline_ms".to_string(), Value::Int(*ms as i64)));
+                }
+            }
+            Request::Event { session, event } => {
+                fields.push(("kind".to_string(), Value::str("event")));
+                fields.push(("session".to_string(), Value::str(session.clone())));
+                fields.push(("event".to_string(), event_to_value(event)));
+            }
+            Request::Outputs { session } => {
+                fields.push(("kind".to_string(), Value::str("outputs")));
+                fields.push(("session".to_string(), Value::str(session.clone())));
+            }
+            Request::Stats => fields.push(("kind".to_string(), Value::str("stats"))),
+            Request::Close { session } => {
+                fields.push(("kind".to_string(), Value::str("close")));
+                fields.push(("session".to_string(), Value::str(session.clone())));
+            }
+        }
+        Value::Object(fields).to_json()
+    }
+}
+
+/// A v1 response, produced by
+/// [`SessionManager::handle`](crate::SessionManager::handle).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// A session was created.
+    Created {
+        /// The new session's id.
+        session: String,
+        /// Its initial mode (always `demonstrate`).
+        mode: Mode,
+    },
+    /// An event was dispatched.
+    Event {
+        /// The session id.
+        session: String,
+        /// What the step did.
+        outcome: StepOutcome,
+        /// The session's mode after the event.
+        mode: Mode,
+        /// Current predictions, best first.
+        predictions: Vec<Action>,
+        /// How many outputs the session has scraped so far.
+        outputs: usize,
+    },
+    /// The session's scraped outputs.
+    Outputs {
+        /// The session id.
+        session: String,
+        /// Everything scraped so far, in order.
+        outputs: Vec<Output>,
+    },
+    /// Aggregate service statistics.
+    Stats(ServiceStats),
+    /// A session was finished and forgotten.
+    Closed {
+        /// The closed session's id.
+        session: String,
+    },
+    /// The request failed.
+    Error {
+        /// Stable machine-readable code (see `PROTOCOL.md`).
+        code: String,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl Response {
+    /// Encodes the response into its JSON wire form.
+    pub fn to_json(&self) -> String {
+        let mut fields = vec![("v".to_string(), Value::Int(PROTOCOL_VERSION))];
+        let ok = |fields: &mut Vec<(String, Value)>, kind: &str| {
+            fields.push(("status".to_string(), Value::str("ok")));
+            fields.push(("kind".to_string(), Value::str(kind)));
+        };
+        match self {
+            Response::Created { session, mode } => {
+                ok(&mut fields, "created");
+                fields.push(("session".to_string(), Value::str(session.clone())));
+                fields.push(("mode".to_string(), Value::str(mode.as_str())));
+            }
+            Response::Event {
+                session,
+                outcome,
+                mode,
+                predictions,
+                outputs,
+            } => {
+                ok(&mut fields, "event");
+                fields.push(("session".to_string(), Value::str(session.clone())));
+                fields.push(("outcome".to_string(), Value::str(outcome.as_str())));
+                if let StepOutcome::Automated(action) = outcome {
+                    fields.push(("action".to_string(), action_to_value(action)));
+                }
+                fields.push(("mode".to_string(), Value::str(mode.as_str())));
+                fields.push((
+                    "predictions".to_string(),
+                    Value::Array(predictions.iter().map(action_to_value).collect()),
+                ));
+                fields.push(("outputs".to_string(), Value::Int(*outputs as i64)));
+            }
+            Response::Outputs { session, outputs } => {
+                ok(&mut fields, "outputs");
+                fields.push(("session".to_string(), Value::str(session.clone())));
+                fields.push((
+                    "outputs".to_string(),
+                    Value::Array(outputs.iter().map(output_to_value).collect()),
+                ));
+            }
+            Response::Stats(stats) => {
+                ok(&mut fields, "stats");
+                fields.push(("stats".to_string(), stats_to_value(stats)));
+            }
+            Response::Closed { session } => {
+                ok(&mut fields, "closed");
+                fields.push(("session".to_string(), Value::str(session.clone())));
+            }
+            Response::Error { code, message } => {
+                fields.push(("status".to_string(), Value::str("error")));
+                fields.push((
+                    "error".to_string(),
+                    Value::object([
+                        ("code".to_string(), Value::str(code.clone())),
+                        ("message".to_string(), Value::str(message.clone())),
+                    ]),
+                ));
+            }
+        }
+        Value::Object(fields).to_json()
+    }
+}
+
+impl From<ProtocolError> for Response {
+    fn from(e: ProtocolError) -> Response {
+        Response::Error {
+            code: e.code().to_string(),
+            message: e.to_string(),
+        }
+    }
+}
+
+// ───────────────────── field helpers ─────────────────────
+
+fn require_str<'v>(value: &'v Value, key: &str) -> Result<&'v str, ProtocolError> {
+    value
+        .field(key)
+        .and_then(Value::as_str)
+        .ok_or_else(|| ProtocolError::bad(format!("missing string field '{key}'")))
+}
+
+// ───────────────────── event codec ─────────────────────
+
+/// Encodes an [`Event`] into its wire object (`{"type": ..., ...}`).
+pub fn event_to_value(event: &Event) -> Value {
+    let mut fields = vec![("type".to_string(), Value::str(event.name()))];
+    match event {
+        Event::Demonstrate(action) => {
+            fields.push(("action".to_string(), action_to_value(action)));
+        }
+        Event::Accept { index } => {
+            fields.push(("index".to_string(), Value::Int(*index as i64)));
+        }
+        Event::RejectAll | Event::AutomateStep | Event::Interrupt | Event::Finish => {}
+    }
+    Value::Object(fields)
+}
+
+/// Decodes an [`Event`] from its wire object.
+///
+/// # Errors
+///
+/// [`ProtocolError`] (`bad_request`) on missing/ill-typed fields or an
+/// unknown event type.
+pub fn event_from_value(value: &Value) -> Result<Event, ProtocolError> {
+    match require_str(value, "type")? {
+        "demonstrate" => Ok(Event::Demonstrate(action_from_value(
+            value
+                .field("action")
+                .ok_or_else(|| ProtocolError::bad("missing field 'action'"))?,
+        )?)),
+        "accept" => Ok(Event::Accept {
+            index: value
+                .field("index")
+                .and_then(Value::as_int)
+                .and_then(|n| usize::try_from(n).ok())
+                .ok_or_else(|| ProtocolError::bad("'index' must be a non-negative integer"))?,
+        }),
+        "reject_all" => Ok(Event::RejectAll),
+        "automate_step" => Ok(Event::AutomateStep),
+        "interrupt" => Ok(Event::Interrupt),
+        "finish" => Ok(Event::Finish),
+        other => Err(ProtocolError::bad(format!("unknown event type '{other}'"))),
+    }
+}
+
+// ───────────────────── action codec ─────────────────────
+
+/// Encodes an [`Action`] into its wire object (`{"op": ..., ...}`).
+pub fn action_to_value(action: &Action) -> Value {
+    let mut fields = Vec::new();
+    let op = |name: &str| ("op".to_string(), Value::str(name));
+    match action {
+        Action::Click(p) => {
+            fields.push(op("click"));
+            fields.push(("selector".to_string(), Value::str(p.to_string())));
+        }
+        Action::ScrapeText(p) => {
+            fields.push(op("scrape_text"));
+            fields.push(("selector".to_string(), Value::str(p.to_string())));
+        }
+        Action::ScrapeLink(p) => {
+            fields.push(op("scrape_link"));
+            fields.push(("selector".to_string(), Value::str(p.to_string())));
+        }
+        Action::Download(p) => {
+            fields.push(op("download"));
+            fields.push(("selector".to_string(), Value::str(p.to_string())));
+        }
+        Action::GoBack => fields.push(op("go_back")),
+        Action::ExtractUrl => fields.push(op("extract_url")),
+        Action::SendKeys(p, text) => {
+            fields.push(op("send_keys"));
+            fields.push(("selector".to_string(), Value::str(p.to_string())));
+            fields.push(("text".to_string(), Value::str(text.clone())));
+        }
+        Action::EnterData(p, vpath) => {
+            fields.push(op("enter_data"));
+            fields.push(("selector".to_string(), Value::str(p.to_string())));
+            fields.push((
+                "value_path".to_string(),
+                Value::Array(
+                    vpath
+                        .segs()
+                        .iter()
+                        .map(|seg| match seg {
+                            PathSeg::Key(k) => Value::str(k.clone()),
+                            PathSeg::Index(i) => Value::Int(*i as i64),
+                        })
+                        .collect(),
+                ),
+            ));
+        }
+    }
+    Value::Object(fields)
+}
+
+/// Decodes an [`Action`] from its wire object. Selectors use the XPath
+/// subset of `webrobot_dom`; value paths are arrays whose string elements
+/// are object keys and integer elements are 1-based array indices.
+///
+/// # Errors
+///
+/// [`ProtocolError`] (`bad_request`) on missing/ill-typed fields, an
+/// unknown op, or an unparsable selector.
+pub fn action_from_value(value: &Value) -> Result<Action, ProtocolError> {
+    let selector = |value: &Value| -> Result<webrobot_dom::Path, ProtocolError> {
+        let raw = require_str(value, "selector")?;
+        raw.parse()
+            .map_err(|e| ProtocolError::bad(format!("invalid selector '{raw}': {e}")))
+    };
+    match require_str(value, "op")? {
+        "click" => Ok(Action::Click(selector(value)?)),
+        "scrape_text" => Ok(Action::ScrapeText(selector(value)?)),
+        "scrape_link" => Ok(Action::ScrapeLink(selector(value)?)),
+        "download" => Ok(Action::Download(selector(value)?)),
+        "go_back" => Ok(Action::GoBack),
+        "extract_url" => Ok(Action::ExtractUrl),
+        "send_keys" => Ok(Action::SendKeys(
+            selector(value)?,
+            require_str(value, "text")?.to_string(),
+        )),
+        "enter_data" => {
+            let segs = value
+                .field("value_path")
+                .and_then(Value::as_array)
+                .ok_or_else(|| ProtocolError::bad("missing array field 'value_path'"))?
+                .iter()
+                .map(|seg| match seg {
+                    Value::Str(k) => Ok(PathSeg::Key(k.clone())),
+                    Value::Int(i) => usize::try_from(*i)
+                        .map(PathSeg::Index)
+                        .map_err(|_| ProtocolError::bad("value_path indices must be non-negative")),
+                    other => Err(ProtocolError::bad(format!(
+                        "value_path segments must be strings or integers, got {other}"
+                    ))),
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(Action::EnterData(selector(value)?, ValuePath::new(segs)))
+        }
+        other => Err(ProtocolError::bad(format!("unknown action op '{other}'"))),
+    }
+}
+
+fn output_to_value(output: &Output) -> Value {
+    let kind = match output {
+        Output::Text(_) => "text",
+        Output::Link(_) => "link",
+        Output::Url(_) => "url",
+        Output::Download(_) => "download",
+    };
+    Value::object([
+        ("kind".to_string(), Value::str(kind)),
+        ("payload".to_string(), Value::str(output.payload())),
+    ])
+}
+
+fn stats_to_value(stats: &ServiceStats) -> Value {
+    Value::object([
+        (
+            "sessions_created".to_string(),
+            Value::Int(stats.sessions_created as i64),
+        ),
+        (
+            "sessions_closed".to_string(),
+            Value::Int(stats.sessions_closed as i64),
+        ),
+        (
+            "live_sessions".to_string(),
+            Value::Int(stats.live_sessions as i64),
+        ),
+        (
+            "evicted_sessions".to_string(),
+            Value::Int(stats.evicted_sessions as i64),
+        ),
+        ("events_ok".to_string(), Value::Int(stats.events_ok as i64)),
+        (
+            "events_rejected".to_string(),
+            Value::Int(stats.events_rejected as i64),
+        ),
+        ("evictions".to_string(), Value::Int(stats.evictions as i64)),
+        ("restores".to_string(), Value::Int(stats.restores as i64)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> webrobot_dom::Path {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn every_action_round_trips() {
+        let actions = [
+            Action::Click(p("/a[1]")),
+            Action::ScrapeText(p("//h3[2]")),
+            Action::ScrapeLink(p("/div[1]/a[3]")),
+            Action::Download(p("//a[1]")),
+            Action::GoBack,
+            Action::ExtractUrl,
+            Action::SendKeys(p("//input[1]"), "48105".to_string()),
+            Action::EnterData(
+                p("//input[1]"),
+                ValuePath::new(vec![PathSeg::key("zips"), PathSeg::Index(2)]),
+            ),
+        ];
+        for action in actions {
+            let wire = action_to_value(&action);
+            // The wire form survives a JSON print/parse cycle too.
+            let reparsed = parse_json(&wire.to_json()).unwrap();
+            assert_eq!(action_from_value(&reparsed).unwrap(), action, "{wire}");
+        }
+    }
+
+    #[test]
+    fn every_event_round_trips() {
+        let events = [
+            Event::Demonstrate(Action::ScrapeText(p("/a[1]"))),
+            Event::Accept { index: 3 },
+            Event::RejectAll,
+            Event::AutomateStep,
+            Event::Interrupt,
+            Event::Finish,
+        ];
+        for event in events {
+            let wire = event_to_value(&event);
+            let reparsed = parse_json(&wire.to_json()).unwrap();
+            assert_eq!(event_from_value(&reparsed).unwrap(), event);
+        }
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let requests = [
+            Request::Create {
+                site: "news".to_string(),
+                input: Some(Value::object([(
+                    "zips".to_string(),
+                    Value::str_array(["48105"]),
+                )])),
+                deadline_ms: Some(250),
+            },
+            Request::Create {
+                site: "news".to_string(),
+                input: None,
+                deadline_ms: None,
+            },
+            Request::Event {
+                session: "s-1".to_string(),
+                event: Event::Accept { index: 0 },
+            },
+            Request::Outputs {
+                session: "s-2".to_string(),
+            },
+            Request::Stats,
+            Request::Close {
+                session: "s-1".to_string(),
+            },
+        ];
+        for request in requests {
+            assert_eq!(Request::from_json(&request.to_json()).unwrap(), request);
+        }
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let err = Request::from_json(r#"{"v": 2, "kind": "stats"}"#).unwrap_err();
+        assert_eq!(err.code(), "unsupported_version");
+        let err = Request::from_json(r#"{"kind": "stats"}"#).unwrap_err();
+        assert_eq!(err.code(), "unsupported_version");
+    }
+
+    #[test]
+    fn malformed_requests_are_bad_request() {
+        for raw in [
+            "not json",
+            r#"{"v": 1}"#,
+            r#"{"v": 1, "kind": "teleport"}"#,
+            r#"{"v": 1, "kind": "event", "session": "s-1"}"#,
+            r#"{"v": 1, "kind": "event", "session": "s-1", "event": {"type": "warp"}}"#,
+            r#"{"v": 1, "kind": "create"}"#,
+            r#"{"v": 1, "kind": "create", "site": "x", "deadline_ms": -4}"#,
+            r#"{"v": 1, "kind": "event", "session": "s-1", "event": {"type": "accept", "index": -1}}"#,
+        ] {
+            let err = Request::from_json(raw).unwrap_err();
+            assert_eq!(err.code(), "bad_request", "{raw}");
+        }
+    }
+
+    #[test]
+    fn error_responses_render_code_and_message() {
+        let json = Response::Error {
+            code: "wrong_mode".to_string(),
+            message: "event 'accept' is not valid in mode Demonstrate".to_string(),
+        }
+        .to_json();
+        let v = parse_json(&json).unwrap();
+        assert_eq!(v.field("status").unwrap().as_str(), Some("error"));
+        let error = v.field("error").unwrap();
+        assert_eq!(error.field("code").unwrap().as_str(), Some("wrong_mode"));
+        assert!(error
+            .field("message")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("accept"));
+    }
+}

@@ -20,9 +20,13 @@
 //! instead of hand-editing BENCH_NOTES.md.
 //!
 //! Only the surface the workspace's benches use is provided: `Criterion`,
-//! `BenchmarkGroup`, `Bencher::{iter, iter_batched}`, `BenchmarkId`,
-//! `BatchSize`, `black_box`, and the `criterion_group!`/`criterion_main!`
-//! macros.
+//! `BenchmarkGroup` (including `throughput`), `Bencher::{iter,
+//! iter_batched}`, `BenchmarkId`, `BatchSize`, `Throughput`, `black_box`,
+//! and the `criterion_group!`/`criterion_main!` macros. When a group
+//! declares a [`Throughput`], the JSON snapshot additionally carries
+//! `elements_per_sec` / `bytes_per_sec` computed from the mean — the
+//! service bench uses `Throughput::Elements(sessions)` to publish a
+//! sessions-per-second baseline in `BENCH_service.json`.
 
 use std::fmt::Display;
 use std::path::PathBuf;
@@ -47,6 +51,9 @@ struct BenchRecord {
     mean_ns: u128,
     min_ns: u128,
     samples: usize,
+    /// `("elements_per_sec" | "bytes_per_sec", rate)` when the group
+    /// declared a [`Throughput`].
+    per_sec: Option<(&'static str, u64)>,
 }
 
 /// Results of every benchmark run so far in this process.
@@ -88,8 +95,12 @@ pub fn write_json_snapshot() {
     let mut body = String::from("{\n");
     for (i, r) in results.iter().enumerate() {
         let comma = if i + 1 < results.len() { "," } else { "" };
+        let per_sec = match r.per_sec {
+            Some((key, rate)) => format!(", \"{key}\": {rate}"),
+            None => String::new(),
+        };
         body.push_str(&format!(
-            "  \"{}\": {{\"mean_ns\": {}, \"min_ns\": {}, \"samples\": {}}}{comma}\n",
+            "  \"{}\": {{\"mean_ns\": {}, \"min_ns\": {}, \"samples\": {}{per_sec}}}{comma}\n",
             r.label, r.mean_ns, r.min_ns, r.samples
         ));
     }
@@ -119,6 +130,7 @@ impl Criterion {
             _criterion: self,
             name: name.into(),
             sample_size: 100,
+            throughput: None,
         }
     }
 
@@ -127,9 +139,21 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        run_one("", id, 100, &mut f);
+        run_one("", id, 100, None, &mut f);
         self
     }
+}
+
+/// Units of work per routine call, for reporting rates alongside raw
+/// times (mirrors criterion's type of the same name).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// The routine processes this many bytes per call.
+    Bytes(u64),
+    /// Like `Bytes`, displayed in decimal multiples (identical here).
+    BytesDecimal(u64),
+    /// The routine processes this many elements per call.
+    Elements(u64),
 }
 
 /// A named group of related benchmarks.
@@ -137,12 +161,21 @@ pub struct BenchmarkGroup<'a> {
     _criterion: &'a mut Criterion,
     name: String,
     sample_size: usize,
+    throughput: Option<Throughput>,
 }
 
 impl BenchmarkGroup<'_> {
     /// Caps the number of timed samples collected per benchmark.
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
         self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares how much work one routine call performs; subsequent
+    /// benchmarks in this group report a derived rate (`elements_per_sec`
+    /// or `bytes_per_sec`) in the stdout line and the JSON snapshot.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
         self
     }
 
@@ -156,7 +189,13 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher, &I),
     {
-        run_one(&self.name, &id.0, self.sample_size, &mut |b| f(b, input));
+        run_one(
+            &self.name,
+            &id.0,
+            self.sample_size,
+            self.throughput,
+            &mut |b| f(b, input),
+        );
         self
     }
 
@@ -165,7 +204,13 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher),
     {
-        run_one(&self.name, &id.to_string(), self.sample_size, &mut f);
+        run_one(
+            &self.name,
+            &id.to_string(),
+            self.sample_size,
+            self.throughput,
+            &mut f,
+        );
         self
     }
 
@@ -173,7 +218,13 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 }
 
-fn run_one(group: &str, id: &str, sample_cap: usize, f: &mut dyn FnMut(&mut Bencher)) {
+fn run_one(
+    group: &str,
+    id: &str,
+    sample_cap: usize,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
     let label = if group.is_empty() {
         id.to_string()
     } else {
@@ -194,8 +245,24 @@ fn run_one(group: &str, id: &str, sample_cap: usize, f: &mut dyn FnMut(&mut Benc
     let total: Duration = samples.iter().sum();
     let mean = total / samples.len() as u32;
     let min = *samples.iter().min().expect("non-empty");
+    let per_sec = throughput.and_then(|t| {
+        let (key, units) = match t {
+            Throughput::Elements(n) => ("elements_per_sec", n),
+            Throughput::Bytes(n) | Throughput::BytesDecimal(n) => ("bytes_per_sec", n),
+        };
+        let mean_ns = mean.as_nanos();
+        if mean_ns == 0 {
+            return None;
+        }
+        let rate = (units as u128 * 1_000_000_000) / mean_ns;
+        u64::try_from(rate).ok().map(|rate| (key, rate))
+    });
+    let rate_suffix = match per_sec {
+        Some((key, rate)) => format!("  [{rate} {}/s]", &key[..key.len() - "_per_sec".len()]),
+        None => String::new(),
+    };
     println!(
-        "{label:<48} mean {:>12?}  (min {:>12?}, {} samples)",
+        "{label:<48} mean {:>12?}  (min {:>12?}, {} samples){rate_suffix}",
         mean,
         min,
         samples.len()
@@ -205,6 +272,7 @@ fn run_one(group: &str, id: &str, sample_cap: usize, f: &mut dyn FnMut(&mut Benc
         mean_ns: mean.as_nanos(),
         min_ns: min.as_nanos(),
         samples: samples.len(),
+        per_sec,
     });
 }
 
@@ -369,6 +437,29 @@ mod tests {
         assert!(body.contains("\"snapshot/probe\""), "{body}");
         assert!(body.contains("\"mean_ns\""), "{body}");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn throughput_rates_are_recorded() {
+        std::env::set_var("CRITERION_SAMPLE_MS", "5");
+        std::env::set_var("CRITERION_WARMUP_MS", "1");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("throughput");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(8));
+        group.bench_function("probe", |b| {
+            b.iter(|| std::thread::sleep(Duration::from_micros(50)))
+        });
+        group.finish();
+        let results = RESULTS.lock().unwrap();
+        let record = results
+            .iter()
+            .find(|r| r.label == "throughput/probe")
+            .expect("recorded");
+        let (key, rate) = record.per_sec.expect("throughput was declared");
+        assert_eq!(key, "elements_per_sec");
+        // 8 elements per ≥50 µs call → a positive rate below 160k/s.
+        assert!(rate > 0 && rate < 160_000, "{rate}");
     }
 
     #[test]

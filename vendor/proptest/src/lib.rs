@@ -4,8 +4,10 @@
 //!
 //! Supported surface (exactly what the workspace's property tests use):
 //!
-//! - the [`Strategy`] trait with [`Strategy::prop_map`],
-//!   [`Strategy::prop_recursive`], and [`Strategy::boxed`]
+//! - the [`Strategy`](strategy::Strategy) trait with
+//!   [`prop_map`](strategy::Strategy::prop_map),
+//!   [`prop_recursive`](strategy::Strategy::prop_recursive), and
+//!   [`boxed`](strategy::Strategy::boxed)
 //! - strategies for integer ranges (`0..10`, `1..=6`), string literals with
 //!   a `[class]{lo,hi}` regex subset, tuples, and [`collection::vec`]
 //! - [`prelude::any`] over the common scalar types
