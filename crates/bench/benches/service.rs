@@ -1,11 +1,20 @@
 //! Criterion bench for the multi-tenant session service: how many full
-//! demo→authorize→automate workflows per second the [`SessionManager`]
-//! sustains over the v1 JSON wire protocol, with sessions interleaved the
+//! demo→authorize→automate workflows per second the session managers
+//! sustain over the v1 JSON wire protocol, with sessions interleaved the
 //! way concurrent front-ends would interleave them.
 //!
-//! The `service_wire` group declares `Throughput::Elements(sessions)`, so
-//! the committed `BENCH_service.json` carries an explicit
-//! `elements_per_sec` — the sessions-per-second baseline.
+//! Groups:
+//!
+//! - `service_wire` — the single-threaded [`SessionManager`] baseline;
+//! - `sharded_service` — the same 8-session workload against a
+//!   [`ShardedManager`] at shard counts 1/2/4, one driver thread per
+//!   shard. On a multi-core runner the rows scale with the shard count;
+//!   on one core they bound the routing/channel overhead instead.
+//! - `service_evict` / `service_codec` — eviction thrash and raw codec.
+//!
+//! Throughput is declared per group (`Throughput::Elements(sessions)`),
+//! so the committed `BENCH_service.json` carries explicit
+//! `elements_per_sec` — the sessions-per-second baselines.
 
 use std::sync::Arc;
 
@@ -15,7 +24,7 @@ use webrobot_data::parse_json;
 use webrobot_dom::parse_html;
 use webrobot_interact::Event;
 use webrobot_lang::{Action, Value};
-use webrobot_service::{Request, ServiceConfig, SessionManager};
+use webrobot_service::{Request, ServiceConfig, SessionManager, ShardedManager};
 
 const ITEMS_PER_SITE: usize = 6;
 
@@ -42,6 +51,16 @@ fn manager(max_live: usize) -> SessionManager {
     m
 }
 
+fn sharded_manager(shards: usize) -> ShardedManager {
+    let m = ShardedManager::new(ServiceConfig::default(), shards);
+    m.register_site(
+        "anchors",
+        anchor_site(ITEMS_PER_SITE),
+        Value::Object(vec![]),
+    );
+    m
+}
+
 fn event_request(session: &str, event: Event) -> String {
     Request::Event {
         session: session.to_string(),
@@ -55,7 +74,10 @@ fn scrape(i: usize) -> Event {
 }
 
 /// One wire client: picks its next request from the mode the previous
-/// response reported, exactly as a front-end state machine would.
+/// response reported, exactly as a front-end state machine would. Generic
+/// over the transport (`send` is "JSON string in → JSON string out"), so
+/// the same state machine drives a `&mut SessionManager` and a shared
+/// `&ShardedManager`.
 struct Client {
     session: String,
     mode: String,
@@ -64,8 +86,8 @@ struct Client {
 }
 
 impl Client {
-    fn open(manager: &mut SessionManager) -> Client {
-        let reply = manager.handle_json(
+    fn open(send: &mut impl FnMut(&str) -> String) -> Client {
+        let reply = send(
             &Request::Create {
                 site: "anchors".to_string(),
                 input: None,
@@ -87,7 +109,7 @@ impl Client {
     }
 
     /// Sends one request; returns `false` once the session is closed.
-    fn step(&mut self, manager: &mut SessionManager) -> bool {
+    fn step(&mut self, send: &mut impl FnMut(&str) -> String) -> bool {
         if self.done {
             return false;
         }
@@ -98,8 +120,8 @@ impl Client {
             }
             // Automation ran the task to the end: finish and close.
             "demonstrate" => {
-                manager.handle_json(&event_request(&self.session, Event::Finish));
-                manager.handle_json(
+                send(&event_request(&self.session, Event::Finish));
+                send(
                     &Request::Close {
                         session: self.session.clone(),
                     }
@@ -111,7 +133,7 @@ impl Client {
             "authorize" => Event::Accept { index: 0 },
             _ => Event::AutomateStep,
         };
-        let reply = manager.handle_json(&event_request(&self.session, event));
+        let reply = send(&event_request(&self.session, event));
         let reply = parse_json(&reply).expect("valid response json");
         assert_eq!(
             reply.field("status").and_then(Value::as_str),
@@ -128,23 +150,21 @@ impl Client {
 }
 
 /// Runs `sessions` full workflows round-robin-interleaved over the wire.
-fn run_interleaved(manager: &mut SessionManager, sessions: usize) {
-    let mut clients: Vec<Client> = (0..sessions).map(|_| Client::open(manager)).collect();
+fn run_interleaved(send: &mut impl FnMut(&str) -> String, sessions: usize) {
+    let mut clients: Vec<Client> = (0..sessions).map(|_| Client::open(send)).collect();
     loop {
         let mut progressed = false;
         for client in &mut clients {
-            progressed |= client.step(manager);
+            progressed |= client.step(send);
         }
         if !progressed {
             break;
         }
     }
-    let stats = manager.stats();
-    assert_eq!(stats.sessions_closed as usize, sessions);
 }
 
 /// Full interleaved sessions per second through the JSON boundary — the
-/// service's headline throughput number.
+/// single-threaded headline throughput number.
 fn bench_interleaved(c: &mut Criterion) {
     let mut group = c.benchmark_group("service_wire");
     group.sample_size(20);
@@ -157,11 +177,50 @@ fn bench_interleaved(c: &mut Criterion) {
                 bench.iter_batched(
                     || manager(64),
                     |mut m| {
-                        run_interleaved(&mut m, sessions);
+                        run_interleaved(&mut |r| m.handle_json(r), sessions);
+                        assert_eq!(m.stats().sessions_closed as usize, sessions);
                         m
                     },
                     criterion::BatchSize::LargeInput,
                 );
+            },
+        );
+    }
+    group.finish();
+}
+
+/// The same 8-session workload against a [`ShardedManager`]: one driver
+/// thread per shard, each round-robin-interleaving its share of sessions
+/// through the shared `&self` JSON boundary. The manager (and its shard
+/// threads) lives across iterations, so the rows measure steady-state
+/// routed throughput, not thread spawn/join.
+fn bench_sharded(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sharded_service");
+    group.sample_size(20);
+    const SESSIONS: usize = 8;
+    group.throughput(Throughput::Elements(SESSIONS as u64));
+    for shards in [1usize, 2, 4] {
+        let m = sharded_manager(shards);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("shards_{shards}_s{SESSIONS}")),
+            &shards,
+            |bench, &shards| {
+                bench.iter(|| {
+                    let closed_before = m.stats().sessions_closed;
+                    std::thread::scope(|scope| {
+                        for d in 0..shards {
+                            let share = SESSIONS / shards + usize::from(d < SESSIONS % shards);
+                            let m = &m;
+                            scope.spawn(move || {
+                                run_interleaved(&mut |r| m.handle_json(r), share);
+                            });
+                        }
+                    });
+                    assert_eq!(
+                        (m.stats().sessions_closed - closed_before) as usize,
+                        SESSIONS
+                    );
+                });
             },
         );
     }
@@ -183,8 +242,10 @@ fn bench_evict_thrash(c: &mut Criterion) {
             bench.iter_batched(
                 || manager(1),
                 |mut m| {
-                    run_interleaved(&mut m, sessions);
-                    assert!(m.stats().restores > 0, "eviction path exercised");
+                    run_interleaved(&mut |r| m.handle_json(r), sessions);
+                    let stats = m.stats();
+                    assert_eq!(stats.sessions_closed as usize, sessions);
+                    assert!(stats.restores > 0, "eviction path exercised");
                     m
                 },
                 criterion::BatchSize::LargeInput,
@@ -212,5 +273,11 @@ fn bench_codec(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_interleaved, bench_evict_thrash, bench_codec);
+criterion_group!(
+    benches,
+    bench_interleaved,
+    bench_sharded,
+    bench_evict_thrash,
+    bench_codec
+);
 criterion_main!(benches);

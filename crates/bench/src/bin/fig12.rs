@@ -3,13 +3,18 @@
 //! intended, over the 76-benchmark suite.
 //!
 //! ```text
-//! cargo run -p webrobot-bench --release --bin fig12 [-- --ids 1,2,3]
+//! cargo run -p webrobot-bench --release --bin fig12 [-- --ids 1,2,3 --threads N]
 //! ```
+//!
+//! The 76 tasks are independent, so they are evaluated across a
+//! scoped-thread pool (all cores by default; `--threads N` or
+//! `WEBROBOT_EVAL_THREADS` to pin) with results collected in task-id
+//! order — output is byte-identical at any thread count.
 //!
 //! Benchmarks print sorted by ascending accuracy (the paper's x-axis
 //! ordering); a summary reproduces the §7.1 prose statistics.
 
-use webrobot_bench::{evaluate_benchmark, ms, parse_id_filter};
+use webrobot_bench::{evaluate_benchmark, ms, par_map, parse_id_filter, thread_count};
 use webrobot_benchmarks::suite;
 use webrobot_synth::SynthConfig;
 
@@ -32,11 +37,9 @@ fn main() {
         "id", "tests", "accuracy", "q1(ms)", "med(ms)", "q3(ms)", "mean(ms)"
     );
 
-    let mut evals = Vec::new();
-    for b in &benchmarks {
-        let eval = evaluate_benchmark(b, SynthConfig::default());
-        evals.push(eval);
-    }
+    let mut evals = par_map(&benchmarks, thread_count(&args), |b| {
+        evaluate_benchmark(b, SynthConfig::default())
+    });
     evals.sort_by(|a, b| {
         a.accuracy()
             .partial_cmp(&b.accuracy())

@@ -6,12 +6,26 @@
 //! (7 back-end + 11 front-end = 18 unsolved, 76% solved).
 //!
 //! ```text
-//! cargo run -p webrobot-bench --release --bin q3_end_to_end [-- --ids 1,2,3]
+//! cargo run -p webrobot-bench --release --bin q3_end_to_end [-- --ids 1,2,3 --threads N]
 //! ```
+//!
+//! Each benchmark's oracle session is independent, so the suite fans out
+//! over a scoped-thread pool; outcomes are collected (and printed) in
+//! task-id order, byte-identical to a sequential run.
 
-use webrobot_bench::parse_id_filter;
-use webrobot_benchmarks::suite;
-use webrobot_interact::{drive_session, SessionConfig, UserModel};
+use webrobot_bench::{par_map, parse_id_filter, thread_count};
+use webrobot_benchmarks::{suite, Quirk};
+use webrobot_interact::{drive_session, SessionConfig, SessionReport, UserModel};
+
+/// One benchmark's end-to-end outcome, computed on a worker thread and
+/// rendered later in task-id order.
+enum Outcome {
+    /// The paper's front-end could not fully replay these actions.
+    FrontendFail(Quirk),
+    /// The session ran; whether it solved the task is judged from the
+    /// report.
+    Ran(SessionReport),
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -26,45 +40,54 @@ fn main() {
     }
 
     println!("Q3 — end-to-end testing over the benchmark suite\n");
-    let mut solved = 0usize;
-    let mut backend_failures = Vec::new();
-    let mut frontend_failures = Vec::new();
     let user = UserModel::default(); // oracle, no mistakes
-    for b in &benchmarks {
+    let outcomes = par_map(&benchmarks, thread_count(&args), |b| {
         if let Some(quirk) = b.frontend_quirk {
-            // The paper's front-end could not fully replay these actions.
-            frontend_failures.push(b.id);
-            println!("b{:<3} FRONT-END FAIL ({quirk:?})", b.id);
-            continue;
+            return Outcome::FrontendFail(quirk);
         }
         let rec = b.record().expect("benchmark records");
-        let report = drive_session(
+        Outcome::Ran(drive_session(
             b.site.clone(),
             b.input.clone(),
             &rec.trace,
             SessionConfig::default(),
             &user,
             2,
-        );
-        // Solved by PBD: the full script ran AND automation (not brute
-        // demonstration) carried a meaningful share.
-        let by_pbd = report.solved && report.automated + report.authorized > report.demonstrated;
-        if by_pbd {
-            solved += 1;
-            println!(
-                "b{:<3} solved   demo={:<3} auth={:<3} auto={:<4} interrupts={}",
-                b.id,
-                report.demonstrated,
-                report.authorized,
-                report.automated,
-                report.interruptions
-            );
-        } else {
-            backend_failures.push(b.id);
-            println!(
-                "b{:<3} UNSOLVED demo={:<3} auth={:<3} auto={:<4} (back-end)",
-                b.id, report.demonstrated, report.authorized, report.automated
-            );
+        ))
+    });
+
+    let mut solved = 0usize;
+    let mut backend_failures = Vec::new();
+    let mut frontend_failures = Vec::new();
+    for (b, outcome) in benchmarks.iter().zip(&outcomes) {
+        match outcome {
+            Outcome::FrontendFail(quirk) => {
+                frontend_failures.push(b.id);
+                println!("b{:<3} FRONT-END FAIL ({quirk:?})", b.id);
+            }
+            Outcome::Ran(report) => {
+                // Solved by PBD: the full script ran AND automation (not
+                // brute demonstration) carried a meaningful share.
+                let by_pbd =
+                    report.solved && report.automated + report.authorized > report.demonstrated;
+                if by_pbd {
+                    solved += 1;
+                    println!(
+                        "b{:<3} solved   demo={:<3} auth={:<3} auto={:<4} interrupts={}",
+                        b.id,
+                        report.demonstrated,
+                        report.authorized,
+                        report.automated,
+                        report.interruptions
+                    );
+                } else {
+                    backend_failures.push(b.id);
+                    println!(
+                        "b{:<3} UNSOLVED demo={:<3} auth={:<3} auto={:<4} (back-end)",
+                        b.id, report.demonstrated, report.authorized, report.automated
+                    );
+                }
+            }
         }
     }
     let total = benchmarks.len();

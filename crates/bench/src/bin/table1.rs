@@ -2,15 +2,17 @@
 //! *No selector* vs *No incremental*.
 //!
 //! ```text
-//! cargo run -p webrobot-bench --release --bin table1 [-- --ids 1,2,3]
+//! cargo run -p webrobot-bench --release --bin table1 [-- --ids 1,2,3 --threads N]
 //! ```
 //!
 //! A benchmark counts as *solved* when the final synthesized program is
-//! intended (live replay reproduces the ground-truth outputs).
+//! intended (live replay reproduces the ground-truth outputs). Each
+//! variant's 76 runs fan out over a scoped-thread pool with task-id-
+//! ordered collection, so the table is deterministic at any thread count.
 
 use std::time::Duration;
 
-use webrobot_bench::{evaluate_benchmark, parse_id_filter, BenchmarkEval};
+use webrobot_bench::{evaluate_benchmark, par_map, parse_id_filter, thread_count, BenchmarkEval};
 use webrobot_benchmarks::{suite, Benchmark};
 use webrobot_synth::SynthConfig;
 
@@ -23,11 +25,14 @@ struct Row {
     avg_time: Duration,
 }
 
-fn evaluate_variant(name: &'static str, cfg: SynthConfig, benchmarks: &[Benchmark]) -> Row {
-    let evals: Vec<BenchmarkEval> = benchmarks
-        .iter()
-        .map(|b| evaluate_benchmark(b, cfg.clone()))
-        .collect();
+fn evaluate_variant(
+    name: &'static str,
+    cfg: SynthConfig,
+    benchmarks: &[Benchmark],
+    threads: usize,
+) -> Row {
+    let evals: Vec<BenchmarkEval> =
+        par_map(benchmarks, threads, |b| evaluate_benchmark(b, cfg.clone()));
     let mut accs: Vec<f64> = evals.iter().map(|e| e.accuracy()).collect();
     accs.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let times: Vec<Duration> = evals.iter().flat_map(|e| e.times.iter().copied()).collect();
@@ -68,8 +73,9 @@ fn main() {
         ("No selector", SynthConfig::no_selector()),
         ("No incremental", SynthConfig::no_incremental()),
     ];
+    let threads = thread_count(&args);
     for (name, cfg) in variants {
-        let row = evaluate_variant(name, cfg, &benchmarks);
+        let row = evaluate_variant(name, cfg, &benchmarks, threads);
         println!(
             "{:<16} {:>7}/{:<3} {:>13.0}% {:>13.0}% {:>12}ms",
             row.name,

@@ -3,7 +3,10 @@
 //! `fig12` / `table1` / `table2` / `q3_*` binaries and the Criterion
 //! benches.
 
+pub mod par;
 pub mod protocol;
+
+pub use par::{par_map, thread_count};
 
 use std::time::{Duration, Instant};
 

@@ -97,7 +97,7 @@ pub use webrobot_semantics::{
 };
 pub use webrobot_service::{
     Request, Response, ServiceConfig, ServiceError, ServiceStats, SessionId, SessionManager,
-    PROTOCOL_VERSION,
+    ShardedManager, PROTOCOL_VERSION,
 };
 pub use webrobot_synth::{RankedProgram, SynthConfig, SynthResult, Synthesizer};
 

@@ -228,6 +228,15 @@ pub struct Session {
     last_program: Option<webrobot_lang::Program>,
 }
 
+// One session = one browser + one synthesizer, share-nothing, so a whole
+// session can be owned by (and moved between) shard worker threads.
+// Compile-time enforced — regressing any layer back to `Rc`/`RefCell`
+// fails `cargo check` here.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Session>();
+};
+
 impl Session {
     /// Opens a session on the site's start page.
     pub fn new(site: Arc<Site>, input: Value, cfg: SessionConfig) -> Session {

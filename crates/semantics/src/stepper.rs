@@ -14,10 +14,10 @@
 //! this down). Equivalence is what makes the fast path a *proof-carrying*
 //! optimization rather than an approximation.
 //!
-//! Statement blocks are shared as `Rc<[Statement]>`, so entering a loop
+//! Statement blocks are shared as `Arc<[Statement]>`, so entering a loop
 //! iteration is a pointer bump, not a deep clone of the body.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use webrobot_data::{PathSeg, Value, ValuePath};
 use webrobot_dom::{Dom, Path};
@@ -30,7 +30,7 @@ use crate::interp::EvalError;
 #[derive(Debug, Clone)]
 enum Frame {
     /// A statement sequence being executed left to right.
-    Block { stmts: Rc<[Statement]>, idx: usize },
+    Block { stmts: Arc<[Statement]>, idx: usize },
     /// A selector loop between iterations: the guard for iteration `i`
     /// has not been checked yet (`in_body == false`), or iteration `i`'s
     /// body block sits directly above this frame (`in_body == true`).
@@ -38,7 +38,7 @@ enum Frame {
         var: webrobot_lang::SelVar,
         base: Path,
         list: SelectorList,
-        body: Rc<[Statement]>,
+        body: Arc<[Statement]>,
         i: usize,
         in_body: bool,
     },
@@ -47,14 +47,14 @@ enum Frame {
         var: webrobot_lang::VpVar,
         array: ValuePath,
         count: usize,
-        body: Rc<[Statement]>,
+        body: Arc<[Statement]>,
         i: usize,
     },
     /// A while loop: body block above when `guard_pending == false`,
     /// otherwise the click guard is due on the next available DOM.
     While {
         click: Selector,
-        body: Rc<[Statement]>,
+        body: Arc<[Statement]>,
         guard_pending: bool,
     },
 }
@@ -67,6 +67,15 @@ pub struct Stepper {
     env: Env,
     finished: bool,
 }
+
+// The stepper is the deepest state the session stack suspends (cached
+// generalizing programs each carry one), so this bound is what makes the
+// whole stack shardable across threads. A compile-time assertion rather
+// than a test: reintroducing `Rc` anywhere in a frame fails `cargo check`.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Stepper>();
+};
 
 impl Stepper {
     /// Starts `program` with input data `input`. Nothing executes until
@@ -154,7 +163,7 @@ impl Stepper {
                         debug_assert!(!in_body, "body block sits above while in_body");
                         let element = list.element(base, *i);
                         if !element.valid(dom) {
-                            (None, *var, Rc::from([]))
+                            (None, *var, Arc::from([]))
                         } else {
                             (Some(element), *var, body.clone())
                         }
@@ -241,7 +250,7 @@ impl Stepper {
                 let array = self.env.resolve_vp(&l.list.array)?;
                 let count = self.input.get_array(&array).map(|a| a.len()).unwrap_or(0);
                 if count > 0 {
-                    let body: Rc<[Statement]> = l.body.as_slice().into();
+                    let body: Arc<[Statement]> = l.body.as_slice().into();
                     self.env.vp.push((l.var, array.join(PathSeg::Index(1))));
                     self.frames.push(Frame::Vp {
                         var: l.var,
@@ -258,7 +267,7 @@ impl Stepper {
                 Ok(None)
             }
             Statement::While(w) => {
-                let body: Rc<[Statement]> = w.body.as_slice().into();
+                let body: Arc<[Statement]> = w.body.as_slice().into();
                 self.frames.push(Frame::While {
                     click: w.click.clone(),
                     body: body.clone(),

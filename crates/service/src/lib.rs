@@ -17,7 +17,12 @@
 //! - [`SessionManager::handle_json`] is the transport-agnostic service
 //!   boundary: a browser extension, an HTTP server, or
 //!   `examples/service_loop.rs` feed request strings in and get response
-//!   strings back.
+//!   strings back;
+//! - [`ShardedManager`] scales the same boundary across threads: N shard
+//!   workers each own a plain `SessionManager`, sessions are pinned to a
+//!   shard by id, and `handle_json` takes `&self` so concurrent front-end
+//!   threads drive disjoint sessions in parallel (see the module docs of
+//!   [`sharded`](ShardedManager) for the routing guarantee).
 //!
 //! Every entry point is *total*: malformed JSON, unknown sessions,
 //! out-of-range accepts, events after `finish` — all are typed error
@@ -59,6 +64,7 @@
 
 mod manager;
 mod protocol;
+mod sharded;
 
 pub use manager::{
     EventReply, ServiceConfig, ServiceError, ServiceStats, SessionId, SessionManager,
@@ -67,3 +73,4 @@ pub use protocol::{
     action_from_value, action_to_value, event_from_value, event_to_value, ProtocolError, Request,
     Response, PROTOCOL_VERSION,
 };
+pub use sharded::ShardedManager;

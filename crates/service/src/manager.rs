@@ -22,6 +22,14 @@ use crate::protocol::{Request, Response};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SessionId(u64);
 
+impl SessionId {
+    /// The raw numeric id (`s-<n>` → `n`, always ≥ 1) — what shard
+    /// routing hashes on.
+    pub(crate) fn raw(self) -> u64 {
+        self.0
+    }
+}
+
 impl fmt::Display for SessionId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "s-{}", self.0)
@@ -153,6 +161,22 @@ pub struct ServiceStats {
     pub restores: u64,
 }
 
+impl ServiceStats {
+    /// Field-wise sum — how [`ShardedManager`](crate::ShardedManager)
+    /// aggregates its shards' counters into one service-wide view. Every
+    /// field is a disjoint per-shard count, so addition is exact.
+    pub fn absorb(&mut self, other: &ServiceStats) {
+        self.sessions_created += other.sessions_created;
+        self.sessions_closed += other.sessions_closed;
+        self.live_sessions += other.live_sessions;
+        self.evicted_sessions += other.evicted_sessions;
+        self.events_ok += other.events_ok;
+        self.events_rejected += other.events_rejected;
+        self.evictions += other.evictions;
+        self.restores += other.restores;
+    }
+}
+
 /// What one dispatched event did, plus the session state a front-end
 /// needs to render its next screen.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -236,9 +260,23 @@ pub struct SessionManager {
     /// full map scan.
     live: usize,
     next_id: u64,
+    /// Distance between consecutively issued ids (1 standalone; the shard
+    /// count when this manager is one shard of a `ShardedManager`, so the
+    /// shards jointly issue the same `s-1, s-2, …` sequence a single
+    /// manager would).
+    id_stride: u64,
     clock: u64,
     stats: ServiceStats,
 }
+
+// A plain manager is single-threaded by design; what sharding needs is
+// that a whole manager (every session, browser, synthesizer, snapshot it
+// owns) can be *moved onto* a worker thread. Compile-time enforced so the
+// `Rc`→`Arc` refactor underneath can never silently regress.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SessionManager>();
+};
 
 impl SessionManager {
     /// Creates an empty manager.
@@ -249,9 +287,21 @@ impl SessionManager {
             sessions: BTreeMap::new(),
             live: 0,
             next_id: 1,
+            id_stride: 1,
             clock: 0,
             stats: ServiceStats::default(),
         }
+    }
+
+    /// Reconfigures the id sequence to `first, first + stride, …` —
+    /// how [`ShardedManager`](crate::ShardedManager) arranges for shard
+    /// `k` of `n` to issue exactly the ids `k+1, k+1+n, …`, keeping the
+    /// interleaved global sequence identical to a single manager's.
+    pub(crate) fn with_id_sequence(mut self, first: u64, stride: u64) -> SessionManager {
+        debug_assert!(first >= 1 && stride >= 1);
+        self.next_id = first;
+        self.id_stride = stride.max(1);
+        self
     }
 
     /// Registers a site under `name` with its default data source, so
@@ -299,7 +349,7 @@ impl SessionManager {
             session_cfg,
         );
         let id = SessionId(self.next_id);
-        self.next_id += 1;
+        self.next_id += self.id_stride;
         self.clock += 1;
         self.sessions.insert(
             id.0,
@@ -555,7 +605,7 @@ impl SessionManager {
     }
 }
 
-fn error_response(e: &ServiceError) -> Response {
+pub(crate) fn error_response(e: &ServiceError) -> Response {
     Response::Error {
         code: e.code().to_string(),
         message: e.to_string(),

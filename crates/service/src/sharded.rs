@@ -1,0 +1,488 @@
+//! Shard the session service across threads: a [`ShardedManager`] owns N
+//! worker threads, each running a plain single-threaded [`SessionManager`],
+//! and routes every request to the shard that owns its session.
+//!
+//! Sessions are share-nothing (one browser + one synthesizer each, made
+//! `Send` by the `Rc`→`Arc` refactor underneath), so the natural unit of
+//! parallelism is the whole session: a session is pinned to one shard for
+//! its entire life, every one of its requests is handled on that shard's
+//! thread in arrival order, and shards never touch each other's state. No
+//! locks are held while a session executes — the only shared state is the
+//! create-sequencing counter.
+//!
+//! **Routing guarantee.** `s-<n>` lives on shard `(n − 1) mod N`, forever.
+//! Create requests are sequenced so the shards jointly issue the same
+//! `s-1, s-2, …` id sequence a single manager would (shard `k` of `N` is
+//! configured to issue `k+1, k+1+N, …`, and the router dispatches the
+//! `j`-th successful create to shard `(j − 1) mod N`). Combined with the
+//! FIFO per-shard channel and the synchronous request/response boundary,
+//! a client that drives its session one request at a time observes
+//! *byte-identical* wire responses to an unsharded [`SessionManager`] —
+//! pinned for shard counts {1, 2, 4} by `tests/sharded.rs`.
+//!
+//! [`ShardedManager`] is `Sync`: any number of front-end threads may call
+//! [`handle_json`](ShardedManager::handle_json) concurrently, and requests
+//! for different sessions proceed in parallel on different shards. That is
+//! the scaling story measured by the `sharded_service` Criterion group in
+//! `crates/bench/benches/service.rs`.
+
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+
+use webrobot_browser::Site;
+use webrobot_data::Value;
+
+use crate::manager::{error_response, ServiceConfig, ServiceError, ServiceStats, SessionManager};
+use crate::protocol::{Request, Response};
+
+/// One unit of work sent to a shard thread.
+enum Job {
+    /// Handle one wire request and send the response back.
+    Request(Request, Sender<Response>),
+    /// Register a site in this shard's catalog and acknowledge.
+    Register {
+        name: String,
+        site: Arc<Site>,
+        input: Value,
+        ack: Sender<()>,
+    },
+}
+
+/// Serializes session creation so the global id sequence (and therefore
+/// create→shard routing) is deterministic.
+#[derive(Debug)]
+struct CreateRouter {
+    /// Successful creates so far, across all shards; the next create will
+    /// be `s-<created + 1>` and must go to shard `created mod N`.
+    created: u64,
+}
+
+/// N shard threads, each owning a plain [`SessionManager`], behind the
+/// same v1 string-in/string-out boundary.
+///
+/// See the module docs for the routing guarantee. Caps in
+/// [`ServiceConfig`] (`max_live_sessions`, `max_sessions`) apply *per
+/// shard*: total capacity scales with the shard count.
+///
+/// # Example
+///
+/// ```
+/// # use std::sync::Arc;
+/// # use webrobot_browser::SiteBuilder;
+/// # use webrobot_dom::parse_html;
+/// # use webrobot_service::{ShardedManager, ServiceConfig};
+/// # use webrobot_lang::Value;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = SiteBuilder::new();
+/// let home = b.add_page("https://x.test/", parse_html(
+///     "<html><a>1</a><a>2</a><a>3</a></html>")?);
+/// let manager = ShardedManager::new(ServiceConfig::default(), 4);
+/// manager.register_site("anchors", Arc::new(b.start_at(home).finish()),
+///     Value::Object(vec![]));
+///
+/// // Same wire boundary as `SessionManager`, but `&self`: many threads
+/// // may drive their sessions concurrently.
+/// let reply = manager.handle_json(r#"{"v": 1, "kind": "create", "site": "anchors"}"#);
+/// assert!(reply.contains(r#""session":"s-1""#), "{reply}");
+/// let reply = manager.handle_json(
+///     r#"{"v": 1, "kind": "event", "session": "s-1", "event":
+///        {"type": "demonstrate", "action": {"op": "scrape_text", "selector": "/a[1]"}}}"#,
+/// );
+/// assert!(reply.contains(r#""outcome":"recorded""#), "{reply}");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct ShardedManager {
+    shards: Vec<Sender<Job>>,
+    router: Mutex<CreateRouter>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+// The whole point: front-end threads share one `&ShardedManager`.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ShardedManager>();
+};
+
+impl ShardedManager {
+    /// Spawns `shards` worker threads (clamped to ≥ 1), each owning a
+    /// [`SessionManager`] built from `cfg`.
+    pub fn new(cfg: ServiceConfig, shards: usize) -> ShardedManager {
+        let shards = shards.max(1);
+        let mut senders = Vec::with_capacity(shards);
+        let mut workers = Vec::with_capacity(shards);
+        for k in 0..shards {
+            let (tx, rx) = mpsc::channel::<Job>();
+            let manager =
+                SessionManager::new(cfg.clone()).with_id_sequence(k as u64 + 1, shards as u64);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("webrobot-shard-{k}"))
+                    .spawn(move || shard_loop(manager, rx))
+                    .expect("spawn shard thread"),
+            );
+            senders.push(tx);
+        }
+        ShardedManager {
+            shards: senders,
+            router: Mutex::new(CreateRouter { created: 0 }),
+            workers,
+        }
+    }
+
+    /// How many shard threads serve this manager.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Registers a site on **every** shard (a session may be created on
+    /// any of them), blocking until all shards acknowledge so a `create`
+    /// sent immediately afterwards cannot race the registration.
+    pub fn register_site(&self, name: impl Into<String>, site: Arc<Site>, input: Value) {
+        let name = name.into();
+        let mut acks = Vec::with_capacity(self.shards.len());
+        for tx in &self.shards {
+            let (ack, ack_rx) = mpsc::channel();
+            if tx
+                .send(Job::Register {
+                    name: name.clone(),
+                    site: site.clone(),
+                    input: input.clone(),
+                    ack,
+                })
+                .is_ok()
+            {
+                acks.push(ack_rx);
+            }
+        }
+        for ack in acks {
+            ack.recv().ok();
+        }
+    }
+
+    /// Handles one typed request, routing it to the owning shard. Total,
+    /// like [`SessionManager::handle`]: every failure is a
+    /// [`Response::Error`].
+    pub fn handle(&self, request: Request) -> Response {
+        match request {
+            Request::Create { .. } => self.create(request),
+            Request::Event { ref session, .. }
+            | Request::Outputs { ref session, .. }
+            | Request::Close { ref session, .. } => match session.parse() {
+                Ok(id) => {
+                    let shard = self.shard_of(id);
+                    self.roundtrip(shard, request)
+                }
+                // Byte-identical to the unsharded manager's rejection of a
+                // syntactically invalid id.
+                Err(()) => error_response(&ServiceError::UnknownSession(session.clone())),
+            },
+            Request::Stats => Response::Stats(self.stats()),
+        }
+    }
+
+    /// The string-in/string-out boundary, verbatim from
+    /// [`SessionManager::handle_json`] — but `&self`, so any number of
+    /// threads may call it concurrently.
+    pub fn handle_json(&self, request: &str) -> String {
+        match Request::from_json(request) {
+            Ok(request) => self.handle(request),
+            Err(e) => Response::from(e),
+        }
+        .to_json()
+    }
+
+    /// Aggregate statistics, summed field-wise over all shards. Each
+    /// counter counts disjoint per-shard events, so the sum is exact
+    /// (pinned against the unsharded manager by `tests/sharded.rs`).
+    pub fn stats(&self) -> ServiceStats {
+        let mut total = ServiceStats::default();
+        for shard in 0..self.shards.len() {
+            if let Response::Stats(stats) = self.roundtrip(shard, Request::Stats) {
+                total.absorb(&stats);
+            }
+        }
+        total
+    }
+
+    // ───────────────────── internals ─────────────────────
+
+    /// Which shard owns session id `n`: `(n − 1) mod N`, the inverse of
+    /// the per-shard id sequence `k+1, k+1+N, …`. No shard ever issues
+    /// `s-0`, but the string parses, so route it benignly (to shard 0,
+    /// which answers `unknown_session` exactly like the unsharded
+    /// manager) instead of underflowing.
+    fn shard_of(&self, id: crate::SessionId) -> usize {
+        (id.raw().saturating_sub(1) % self.shards.len() as u64) as usize
+    }
+
+    /// Sequenced create: pick the shard whose turn it is in the global id
+    /// sequence, and advance the sequence only if the shard actually
+    /// issued the id (failed creates — unknown site, session cap — must
+    /// not burn ids, exactly like the unsharded manager).
+    ///
+    /// A shard that is *full* (`too_many_sessions`) must not wedge the
+    /// whole service while its neighbors have capacity, so the create
+    /// fails over around the ring and only reports `too_many_sessions`
+    /// when every shard is full. Failover is the one place the dense
+    /// `s-1, s-2, …` sequence can skip: a session created on a non-turn
+    /// shard takes that shard's next stride id (ids stay unique and
+    /// route correctly — `(n−1) mod N` identifies the issuing shard by
+    /// construction).
+    fn create(&self, request: Request) -> Response {
+        let mut router = self.router.lock().unwrap_or_else(PoisonError::into_inner);
+        let first = (router.created % self.shards.len() as u64) as usize;
+        let mut response = None;
+        for offset in 0..self.shards.len() {
+            let shard = (first + offset) % self.shards.len();
+            let attempt = self.roundtrip(shard, request.clone());
+            let full =
+                matches!(&attempt, Response::Error { code, .. } if code == "too_many_sessions");
+            response = Some(attempt);
+            if !full {
+                break;
+            }
+        }
+        let response = response.expect("at least one shard");
+        if matches!(response, Response::Created { .. }) {
+            router.created += 1;
+        }
+        response
+    }
+
+    /// Sends one request to a shard and waits for its response.
+    fn roundtrip(&self, shard: usize, request: Request) -> Response {
+        let (reply, reply_rx) = mpsc::channel();
+        if self.shards[shard]
+            .send(Job::Request(request, reply))
+            .is_ok()
+        {
+            if let Ok(response) = reply_rx.recv() {
+                return response;
+            }
+        }
+        // Unreachable by design — shard loops only exit when the sender
+        // side is dropped, i.e. during `Drop` — but the boundary stays
+        // total instead of panicking.
+        Response::Error {
+            code: "shard_down".to_string(),
+            message: format!("shard {shard} is not serving requests"),
+        }
+    }
+}
+
+impl Drop for ShardedManager {
+    fn drop(&mut self) {
+        // Disconnect every shard channel so the workers' `recv` loops end,
+        // then join them: no detached threads outlive the manager.
+        self.shards.clear();
+        for worker in self.workers.drain(..) {
+            worker.join().ok();
+        }
+    }
+}
+
+/// One shard thread: drain jobs in arrival order until the manager side
+/// hangs up. Per-session ordering follows from the channel being FIFO and
+/// a session being pinned to exactly one shard.
+fn shard_loop(mut manager: SessionManager, jobs: Receiver<Job>) {
+    while let Ok(job) = jobs.recv() {
+        match job {
+            Job::Request(request, reply) => {
+                // A disconnected reply channel means the caller gave up
+                // (manager dropped mid-request); nothing to do.
+                reply.send(manager.handle(request)).ok();
+            }
+            Job::Register {
+                name,
+                site,
+                input,
+                ack,
+            } => {
+                manager.register_site(name, site, input);
+                ack.send(()).ok();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webrobot_browser::SiteBuilder;
+    use webrobot_dom::parse_html;
+    use webrobot_interact::Event;
+    use webrobot_lang::Action;
+
+    fn anchor_site(n: usize) -> Arc<Site> {
+        let body: String = (1..=n).map(|i| format!("<a>item {i}</a>")).collect();
+        let mut b = SiteBuilder::new();
+        let home = b.add_page(
+            "https://anchors.test/",
+            parse_html(&format!("<html>{body}</html>")).unwrap(),
+        );
+        Arc::new(b.start_at(home).finish())
+    }
+
+    fn sharded(shards: usize) -> ShardedManager {
+        let m = ShardedManager::new(ServiceConfig::default(), shards);
+        m.register_site("anchors", anchor_site(6), Value::Object(vec![]));
+        m
+    }
+
+    fn create(m: &ShardedManager) -> String {
+        let reply = m.handle(Request::Create {
+            site: "anchors".to_string(),
+            input: None,
+            deadline_ms: None,
+        });
+        match reply {
+            Response::Created { session, .. } => session,
+            other => panic!("create failed: {}", other.to_json()),
+        }
+    }
+
+    fn scrape(i: usize) -> Event {
+        Event::Demonstrate(Action::ScrapeText(format!("/a[{i}]").parse().unwrap()))
+    }
+
+    #[test]
+    fn ids_are_issued_in_the_global_sequence() {
+        let m = sharded(4);
+        for want in 1..=9 {
+            assert_eq!(create(&m), format!("s-{want}"));
+        }
+        assert_eq!(m.stats().sessions_created, 9);
+    }
+
+    #[test]
+    fn failed_creates_do_not_burn_ids() {
+        let m = sharded(3);
+        assert_eq!(create(&m), "s-1");
+        let reply = m.handle(Request::Create {
+            site: "nope".to_string(),
+            input: None,
+            deadline_ms: None,
+        });
+        assert!(matches!(reply, Response::Error { .. }));
+        assert_eq!(create(&m), "s-2");
+    }
+
+    #[test]
+    fn sessions_stick_to_their_shard_across_events() {
+        let m = sharded(4);
+        let ids: Vec<String> = (0..8).map(|_| create(&m)).collect();
+        // Interleave events across all sessions; every session progresses
+        // independently on its own shard.
+        for i in 1..=2 {
+            for id in &ids {
+                let reply = m.handle(Request::Event {
+                    session: id.clone(),
+                    event: scrape(i),
+                });
+                assert!(
+                    matches!(reply, Response::Event { .. }),
+                    "{}",
+                    reply.to_json()
+                );
+            }
+        }
+        let stats = m.stats();
+        assert_eq!(stats.events_ok, 16);
+        assert_eq!(stats.live_sessions, 8);
+    }
+
+    #[test]
+    fn full_shards_fail_over_until_the_whole_service_is_full() {
+        let m = ShardedManager::new(
+            ServiceConfig {
+                max_sessions: 1,
+                ..ServiceConfig::default()
+            },
+            2,
+        );
+        m.register_site("anchors", anchor_site(6), Value::Object(vec![]));
+        assert_eq!(create(&m), "s-1"); // shard 0
+        assert_eq!(create(&m), "s-2"); // shard 1
+        let reply = m.handle(Request::Create {
+            site: "anchors".to_string(),
+            input: None,
+            deadline_ms: None,
+        });
+        assert!(
+            matches!(&reply, Response::Error { code, .. } if code == "too_many_sessions"),
+            "{}",
+            reply.to_json()
+        );
+        // Freeing shard 1 lets the next create succeed even though the
+        // round-robin turn points at the still-full shard 0. The id is
+        // shard 1's next stride id (the dense sequence may skip under
+        // cap pressure, never collide).
+        m.handle(Request::Close {
+            session: "s-2".to_string(),
+        });
+        assert_eq!(create(&m), "s-4");
+        assert_eq!(m.stats().sessions_created, 3);
+    }
+
+    #[test]
+    fn session_zero_is_a_typed_error_not_a_panic() {
+        // "s-0" parses as a canonical id but no shard ever issues it;
+        // routing must not underflow — the reply is the same
+        // unknown_session error the unsharded manager gives.
+        let m = sharded(4);
+        let reply = m.handle_json(
+            r#"{"v": 1, "kind": "event", "session": "s-0", "event": {"type": "finish"}}"#,
+        );
+        assert!(reply.contains(r#""code":"unknown_session""#), "{reply}");
+        assert!(reply.contains("no session 's-0'"), "{reply}");
+    }
+
+    #[test]
+    fn unknown_and_malformed_sessions_are_typed_errors() {
+        let m = sharded(2);
+        for session in ["s-99", "bogus", "s-007"] {
+            let reply = m.handle_json(&format!(
+                r#"{{"v": 1, "kind": "event", "session": "{session}", "event": {{"type": "finish"}}}}"#
+            ));
+            assert!(
+                reply.contains(r#""code":"unknown_session""#),
+                "{session} → {reply}"
+            );
+        }
+    }
+
+    #[test]
+    fn concurrent_clients_drive_disjoint_sessions() {
+        let m = sharded(4);
+        let ids: Vec<String> = (0..8).map(|_| create(&m)).collect();
+        std::thread::scope(|scope| {
+            for id in &ids {
+                let m = &m;
+                scope.spawn(move || {
+                    for i in 1..=2 {
+                        let reply = m.handle(Request::Event {
+                            session: id.clone(),
+                            event: scrape(i),
+                        });
+                        assert!(
+                            matches!(reply, Response::Event { .. }),
+                            "{}",
+                            reply.to_json()
+                        );
+                    }
+                });
+            }
+        });
+        assert_eq!(m.stats().events_ok, 16);
+    }
+
+    #[test]
+    fn drop_joins_all_workers() {
+        let m = sharded(3);
+        create(&m);
+        drop(m); // must not hang or leak threads
+    }
+}

@@ -3,7 +3,7 @@
 //! the collection the target loop iterates over.
 
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use webrobot_data::{PathSeg, ValuePath};
 use webrobot_dom::{Axis, Path};
@@ -186,7 +186,7 @@ pub fn anti_unify(
         return hit.iter().map(|seed| seed.freshened(ctx)).collect();
     }
     let seeds = anti_unify_uncached(sp, sq, dom_p, dom_q, ctx);
-    ctx.antiunify_store(key, Rc::new(seeds.clone()));
+    ctx.antiunify_store(key, Arc::new(seeds.clone()));
     seeds
 }
 

@@ -1,9 +1,9 @@
 //! Shared synthesis context: the trace plus memoized selector analyses and
 //! the speculation memo tables.
 
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
+use std::sync::Mutex;
 
 use webrobot_dom::{alternatives, AltConfig, Axis, Path, Pred};
 use webrobot_lang::{Statement, VarGen};
@@ -41,17 +41,17 @@ pub struct SynthContext {
     pub(crate) cfg: SynthConfig,
     pub(crate) trace: Trace,
     pub(crate) vargen: VarGen,
-    alt_cache: HashMap<(usize, Path), Rc<Vec<Path>>>,
-    decomp_cache: HashMap<(usize, Path, usize), Rc<Vec<Decomp>>>,
+    alt_cache: HashMap<(usize, Path), Arc<Vec<Path>>>,
+    decomp_cache: HashMap<(usize, Path, usize), Arc<Vec<Decomp>>>,
     /// Anti-unification results per canonicalized statement pair. The same
     /// `(S_p, S_q)` pair is revisited by up to `max_window` enclosing
     /// windows (and again by every worklist item sharing the statements),
     /// so this table turns the inner loop of Alg. 2 into a lookup.
-    antiunify_cache: HashMap<AuKey, Rc<Vec<LoopSeed>>>,
+    antiunify_cache: HashMap<AuKey, Arc<Vec<LoopSeed>>>,
     /// Parametrization suffixes per `(DOM, recorded path, binding)`: the
     /// alternatives of the path that extend the binding, with the binding
     /// stripped. Variable-independent, so one entry serves every seed.
-    suffix_cache: HashMap<(usize, Path, Path), Rc<Vec<Path>>>,
+    suffix_cache: HashMap<(usize, Path, Path), Arc<Vec<Path>>>,
     /// Validation outcomes per `(canonicalized statement, start action,
     /// trace length)`: where the statement's simulated execution stops on
     /// `doms[start..len]` while staying consistent with the recorded
@@ -60,8 +60,10 @@ pub struct SynthContext {
     /// sibling worklist items speculate the same rewrites over the same
     /// slices constantly, so this cache removes the dominant cost of the
     /// worklist loop. Interior-mutable because `validate` reads the
-    /// context immutably.
-    validate_cache: RefCell<HashMap<(Statement, usize, usize), Option<usize>>>,
+    /// context immutably; a `Mutex` rather than a `RefCell` so the whole
+    /// context is `Send + Sync` (one synthesizer per shard thread — the
+    /// lock is never contended, so it costs an uncontended atomic).
+    validate_cache: Mutex<HashMap<(Statement, usize, usize), Option<usize>>>,
 }
 
 impl SynthContext {
@@ -75,7 +77,7 @@ impl SynthContext {
             decomp_cache: HashMap::new(),
             antiunify_cache: HashMap::new(),
             suffix_cache: HashMap::new(),
-            validate_cache: RefCell::new(HashMap::new()),
+            validate_cache: Mutex::new(HashMap::new()),
         }
     }
 
@@ -97,7 +99,7 @@ impl SynthContext {
         dom: std::sync::Arc<webrobot_dom::Dom>,
     ) {
         self.trace.push(action, dom);
-        self.validate_cache.borrow_mut().clear();
+        lock(&self.validate_cache).clear();
     }
 
     /// The active configuration.
@@ -116,7 +118,7 @@ impl SynthContext {
     ///
     /// Honors the *No selector* ablation: with `alternative_selectors`
     /// disabled only the recorded path itself is returned.
-    pub(crate) fn alternatives(&mut self, dom_idx: usize, path: &Path) -> Rc<Vec<Path>> {
+    pub(crate) fn alternatives(&mut self, dom_idx: usize, path: &Path) -> Arc<Vec<Path>> {
         let key = (dom_idx, path.clone());
         if let Some(hit) = self.alt_cache.get(&key) {
             return hit.clone();
@@ -128,7 +130,7 @@ impl SynthContext {
         } else {
             Vec::new()
         };
-        let rc = Rc::new(alts);
+        let rc = Arc::new(alts);
         self.alt_cache.insert(key, rc.clone());
         rc
     }
@@ -142,7 +144,7 @@ impl SynthContext {
         dom_idx: usize,
         path: &Path,
         want_index: usize,
-    ) -> Rc<Vec<Decomp>> {
+    ) -> Arc<Vec<Decomp>> {
         let key = (dom_idx, path.clone(), want_index);
         if let Some(hit) = self.decomp_cache.get(&key) {
             return hit.clone();
@@ -165,14 +167,14 @@ impl SynthContext {
         }
         out.sort_by_key(|d| (d.prefix.len(), d.suffix.len()));
         out.dedup();
-        let rc = Rc::new(out);
+        let rc = Arc::new(out);
         self.decomp_cache.insert(key, rc.clone());
         rc
     }
 
     /// Cached anti-unification seeds for a canonicalized pair, or `None`
     /// on a miss (and always when memoization is disabled).
-    pub(crate) fn antiunify_hit(&self, key: &AuKey) -> Option<Rc<Vec<LoopSeed>>> {
+    pub(crate) fn antiunify_hit(&self, key: &AuKey) -> Option<Arc<Vec<LoopSeed>>> {
         if !self.cfg.memoization {
             return None;
         }
@@ -181,7 +183,7 @@ impl SynthContext {
 
     /// Stores freshly computed anti-unification seeds, respecting the
     /// memo capacity (full table ⇒ results are recomputed, never wrong).
-    pub(crate) fn antiunify_store(&mut self, key: AuKey, seeds: Rc<Vec<LoopSeed>>) {
+    pub(crate) fn antiunify_store(&mut self, key: AuKey, seeds: Arc<Vec<LoopSeed>>) {
         if self.cfg.memoization && self.antiunify_cache.len() < self.cfg.memo_capacity {
             self.antiunify_cache.insert(key, seeds);
         }
@@ -196,19 +198,19 @@ impl SynthContext {
         dom_idx: usize,
         path: &Path,
         binding: &Path,
-    ) -> Rc<Vec<Path>> {
+    ) -> Arc<Vec<Path>> {
         if self.cfg.memoization {
             let key = (dom_idx, path.clone(), binding.clone());
             if let Some(hit) = self.suffix_cache.get(&key) {
                 return hit.clone();
             }
-            let rc = Rc::new(self.compute_suffixes(dom_idx, path, binding));
+            let rc = Arc::new(self.compute_suffixes(dom_idx, path, binding));
             if self.suffix_cache.len() < self.cfg.memo_capacity {
                 self.suffix_cache.insert(key, rc.clone());
             }
             rc
         } else {
-            Rc::new(self.compute_suffixes(dom_idx, path, binding))
+            Arc::new(self.compute_suffixes(dom_idx, path, binding))
         }
     }
 
@@ -234,12 +236,12 @@ impl SynthContext {
 
     /// Cached execution stop index for a [`validation_key`](Self::validation_key).
     pub(crate) fn validation_hit(&self, key: &(Statement, usize, usize)) -> Option<Option<usize>> {
-        self.validate_cache.borrow().get(key).copied()
+        lock(&self.validate_cache).get(key).copied()
     }
 
     /// Stores one validation execution outcome, respecting the capacity.
     pub(crate) fn validation_store(&self, key: (Statement, usize, usize), end: Option<usize>) {
-        let mut cache = self.validate_cache.borrow_mut();
+        let mut cache = lock(&self.validate_cache);
         if cache.len() < self.cfg.memo_capacity {
             cache.insert(key, end);
         }
@@ -254,6 +256,15 @@ impl SynthContext {
         out.dedup();
         out
     }
+}
+
+/// Locks the validation memo. The mutex only guards a cache, so a
+/// poisoned lock (a panic while a guard was held) still protects a
+/// perfectly usable map — recover it instead of propagating the poison.
+fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 #[cfg(test)]
@@ -315,6 +326,6 @@ mod tests {
         let mut c = ctx(SynthConfig::default());
         let a = c.alternatives(0, &path);
         let b = c.alternatives(0, &path);
-        assert!(Rc::ptr_eq(&a, &b));
+        assert!(Arc::ptr_eq(&a, &b));
     }
 }

@@ -215,6 +215,15 @@ pub struct Synthesizer {
     synced_len: usize,
 }
 
+// Sessions are sharded across worker threads one synthesizer per
+// session, so the engine (worklist items, cached stepper cursors, memo
+// tables) must stay `Send + Sync`. Compile-time enforced: an `Rc` or
+// `RefCell` reintroduced anywhere below fails `cargo check`, not a test.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Synthesizer>();
+};
+
 impl Synthesizer {
     /// Creates a synthesizer over an initial trace (possibly empty).
     pub fn new(cfg: SynthConfig, trace: Trace) -> Synthesizer {

@@ -1,0 +1,77 @@
+//! Compile-time thread-safety contract of the session stack.
+//!
+//! Sharding works because every layer of a session — the resumable
+//! `Stepper` cursors inside cached programs, the `Synthesizer` and its
+//! memo tables, the `Session` state machine, and a whole `SessionManager`
+//! — can be **moved onto a worker thread**. These assertions are
+//! evaluated in a `const`, so regressing any layer back to `Rc`/`RefCell`
+//! is a *compile error* of this test target, not a runtime failure: the
+//! `Arc` refactor can never silently rot.
+//!
+//! (The crates also carry local `const _` assertions next to each type;
+//! this integration test is the single place that states the whole-stack
+//! contract, including the facade re-exports actually used by services.)
+
+use webrobot::{Session, SessionManager, ShardedManager, Stepper, Synthesizer};
+
+const fn assert_send<T: Send>() {}
+const fn assert_send_sync<T: Send + Sync>() {}
+
+// Evaluated at compile time; the test exists so `cargo test` reports the
+// contract explicitly instead of it living only in the type checker.
+const _: () = {
+    // `Send` is the sharding requirement: whole sessions (and managers)
+    // move between threads.
+    assert_send::<Stepper>();
+    assert_send::<Synthesizer>();
+    assert_send::<Session>();
+    assert_send::<SessionManager>();
+    // `Sync` holds too — shared references are safe, which is what lets
+    // `ShardedManager::handle_json` take `&self` under many client
+    // threads.
+    assert_send_sync::<Stepper>();
+    assert_send_sync::<Synthesizer>();
+    assert_send_sync::<Session>();
+    assert_send_sync::<SessionManager>();
+    assert_send_sync::<ShardedManager>();
+};
+
+#[test]
+fn session_stack_is_send_and_sync() {
+    // The const block above is the real assertion; this test pins it to
+    // a named, reportable test case.
+}
+
+#[test]
+fn a_whole_session_can_cross_a_thread_boundary() {
+    use std::sync::Arc;
+    use webrobot::{Action, Event, SessionConfig, SiteBuilder, Value};
+    use webrobot_dom::parse_html;
+
+    let mut b = SiteBuilder::new();
+    let home = b.add_page(
+        "https://x.test/",
+        parse_html("<html><a>1</a><a>2</a><a>3</a></html>").unwrap(),
+    );
+    let site = Arc::new(b.start_at(home).finish());
+    let mut session = Session::new(site, Value::Object(vec![]), SessionConfig::default());
+    session
+        .handle(Event::Demonstrate(Action::ScrapeText(
+            "/a[1]".parse().unwrap(),
+        )))
+        .unwrap();
+    // Move the live session (browser + synthesizer + cached steppers) to
+    // another thread and keep driving it there.
+    let handle = std::thread::spawn(move || {
+        session
+            .handle(Event::Demonstrate(Action::ScrapeText(
+                "/a[2]".parse().unwrap(),
+            )))
+            .unwrap();
+        session.predictions().len()
+    });
+    assert!(
+        handle.join().unwrap() > 0,
+        "session kept working after the move"
+    );
+}

@@ -1,0 +1,292 @@
+//! `benchdiff` — the CI perf regression gate.
+//!
+//! Diffs a freshly emitted `BENCH_<bench>.json` (written by the vendored
+//! Criterion stub on every `cargo bench` run) against the committed
+//! baseline at the repo root, benchmark id by benchmark id:
+//!
+//! ```text
+//! benchdiff <baseline.json> <fresh.json> [--max-ratio N]
+//! ```
+//!
+//! - **Hard failure** (exit 1): a pinned id — any id present in the
+//!   baseline — is missing from the fresh run, or its fresh `mean_ns`
+//!   regressed by more than `--max-ratio` (default 3×). The generous
+//!   default exists because CI runs the stub harness with a tiny sample
+//!   budget on shared runners: it catches order-of-magnitude rot, not
+//!   ±15 % noise (see BENCH_NOTES.md on reading these numbers).
+//! - **Advisory otherwise** (exit 0): the full table is printed either
+//!   way — per-id baseline/fresh means, the ratio, and ids that are new
+//!   in the fresh run (not gated; commit the refreshed baseline to pin
+//!   them).
+//!
+//! The JSON is parsed with `webrobot_data::parse_json` — the snapshots
+//! are integer-only by construction, so the gate needs no dependency the
+//! workspace doesn't already have.
+
+use std::process::ExitCode;
+
+use webrobot_data::{parse_json, Value};
+
+/// Verdict for one benchmark id.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Verdict {
+    /// Within the allowed ratio (or faster).
+    Ok,
+    /// Fresh mean exceeds baseline mean by more than the ratio cap.
+    Regressed,
+    /// Pinned in the baseline, absent from the fresh run.
+    Missing,
+    /// Present only in the fresh run (not gated).
+    New,
+}
+
+#[derive(Debug)]
+struct RowDiff {
+    id: String,
+    baseline_ns: Option<i64>,
+    fresh_ns: Option<i64>,
+    verdict: Verdict,
+}
+
+impl RowDiff {
+    fn ratio(&self) -> Option<f64> {
+        match (self.baseline_ns, self.fresh_ns) {
+            (Some(b), Some(f)) if b > 0 => Some(f as f64 / b as f64),
+            _ => None,
+        }
+    }
+}
+
+/// Extracts `id → mean_ns` from one `BENCH_*.json` document.
+fn mean_ns_by_id(doc: &Value) -> Result<Vec<(String, i64)>, String> {
+    let Value::Object(fields) = doc else {
+        return Err("top level must be an object of benchmark ids".to_string());
+    };
+    fields
+        .iter()
+        .map(|(id, row)| {
+            row.field("mean_ns")
+                .and_then(Value::as_int)
+                .map(|ns| (id.clone(), ns))
+                .ok_or_else(|| format!("benchmark '{id}' has no integer 'mean_ns'"))
+        })
+        .collect()
+}
+
+/// Diffs fresh means against the baseline. Baseline order first (every
+/// pinned id gets a row, missing or not), then fresh-only ids.
+fn diff(baseline: &[(String, i64)], fresh: &[(String, i64)], max_ratio: f64) -> Vec<RowDiff> {
+    let fresh_of = |id: &str| fresh.iter().find(|(f, _)| f == id).map(|&(_, ns)| ns);
+    let mut rows: Vec<RowDiff> = baseline
+        .iter()
+        .map(|(id, base_ns)| {
+            let fresh_ns = fresh_of(id);
+            let verdict = match fresh_ns {
+                None => Verdict::Missing,
+                Some(f) if (f as f64) > *base_ns as f64 * max_ratio => Verdict::Regressed,
+                Some(_) => Verdict::Ok,
+            };
+            RowDiff {
+                id: id.clone(),
+                baseline_ns: Some(*base_ns),
+                fresh_ns,
+                verdict,
+            }
+        })
+        .collect();
+    for (id, ns) in fresh {
+        if !baseline.iter().any(|(b, _)| b == id) {
+            rows.push(RowDiff {
+                id: id.clone(),
+                baseline_ns: None,
+                fresh_ns: Some(*ns),
+                verdict: Verdict::New,
+            });
+        }
+    }
+    rows
+}
+
+fn print_table(rows: &[RowDiff], max_ratio: f64) {
+    println!(
+        "{:<44} {:>14} {:>14} {:>8}  verdict",
+        "benchmark", "baseline(ns)", "fresh(ns)", "ratio"
+    );
+    for row in rows {
+        let fmt_ns = |ns: Option<i64>| ns.map_or("—".to_string(), |n| n.to_string());
+        let ratio = row.ratio().map_or("—".to_string(), |r| format!("{r:.2}×"));
+        let verdict = match row.verdict {
+            Verdict::Ok => "ok",
+            Verdict::Regressed => "REGRESSED",
+            Verdict::Missing => "MISSING",
+            Verdict::New => "new (unpinned)",
+        };
+        println!(
+            "{:<44} {:>14} {:>14} {:>8}  {verdict}",
+            row.id,
+            fmt_ns(row.baseline_ns),
+            fmt_ns(row.fresh_ns),
+            ratio,
+        );
+    }
+    let failures = rows
+        .iter()
+        .filter(|r| matches!(r.verdict, Verdict::Regressed | Verdict::Missing))
+        .count();
+    if failures > 0 {
+        println!(
+            "\nFAIL: {failures} pinned benchmark(s) regressed beyond {max_ratio}× or went missing."
+        );
+    } else {
+        println!("\nOK: every pinned benchmark is within {max_ratio}× of its baseline.");
+    }
+}
+
+fn run(args: &[String]) -> Result<bool, String> {
+    const USAGE: &str = "usage: benchdiff <baseline.json> <fresh.json> [--max-ratio N]";
+    // One pass so `--max-ratio`'s value is consumed as the flag's
+    // argument, never mistaken for a third positional path.
+    let mut positional: Vec<&String> = Vec::new();
+    let mut max_ratio = 3.0;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--max-ratio" {
+            max_ratio = iter
+                .next()
+                .and_then(|n| n.parse::<f64>().ok())
+                .filter(|&r| r >= 1.0)
+                .ok_or("--max-ratio takes a number ≥ 1")?;
+        } else if arg.starts_with("--") {
+            return Err(format!("unknown flag '{arg}'\n{USAGE}"));
+        } else {
+            positional.push(arg);
+        }
+    }
+    let [baseline_path, fresh_path] = positional.as_slice() else {
+        return Err(USAGE.to_string());
+    };
+    let load = |path: &str| -> Result<Vec<(String, i64)>, String> {
+        let body = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let doc = parse_json(&body).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
+        mean_ns_by_id(&doc).map_err(|e| format!("{path}: {e}"))
+    };
+    let baseline = load(baseline_path)?;
+    let fresh = load(fresh_path)?;
+    if baseline.is_empty() {
+        return Err(format!("{baseline_path}: no pinned benchmarks"));
+    }
+    let rows = diff(&baseline, &fresh, max_ratio);
+    println!("benchdiff: {baseline_path} (baseline) vs {fresh_path} (fresh)\n");
+    print_table(&rows, max_ratio);
+    Ok(rows
+        .iter()
+        .all(|r| !matches!(r.verdict, Verdict::Regressed | Verdict::Missing)))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(message) => {
+            eprintln!("benchdiff: {message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows(base: &[(&str, i64)], fresh: &[(&str, i64)], max_ratio: f64) -> Vec<RowDiff> {
+        let own = |v: &[(&str, i64)]| -> Vec<(String, i64)> {
+            v.iter().map(|&(id, ns)| (id.to_string(), ns)).collect()
+        };
+        diff(&own(base), &own(fresh), max_ratio)
+    }
+
+    #[test]
+    fn within_ratio_is_ok_beyond_is_regressed() {
+        let out = rows(&[("g/a", 100)], &[("g/a", 299)], 3.0);
+        assert_eq!(out[0].verdict, Verdict::Ok);
+        let out = rows(&[("g/a", 100)], &[("g/a", 301)], 3.0);
+        assert_eq!(out[0].verdict, Verdict::Regressed);
+        // Speedups are always fine.
+        let out = rows(&[("g/a", 100)], &[("g/a", 1)], 3.0);
+        assert_eq!(out[0].verdict, Verdict::Ok);
+    }
+
+    #[test]
+    fn missing_pinned_id_fails_and_new_id_is_advisory() {
+        let out = rows(
+            &[("g/a", 100), ("g/b", 100)],
+            &[("g/a", 100), ("g/c", 5)],
+            3.0,
+        );
+        assert_eq!(out[0].verdict, Verdict::Ok);
+        assert_eq!(out[1].verdict, Verdict::Missing);
+        assert_eq!(out[2].id, "g/c");
+        assert_eq!(out[2].verdict, Verdict::New);
+    }
+
+    #[test]
+    fn parses_snapshot_shape() {
+        let doc = parse_json(
+            r#"{"service_wire/interleaved_s8": {"mean_ns": 1131183, "min_ns": 981115, "samples": 20, "elements_per_sec": 7072}}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            mean_ns_by_id(&doc).unwrap(),
+            vec![("service_wire/interleaved_s8".to_string(), 1_131_183)]
+        );
+        assert!(mean_ns_by_id(&parse_json(r#"{"x": {"min_ns": 3}}"#).unwrap()).is_err());
+    }
+
+    #[test]
+    fn end_to_end_against_real_files() {
+        let dir = std::env::temp_dir().join(format!("benchdiff-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("base.json");
+        let fresh = dir.join("fresh.json");
+        std::fs::write(
+            &base,
+            r#"{"g/a": {"mean_ns": 100, "min_ns": 90, "samples": 5}}"#,
+        )
+        .unwrap();
+        std::fs::write(
+            &fresh,
+            r#"{"g/a": {"mean_ns": 120, "min_ns": 100, "samples": 5}}"#,
+        )
+        .unwrap();
+        let args: Vec<String> = vec![
+            base.to_string_lossy().into_owned(),
+            fresh.to_string_lossy().into_owned(),
+        ];
+        assert_eq!(run(&args), Ok(true));
+        // --max-ratio's value is the flag's argument, not a positional:
+        // the flag both parses and changes the verdict (120/100 > 1.1).
+        let tight: Vec<String> = ["--max-ratio".to_string(), "1.1".to_string()]
+            .into_iter()
+            .chain(args.clone())
+            .collect();
+        assert_eq!(run(&tight), Ok(false), "1.2× regression under a 1.1× cap");
+        std::fs::write(
+            &fresh,
+            r#"{"g/b": {"mean_ns": 1, "min_ns": 1, "samples": 1}}"#,
+        )
+        .unwrap();
+        assert_eq!(run(&args), Ok(false), "missing pinned id must gate");
+        let strict: Vec<String> = ["--max-ratio".to_string(), "0.5".to_string()]
+            .into_iter()
+            .chain(args.clone())
+            .collect();
+        assert!(run(&strict).is_err(), "ratios below 1 are rejected");
+        let unknown: Vec<String> = ["--frobnicate".to_string()]
+            .into_iter()
+            .chain(args.clone())
+            .collect();
+        assert!(run(&unknown).is_err(), "unknown flags are rejected");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
