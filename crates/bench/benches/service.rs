@@ -39,15 +39,19 @@ fn anchor_site(n: usize) -> Arc<Site> {
 }
 
 fn manager(max_live: usize) -> SessionManager {
+    manager_with(max_live, ITEMS_PER_SITE, true)
+}
+
+/// A manager with `max_live` live slots over an `items`-item site;
+/// `delta_restore: false` prices the legacy full-replay restoration the
+/// delta snapshots replaced.
+fn manager_with(max_live: usize, items: usize, delta_restore: bool) -> SessionManager {
     let mut m = SessionManager::new(ServiceConfig {
         max_live_sessions: max_live,
+        delta_restore,
         ..ServiceConfig::default()
     });
-    m.register_site(
-        "anchors",
-        anchor_site(ITEMS_PER_SITE),
-        Value::Object(vec![]),
-    );
+    m.register_site("anchors", anchor_site(items), Value::Object(vec![]));
     m
 }
 
@@ -227,31 +231,125 @@ fn bench_sharded(c: &mut Criterion) {
     group.finish();
 }
 
-/// The same workload squeezed through a single live slot, so every
-/// session switch is a snapshot eviction + replay restoration — the cost
-/// of the memory/compute trade the eviction policy makes.
+/// A 10-record two-field directory (the nested-loop shape of the paper's
+/// scraping tasks): synthesis here is an order of magnitude heavier than
+/// on the flat anchor site, which is exactly the regime where restoration
+/// strategy matters.
+fn nested_site() -> Arc<Site> {
+    let body: String = (1..=10)
+        .map(|i| {
+            format!(
+                "<div class='person'><h3>Name {i}</h3>\
+                 <div class='phone'>555-{i:04}</div></div>"
+            )
+        })
+        .collect();
+    let mut b = SiteBuilder::new();
+    let home = b.add_page(
+        "https://people.bench.test/",
+        parse_html(&format!("<html><body>{body}</body></html>")).unwrap(),
+    );
+    Arc::new(b.start_at(home).finish())
+}
+
+/// Eviction/restoration cost, pricing **delta restore** (the default —
+/// snapshots carry the engine's re-synthesis schedule, so restoration
+/// replays the history observe-only and re-enters the synthesizer only
+/// where the original session ran its worklist) against the
+/// `*_full_replay` ablation (`delta_restore: false` — one full synthesis
+/// call per replayed action, the pre-delta behavior):
+///
+/// - `thrash_s4` / `thrash_s4_full_replay` — the end-to-end interleaved
+///   workload squeezed through a single live slot, so every tenant
+///   switch is an evict + restore. Histories stay short (≤ 6 actions on
+///   the flat site), so this bounds the *worst-case floor* of each
+///   restore rather than the delta advantage.
+/// - `restore_nested_h16` / `restore_nested_h16_full_replay` — one
+///   evict + restore cycle (driven over the wire as `evict` + `outputs`)
+///   of a session 16 actions deep into the nested two-field directory.
+///   Full replay pays one synthesis per action over an ever-longer
+///   trace; delta restore pays the recorded schedule only, so the gap
+///   here grows with session age (see BENCH_NOTES.md).
 fn bench_evict_thrash(c: &mut Criterion) {
     let mut group = c.benchmark_group("service_evict");
     group.sample_size(10);
     let sessions = 4usize;
-    group.throughput(Throughput::Elements(sessions as u64));
-    group.bench_with_input(
-        BenchmarkId::from_parameter(format!("thrash_s{sessions}")),
-        &sessions,
-        |bench, &sessions| {
-            bench.iter_batched(
-                || manager(1),
-                |mut m| {
-                    run_interleaved(&mut |r| m.handle_json(r), sessions);
-                    let stats = m.stats();
-                    assert_eq!(stats.sessions_closed as usize, sessions);
-                    assert!(stats.restores > 0, "eviction path exercised");
-                    m
-                },
-                criterion::BatchSize::LargeInput,
-            );
-        },
-    );
+    for (label, delta) in [("thrash_s4", true), ("thrash_s4_full_replay", false)] {
+        group.throughput(Throughput::Elements(sessions as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &sessions,
+            |bench, &sessions| {
+                bench.iter_batched(
+                    || manager_with(1, ITEMS_PER_SITE, delta),
+                    |mut m| {
+                        run_interleaved(&mut |r| m.handle_json(r), sessions);
+                        let stats = m.stats();
+                        assert_eq!(stats.sessions_closed as usize, sessions);
+                        assert!(stats.restores > 0, "eviction path exercised");
+                        m
+                    },
+                    criterion::BatchSize::LargeInput,
+                );
+            },
+        );
+    }
+
+    group.throughput(Throughput::Elements(1));
+    for (label, delta) in [
+        ("restore_nested_h16", true),
+        ("restore_nested_h16_full_replay", false),
+    ] {
+        // One session, demonstrated 4 actions and automated to a history
+        // of 16, held by a manager with headroom; each iteration forces
+        // one evict + one transparent restore through the wire boundary.
+        let mut m = SessionManager::new(ServiceConfig {
+            delta_restore: delta,
+            ..ServiceConfig::default()
+        });
+        m.register_site("people", nested_site(), Value::Object(vec![]));
+        assert!(m
+            .handle_json(r#"{"v": 1, "kind": "create", "site": "people"}"#)
+            .contains("\"ok\""));
+        for (record, field) in (1..=2).flat_map(|r| [(r, "h3[1]"), (r, "div[1]")]) {
+            let reply = m.handle_json(&event_request(
+                "s-1",
+                Event::Demonstrate(Action::ScrapeText(
+                    format!("/body[1]/div[{record}]/{field}").parse().unwrap(),
+                )),
+            ));
+            assert!(reply.contains("\"ok\""), "{reply}");
+        }
+        let mut history = 4;
+        let mut mode = "authorize".to_string();
+        while history < 16 {
+            let event = if mode == "authorize" {
+                Event::Accept { index: 0 }
+            } else {
+                Event::AutomateStep
+            };
+            let reply = m.handle_json(&event_request("s-1", event));
+            assert!(reply.contains(r#""status":"ok""#), "{reply}");
+            mode = parse_json(&reply)
+                .unwrap()
+                .field("mode")
+                .and_then(Value::as_str)
+                .unwrap()
+                .to_string();
+            history += 1;
+        }
+        let outputs_req = Request::Outputs {
+            session: "s-1".to_string(),
+        }
+        .to_json();
+        group.bench_with_input(BenchmarkId::from_parameter(label), &(), |bench, ()| {
+            bench.iter(|| {
+                assert!(m.evict("s-1".parse().unwrap()));
+                let reply = m.handle_json(&outputs_req);
+                assert!(reply.contains(r#""status":"ok""#), "{reply}");
+            });
+        });
+    }
     group.finish();
 }
 

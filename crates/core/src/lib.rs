@@ -19,8 +19,8 @@
 //! | [`webrobot_semantics`] | Trace semantics (Figs. 7–9), satisfaction & generalization |
 //! | [`webrobot_synth`] | Speculate + validate synthesis engine (paper §5) |
 //! | [`webrobot_browser`] | Simulated websites, live execution, trace recording |
-//! | [`webrobot_interact`] | Demo/authorize/automate sessions (paper §6): typed [`Event`]/[`SessionError`] state machine, snapshot/restore |
-//! | [`webrobot_service`] | Multi-tenant [`SessionManager`] + the v1 JSON wire protocol (`PROTOCOL.md`) |
+//! | [`webrobot_interact`] | Demo/authorize/automate sessions (paper §6): typed [`Event`]/[`SessionError`] state machine, delta snapshot/restore |
+//! | [`webrobot_service`] | Multi-tenant [`SessionManager`], sharding, persistent [`SnapshotStore`]s + the v1 JSON wire protocol (`PROTOCOL.md`) |
 //!
 //! This facade re-exports the most important types and offers [`WebRobot`],
 //! a batteries-included entry point.
@@ -96,8 +96,8 @@ pub use webrobot_semantics::{
     action_consistent, execute, generalizes, satisfies, trace_consistent, Stepper, Trace,
 };
 pub use webrobot_service::{
-    Request, Response, ServiceConfig, ServiceError, ServiceStats, SessionId, SessionManager,
-    ShardedManager, PROTOCOL_VERSION,
+    FileStore, MemoryStore, Request, Response, ServiceConfig, ServiceError, ServiceStats,
+    SessionId, SessionManager, ShardedManager, SnapshotStore, StoreError, PROTOCOL_VERSION,
 };
 pub use webrobot_synth::{RankedProgram, SynthConfig, SynthResult, Synthesizer};
 

@@ -27,6 +27,8 @@
 //! mistake injection for the simulated user study (a substitution for the
 //! paper's human participants; see `DESIGN.md` §4).
 
+#![warn(missing_docs)]
+
 mod error;
 mod session;
 mod user;

@@ -164,17 +164,55 @@ impl StepOutcome {
 /// synthesizer; since both are deterministic, the restored session
 /// produces the same predictions and outputs as the original (see the
 /// snapshot round-trip tests and `tests/service.rs`).
+///
+/// # Delta snapshots
+///
+/// Next to the replayable action history, a snapshot records the engine's
+/// **re-synthesis schedule** ([`SessionSnapshot::resynth`]): the trace
+/// lengths at which the original session's synthesizer actually ran its
+/// worklist instead of answering from the incremental fast path. Between
+/// two scheduled points the engine's stored state provably does not move
+/// (the fast path returns before touching the worklist), so
+/// [`Session::restore`] replays the actions observe-only and re-enters the
+/// engine only at the scheduled points — the *delta* of synthesis work
+/// since the engine's last full run — finishing with one fast-path call
+/// that resumes the cached programs through the engine's own
+/// `resume_incremental`/refresh machinery. A snapshot whose schedule was
+/// stripped ([`SessionSnapshot::without_schedule`], or a persisted v1
+/// record without a `resynth` field) restores through the legacy path:
+/// one full synthesis per replayed action.
+///
+/// The fields are public so `webrobot_service` can persist snapshots in
+/// the wire JSON subset and rebuild them when a store is reopened. There
+/// is no hidden invariant to break: [`Session::restore`] re-validates a
+/// snapshot by replaying it, so a hand-built (or tampered-with) snapshot
+/// surfaces as a typed [`SessionError`], never a panic.
 #[derive(Debug, Clone)]
 pub struct SessionSnapshot {
-    site: Arc<Site>,
-    input: Value,
-    cfg: SessionConfig,
-    executed: Vec<Action>,
-    mode: Mode,
-    predictions: Vec<Action>,
-    consecutive_accepts: usize,
-    automated_steps: usize,
-    last_program: Option<webrobot_lang::Program>,
+    /// The site the session runs on.
+    pub site: Arc<Site>,
+    /// The session's data source.
+    pub input: Value,
+    /// The session's configuration (including its synthesis deadline).
+    pub cfg: SessionConfig,
+    /// Every action executed so far, in absolute-XPath form — what
+    /// restoration replays.
+    pub executed: Vec<Action>,
+    /// The mode the session was in when snapshotted.
+    pub mode: Mode,
+    /// The predictions on offer when snapshotted.
+    pub predictions: Vec<Action>,
+    /// Consecutive accepted predictions at snapshot time.
+    pub consecutive_accepts: usize,
+    /// Automated actions executed at snapshot time.
+    pub automated_steps: usize,
+    /// The cached last-generalizing program, if any.
+    pub last_program: Option<webrobot_lang::Program>,
+    /// The delta-restore schedule: the strictly increasing trace lengths
+    /// at which the synthesizer ran a full (non-fast-path) worklist pass.
+    /// `None` marks a legacy snapshot that restores via full per-action
+    /// replay.
+    pub resynth: Option<Vec<usize>>,
 }
 
 impl SessionSnapshot {
@@ -186,6 +224,16 @@ impl SessionSnapshot {
     /// The mode the session was in when snapshotted.
     pub fn mode(&self) -> Mode {
         self.mode
+    }
+
+    /// Strips the delta-restore schedule, producing a snapshot that
+    /// [`Session::restore`] rebuilds through the legacy full-replay path
+    /// (one synthesis run per executed action). Used by the eviction
+    /// benchmarks to price delta restoration against full replay, and by
+    /// the service layer when `delta_restore` is disabled.
+    pub fn without_schedule(mut self) -> SessionSnapshot {
+        self.resynth = None;
+        self
     }
 }
 
@@ -226,6 +274,11 @@ pub struct Session {
     executed: Vec<Action>,
     automated_steps: usize,
     last_program: Option<webrobot_lang::Program>,
+    /// Trace lengths at which `refresh_predictions` ran a full
+    /// (non-fast-path) synthesis — the delta-restore schedule carried by
+    /// [`SessionSnapshot::resynth`]. Strictly increasing: each executed
+    /// action triggers exactly one synthesis call.
+    resynth: Vec<usize>,
 }
 
 // One session = one browser + one synthesizer, share-nothing, so a whole
@@ -255,6 +308,7 @@ impl Session {
             executed: Vec::new(),
             automated_steps: 0,
             last_program: None,
+            resynth: Vec::new(),
         }
     }
 
@@ -400,6 +454,13 @@ impl Session {
 
     fn refresh_predictions(&mut self) {
         let result = self.synth.synthesize();
+        if !result.stats.fast_path {
+            // The worklist actually ran at this trace length: record it in
+            // the delta-restore schedule. Everywhere else the engine
+            // answered from its cached programs without touching stored
+            // state, so a restore may skip the call entirely.
+            self.resynth.push(self.executed.len());
+        }
         if let Some(best) = result.programs.first() {
             self.last_program = Some(best.program.clone());
         }
@@ -530,8 +591,9 @@ impl Session {
     // ───────────────────── snapshot / restore ─────────────────────
 
     /// Captures a compact, replayable snapshot of this session (site
-    /// handle, input, config, executed actions, and the user-visible state:
-    /// mode, predictions, accept/automation counters, cached program).
+    /// handle, input, config, executed actions, the delta-restore schedule,
+    /// and the user-visible state: mode, predictions, accept/automation
+    /// counters, cached program).
     pub fn snapshot(&self) -> SessionSnapshot {
         SessionSnapshot {
             site: self.site.clone(),
@@ -543,15 +605,31 @@ impl Session {
             consecutive_accepts: self.consecutive_accepts,
             automated_steps: self.automated_steps,
             last_program: self.last_program.clone(),
+            resynth: Some(self.resynth.clone()),
         }
     }
 
-    /// Rebuilds a live session from a snapshot by replaying the executed
-    /// actions through a fresh browser and synthesizer (one synthesis run
-    /// per action, exactly as the original session ran), then restoring the
+    /// Rebuilds a live session from a snapshot, then restores the
     /// user-visible state. Browser and synthesizer are deterministic, so
     /// the restored session behaves like the original (modulo synthesis
     /// deadline truncation under extreme load; see `SynthConfig::timeout`).
+    ///
+    /// With a delta snapshot (`resynth` present — the default) the
+    /// executed actions are replayed through the browser and fed to the
+    /// synthesizer observe-only; the engine runs only at the recorded
+    /// schedule points, plus one final call that resumes the cached
+    /// programs through the incremental fast path. This is equivalent to
+    /// the legacy full replay because the engine's stored state does not
+    /// move during fast-path calls, and refreshing cached programs over a
+    /// batch of observations makes exactly the per-observation retention
+    /// decisions (pinned by `delta_restore_matches_full_replay` here and
+    /// the eviction differentials in `tests/service.rs`) — while skipping
+    /// the one-synthesis-per-action cascade that made restoration cost
+    /// scale with the whole history.
+    ///
+    /// A legacy snapshot (`resynth: None`) replays with one synthesis run
+    /// per action, exactly as the original session ran; the restored
+    /// session re-derives its schedule along the way.
     ///
     /// # Errors
     ///
@@ -559,9 +637,31 @@ impl Session {
     /// (only possible for snapshots tampered with by hand).
     pub fn restore(snap: &SessionSnapshot) -> Result<Session, SessionError> {
         let mut session = Session::new(snap.site.clone(), snap.input.clone(), snap.cfg.clone());
-        for action in &snap.executed {
-            session.perform_and_record(action)?;
-            session.refresh_predictions();
+        match &snap.resynth {
+            Some(schedule) => {
+                let mut next = schedule.iter().peekable();
+                for (i, action) in snap.executed.iter().enumerate() {
+                    session.perform_and_record(action)?;
+                    if next.peek() == Some(&&(i + 1)) {
+                        next.next();
+                        let _ = session.synth.synthesize();
+                    }
+                }
+                // Sync the cached generalizing programs to the full trace
+                // unless the last replayed step already ran the engine; by
+                // construction this call hits the fast path (the original
+                // session's last synthesis did).
+                if !snap.executed.is_empty() && schedule.last() != Some(&snap.executed.len()) {
+                    let _ = session.synth.synthesize();
+                }
+                session.resynth = schedule.clone();
+            }
+            None => {
+                for action in &snap.executed {
+                    session.perform_and_record(action)?;
+                    session.refresh_predictions();
+                }
+            }
         }
         session.mode = snap.mode;
         session.predictions = snap.predictions.clone();
@@ -823,6 +923,107 @@ mod tests {
         }
         assert_eq!(original.browser().outputs(), restored.browser().outputs());
         assert_eq!(original.executed(), restored.executed());
+    }
+
+    /// The delta-restore schedule records exactly the non-fast-path
+    /// synthesis points and rides along in the snapshot.
+    #[test]
+    fn resynth_schedule_is_recorded_and_snapshotted() {
+        let mut s = session(6);
+        s.demonstrate(&scrape(1)).unwrap();
+        s.demonstrate(&scrape(2)).unwrap();
+        let snap = s.snapshot();
+        let schedule = snap.resynth.clone().expect("delta snapshots by default");
+        // The first synthesis can never answer from an (empty) program
+        // cache, so the schedule always starts at trace length 1.
+        assert_eq!(schedule.first(), Some(&1));
+        assert!(
+            schedule.windows(2).all(|w| w[0] < w[1]),
+            "strictly increasing: one synthesis per executed action"
+        );
+        // Steady-state accepts ride the fast path: the schedule stops
+        // growing while the cached program keeps predicting.
+        let before = schedule.len();
+        s.authorize(Some(0)).unwrap();
+        s.authorize(Some(0)).unwrap();
+        let after = s.snapshot().resynth.unwrap();
+        assert_eq!(&after[..before], &schedule[..]);
+        assert_eq!(after.len(), before, "accepts answered from the fast path");
+    }
+
+    /// Delta restoration ≡ legacy full replay ≡ the original session: all
+    /// three continue identically to the end of the task, and the legacy
+    /// path re-derives the same schedule the delta path carried over.
+    #[test]
+    fn delta_restore_matches_full_replay() {
+        let mut original = session(8);
+        original.demonstrate(&scrape(1)).unwrap();
+        original.demonstrate(&scrape(2)).unwrap();
+        original.authorize(Some(0)).unwrap();
+        let snap = original.snapshot();
+        let mut delta = Session::restore(&snap).unwrap();
+        let mut full = Session::restore(&snap.clone().without_schedule()).unwrap();
+
+        for s in [&delta, &full] {
+            assert_eq!(s.mode(), original.mode());
+            assert_eq!(s.executed(), original.executed());
+            assert_eq!(s.predictions(), original.predictions());
+            assert_eq!(s.browser().outputs(), original.browser().outputs());
+            assert_eq!(s.current_program(), original.current_program());
+        }
+
+        loop {
+            let a = original.handle(Event::Accept { index: 0 });
+            assert_eq!(a, delta.handle(Event::Accept { index: 0 }));
+            assert_eq!(a, full.handle(Event::Accept { index: 0 }));
+            assert_eq!(original.predictions(), delta.predictions());
+            assert_eq!(original.predictions(), full.predictions());
+            if original.mode() != Mode::Authorize {
+                break;
+            }
+        }
+        while original.mode() == Mode::Automate {
+            let a = original.automate_step();
+            assert_eq!(a, delta.automate_step());
+            assert_eq!(a, full.automate_step());
+        }
+        assert_eq!(original.browser().outputs(), delta.browser().outputs());
+        assert_eq!(original.browser().outputs(), full.browser().outputs());
+        assert_eq!(original.executed(), delta.executed());
+        assert_eq!(original.snapshot().resynth, delta.snapshot().resynth);
+        assert_eq!(original.snapshot().resynth, full.snapshot().resynth);
+    }
+
+    /// Re-eviction after a delta restore keeps working: snapshot → delta
+    /// restore → snapshot → delta restore round-trips (the thrash pattern
+    /// the service's LRU eviction produces).
+    #[test]
+    fn repeated_delta_snapshot_cycles_round_trip() {
+        let mut reference = session(7);
+        let mut thrashed = Session::restore(&session(7).snapshot()).unwrap();
+        let drive = |s: &mut Session, event: Event| s.handle(event);
+        for i in 1..=2 {
+            assert_eq!(
+                drive(&mut reference, Event::Demonstrate(scrape(i))),
+                drive(&mut thrashed, Event::Demonstrate(scrape(i)))
+            );
+            // Evict + delta-restore the subject between every event.
+            thrashed = Session::restore(&thrashed.snapshot()).unwrap();
+        }
+        while reference.mode() == Mode::Authorize {
+            assert_eq!(
+                drive(&mut reference, Event::Accept { index: 0 }),
+                drive(&mut thrashed, Event::Accept { index: 0 })
+            );
+            assert_eq!(reference.predictions(), thrashed.predictions());
+            thrashed = Session::restore(&thrashed.snapshot()).unwrap();
+        }
+        while reference.mode() == Mode::Automate {
+            assert_eq!(reference.automate_step(), thrashed.automate_step());
+            thrashed = Session::restore(&thrashed.snapshot()).unwrap();
+        }
+        assert_eq!(reference.browser().outputs(), thrashed.browser().outputs());
+        assert_eq!(reference.executed(), thrashed.executed());
     }
 
     /// A snapshot taken right after a rejection restores with cleared

@@ -28,6 +28,16 @@
 //! out-of-range accepts, events after `finish` — all are typed error
 //! responses, never panics.
 //!
+//! Sessions are also *durable*: attach a [`SnapshotStore`] (in-memory
+//! [`MemoryStore`] or directory-backed [`FileStore`]) via
+//! [`SessionManager::with_store`] / [`ShardedManager::with_stores`] and
+//! evictions spill serialized snapshots into it, `checkpoint` (and drop)
+//! flush live sessions, and reopening the store resumes every session —
+//! the whole manager survives a process restart byte-identically on the
+//! wire (see `PROTOCOL.md` § Durability, `ARCHITECTURE.md` for the
+//! session lifecycle, and `examples/durable_service.rs` for a simulated
+//! restart).
+//!
 //! # Quickstart
 //!
 //! ```
@@ -62,15 +72,24 @@
 //! # }
 //! ```
 
+#![warn(missing_docs)]
+
 mod manager;
+mod persist;
 mod protocol;
 mod sharded;
+mod store;
 
 pub use manager::{
     EventReply, ServiceConfig, ServiceError, ServiceStats, SessionId, SessionManager,
+};
+pub use persist::{
+    decode_meta, decode_session, encode_meta, encode_session, ManagerMeta, SessionRecord,
+    STORE_VERSION,
 };
 pub use protocol::{
     action_from_value, action_to_value, event_from_value, event_to_value, ProtocolError, Request,
     Response, PROTOCOL_VERSION,
 };
 pub use sharded::ShardedManager;
+pub use store::{FileStore, MemoryStore, SnapshotStore, StoreError};

@@ -1,6 +1,8 @@
 //! The multi-tenant session manager: many concurrent [`Session`]s keyed by
 //! generated [`SessionId`], with LRU/idle eviction backed by
-//! [`SessionSnapshot`]s and aggregate [`ServiceStats`].
+//! [`SessionSnapshot`]s, an optional persistent [`SnapshotStore`] behind
+//! the evictions (so a manager survives a process restart), and aggregate
+//! [`ServiceStats`].
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -15,7 +17,15 @@ use webrobot_interact::{
 };
 use webrobot_lang::Action;
 
+use crate::persist::{self, ManagerMeta};
 use crate::protocol::{Request, Response};
+use crate::store::{SnapshotStore, StoreError};
+
+/// The largest session id a manager will adopt from a store. Ids are
+/// issued densely from 1, so nothing legitimate comes near this; the cap
+/// keeps every id — and the metadata record's `next_id` cursor — safely
+/// representable in the wire format's `i64`.
+const MAX_SESSION_ID: u64 = 1 << 62;
 
 /// Opaque identifier of a managed session. Rendered as `s-<n>` on the
 /// wire.
@@ -70,6 +80,12 @@ pub enum ServiceError {
     },
     /// The session itself rejected the event.
     Session(SessionError),
+    /// `checkpoint`/`recover` was requested but the manager has no
+    /// [`SnapshotStore`] attached.
+    NoStore,
+    /// The snapshot store failed (I/O error, or a tampered/truncated
+    /// record).
+    Store(StoreError),
 }
 
 impl ServiceError {
@@ -81,6 +97,8 @@ impl ServiceError {
             ServiceError::UnknownSession(_) => "unknown_session",
             ServiceError::TooManySessions { .. } => "too_many_sessions",
             ServiceError::Session(e) => e.code(),
+            ServiceError::NoStore => "no_store",
+            ServiceError::Store(e) => e.code(),
         }
     }
 }
@@ -94,6 +112,8 @@ impl fmt::Display for ServiceError {
                 write!(f, "session cap reached ({max} sessions)")
             }
             ServiceError::Session(e) => e.fmt(f),
+            ServiceError::NoStore => write!(f, "no snapshot store is attached to this manager"),
+            ServiceError::Store(e) => e.fmt(f),
         }
     }
 }
@@ -102,6 +122,7 @@ impl std::error::Error for ServiceError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ServiceError::Session(e) => Some(e),
+            ServiceError::Store(e) => Some(e),
             _ => None,
         }
     }
@@ -110,6 +131,12 @@ impl std::error::Error for ServiceError {
 impl From<SessionError> for ServiceError {
     fn from(e: SessionError) -> ServiceError {
         ServiceError::Session(e)
+    }
+}
+
+impl From<StoreError> for ServiceError {
+    fn from(e: StoreError) -> ServiceError {
+        ServiceError::Store(e)
     }
 }
 
@@ -128,6 +155,14 @@ pub struct ServiceConfig {
     /// Hard cap on tracked sessions, live + evicted. Further `create`
     /// requests fail with `too_many_sessions`.
     pub max_sessions: usize,
+    /// Evict to **delta snapshots** (the default): snapshots carry the
+    /// engine's re-synthesis schedule, so restoration replays the action
+    /// history observe-only and re-enters the synthesizer only where the
+    /// original session actually ran its worklist. Disable to evict to
+    /// legacy full-replay snapshots (one synthesis per replayed action) —
+    /// the ablation the `service_evict` bench rows price against each
+    /// other; wire behavior is identical either way.
+    pub delta_restore: bool,
 }
 
 impl Default for ServiceConfig {
@@ -136,6 +171,7 @@ impl Default for ServiceConfig {
             session: SessionConfig::default(),
             max_live_sessions: 64,
             max_sessions: 4096,
+            delta_restore: true,
         }
     }
 }
@@ -198,8 +234,22 @@ struct RegisteredSite {
     input: Value,
 }
 
-/// One tracked session: live (boxed — a live session is orders of
-/// magnitude larger than a snapshot), or evicted to a compact snapshot.
+/// One tracked session plus the bookkeeping the persistence layer needs:
+/// the site *name* it was created under and its `deadline_ms` override
+/// (a store record carries both, so a reopened manager can rebuild the
+/// session config from its own template).
+#[derive(Debug)]
+struct Tracked {
+    site: String,
+    deadline_ms: Option<u64>,
+    slot: Slot,
+}
+
+/// A tracked session's state: live (boxed — a live session is orders of
+/// magnitude larger than a snapshot), evicted to a compact in-memory
+/// snapshot, or — after a store reopen — persisted as a raw store record
+/// that is decoded and restored on first touch (sites are registered
+/// after construction, so resolution must be deferred).
 #[derive(Debug)]
 enum Slot {
     Live {
@@ -208,6 +258,9 @@ enum Slot {
     },
     Evicted {
         snapshot: Box<SessionSnapshot>,
+    },
+    Stored {
+        raw: Value,
     },
 }
 
@@ -254,12 +307,17 @@ enum Slot {
 pub struct SessionManager {
     cfg: ServiceConfig,
     sites: BTreeMap<String, RegisteredSite>,
-    sessions: BTreeMap<u64, Slot>,
+    sessions: BTreeMap<u64, Tracked>,
     /// Count of `Slot::Live` entries, maintained at every live↔evicted
     /// transition so the per-event capacity check is O(1) instead of a
     /// full map scan.
     live: usize,
     next_id: u64,
+    /// The first id this manager was configured to issue — fixed at
+    /// construction, it names the manager's residue class
+    /// (`id ≡ id_first mod id_stride`) and therefore its metadata record
+    /// key in the store.
+    id_first: u64,
     /// Distance between consecutively issued ids (1 standalone; the shard
     /// count when this manager is one shard of a `ShardedManager`, so the
     /// shards jointly issue the same `s-1, s-2, …` sequence a single
@@ -267,6 +325,19 @@ pub struct SessionManager {
     id_stride: u64,
     clock: u64,
     stats: ServiceStats,
+    /// The durability substrate, when attached: evictions spill serialized
+    /// snapshots into it, `checkpoint`/`Drop` flush everything, and the
+    /// constructor adopts whatever the store already holds.
+    store: Option<Box<dyn SnapshotStore>>,
+    /// Session records whose best-effort store removal (on `close`)
+    /// failed; `checkpoint` retries exactly these — and only these, so
+    /// records this manager never wrote (e.g. a hand-off from another
+    /// process awaiting `recover`) are never touched. The queue is
+    /// in-memory: a hard kill before a successful retry leaves the stale
+    /// record in the store, and the session resurrects on reopen (the
+    /// one double-failure window the durability contract accepts; see
+    /// `close`).
+    pending_removals: Vec<u64>,
 }
 
 // A plain manager is single-threaded by design; what sharding needs is
@@ -279,7 +350,8 @@ const _: () = {
 };
 
 impl SessionManager {
-    /// Creates an empty manager.
+    /// Creates an empty manager with no durability (sessions die with the
+    /// process). See [`SessionManager::with_store`] for the durable form.
     pub fn new(cfg: ServiceConfig) -> SessionManager {
         SessionManager {
             cfg,
@@ -287,10 +359,84 @@ impl SessionManager {
             sessions: BTreeMap::new(),
             live: 0,
             next_id: 1,
+            id_first: 1,
             id_stride: 1,
             clock: 0,
             stats: ServiceStats::default(),
+            store: None,
+            pending_removals: Vec::new(),
         }
+    }
+
+    /// Creates a manager backed by a persistent [`SnapshotStore`],
+    /// **adopting whatever the store already holds**: if the store was
+    /// written by a previous process (via eviction spills, an explicit
+    /// `checkpoint`, or the flush on drop), the new manager resumes that
+    /// manager's id sequence, LRU clock and counters, and tracks every
+    /// persisted session — each one is decoded and restored on its first
+    /// touch, after the caller re-registers its sites. On an empty store
+    /// this is simply a durable [`SessionManager::new`].
+    ///
+    /// Restart is designed to be unobservable on the wire: a reopened
+    /// manager answers session requests byte-identically to one that
+    /// never restarted (`tests/persistence.rs` pins this at shard counts
+    /// 1, 2 and 4).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] when the store cannot be enumerated or holds a
+    /// record that does not parse as JSON (reopen fails fast on a
+    /// corrupt store; a record that parses but decodes to an impossible
+    /// session surfaces later, as a typed per-session wire error).
+    pub fn with_store(
+        cfg: ServiceConfig,
+        store: Box<dyn SnapshotStore>,
+    ) -> Result<SessionManager, StoreError> {
+        SessionManager::with_store_sequenced(cfg, store, 1, 1)
+    }
+
+    /// The sharded form of [`SessionManager::with_store`]: adopt only the
+    /// sessions in this shard's residue class and the matching metadata
+    /// record.
+    pub(crate) fn with_store_sequenced(
+        cfg: ServiceConfig,
+        store: Box<dyn SnapshotStore>,
+        first: u64,
+        stride: u64,
+    ) -> Result<SessionManager, StoreError> {
+        let mut manager = SessionManager::new(cfg).with_id_sequence(first, stride);
+        manager.store = Some(store);
+        if let Some(raw) = manager.store.as_ref().unwrap().get(&manager.meta_key())? {
+            let meta = persist::decode_meta(&raw)
+                .map_err(|detail| StoreError::corrupt(manager.meta_key(), detail))?;
+            // A next_id outside this manager's residue class would make
+            // two shards issue colliding (and mis-routing) ids: reject a
+            // tampered cursor instead of adopting it.
+            if meta.next_id % manager.id_stride != first % manager.id_stride {
+                return Err(StoreError::corrupt(
+                    manager.meta_key(),
+                    format!(
+                        "next_id {} is not in the id sequence {first}, {}, …",
+                        meta.next_id,
+                        first + stride
+                    ),
+                ));
+            }
+            // Same bound as adopted session ids: a cursor past this
+            // could issue ids the (i64-valued) meta record cannot
+            // round-trip, locking the store out on the reopen after.
+            if meta.next_id > MAX_SESSION_ID {
+                return Err(StoreError::corrupt(
+                    manager.meta_key(),
+                    format!("next_id {} exceeds the id space", meta.next_id),
+                ));
+            }
+            manager.next_id = meta.next_id.max(manager.next_id);
+            manager.clock = meta.clock;
+            manager.stats = meta.stats;
+        }
+        manager.adopt_sessions()?;
+        Ok(manager)
     }
 
     /// Reconfigures the id sequence to `first, first + stride, …` —
@@ -300,6 +446,7 @@ impl SessionManager {
     pub(crate) fn with_id_sequence(mut self, first: u64, stride: u64) -> SessionManager {
         debug_assert!(first >= 1 && stride >= 1);
         self.next_id = first;
+        self.id_first = first;
         self.id_stride = stride.max(1);
         self
     }
@@ -349,13 +496,27 @@ impl SessionManager {
             session_cfg,
         );
         let id = SessionId(self.next_id);
-        self.next_id += self.id_stride;
+        // Unreachable short of an adopted id near u64::MAX saturating the
+        // cursor: never silently overwrite an existing session.
+        if self.sessions.contains_key(&id.0) {
+            return Err(ServiceError::TooManySessions {
+                max: self.cfg.max_sessions,
+            });
+        }
+        self.next_id = self.next_id.saturating_add(self.id_stride);
         self.clock += 1;
         self.sessions.insert(
             id.0,
-            Slot::Live {
-                session: Box::new(session),
-                last_used: self.clock,
+            Tracked {
+                site: site.to_string(),
+                // Persistence is millisecond-granular (the wire unit);
+                // round a sub-millisecond deadline up, never down to a
+                // zero timeout.
+                deadline_ms: deadline.map(|d| d.as_nanos().div_ceil(1_000_000) as u64),
+                slot: Slot::Live {
+                    session: Box::new(session),
+                    last_used: self.clock,
+                },
             },
         );
         self.live += 1;
@@ -377,7 +538,11 @@ impl SessionManager {
         // Enforce the live cap up front so a restore that displaced the
         // cap holds even when the event itself is rejected below.
         self.enforce_live_capacity(Some(id.0));
-        let Some(Slot::Live { session, .. }) = self.sessions.get_mut(&id.0) else {
+        let Some(Tracked {
+            slot: Slot::Live { session, .. },
+            ..
+        }) = self.sessions.get_mut(&id.0)
+        else {
             return Err(ServiceError::UnknownSession(id.to_string()));
         };
         let result = session.handle(event);
@@ -406,22 +571,38 @@ impl SessionManager {
         self.ensure_live(id)?;
         self.enforce_live_capacity(Some(id.0));
         match self.sessions.get(&id.0) {
-            Some(Slot::Live { session, .. }) => Ok(session.browser().outputs().to_vec()),
+            Some(Tracked {
+                slot: Slot::Live { session, .. },
+                ..
+            }) => Ok(session.browser().outputs().to_vec()),
             _ => Err(ServiceError::UnknownSession(id.to_string())),
         }
     }
 
-    /// Finishes and forgets a session (live or evicted).
+    /// Finishes and forgets a session (live, evicted or persisted). When a
+    /// store is attached the session's record is removed from it too — a
+    /// closed session does not resurrect on the next reopen. (A failed
+    /// removal is queued and retried by the next checkpoint; only the
+    /// double failure of that removal *and* a hard kill before any retry
+    /// can leave a stale record behind.)
     ///
     /// # Errors
     ///
     /// [`ServiceError::UnknownSession`] for an untracked id.
     pub fn close(&mut self, id: SessionId) -> Result<(), ServiceError> {
         match self.sessions.remove(&id.0) {
-            Some(mut slot) => {
-                if let Slot::Live { session, .. } = &mut slot {
+            Some(mut tracked) => {
+                if let Slot::Live { session, .. } = &mut tracked.slot {
                     session.finish().ok(); // idempotent best effort
                     self.live -= 1;
+                }
+                if let Some(store) = self.store.as_mut() {
+                    // Best effort now; a failure is queued and retried by
+                    // the next checkpoint so the closed session cannot
+                    // resurrect on a later reopen.
+                    if store.remove(&id.to_string()).is_err() {
+                        self.pending_removals.push(id.0);
+                    }
                 }
                 self.stats.sessions_closed += 1;
                 Ok(())
@@ -434,20 +615,35 @@ impl SessionManager {
     /// synthesizer. Returns `false` when the id is unknown or the session
     /// is already evicted. The session transparently restores on its next
     /// event.
+    ///
+    /// When a store is attached the serialized snapshot is also spilled
+    /// to it (best effort — the in-memory snapshot stays authoritative,
+    /// and the next `checkpoint` retries any failed write), so an evicted
+    /// session is durable the moment it goes cold.
     pub fn evict(&mut self, id: SessionId) -> bool {
-        match self.sessions.get_mut(&id.0) {
-            Some(slot) => match slot {
-                Slot::Live { session, .. } => {
-                    let snapshot = Box::new(session.snapshot());
-                    *slot = Slot::Evicted { snapshot };
-                    self.live -= 1;
-                    self.stats.evictions += 1;
-                    true
-                }
-                Slot::Evicted { .. } => false,
-            },
-            None => false,
+        let Some(tracked) = self.sessions.get_mut(&id.0) else {
+            return false;
+        };
+        let Slot::Live { session, .. } = &mut tracked.slot else {
+            return false;
+        };
+        let mut snapshot = session.snapshot();
+        if !self.cfg.delta_restore {
+            snapshot = snapshot.without_schedule();
         }
+        let record = self
+            .store
+            .is_some()
+            .then(|| persist::encode_session(id.0, &tracked.site, tracked.deadline_ms, &snapshot));
+        tracked.slot = Slot::Evicted {
+            snapshot: Box::new(snapshot),
+        };
+        self.live -= 1;
+        self.stats.evictions += 1;
+        if let (Some(store), Some(record)) = (self.store.as_mut(), record) {
+            store.put(&id.to_string(), &record).ok();
+        }
+        true
     }
 
     /// Evicts every live session not used within the last `max_idle`
@@ -459,7 +655,7 @@ impl SessionManager {
         let idle: Vec<u64> = self
             .sessions
             .iter()
-            .filter_map(|(&id, slot)| match slot {
+            .filter_map(|(&id, tracked)| match &tracked.slot {
                 Slot::Live { last_used, .. } if *last_used < horizon => Some(id),
                 _ => None,
             })
@@ -489,9 +685,95 @@ impl SessionManager {
         self.sessions.len()
     }
 
-    /// Whether `id` is currently evicted to a snapshot.
+    /// Whether `id` is currently cold: evicted to a snapshot, or still a
+    /// persisted store record awaiting its first touch after a reopen.
     pub fn is_evicted(&self, id: SessionId) -> bool {
-        matches!(self.sessions.get(&id.0), Some(Slot::Evicted { .. }))
+        matches!(
+            self.sessions.get(&id.0).map(|t| &t.slot),
+            Some(Slot::Evicted { .. } | Slot::Stored { .. })
+        )
+    }
+
+    /// Whether a [`SnapshotStore`] is attached to this manager.
+    pub fn has_store(&self) -> bool {
+        self.store.is_some()
+    }
+
+    /// Flushes the manager to its store: every tracked session's snapshot
+    /// record plus the manager metadata (id sequence, LRU clock,
+    /// counters), so a process that stops here can be reopened with
+    /// [`SessionManager::with_store`] and continue byte-identically. Live
+    /// sessions stay live — checkpointing is non-destructive. Returns how
+    /// many session records the store now holds for this manager.
+    ///
+    /// Dropping a store-backed manager checkpoints implicitly; the
+    /// explicit form exists on the wire (`{"kind": "checkpoint"}`) so an
+    /// operator can bound the data-loss window under hard kills.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::NoStore`] without a store;
+    /// [`ServiceError::Store`] when a write fails (records already
+    /// written stay written — the operation is idempotent, re-run it).
+    pub fn checkpoint(&mut self) -> Result<usize, ServiceError> {
+        let Some(store) = self.store.as_mut() else {
+            return Err(ServiceError::NoStore);
+        };
+        // Stream one record at a time — a manager may track thousands of
+        // sessions, and buffering every serialized record before the
+        // first write would spike memory by the whole serialized state.
+        let mut count = 0usize;
+        for (&id, tracked) in &self.sessions {
+            let record = match &tracked.slot {
+                Slot::Live { session, .. } => {
+                    let mut snapshot = session.snapshot();
+                    if !self.cfg.delta_restore {
+                        snapshot = snapshot.without_schedule();
+                    }
+                    persist::encode_session(id, &tracked.site, tracked.deadline_ms, &snapshot)
+                }
+                Slot::Evicted { snapshot } => {
+                    persist::encode_session(id, &tracked.site, tracked.deadline_ms, snapshot)
+                }
+                // Never rehydrated since the reopen: the store already
+                // holds this exact record; write it through unchanged.
+                Slot::Stored { raw } => raw.clone(),
+            };
+            store.put(&SessionId(id).to_string(), &record)?;
+            count += 1;
+        }
+        let meta = persist::encode_meta(&ManagerMeta {
+            next_id: self.next_id,
+            clock: self.clock,
+            stats: self.stats.clone(),
+        });
+        let meta_key = format!("shard-{}-of-{}", self.id_first, self.id_stride);
+        store.put(&meta_key, &meta)?;
+        // Retry removals whose best-effort delete on `close` failed:
+        // exactly the records this manager owes a deletion — never
+        // untracked keys it did not write (those may be another
+        // process's hand-off awaiting `recover`).
+        self.pending_removals
+            .retain(|&id| store.remove(&SessionId(id).to_string()).is_err());
+        Ok(count)
+    }
+
+    /// Adopts sessions from the store that this manager does not yet
+    /// track (only ids in its residue class — each shard recovers exactly
+    /// the sessions it owns). The constructor does this implicitly; the
+    /// explicit form exists on the wire (`{"kind": "recover"}`) for
+    /// stores shared with, or written by, another process. Returns how
+    /// many sessions were adopted.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::NoStore`] without a store; [`ServiceError::Store`]
+    /// when the store cannot be read.
+    pub fn recover(&mut self) -> Result<usize, ServiceError> {
+        if self.store.is_none() {
+            return Err(ServiceError::NoStore);
+        }
+        Ok(self.adopt_sessions()?)
     }
 
     /// Handles one typed request. Never panics: every failure is a
@@ -535,6 +817,14 @@ impl SessionManager {
                     Err(e) => error_response(&e),
                 }
             }
+            Request::Checkpoint => match self.checkpoint() {
+                Ok(sessions) => Response::Checkpointed { sessions },
+                Err(e) => error_response(&e),
+            },
+            Request::Recover => match self.recover() {
+                Ok(sessions) => Response::Recovered { sessions },
+                Err(e) => error_response(&e),
+            },
         }
     }
 
@@ -556,28 +846,73 @@ impl SessionManager {
             .map_err(|()| ServiceError::UnknownSession(raw.to_string()))
     }
 
-    /// Restores `id` from its snapshot if evicted, and stamps its LRU
-    /// clock.
+    /// Restores `id` from its snapshot if evicted (or from its store
+    /// record if persisted), and stamps its LRU clock.
     fn ensure_live(&mut self, id: SessionId) -> Result<(), ServiceError> {
         self.clock += 1;
         let clock = self.clock;
-        let slot = self
+        let tracked = self
             .sessions
             .get_mut(&id.0)
             .ok_or_else(|| ServiceError::UnknownSession(id.to_string()))?;
-        match slot {
+        match &mut tracked.slot {
             Slot::Live { last_used, .. } => {
                 *last_used = clock;
                 Ok(())
             }
             Slot::Evicted { snapshot } => {
                 let session = Session::restore(snapshot).map_err(ServiceError::Session)?;
-                *slot = Slot::Live {
+                tracked.slot = Slot::Live {
                     session: Box::new(session),
                     last_used: clock,
                 };
                 self.live += 1;
                 self.stats.restores += 1;
+                Ok(())
+            }
+            Slot::Stored { raw } => {
+                // First touch after a reopen: decode the record against
+                // the *current* site registry and config template, then
+                // restore by replay. Rehydration does not bump the
+                // `restores` counter — a restart is unobservable on the
+                // wire, unlike an eviction cycle, which both the original
+                // and the reopened manager count identically.
+                let record = persist::decode_session(raw)
+                    .map_err(|detail| StoreError::corrupt(id.to_string(), detail))?;
+                if record.id != id.0 {
+                    return Err(ServiceError::Store(StoreError::corrupt(
+                        id.to_string(),
+                        format!("record claims to be session 's-{}'", record.id),
+                    )));
+                }
+                let registered = self
+                    .sites
+                    .get(&record.site)
+                    .ok_or_else(|| ServiceError::UnknownSite(record.site.clone()))?;
+                let mut session_cfg = self.cfg.session.clone();
+                if let Some(ms) = record.deadline_ms {
+                    session_cfg.synth.timeout = Duration::from_millis(ms);
+                }
+                let snapshot = SessionSnapshot {
+                    site: registered.site.clone(),
+                    input: record.input,
+                    cfg: session_cfg,
+                    executed: record.executed,
+                    mode: record.mode,
+                    predictions: record.predictions,
+                    consecutive_accepts: record.consecutive_accepts,
+                    automated_steps: record.automated_steps,
+                    last_program: record.last_program,
+                    resynth: record.resynth,
+                };
+                let session = Session::restore(&snapshot).map_err(ServiceError::Session)?;
+                tracked.site = record.site;
+                tracked.deadline_ms = record.deadline_ms;
+                tracked.slot = Slot::Live {
+                    session: Box::new(session),
+                    last_used: clock,
+                };
+                self.live += 1;
                 Ok(())
             }
         }
@@ -590,7 +925,7 @@ impl SessionManager {
             let lru = self
                 .sessions
                 .iter()
-                .filter_map(|(&id, slot)| match slot {
+                .filter_map(|(&id, tracked)| match &tracked.slot {
                     Slot::Live { last_used, .. } if Some(id) != keep => Some((*last_used, id)),
                     _ => None,
                 })
@@ -601,6 +936,99 @@ impl SessionManager {
                 }
                 None => break, // only `keep` is live
             }
+        }
+    }
+
+    /// The key this manager's metadata record lives under:
+    /// `shard-<first>-of-<stride>`. Standalone managers use
+    /// `shard-1-of-1`; shard `k` of `N` uses `shard-<k+1>-of-<N>`, so
+    /// same-topology reopens find their counters exactly while *session*
+    /// records stay shard-count-agnostic.
+    fn meta_key(&self) -> String {
+        format!("shard-{}-of-{}", self.id_first, self.id_stride)
+    }
+
+    /// Adopts every store session record in this manager's residue class
+    /// that it does not already track, as lazily-decoded `Stored` slots.
+    /// Bumps `next_id` past adopted ids so a store written without a
+    /// metadata record (crash before the first checkpoint) can never
+    /// hand out a colliding id.
+    fn adopt_sessions(&mut self) -> Result<usize, StoreError> {
+        let Some(store) = self.store.as_ref() else {
+            return Ok(0);
+        };
+        let mut raws: Vec<(u64, Value)> = Vec::new();
+        for key in store.keys()? {
+            let Ok(id) = key.parse::<SessionId>() else {
+                continue; // metadata records, foreign keys
+            };
+            if id.0 % self.id_stride != self.id_first % self.id_stride {
+                continue; // another shard's session
+            }
+            // No manager ever issues id 0; under sharding a stored
+            // `s-0` would pass shard N-1's residue filter yet route to
+            // shard 0 — an unreachable, uncloseable zombie. Hostile by
+            // construction: reject it.
+            if id.0 == 0 {
+                return Err(StoreError::corrupt(key, "session id 0 is never issued"));
+            }
+            // No manager can legitimately issue an id this large, and
+            // adopting one would push the `next_id` cursor past what the
+            // (i64-valued) metadata record can represent — locking the
+            // whole store out on the next reopen. Reject the hostile
+            // file instead.
+            if id.0 > MAX_SESSION_ID {
+                return Err(StoreError::corrupt(
+                    key,
+                    format!("session id {} exceeds the id space", id.0),
+                ));
+            }
+            if self.sessions.contains_key(&id.0) {
+                continue;
+            }
+            if self.pending_removals.contains(&id.0) {
+                continue; // closed; its failed store removal is pending
+            }
+            if let Some(raw) = store.get(&key)? {
+                raws.push((id.0, raw));
+            }
+        }
+        let adopted = raws.len();
+        for (id, raw) in raws {
+            // Site/deadline are read authoritatively when the record is
+            // decoded on first touch (`ensure_live`); until then a
+            // checkpoint writes the raw record through unchanged, so
+            // nothing reads these placeholder fields.
+            self.sessions.insert(
+                id,
+                Tracked {
+                    site: String::new(),
+                    deadline_ms: None,
+                    slot: Slot::Stored { raw },
+                },
+            );
+            // Jump the cursor past the adopted id arithmetically (a
+            // loop would spin ~id/stride times on a large id).
+            if self.next_id <= id {
+                let steps = (id - self.next_id) / self.id_stride + 1;
+                self.next_id = self
+                    .next_id
+                    .saturating_add(steps.saturating_mul(self.id_stride));
+            }
+        }
+        Ok(adopted)
+    }
+}
+
+impl Drop for SessionManager {
+    /// A store-backed manager flushes itself on the way out, so a clean
+    /// shutdown (including a `ShardedManager` dropping its shard workers)
+    /// persists every session without an explicit `checkpoint`. Errors
+    /// are swallowed — there is no one left to report them to — which is
+    /// exactly why latency-sensitive deployments checkpoint explicitly.
+    fn drop(&mut self) {
+        if self.store.is_some() {
+            let _ = self.checkpoint();
         }
     }
 }
@@ -775,6 +1203,257 @@ mod tests {
         let stats = m.stats();
         assert_eq!(stats.events_rejected, 1);
         assert_eq!(stats.events_ok, 1);
+    }
+
+    #[test]
+    fn durability_requests_without_a_store_are_typed_errors() {
+        let mut m = manager(ServiceConfig::default());
+        assert_eq!(m.checkpoint(), Err(ServiceError::NoStore));
+        assert_eq!(m.recover(), Err(ServiceError::NoStore));
+        for kind in ["checkpoint", "recover"] {
+            let reply = m.handle_json(&format!(r#"{{"v": 1, "kind": "{kind}"}}"#));
+            assert!(reply.contains(r#""code":"no_store""#), "{reply}");
+        }
+    }
+
+    #[test]
+    fn evictions_spill_to_the_store_and_a_reopen_adopts_them() {
+        let dir =
+            std::env::temp_dir().join(format!("webrobot-manager-reopen-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = Box::new(crate::store::FileStore::open(&dir).unwrap());
+        let mut m = SessionManager::with_store(ServiceConfig::default(), store).unwrap();
+        m.register_site("anchors", anchor_site(6), Value::Object(vec![]));
+        let id = m.create("anchors", None, None).unwrap();
+        m.dispatch(id, scrape(1)).unwrap();
+        m.dispatch(id, scrape(2)).unwrap();
+        // An eviction spills the snapshot record immediately.
+        assert!(m.evict(id));
+        assert!(dir.join("s-1.json").exists(), "eviction spilled to disk");
+        let stats_before = m.stats();
+        drop(m); // flush on drop writes the metadata record too
+        assert!(dir.join("shard-1-of-1.json").exists());
+
+        // "Restart": reopen the store, re-register the site, continue.
+        let store = Box::new(crate::store::FileStore::open(&dir).unwrap());
+        let mut m = SessionManager::with_store(ServiceConfig::default(), store).unwrap();
+        m.register_site("anchors", anchor_site(6), Value::Object(vec![]));
+        assert_eq!(m.session_count(), 1);
+        assert!(m.is_evicted(id), "adopted as a cold store record");
+        let stats = m.stats();
+        assert_eq!(stats.sessions_created, stats_before.sessions_created);
+        assert_eq!(stats.events_ok, stats_before.events_ok);
+        // The adopted session continues mid-workflow, and new creates do
+        // not collide with the adopted id.
+        let reply = m.dispatch(id, Event::Accept { index: 0 }).unwrap();
+        assert_eq!(reply.outputs, 3);
+        assert_eq!(m.create("anchors", None, None).unwrap(), SessionId(2));
+        // Closing removes the durable record.
+        m.close(id).unwrap();
+        assert!(!dir.join("s-1.json").exists(), "closed sessions stay dead");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn meta_next_id_outside_the_shard_residue_is_rejected() {
+        // Shard 0 of 2 issues ids 1, 3, 5, …; a metadata record claiming
+        // next_id 4 (shard 1's sequence) would make the two shards
+        // collide, so the reopen must reject it as corrupt.
+        let mut store = crate::store::MemoryStore::new();
+        let meta = persist::encode_meta(&ManagerMeta {
+            next_id: 4,
+            clock: 0,
+            stats: ServiceStats::default(),
+        });
+        store.put("shard-1-of-2", &meta).unwrap();
+        match SessionManager::with_store_sequenced(ServiceConfig::default(), Box::new(store), 1, 2)
+        {
+            Err(StoreError::Corrupt { key, detail }) => {
+                assert_eq!(key, "shard-1-of-2");
+                assert!(detail.contains("next_id 4"), "{detail}");
+            }
+            other => panic!("expected a corrupt-meta error, got {other:?}"),
+        }
+        // Same for a cursor past the id space: adopting it would issue
+        // ids the i64-valued meta record cannot round-trip.
+        let mut store = crate::store::MemoryStore::new();
+        let meta = persist::encode_meta(&ManagerMeta {
+            next_id: MAX_SESSION_ID + 2,
+            clock: 0,
+            stats: ServiceStats::default(),
+        });
+        store.put("shard-1-of-1", &meta).unwrap();
+        match SessionManager::with_store(ServiceConfig::default(), Box::new(store)) {
+            Err(StoreError::Corrupt { detail, .. }) => {
+                assert!(detail.contains("id space"), "{detail}")
+            }
+            other => panic!("expected a corrupt-meta error, got {other:?}"),
+        }
+    }
+
+    /// A store whose `remove` fails while `fail_removes` is set — the
+    /// transient I/O failure `close`'s best-effort delete can hit.
+    #[derive(Debug)]
+    struct FlakyRemoveStore {
+        inner: crate::store::MemoryStore,
+        fail_removes: std::sync::Arc<std::sync::atomic::AtomicBool>,
+    }
+
+    impl SnapshotStore for FlakyRemoveStore {
+        fn put(&mut self, key: &str, record: &Value) -> Result<(), StoreError> {
+            self.inner.put(key, record)
+        }
+        fn get(&self, key: &str) -> Result<Option<Value>, StoreError> {
+            self.inner.get(key)
+        }
+        fn remove(&mut self, key: &str) -> Result<(), StoreError> {
+            if self.fail_removes.load(std::sync::atomic::Ordering::SeqCst) {
+                return Err(StoreError::Io {
+                    detail: format!("transient failure removing '{key}'"),
+                });
+            }
+            self.inner.remove(key)
+        }
+        fn keys(&self) -> Result<Vec<String>, StoreError> {
+            self.inner.keys()
+        }
+    }
+
+    /// A close whose store removal fails transiently is retried by the
+    /// next checkpoint, and the closed session can never resurrect
+    /// through `recover` in the meantime.
+    #[test]
+    fn failed_close_removals_are_retried_and_never_resurrect() {
+        let fail = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let store = Box::new(FlakyRemoveStore {
+            inner: crate::store::MemoryStore::new(),
+            fail_removes: fail.clone(),
+        });
+        let mut m = SessionManager::with_store(ServiceConfig::default(), store).unwrap();
+        m.register_site("anchors", anchor_site(4), Value::Object(vec![]));
+        let id = m.create("anchors", None, None).unwrap();
+        m.dispatch(id, scrape(1)).unwrap();
+        assert!(m.evict(id), "record spilled to the store");
+
+        fail.store(true, std::sync::atomic::Ordering::SeqCst);
+        m.close(id).unwrap(); // remove fails silently, queued for retry
+        assert_eq!(
+            m.recover().unwrap(),
+            0,
+            "a pending-removal record must not be re-adopted"
+        );
+        fail.store(false, std::sync::atomic::Ordering::SeqCst);
+        m.checkpoint().unwrap(); // retries the removal
+        assert_eq!(m.recover().unwrap(), 0, "record is gone for good");
+        assert_eq!(
+            m.dispatch(id, scrape(2)),
+            Err(ServiceError::UnknownSession(id.to_string()))
+        );
+    }
+
+    /// Checkpoint never deletes records this manager did not write: a
+    /// record dropped into the store by another process (a hand-off)
+    /// survives checkpoints until `recover` adopts it.
+    #[test]
+    fn checkpoint_preserves_foreign_records_awaiting_recover() {
+        let dir =
+            std::env::temp_dir().join(format!("webrobot-manager-handoff-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = Box::new(crate::store::FileStore::open(&dir).unwrap());
+        let mut m = SessionManager::with_store(ServiceConfig::default(), store).unwrap();
+        m.register_site("anchors", anchor_site(4), Value::Object(vec![]));
+        m.create("anchors", None, None).unwrap();
+        // Another process hands a session off by writing into the dir.
+        std::fs::write(dir.join("s-7.json"), "{\"v\":1,\"kind\":\"session\"}").unwrap();
+        m.checkpoint().unwrap();
+        assert!(
+            dir.join("s-7.json").exists(),
+            "foreign record must survive the checkpoint"
+        );
+        assert_eq!(m.recover().unwrap(), 1, "and recover adopts it");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A hostile store key with an absurd session id is rejected as
+    /// corrupt at reopen: adopting it would hang an O(id) cursor bump or
+    /// push `next_id` past what the i64-valued metadata record can
+    /// represent (locking the store out on the *next* reopen).
+    #[test]
+    fn huge_adopted_ids_are_rejected_as_corrupt() {
+        for raw_id in [u64::MAX, MAX_SESSION_ID + 1] {
+            let mut store = crate::store::MemoryStore::new();
+            let key = format!("s-{raw_id}");
+            store.put(&key, &Value::object([])).unwrap();
+            match SessionManager::with_store(ServiceConfig::default(), Box::new(store)) {
+                Err(StoreError::Corrupt { key: k, detail }) => {
+                    assert_eq!(k, key);
+                    assert!(detail.contains("id space"), "{detail}");
+                }
+                other => panic!("expected a corrupt-record error, got {other:?}"),
+            }
+        }
+        // The cap itself is adoptable.
+        let mut store = crate::store::MemoryStore::new();
+        store
+            .put(&format!("s-{MAX_SESSION_ID}"), &Value::object([]))
+            .unwrap();
+        let m = SessionManager::with_store(ServiceConfig::default(), Box::new(store)).unwrap();
+        assert_eq!(m.session_count(), 1);
+        // Id 0 is never issued; under sharding it would route nowhere.
+        let mut store = crate::store::MemoryStore::new();
+        store.put("s-0", &Value::object([])).unwrap();
+        match SessionManager::with_store(ServiceConfig::default(), Box::new(store)) {
+            Err(StoreError::Corrupt { key, .. }) => assert_eq!(key, "s-0"),
+            other => panic!("expected a corrupt-record error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sub_millisecond_deadlines_persist_as_one_millisecond() {
+        let dir =
+            std::env::temp_dir().join(format!("webrobot-manager-deadline-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = Box::new(crate::store::FileStore::open(&dir).unwrap());
+        let mut m = SessionManager::with_store(ServiceConfig::default(), store).unwrap();
+        m.register_site("anchors", anchor_site(4), Value::Object(vec![]));
+        m.create("anchors", None, Some(Duration::from_micros(500)))
+            .unwrap();
+        m.checkpoint().unwrap();
+        let raw = std::fs::read_to_string(dir.join("s-1.json")).unwrap();
+        assert!(
+            raw.contains("\"deadline_ms\":1"),
+            "rounded up, never to a zero timeout: {raw}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reopen_without_the_site_yields_a_typed_error_on_touch() {
+        let mut store = crate::store::MemoryStore::new();
+        {
+            let mut m = SessionManager::new(ServiceConfig::default());
+            m.register_site("anchors", anchor_site(4), Value::Object(vec![]));
+            let id = m.create("anchors", None, None).unwrap();
+            m.dispatch(id, scrape(1)).unwrap();
+            let record = persist::encode_session(1, "anchors", None, &{
+                let Some(Tracked {
+                    slot: Slot::Live { session, .. },
+                    ..
+                }) = m.sessions.get(&1)
+                else {
+                    panic!("live")
+                };
+                session.snapshot()
+            });
+            store.put("s-1", &record).unwrap();
+        }
+        let mut m = SessionManager::with_store(ServiceConfig::default(), Box::new(store)).unwrap();
+        // No site registered: the record cannot resolve.
+        let err = m.dispatch(SessionId(1), scrape(2)).unwrap_err();
+        assert_eq!(err, ServiceError::UnknownSite("anchors".to_string()));
+        // Registering the site afterwards repairs the session in place.
+        m.register_site("anchors", anchor_site(4), Value::Object(vec![]));
+        m.dispatch(SessionId(1), scrape(2)).unwrap();
     }
 
     #[test]

@@ -1,0 +1,428 @@
+//! Serialization of session snapshots and manager metadata into the wire
+//! JSON subset — the record format a [`SnapshotStore`](crate::SnapshotStore)
+//! holds.
+//!
+//! The format is versioned (`"v": 1`) and documented normatively in
+//! `PROTOCOL.md` § "Snapshot records". Compatibility rule: within v1,
+//! readers ignore unknown fields and default absent optional fields
+//! (`resynth` absent → legacy full-replay restore, `program` absent → no
+//! cached program, `deadline_ms` absent → the manager's template
+//! deadline); a record carrying any other `v` is rejected as corrupt, so
+//! a future v2 can change shape without silently mis-restoring.
+//!
+//! Everything here is total: a malformed record decodes to an error
+//! `String` (wrapped into [`StoreError::Corrupt`](crate::StoreError) by
+//! the manager), never a panic. Decoding is intentionally *shallow* about
+//! semantics — a record can be shape-valid yet describe an impossible
+//! session (tampered selectors, counters out of range); those surface as
+//! typed [`SessionError`](webrobot_interact::SessionError)s when
+//! [`Session::restore`](webrobot_interact::Session::restore) replays the
+//! history.
+
+use webrobot_data::Value;
+use webrobot_interact::{Mode, SessionSnapshot};
+use webrobot_lang::{parse_program, Action, Program};
+
+use crate::manager::ServiceStats;
+use crate::protocol::{action_from_value, action_to_value};
+
+/// The snapshot-record format version this build reads and writes.
+pub const STORE_VERSION: i64 = 1;
+
+/// One decoded session record: everything needed to rebuild a
+/// [`SessionSnapshot`] once the manager resolves the site name against
+/// its registry and supplies its session-config template.
+#[derive(Debug, Clone)]
+pub struct SessionRecord {
+    /// The raw numeric session id (`s-<n>` → `n`).
+    pub id: u64,
+    /// The name of the site the session was created on.
+    pub site: String,
+    /// The per-session synthesis deadline override, if any.
+    pub deadline_ms: Option<u64>,
+    /// The session's data source.
+    pub input: Value,
+    /// The mode at snapshot time.
+    pub mode: Mode,
+    /// The executed action history.
+    pub executed: Vec<Action>,
+    /// The predictions on offer at snapshot time.
+    pub predictions: Vec<Action>,
+    /// Consecutive accepted predictions at snapshot time.
+    pub consecutive_accepts: usize,
+    /// Automated actions executed at snapshot time.
+    pub automated_steps: usize,
+    /// The delta-restore schedule (`None` → legacy full replay).
+    pub resynth: Option<Vec<usize>>,
+    /// The cached last-generalizing program, if any.
+    pub last_program: Option<Program>,
+}
+
+/// Serializes one session into its store record.
+pub fn encode_session(
+    id: u64,
+    site: &str,
+    deadline_ms: Option<u64>,
+    snap: &SessionSnapshot,
+) -> Value {
+    let mut fields = vec![
+        ("v".to_string(), Value::Int(STORE_VERSION)),
+        ("kind".to_string(), Value::str("session")),
+        ("session".to_string(), Value::str(format!("s-{id}"))),
+        ("site".to_string(), Value::str(site)),
+    ];
+    if let Some(ms) = deadline_ms {
+        fields.push(("deadline_ms".to_string(), Value::Int(ms as i64)));
+    }
+    fields.push(("input".to_string(), snap.input.clone()));
+    fields.push(("mode".to_string(), Value::str(snap.mode.as_str())));
+    fields.push((
+        "executed".to_string(),
+        Value::Array(snap.executed.iter().map(action_to_value).collect()),
+    ));
+    fields.push((
+        "predictions".to_string(),
+        Value::Array(snap.predictions.iter().map(action_to_value).collect()),
+    ));
+    fields.push((
+        "consecutive_accepts".to_string(),
+        Value::Int(snap.consecutive_accepts as i64),
+    ));
+    fields.push((
+        "automated_steps".to_string(),
+        Value::Int(snap.automated_steps as i64),
+    ));
+    if let Some(schedule) = &snap.resynth {
+        fields.push((
+            "resynth".to_string(),
+            Value::Array(schedule.iter().map(|&n| Value::Int(n as i64)).collect()),
+        ));
+    }
+    if let Some(program) = &snap.last_program {
+        fields.push(("program".to_string(), Value::str(program.to_string())));
+    }
+    Value::Object(fields)
+}
+
+fn require_field<'v>(raw: &'v Value, key: &str) -> Result<&'v Value, String> {
+    raw.field(key)
+        .ok_or_else(|| format!("missing field '{key}'"))
+}
+
+fn require_str(raw: &Value, key: &str) -> Result<String, String> {
+    require_field(raw, key)?
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| format!("field '{key}' must be a string"))
+}
+
+fn require_usize(raw: &Value, key: &str) -> Result<usize, String> {
+    require_field(raw, key)?
+        .as_int()
+        .and_then(|n| usize::try_from(n).ok())
+        .ok_or_else(|| format!("field '{key}' must be a non-negative integer"))
+}
+
+fn require_u64(raw: &Value, key: &str) -> Result<u64, String> {
+    require_field(raw, key)?
+        .as_int()
+        .and_then(|n| u64::try_from(n).ok())
+        .ok_or_else(|| format!("field '{key}' must be a non-negative integer"))
+}
+
+fn check_version(raw: &Value) -> Result<(), String> {
+    match require_field(raw, "v")?.as_int() {
+        Some(STORE_VERSION) => Ok(()),
+        Some(other) => Err(format!(
+            "record version {other} is not supported (this build reads v{STORE_VERSION})"
+        )),
+        None => Err("field 'v' must be an integer".to_string()),
+    }
+}
+
+fn actions_field(raw: &Value, key: &str) -> Result<Vec<Action>, String> {
+    require_field(raw, key)?
+        .as_array()
+        .ok_or_else(|| format!("field '{key}' must be an array"))?
+        .iter()
+        .map(|v| action_from_value(v).map_err(|e| format!("bad action in '{key}': {e}")))
+        .collect()
+}
+
+fn mode_from_str(s: &str) -> Result<Mode, String> {
+    match s {
+        "demonstrate" => Ok(Mode::Demonstrate),
+        "authorize" => Ok(Mode::Authorize),
+        "automate" => Ok(Mode::Automate),
+        "done" => Ok(Mode::Done),
+        other => Err(format!("unknown mode '{other}'")),
+    }
+}
+
+/// Decodes one session record. The error string carries the failure
+/// detail; the caller attaches the record key.
+pub fn decode_session(raw: &Value) -> Result<SessionRecord, String> {
+    check_version(raw)?;
+    if require_str(raw, "kind")? != "session" {
+        return Err("field 'kind' must be \"session\"".to_string());
+    }
+    let session = require_str(raw, "session")?;
+    let id: crate::SessionId = session
+        .parse()
+        .map_err(|()| format!("field 'session' is not a session id: '{session}'"))?;
+    let deadline_ms = match raw.field("deadline_ms") {
+        None => None,
+        Some(_) => Some(require_u64(raw, "deadline_ms")?),
+    };
+    let resynth = match raw.field("resynth") {
+        None => None,
+        Some(v) => Some(
+            v.as_array()
+                .ok_or_else(|| "field 'resynth' must be an array".to_string())?
+                .iter()
+                .map(|n| {
+                    n.as_int()
+                        .and_then(|n| usize::try_from(n).ok())
+                        .ok_or_else(|| "resynth entries must be non-negative integers".to_string())
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+        ),
+    };
+    let last_program = match raw.field("program") {
+        None => None,
+        Some(v) => {
+            let text = v
+                .as_str()
+                .ok_or_else(|| "field 'program' must be a string".to_string())?;
+            Some(parse_program(text).map_err(|e| format!("bad cached program: {e}"))?)
+        }
+    };
+    let executed = actions_field(raw, "executed")?;
+    if let Some(schedule) = &resynth {
+        // A schedule Session::restore could only partially follow (not
+        // strictly increasing from ≥ 1, or pointing past the history)
+        // would silently mis-restore; reject it as tampered instead.
+        let increasing = schedule.first().is_none_or(|&first| first >= 1)
+            && schedule.windows(2).all(|w| w[0] < w[1]);
+        let bounded = schedule.last().is_none_or(|&last| last <= executed.len());
+        if !increasing || !bounded {
+            return Err(format!(
+                "field 'resynth' must be strictly increasing within 1..={}",
+                executed.len()
+            ));
+        }
+    }
+    Ok(SessionRecord {
+        id: id.raw(),
+        site: require_str(raw, "site")?,
+        deadline_ms,
+        input: require_field(raw, "input")?.clone(),
+        mode: mode_from_str(&require_str(raw, "mode")?)?,
+        executed,
+        predictions: actions_field(raw, "predictions")?,
+        consecutive_accepts: require_usize(raw, "consecutive_accepts")?,
+        automated_steps: require_usize(raw, "automated_steps")?,
+        resynth,
+        last_program,
+    })
+}
+
+/// Manager-level metadata persisted alongside the session records: the id
+/// sequence cursor, the LRU clock, and the carried-over counters — what a
+/// reopened manager needs to continue byte-identically.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManagerMeta {
+    /// The next session id this manager would issue.
+    pub next_id: u64,
+    /// The logical LRU clock.
+    pub clock: u64,
+    /// The counter part of [`ServiceStats`] (the live/evicted gauges are
+    /// recomputed from the slots).
+    pub stats: ServiceStats,
+}
+
+/// Serializes manager metadata into its store record.
+pub fn encode_meta(meta: &ManagerMeta) -> Value {
+    Value::object([
+        ("v".to_string(), Value::Int(STORE_VERSION)),
+        ("kind".to_string(), Value::str("meta")),
+        ("next_id".to_string(), Value::Int(meta.next_id as i64)),
+        ("clock".to_string(), Value::Int(meta.clock as i64)),
+        (
+            "sessions_created".to_string(),
+            Value::Int(meta.stats.sessions_created as i64),
+        ),
+        (
+            "sessions_closed".to_string(),
+            Value::Int(meta.stats.sessions_closed as i64),
+        ),
+        (
+            "events_ok".to_string(),
+            Value::Int(meta.stats.events_ok as i64),
+        ),
+        (
+            "events_rejected".to_string(),
+            Value::Int(meta.stats.events_rejected as i64),
+        ),
+        (
+            "evictions".to_string(),
+            Value::Int(meta.stats.evictions as i64),
+        ),
+        (
+            "restores".to_string(),
+            Value::Int(meta.stats.restores as i64),
+        ),
+    ])
+}
+
+/// Decodes a manager metadata record.
+pub fn decode_meta(raw: &Value) -> Result<ManagerMeta, String> {
+    check_version(raw)?;
+    if require_str(raw, "kind")? != "meta" {
+        return Err("field 'kind' must be \"meta\"".to_string());
+    }
+    Ok(ManagerMeta {
+        next_id: require_u64(raw, "next_id")?,
+        clock: require_u64(raw, "clock")?,
+        stats: ServiceStats {
+            sessions_created: require_u64(raw, "sessions_created")?,
+            sessions_closed: require_u64(raw, "sessions_closed")?,
+            live_sessions: 0,
+            evicted_sessions: 0,
+            events_ok: require_u64(raw, "events_ok")?,
+            events_rejected: require_u64(raw, "events_rejected")?,
+            evictions: require_u64(raw, "evictions")?,
+            restores: require_u64(raw, "restores")?,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use webrobot_browser::SiteBuilder;
+    use webrobot_data::parse_json;
+    use webrobot_dom::parse_html;
+    use webrobot_interact::{Session, SessionConfig};
+    use webrobot_lang::Value as LangValue;
+
+    fn sample_snapshot() -> SessionSnapshot {
+        let mut b = SiteBuilder::new();
+        let home = b.add_page(
+            "https://codec.test/",
+            parse_html("<html><a>1</a><a>2</a><a>3</a><a>4</a></html>").unwrap(),
+        );
+        let site = Arc::new(b.start_at(home).finish());
+        let mut s = Session::new(site, LangValue::Object(vec![]), SessionConfig::default());
+        for i in 1..=2 {
+            s.demonstrate(&webrobot_lang::Action::ScrapeText(
+                format!("/a[{i}]").parse().unwrap(),
+            ))
+            .unwrap();
+        }
+        s.authorize(Some(0)).unwrap();
+        s.snapshot()
+    }
+
+    #[test]
+    fn session_records_round_trip() {
+        let snap = sample_snapshot();
+        let record = encode_session(7, "codec", Some(250), &snap);
+        // Survives a print/parse cycle (what a FileStore does).
+        let reparsed = parse_json(&record.to_json()).unwrap();
+        let decoded = decode_session(&reparsed).unwrap();
+        assert_eq!(decoded.id, 7);
+        assert_eq!(decoded.site, "codec");
+        assert_eq!(decoded.deadline_ms, Some(250));
+        assert_eq!(decoded.input, snap.input);
+        assert_eq!(decoded.mode, snap.mode);
+        assert_eq!(decoded.executed, snap.executed);
+        assert_eq!(decoded.predictions, snap.predictions);
+        assert_eq!(decoded.consecutive_accepts, snap.consecutive_accepts);
+        assert_eq!(decoded.automated_steps, snap.automated_steps);
+        assert_eq!(decoded.resynth, snap.resynth);
+        assert_eq!(decoded.last_program, snap.last_program);
+    }
+
+    #[test]
+    fn optional_fields_default_per_the_compat_rule() {
+        let snap = sample_snapshot();
+        let mut stripped = snap.clone().without_schedule();
+        stripped.last_program = None;
+        let record = encode_session(1, "codec", None, &stripped);
+        let decoded = decode_session(&record).unwrap();
+        assert_eq!(decoded.deadline_ms, None);
+        assert_eq!(decoded.resynth, None, "absent schedule → full replay");
+        assert_eq!(decoded.last_program, None);
+        // Unknown fields are ignored (forward-compatible within v1).
+        let mut with_extra = record.to_json();
+        with_extra.insert_str(with_extra.len() - 1, ",\"future_field\":1");
+        decode_session(&parse_json(&with_extra).unwrap()).unwrap();
+    }
+
+    #[test]
+    fn malformed_records_decode_to_errors() {
+        let snap = sample_snapshot();
+        let good = encode_session(3, "codec", None, &snap).to_json();
+        for (mangle, needle) in [
+            (good.replace("\"v\":1", "\"v\":2"), "version 2"),
+            (
+                good.replace("\"kind\":\"session\"", "\"kind\":\"meta\""),
+                "kind",
+            ),
+            (
+                good.replace("\"session\":\"s-3\"", "\"session\":\"x3\""),
+                "session id",
+            ),
+            (
+                good.replace("\"mode\":\"authorize\"", "\"mode\":\"zen\""),
+                "mode",
+            ),
+            (
+                good.replace("\"consecutive_accepts\":1", "\"consecutive_accepts\":-1"),
+                "non-negative",
+            ),
+            (good.replace("scrape_text", "teleport"), "bad action"),
+            // A schedule restore could only partially follow is tampering.
+            (
+                good.replace("\"resynth\":[1,2]", "\"resynth\":[2,1]"),
+                "strictly increasing",
+            ),
+            (
+                good.replace("\"resynth\":[1,2]", "\"resynth\":[1,99]"),
+                "strictly increasing",
+            ),
+            (
+                good.replace("\"resynth\":[1,2]", "\"resynth\":[0,1]"),
+                "strictly increasing",
+            ),
+        ] {
+            let raw = parse_json(&mangle).unwrap();
+            let err = decode_session(&raw).unwrap_err();
+            assert!(err.contains(needle), "{mangle} → {err}");
+        }
+    }
+
+    #[test]
+    fn meta_records_round_trip() {
+        let meta = ManagerMeta {
+            next_id: 9,
+            clock: 140,
+            stats: ServiceStats {
+                sessions_created: 8,
+                sessions_closed: 3,
+                live_sessions: 0,
+                evicted_sessions: 0,
+                events_ok: 77,
+                events_rejected: 4,
+                evictions: 12,
+                restores: 11,
+            },
+        };
+        let record = encode_meta(&meta);
+        let reparsed = parse_json(&record.to_json()).unwrap();
+        assert_eq!(decode_meta(&reparsed).unwrap(), meta);
+        assert!(decode_meta(&parse_json("{\"v\":1,\"kind\":\"session\"}").unwrap()).is_err());
+    }
+}

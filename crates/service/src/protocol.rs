@@ -94,6 +94,12 @@ pub enum Request {
         /// The session id.
         session: String,
     },
+    /// Flush every session (and the manager metadata) to the attached
+    /// snapshot store, bounding the data-loss window under a hard kill.
+    Checkpoint,
+    /// Adopt sessions from the attached snapshot store that this manager
+    /// does not yet track (e.g. records written by another process).
+    Recover,
 }
 
 impl Request {
@@ -142,6 +148,8 @@ impl Request {
             "close" => Ok(Request::Close {
                 session: require_str(&value, "session")?.to_string(),
             }),
+            "checkpoint" => Ok(Request::Checkpoint),
+            "recover" => Ok(Request::Recover),
             other => Err(ProtocolError::bad(format!(
                 "unknown request kind '{other}'"
             ))),
@@ -181,6 +189,8 @@ impl Request {
                 fields.push(("kind".to_string(), Value::str("close")));
                 fields.push(("session".to_string(), Value::str(session.clone())));
             }
+            Request::Checkpoint => fields.push(("kind".to_string(), Value::str("checkpoint"))),
+            Request::Recover => fields.push(("kind".to_string(), Value::str("recover"))),
         }
         Value::Object(fields).to_json()
     }
@@ -223,6 +233,16 @@ pub enum Response {
     Closed {
         /// The closed session's id.
         session: String,
+    },
+    /// The manager was flushed to its snapshot store.
+    Checkpointed {
+        /// How many session records the store now holds for this manager.
+        sessions: usize,
+    },
+    /// Sessions were adopted from the snapshot store.
+    Recovered {
+        /// How many previously untracked sessions were adopted.
+        sessions: usize,
     },
     /// The request failed.
     Error {
@@ -282,6 +302,14 @@ impl Response {
             Response::Closed { session } => {
                 ok(&mut fields, "closed");
                 fields.push(("session".to_string(), Value::str(session.clone())));
+            }
+            Response::Checkpointed { sessions } => {
+                ok(&mut fields, "checkpointed");
+                fields.push(("sessions".to_string(), Value::Int(*sessions as i64)));
+            }
+            Response::Recovered { sessions } => {
+                ok(&mut fields, "recovered");
+                fields.push(("sessions".to_string(), Value::Int(*sessions as i64)));
             }
             Response::Error { code, message } => {
                 fields.push(("status".to_string(), Value::str("error")));
@@ -575,6 +603,8 @@ mod tests {
             Request::Close {
                 session: "s-1".to_string(),
             },
+            Request::Checkpoint,
+            Request::Recover,
         ];
         for request in requests {
             assert_eq!(Request::from_json(&request.to_json()).unwrap(), request);

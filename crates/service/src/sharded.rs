@@ -35,6 +35,7 @@ use webrobot_data::Value;
 
 use crate::manager::{error_response, ServiceConfig, ServiceError, ServiceStats, SessionManager};
 use crate::protocol::{Request, Response};
+use crate::store::{SnapshotStore, StoreError};
 
 /// One unit of work sent to a shard thread.
 enum Job {
@@ -111,12 +112,67 @@ impl ShardedManager {
     /// [`SessionManager`] built from `cfg`.
     pub fn new(cfg: ServiceConfig, shards: usize) -> ShardedManager {
         let shards = shards.max(1);
-        let mut senders = Vec::with_capacity(shards);
-        let mut workers = Vec::with_capacity(shards);
-        for k in 0..shards {
+        let managers = (0..shards)
+            .map(|k| SessionManager::new(cfg.clone()).with_id_sequence(k as u64 + 1, shards as u64))
+            .collect();
+        ShardedManager::spawn(managers, 0)
+    }
+
+    /// The durable form of [`ShardedManager::new`]: one persistent
+    /// [`SnapshotStore`] per shard (the shard count is `stores.len()`),
+    /// each shard **adopting the sessions it owns** from its store — this
+    /// is how a whole sharded deployment survives a process restart.
+    ///
+    /// The store layout is shard-count-stable (session records are keyed
+    /// by id only), so all stores may point at one shared directory: at
+    /// shard count `N`, shard `k` adopts exactly the ids
+    /// `≡ k+1 (mod N)`, and together the shards partition the store.
+    /// Reopening at the *same* shard count also finds each shard's
+    /// metadata record (`shard-<k+1>-of-<N>`), making the restart
+    /// byte-unobservable on the wire — counters, id sequence and LRU
+    /// clocks all continue (`tests/persistence.rs` pins this at shard
+    /// counts 1, 2 and 4). Reopening at a *different* count keeps every
+    /// session but starts fresh counters, and the dense id sequence may
+    /// skip (never collide).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] when `stores` is empty or any store fails to open
+    /// and enumerate (a corrupt record fails the reopen fast; see
+    /// [`SessionManager::with_store`]).
+    pub fn with_stores(
+        cfg: ServiceConfig,
+        stores: Vec<Box<dyn SnapshotStore>>,
+    ) -> Result<ShardedManager, StoreError> {
+        if stores.is_empty() {
+            return Err(StoreError::io("with_stores needs at least one store"));
+        }
+        let shards = stores.len();
+        let managers = stores
+            .into_iter()
+            .enumerate()
+            .map(|(k, store)| {
+                SessionManager::with_store_sequenced(
+                    cfg.clone(),
+                    store,
+                    k as u64 + 1,
+                    shards as u64,
+                )
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        // The create router resumes where the previous process stopped:
+        // its cursor is exactly the number of successful creates ever,
+        // which the adopted metadata carries as `sessions_created`.
+        let created: u64 = managers.iter().map(|m| m.stats().sessions_created).sum();
+        Ok(ShardedManager::spawn(managers, created))
+    }
+
+    /// Spawns one worker thread per prepared manager.
+    fn spawn(managers: Vec<SessionManager>, created: u64) -> ShardedManager {
+        let mut senders = Vec::with_capacity(managers.len());
+        let mut workers = Vec::with_capacity(managers.len());
+        for (k, manager) in managers.into_iter().enumerate() {
             let (tx, rx) = mpsc::channel::<Job>();
-            let manager =
-                SessionManager::new(cfg.clone()).with_id_sequence(k as u64 + 1, shards as u64);
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("webrobot-shard-{k}"))
@@ -127,7 +183,7 @@ impl ShardedManager {
         }
         ShardedManager {
             shards: senders,
-            router: Mutex::new(CreateRouter { created: 0 }),
+            router: Mutex::new(CreateRouter { created }),
             workers,
         }
     }
@@ -180,6 +236,10 @@ impl ShardedManager {
                 Err(()) => error_response(&ServiceError::UnknownSession(session.clone())),
             },
             Request::Stats => Response::Stats(self.stats()),
+            // Durability requests fan out to every shard (each owns a
+            // disjoint slice of the sessions and its own store handle)
+            // and report the summed session count.
+            Request::Checkpoint | Request::Recover => self.broadcast_durability(request),
         }
     }
 
@@ -199,8 +259,8 @@ impl ShardedManager {
     /// (pinned against the unsharded manager by `tests/sharded.rs`).
     pub fn stats(&self) -> ServiceStats {
         let mut total = ServiceStats::default();
-        for shard in 0..self.shards.len() {
-            if let Response::Stats(stats) = self.roundtrip(shard, Request::Stats) {
+        for reply in self.fan_out(&Request::Stats) {
+            if let Some(Response::Stats(stats)) = reply {
                 total.absorb(&stats);
             }
         }
@@ -208,6 +268,56 @@ impl ShardedManager {
     }
 
     // ───────────────────── internals ─────────────────────
+
+    /// Fans a `checkpoint`/`recover` request out to every shard and sums
+    /// the per-shard session counts; the first shard error (in shard
+    /// order) wins (shards already flushed stay flushed — both
+    /// operations are idempotent). All shards are sent the request
+    /// *before* any reply is awaited, so the shards' store I/O runs
+    /// concurrently and wire-visible latency is bounded by the slowest
+    /// shard, not the sum.
+    fn broadcast_durability(&self, request: Request) -> Response {
+        let mut total = 0usize;
+        for (shard, reply) in self.fan_out(&request).into_iter().enumerate() {
+            match reply {
+                Some(Response::Checkpointed { sessions } | Response::Recovered { sessions }) => {
+                    total += sessions
+                }
+                Some(error) => return error,
+                // Unreachable by design, exactly as in `roundtrip`.
+                None => {
+                    return Response::Error {
+                        code: "shard_down".to_string(),
+                        message: format!("shard {shard} is not serving requests"),
+                    }
+                }
+            }
+        }
+        match request {
+            Request::Checkpoint => Response::Checkpointed { sessions: total },
+            _ => Response::Recovered { sessions: total },
+        }
+    }
+
+    /// Sends `request` to **every** shard before awaiting any reply, so
+    /// the shards process it concurrently (latency is bounded by the
+    /// slowest shard, not the sum); replies come back in shard order,
+    /// `None` marking a stopped shard (unreachable by design).
+    fn fan_out(&self, request: &Request) -> Vec<Option<Response>> {
+        let pending: Vec<_> = self
+            .shards
+            .iter()
+            .map(|tx| {
+                let (reply, reply_rx) = mpsc::channel();
+                let sent = tx.send(Job::Request(request.clone(), reply)).is_ok();
+                (sent, reply_rx)
+            })
+            .collect();
+        pending
+            .into_iter()
+            .map(|(sent, rx)| if sent { rx.recv().ok() } else { None })
+            .collect()
+    }
 
     /// Which shard owns session id `n`: `(n − 1) mod N`, the inverse of
     /// the per-shard id sequence `k+1, k+1+N, …`. No shard ever issues

@@ -1,0 +1,539 @@
+//! Durability integration tests: a manager reopened from its persistent
+//! [`SnapshotStore`] must be **byte-identical on the wire** to a manager
+//! that never restarted — at shard counts 1, 2 and 4, mid-workflow, with
+//! the restart landing between two arbitrary requests. Tampered or
+//! truncated store files must surface as typed error responses, never
+//! panics.
+//!
+//! Method: a *reference* deployment (never restarted) and a *subject*
+//! deployment (killed and reopened between phase 1 and phase 2) receive
+//! the exact same request strings in lockstep, and every response pair is
+//! asserted equal. Requests are chosen mode-driven off the common reply,
+//! so the transcript covers the full demo→authorize→automate workflow,
+//! deliberate errors included.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use webrobot::{
+    FileStore, Request, ServiceConfig, SessionManager, ShardedManager, SiteBuilder, SnapshotStore,
+    StoreError, Value,
+};
+use webrobot_data::parse_json;
+use webrobot_dom::parse_html;
+
+fn anchor_site(n: usize) -> Arc<webrobot::Site> {
+    let body: String = (1..=n).map(|i| format!("<a>item {i}</a>")).collect();
+    let mut b = SiteBuilder::new();
+    let home = b.add_page(
+        format!("https://anchors{n}.test/"),
+        parse_html(&format!("<html>{body}</html>")).unwrap(),
+    );
+    Arc::new(b.start_at(home).finish())
+}
+
+/// A fresh per-test scratch directory (removed on drop).
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(name: &str) -> TempDir {
+        let dir = std::env::temp_dir().join(format!(
+            "webrobot-persistence-{}-{name}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        TempDir(dir)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Opens a sharded deployment over `shards` [`FileStore`]s, all rooted at
+/// one shared directory (the layout is shard-count-stable: each shard
+/// adopts exactly the session ids it owns).
+fn open_sharded(cfg: &ServiceConfig, shards: usize, dir: &Path) -> ShardedManager {
+    let stores: Vec<Box<dyn SnapshotStore>> = (0..shards)
+        .map(|_| Box::new(FileStore::open(dir).unwrap()) as Box<dyn SnapshotStore>)
+        .collect();
+    ShardedManager::with_stores(cfg.clone(), stores).unwrap()
+}
+
+fn register_sites(m: &ShardedManager, sites: &[Arc<webrobot::Site>]) {
+    for (i, site) in sites.iter().enumerate() {
+        m.register_site(format!("site{i}"), site.clone(), Value::Object(vec![]));
+    }
+}
+
+fn create_req(site_index: usize) -> String {
+    Request::Create {
+        site: format!("site{site_index}"),
+        input: None,
+        deadline_ms: None,
+    }
+    .to_json()
+}
+
+fn event_req(session: &str, event: &str) -> String {
+    format!(r#"{{"v": 1, "kind": "event", "session": "{session}", "event": {event}}}"#)
+}
+
+fn scrape_ev(i: usize) -> String {
+    format!(
+        r#"{{"type": "demonstrate", "action": {{"op": "scrape_text", "selector": "/a[{i}]"}}}}"#
+    )
+}
+
+/// Sends one request to both deployments and asserts the responses are
+/// byte-identical; returns the (common) parsed reply.
+fn both(reference: &ShardedManager, subject: &ShardedManager, req: &str) -> Value {
+    let a = reference.handle_json(req);
+    let b = subject.handle_json(req);
+    assert_eq!(a, b, "reference and subject diverged on request {req}");
+    parse_json(&a).unwrap()
+}
+
+fn mode_of(reply: &Value) -> String {
+    reply
+        .field("mode")
+        .and_then(Value::as_str)
+        .unwrap_or_default()
+        .to_string()
+}
+
+/// Phase 1 of the workload: open one session per site, demonstrate two
+/// scrapes each (round-robin interleaved), and mix in a deliberate
+/// out-of-range accept so error responses are differentially checked too.
+/// Returns the session ids.
+fn phase1(reference: &ShardedManager, subject: &ShardedManager, sessions: usize) -> Vec<String> {
+    let mut ids = Vec::new();
+    for i in 0..sessions {
+        let reply = both(reference, subject, &create_req(i));
+        assert_eq!(reply.field("status").and_then(Value::as_str), Some("ok"));
+        ids.push(
+            reply
+                .field("session")
+                .and_then(Value::as_str)
+                .unwrap()
+                .to_string(),
+        );
+    }
+    for step in 1..=2 {
+        for id in &ids {
+            let reply = both(reference, subject, &event_req(id, &scrape_ev(step)));
+            assert_eq!(
+                reply.field("status").and_then(Value::as_str),
+                Some("ok"),
+                "{reply}"
+            );
+        }
+    }
+    // Deliberate error, byte-compared like everything else.
+    let reply = both(
+        reference,
+        subject,
+        &event_req(&ids[0], r#"{"type": "accept", "index": 99}"#),
+    );
+    assert_eq!(reply.field("status").and_then(Value::as_str), Some("error"));
+    ids
+}
+
+/// Phase 2: drive every session mode-first to completion (accepts, then
+/// automation, then finish/close), open one more session to pin the id
+/// sequence, checkpoint both deployments, and end on a stats probe. All
+/// responses byte-compared.
+fn phase2(reference: &ShardedManager, subject: &ShardedManager, ids: &[String]) {
+    // One more create: the reopened deployment must continue the global
+    // id sequence exactly where the killed process stopped.
+    let reply = both(reference, subject, &create_req(0));
+    let new_id = reply
+        .field("session")
+        .and_then(Value::as_str)
+        .unwrap()
+        .to_string();
+    assert_eq!(new_id, format!("s-{}", ids.len() + 1));
+    both(reference, subject, &event_req(&new_id, &scrape_ev(1)));
+
+    for id in ids {
+        let mut mode = "authorize".to_string();
+        let mut guard = 0;
+        while mode != "done" {
+            guard += 1;
+            assert!(guard < 64, "workflow did not converge for {id}");
+            let event = match mode.as_str() {
+                "authorize" => r#"{"type": "accept", "index": 0}"#.to_string(),
+                "automate" => r#"{"type": "automate_step"}"#.to_string(),
+                _ => r#"{"type": "finish"}"#.to_string(),
+            };
+            let reply = both(reference, subject, &event_req(id, &event));
+            assert_eq!(
+                reply.field("status").and_then(Value::as_str),
+                Some("ok"),
+                "{reply}"
+            );
+            mode = mode_of(&reply);
+        }
+        // Outputs survive the restart byte-for-byte.
+        both(
+            reference,
+            subject,
+            &Request::Outputs {
+                session: id.clone(),
+            }
+            .to_json(),
+        );
+    }
+
+    // Explicit checkpoint on both: the counts must agree.
+    let reply = both(reference, subject, r#"{"v": 1, "kind": "checkpoint"}"#);
+    assert_eq!(
+        reply.field("sessions").and_then(Value::as_int),
+        Some(ids.len() as i64 + 1)
+    );
+
+    // Close everything, then the final stats probe is byte-identical too
+    // (all counters carried across the restart; no eviction pressure in
+    // this workload, so even the eviction/restore counters agree).
+    for id in ids.iter().chain(std::iter::once(&new_id)) {
+        both(
+            reference,
+            subject,
+            &Request::Close {
+                session: id.clone(),
+            }
+            .to_json(),
+        );
+    }
+    let stats = both(reference, subject, r#"{"v": 1, "kind": "stats"}"#);
+    let stats = stats.field("stats").unwrap();
+    assert_eq!(
+        stats.field("sessions_closed").and_then(Value::as_int),
+        Some(ids.len() as i64 + 1)
+    );
+    assert_eq!(
+        stats.field("live_sessions").and_then(Value::as_int),
+        Some(0)
+    );
+}
+
+/// The acceptance differential: kill/reopen mid-workflow at shard counts
+/// 1, 2 and 4 — every wire response byte-identical to a deployment that
+/// never restarted, including the final stats.
+#[test]
+fn reopened_managers_are_byte_identical_at_shard_counts_1_2_4() {
+    for shards in [1usize, 2, 4] {
+        let sites: Vec<_> = [5, 6, 7].into_iter().map(anchor_site).collect();
+        let dir_ref = TempDir::new(&format!("ref-{shards}"));
+        let dir_sub = TempDir::new(&format!("sub-{shards}"));
+        let cfg = ServiceConfig::default();
+
+        let reference = open_sharded(&cfg, shards, dir_ref.path());
+        register_sites(&reference, &sites);
+        let subject = open_sharded(&cfg, shards, dir_sub.path());
+        register_sites(&subject, &sites);
+
+        let ids = phase1(&reference, &subject, sites.len());
+
+        // "Kill" the subject process: dropping flushes every shard's
+        // manager to its store. Then reopen from the same directory.
+        drop(subject);
+        let subject = open_sharded(&cfg, shards, dir_sub.path());
+        register_sites(&subject, &sites);
+
+        phase2(&reference, &subject, &ids);
+    }
+}
+
+/// A hard kill right after an explicit `checkpoint` (no drop-flush: the
+/// manager is leaked, exactly like SIGKILL) loses nothing that the
+/// checkpoint covered.
+#[test]
+fn checkpoint_bounds_the_loss_window_under_a_hard_kill() {
+    let sites: Vec<_> = [5, 6].into_iter().map(anchor_site).collect();
+    let dir_ref = TempDir::new("hardkill-ref");
+    let dir_sub = TempDir::new("hardkill-sub");
+    let cfg = ServiceConfig::default();
+
+    let reference = open_sharded(&cfg, 2, dir_ref.path());
+    register_sites(&reference, &sites);
+    let subject = open_sharded(&cfg, 2, dir_sub.path());
+    register_sites(&subject, &sites);
+
+    let ids = phase1(&reference, &subject, sites.len());
+    let reply = both(&reference, &subject, r#"{"v": 1, "kind": "checkpoint"}"#);
+    assert_eq!(
+        reply.field("sessions").and_then(Value::as_int),
+        Some(ids.len() as i64)
+    );
+
+    // SIGKILL: no destructors run. (Leaks the shard threads and managers
+    // for the remainder of the test process — that is the point.)
+    std::mem::forget(subject);
+
+    let subject = open_sharded(&cfg, 2, dir_sub.path());
+    register_sites(&subject, &sites);
+    phase2(&reference, &subject, &ids);
+}
+
+/// Restart interacts correctly with eviction pressure: a thrashing
+/// single-live-slot deployment stays byte-identical on every
+/// session-scoped response across a kill/reopen. (Stats are exempt here
+/// by design: the reference pays eviction/restore cycles for sessions the
+/// subject rehydrates from the store once — PROTOCOL.md documents the
+/// gauge caveat.)
+#[test]
+fn restart_under_eviction_thrash_is_unobservable_on_session_responses() {
+    let sites: Vec<_> = [5, 6, 7].into_iter().map(anchor_site).collect();
+    let dir_ref = TempDir::new("thrash-ref");
+    let dir_sub = TempDir::new("thrash-sub");
+    let cfg = ServiceConfig {
+        max_live_sessions: 1,
+        ..ServiceConfig::default()
+    };
+
+    let reference = open_sharded(&cfg, 1, dir_ref.path());
+    register_sites(&reference, &sites);
+    let subject = open_sharded(&cfg, 1, dir_sub.path());
+    register_sites(&subject, &sites);
+
+    let ids = phase1(&reference, &subject, sites.len());
+    drop(subject);
+    let subject = open_sharded(&cfg, 1, dir_sub.path());
+    register_sites(&subject, &sites);
+
+    // Mode-driven completion, interleaved so every turn thrashes the one
+    // live slot (no checkpoint/stats probes — session responses only).
+    let mut modes: Vec<String> = vec!["authorize".to_string(); ids.len()];
+    for _round in 0..32 {
+        for (i, id) in ids.iter().enumerate() {
+            if modes[i] == "done" {
+                continue;
+            }
+            let event = match modes[i].as_str() {
+                "authorize" => r#"{"type": "accept", "index": 0}"#.to_string(),
+                "automate" => r#"{"type": "automate_step"}"#.to_string(),
+                _ => r#"{"type": "finish"}"#.to_string(),
+            };
+            let reply = both(&reference, &subject, &event_req(id, &event));
+            assert_eq!(
+                reply.field("status").and_then(Value::as_str),
+                Some("ok"),
+                "{reply}"
+            );
+            modes[i] = mode_of(&reply);
+        }
+        if modes.iter().all(|m| m == "done") {
+            break;
+        }
+    }
+    assert!(modes.iter().all(|m| m == "done"), "workload converged");
+    for id in &ids {
+        both(
+            &reference,
+            &subject,
+            &Request::Outputs {
+                session: id.clone(),
+            }
+            .to_json(),
+        );
+    }
+}
+
+/// The store layout is shard-count-stable: a directory written by a
+/// 2-shard deployment reopens at shard counts 1 and 4, every session
+/// intact and able to run to completion (counters restart conservatively;
+/// ids never collide).
+#[test]
+fn stores_reopen_across_shard_counts() {
+    let sites: Vec<_> = [5, 6, 7, 8].into_iter().map(anchor_site).collect();
+    let dir = TempDir::new("migrate");
+    let cfg = ServiceConfig::default();
+
+    let ids: Vec<String> = {
+        let m = open_sharded(&cfg, 2, dir.path());
+        register_sites(&m, &sites);
+        let mut ids = Vec::new();
+        for i in 0..sites.len() {
+            let reply = parse_json(&m.handle_json(&create_req(i))).unwrap();
+            ids.push(
+                reply
+                    .field("session")
+                    .and_then(Value::as_str)
+                    .unwrap()
+                    .to_string(),
+            );
+        }
+        for step in 1..=2 {
+            for id in &ids {
+                let reply = m.handle_json(&event_req(id, &scrape_ev(step)));
+                assert!(reply.contains(r#""status":"ok""#), "{reply}");
+            }
+        }
+        ids
+        // drop flushes all shards
+    };
+
+    for (round, shards) in [1usize, 4].into_iter().enumerate() {
+        let m = open_sharded(&cfg, shards, dir.path());
+        register_sites(&m, &sites);
+        for (i, id) in ids.iter().enumerate() {
+            // Each adopted session continues mid-workflow: it is in
+            // authorize mode with a correct prediction, and its outputs
+            // are intact.
+            let reply = m.handle_json(&event_req(id, r#"{"type": "accept", "index": 0}"#));
+            assert!(
+                reply.contains(r#""outcome":"recorded""#),
+                "shards={shards} {id}: {reply}"
+            );
+            let outputs = m.handle_json(
+                &Request::Outputs {
+                    session: id.clone(),
+                }
+                .to_json(),
+            );
+            let outputs = parse_json(&outputs).unwrap();
+            // Phase 1 scraped 2 items; each migration round's accept
+            // scrapes one more (and the drop-flush persists it for the
+            // next round).
+            assert_eq!(
+                outputs
+                    .field("outputs")
+                    .and_then(Value::as_array)
+                    .map(<[Value]>::len),
+                Some(3 + round),
+                "shards={shards} site{i}"
+            );
+        }
+        // New creates never collide with adopted ids.
+        let reply = parse_json(&m.handle_json(&create_req(0))).unwrap();
+        let new_id = reply.field("session").and_then(Value::as_str).unwrap();
+        assert!(
+            !ids.iter().any(|id| id == new_id),
+            "shards={shards}: id {new_id} collided"
+        );
+    }
+}
+
+// ───────────────────── corruption / tampering ─────────────────────
+
+/// Sets up a flushed single-manager store with one mid-workflow session
+/// and returns the directory.
+fn flushed_store(name: &str) -> (TempDir, Arc<webrobot::Site>) {
+    let dir = TempDir::new(name);
+    let site = anchor_site(6);
+    let store = Box::new(FileStore::open(dir.path()).unwrap());
+    let mut m = SessionManager::with_store(ServiceConfig::default(), store).unwrap();
+    m.register_site("site0", site.clone(), Value::Object(vec![]));
+    let reply = m.handle_json(&create_req(0));
+    assert!(reply.contains(r#""session":"s-1""#), "{reply}");
+    for step in 1..=2 {
+        let reply = m.handle_json(&event_req("s-1", &scrape_ev(step)));
+        assert!(reply.contains(r#""status":"ok""#), "{reply}");
+    }
+    drop(m); // flush
+    assert!(dir.path().join("s-1.json").exists());
+    assert!(dir.path().join("shard-1-of-1.json").exists());
+    (dir, site)
+}
+
+fn reopen_single(dir: &Path) -> Result<SessionManager, StoreError> {
+    SessionManager::with_store(
+        ServiceConfig::default(),
+        Box::new(FileStore::open(dir).unwrap()),
+    )
+}
+
+/// A truncated session record (invalid JSON) fails the reopen fast with a
+/// typed `snapshot_corrupt` error — no panic, no half-adopted manager.
+#[test]
+fn truncated_session_records_fail_reopen_with_a_typed_error() {
+    let (dir, _site) = flushed_store("truncated");
+    let path = dir.path().join("s-1.json");
+    let full = fs::read_to_string(&path).unwrap();
+    fs::write(&path, &full[..full.len() / 2]).unwrap();
+    match reopen_single(dir.path()) {
+        Err(StoreError::Corrupt { key, .. }) => assert_eq!(key, "s-1"),
+        other => panic!("expected a corrupt-record error, got {other:?}"),
+    }
+}
+
+/// A record that *parses* as JSON but decodes to garbage surfaces as a
+/// typed wire error on first touch; the manager itself stays usable.
+#[test]
+fn shape_tampered_records_surface_as_wire_errors_on_touch() {
+    let (dir, site) = flushed_store("tampered-shape");
+    let path = dir.path().join("s-1.json");
+    let record = fs::read_to_string(&path).unwrap();
+    fs::write(
+        &path,
+        record.replace("\"mode\":\"authorize\"", "\"mode\":\"zen\""),
+    )
+    .unwrap();
+
+    let mut m = reopen_single(dir.path()).unwrap();
+    m.register_site("site0", site.clone(), Value::Object(vec![]));
+    let reply = m.handle_json(&event_req("s-1", r#"{"type": "accept", "index": 0}"#));
+    assert!(reply.contains(r#""code":"snapshot_corrupt""#), "{reply}");
+    assert!(reply.contains("s-1"), "{reply}");
+    // The manager is not poisoned: new sessions work fine.
+    let reply = m.handle_json(&create_req(0));
+    assert!(reply.contains(r#""status":"ok""#), "{reply}");
+}
+
+/// A record whose replayable history was tampered with (shape-valid, but
+/// the selector no longer resolves) surfaces as a typed `browser_error`
+/// when restoration replays it.
+#[test]
+fn history_tampered_records_surface_as_browser_errors() {
+    let (dir, site) = flushed_store("tampered-history");
+    let path = dir.path().join("s-1.json");
+    let record = fs::read_to_string(&path).unwrap();
+    // The executed history stores absolute paths (/html[1]/a[k]); point
+    // one at a node the site does not have.
+    assert!(record.contains("a[2]"), "{record}");
+    fs::write(&path, record.replace("a[2]", "a[99]")).unwrap();
+
+    let mut m = reopen_single(dir.path()).unwrap();
+    m.register_site("site0", site.clone(), Value::Object(vec![]));
+    let reply = m.handle_json(&event_req("s-1", r#"{"type": "accept", "index": 0}"#));
+    assert!(reply.contains(r#""code":"browser_error""#), "{reply}");
+}
+
+/// A record stored under one key but claiming another session id is
+/// rejected as corrupt (it would otherwise silently impersonate).
+#[test]
+fn id_mismatched_records_are_rejected() {
+    let (dir, site) = flushed_store("tampered-id");
+    let path = dir.path().join("s-1.json");
+    let record = fs::read_to_string(&path).unwrap();
+    fs::write(
+        &path,
+        record.replace("\"session\":\"s-1\"", "\"session\":\"s-7\""),
+    )
+    .unwrap();
+
+    let mut m = reopen_single(dir.path()).unwrap();
+    m.register_site("site0", site, Value::Object(vec![]));
+    let reply = m.handle_json(&event_req("s-1", r#"{"type": "accept", "index": 0}"#));
+    assert!(reply.contains(r#""code":"snapshot_corrupt""#), "{reply}");
+}
+
+/// A corrupt metadata record also fails the reopen fast and typed.
+#[test]
+fn corrupt_metadata_fails_reopen_with_a_typed_error() {
+    let (dir, _site) = flushed_store("tampered-meta");
+    fs::write(dir.path().join("shard-1-of-1.json"), "}{ not json").unwrap();
+    match reopen_single(dir.path()) {
+        Err(StoreError::Corrupt { key, .. }) => assert_eq!(key, "shard-1-of-1"),
+        other => panic!("expected a corrupt-metadata error, got {other:?}"),
+    }
+}
