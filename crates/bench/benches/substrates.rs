@@ -52,6 +52,50 @@ fn bench_alternatives(c: &mut Criterion) {
     group.finish();
 }
 
+/// Cached vs uncached selector resolution over a recording's action
+/// paths — the loop-guard hot path the per-DOM resolution cache targets.
+/// The cached rows re-resolve against the same DOM snapshot (everything
+/// after the first pass is a hit); the uncached rows walk the DOM every
+/// time, which is what every resolution cost before the cache landed.
+fn bench_path_resolution(c: &mut Criterion) {
+    for cached in [true, false] {
+        let mut group = c.benchmark_group(if cached {
+            "path_resolve_cached"
+        } else {
+            "path_resolve_uncached"
+        });
+        for id in [12u32, 31] {
+            let b = benchmark(id).unwrap();
+            let rec = b.record().unwrap();
+            let dom = rec.trace.doms()[0].clone();
+            let paths: Vec<_> = rec
+                .trace
+                .actions()
+                .iter()
+                .filter_map(|a| a.selector().cloned())
+                .collect();
+            assert!(!paths.is_empty());
+            group.bench_with_input(
+                BenchmarkId::from_parameter(format!("b{id}")),
+                &dom,
+                |bench, d| {
+                    bench.iter(|| {
+                        for path in &paths {
+                            let hit = if cached {
+                                path.resolve(d)
+                            } else {
+                                path.resolve_uncached(d)
+                            };
+                            std::hint::black_box(hit);
+                        }
+                    });
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
 /// End-to-end ground-truth recording (live execution + DOM snapshots).
 fn bench_recording(c: &mut Criterion) {
     let mut group = c.benchmark_group("record_demonstration");
@@ -69,5 +113,11 @@ fn bench_recording(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_execute, bench_alternatives, bench_recording);
+criterion_group!(
+    benches,
+    bench_execute,
+    bench_alternatives,
+    bench_path_resolution,
+    bench_recording
+);
 criterion_main!(benches);

@@ -1,0 +1,114 @@
+//! A fast, non-cryptographic hasher for the synthesis-side memo tables.
+//!
+//! The engine's hot maps key on machine words (interned ids, precomputed
+//! path digests) or small tuples of them; the standard library's SipHash
+//! spends more time per probe than the lookup itself. This is the
+//! rotate–xor–multiply construction popularized by the Firefox and rustc
+//! hashers: one multiply per word, quality adequate for in-memory tables,
+//! and no DoS resistance — which these process-internal tables do not
+//! need.
+//!
+//! Not suitable for anything attacker-controlled or persisted: hash
+//! values are an implementation detail and may change between builds.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplier: 2^64 / φ, the usual Fibonacci-hashing constant.
+const K: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// Word-at-a-time multiplicative hasher. See the module docs.
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn word(&mut self, w: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ w).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.word(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            // Length-tag the tail so "ab" and "ab\0" differ.
+            buf[7] = rest.len() as u8;
+            self.word(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.word(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.word(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.word(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.word(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        FxBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic_and_discriminating() {
+        assert_eq!(hash_of(&42u64), hash_of(&42u64));
+        assert_ne!(hash_of(&42u64), hash_of(&43u64));
+        assert_ne!(hash_of(&"ab"), hash_of(&"ab\0"));
+        assert_ne!(hash_of(&("a", 1u32)), hash_of(&("a", 2u32)));
+    }
+
+    #[test]
+    fn maps_work_end_to_end() {
+        let mut m: FxHashMap<(u32, u32), usize> = FxHashMap::default();
+        for i in 0..1000u32 {
+            m.insert((i, i * 2), i as usize);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m.get(&(999, 1998)), Some(&999));
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        assert!(s.insert(7));
+        assert!(!s.insert(7));
+    }
+}

@@ -1,0 +1,203 @@
+//! Arena-backed interning of selector components.
+//!
+//! The synthesis engine keys several memo tables on `(DOM index, Path)`
+//! and joins decompositions on `(prefix, axis, pred, suffix)` tuples.
+//! With owned [`Path`]s those keys clone string-laden step vectors and
+//! re-hash them on every probe. A [`PathInterner`] maps each distinct
+//! [`Pred`], [`Step`] and [`Path`] to a dense `Copy` id exactly once;
+//! afterwards keys hash and compare as machine words, and the arena is
+//! the single owner of the structured value.
+//!
+//! Ids are only meaningful relative to the interner that produced them:
+//! two tables may assign the same id to different paths. The synthesis
+//! engine threads exactly one interner per [`SynthContext`]
+//! (`webrobot-synth`), which is what makes id equality coincide with
+//! structural equality there. Tables are append-only, so ids never
+//! dangle and memoized derived facts keyed on ids stay valid for the
+//! lifetime of the table.
+
+use crate::fxhash::FxHashMap;
+
+use crate::path::{Path, Pred, Step};
+
+/// Interned [`Pred`] handle. Equal ids ⇔ structurally equal predicates
+/// (within one [`PathInterner`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PredId(u32);
+
+/// Interned [`Step`] handle. Equal ids ⇔ structurally equal steps
+/// (within one [`PathInterner`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StepId(u32);
+
+/// Interned [`Path`] handle. Equal ids ⇔ structurally equal paths
+/// (within one [`PathInterner`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PathId(u32);
+
+/// Interning table for predicates, steps and paths.
+///
+/// # Example
+///
+/// ```
+/// use webrobot_dom::{Path, PathInterner};
+///
+/// let mut table = PathInterner::new();
+/// let p: Path = "/body[1]/div[2]".parse()?;
+/// let id = table.path(&p);
+/// assert_eq!(table.path(&p), id); // stable across re-interning
+/// assert_eq!(table.get_path(id), &p); // round-trips
+/// # Ok::<(), webrobot_dom::PathParseError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct PathInterner {
+    preds: Vec<Pred>,
+    pred_ids: FxHashMap<Pred, PredId>,
+    steps: Vec<Step>,
+    step_ids: FxHashMap<Step, StepId>,
+    paths: Vec<Path>,
+    path_ids: FxHashMap<Path, PathId>,
+    /// Memoized child derivations: `joins[(p, s)] = intern(get(p) ∘ s)`.
+    joins: FxHashMap<(PathId, StepId), PathId>,
+}
+
+impl PathInterner {
+    /// Creates an empty table.
+    pub fn new() -> PathInterner {
+        PathInterner::default()
+    }
+
+    /// Interns a predicate.
+    pub fn pred(&mut self, pred: &Pred) -> PredId {
+        if let Some(&id) = self.pred_ids.get(pred) {
+            return id;
+        }
+        let id = PredId(self.preds.len() as u32);
+        self.preds.push(pred.clone());
+        self.pred_ids.insert(pred.clone(), id);
+        id
+    }
+
+    /// Interns a step.
+    pub fn step(&mut self, step: &Step) -> StepId {
+        if let Some(&id) = self.step_ids.get(step) {
+            return id;
+        }
+        let id = StepId(self.steps.len() as u32);
+        self.steps.push(step.clone());
+        self.step_ids.insert(step.clone(), id);
+        id
+    }
+
+    /// Interns a path.
+    pub fn path(&mut self, path: &Path) -> PathId {
+        if let Some(&id) = self.path_ids.get(path) {
+            return id;
+        }
+        let id = PathId(self.paths.len() as u32);
+        self.paths.push(path.clone());
+        self.path_ids.insert(path.clone(), id);
+        id
+    }
+
+    /// The child path `base ∘ step`, interned. Memoized so repeated
+    /// derivation of the same child (the loop-guard hot path) allocates
+    /// the extended step vector once, not per derivation.
+    pub fn join(&mut self, base: PathId, step: StepId) -> PathId {
+        if let Some(&id) = self.joins.get(&(base, step)) {
+            return id;
+        }
+        let joined = self.get_path(base).join(self.get_step(step).clone());
+        let id = self.path(&joined);
+        self.joins.insert((base, step), id);
+        id
+    }
+
+    /// Resolves a predicate id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was produced by a different interner.
+    pub fn get_pred(&self, id: PredId) -> &Pred {
+        &self.preds[id.0 as usize]
+    }
+
+    /// Resolves a step id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was produced by a different interner.
+    pub fn get_step(&self, id: StepId) -> &Step {
+        &self.steps[id.0 as usize]
+    }
+
+    /// Resolves a path id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was produced by a different interner.
+    pub fn get_path(&self, id: PathId) -> &Path {
+        &self.paths[id.0 as usize]
+    }
+
+    /// Step count of an interned path without materializing it.
+    pub fn path_len(&self, id: PathId) -> usize {
+        self.get_path(id).len()
+    }
+
+    /// Number of distinct paths interned so far.
+    pub fn len(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// `true` iff no path has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.paths.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Path {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn ids_are_stable_and_round_trip() {
+        let mut t = PathInterner::new();
+        let a = t.path(&p("/body[1]/div[1]"));
+        let b = t.path(&p("/body[1]/div[2]"));
+        assert_ne!(a, b);
+        assert_eq!(t.path(&p("/body[1]/div[1]")), a);
+        assert_eq!(t.get_path(a), &p("/body[1]/div[1]"));
+        assert_eq!(t.get_path(b), &p("/body[1]/div[2]"));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn join_matches_path_join() {
+        let mut t = PathInterner::new();
+        let base = t.path(&p("/body[1]"));
+        let step = t.step(&Step::child(Pred::tag("div"), 3));
+        let joined = t.join(base, step);
+        assert_eq!(t.get_path(joined), &p("/body[1]/div[3]"));
+        // Memoized: the same derivation returns the same id.
+        assert_eq!(t.join(base, step), joined);
+        // And agrees with interning the materialized join.
+        assert_eq!(t.path(&p("/body[1]/div[3]")), joined);
+    }
+
+    #[test]
+    fn preds_and_steps_deduplicate() {
+        let mut t = PathInterner::new();
+        let pr = Pred::with_attr("div", "class", "item");
+        assert_eq!(t.pred(&pr), t.pred(&pr.clone()));
+        let st = Step::descendant(pr.clone(), 2);
+        assert_eq!(t.step(&st), t.step(&st.clone()));
+        let (pid, sid) = (t.pred(&pr), t.step(&st));
+        assert_eq!(t.get_pred(pid), &pr);
+        assert_eq!(t.get_step(sid), &st);
+    }
+}

@@ -27,14 +27,20 @@
 //! # }
 //! ```
 
+#![warn(missing_docs)]
+
 mod alternatives;
 mod error;
+mod fxhash;
 mod html;
+mod intern;
 mod node;
 mod path;
 
 pub use alternatives::{alternatives, AltConfig};
 pub use error::{DomError, PathParseError};
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use html::{parse_html, to_html};
-pub use node::{Dom, DomBuilder, NodeId};
+pub use intern::{PathId, PathInterner, PredId, StepId};
+pub use node::{resolve_cache_counters, Dom, DomBuilder, NodeId};
 pub use path::{Axis, Path, Pred, Step};

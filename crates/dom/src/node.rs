@@ -1,8 +1,105 @@
 //! Arena-based DOM trees.
 
+use crate::fxhash::FxHashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 use crate::path::{Path, Pred, Step};
+
+/// Process-wide counter of per-DOM resolution-cache hits.
+static RESOLVE_HITS: AtomicU64 = AtomicU64::new(0);
+/// Process-wide counter of per-DOM resolution-cache misses.
+static RESOLVE_MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// Snapshot of the process-wide `(hits, misses)` counters of the per-DOM
+/// resolution cache (see [`Path::resolve`]). Monotonic; callers sample
+/// before/after a region and subtract. The counters are global, so the
+/// deltas are exact under one resolver per thread (how the sharded
+/// session stack runs) and an aggregate otherwise.
+pub fn resolve_cache_counters() -> (u64, u64) {
+    (
+        RESOLVE_HITS.load(Ordering::Relaxed),
+        RESOLVE_MISSES.load(Ordering::Relaxed),
+    )
+}
+
+/// Upper bound on cached resolutions per DOM. A full cache keeps
+/// answering lookups for the paths it already holds; further distinct
+/// paths are resolved by walking, uncached. Loop guards and validation
+/// revisit a working set far below this bound.
+const RESOLVE_CACHE_CAP: usize = 4096;
+
+/// Interior-mutable memo of root-based path resolutions on one [`Dom`].
+///
+/// Semantically invisible: cloning a DOM starts an empty cache, equality
+/// ignores it, and every `&mut self` mutator clears it (resolution is a
+/// pure function of the tree, so cached entries are valid exactly until
+/// the tree changes). A `Mutex` rather than a `RefCell` keeps `Dom`
+/// `Send + Sync`; snapshots are resolved by one shard thread at a time,
+/// so the lock is uncontended in practice.
+struct ResolveCache {
+    map: Mutex<FxHashMap<Path, Option<NodeId>>>,
+}
+
+impl ResolveCache {
+    fn new() -> ResolveCache {
+        ResolveCache {
+            map: Mutex::new(FxHashMap::default()),
+        }
+    }
+
+    /// Locks the map, recovering from poisoning: the cache holds no
+    /// invariants beyond "entries were computed on this tree", which a
+    /// panic mid-insert cannot break.
+    fn lock(&self) -> std::sync::MutexGuard<'_, FxHashMap<Path, Option<NodeId>>> {
+        self.map
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn get(&self, path: &Path) -> Option<Option<NodeId>> {
+        self.lock().get(path).copied()
+    }
+
+    fn insert(&self, path: &Path, resolved: Option<NodeId>) {
+        let mut map = self.lock();
+        if map.len() < RESOLVE_CACHE_CAP {
+            map.insert(path.clone(), resolved);
+        }
+    }
+
+    /// Drops every entry. Requires `&mut`, so all mutation sites (which
+    /// already hold `&mut Dom`) invalidate without touching the lock.
+    fn invalidate(&mut self) {
+        self.map
+            .get_mut()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clear();
+    }
+}
+
+/// A fresh DOM (or clone) starts cold: cached node ids are indices into
+/// *this* arena's history of mutations, never transferable.
+impl Clone for ResolveCache {
+    fn clone(&self) -> ResolveCache {
+        ResolveCache::new()
+    }
+}
+
+/// The cache never participates in DOM equality (it is derived data).
+impl PartialEq for ResolveCache {
+    fn eq(&self, _other: &ResolveCache) -> bool {
+        true
+    }
+}
+impl Eq for ResolveCache {}
+
+impl fmt::Debug for ResolveCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ResolveCache({} entries)", self.lock().len())
+    }
+}
 
 /// Index of a node inside a [`Dom`] arena.
 ///
@@ -56,6 +153,9 @@ pub(crate) struct Node {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Dom {
     nodes: Vec<Node>,
+    /// Memoized root-based resolutions; derived data, invisible to
+    /// `Clone`/`PartialEq` (see [`ResolveCache`]).
+    cache: ResolveCache,
 }
 
 impl Dom {
@@ -69,7 +169,27 @@ impl Dom {
                 children: Vec::new(),
                 parent: None,
             }],
+            cache: ResolveCache::new(),
         }
+    }
+
+    /// Root-based resolution of `path` through the per-DOM memo: loop
+    /// guards, validation and ranking resolve the same few selectors on
+    /// the same snapshot over and over, so after the first walk each
+    /// re-check is a hash probe. Falls back to the plain walk (uncached)
+    /// once the cache is at capacity.
+    pub(crate) fn resolve_cached(&self, path: &Path) -> Option<NodeId> {
+        if path.is_empty() {
+            return Some(NodeId::ROOT);
+        }
+        if let Some(hit) = self.cache.get(path) {
+            RESOLVE_HITS.fetch_add(1, Ordering::Relaxed);
+            return hit;
+        }
+        RESOLVE_MISSES.fetch_add(1, Ordering::Relaxed);
+        let resolved = path.resolve_from(self, NodeId::ROOT);
+        self.cache.insert(path, resolved);
+        resolved
     }
 
     /// Number of nodes in the arena.
@@ -89,6 +209,7 @@ impl Dom {
     /// Panics if `parent` is not a node of this DOM.
     pub fn append(&mut self, parent: NodeId, tag: impl Into<String>) -> NodeId {
         assert!(parent.index() < self.nodes.len(), "parent not in arena");
+        self.cache.invalidate();
         let id = NodeId(self.nodes.len() as u32);
         self.nodes.push(Node {
             tag: tag.into(),
@@ -106,6 +227,7 @@ impl Dom {
     /// The arena entries remain allocated but become unreachable; selector
     /// resolution never sees removed subtrees. Removing the root is a no-op.
     pub fn detach(&mut self, node: NodeId) {
+        self.cache.invalidate();
         if let Some(parent) = self.nodes[node.index()].parent {
             self.nodes[parent.index()].children.retain(|&c| c != node);
             self.nodes[node.index()].parent = None;
@@ -124,6 +246,10 @@ impl Dom {
 
     /// Replaces the direct text of `node`.
     pub fn set_text(&mut self, node: NodeId, text: impl Into<String>) {
+        // Text never affects resolution, but keeping "any mutation
+        // invalidates" as the invariant is cheaper than auditing which
+        // mutations a future predicate form might observe.
+        self.cache.invalidate();
         self.nodes[node.index()].text = text.into();
     }
 
@@ -143,6 +269,7 @@ impl Dom {
 
     /// Sets (or replaces) attribute `name` on `node`.
     pub fn set_attr(&mut self, node: NodeId, name: impl Into<String>, value: impl Into<String>) {
+        self.cache.invalidate();
         let name = name.into();
         let value = value.into();
         let attrs = &mut self.nodes[node.index()].attrs;

@@ -126,20 +126,90 @@ impl fmt::Display for Step {
 /// assert_eq!(p.to_string(), "//div[@class='item'][2]/h3[1]");
 /// # Ok::<(), webrobot_dom::PathParseError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+#[derive(Debug, Clone)]
 pub struct Path {
     steps: Vec<Step>,
+    /// FNV-1a digest of `steps`, computed at construction. Selector
+    /// hashing dominates the resolution-cache and memo-table probes during
+    /// synthesis; precomputing turns every probe into a single `u64` write
+    /// instead of re-walking tag/attr strings.
+    hash: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Folds `steps` onto an FNV-1a accumulator. Sequential, so a path's hash
+/// can be extended in place when appending steps ([`Path::join`],
+/// [`Path::concat`]).
+fn fold_steps(mut h: u64, steps: &[Step]) -> u64 {
+    let mut byte = |b: u8| h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+    for step in steps {
+        byte(match step.axis {
+            Axis::Child => 1,
+            Axis::Descendant => 2,
+        });
+        step.pred.tag.bytes().for_each(&mut byte);
+        byte(0);
+        if let Some((name, value)) = &step.pred.attr {
+            byte(3);
+            name.bytes().for_each(&mut byte);
+            byte(0);
+            value.bytes().for_each(&mut byte);
+            byte(0);
+        }
+        for b in step.index.to_le_bytes() {
+            byte(b);
+        }
+    }
+    h
+}
+
+impl PartialEq for Path {
+    fn eq(&self, other: &Path) -> bool {
+        self.hash == other.hash && self.steps == other.steps
+    }
+}
+
+impl Eq for Path {}
+
+impl std::hash::Hash for Path {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        state.write_u64(self.hash);
+    }
+}
+
+impl PartialOrd for Path {
+    fn partial_cmp(&self, other: &Path) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Path {
+    fn cmp(&self, other: &Path) -> std::cmp::Ordering {
+        self.steps.cmp(&other.steps)
+    }
+}
+
+impl Default for Path {
+    fn default() -> Path {
+        Path::root()
+    }
 }
 
 impl Path {
     /// The empty selector `ε` (denotes the document root).
     pub fn root() -> Path {
-        Path { steps: Vec::new() }
+        Path {
+            steps: Vec::new(),
+            hash: FNV_OFFSET,
+        }
     }
 
     /// Builds a path from steps.
     pub fn new(steps: Vec<Step>) -> Path {
-        Path { steps }
+        let hash = fold_steps(FNV_OFFSET, &steps);
+        Path { steps, hash }
     }
 
     /// The steps of this path.
@@ -158,17 +228,26 @@ impl Path {
     }
 
     /// Returns a new path with `step` appended.
+    ///
+    /// Builds the step vector at its exact final capacity: clone-then-push
+    /// reserved for the cloned length and then grew (amplifying twice on
+    /// the loop-guard derivation hot path), while this allocates once.
     pub fn join(&self, step: Step) -> Path {
-        let mut steps = self.steps.clone();
+        let mut steps = Vec::with_capacity(self.steps.len() + 1);
+        steps.extend_from_slice(&self.steps);
         steps.push(step);
-        Path { steps }
+        let hash = fold_steps(self.hash, &steps[self.steps.len()..]);
+        Path { steps, hash }
     }
 
-    /// Concatenates two paths.
+    /// Concatenates two paths (one exact-capacity allocation, as in
+    /// [`Path::join`]).
     pub fn concat(&self, suffix: &Path) -> Path {
-        let mut steps = self.steps.clone();
-        steps.extend(suffix.steps.iter().cloned());
-        Path { steps }
+        let mut steps = Vec::with_capacity(self.steps.len() + suffix.steps.len());
+        steps.extend_from_slice(&self.steps);
+        steps.extend_from_slice(&suffix.steps);
+        let hash = fold_steps(self.hash, &suffix.steps);
+        Path { steps, hash }
     }
 
     /// `true` iff `prefix` is a step-wise prefix of this path.
@@ -179,9 +258,7 @@ impl Path {
     /// Strips `prefix`, returning the remaining suffix path.
     pub fn strip_prefix(&self, prefix: &Path) -> Option<Path> {
         if self.starts_with(prefix) {
-            Some(Path {
-                steps: self.steps[prefix.steps.len()..].to_vec(),
-            })
+            Some(Path::new(self.steps[prefix.steps.len()..].to_vec()))
         } else {
             None
         }
@@ -193,16 +270,28 @@ impl Path {
     ///
     /// Panics if `n > self.len()`.
     pub fn prefix(&self, n: usize) -> Path {
-        Path {
-            steps: self.steps[..n].to_vec(),
-        }
+        Path::new(self.steps[..n].to_vec())
     }
 
     /// Resolves the path on `dom` starting from the document root.
     ///
     /// Returns `None` when any step has no `i`-th match — the paper's
     /// `¬valid(ρ, π)`.
+    ///
+    /// Root-based resolutions are memoized per DOM (invalidated on any
+    /// mutation), so loop guards and validation re-checks of the same
+    /// selector cost a hash probe after the first walk. Equivalent to
+    /// [`Path::resolve_uncached`] by construction; the differential test
+    /// `resolve_cache.rs` pins that over randomized DOMs.
     pub fn resolve(&self, dom: &Dom) -> Option<NodeId> {
+        dom.resolve_cached(self)
+    }
+
+    /// [`Path::resolve`] without the per-DOM memo: always walks the tree.
+    ///
+    /// Exists for differential tests and benchmarks of the cache itself;
+    /// callers should prefer [`Path::resolve`].
+    pub fn resolve_uncached(&self, dom: &Dom) -> Option<NodeId> {
         self.resolve_from(dom, NodeId::ROOT)
     }
 
@@ -237,8 +326,7 @@ impl FromStr for Path {
     type Err = PathParseError;
 
     fn from_str(s: &str) -> Result<Path, PathParseError> {
-        let steps = parse_steps(s)?;
-        Ok(Path { steps })
+        Ok(Path::new(parse_steps(s)?))
     }
 }
 

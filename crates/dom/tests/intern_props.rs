@@ -1,0 +1,98 @@
+//! Property tests for the selector interner: intern/resolve round-trips
+//! and id stability under interleaved interning into independent tables.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use webrobot_dom::{Axis, Path, PathInterner, Pred, Step};
+
+/// A random step over a tiny tag/attribute alphabet, so distinct draws
+/// still collide often enough to exercise deduplication.
+fn step_strategy() -> impl Strategy<Value = Step> {
+    (any::<bool>(), "[a-c]{1,2}", 0u8..3, 1usize..4).prop_map(|(descendant, tag, attr, index)| {
+        let pred = match attr {
+            0 => Pred::tag(tag),
+            1 => Pred::with_attr(tag, "class", "item"),
+            _ => Pred::with_attr(tag, "id", "main"),
+        };
+        Step {
+            axis: if descendant {
+                Axis::Descendant
+            } else {
+                Axis::Child
+            },
+            pred,
+            index,
+        }
+    })
+}
+
+fn path_strategy() -> impl Strategy<Value = Path> {
+    vec(step_strategy(), 0..5).prop_map(Path::new)
+}
+
+proptest! {
+    /// Interning and resolving are inverse, and re-interning any path —
+    /// at any later point, after arbitrary other interns — returns the
+    /// id it was first assigned.
+    #[test]
+    fn intern_resolve_round_trip(paths in vec(path_strategy(), 1..20)) {
+        let mut table = PathInterner::new();
+        let ids: Vec<_> = paths.iter().map(|p| table.path(p)).collect();
+        for (path, &id) in paths.iter().zip(&ids) {
+            prop_assert_eq!(table.get_path(id), path);
+            prop_assert_eq!(table.path(path), id);
+        }
+        // Structural equality coincides with id equality.
+        for (pa, &ia) in paths.iter().zip(&ids) {
+            for (pb, &ib) in paths.iter().zip(&ids) {
+                prop_assert_eq!(pa == pb, ia == ib);
+            }
+        }
+    }
+
+    /// Two tables fed the same paths in different interleavings stay
+    /// internally consistent: ids are table-local (they may differ
+    /// between tables), but each table keeps every id it handed out
+    /// stable and resolvable, regardless of what else got interned
+    /// in between.
+    #[test]
+    fn id_stability_under_interleaved_tables(
+        shared in vec(path_strategy(), 1..10),
+        noise in vec(path_strategy(), 1..10),
+    ) {
+        let mut plain = PathInterner::new();
+        let mut interleaved = PathInterner::new();
+        let plain_ids: Vec<_> = shared.iter().map(|p| plain.path(p)).collect();
+        let mut interleaved_ids = Vec::new();
+        for (k, p) in shared.iter().enumerate() {
+            interleaved_ids.push(interleaved.path(p));
+            if let Some(n) = noise.get(k) {
+                interleaved.path(n);
+            }
+        }
+        for ((path, &a), &b) in shared.iter().zip(&plain_ids).zip(&interleaved_ids) {
+            prop_assert_eq!(plain.get_path(a), path);
+            prop_assert_eq!(interleaved.get_path(b), path);
+            // Stability: re-interning after all the interleaved noise
+            // still returns the original ids.
+            prop_assert_eq!(plain.path(path), a);
+            prop_assert_eq!(interleaved.path(path), b);
+        }
+    }
+
+    /// The memoized child derivation agrees with materializing the join
+    /// and interning the result.
+    #[test]
+    fn join_agrees_with_materialized_join(
+        path in path_strategy(),
+        step in step_strategy(),
+    ) {
+        let mut table = PathInterner::new();
+        let base = table.path(&path);
+        let sid = table.step(&step);
+        let derived = table.join(base, sid);
+        prop_assert_eq!(derived, table.path(&path.join(step.clone())));
+        prop_assert_eq!(table.get_path(derived), &path.join(step));
+        prop_assert_eq!(table.path_len(derived), path.len() + 1);
+    }
+}

@@ -1,0 +1,269 @@
+//! Arena-backed interning of selectors and statements.
+//!
+//! The synthesis engine keys its anti-unification, validation and
+//! speculation memo tables on *canonicalized statements* — alpha-variant
+//! programs share entries. With owned [`Statement`] keys every probe
+//! re-hashes a full statement tree (selectors included) and every store
+//! clones one. A [`StatementInterner`] pays that hash exactly once per
+//! distinct statement and hands back a dense `Copy` [`StmtId`];
+//! downstream keys then hash and compare as machine words.
+//!
+//! Selector-carrying loop-free statements — the overwhelming majority of
+//! what speculation enumerates — go through a [`SelectorInterner`] first,
+//! so statements sharing a selector share its arena slot and the
+//! statement-level map keys on `(kind, SelectorId)` words instead of
+//! structured values.
+//!
+//! Ids are table-local (see `webrobot_dom::PathInterner` for the same
+//! contract): the engine threads one table per synthesis context, which
+//! makes id equality coincide with structural equality there. Tables are
+//! append-only; ids never dangle.
+
+use webrobot_dom::FxHashMap;
+
+use crate::program::Statement;
+use crate::selector::Selector;
+
+/// Interned [`Selector`] handle. Equal ids ⇔ structurally equal
+/// selectors (within one [`SelectorInterner`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SelectorId(u32);
+
+/// Interning table for [`Selector`]s.
+#[derive(Debug, Default)]
+pub struct SelectorInterner {
+    ids: FxHashMap<Selector, SelectorId>,
+    arena: Vec<Selector>,
+}
+
+impl SelectorInterner {
+    /// Creates an empty table.
+    pub fn new() -> SelectorInterner {
+        SelectorInterner::default()
+    }
+
+    /// Interns a selector.
+    pub fn intern(&mut self, sel: &Selector) -> SelectorId {
+        if let Some(&id) = self.ids.get(sel) {
+            return id;
+        }
+        let id = SelectorId(self.arena.len() as u32);
+        self.arena.push(sel.clone());
+        self.ids.insert(sel.clone(), id);
+        id
+    }
+
+    /// Resolves a selector id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was produced by a different interner.
+    pub fn get(&self, id: SelectorId) -> &Selector {
+        &self.arena[id.0 as usize]
+    }
+
+    /// Number of distinct selectors interned so far.
+    pub fn len(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// `true` iff no selector has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.arena.is_empty()
+    }
+}
+
+/// Interned [`Statement`] handle. Equal ids ⇔ structurally equal
+/// statements (within one [`StatementInterner`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StmtId(u32);
+
+/// Upper bound on memoized raw→canonical entries (see
+/// [`StatementInterner::intern_canonical`]).
+const RAW_CANON_CAP: usize = 1 << 16;
+
+/// The pure-selector statement constructors, used as the first word of
+/// the fast-lane map key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum SelKind {
+    Click,
+    ScrapeText,
+    ScrapeLink,
+    Download,
+}
+
+/// Interning table for [`Statement`]s, with a selector-backed fast lane.
+///
+/// Call sites that want canonical identity (the synthesis memo keys)
+/// intern `stmt.canonicalize()`; the table itself treats statements as
+/// opaque values and never canonicalizes.
+#[derive(Debug, Default)]
+pub struct StatementInterner {
+    selectors: SelectorInterner,
+    /// Fast lane: statements that are just a constructor around one
+    /// selector key on `(kind, SelectorId)` — two machine words.
+    simple: FxHashMap<(SelKind, SelectorId), StmtId>,
+    /// Everything else (loops, payload-carrying statements) keys on the
+    /// owned statement.
+    complex: FxHashMap<Statement, StmtId>,
+    /// Raw statement → id of its *canonicalized* form. Speculation and
+    /// validation ask for canonical identity of the same raw statements
+    /// over and over; this lane answers repeats with one hash probe
+    /// instead of a canonicalize (deep clone + renumber) per ask.
+    canon: FxHashMap<Statement, StmtId>,
+    arena: Vec<Statement>,
+}
+
+impl StatementInterner {
+    /// Creates an empty table.
+    pub fn new() -> StatementInterner {
+        StatementInterner::default()
+    }
+
+    /// Interns a statement.
+    pub fn intern(&mut self, stmt: &Statement) -> StmtId {
+        let kind = match stmt {
+            Statement::Click(_) => Some(SelKind::Click),
+            Statement::ScrapeText(_) => Some(SelKind::ScrapeText),
+            Statement::ScrapeLink(_) => Some(SelKind::ScrapeLink),
+            Statement::Download(_) => Some(SelKind::Download),
+            _ => None,
+        };
+        match (kind, stmt.selector()) {
+            (Some(kind), Some(sel)) => {
+                let sid = self.selectors.intern(sel);
+                if let Some(&id) = self.simple.get(&(kind, sid)) {
+                    return id;
+                }
+                let id = self.push(stmt);
+                self.simple.insert((kind, sid), id);
+                id
+            }
+            _ => {
+                if let Some(&id) = self.complex.get(stmt) {
+                    return id;
+                }
+                let id = self.push(stmt);
+                self.complex.insert(stmt.clone(), id);
+                id
+            }
+        }
+    }
+
+    /// Interns the *canonicalized* form of `stmt`: alpha-variant
+    /// statements map to the same id. Memoized on the raw statement, so
+    /// repeated asks — the norm in the synthesis inner loops — skip the
+    /// canonicalization entirely.
+    pub fn intern_canonical(&mut self, stmt: &Statement) -> StmtId {
+        if let Some(&id) = self.canon.get(stmt) {
+            return id;
+        }
+        let id = self.intern(&stmt.canonicalize());
+        // Freshly-renamed loop variants never repeat; cap the lane so a
+        // long session cannot accumulate unbounded raw-statement clones.
+        if self.canon.len() < RAW_CANON_CAP {
+            self.canon.insert(stmt.clone(), id);
+        }
+        id
+    }
+
+    /// [`intern_canonical`](Self::intern_canonical) without populating the
+    /// raw→canonical memo. For callers whose statements carry *fresh*
+    /// binders (speculative rewrites): the raw value can never be asked
+    /// again under the same spelling, so memoizing it would clone a deep
+    /// statement into the table for nothing. Existing memo entries are
+    /// still consulted.
+    pub fn intern_canonical_transient(&mut self, stmt: &Statement) -> StmtId {
+        if let Some(&id) = self.canon.get(stmt) {
+            return id;
+        }
+        self.intern(&stmt.canonicalize())
+    }
+
+    fn push(&mut self, stmt: &Statement) -> StmtId {
+        let id = StmtId(self.arena.len() as u32);
+        self.arena.push(stmt.clone());
+        id
+    }
+
+    /// Resolves a statement id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was produced by a different interner.
+    pub fn get(&self, id: StmtId) -> &Statement {
+        &self.arena[id.0 as usize]
+    }
+
+    /// The selector table backing the fast lane.
+    pub fn selectors(&self) -> &SelectorInterner {
+        &self.selectors
+    }
+
+    /// Number of distinct statements interned so far.
+    pub fn len(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// `true` iff no statement has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.arena.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_program;
+
+    fn stmt(src: &str) -> Statement {
+        parse_program(src).unwrap().into_statements().remove(0)
+    }
+
+    #[test]
+    fn statements_round_trip_and_deduplicate() {
+        let mut t = StatementInterner::new();
+        let a = stmt("Click(/body[1]/a[1])");
+        let b = stmt("ScrapeText(/body[1]/a[1])");
+        let ia = t.intern(&a);
+        let ib = t.intern(&b);
+        assert_ne!(ia, ib, "same selector, different constructor");
+        assert_eq!(t.intern(&a), ia);
+        assert_eq!(t.get(ia), &a);
+        assert_eq!(t.get(ib), &b);
+        // The shared selector was interned once.
+        assert_eq!(t.selectors().len(), 1);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn loops_and_payload_statements_go_through_the_complex_lane() {
+        let mut t = StatementInterner::new();
+        let l =
+            stmt("foreach %r0 in Dscts(eps, div[@class='item']) do {\n  ScrapeText(%r0//h3[1])\n}");
+        let s = stmt("SendKeys(/input[1], \"abc\")");
+        let il = t.intern(&l);
+        let is = t.intern(&s);
+        assert_eq!(t.intern(&l), il);
+        assert_eq!(t.intern(&s), is);
+        assert_eq!(t.get(il), &l);
+        assert_eq!(t.get(is), &s);
+        // Alpha-variants are distinct values here; canonical sharing is
+        // the *caller's* choice (intern the canonicalized statement).
+        let l2 =
+            stmt("foreach %r7 in Dscts(eps, div[@class='item']) do {\n  ScrapeText(%r7//h3[1])\n}");
+        assert_ne!(t.intern(&l2), il);
+        assert_eq!(t.intern(&l2.canonicalize()), t.intern(&l.canonicalize()));
+    }
+
+    #[test]
+    fn selector_interner_round_trips() {
+        let mut t = SelectorInterner::new();
+        let a = stmt("Click(/body[1]/a[1])");
+        let sel = a.selector().unwrap();
+        let id = t.intern(sel);
+        assert_eq!(t.intern(sel), id);
+        assert_eq!(t.get(id), sel);
+        assert!(!t.is_empty());
+    }
+}

@@ -37,7 +37,10 @@
 //! # }
 //! ```
 
+#![warn(missing_docs)]
+
 mod action;
+mod intern;
 mod parse;
 mod program;
 mod selector;
@@ -45,6 +48,7 @@ mod valuepath;
 mod vars;
 
 pub use action::{Action, ActionKind};
+pub use intern::{SelectorId, SelectorInterner, StatementInterner, StmtId};
 pub use parse::{parse_program, ParseError};
 pub use program::{ForeachSel, ForeachVal, Program, Statement, While};
 pub use selector::{CollectionKind, SelBase, Selector, SelectorList};

@@ -2,8 +2,8 @@
 //! with its second-iteration counterpart into a parametrized template plus
 //! the collection the target loop iterates over.
 
-use std::collections::HashMap;
 use std::sync::Arc;
+use webrobot_dom::FxHashSet;
 
 use webrobot_data::{PathSeg, ValuePath};
 use webrobot_dom::{Axis, Path};
@@ -12,7 +12,7 @@ use webrobot_lang::{
     ValuePathExpr, ValuePathList, VpBase, VpVar, While,
 };
 
-use crate::context::SynthContext;
+use crate::context::{Decomp, SynthContext};
 
 /// A successful anti-unification: the skeleton of a loop to speculate.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -79,14 +79,14 @@ impl LoopSeed {
     }
 }
 
-fn rename_sel_in_selector(s: &Selector, old: SelVar, new: SelVar) -> Selector {
+pub(crate) fn rename_sel_in_selector(s: &Selector, old: SelVar, new: SelVar) -> Selector {
     match s.base {
         SelBase::Var(v) if v == old => Selector::var_path(new, s.path.clone()),
         _ => s.clone(),
     }
 }
 
-fn rename_vp_in_expr(v: &ValuePathExpr, old: VpVar, new: VpVar) -> ValuePathExpr {
+pub(crate) fn rename_vp_in_expr(v: &ValuePathExpr, old: VpVar, new: VpVar) -> ValuePathExpr {
     match v.base {
         VpBase::Var(var) if var == old => ValuePathExpr::var_path(new, v.path.clone()),
         _ => v.clone(),
@@ -96,7 +96,7 @@ fn rename_vp_in_expr(v: &ValuePathExpr, old: VpVar, new: VpVar) -> ValuePathExpr
 /// Renames free occurrences of the selector variable `old` to `new`.
 /// Binders never collide with `old` (all binders are vargen-fresh), so no
 /// scope tracking is needed.
-fn rename_sel_var(stmt: &Statement, old: SelVar, new: SelVar) -> Statement {
+pub(crate) fn rename_sel_var(stmt: &Statement, old: SelVar, new: SelVar) -> Statement {
     let sel = |s: &Selector| rename_sel_in_selector(s, old, new);
     match stmt {
         Statement::Click(s) => Statement::Click(sel(s)),
@@ -129,7 +129,7 @@ fn rename_sel_var(stmt: &Statement, old: SelVar, new: SelVar) -> Statement {
 }
 
 /// Renames free occurrences of the value-path variable `old` to `new`.
-fn rename_vp_var(stmt: &Statement, old: VpVar, new: VpVar) -> Statement {
+pub(crate) fn rename_vp_var(stmt: &Statement, old: VpVar, new: VpVar) -> Statement {
     let vp = |v: &ValuePathExpr| rename_vp_in_expr(v, old, new);
     match stmt {
         Statement::EnterData(s, v) => Statement::EnterData(s.clone(), vp(v)),
@@ -181,7 +181,7 @@ pub fn anti_unify(
     if !ctx.config().memoization {
         return anti_unify_uncached(sp, sq, dom_p, dom_q, ctx);
     }
-    let key = (dom_p, dom_q, sp.canonicalize(), sq.canonicalize());
+    let key = (dom_p, dom_q, ctx.canon_id(sp), ctx.canon_id(sq));
     if let Some(hit) = ctx.antiunify_hit(&key) {
         return hit.iter().map(|seed| seed.freshened(ctx)).collect();
     }
@@ -336,24 +336,23 @@ pub(crate) fn anti_unify_selectors(
 ) -> Vec<(Selector, SelectorList)> {
     let d1 = ctx.decomps(dom_p, p_path, 1);
     let d2 = ctx.decomps(dom_q, q_path, 2);
-    // Hash-join on (prefix, axis, pred, suffix).
-    let mut index: HashMap<(&Path, Axis, &webrobot_dom::Pred, &Path), ()> = HashMap::new();
-    for d in d2.iter() {
-        index.insert((&d.prefix, d.axis, &d.pred, &d.suffix), ());
-    }
+    // Hash-join on the whole decomposition — `Decomp` is four `Copy`
+    // interner ids, so building and probing the index hashes machine
+    // words instead of re-walking structured paths.
+    let index: FxHashSet<Decomp> = d2.iter().copied().collect();
     let mut out = Vec::new();
     for d in d1.iter() {
-        if index.contains_key(&(&d.prefix, d.axis, &d.pred, &d.suffix)) {
+        if index.contains(d) {
             let kind = match d.axis {
                 Axis::Child => CollectionKind::Children,
                 Axis::Descendant => CollectionKind::Dscts,
             };
             out.push((
-                Selector::var_path(var, d.suffix.clone()),
+                Selector::var_path(var, ctx.paths().get_path(d.suffix).clone()),
                 SelectorList {
                     kind,
-                    base: Selector::rooted(d.prefix.clone()),
-                    pred: d.pred.clone(),
+                    base: Selector::rooted(ctx.paths().get_path(d.prefix).clone()),
+                    pred: ctx.paths().get_pred(d.pred).clone(),
                 },
             ));
         }

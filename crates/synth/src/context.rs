@@ -1,33 +1,56 @@
 //! Shared synthesis context: the trace plus memoized selector analyses and
 //! the speculation memo tables.
 
-use std::collections::HashMap;
 use std::sync::Arc;
 use std::sync::Mutex;
 
-use webrobot_dom::{alternatives, AltConfig, Axis, Path, Pred};
-use webrobot_lang::{Statement, VarGen};
+use webrobot_dom::{alternatives, AltConfig, Axis, FxHashMap, Path, PathId, PathInterner, PredId};
+use webrobot_lang::{Statement, StatementInterner, StmtId, VarGen};
 use webrobot_semantics::Trace;
 
 use crate::antiunify::LoopSeed;
 use crate::config::SynthConfig;
 
 /// Memo key for [`anti_unify`](crate::anti_unify): the DOM indices the two
-/// statements execute on plus the pair itself, **canonicalized** so
-/// alpha-variant pairs (the same rewrite reached through different fresh
-/// variables) share one entry.
-pub(crate) type AuKey = (usize, usize, Statement, Statement);
+/// statements execute on plus the pair itself, **canonicalized and
+/// interned** so alpha-variant pairs (the same rewrite reached through
+/// different fresh variables) share one entry and the key hashes as four
+/// machine words.
+pub(crate) type AuKey = (usize, usize, StmtId, StmtId);
+
+/// Memo key for one `(window, p)` speculation expansion (Alg. 2 inner
+/// loop): the canonicalized window statements `S_i ·· S_j`, their
+/// absolute slice starts in the trace, the in-window offset of the
+/// anti-unified statement `S_p`, and the second-iteration counterpart
+/// `S_q = S_{p+len}` (which sits *outside* the window) with its slice
+/// start. Everything the expansion reads is a function of this key, the
+/// append-only trace, and the fixed config — so sibling worklist items
+/// whose windows coincide share one expansion. The window slices are
+/// `Arc`s built once per `(i, j)` window: the `p` loop clones refcounts,
+/// not allocations, and hashing/equality still go by slice content.
+pub(crate) type SpecKey = (Arc<[StmtId]>, Arc<[usize]>, usize, StmtId, usize);
+
+/// One cached speculation expansion: the rewrite statements one
+/// `(window, p)` pair produced, each paired with its canonical id (so
+/// replays dedup without re-canonicalizing). Statements are shared
+/// `Arc`s — a replay clones refcounts, not trees.
+pub(crate) type SpecBodies = Arc<Vec<(StmtId, Arc<Statement>)>>;
 
 /// One way of writing an alternative selector as
 /// `prefix · axis pred[index] · suffix` — the decomposition shape consumed
 /// by anti-unification (Fig. 10 rule (4)) and parametrization (Fig. 11
 /// rule (2)).
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+///
+/// Paths and predicates are interned in the context's [`PathInterner`]:
+/// the anti-unification hash-join compares decompositions by `Copy` ids
+/// instead of re-hashing string-laden paths, and prefixes shared by many
+/// alternatives are stored once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub(crate) struct Decomp {
-    pub prefix: Path,
+    pub prefix: PathId,
     pub axis: Axis,
-    pub pred: Pred,
-    pub suffix: Path,
+    pub pred: PredId,
+    pub suffix: PathId,
 }
 
 /// Mutable synthesis context: owns the growing [`Trace`], the fresh-variable
@@ -41,17 +64,25 @@ pub struct SynthContext {
     pub(crate) cfg: SynthConfig,
     pub(crate) trace: Trace,
     pub(crate) vargen: VarGen,
-    alt_cache: HashMap<(usize, Path), Arc<Vec<Path>>>,
-    decomp_cache: HashMap<(usize, Path, usize), Arc<Vec<Decomp>>>,
+    /// Interner backing every path-keyed memo table and the [`Decomp`]
+    /// ids. Append-only for the lifetime of the context, so `Copy` ids in
+    /// long-lived cache entries never dangle.
+    paths: PathInterner,
+    /// Canonical-statement interner behind the same uncontended-mutex
+    /// pattern as the validation cache: [`canon_id`](Self::canon_id)
+    /// takes `&self` so read-only phases (validation) can intern too.
+    stmts: Mutex<StatementInterner>,
+    alt_cache: FxHashMap<(usize, PathId), Arc<Vec<Path>>>,
+    decomp_cache: FxHashMap<(usize, PathId, usize), Arc<Vec<Decomp>>>,
     /// Anti-unification results per canonicalized statement pair. The same
     /// `(S_p, S_q)` pair is revisited by up to `max_window` enclosing
     /// windows (and again by every worklist item sharing the statements),
     /// so this table turns the inner loop of Alg. 2 into a lookup.
-    antiunify_cache: HashMap<AuKey, Arc<Vec<LoopSeed>>>,
+    antiunify_cache: FxHashMap<AuKey, Arc<Vec<LoopSeed>>>,
     /// Parametrization suffixes per `(DOM, recorded path, binding)`: the
     /// alternatives of the path that extend the binding, with the binding
     /// stripped. Variable-independent, so one entry serves every seed.
-    suffix_cache: HashMap<(usize, Path, Path), Arc<Vec<Path>>>,
+    suffix_cache: FxHashMap<(usize, PathId, PathId), Arc<Vec<Path>>>,
     /// Validation outcomes per `(canonicalized statement, start action,
     /// trace length)`: where the statement's simulated execution stops on
     /// `doms[start..len]` while staying consistent with the recorded
@@ -63,7 +94,15 @@ pub struct SynthContext {
     /// context immutably; a `Mutex` rather than a `RefCell` so the whole
     /// context is `Send + Sync` (one synthesizer per shard thread — the
     /// lock is never contended, so it costs an uncontended atomic).
-    validate_cache: Mutex<HashMap<(Statement, usize, usize), Option<usize>>>,
+    validate_cache: Mutex<FxHashMap<(StmtId, usize, usize), Option<usize>>>,
+    /// Speculation expansions per [`SpecKey`]: the raw rewrite bodies one
+    /// `(window, p)` pair produced, before per-item dedup. Sibling
+    /// worklist items routinely carry identical windows (they differ only
+    /// in program prefix), so replaying the stored bodies skips the whole
+    /// decompose → anti-unify → parametrize → cartesian pipeline. Only
+    /// *complete* expansions are stored — a deadline-cut expansion is
+    /// nondeterministic and must not be replayed.
+    spec_cache: FxHashMap<SpecKey, SpecBodies>,
 }
 
 impl SynthContext {
@@ -73,12 +112,34 @@ impl SynthContext {
             cfg,
             trace,
             vargen: VarGen::new(),
-            alt_cache: HashMap::new(),
-            decomp_cache: HashMap::new(),
-            antiunify_cache: HashMap::new(),
-            suffix_cache: HashMap::new(),
-            validate_cache: Mutex::new(HashMap::new()),
+            paths: PathInterner::new(),
+            stmts: Mutex::new(StatementInterner::new()),
+            alt_cache: FxHashMap::default(),
+            decomp_cache: FxHashMap::default(),
+            antiunify_cache: FxHashMap::default(),
+            suffix_cache: FxHashMap::default(),
+            validate_cache: Mutex::new(FxHashMap::default()),
+            spec_cache: FxHashMap::default(),
         }
+    }
+
+    /// The interner backing [`Decomp`] ids and the path-keyed memo keys.
+    pub(crate) fn paths(&self) -> &PathInterner {
+        &self.paths
+    }
+
+    /// Canonical interned id for `stmt`: alpha-variant statements map to
+    /// the same id, so id-keyed memo tables share entries across variants
+    /// exactly as the owned canonicalized keys did.
+    pub(crate) fn canon_id(&self, stmt: &Statement) -> StmtId {
+        lock(&self.stmts).intern_canonical(stmt)
+    }
+
+    /// [`canon_id`](Self::canon_id) for statements carrying fresh binders
+    /// (speculative rewrites): skips the raw→canonical memo write, which
+    /// could never hit again under the freshly-renamed spelling.
+    pub(crate) fn canon_id_transient(&self, stmt: &Statement) -> StmtId {
+        lock(&self.stmts).intern_canonical_transient(stmt)
     }
 
     /// The demonstration being generalized.
@@ -119,7 +180,7 @@ impl SynthContext {
     /// Honors the *No selector* ablation: with `alternative_selectors`
     /// disabled only the recorded path itself is returned.
     pub(crate) fn alternatives(&mut self, dom_idx: usize, path: &Path) -> Arc<Vec<Path>> {
-        let key = (dom_idx, path.clone());
+        let key = (dom_idx, self.paths.path(path));
         if let Some(hit) = self.alt_cache.get(&key) {
             return hit.clone();
         }
@@ -145,7 +206,7 @@ impl SynthContext {
         path: &Path,
         want_index: usize,
     ) -> Arc<Vec<Decomp>> {
-        let key = (dom_idx, path.clone(), want_index);
+        let key = (dom_idx, self.paths.path(path), want_index);
         if let Some(hit) = self.decomp_cache.get(&key) {
             return hit.clone();
         }
@@ -158,14 +219,16 @@ impl SynthContext {
                     continue;
                 }
                 out.push(Decomp {
-                    prefix: alt.prefix(k),
+                    prefix: self.paths.path(&alt.prefix(k)),
                     axis: step.axis,
-                    pred: step.pred.clone(),
-                    suffix: Path::new(steps[k + 1..].to_vec()),
+                    pred: self.paths.pred(&step.pred),
+                    suffix: self.paths.path(&Path::new(steps[k + 1..].to_vec())),
                 });
             }
         }
-        out.sort_by_key(|d| (d.prefix.len(), d.suffix.len()));
+        // Same order as sorting the materialized paths by step count:
+        // `path_len` reads through the interner.
+        out.sort_by_key(|d| (self.paths.path_len(d.prefix), self.paths.path_len(d.suffix)));
         out.dedup();
         let rc = Arc::new(out);
         self.decomp_cache.insert(key, rc.clone());
@@ -200,7 +263,7 @@ impl SynthContext {
         binding: &Path,
     ) -> Arc<Vec<Path>> {
         if self.cfg.memoization {
-            let key = (dom_idx, path.clone(), binding.clone());
+            let key = (dom_idx, self.paths.path(path), self.paths.path(binding));
             if let Some(hit) = self.suffix_cache.get(&key) {
                 return hit.clone();
             }
@@ -214,36 +277,59 @@ impl SynthContext {
         }
     }
 
-    /// The memo key for one validation execution: canonicalized statement
-    /// (alpha-variants execute identically) plus the slice `start..m` it
-    /// runs against. `m` matters: a statement that stopped exactly at the
-    /// old frontier may continue on a grown trace.
+    /// The memo key for one validation execution: the statement's
+    /// canonical id (alpha-variants execute identically — speculation
+    /// already computed the id for its own dedup and carries it on the
+    /// rewrite) plus the slice `start..m` it runs against. `m` matters: a
+    /// statement that stopped exactly at the old frontier may continue on
+    /// a grown trace.
     ///
     /// `None` when this execution should not go through the memo table —
     /// memoization disabled, or the slice so short that running it is
-    /// cheaper than canonicalize-and-hash bookkeeping.
+    /// cheaper than the bookkeeping.
     pub(crate) fn validation_key(
         &self,
-        stmt: &Statement,
+        cid: StmtId,
         start: usize,
         m: usize,
-    ) -> Option<(Statement, usize, usize)> {
+    ) -> Option<(StmtId, usize, usize)> {
         if !self.cfg.memoization || m - start < 4 {
             return None;
         }
-        Some((stmt.canonicalize(), start, m))
+        Some((cid, start, m))
     }
 
     /// Cached execution stop index for a [`validation_key`](Self::validation_key).
-    pub(crate) fn validation_hit(&self, key: &(Statement, usize, usize)) -> Option<Option<usize>> {
+    pub(crate) fn validation_hit(&self, key: &(StmtId, usize, usize)) -> Option<Option<usize>> {
         lock(&self.validate_cache).get(key).copied()
     }
 
     /// Stores one validation execution outcome, respecting the capacity.
-    pub(crate) fn validation_store(&self, key: (Statement, usize, usize), end: Option<usize>) {
+    pub(crate) fn validation_store(&self, key: (StmtId, usize, usize), end: Option<usize>) {
         let mut cache = lock(&self.validate_cache);
         if cache.len() < self.cfg.memo_capacity {
             cache.insert(key, end);
+        }
+    }
+
+    /// Cached speculation bodies for one `(window, p)` expansion — each
+    /// paired with its canonical id so replays dedup without
+    /// re-canonicalizing — or `None` on a miss (and always when
+    /// memoization is disabled).
+    pub(crate) fn speculation_hit(&self, key: &SpecKey) -> Option<SpecBodies> {
+        if !self.cfg.memoization {
+            return None;
+        }
+        self.spec_cache.get(key).cloned()
+    }
+
+    /// Stores the bodies of one **complete** speculation expansion,
+    /// respecting the memo capacity. Callers must not store expansions
+    /// cut short by the deadline — replaying a partial enumeration would
+    /// diverge from recomputation.
+    pub(crate) fn speculation_store(&mut self, key: SpecKey, bodies: SpecBodies) {
+        if self.cfg.memoization && self.spec_cache.len() < self.cfg.memo_capacity {
+            self.spec_cache.insert(key, bodies);
         }
     }
 
@@ -272,7 +358,7 @@ mod tests {
     use super::*;
     use std::sync::Arc;
     use webrobot_data::Value;
-    use webrobot_dom::parse_html;
+    use webrobot_dom::{parse_html, Pred};
 
     fn ctx(cfg: SynthConfig) -> SynthContext {
         let dom = Arc::new(
@@ -303,21 +389,22 @@ mod tests {
         let d1 = c.decomps(0, &path, 1);
         assert!(!d1.is_empty());
         assert!(d1.iter().all(|d| {
-            // Reconstruct and verify pivot index.
-            let mut p = d.prefix.clone();
+            // Reconstruct through the interner and verify pivot index.
+            let mut p = c.paths().get_path(d.prefix).clone();
             p = p.join(webrobot_dom::Step {
                 axis: d.axis,
-                pred: d.pred.clone(),
+                pred: c.paths().get_pred(d.pred).clone(),
                 index: 1,
             });
-            p.concat(&d.suffix).valid(&c.trace().doms()[0])
+            p.concat(c.paths().get_path(d.suffix))
+                .valid(&c.trace().doms()[0])
         }));
         // The second item decomposes with pivot index 2 at the item step.
         let path2: Path = "/body[1]/div[3]/h3[1]".parse().unwrap();
         let d2 = c.decomps(0, &path2, 2);
         assert!(d2
             .iter()
-            .any(|d| d.pred == Pred::with_attr("div", "class", "item")));
+            .any(|d| c.paths().get_pred(d.pred) == &Pred::with_attr("div", "class", "item")));
     }
 
     #[test]

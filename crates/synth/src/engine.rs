@@ -2,11 +2,12 @@
 //! synthesis (paper §5.4) and the dirty-tracked fast path (§7.2).
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
-use std::time::{Duration, Instant};
+use std::collections::BinaryHeap;
 
-use webrobot_dom::Dom;
-use webrobot_lang::{Action, Program, Statement};
+use std::time::{Duration, Instant};
+use webrobot_dom::{Dom, FxHashSet};
+
+use webrobot_lang::{Action, Program, Statement, StmtId};
 use webrobot_semantics::{action_consistent, generalizes, Stepper, Trace};
 
 use crate::config::SynthConfig;
@@ -46,6 +47,11 @@ pub struct SynthStats {
     /// `true` when the call ended because the stored-item cap
     /// (`max_items`) was reached rather than exhausting the worklist.
     pub truncated: bool,
+    /// DOM resolution-cache hits during the call (process-wide counter
+    /// delta — see [`webrobot_dom::resolve_cache_counters`]).
+    pub resolve_hits: u64,
+    /// DOM resolution-cache misses (full walks) during the call.
+    pub resolve_misses: u64,
 }
 
 /// Result of one `synthesize` call.
@@ -132,6 +138,12 @@ struct GenEntry {
     program: Program,
     size: usize,
     canon: String,
+    /// Per-statement canonical ids — the cheap alpha-duplicate check the
+    /// pop loop runs before anything else. Top-level statements are
+    /// closed, so equal id sequences coincide with equal `canon`
+    /// renderings; unlike the rendering, ids cost a hash probe per
+    /// statement instead of a program clone + canonicalize per pop.
+    canon_ids: Vec<StmtId>,
     /// `Some` under dirty tracking; `None` in the ablation, where every
     /// call re-executes the program from scratch.
     pred: Option<PredState>,
@@ -142,19 +154,13 @@ impl GenEntry {
     /// (Def. 4.2). Under dirty tracking the check *is* the construction of
     /// the resumable stepper, so the program executes exactly once.
     ///
-    /// `program` and `canon` are passed in because the caller needs the
-    /// canonical rendering *before* this O(trace) check — an
-    /// alpha-equivalent program that is already cached should not be
-    /// re-executed just to be discarded.
-    fn build(
-        item: &Item,
-        program: Program,
-        canon: String,
-        trace: &Trace,
-        dirty: bool,
-    ) -> Option<GenEntry> {
+    /// The canonical rendering (the ranking tie-break) is computed only
+    /// when the check succeeds: most popped items do not generalize, and
+    /// rendering them just to discard the entry was a measurable slice of
+    /// the worklist loop.
+    fn build(item: &Item, canon_ids: &[StmtId], trace: &Trace, dirty: bool) -> Option<GenEntry> {
         let pred = if dirty {
-            let mut stepper = Stepper::new(program.statements(), trace.input().clone());
+            let mut stepper = Stepper::new(item.statements(), trace.input().clone());
             let m = trace.len();
             for t in 0..m {
                 match stepper.step(&trace.doms()[t]) {
@@ -173,10 +179,13 @@ impl GenEntry {
             generalizes(item.statements(), trace)?;
             None
         };
+        let program = item.to_program();
+        let canon = program.canonicalize().to_string();
         Some(GenEntry {
             item: item.clone(),
             size: program.size(),
             canon,
+            canon_ids: canon_ids.to_vec(),
             program,
             pred,
         })
@@ -209,7 +218,14 @@ pub struct Synthesizer {
     worklist: BinaryHeap<HeapEntry>,
     processed: Vec<Item>,
     generalizing: Vec<GenEntry>,
-    seen: HashSet<u64>,
+    /// Canonical-id sequences whose programs failed the generalization
+    /// check against the *current* trace. Distinct worklist items
+    /// routinely share a statement sequence (they differ only in slice
+    /// bounds), and the check replays the whole trace each time — memoize
+    /// the failures and pay it once. Valid only for one trace: cleared on
+    /// every [`observe`](Self::observe).
+    gen_fail: FxHashSet<Vec<StmtId>>,
+    seen: FxHashSet<u64>,
     seq: u64,
     /// Trace length the stored items were last synced to.
     synced_len: usize,
@@ -233,7 +249,8 @@ impl Synthesizer {
             worklist: BinaryHeap::new(),
             processed: Vec::new(),
             generalizing: Vec::new(),
-            seen: HashSet::new(),
+            gen_fail: FxHashSet::default(),
+            seen: FxHashSet::default(),
             seq: 0,
         };
         let initial = Item::initial(synth.ctx.trace());
@@ -255,6 +272,9 @@ impl Synthesizer {
     /// transitioned to.
     pub fn observe(&mut self, action: Action, resulting_dom: std::sync::Arc<Dom>) {
         self.ctx.observe(action, resulting_dom);
+        // Generalization outcomes are relative to the trace; a program
+        // that failed on the old frontier may succeed on the grown one.
+        self.gen_fail.clear();
     }
 
     fn requeue(&mut self, item: Item) {
@@ -262,9 +282,46 @@ impl Synthesizer {
         self.worklist.push(HeapEntry::keyed(item, self.seq));
     }
 
+    /// The worklist dedup hash: per-statement canonical ids plus slice
+    /// bounds. Same alpha-equivalence classes as [`Item::canonical_hash`]
+    /// (top-level statements are closed), but repeat statements cost a
+    /// memo probe instead of a program clone + canonicalize per push.
+    fn item_hash(&self, item: &Item) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = webrobot_dom::FxHasher::default();
+        for stmt in item.statements() {
+            self.ctx.canon_id(stmt).hash(&mut h);
+        }
+        item.bounds().hash(&mut h);
+        h.finish()
+    }
+
     fn push_item(&mut self, item: Item) {
-        if self.seen.insert(item.canonical_hash()) {
+        if self.seen.insert(self.item_hash(&item)) {
             self.requeue(item);
+        }
+    }
+
+    /// [`push_item`](Self::push_item) for a validated rewrite of the item
+    /// currently being popped. `spliced` replaced statements
+    /// `sr.i..sr.i+removed` of a parent whose per-statement ids were
+    /// `parent_ids`, so the dedup hash is a splice of ids already in hand —
+    /// no statement is re-interned. Produces bit-identical hashes to
+    /// [`item_hash`](Self::item_hash) by construction.
+    fn push_spliced(&mut self, spliced: Item, parent_ids: &[StmtId], sr: &SRewrite) {
+        use std::hash::{Hash, Hasher};
+        let removed = parent_ids.len() + 1 - spliced.len();
+        let mut h = webrobot_dom::FxHasher::default();
+        for id in &parent_ids[..sr.i] {
+            id.hash(&mut h);
+        }
+        sr.cid.hash(&mut h);
+        for id in &parent_ids[sr.i + removed..] {
+            id.hash(&mut h);
+        }
+        spliced.bounds().hash(&mut h);
+        if self.seen.insert(h.finish()) {
+            self.requeue(spliced);
         }
     }
 
@@ -284,6 +341,7 @@ impl Synthesizer {
     /// the new actions.
     pub fn synthesize_until(&mut self, deadline: Instant) -> SynthResult {
         let started = Instant::now();
+        let (hits0, misses0) = webrobot_dom::resolve_cache_counters();
         let mut stats = SynthStats::default();
 
         if !self.ctx.cfg.incremental {
@@ -295,6 +353,9 @@ impl Synthesizer {
             if !self.generalizing.is_empty() {
                 stats.fast_path = true;
                 stats.elapsed = started.elapsed();
+                let (hits, misses) = webrobot_dom::resolve_cache_counters();
+                stats.resolve_hits = hits - hits0;
+                stats.resolve_misses = misses - misses0;
                 return self.rank(stats);
             }
             self.resume_incremental();
@@ -312,17 +373,24 @@ impl Synthesizer {
                 continue;
             };
             stats.pops += 1;
-            let program = item.to_program();
-            let canon = program.canonicalize().to_string();
-            if !self.generalizing.iter().any(|e| e.canon == canon) {
-                if let Some(gen) = GenEntry::build(
+            let canon_ids: Vec<StmtId> = item
+                .statements()
+                .iter()
+                .map(|s| self.ctx.canon_id(s))
+                .collect();
+            if !self.gen_fail.contains(&canon_ids)
+                && !self.generalizing.iter().any(|e| e.canon_ids == canon_ids)
+            {
+                match GenEntry::build(
                     &item,
-                    program,
-                    canon,
+                    &canon_ids,
                     self.ctx.trace(),
                     self.ctx.cfg.dirty_tracking,
                 ) {
-                    self.store_generalizing(gen);
+                    Some(gen) => self.store_generalizing(gen),
+                    None => {
+                        self.gen_fail.insert(canon_ids.clone());
+                    }
                 }
             }
             let rewrites: Vec<SRewrite> = speculate(&item, &mut self.ctx, deadline);
@@ -330,7 +398,7 @@ impl Synthesizer {
                 stats.validations += 1;
                 if let Some(new_item) = validate(sr, &item, &self.ctx) {
                     stats.pushes += 1;
-                    self.push_item(new_item);
+                    self.push_spliced(new_item, &canon_ids, sr);
                 }
                 if stats.validations % 64 == 0 && Instant::now() > deadline {
                     stats.timed_out = true;
@@ -348,6 +416,9 @@ impl Synthesizer {
         }
 
         stats.elapsed = started.elapsed();
+        let (hits, misses) = webrobot_dom::resolve_cache_counters();
+        stats.resolve_hits = hits - hits0;
+        stats.resolve_misses = misses - misses0;
         self.rank(stats)
     }
 
@@ -436,6 +507,7 @@ impl Synthesizer {
         self.worklist.clear();
         self.processed.clear();
         self.generalizing.clear();
+        self.gen_fail.clear();
         self.seen.clear();
         self.synced_len = self.ctx.trace().len();
         let initial = Item::initial(self.ctx.trace());
@@ -492,7 +564,7 @@ impl Synthesizer {
             }
             for item in absorbers {
                 let extended = self.extend_and_absorb(item);
-                if self.seen.insert(extended.canonical_hash()) {
+                if self.seen.insert(self.item_hash(&extended)) {
                     self.requeue(extended);
                 }
             }
@@ -503,11 +575,11 @@ impl Synthesizer {
         stored.append(&mut self.processed);
         // Extended items carry fresh hashes; dedup within this batch only
         // (the global `seen` set still filters future rewrites).
-        let mut batch: HashSet<u64> = HashSet::new();
+        let mut batch: FxHashSet<u64> = FxHashSet::default();
         for item in stored {
             debug_assert!(item.covered() <= m, "traces only grow");
             let extended = self.extend_and_absorb(item);
-            let hash = extended.canonical_hash();
+            let hash = self.item_hash(&extended);
             if batch.insert(hash) {
                 self.seen.insert(hash);
                 self.requeue(extended);
@@ -524,7 +596,7 @@ impl Synthesizer {
             return Some(item);
         }
         let extended = self.extend_and_absorb(item);
-        if self.seen.insert(extended.canonical_hash()) {
+        if self.seen.insert(self.item_hash(&extended)) {
             Some(extended)
         } else {
             None
@@ -544,8 +616,10 @@ impl Synthesizer {
         if boundary > 0 && extended.len() > boundary {
             let k = boundary - 1;
             if !extended.statements()[k].is_loop_free() {
+                let stmt = extended.statements()[k].clone();
                 let sr = SRewrite {
-                    stmt: extended.statements()[k].clone(),
+                    cid: self.ctx.canon_id(&stmt),
+                    stmt: std::sync::Arc::new(stmt),
                     i: k,
                     j: k,
                 };

@@ -1,13 +1,12 @@
 //! The `Speculate` procedure (paper Alg. 2): generating speculative
 //! rewrites from the first two iterations of would-be loops.
 
-use std::collections::hash_map::DefaultHasher;
-use std::collections::HashSet;
-use std::hash::{Hash, Hasher};
 use std::mem::discriminant;
+use std::sync::Arc;
 use std::time::Instant;
 
-use webrobot_lang::{ForeachSel, ForeachVal, Statement, While};
+use webrobot_dom::FxHashSet;
+use webrobot_lang::{ForeachSel, ForeachVal, Statement, StmtId, While};
 
 use crate::antiunify::{anti_unify, LoopSeed};
 use crate::context::SynthContext;
@@ -20,12 +19,22 @@ use crate::parametrize::{parametrize_sel, parametrize_vp};
 /// is decided by [`validate`](crate::validate).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SRewrite {
-    /// The speculated loop statement.
-    pub stmt: Statement,
+    /// The speculated loop statement. Shared, not owned: a speculation-cache
+    /// replay hands the same statement to every sibling item (binder names
+    /// are observationally irrelevant — predictions are actions and every
+    /// ranking/dedup key is alpha-invariant — so replays clone a refcount,
+    /// not a statement tree).
+    pub stmt: Arc<Statement>,
     /// Start of the first iteration (statement index, 0-based).
     pub i: usize,
     /// End of the first iteration (inclusive).
     pub j: usize,
+    /// Canonical interned id of `stmt`, computed where the rewrite was
+    /// produced (dedup already needs it there). Validation keys its memo
+    /// table on this id; carrying it saves re-canonicalizing every
+    /// rewrite — which, with freshened binders on cache replays, would
+    /// never hit an interner fast path.
+    pub(crate) cid: StmtId,
 }
 
 /// Runs Alg. 2 on `item`, producing s-rewrites for selector loops,
@@ -35,21 +44,31 @@ pub struct SRewrite {
 /// returned. Results are deduplicated up to alpha-equivalence.
 pub fn speculate(item: &Item, ctx: &mut SynthContext, deadline: Instant) -> Vec<SRewrite> {
     let mut out = Vec::new();
-    let mut seen: HashSet<(u64, usize, usize)> = HashSet::new();
+    let mut seen: FxHashSet<(StmtId, usize, usize)> = FxHashSet::default();
     speculate_foreach(item, ctx, deadline, &mut out, &mut seen);
     speculate_while(item, ctx, &mut out, &mut seen);
     out
 }
 
-fn stmt_hash(stmt: &Statement) -> u64 {
-    let mut h = DefaultHasher::new();
-    stmt.canonicalize().hash(&mut h);
-    h.finish()
-}
-
-fn push_unique(out: &mut Vec<SRewrite>, seen: &mut HashSet<(u64, usize, usize)>, sr: SRewrite) {
-    if seen.insert((stmt_hash(&sr.stmt), sr.i, sr.j)) {
-        out.push(sr);
+/// Alpha-equivalence dedup keyed on the context's canonical-statement
+/// interner: one canonicalize-and-hash per distinct statement for the
+/// whole synthesis run, instead of one per pushed rewrite.
+fn push_unique(
+    out: &mut Vec<SRewrite>,
+    seen: &mut FxHashSet<(StmtId, usize, usize)>,
+    ctx: &SynthContext,
+    stmt: Statement,
+    i: usize,
+    j: usize,
+) {
+    let cid = ctx.canon_id_transient(&stmt);
+    if seen.insert((cid, i, j)) {
+        out.push(SRewrite {
+            stmt: Arc::new(stmt),
+            i,
+            j,
+            cid,
+        });
     }
 }
 
@@ -67,11 +86,14 @@ fn speculate_foreach(
     ctx: &mut SynthContext,
     deadline: Instant,
     out: &mut Vec<SRewrite>,
-    seen: &mut HashSet<(u64, usize, usize)>,
+    seen: &mut FxHashSet<(StmtId, usize, usize)>,
 ) {
     let stmts = item.statements();
     let l = stmts.len();
     let max_w = ctx.cfg.max_window;
+    // Canonical ids for the whole item up front: they key both the
+    // per-item dedup and the cross-item speculation cache below.
+    let canon: Vec<StmtId> = stmts.iter().map(|s| ctx.canon_id(s)).collect();
     let runs: Option<Vec<Vec<u32>>> = ctx.cfg.window_pruning.then(|| {
         (1..=max_w)
             .map(|len| {
@@ -107,6 +129,16 @@ fn speculate_foreach(
             if Instant::now() > deadline {
                 return;
             }
+            // The window half of the speculation-cache key, built once per
+            // `(i, j)`: the `p` loop below only bumps refcounts.
+            let window = (ctx.cfg.memoization && i + len < l).then(|| {
+                (
+                    Arc::<[StmtId]>::from(&canon[i..=j]),
+                    (i..=j)
+                        .map(|k| item.slice_start(k))
+                        .collect::<Arc<[usize]>>(),
+                )
+            });
             for p in i..=p_end {
                 let q = p + len;
                 if q >= l {
@@ -115,6 +147,36 @@ fn speculate_foreach(
                 if discriminant(&stmts[p]) != discriminant(&stmts[q]) {
                     break;
                 }
+                // Cross-item reuse: sibling worklist items routinely carry
+                // this exact window (they differ only in consumed prefix),
+                // so the expansion is keyed by window content — not by
+                // item — and a hit replays the shared statements verbatim.
+                let key = window.as_ref().map(|(ids, starts)| {
+                    (
+                        ids.clone(),
+                        starts.clone(),
+                        p - i,
+                        canon[q],
+                        item.slice_start(q),
+                    )
+                });
+                if let Some(key) = &key {
+                    if let Some(hit) = ctx.speculation_hit(key) {
+                        // Dedup against the stored canonical id; survivors
+                        // are refcount bumps of the stored statements.
+                        for (cid, stmt) in hit.iter() {
+                            if seen.insert((*cid, i, j)) {
+                                out.push(SRewrite {
+                                    stmt: stmt.clone(),
+                                    i,
+                                    j,
+                                    cid: *cid,
+                                });
+                            }
+                        }
+                        continue;
+                    }
+                }
                 let seeds = anti_unify(
                     &stmts[p],
                     &stmts[q],
@@ -122,8 +184,33 @@ fn speculate_foreach(
                     item.slice_start(q),
                     ctx,
                 );
+                let mut raw = Vec::new();
+                let mut complete = true;
                 for seed in seeds {
-                    expand_seed(item, ctx, seed, i, j, p, deadline, out, seen);
+                    complete &= expand_seed(item, ctx, seed, i, j, p, deadline, &mut raw);
+                }
+                // Canonicalize once per raw statement: the id keys both
+                // this item's dedup and the cached entry replays read.
+                let mut entries: Vec<(StmtId, Arc<Statement>)> = Vec::with_capacity(raw.len());
+                for stmt in raw {
+                    let cid = ctx.canon_id_transient(&stmt);
+                    let stmt = Arc::new(stmt);
+                    if seen.insert((cid, i, j)) {
+                        out.push(SRewrite {
+                            stmt: stmt.clone(),
+                            i,
+                            j,
+                            cid,
+                        });
+                    }
+                    entries.push((cid, stmt));
+                }
+                // Deadline-cut expansions are nondeterministic: storing
+                // one would replay the truncation forever.
+                if complete {
+                    if let Some(key) = key {
+                        ctx.speculation_store(key, Arc::new(entries));
+                    }
                 }
             }
         }
@@ -138,6 +225,11 @@ fn speculate_foreach(
 /// the `max_bodies_per_seed` cap, and previously ran to completion no
 /// matter how late it was. Partial results are returned — only complete
 /// loop bodies, never truncated ones.
+///
+/// Pushes the raw (pre-dedup) loop statements into `raw` and returns
+/// whether the expansion ran to completion — `false` exactly when the
+/// deadline cut the product, in which case the caller must not memoize
+/// the result.
 #[allow(clippy::too_many_arguments)]
 fn expand_seed(
     item: &Item,
@@ -147,9 +239,8 @@ fn expand_seed(
     j: usize,
     p: usize,
     deadline: Instant,
-    out: &mut Vec<SRewrite>,
-    seen: &mut HashSet<(u64, usize, usize)>,
-) {
+    raw: &mut Vec<Statement>,
+) -> bool {
     let stmts = item.statements();
     // Per-position choices: the template at p, parametrizations elsewhere.
     let mut choices: Vec<Vec<Statement>> = Vec::with_capacity(j - i + 1);
@@ -160,7 +251,7 @@ fn expand_seed(
             list,
         } => {
             let Some(base) = list.base.as_concrete() else {
-                return;
+                return true;
             };
             let first = list.element(base, 1);
             for (k, stmt) in stmts.iter().enumerate().take(j + 1).skip(i) {
@@ -183,7 +274,7 @@ fn expand_seed(
             list,
         } => {
             let Some(array) = list.array.as_concrete() else {
-                return;
+                return true;
             };
             let first = list.element(array, 1);
             for (k, stmt) in stmts.iter().enumerate().take(j + 1).skip(i) {
@@ -196,7 +287,8 @@ fn expand_seed(
         }
     }
     let cap = ctx.cfg.max_bodies_per_seed;
-    for body in cartesian(&choices, cap, deadline) {
+    let (bodies, complete) = cartesian(&choices, cap, deadline);
+    for body in bodies {
         let stmt = match &seed {
             LoopSeed::Sel { var, list, .. } => Statement::ForeachSel(ForeachSel {
                 var: *var,
@@ -209,16 +301,26 @@ fn expand_seed(
                 body,
             }),
         };
-        push_unique(out, seen, SRewrite { stmt, i, j });
+        raw.push(stmt);
     }
+    complete
 }
 
 /// Odometer-style Cartesian product: the first `cap` complete bodies in
 /// lexicographic slot order (last slot varying fastest), stopping early —
 /// with only whole bodies emitted — once `deadline` passes.
-fn cartesian(choices: &[Vec<Statement>], cap: usize, deadline: Instant) -> Vec<Vec<Statement>> {
+///
+/// The flag is `true` iff the enumeration was *deterministic*: it ran to
+/// the end or to the (configured, reproducible) cap. A deadline cut
+/// returns `false` — that prefix depends on wall-clock time and must not
+/// be memoized.
+fn cartesian(
+    choices: &[Vec<Statement>],
+    cap: usize,
+    deadline: Instant,
+) -> (Vec<Vec<Statement>>, bool) {
     if choices.iter().any(Vec::is_empty) {
-        return Vec::new();
+        return (Vec::new(), true);
     }
     let mut out: Vec<Vec<Statement>> = Vec::new();
     let mut odometer = vec![0usize; choices.len()];
@@ -230,14 +332,17 @@ fn cartesian(choices: &[Vec<Statement>], cap: usize, deadline: Instant) -> Vec<V
                 .map(|(slot, &k)| slot[k].clone())
                 .collect(),
         );
-        if out.len() >= cap || Instant::now() > deadline {
-            return out;
+        if out.len() >= cap {
+            return (out, true);
+        }
+        if Instant::now() > deadline {
+            return (out, false);
         }
         // Increment, last slot fastest; full wrap-around means done.
         let mut slot = choices.len();
         loop {
             let Some(s) = slot.checked_sub(1) else {
-                return out;
+                return (out, true);
             };
             slot = s;
             odometer[slot] += 1;
@@ -256,7 +361,7 @@ fn speculate_while(
     item: &Item,
     ctx: &mut SynthContext,
     out: &mut Vec<SRewrite>,
-    seen: &mut HashSet<(u64, usize, usize)>,
+    seen: &mut FxHashSet<(StmtId, usize, usize)>,
 ) {
     let stmts = item.statements();
     let l = stmts.len();
@@ -282,7 +387,7 @@ fn speculate_while(
                 body: stmts[i..p].to_vec(),
                 click: click.clone(),
             });
-            push_unique(out, seen, SRewrite { stmt, i, j: p });
+            push_unique(out, seen, ctx, stmt, i, p);
         }
     }
 }
@@ -339,7 +444,7 @@ mod tests {
         let found = srs.iter().any(|sr| {
             sr.i == 0
                 && sr.j == 1
-                && matches!(&sr.stmt, Statement::ForeachSel(l)
+                && matches!(&*sr.stmt, Statement::ForeachSel(l)
                     if l.body.len() == 2
                     && l.body.iter().all(|s| s.selector().is_some_and(|sel| sel.base_var().is_some())))
         });
@@ -361,7 +466,7 @@ mod tests {
         let srs = speculate(&item, &mut ctx, far_deadline());
         let whiles: Vec<_> = srs
             .iter()
-            .filter(|sr| matches!(sr.stmt, Statement::While(_)))
+            .filter(|sr| matches!(*sr.stmt, Statement::While(_)))
             .collect();
         assert_eq!(whiles.len(), 1);
         assert_eq!((whiles[0].i, whiles[0].j), (0, 1));
@@ -384,7 +489,7 @@ mod tests {
         let srs = speculate(&item, &mut ctx, far_deadline());
         let spurious: Vec<_> = srs
             .iter()
-            .filter(|sr| sr.i == 0 && sr.j == 1 && matches!(sr.stmt, Statement::ForeachSel(_)))
+            .filter(|sr| sr.i == 0 && sr.j == 1 && matches!(*sr.stmt, Statement::ForeachSel(_)))
             .collect();
         assert!(!spurious.is_empty(), "the over-approximation exists");
         for sr in spurious {
@@ -397,21 +502,51 @@ mod tests {
     }
 
     #[test]
+    fn speculation_cache_replays_alpha_equivalent_rewrites() {
+        let trace = two_field_trace();
+        let mut ctx = SynthContext::new(SynthConfig::default(), trace.clone());
+        let item = Item::initial(&trace);
+        let first = speculate(&item, &mut ctx, far_deadline());
+        // Second pass over the same windows: every foreach expansion is a
+        // cache replay, and the result is the same rewrite list up to
+        // binder freshening.
+        let second = speculate(&item, &mut ctx, far_deadline());
+        assert_eq!(first.len(), second.len());
+        for (a, b) in first.iter().zip(&second) {
+            assert_eq!((a.i, a.j), (b.i, b.j));
+            assert_eq!(a.stmt.canonicalize(), b.stmt.canonicalize());
+        }
+        // Disabling memoization must bypass the cache entirely.
+        let mut plain = SynthContext::new(SynthConfig::no_optimizations(), trace.clone());
+        let uncached = speculate(&item, &mut plain, far_deadline());
+        assert_eq!(first.len(), uncached.len());
+        for (a, b) in first.iter().zip(&uncached) {
+            assert_eq!((a.i, a.j), (b.i, b.j));
+            assert_eq!(a.stmt.canonicalize(), b.stmt.canonicalize());
+        }
+    }
+
+    #[test]
     fn deadline_aborts_enumeration() {
         let trace = two_field_trace();
         let mut ctx = SynthContext::new(SynthConfig::default(), trace.clone());
         let item = Item::initial(&trace);
         let srs = speculate(&item, &mut ctx, Instant::now() - Duration::from_secs(1));
         // Only the (cheap) while pass may contribute; foreach pass aborted.
-        assert!(srs.iter().all(|sr| matches!(sr.stmt, Statement::While(_))));
+        assert!(srs.iter().all(|sr| matches!(*sr.stmt, Statement::While(_))));
     }
 
     #[test]
     fn cartesian_caps_products() {
         let a = Statement::GoBack;
         let choices = vec![vec![a.clone(); 4], vec![a.clone(); 4], vec![a; 4]];
-        assert_eq!(cartesian(&choices, 10, far_deadline()).len(), 10);
-        assert_eq!(cartesian(&choices, 1000, far_deadline()).len(), 64);
+        let (capped, complete) = cartesian(&choices, 10, far_deadline());
+        assert_eq!(capped.len(), 10);
+        // A cap cut is deterministic, so it still counts as complete.
+        assert!(complete);
+        let (full, complete) = cartesian(&choices, 1000, far_deadline());
+        assert_eq!(full.len(), 64);
+        assert!(complete);
     }
 
     proptest::proptest! {
@@ -453,7 +588,8 @@ mod tests {
                 }
                 reference = next;
             }
-            let got = cartesian(&choices, cap, far_deadline());
+            let (got, complete) = cartesian(&choices, cap, far_deadline());
+            proptest::prop_assert!(complete);
             proptest::prop_assert_eq!(got, reference);
         }
     }
@@ -470,8 +606,10 @@ mod tests {
             vec![mk("/c[1]"), mk("/c[2]")],
         ];
         let expired = Instant::now() - Duration::from_secs(1);
-        let partial = cartesian(&choices, 1000, expired);
-        let full = cartesian(&choices, 1000, far_deadline());
+        let (partial, partial_complete) = cartesian(&choices, 1000, expired);
+        let (full, full_complete) = cartesian(&choices, 1000, far_deadline());
+        assert!(!partial_complete, "a deadline cut is flagged incomplete");
+        assert!(full_complete);
         assert_eq!(full.len(), 12);
         assert!(!partial.is_empty(), "at least one body is always produced");
         assert!(

@@ -32,7 +32,7 @@ pub fn validate(sr: &SRewrite, item: &Item, ctx: &SynthContext) -> Option<Item> 
     // The execution outcome is item-independent (it only reads the slice
     // `start..m` of the shared trace), so sibling items speculating the
     // same rewrite share one run through the memo table.
-    let end = match ctx.validation_key(&sr.stmt, start, m) {
+    let end = match ctx.validation_key(sr.cid, start, m) {
         Some(key) => match ctx.validation_hit(&key) {
             Some(hit) => hit?,
             None => {
@@ -49,7 +49,7 @@ pub fn validate(sr: &SRewrite, item: &Item, ctx: &SynthContext) -> Option<Item> 
     if boundary < sr.j + 2 {
         return None;
     }
-    Some(item.splice(sr.i, boundary - 1, sr.stmt.clone()))
+    Some(item.splice(sr.i, boundary - 1, (*sr.stmt).clone()))
 }
 
 /// Drives `stmt` over `doms[start..m]` and returns where its produced
@@ -190,7 +190,8 @@ mod tests {
         // This loop would produce [h3#1, h3#2] = recorded actions 0 and 2 —
         // not a contiguous slice; action 1 (the <b>) mismatches.
         let sr = SRewrite {
-            stmt: loop_stmt,
+            cid: ctx.canon_id(&loop_stmt),
+            stmt: Arc::new(loop_stmt),
             i: 0,
             j: 0,
         };

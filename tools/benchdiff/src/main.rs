@@ -17,7 +17,10 @@
 //! - **Advisory otherwise** (exit 0): the full table is printed either
 //!   way — per-id baseline/fresh means, the ratio, and ids that are new
 //!   in the fresh run (not gated; commit the refreshed baseline to pin
-//!   them).
+//!   them). Improvements beyond `--max-ratio` are also called out as
+//!   *stale baseline*: they don't fail the gate, but an out-of-date
+//!   committed number would hide a later regression of the same size,
+//!   so the advisory asks for a `BENCH_*.json` refresh.
 //!
 //! The JSON is parsed with `webrobot_data::parse_json` — the snapshots
 //! are integer-only by construction, so the gate needs no dependency the
@@ -34,6 +37,11 @@ enum Verdict {
     Ok,
     /// Fresh mean exceeds baseline mean by more than the ratio cap.
     Regressed,
+    /// Fresh mean *beats* the baseline by more than the ratio cap: the
+    /// committed baseline no longer describes the code. Advisory (exit
+    /// 0) — but refresh `BENCH_*.json`, or the stale number will mask
+    /// the next real regression of the same magnitude.
+    StaleBaseline,
     /// Pinned in the baseline, absent from the fresh run.
     Missing,
     /// Present only in the fresh run (not gated).
@@ -84,6 +92,7 @@ fn diff(baseline: &[(String, i64)], fresh: &[(String, i64)], max_ratio: f64) -> 
             let verdict = match fresh_ns {
                 None => Verdict::Missing,
                 Some(f) if (f as f64) > *base_ns as f64 * max_ratio => Verdict::Regressed,
+                Some(f) if (f as f64) * max_ratio < *base_ns as f64 => Verdict::StaleBaseline,
                 Some(_) => Verdict::Ok,
             };
             RowDiff {
@@ -118,6 +127,7 @@ fn print_table(rows: &[RowDiff], max_ratio: f64) {
         let verdict = match row.verdict {
             Verdict::Ok => "ok",
             Verdict::Regressed => "REGRESSED",
+            Verdict::StaleBaseline => "stale baseline",
             Verdict::Missing => "MISSING",
             Verdict::New => "new (unpinned)",
         };
@@ -133,6 +143,16 @@ fn print_table(rows: &[RowDiff], max_ratio: f64) {
         .iter()
         .filter(|r| matches!(r.verdict, Verdict::Regressed | Verdict::Missing))
         .count();
+    let stale = rows
+        .iter()
+        .filter(|r| r.verdict == Verdict::StaleBaseline)
+        .count();
+    if stale > 0 {
+        println!(
+            "\nADVISORY: {stale} benchmark(s) improved beyond {max_ratio}× — \
+             stale baseline, refresh BENCH_*.json so the gate keeps teeth."
+        );
+    }
     if failures > 0 {
         println!(
             "\nFAIL: {failures} pinned benchmark(s) regressed beyond {max_ratio}× or went missing."
@@ -212,9 +232,34 @@ mod tests {
         assert_eq!(out[0].verdict, Verdict::Ok);
         let out = rows(&[("g/a", 100)], &[("g/a", 301)], 3.0);
         assert_eq!(out[0].verdict, Verdict::Regressed);
-        // Speedups are always fine.
-        let out = rows(&[("g/a", 100)], &[("g/a", 1)], 3.0);
+        // Moderate speedups are plain ok.
+        let out = rows(&[("g/a", 100)], &[("g/a", 40)], 3.0);
         assert_eq!(out[0].verdict, Verdict::Ok);
+    }
+
+    #[test]
+    fn large_improvements_flag_a_stale_baseline_without_failing() {
+        // >3× faster than the pin: advisory verdict, not a failure.
+        let out = rows(&[("g/a", 100)], &[("g/a", 1)], 3.0);
+        assert_eq!(out[0].verdict, Verdict::StaleBaseline);
+        // Exactly at the boundary (ratio == cap) stays ok on both sides.
+        let out = rows(&[("g/a", 300)], &[("g/a", 100)], 3.0);
+        assert_eq!(out[0].verdict, Verdict::Ok);
+        let out = rows(&[("g/a", 301)], &[("g/a", 100)], 3.0);
+        assert_eq!(out[0].verdict, Verdict::StaleBaseline);
+        // And it must not flip the process exit: run() reports success.
+        let dir = std::env::temp_dir().join(format!("benchdiff-stale-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("base.json");
+        let fresh = dir.join("fresh.json");
+        std::fs::write(&base, r#"{"g/a": {"mean_ns": 10000}}"#).unwrap();
+        std::fs::write(&fresh, r#"{"g/a": {"mean_ns": 10}}"#).unwrap();
+        let args: Vec<String> = vec![
+            base.to_string_lossy().into_owned(),
+            fresh.to_string_lossy().into_owned(),
+        ];
+        assert_eq!(run(&args), Ok(true), "stale baseline is advisory");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
