@@ -11,6 +11,14 @@
 //!   shard. On a multi-core runner the rows scale with the shard count;
 //!   on one core they bound the routing/channel overhead instead.
 //! - `service_evict` / `service_codec` — eviction thrash and raw codec.
+//! - `service_latency` — per-request latency of a light session's
+//!   `outputs` probe on a single quantum-scheduled shard, once under a
+//!   *uniform* background load (another light session) and once under a
+//!   *skewed* one (a pathological session whose growing demonstrations
+//!   keep synthesis expensive). The committed `p99_ns` of the skewed row
+//!   staying within the `benchdiff` ratio of the uniform row is the
+//!   latency half of the quantum-scheduler story (the exactness half is
+//!   `tests/skewed.rs`).
 //!
 //! Throughput is declared per group (`Throughput::Elements(sessions)`),
 //! so the committed `BENCH_service.json` carries explicit
@@ -353,6 +361,99 @@ fn bench_evict_thrash(c: &mut Criterion) {
     group.finish();
 }
 
+/// Light-session request latency on one quantum-scheduled shard, uniform
+/// vs skewed background load.
+///
+/// The probe is an `outputs` read on a pre-built light session — no
+/// synthesis, so every nanosecond above the uniform row is queueing
+/// delay behind the background tenant's current quantum. Without
+/// slicing, the skewed row's p99 would be a whole pathological synthesis
+/// call; with it, the wait is bounded by one quantum plus the worklist
+/// item in flight.
+fn bench_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("service_latency");
+    // A deep sample pool: the rows exist for their `p99_ns`, and a
+    // nearest-rank p99 needs many samples before it stops being the max.
+    group.sample_size(2000);
+    for (label, heavy) in [("light_probe_uniform", false), ("light_probe_skewed", true)] {
+        // One shard, sliced aggressively, shared by the probe session and
+        // the background tenant.
+        let m = ShardedManager::new(
+            ServiceConfig {
+                quantum: Some(std::time::Duration::from_micros(50)),
+                ..ServiceConfig::default()
+            },
+            1,
+        );
+        m.register_site("light", anchor_site(ITEMS_PER_SITE), Value::Object(vec![]));
+        m.register_site("heavy", anchor_site(40), Value::Object(vec![]));
+        assert!(m
+            .handle_json(r#"{"v": 1, "kind": "create", "site": "light"}"#)
+            .contains("\"ok\""));
+        for i in 1..=2 {
+            let reply = m.handle_json(&event_request("s-1", scrape(i)));
+            assert!(reply.contains("\"ok\""), "{reply}");
+        }
+        let probe = Request::Outputs {
+            session: "s-1".to_string(),
+        }
+        .to_json();
+
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            // Background tenant: fresh session per pass so the workload
+            // stays stationary however long the measurement runs. The
+            // heavy pass stops at 12 demonstrations — synthesis stays
+            // expensive, but the *per-item* cost (the scheduler's
+            // preemption floor: items are atomic) stays bounded.
+            let (site, anchors) = if heavy { ("heavy", 24) } else { ("light", 6) };
+            let (m, stop) = (&m, &stop);
+            let hammer = scope.spawn(move || {
+                while !stop.load(std::sync::atomic::Ordering::SeqCst) {
+                    let created = m.handle_json(&format!(
+                        r#"{{"v": 1, "kind": "create", "site": "{site}"}}"#
+                    ));
+                    assert!(created.contains("\"ok\""), "{created}");
+                    let session: String = created
+                        .split(r#""session":""#)
+                        .nth(1)
+                        .unwrap()
+                        .chars()
+                        .take_while(|c| *c != '"')
+                        .collect();
+                    for i in (1..anchors).step_by(2) {
+                        if stop.load(std::sync::atomic::Ordering::SeqCst) {
+                            break;
+                        }
+                        let reply = m.handle_json(&event_request(&session, scrape(i)));
+                        assert!(reply.contains("\"ok\""), "{reply}");
+                    }
+                    m.handle_json(
+                        &Request::Close {
+                            session: session.clone(),
+                        }
+                        .to_json(),
+                    );
+                }
+            });
+            group.bench_with_input(
+                BenchmarkId::from_parameter(label),
+                &probe,
+                |bench, probe| {
+                    bench.iter(|| {
+                        let reply = m.handle_json(std::hint::black_box(probe));
+                        assert!(reply.contains(r#""status":"ok""#), "{reply}");
+                        reply
+                    });
+                },
+            );
+            stop.store(true, std::sync::atomic::Ordering::SeqCst);
+            hammer.join().unwrap();
+        });
+    }
+    group.finish();
+}
+
 /// Raw codec cost: decode a demonstrate request and re-encode the
 /// response-sized reply, no session behind it.
 fn bench_codec(c: &mut Criterion) {
@@ -376,6 +477,7 @@ criterion_group!(
     bench_interleaved,
     bench_sharded,
     bench_evict_thrash,
+    bench_latency,
     bench_codec
 );
 criterion_main!(benches);

@@ -7,23 +7,6 @@ use std::sync::Mutex;
 
 use crate::path::{Path, Pred, Step};
 
-/// Process-wide counter of per-DOM resolution-cache hits.
-static RESOLVE_HITS: AtomicU64 = AtomicU64::new(0);
-/// Process-wide counter of per-DOM resolution-cache misses.
-static RESOLVE_MISSES: AtomicU64 = AtomicU64::new(0);
-
-/// Snapshot of the process-wide `(hits, misses)` counters of the per-DOM
-/// resolution cache (see [`Path::resolve`]). Monotonic; callers sample
-/// before/after a region and subtract. The counters are global, so the
-/// deltas are exact under one resolver per thread (how the sharded
-/// session stack runs) and an aggregate otherwise.
-pub fn resolve_cache_counters() -> (u64, u64) {
-    (
-        RESOLVE_HITS.load(Ordering::Relaxed),
-        RESOLVE_MISSES.load(Ordering::Relaxed),
-    )
-}
-
 /// Upper bound on cached resolutions per DOM. A full cache keeps
 /// answering lookups for the paths it already holds; further distinct
 /// paths are resolved by walking, uncached. Loop guards and validation
@@ -40,12 +23,21 @@ const RESOLVE_CACHE_CAP: usize = 4096;
 /// so the lock is uncontended in practice.
 struct ResolveCache {
     map: Mutex<FxHashMap<Path, Option<NodeId>>>,
+    /// Monotonic per-DOM hit/miss counters. Living inside the cache (not
+    /// in process-wide statics) keeps deltas exact when several shards
+    /// synthesize concurrently: each session resolves only against its
+    /// own snapshots, so sampling the snapshots' counters attributes
+    /// every resolution to the right session.
+    hits: AtomicU64,
+    misses: AtomicU64,
 }
 
 impl ResolveCache {
     fn new() -> ResolveCache {
         ResolveCache {
             map: Mutex::new(FxHashMap::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
         }
     }
 
@@ -183,13 +175,26 @@ impl Dom {
             return Some(NodeId::ROOT);
         }
         if let Some(hit) = self.cache.get(path) {
-            RESOLVE_HITS.fetch_add(1, Ordering::Relaxed);
+            self.cache.hits.fetch_add(1, Ordering::Relaxed);
             return hit;
         }
-        RESOLVE_MISSES.fetch_add(1, Ordering::Relaxed);
+        self.cache.misses.fetch_add(1, Ordering::Relaxed);
         let resolved = path.resolve_from(self, NodeId::ROOT);
         self.cache.insert(path, resolved);
         resolved
+    }
+
+    /// Snapshot of this DOM's monotonic `(hits, misses)` resolution-cache
+    /// counters (see [`Path::resolve`]). Callers sample before/after a
+    /// region and subtract; because the counters live on the DOM rather
+    /// than in process-wide statics, the deltas stay exact even when
+    /// other threads resolve against *their* snapshots concurrently.
+    /// Clones start from zero, like the cache itself.
+    pub fn resolve_cache_counters(&self) -> (u64, u64) {
+        (
+            self.cache.hits.load(Ordering::Relaxed),
+            self.cache.misses.load(Ordering::Relaxed),
+        )
     }
 
     /// Number of nodes in the arena.

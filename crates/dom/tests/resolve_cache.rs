@@ -5,7 +5,7 @@
 
 use proptest::collection::vec;
 use proptest::prelude::*;
-use webrobot_dom::{resolve_cache_counters, Axis, Dom, NodeId, Path, Pred, Step};
+use webrobot_dom::{Axis, Dom, NodeId, Path, Pred, Step};
 
 const TAGS: [&str; 4] = ["div", "span", "a", "h3"];
 
@@ -123,20 +123,23 @@ fn repeat_resolution_hits_the_cache() {
         dom.append(body, "div");
     }
     let path: Path = "/body[1]/div[2]".parse().unwrap();
-    let (h0, m0) = resolve_cache_counters();
+    assert_eq!(dom.resolve_cache_counters(), (0, 0));
     let first = path.resolve(&dom);
     let second = path.resolve(&dom);
     assert_eq!(first, second);
     assert!(first.is_some());
-    let (h1, m1) = resolve_cache_counters();
-    // Counters are process-wide and monotonic; this thread contributed
-    // at least one miss (the fill) and one hit (the re-resolve).
-    assert!(m1 > m0, "miss counter advanced");
-    assert!(h1 > h0, "hit counter advanced");
-    // Mutation invalidates: the next resolve is a miss again.
+    // Counters are per-DOM and monotonic: exactly one miss (the fill)
+    // and one hit (the re-resolve), regardless of other threads.
+    assert_eq!(dom.resolve_cache_counters(), (1, 1));
+    // Mutation invalidates the map; the next resolve is a miss again.
     dom.append(body, "div");
-    let (_, m2) = resolve_cache_counters();
     path.resolve(&dom);
-    let (_, m3) = resolve_cache_counters();
-    assert!(m3 > m2, "mutation cleared the cache");
+    assert_eq!(dom.resolve_cache_counters(), (1, 2));
+    // A clone starts cold, with fresh counters.
+    let clone = dom.clone();
+    assert_eq!(clone.resolve_cache_counters(), (0, 0));
+    path.resolve(&clone);
+    path.resolve(&clone);
+    assert_eq!(clone.resolve_cache_counters(), (1, 1));
+    assert_eq!(dom.resolve_cache_counters(), (1, 2));
 }

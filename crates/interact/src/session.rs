@@ -13,6 +13,7 @@
 //! the mechanism behind `webrobot_service`'s eviction of idle sessions.
 
 use std::sync::Arc;
+use std::time::Duration;
 
 use webrobot_browser::{Browser, BrowserError, Site};
 use webrobot_data::Value;
@@ -139,6 +140,20 @@ pub enum StepOutcome {
     Interrupted,
     /// The session ended.
     Finished,
+}
+
+/// The half-finished step a parked synthesis quantum left behind: the
+/// action has already been performed and recorded; the prediction
+/// refresh and the mode transition run when the search concludes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum PendingStep {
+    /// A demonstration (outcome [`StepOutcome::Recorded`]).
+    Demonstrated,
+    /// An accepted prediction — `Recorded` plus the authorize→automate
+    /// transition check on completion.
+    Accepted,
+    /// An automated action (outcome [`StepOutcome::Automated`]).
+    Automated(Action),
 }
 
 impl StepOutcome {
@@ -279,6 +294,10 @@ pub struct Session {
     /// [`SessionSnapshot::resynth`]. Strictly increasing: each executed
     /// action triggers exactly one synthesis call.
     resynth: Vec<usize>,
+    /// The half-finished step of a parked sliced synthesis (see
+    /// [`Session::handle_quantum`]); `None` whenever the session is
+    /// driven through the unsliced [`Session::handle`].
+    pending: Option<PendingStep>,
 }
 
 // One session = one browser + one synthesizer, share-nothing, so a whole
@@ -309,6 +328,7 @@ impl Session {
             automated_steps: 0,
             last_program: None,
             resynth: Vec::new(),
+            pending: None,
         }
     }
 
@@ -410,6 +430,143 @@ impl Session {
         }
     }
 
+    /// Dispatches one event like [`Session::handle`], but bounds the
+    /// synthesis work to `budget` of wall-clock time.
+    ///
+    /// Returns `Ok(Some(outcome))` when the step completed within the
+    /// budget — with an outcome identical to what `handle` would have
+    /// produced, since quantum-sliced synthesis is exactly equal to
+    /// unsliced synthesis — and `Ok(None)` when the action was performed
+    /// but the synthesis search parked mid-worklist. A parked session
+    /// ([`Session::has_pending`]) must be driven to completion with
+    /// [`Session::continue_quantum`] before the next event; the quantum
+    /// scheduler in `webrobot_service` round-robins these continuations
+    /// across a shard's ready sessions.
+    ///
+    /// Events that never synthesize (`RejectAll`, `Interrupt`, `Finish`,
+    /// and the error paths) always complete immediately.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Session::handle`]; errors only surface before any
+    /// synthesis starts, so a failed event never leaves a pending step.
+    pub fn handle_quantum(
+        &mut self,
+        event: Event,
+        budget: Duration,
+    ) -> Result<Option<StepOutcome>, SessionError> {
+        debug_assert!(
+            self.pending.is_none(),
+            "finish the parked step before dispatching the next event"
+        );
+        if self.mode == Mode::Done {
+            return Err(SessionError::SessionClosed);
+        }
+        match event {
+            Event::Demonstrate(ref action) => match self.mode {
+                Mode::Demonstrate | Mode::Authorize => {
+                    self.perform_and_record(action)?;
+                    self.consecutive_accepts = 0;
+                    self.pending = Some(PendingStep::Demonstrated);
+                    Ok(self.run_quantum(budget))
+                }
+                mode => Err(SessionError::WrongMode {
+                    event: event.name(),
+                    mode,
+                }),
+            },
+            Event::Accept { index } => match self.mode {
+                Mode::Authorize => {
+                    let Some(action) = self.predictions.get(index).cloned() else {
+                        return Err(SessionError::InvalidPrediction {
+                            index,
+                            available: self.predictions.len(),
+                        });
+                    };
+                    self.perform_and_record(&action)?;
+                    self.consecutive_accepts += 1;
+                    self.pending = Some(PendingStep::Accepted);
+                    Ok(self.run_quantum(budget))
+                }
+                mode => Err(SessionError::WrongMode {
+                    event: event.name(),
+                    mode,
+                }),
+            },
+            Event::AutomateStep => match self.mode {
+                Mode::Automate => {
+                    if self.automated_steps >= self.cfg.max_automation_steps {
+                        self.mode = Mode::Done;
+                        return Ok(Some(StepOutcome::ProgramFinished));
+                    }
+                    let Some(action) = self.predictions.first().cloned() else {
+                        self.mode = Mode::Demonstrate;
+                        self.consecutive_accepts = 0;
+                        return Ok(Some(StepOutcome::ProgramFinished));
+                    };
+                    self.perform_and_record(&action)?;
+                    self.automated_steps += 1;
+                    self.pending = Some(PendingStep::Automated(action));
+                    Ok(self.run_quantum(budget))
+                }
+                mode => Err(SessionError::WrongMode {
+                    event: event.name(),
+                    mode,
+                }),
+            },
+            // Synthesis-free events complete through the unsliced path.
+            other => self.handle(other).map(Some),
+        }
+    }
+
+    /// Continues a parked step with another `budget` of synthesis work.
+    /// Returns the completed outcome, or `None` if the search parked
+    /// again. A no-op (returning `None`) when nothing is pending; the
+    /// scheduler checks [`Session::has_pending`] before calling.
+    pub fn continue_quantum(&mut self, budget: Duration) -> Option<StepOutcome> {
+        debug_assert!(self.pending.is_some(), "no parked step to continue");
+        self.run_quantum(budget)
+    }
+
+    /// `true` while a sliced step is parked mid-synthesis: the action
+    /// was performed, but predictions and the mode transition are still
+    /// pending. A pending session must not be snapshotted or receive
+    /// further events until [`Session::continue_quantum`] completes it.
+    pub fn has_pending(&self) -> bool {
+        self.pending.is_some()
+    }
+
+    /// One synthesis quantum for the pending step; on completion, runs
+    /// the step's deferred tail (prediction refresh + mode transition)
+    /// exactly as the unsliced event handler would.
+    fn run_quantum(&mut self, budget: Duration) -> Option<StepOutcome> {
+        self.pending.as_ref()?;
+        let result = self.synth.synthesize_quantum(budget);
+        if result.stats.parked {
+            return None;
+        }
+        let pending = self.pending.take()?;
+        self.apply_synthesis(result);
+        Some(match pending {
+            PendingStep::Demonstrated => StepOutcome::Recorded,
+            PendingStep::Accepted => {
+                if self.mode == Mode::Authorize
+                    && self.consecutive_accepts >= self.cfg.accepts_before_automation
+                {
+                    self.mode = Mode::Automate;
+                }
+                StepOutcome::Recorded
+            }
+            PendingStep::Automated(action) => {
+                if self.mode == Mode::Authorize {
+                    // Stay in automation while predictions keep coming.
+                    self.mode = Mode::Automate;
+                }
+                StepOutcome::Automated(action)
+            }
+        })
+    }
+
     /// Rewrites an action's selector to the absolute XPath of the node it
     /// denotes on the current page (what the front-end records). Actions
     /// without a selector pass through unchanged.
@@ -454,6 +611,13 @@ impl Session {
 
     fn refresh_predictions(&mut self) {
         let result = self.synth.synthesize();
+        self.apply_synthesis(result);
+    }
+
+    /// The shared tail of every synthesis — sliced or not: schedule
+    /// bookkeeping, cached program, predictions, and the
+    /// demonstrate/authorize mode split.
+    fn apply_synthesis(&mut self, result: webrobot_synth::SynthResult) {
         if !result.stats.fast_path {
             // The worklist actually ran at this trace length: record it in
             // the delta-restore schedule. Everywhere else the engine
@@ -1024,6 +1188,92 @@ mod tests {
         }
         assert_eq!(reference.browser().outputs(), thrashed.browser().outputs());
         assert_eq!(reference.executed(), thrashed.executed());
+    }
+
+    /// Drives an event through the sliced path to completion (one
+    /// worklist item per quantum — maximal slicing) and reports whether
+    /// the step ever parked.
+    fn drive_quantum(s: &mut Session, event: Event) -> (Result<StepOutcome, SessionError>, bool) {
+        match s.handle_quantum(event, Duration::ZERO) {
+            Err(e) => (Err(e), false),
+            Ok(Some(outcome)) => (Ok(outcome), false),
+            Ok(None) => loop {
+                assert!(s.has_pending());
+                if let Some(outcome) = s.continue_quantum(Duration::ZERO) {
+                    assert!(!s.has_pending());
+                    return (Ok(outcome), true);
+                }
+            },
+        }
+    }
+
+    /// The sliced event path is observably identical to the unsliced
+    /// one across a whole demo→authorize→automate workflow, including
+    /// error probes, even when every search is parked after every item.
+    #[test]
+    fn quantum_workflow_matches_unsliced() {
+        let mut sliced = session(6);
+        let mut unsliced = session(6);
+        let mut ever_parked = false;
+        let probe = |s: &Session| {
+            (
+                s.mode(),
+                s.predictions().to_vec(),
+                s.executed().len(),
+                s.browser().outputs().to_vec(),
+                s.snapshot().resynth,
+            )
+        };
+        let events: Vec<Event> = vec![
+            Event::Demonstrate(scrape(1)),
+            Event::AutomateStep, // WrongMode probe
+            Event::Demonstrate(scrape(2)),
+            Event::Accept { index: 7 }, // InvalidPrediction probe
+            Event::Accept { index: 0 },
+            Event::Accept { index: 0 },
+            Event::AutomateStep,
+            Event::AutomateStep,
+            Event::AutomateStep, // past the last anchor: ProgramFinished
+            Event::Finish,
+        ];
+        for event in events {
+            let (got, parked) = drive_quantum(&mut sliced, event.clone());
+            let want = unsliced.handle(event);
+            assert_eq!(got, want);
+            assert_eq!(probe(&mut sliced), probe(&mut unsliced));
+            ever_parked |= parked;
+        }
+        assert!(ever_parked, "zero-budget quanta actually sliced a search");
+    }
+
+    /// Synthesis-free events complete in one quantum regardless of
+    /// budget.
+    #[test]
+    fn synthesis_free_events_never_park() {
+        let mut s = session(5);
+        assert_eq!(
+            s.handle_quantum(Event::Demonstrate(scrape(1)), Duration::from_secs(60)),
+            Ok(Some(StepOutcome::Recorded))
+        );
+        let (out, _) = drive_quantum(&mut s, Event::Demonstrate(scrape(2)));
+        assert_eq!(out, Ok(StepOutcome::Recorded));
+        assert_eq!(s.mode(), Mode::Authorize);
+        assert_eq!(
+            s.handle_quantum(Event::RejectAll, Duration::ZERO),
+            Ok(Some(StepOutcome::NeedDemonstration))
+        );
+        assert_eq!(
+            s.handle_quantum(Event::Interrupt, Duration::ZERO),
+            Ok(Some(StepOutcome::Interrupted))
+        );
+        assert_eq!(
+            s.handle_quantum(Event::Finish, Duration::ZERO),
+            Ok(Some(StepOutcome::Finished))
+        );
+        assert_eq!(
+            s.handle_quantum(Event::Finish, Duration::ZERO),
+            Err(SessionError::SessionClosed)
+        );
     }
 
     /// A snapshot taken right after a rejection restores with cleared

@@ -1,0 +1,179 @@
+//! `webrobot-server` — the WebRobot session service on a TCP socket.
+//!
+//! ```text
+//! webrobot-server [--addr 127.0.0.1:7411] [--shards N] [--store DIR] [--smoke]
+//! ```
+//!
+//! Speaks the v1 JSON protocol with 4-byte big-endian length-prefixed
+//! frames (`PROTOCOL.md` § Transport). A built-in demo site `"anchors"`
+//! is registered so the server is drivable out of the box. `--store DIR`
+//! attaches one [`webrobot_service::FileStore`] per shard (all sharing
+//! `DIR`), making sessions survive a restart; `--smoke` runs an
+//! end-to-end self-check (bind an ephemeral port, drive one session over
+//! real TCP, drain) and exits non-zero on any mismatch — the form CI
+//! runs.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use webrobot_browser::{Site, SiteBuilder};
+use webrobot_data::Value;
+use webrobot_dom::parse_html;
+use webrobot_server::{Client, Server};
+use webrobot_service::{ServiceConfig, ShardedManager, SnapshotStore};
+
+struct Options {
+    addr: String,
+    shards: usize,
+    store: Option<String>,
+    smoke: bool,
+}
+
+const USAGE: &str =
+    "usage: webrobot-server [--addr HOST:PORT] [--shards N] [--store DIR] [--smoke]";
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        addr: "127.0.0.1:7411".to_string(),
+        shards: 2,
+        store: None,
+        smoke: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => opts.addr = it.next().ok_or("--addr needs a value")?.clone(),
+            "--shards" => {
+                opts.shards = it
+                    .next()
+                    .ok_or("--shards needs a value")?
+                    .parse()
+                    .map_err(|_| "--shards needs a number".to_string())?
+            }
+            "--store" => opts.store = Some(it.next().ok_or("--store needs a value")?.clone()),
+            "--smoke" => opts.smoke = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown argument '{other}'\n{USAGE}")),
+        }
+    }
+    Ok(opts)
+}
+
+/// The demo site: one page of anchors, enough to demonstrate, authorize
+/// and automate a scrape loop over the wire.
+fn anchor_site() -> Arc<Site> {
+    let body: String = (1..=8).map(|i| format!("<a>item {i}</a>")).collect();
+    let mut b = SiteBuilder::new();
+    let home = b.add_page(
+        "https://anchors.test/",
+        parse_html(&format!("<html>{body}</html>")).expect("demo site parses"),
+    );
+    Arc::new(b.start_at(home).finish())
+}
+
+fn build_manager(opts: &Options) -> Result<ShardedManager, String> {
+    let manager = match &opts.store {
+        Some(dir) => {
+            let stores = (0..opts.shards.max(1))
+                .map(|_| {
+                    webrobot_service::FileStore::open(dir)
+                        .map(|s| Box::new(s) as Box<dyn SnapshotStore>)
+                })
+                .collect::<Result<Vec<_>, _>>()
+                .map_err(|e| format!("open store '{dir}': {e}"))?;
+            ShardedManager::with_stores(ServiceConfig::default(), stores)
+                .map_err(|e| format!("reopen store '{dir}': {e}"))?
+        }
+        None => ShardedManager::new(ServiceConfig::default(), opts.shards),
+    };
+    manager.register_site("anchors", anchor_site(), Value::Object(vec![]));
+    Ok(manager)
+}
+
+fn serve(opts: &Options) -> Result<(), String> {
+    let manager = build_manager(opts)?;
+    let server =
+        Server::bind(manager, &opts.addr).map_err(|e| format!("bind {}: {e}", opts.addr))?;
+    let addr = server.local_addr().map_err(|e| e.to_string())?;
+    println!(
+        "webrobot-server listening on {addr} ({} shards)",
+        opts.shards
+    );
+    server.run().map_err(|e| format!("serve: {e}"))
+}
+
+/// End-to-end self-check over real TCP: create → demonstrate ×2 →
+/// accept → outputs → drain, asserting each reply.
+fn smoke(opts: &Options) -> Result<(), String> {
+    let manager = build_manager(opts)?;
+    let server = Server::bind(manager, "127.0.0.1:0").map_err(|e| format!("bind: {e}"))?;
+    let addr = server.local_addr().map_err(|e| e.to_string())?;
+    let serving = std::thread::spawn(move || server.run());
+
+    let mut client = Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut call = |request: &str, expect: &str| -> Result<(), String> {
+        let reply = client.call(request).map_err(|e| format!("call: {e}"))?;
+        if reply.contains(expect) {
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{expect}' in reply to {request}, got {reply}"
+            ))
+        }
+    };
+    call(
+        r#"{"v": 1, "kind": "create", "site": "anchors"}"#,
+        r#""session":"s-1""#,
+    )?;
+    for i in 1..=2 {
+        call(
+            &format!(
+                r#"{{"v": 1, "kind": "event", "session": "s-1", "event":
+                   {{"type": "demonstrate", "action": {{"op": "scrape_text", "selector": "/a[{i}]"}}}}}}"#
+            ),
+            r#""outcome":"recorded""#,
+        )?;
+    }
+    call(
+        r#"{"v": 1, "kind": "event", "session": "s-1", "event": {"type": "accept", "index": 0}}"#,
+        r#""outputs":3"#,
+    )?;
+    call(r#"{"v": 1, "kind": "outputs", "session": "s-1"}"#, "item 3")?;
+    let drained = Client::connect(addr)
+        .and_then(|mut c| c.drain())
+        .map_err(|e| format!("drain: {e}"))?;
+    if !drained.contains(r#""kind":"drained""#) {
+        return Err(format!("expected drained reply, got {drained}"));
+    }
+    match serving.join() {
+        Ok(Ok(())) => {
+            println!("smoke ok: session driven and drained on {addr}");
+            Ok(())
+        }
+        Ok(Err(e)) => Err(format!("server exited with {e}")),
+        Err(_) => Err("server thread panicked".to_string()),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = if opts.smoke {
+        smoke(&opts)
+    } else {
+        serve(&opts)
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("webrobot-server: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -86,6 +86,12 @@ pub enum ServiceError {
     /// The snapshot store failed (I/O error, or a tampered/truncated
     /// record).
     Store(StoreError),
+    /// The target shard's bounded job queue is full
+    /// ([`ServiceConfig::max_queued_per_shard`]); the client should back
+    /// off and retry. Raised by
+    /// [`ShardedManager`](crate::ShardedManager) — a single-threaded
+    /// manager applies backpressure through its caller instead.
+    Overloaded,
 }
 
 impl ServiceError {
@@ -99,6 +105,7 @@ impl ServiceError {
             ServiceError::Session(e) => e.code(),
             ServiceError::NoStore => "no_store",
             ServiceError::Store(e) => e.code(),
+            ServiceError::Overloaded => "overloaded",
         }
     }
 }
@@ -114,6 +121,9 @@ impl fmt::Display for ServiceError {
             ServiceError::Session(e) => e.fmt(f),
             ServiceError::NoStore => write!(f, "no snapshot store is attached to this manager"),
             ServiceError::Store(e) => e.fmt(f),
+            ServiceError::Overloaded => {
+                write!(f, "shard queue is full; back off and retry")
+            }
         }
     }
 }
@@ -163,6 +173,20 @@ pub struct ServiceConfig {
     /// the ablation the `service_evict` bench rows price against each
     /// other; wire behavior is identical either way.
     pub delta_restore: bool,
+    /// Synthesis work-quantum for the sharded scheduler: each scheduling
+    /// turn runs at most this much synthesis for one session before
+    /// round-robining to the next ready session, so one pathological
+    /// worklist degrades only its own session's latency, not the whole
+    /// shard's. `None` runs every step to completion (the legacy FIFO
+    /// behavior). Quantum-sliced synthesis is exactly equal to unsliced
+    /// synthesis (pinned by the 76-benchmark differential), so this knob
+    /// is invisible on the wire — it only redistributes latency.
+    pub quantum: Option<Duration>,
+    /// Bound on in-flight jobs per shard (queued in the channel, waiting
+    /// in a run queue, or being processed). Jobs beyond the bound are
+    /// rejected with the `overloaded` error code instead of growing the
+    /// queue without limit.
+    pub max_queued_per_shard: usize,
 }
 
 impl Default for ServiceConfig {
@@ -172,6 +196,8 @@ impl Default for ServiceConfig {
             max_live_sessions: 64,
             max_sessions: 4096,
             delta_restore: true,
+            quantum: Some(Duration::from_millis(5)),
+            max_queued_per_shard: 256,
         }
     }
 }
@@ -562,6 +588,102 @@ impl SessionManager {
         Ok(reply)
     }
 
+    /// Dispatches one `event` request like the `Event` arm of
+    /// [`SessionManager::handle`], but bounds the synthesis work to
+    /// `budget`. Returns the finished wire response, or `None` when the
+    /// session performed the action and parked mid-synthesis — drive it
+    /// to completion with [`SessionManager::continue_event_quantum`]
+    /// before its next event (the sharded scheduler round-robins these
+    /// continuations). Errors always complete immediately, as typed
+    /// error responses.
+    pub fn handle_event_quantum(
+        &mut self,
+        session: &str,
+        event: Event,
+        budget: Duration,
+    ) -> Option<Response> {
+        let id = match self.parse_id(session) {
+            Ok(id) => id,
+            Err(e) => return Some(error_response(&e)),
+        };
+        if let Err(e) = self.ensure_live(id) {
+            return Some(error_response(&e));
+        }
+        self.enforce_live_capacity(Some(id.0));
+        let Some(Tracked {
+            slot: Slot::Live { session: live, .. },
+            ..
+        }) = self.sessions.get_mut(&id.0)
+        else {
+            return Some(error_response(&ServiceError::UnknownSession(
+                id.to_string(),
+            )));
+        };
+        match live.handle_quantum(event, budget) {
+            Ok(Some(outcome)) => {
+                self.stats.events_ok += 1;
+                Some(self.event_response(id, outcome))
+            }
+            Ok(None) => None,
+            Err(e) => {
+                self.stats.events_rejected += 1;
+                Some(error_response(&ServiceError::Session(e)))
+            }
+        }
+    }
+
+    /// Continues a parked event with another `budget` of synthesis.
+    /// Returns the finished wire response, or `None` if the session
+    /// parked again. Only meaningful after
+    /// [`SessionManager::handle_event_quantum`] returned `None` for this
+    /// session.
+    pub fn continue_event_quantum(&mut self, session: &str, budget: Duration) -> Option<Response> {
+        let id = match self.parse_id(session) {
+            Ok(id) => id,
+            Err(e) => return Some(error_response(&e)),
+        };
+        let Some(Tracked {
+            slot: Slot::Live { session: live, .. },
+            ..
+        }) = self.sessions.get_mut(&id.0)
+        else {
+            return Some(error_response(&ServiceError::UnknownSession(
+                id.to_string(),
+            )));
+        };
+        let outcome = live.continue_quantum(budget)?;
+        self.stats.events_ok += 1;
+        Some(self.event_response(id, outcome))
+    }
+
+    /// `true` while `id` is live with a half-finished quantum step; such
+    /// a session cannot be evicted or snapshotted until the step
+    /// completes.
+    pub fn has_pending_step(&self, id: SessionId) -> bool {
+        matches!(
+            self.sessions.get(&id.0).map(|t| &t.slot),
+            Some(Slot::Live { session, .. }) if session.has_pending()
+        )
+    }
+
+    /// The wire `event` response for a completed step on session `id`
+    /// (shared by the unsliced and the quantum dispatch paths).
+    fn event_response(&self, id: SessionId, outcome: StepOutcome) -> Response {
+        match self.sessions.get(&id.0) {
+            Some(Tracked {
+                slot: Slot::Live { session, .. },
+                ..
+            }) => Response::Event {
+                session: id.to_string(),
+                outcome,
+                mode: session.mode(),
+                predictions: session.predictions().to_vec(),
+                outputs: session.browser().outputs().len(),
+            },
+            _ => error_response(&ServiceError::UnknownSession(id.to_string())),
+        }
+    }
+
     /// Everything a session has scraped so far (restores it if evicted).
     ///
     /// # Errors
@@ -627,6 +749,12 @@ impl SessionManager {
         let Slot::Live { session, .. } = &mut tracked.slot else {
             return false;
         };
+        if session.has_pending() {
+            // A parked quantum step is mid-flight: the action is in the
+            // trace but predictions and mode are stale, so a snapshot
+            // taken now would not replay to an equivalent session.
+            return false;
+        }
         let mut snapshot = session.snapshot();
         if !self.cfg.delta_restore {
             snapshot = snapshot.without_schedule();
@@ -656,7 +784,9 @@ impl SessionManager {
             .sessions
             .iter()
             .filter_map(|(&id, tracked)| match &tracked.slot {
-                Slot::Live { last_used, .. } if *last_used < horizon => Some(id),
+                Slot::Live { session, last_used } if *last_used < horizon => {
+                    (!session.has_pending()).then_some(id)
+                }
                 _ => None,
             })
             .collect();
@@ -926,7 +1056,11 @@ impl SessionManager {
                 .sessions
                 .iter()
                 .filter_map(|(&id, tracked)| match &tracked.slot {
-                    Slot::Live { last_used, .. } if Some(id) != keep => Some((*last_used, id)),
+                    // A parked quantum step pins its session live; evict
+                    // would refuse it, and retrying it here would spin.
+                    Slot::Live { session, last_used } if Some(id) != keep => {
+                        (!session.has_pending()).then_some((*last_used, id))
+                    }
                     _ => None,
                 })
                 .min();
@@ -1027,6 +1161,12 @@ impl Drop for SessionManager {
     /// are swallowed — there is no one left to report them to — which is
     /// exactly why latency-sensitive deployments checkpoint explicitly.
     fn drop(&mut self) {
+        // Never checkpoint while unwinding: if the panic came from the
+        // store itself, a second panic here would abort the process
+        // before a shard's panic guard can mark the shard down.
+        if std::thread::panicking() {
+            return;
+        }
         if self.store.is_some() {
             let _ = self.checkpoint();
         }

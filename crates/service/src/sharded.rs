@@ -10,15 +10,36 @@
 //! locks are held while a session executes — the only shared state is the
 //! create-sequencing counter.
 //!
+//! **Quantum scheduling.** Within a shard, sessions do *not* run FIFO to
+//! completion: each worker keeps a per-session run queue and round-robins
+//! over the sessions that have work, giving each one a bounded synthesis
+//! quantum ([`ServiceConfig::quantum`]) per turn via
+//! [`SessionManager::handle_event_quantum`]. A session whose search
+//! exhausts its quantum is *parked* and resumed on its next turn, so one
+//! pathological demonstration degrades only its own session's latency —
+//! its shard-mates keep being served between its slices. Per-session
+//! order is still strict FIFO (a session's next request never starts
+//! before its previous one finished), and the sliced search concludes
+//! with exactly the result an unsliced run would produce, so a client
+//! that drives its session one request at a time still observes
+//! *byte-identical* wire responses to an unsharded [`SessionManager`].
+//! `quantum: None` restores the legacy run-to-completion behavior.
+//!
+//! **Backpressure.** Each shard admits at most
+//! [`ServiceConfig::max_queued_per_shard`] requests in flight; beyond
+//! that the front end answers with the typed `overloaded` error instead
+//! of queueing without bound. **Worker panics** mark the shard down:
+//! queued jobs are failed with `shard_down` immediately (not silently
+//! dropped), later requests are rejected without blocking, and create
+//! fails over to the surviving shards.
+//!
 //! **Routing guarantee.** `s-<n>` lives on shard `(n − 1) mod N`, forever.
 //! Create requests are sequenced so the shards jointly issue the same
 //! `s-1, s-2, …` id sequence a single manager would (shard `k` of `N` is
 //! configured to issue `k+1, k+1+N, …`, and the router dispatches the
-//! `j`-th successful create to shard `(j − 1) mod N`). Combined with the
-//! FIFO per-shard channel and the synchronous request/response boundary,
-//! a client that drives its session one request at a time observes
-//! *byte-identical* wire responses to an unsharded [`SessionManager`] —
-//! pinned for shard counts {1, 2, 4} by `tests/sharded.rs`.
+//! `j`-th successful create to shard `(j − 1) mod N`). Byte-identity to
+//! the unsharded manager under sequential driving is pinned for shard
+//! counts {1, 2, 4} by `tests/sharded.rs`.
 //!
 //! [`ShardedManager`] is `Sync`: any number of front-end threads may call
 //! [`handle_json`](ShardedManager::handle_json) concurrently, and requests
@@ -26,12 +47,16 @@
 //! the scaling story measured by the `sharded_service` Criterion group in
 //! `crates/bench/benches/service.rs`.
 
-use std::sync::mpsc::{self, Receiver, Sender};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender, TryRecvError};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use webrobot_browser::Site;
 use webrobot_data::Value;
+use webrobot_interact::Event;
 
 use crate::manager::{error_response, ServiceConfig, ServiceError, ServiceStats, SessionManager};
 use crate::protocol::{Request, Response};
@@ -59,12 +84,36 @@ struct CreateRouter {
     created: u64,
 }
 
+/// The front end's handle to one shard worker.
+#[derive(Debug)]
+struct ShardHandle {
+    tx: Sender<Job>,
+    /// Requests admitted but not yet answered; the admission limit is
+    /// checked against this before every send.
+    inflight: Arc<AtomicUsize>,
+    /// Set by the worker's panic guard; once down, requests are rejected
+    /// with `shard_down` up front instead of blocking on a dead thread.
+    down: Arc<AtomicBool>,
+}
+
+impl ShardHandle {
+    /// Reserves one in-flight slot, or reports the queue full.
+    fn try_admit(&self, limit: usize) -> bool {
+        self.inflight
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+                (n < limit).then_some(n + 1)
+            })
+            .is_ok()
+    }
+}
+
 /// N shard threads, each owning a plain [`SessionManager`], behind the
 /// same v1 string-in/string-out boundary.
 ///
-/// See the module docs for the routing guarantee. Caps in
-/// [`ServiceConfig`] (`max_live_sessions`, `max_sessions`) apply *per
-/// shard*: total capacity scales with the shard count.
+/// See the module docs for the routing guarantee and the quantum
+/// scheduler. Caps in [`ServiceConfig`] (`max_live_sessions`,
+/// `max_sessions`, `max_queued_per_shard`) apply *per shard*: total
+/// capacity scales with the shard count.
 ///
 /// # Example
 ///
@@ -96,9 +145,11 @@ struct CreateRouter {
 /// ```
 #[derive(Debug)]
 pub struct ShardedManager {
-    shards: Vec<Sender<Job>>,
+    shards: Vec<ShardHandle>,
     router: Mutex<CreateRouter>,
     workers: Vec<JoinHandle<()>>,
+    /// Admission limit per shard, from [`ServiceConfig::max_queued_per_shard`].
+    max_queued: usize,
 }
 
 // The whole point: front-end threads share one `&ShardedManager`.
@@ -115,7 +166,7 @@ impl ShardedManager {
         let managers = (0..shards)
             .map(|k| SessionManager::new(cfg.clone()).with_id_sequence(k as u64 + 1, shards as u64))
             .collect();
-        ShardedManager::spawn(managers, 0)
+        ShardedManager::spawn(managers, 0, &cfg)
     }
 
     /// The durable form of [`ShardedManager::new`]: one persistent
@@ -164,27 +215,38 @@ impl ShardedManager {
         // its cursor is exactly the number of successful creates ever,
         // which the adopted metadata carries as `sessions_created`.
         let created: u64 = managers.iter().map(|m| m.stats().sessions_created).sum();
-        Ok(ShardedManager::spawn(managers, created))
+        Ok(ShardedManager::spawn(managers, created, &cfg))
     }
 
     /// Spawns one worker thread per prepared manager.
-    fn spawn(managers: Vec<SessionManager>, created: u64) -> ShardedManager {
-        let mut senders = Vec::with_capacity(managers.len());
+    fn spawn(managers: Vec<SessionManager>, created: u64, cfg: &ServiceConfig) -> ShardedManager {
+        let mut shards = Vec::with_capacity(managers.len());
         let mut workers = Vec::with_capacity(managers.len());
         for (k, manager) in managers.into_iter().enumerate() {
             let (tx, rx) = mpsc::channel::<Job>();
+            let ctx = ShardCtx {
+                index: k,
+                quantum: cfg.quantum,
+                inflight: Arc::new(AtomicUsize::new(0)),
+                down: Arc::new(AtomicBool::new(false)),
+            };
+            shards.push(ShardHandle {
+                tx,
+                inflight: ctx.inflight.clone(),
+                down: ctx.down.clone(),
+            });
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("webrobot-shard-{k}"))
-                    .spawn(move || shard_loop(manager, rx))
+                    .spawn(move || shard_loop(manager, rx, ctx))
                     .expect("spawn shard thread"),
             );
-            senders.push(tx);
         }
         ShardedManager {
-            shards: senders,
+            shards,
             router: Mutex::new(CreateRouter { created }),
             workers,
+            max_queued: cfg.max_queued_per_shard.max(1),
         }
     }
 
@@ -199,9 +261,13 @@ impl ShardedManager {
     pub fn register_site(&self, name: impl Into<String>, site: Arc<Site>, input: Value) {
         let name = name.into();
         let mut acks = Vec::with_capacity(self.shards.len());
-        for tx in &self.shards {
+        for handle in &self.shards {
+            if handle.down.load(Ordering::SeqCst) {
+                continue;
+            }
             let (ack, ack_rx) = mpsc::channel();
-            if tx
+            if handle
+                .tx
                 .send(Job::Register {
                     name: name.clone(),
                     site: site.clone(),
@@ -220,7 +286,9 @@ impl ShardedManager {
 
     /// Handles one typed request, routing it to the owning shard. Total,
     /// like [`SessionManager::handle`]: every failure is a
-    /// [`Response::Error`].
+    /// [`Response::Error`] — including `overloaded` when the owning
+    /// shard's admission queue is full and `shard_down` when its worker
+    /// has panicked.
     pub fn handle(&self, request: Request) -> Response {
         match request {
             Request::Create { .. } => self.create(request),
@@ -257,6 +325,7 @@ impl ShardedManager {
     /// Aggregate statistics, summed field-wise over all shards. Each
     /// counter counts disjoint per-shard events, so the sum is exact
     /// (pinned against the unsharded manager by `tests/sharded.rs`).
+    /// Shards that are down (or over their admission limit) are skipped.
     pub fn stats(&self) -> ServiceStats {
         let mut total = ServiceStats::default();
         for reply in self.fan_out(&Request::Stats) {
@@ -284,13 +353,7 @@ impl ShardedManager {
                     total += sessions
                 }
                 Some(error) => return error,
-                // Unreachable by design, exactly as in `roundtrip`.
-                None => {
-                    return Response::Error {
-                        code: "shard_down".to_string(),
-                        message: format!("shard {shard} is not serving requests"),
-                    }
-                }
+                None => return shard_down_response(shard),
             }
         }
         match request {
@@ -301,21 +364,41 @@ impl ShardedManager {
 
     /// Sends `request` to **every** shard before awaiting any reply, so
     /// the shards process it concurrently (latency is bounded by the
-    /// slowest shard, not the sum); replies come back in shard order,
-    /// `None` marking a stopped shard (unreachable by design).
+    /// slowest shard, not the sum); replies come back in shard order. A
+    /// down or overloaded shard contributes its typed error without
+    /// being sent anything; `None` marks a shard that hung up mid-reply.
     fn fan_out(&self, request: &Request) -> Vec<Option<Response>> {
+        enum Pending {
+            Reply(Receiver<Response>),
+            Immediate(Response),
+        }
         let pending: Vec<_> = self
             .shards
             .iter()
-            .map(|tx| {
+            .enumerate()
+            .map(|(shard, handle)| {
+                if handle.down.load(Ordering::SeqCst) {
+                    return Pending::Immediate(shard_down_response(shard));
+                }
+                if !handle.try_admit(self.max_queued) {
+                    return Pending::Immediate(error_response(&ServiceError::Overloaded));
+                }
                 let (reply, reply_rx) = mpsc::channel();
-                let sent = tx.send(Job::Request(request.clone(), reply)).is_ok();
-                (sent, reply_rx)
+                match handle.tx.send(Job::Request(request.clone(), reply)) {
+                    Ok(()) => Pending::Reply(reply_rx),
+                    Err(_) => {
+                        handle.inflight.fetch_sub(1, Ordering::SeqCst);
+                        Pending::Immediate(shard_down_response(shard))
+                    }
+                }
             })
             .collect();
         pending
             .into_iter()
-            .map(|(sent, rx)| if sent { rx.recv().ok() } else { None })
+            .map(|p| match p {
+                Pending::Reply(rx) => rx.recv().ok(),
+                Pending::Immediate(response) => Some(response),
+            })
             .collect()
     }
 
@@ -333,14 +416,15 @@ impl ShardedManager {
     /// issued the id (failed creates — unknown site, session cap — must
     /// not burn ids, exactly like the unsharded manager).
     ///
-    /// A shard that is *full* (`too_many_sessions`) must not wedge the
-    /// whole service while its neighbors have capacity, so the create
-    /// fails over around the ring and only reports `too_many_sessions`
-    /// when every shard is full. Failover is the one place the dense
+    /// A shard that is *full* (`too_many_sessions`) or *down* must not
+    /// wedge the whole service while its neighbors have capacity, so the
+    /// create fails over around the ring and only reports the error when
+    /// every shard refuses. Failover is the one place the dense
     /// `s-1, s-2, …` sequence can skip: a session created on a non-turn
     /// shard takes that shard's next stride id (ids stay unique and
     /// route correctly — `(n−1) mod N` identifies the issuing shard by
-    /// construction).
+    /// construction). An `overloaded` shard does *not* fail over: the
+    /// condition is transient and the client should back off and retry.
     fn create(&self, request: Request) -> Response {
         let mut router = self.router.lock().unwrap_or_else(PoisonError::into_inner);
         let first = (router.created % self.shards.len() as u64) as usize;
@@ -348,10 +432,10 @@ impl ShardedManager {
         for offset in 0..self.shards.len() {
             let shard = (first + offset) % self.shards.len();
             let attempt = self.roundtrip(shard, request.clone());
-            let full =
-                matches!(&attempt, Response::Error { code, .. } if code == "too_many_sessions");
+            let next_shard = matches!(&attempt, Response::Error { code, .. }
+                if code == "too_many_sessions" || code == "shard_down");
             response = Some(attempt);
-            if !full {
+            if !next_shard {
                 break;
             }
         }
@@ -362,24 +446,39 @@ impl ShardedManager {
         response
     }
 
-    /// Sends one request to a shard and waits for its response.
+    /// Sends one request to a shard and waits for its response. Rejects
+    /// up front — without blocking — when the shard is down or its
+    /// admission queue is full.
     fn roundtrip(&self, shard: usize, request: Request) -> Response {
+        let handle = &self.shards[shard];
+        if handle.down.load(Ordering::SeqCst) {
+            return shard_down_response(shard);
+        }
+        if !handle.try_admit(self.max_queued) {
+            return error_response(&ServiceError::Overloaded);
+        }
         let (reply, reply_rx) = mpsc::channel();
-        if self.shards[shard]
-            .send(Job::Request(request, reply))
-            .is_ok()
-        {
-            if let Ok(response) = reply_rx.recv() {
-                return response;
+        match handle.tx.send(Job::Request(request, reply)) {
+            Ok(()) => match reply_rx.recv() {
+                Ok(response) => response,
+                // The worker died with our job in hand (panic guard ran,
+                // or `Drop` raced us); the slot is written off with it.
+                Err(_) => shard_down_response(shard),
+            },
+            Err(_) => {
+                // Never reached the worker: give the slot back.
+                handle.inflight.fetch_sub(1, Ordering::SeqCst);
+                shard_down_response(shard)
             }
         }
-        // Unreachable by design — shard loops only exit when the sender
-        // side is dropped, i.e. during `Drop` — but the boundary stays
-        // total instead of panicking.
-        Response::Error {
-            code: "shard_down".to_string(),
-            message: format!("shard {shard} is not serving requests"),
-        }
+    }
+}
+
+/// The typed error for a shard whose worker is gone.
+fn shard_down_response(shard: usize) -> Response {
+    Response::Error {
+        code: "shard_down".to_string(),
+        message: format!("shard {shard} is not serving requests"),
     }
 }
 
@@ -394,28 +493,247 @@ impl Drop for ShardedManager {
     }
 }
 
-/// One shard thread: drain jobs in arrival order until the manager side
-/// hangs up. Per-session ordering follows from the channel being FIFO and
-/// a session being pinned to exactly one shard.
-fn shard_loop(mut manager: SessionManager, jobs: Receiver<Job>) {
-    while let Ok(job) = jobs.recv() {
-        match job {
-            Job::Request(request, reply) => {
-                // A disconnected reply channel means the caller gave up
-                // (manager dropped mid-request); nothing to do.
-                reply.send(manager.handle(request)).ok();
-            }
-            Job::Register {
-                name,
-                site,
-                input,
-                ack,
-            } => {
-                manager.register_site(name, site, input);
-                ack.send(()).ok();
+/// Per-worker scheduling context, shared with the front-end handle.
+struct ShardCtx {
+    index: usize,
+    /// Synthesis budget per scheduling turn; `None` = run to completion.
+    quantum: Option<Duration>,
+    inflight: Arc<AtomicUsize>,
+    down: Arc<AtomicBool>,
+}
+
+/// Far past any real synthesis timeout: "run this step to completion".
+const RUN_TO_COMPLETION: Duration = Duration::from_secs(86_400);
+
+/// One session's run queue on its shard.
+#[derive(Default)]
+struct SessionQueue {
+    /// Requests not yet started, in arrival order.
+    jobs: VecDeque<(Request, Sender<Response>)>,
+    /// The in-flight event whose synthesis is parked mid-search, with the
+    /// reply channel it still owes a response.
+    parked: Option<(String, Sender<Response>)>,
+}
+
+impl SessionQueue {
+    fn has_work(&self) -> bool {
+        self.parked.is_some() || !self.jobs.is_empty()
+    }
+}
+
+/// One shard thread: the panic guard around the scheduler. On a worker
+/// panic the shard is marked down (so the front end stops routing to it),
+/// the panic is logged once, and every job still queued in the channel is
+/// failed with `shard_down` — queued callers get an answer instead of a
+/// silent hang until the next request.
+fn shard_loop(manager: SessionManager, jobs: Receiver<Job>, ctx: ShardCtx) {
+    // The manager lives inside the guarded closure so a panic drops it
+    // while unwinding, where its flush-on-drop checkpoint is skipped —
+    // checkpointing through the very store that just panicked would
+    // abort the process.
+    let run = std::panic::AssertUnwindSafe(|| {
+        let mut manager = manager;
+        serve(&mut manager, &jobs, &ctx);
+    });
+    if std::panic::catch_unwind(run).is_err() {
+        ctx.down.store(true, Ordering::SeqCst);
+        eprintln!(
+            "webrobot-shard-{}: worker panicked; failing queued requests with shard_down",
+            ctx.index
+        );
+        while let Ok(job) = jobs.try_recv() {
+            match job {
+                Job::Request(_, reply) => {
+                    reply.send(shard_down_response(ctx.index)).ok();
+                }
+                Job::Register { ack, .. } => {
+                    ack.send(()).ok();
+                }
             }
         }
+        // Jobs that race past the drain above lose their channel when
+        // `jobs` drops here; their callers see the same `shard_down`.
     }
+}
+
+/// The quantum scheduler: per-session run queues, round-robin over the
+/// sessions that have work, one bounded synthesis quantum per turn.
+///
+/// Ordering rules, chosen so sequential driving stays byte-identical to
+/// the unsharded manager:
+///
+/// * Per-session requests execute strictly in arrival order; a parked
+///   session's next request waits for the parked step to finish.
+/// * `create`/`stats`/`register` have no session state in flight and run
+///   immediately on ingest, between quanta.
+/// * `checkpoint`/`recover` are *barriers*: every parked session's
+///   in-flight step is first driven to completion (a snapshot must never
+///   observe a half-applied step), then the durability request runs.
+///
+/// When the front end hangs up, the scheduler drains all remaining work
+/// to completion before the thread exits (preserving the flush-on-drop
+/// contract of store-backed managers).
+fn serve(manager: &mut SessionManager, jobs: &Receiver<Job>, ctx: &ShardCtx) {
+    let mut queues: BTreeMap<String, SessionQueue> = BTreeMap::new();
+    let mut ready: VecDeque<String> = VecDeque::new();
+    let mut barriers: VecDeque<(Request, Sender<Response>)> = VecDeque::new();
+    let mut connected = true;
+
+    while connected || !ready.is_empty() || !barriers.is_empty() {
+        // Ingest: block only when there is nothing runnable, otherwise
+        // drain whatever has arrived and keep scheduling.
+        if connected && ready.is_empty() && barriers.is_empty() {
+            match jobs.recv() {
+                Ok(job) => ingest(job, manager, ctx, &mut queues, &mut ready, &mut barriers),
+                Err(_) => {
+                    connected = false;
+                    continue;
+                }
+            }
+        }
+        while connected {
+            match jobs.try_recv() {
+                Ok(job) => ingest(job, manager, ctx, &mut queues, &mut ready, &mut barriers),
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => connected = false,
+            }
+        }
+
+        if let Some((request, reply)) = barriers.pop_front() {
+            // Finish every parked step before snapshotting, so the
+            // barrier never observes a session mid-quantum.
+            while let Some(pos) = ready
+                .iter()
+                .position(|key| queues.get(key).is_some_and(|q| q.parked.is_some()))
+            {
+                let key = ready.remove(pos).expect("position is in range");
+                run_session(manager, ctx, &mut queues, &mut ready, key, None);
+            }
+            reply.send(manager.handle(request)).ok();
+            ctx.inflight.fetch_sub(1, Ordering::SeqCst);
+            continue;
+        }
+
+        if let Some(key) = ready.pop_front() {
+            // Once the front end is gone nobody benefits from slicing:
+            // drain the backlog at full speed.
+            let budget = if connected { ctx.quantum } else { None };
+            run_session(manager, ctx, &mut queues, &mut ready, key, budget);
+        }
+    }
+}
+
+/// Sorts one incoming job into the scheduler's state (or runs it
+/// immediately when it has no per-session ordering constraint).
+fn ingest(
+    job: Job,
+    manager: &mut SessionManager,
+    ctx: &ShardCtx,
+    queues: &mut BTreeMap<String, SessionQueue>,
+    ready: &mut VecDeque<String>,
+    barriers: &mut VecDeque<(Request, Sender<Response>)>,
+) {
+    match job {
+        Job::Register {
+            name,
+            site,
+            input,
+            ack,
+        } => {
+            manager.register_site(name, site, input);
+            ack.send(()).ok();
+        }
+        Job::Request(request, reply) => match request {
+            Request::Event { ref session, .. }
+            | Request::Outputs { ref session, .. }
+            | Request::Close { ref session, .. } => {
+                let key = session.clone();
+                let queue = queues.entry(key.clone()).or_default();
+                if !queue.has_work() {
+                    ready.push_back(key);
+                }
+                queue.jobs.push_back((request, reply));
+            }
+            Request::Checkpoint | Request::Recover => barriers.push_back((request, reply)),
+            // Create/Stats touch no in-flight session state: answer now.
+            other => {
+                reply.send(manager.handle(other)).ok();
+                ctx.inflight.fetch_sub(1, Ordering::SeqCst);
+            }
+        },
+    }
+}
+
+/// Gives session `key` one turn: resume its parked step or start its next
+/// queued request, spending at most `budget` on synthesis (`None` = run
+/// to completion). Requeues the session while it still has work.
+fn run_session(
+    manager: &mut SessionManager,
+    ctx: &ShardCtx,
+    queues: &mut BTreeMap<String, SessionQueue>,
+    ready: &mut VecDeque<String>,
+    key: String,
+    budget: Option<Duration>,
+) {
+    let Some(queue) = queues.get_mut(&key) else {
+        return;
+    };
+    let finished = if let Some((session, reply)) = queue.parked.take() {
+        match step_event(manager, &session, None, budget) {
+            Some(response) => Some((reply, response)),
+            None => {
+                queue.parked = Some((session, reply));
+                None
+            }
+        }
+    } else if let Some((request, reply)) = queue.jobs.pop_front() {
+        match request {
+            // Slice only when configured to: `quantum: None` keeps the
+            // legacy run-to-completion dispatch byte for byte.
+            Request::Event { session, event } if ctx.quantum.is_some() => {
+                match step_event(manager, &session, Some(event), budget) {
+                    Some(response) => Some((reply, response)),
+                    None => {
+                        queue.parked = Some((session, reply));
+                        None
+                    }
+                }
+            }
+            other => Some((reply, manager.handle(other))),
+        }
+    } else {
+        None
+    };
+    if let Some((reply, response)) = finished {
+        reply.send(response).ok();
+        ctx.inflight.fetch_sub(1, Ordering::SeqCst);
+    }
+    if queue.has_work() {
+        ready.push_back(key);
+    } else {
+        queues.remove(&key);
+    }
+}
+
+/// Drives one event step: starts it (when `event` is given) or resumes
+/// the session's parked step, spending at most `budget` per slice.
+/// `budget: None` runs the step to completion. Returns `None` iff the
+/// step parked again.
+fn step_event(
+    manager: &mut SessionManager,
+    session: &str,
+    event: Option<Event>,
+    budget: Option<Duration>,
+) -> Option<Response> {
+    let slice = budget.unwrap_or(RUN_TO_COMPLETION);
+    let mut response = match event {
+        Some(event) => manager.handle_event_quantum(session, event, slice),
+        None => manager.continue_event_quantum(session, slice),
+    };
+    while response.is_none() && budget.is_none() {
+        response = manager.continue_event_quantum(session, slice);
+    }
+    response
 }
 
 #[cfg(test)]
@@ -594,5 +912,216 @@ mod tests {
         let m = sharded(3);
         create(&m);
         drop(m); // must not hang or leak threads
+    }
+
+    #[test]
+    fn tiny_quanta_still_answer_every_request_exactly() {
+        // A zero quantum forces a park/resume cycle on (almost) every
+        // synthesis; responses must still match a run-to-completion
+        // manager byte for byte under sequential driving.
+        let sliced = ShardedManager::new(
+            ServiceConfig {
+                quantum: Some(Duration::ZERO),
+                ..ServiceConfig::default()
+            },
+            2,
+        );
+        sliced.register_site("anchors", anchor_site(6), Value::Object(vec![]));
+        let unsliced = ShardedManager::new(
+            ServiceConfig {
+                quantum: None,
+                ..ServiceConfig::default()
+            },
+            2,
+        );
+        unsliced.register_site("anchors", anchor_site(6), Value::Object(vec![]));
+
+        for m in [&sliced, &unsliced] {
+            create(m);
+            create(m);
+        }
+        let mut replies = Vec::new();
+        for m in [&sliced, &unsliced] {
+            let mut log = Vec::new();
+            for i in 1..=3 {
+                for id in ["s-1", "s-2"] {
+                    log.push(
+                        m.handle(Request::Event {
+                            session: id.to_string(),
+                            event: scrape(i),
+                        })
+                        .to_json(),
+                    );
+                }
+            }
+            log.push(
+                m.handle(Request::Outputs {
+                    session: "s-1".to_string(),
+                })
+                .to_json(),
+            );
+            log.push(m.handle(Request::Stats).to_json());
+            replies.push(log);
+        }
+        assert_eq!(
+            replies[0], replies[1],
+            "quantum slicing changed wire responses"
+        );
+    }
+
+    #[test]
+    fn overload_rejections_recover_once_the_shard_drains() {
+        // With an admission limit of 1, a second concurrent request is a
+        // typed `overloaded` error, deterministically: a store whose
+        // `put` blocks keeps the shard busy in a checkpoint for as long
+        // as the test needs.
+        use crate::store::MemoryStore;
+
+        #[derive(Debug)]
+        struct BlockingStore {
+            inner: MemoryStore,
+            entered: Sender<()>,
+            release: Mutex<Receiver<()>>,
+        }
+        impl SnapshotStore for BlockingStore {
+            fn put(&mut self, key: &str, value: &Value) -> Result<(), StoreError> {
+                self.entered.send(()).ok();
+                self.release
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .recv()
+                    .ok();
+                self.inner.put(key, value)
+            }
+            fn get(&self, key: &str) -> Result<Option<Value>, StoreError> {
+                self.inner.get(key)
+            }
+            fn remove(&mut self, key: &str) -> Result<(), StoreError> {
+                self.inner.remove(key)
+            }
+            fn keys(&self) -> Result<Vec<String>, StoreError> {
+                self.inner.keys()
+            }
+        }
+
+        let (entered_tx, entered) = mpsc::channel();
+        let (release_tx, release) = mpsc::channel();
+        let store = BlockingStore {
+            inner: MemoryStore::new(),
+            entered: entered_tx,
+            release: Mutex::new(release),
+        };
+        let m = ShardedManager::with_stores(
+            ServiceConfig {
+                max_queued_per_shard: 1,
+                ..ServiceConfig::default()
+            },
+            vec![Box::new(store)],
+        )
+        .unwrap();
+        m.register_site("anchors", anchor_site(6), Value::Object(vec![]));
+        create(&m);
+
+        std::thread::scope(|scope| {
+            let hostage = scope.spawn(|| m.handle(Request::Checkpoint));
+            // The shard is now wedged inside `store.put` with its single
+            // admission slot taken; any further request must be rejected
+            // up front, not queued.
+            entered.recv().unwrap();
+            let reply = m.handle(Request::Event {
+                session: "s-1".to_string(),
+                event: scrape(1),
+            });
+            assert!(
+                matches!(&reply, Response::Error { code, .. } if code == "overloaded"),
+                "{}",
+                reply.to_json()
+            );
+            // Releasing the store (every pending and future `recv` now
+            // fails fast) lets the checkpoint finish; the freed slot
+            // admits the retried event.
+            drop(release_tx);
+            assert!(matches!(
+                hostage.join().unwrap(),
+                Response::Checkpointed { .. }
+            ));
+        });
+        let retry = m.handle(Request::Event {
+            session: "s-1".to_string(),
+            event: scrape(1),
+        });
+        assert!(
+            matches!(retry, Response::Event { .. }),
+            "{}",
+            retry.to_json()
+        );
+    }
+
+    #[test]
+    fn a_panicked_shard_is_down_eagerly_and_creates_fail_over() {
+        // A store that panics on `put` kills the worker mid-checkpoint;
+        // the shard must go down *eagerly* — the checkpoint caller and
+        // every queued job get `shard_down`, later requests are rejected
+        // without blocking, and create fails over to the healthy shard.
+        use crate::store::MemoryStore;
+
+        #[derive(Debug)]
+        struct PanickingStore(MemoryStore);
+        impl SnapshotStore for PanickingStore {
+            fn put(&mut self, _key: &str, _value: &Value) -> Result<(), StoreError> {
+                panic!("injected store failure");
+            }
+            fn get(&self, key: &str) -> Result<Option<Value>, StoreError> {
+                self.0.get(key)
+            }
+            fn remove(&mut self, key: &str) -> Result<(), StoreError> {
+                self.0.remove(key)
+            }
+            fn keys(&self) -> Result<Vec<String>, StoreError> {
+                self.0.keys()
+            }
+        }
+
+        let m = ShardedManager::with_stores(
+            ServiceConfig::default(),
+            vec![
+                Box::new(PanickingStore(MemoryStore::new())),
+                Box::new(MemoryStore::new()),
+            ],
+        )
+        .unwrap();
+        m.register_site("anchors", anchor_site(6), Value::Object(vec![]));
+        assert_eq!(create(&m), "s-1"); // shard 0 (the doomed one)
+        assert_eq!(create(&m), "s-2"); // shard 1
+
+        let reply = m.handle(Request::Checkpoint);
+        assert!(
+            matches!(&reply, Response::Error { code, .. } if code == "shard_down"),
+            "{}",
+            reply.to_json()
+        );
+        // Eager rejection: the dead shard answers without blocking.
+        let reply = m.handle(Request::Event {
+            session: "s-1".to_string(),
+            event: scrape(1),
+        });
+        assert!(
+            matches!(&reply, Response::Error { code, .. } if code == "shard_down"),
+            "{}",
+            reply.to_json()
+        );
+        // Shard 1 is untouched.
+        let reply = m.handle(Request::Event {
+            session: "s-2".to_string(),
+            event: scrape(1),
+        });
+        assert!(
+            matches!(reply, Response::Event { .. }),
+            "{}",
+            reply.to_json()
+        );
+        // Creates skip the dead shard: the next id comes from shard 1's
+        // stride (even ids), on what would have been shard 0's turn.
+        assert_eq!(create(&m), "s-4");
     }
 }

@@ -47,8 +47,15 @@ pub struct SynthStats {
     /// `true` when the call ended because the stored-item cap
     /// (`max_items`) was reached rather than exhausting the worklist.
     pub truncated: bool,
-    /// DOM resolution-cache hits during the call (process-wide counter
-    /// delta — see [`webrobot_dom::resolve_cache_counters`]).
+    /// `true` when a [`Synthesizer::synthesize_quantum`] call exhausted
+    /// its budget with the search still in progress. The result carries
+    /// no programs or predictions; call `synthesize_quantum` again to
+    /// continue.
+    pub parked: bool,
+    /// DOM resolution-cache hits during the call, summed over the
+    /// trace's snapshots (per-DOM counters — see
+    /// [`Dom::resolve_cache_counters`] — so the delta is exact per
+    /// session even when other shards synthesize concurrently).
     pub resolve_hits: u64,
     /// DOM resolution-cache misses (full walks) during the call.
     pub resolve_misses: u64,
@@ -229,6 +236,19 @@ pub struct Synthesizer {
     seq: u64,
     /// Trace length the stored items were last synced to.
     synced_len: usize,
+    /// `true` while a sliced search ([`synthesize_quantum`]) is parked
+    /// mid-worklist: the prelude (fast-path check + incremental resume)
+    /// already ran and must not run again until the search completes.
+    /// Cleared by [`observe`], which invalidates the in-flight search.
+    ///
+    /// [`synthesize_quantum`]: Synthesizer::synthesize_quantum
+    /// [`observe`]: Synthesizer::observe
+    searching: bool,
+    /// Wall-clock time already spent in previous quanta of the current
+    /// search; `search_spent + this quantum` is checked against the
+    /// configured `timeout` so a sliced search observes the same total
+    /// budget as an unsliced one.
+    search_spent: Duration,
 }
 
 // Sessions are sharded across worker threads one synthesizer per
@@ -252,6 +272,8 @@ impl Synthesizer {
             gen_fail: FxHashSet::default(),
             seen: FxHashSet::default(),
             seq: 0,
+            searching: false,
+            search_spent: Duration::ZERO,
         };
         let initial = Item::initial(synth.ctx.trace());
         synth.push_item(initial);
@@ -275,6 +297,10 @@ impl Synthesizer {
         // Generalization outcomes are relative to the trace; a program
         // that failed on the old frontier may succeed on the grown one.
         self.gen_fail.clear();
+        // A new observation invalidates a parked sliced search: the next
+        // quantum restarts from the prelude, exactly as `synthesize`
+        // would after the same observation.
+        self.searching = false;
     }
 
     fn requeue(&mut self, item: Item) {
@@ -341,24 +367,13 @@ impl Synthesizer {
     /// the new actions.
     pub fn synthesize_until(&mut self, deadline: Instant) -> SynthResult {
         let started = Instant::now();
-        let (hits0, misses0) = webrobot_dom::resolve_cache_counters();
+        let (hits0, misses0) = self.resolve_counters();
         let mut stats = SynthStats::default();
 
-        if !self.ctx.cfg.incremental {
-            self.reset_from_scratch();
-        } else {
-            // Fast path (paper §7.2: re-synthesis happens only when the
-            // previous program fails to predict the next action).
-            self.refresh_generalizing();
-            if !self.generalizing.is_empty() {
-                stats.fast_path = true;
-                stats.elapsed = started.elapsed();
-                let (hits, misses) = webrobot_dom::resolve_cache_counters();
-                stats.resolve_hits = hits - hits0;
-                stats.resolve_misses = misses - misses0;
-                return self.rank(stats);
-            }
-            self.resume_incremental();
+        if !self.begin_search(&mut stats) {
+            stats.elapsed = started.elapsed();
+            self.finish_resolve_stats(&mut stats, hits0, misses0);
+            return self.rank(stats);
         }
 
         // Main worklist loop (Alg. 1 lines 3–7).
@@ -373,39 +388,7 @@ impl Synthesizer {
                 continue;
             };
             stats.pops += 1;
-            let canon_ids: Vec<StmtId> = item
-                .statements()
-                .iter()
-                .map(|s| self.ctx.canon_id(s))
-                .collect();
-            if !self.gen_fail.contains(&canon_ids)
-                && !self.generalizing.iter().any(|e| e.canon_ids == canon_ids)
-            {
-                match GenEntry::build(
-                    &item,
-                    &canon_ids,
-                    self.ctx.trace(),
-                    self.ctx.cfg.dirty_tracking,
-                ) {
-                    Some(gen) => self.store_generalizing(gen),
-                    None => {
-                        self.gen_fail.insert(canon_ids.clone());
-                    }
-                }
-            }
-            let rewrites: Vec<SRewrite> = speculate(&item, &mut self.ctx, deadline);
-            for sr in &rewrites {
-                stats.validations += 1;
-                if let Some(new_item) = validate(sr, &item, &self.ctx) {
-                    stats.pushes += 1;
-                    self.push_spliced(new_item, &canon_ids, sr);
-                }
-                if stats.validations % 64 == 0 && Instant::now() > deadline {
-                    stats.timed_out = true;
-                    break;
-                }
-            }
-            self.processed.push(item);
+            self.process_item(item, &mut stats, deadline, true);
             if self.worklist.len() + self.processed.len() > self.ctx.cfg.max_items {
                 stats.truncated = true;
                 break;
@@ -415,11 +398,194 @@ impl Synthesizer {
             }
         }
 
+        // An unsliced call always concludes the search, even on timeout
+        // (the next call re-runs the prelude, as it always has).
+        self.searching = false;
         stats.elapsed = started.elapsed();
-        let (hits, misses) = webrobot_dom::resolve_cache_counters();
+        self.finish_resolve_stats(&mut stats, hits0, misses0);
+        self.rank(stats)
+    }
+
+    /// Runs at most `budget` of worklist search, parking the search when
+    /// the budget runs out before the worklist does.
+    ///
+    /// A sequence of `synthesize_quantum` calls with no intervening
+    /// [`observe`](Self::observe) is equivalent to one
+    /// [`synthesize`](Self::synthesize) call with an unbounded deadline:
+    /// the worklist, dedup set and cached generalizing programs persist
+    /// across quanta, so the pop order — and therefore the final ranked
+    /// programs and predictions — are identical. While parked, the
+    /// returned result withholds intermediate programs: `stats.parked`
+    /// is `true` and `programs`/`predictions` are empty; call again to
+    /// continue. The budget is checked only *between* worklist items
+    /// (each popped item is speculated and validated atomically, which
+    /// is what keeps the sliced search exactly equal to the unsliced
+    /// one), and at least one item is processed per quantum, so progress
+    /// is guaranteed even with a zero budget.
+    ///
+    /// The configured `timeout` still bounds the *cumulative* search
+    /// time across quanta: a pathological session concludes with
+    /// `stats.timed_out` after roughly `timeout` worth of quanta instead
+    /// of parking forever.
+    pub fn synthesize_quantum(&mut self, budget: Duration) -> SynthResult {
+        let started = Instant::now();
+        let (hits0, misses0) = self.resolve_counters();
+        let mut stats = SynthStats::default();
+
+        if !self.begin_search(&mut stats) {
+            stats.elapsed = started.elapsed();
+            self.finish_resolve_stats(&mut stats, hits0, misses0);
+            return self.rank(stats);
+        }
+
+        // Far deadline for speculation: a quantum never truncates the
+        // item it is processing, or sliced and unsliced searches would
+        // diverge.
+        let far = started + Duration::from_secs(86_400);
+        let quantum_deadline = started + budget;
+        let timeout = self.ctx.cfg.timeout;
+        loop {
+            let Some(entry) = self.worklist.pop() else {
+                self.searching = false;
+                break;
+            };
+            let Some(item) = self.admit(entry.item) else {
+                continue;
+            };
+            stats.pops += 1;
+            self.process_item(item, &mut stats, far, false);
+            if self.worklist.len() + self.processed.len() > self.ctx.cfg.max_items {
+                stats.truncated = true;
+                self.searching = false;
+                break;
+            }
+            let now = Instant::now();
+            if self.search_spent + (now - started) > timeout {
+                stats.timed_out = true;
+                self.searching = false;
+                break;
+            }
+            if now >= quantum_deadline {
+                stats.parked = true;
+                break;
+            }
+        }
+
+        self.search_spent += started.elapsed();
+        stats.elapsed = started.elapsed();
+        self.finish_resolve_stats(&mut stats, hits0, misses0);
+        if stats.parked {
+            return SynthResult {
+                programs: Vec::new(),
+                predictions: Vec::new(),
+                stats,
+            };
+        }
+        self.rank(stats)
+    }
+
+    /// `true` while a sliced search is parked mid-worklist (a
+    /// [`synthesize_quantum`](Self::synthesize_quantum) call returned
+    /// `stats.parked`) and another quantum is needed to conclude it.
+    pub fn is_parked(&self) -> bool {
+        self.searching
+    }
+
+    /// Runs the search prelude — from-scratch reset (the *No
+    /// incremental* ablation), the cached-program fast path (paper §7.2:
+    /// re-synthesis happens only when the previous program fails to
+    /// predict the next action), and the incremental resume — unless a
+    /// parked sliced search is in progress, in which case the prelude
+    /// already ran. Returns `false` when cached generalizing programs
+    /// answer the call without touching the worklist; the caller ranks
+    /// and returns.
+    fn begin_search(&mut self, stats: &mut SynthStats) -> bool {
+        if self.searching {
+            return true;
+        }
+        if !self.ctx.cfg.incremental {
+            self.reset_from_scratch();
+        } else {
+            self.refresh_generalizing();
+            if !self.generalizing.is_empty() {
+                stats.fast_path = true;
+                return false;
+            }
+            self.resume_incremental();
+        }
+        self.searching = true;
+        self.search_spent = Duration::ZERO;
+        true
+    }
+
+    /// Processes one admitted worklist item: the generalization check
+    /// plus speculate / validate / push (Alg. 1 lines 4–6). `deadline`
+    /// bounds speculation; when `interruptible` is set, validation may
+    /// additionally abort between rewrites once the deadline passes (the
+    /// legacy lossy timeout — quantum mode processes each item
+    /// atomically instead and passes `false`).
+    fn process_item(
+        &mut self,
+        item: Item,
+        stats: &mut SynthStats,
+        deadline: Instant,
+        interruptible: bool,
+    ) {
+        let canon_ids: Vec<StmtId> = item
+            .statements()
+            .iter()
+            .map(|s| self.ctx.canon_id(s))
+            .collect();
+        if !self.gen_fail.contains(&canon_ids)
+            && !self.generalizing.iter().any(|e| e.canon_ids == canon_ids)
+        {
+            match GenEntry::build(
+                &item,
+                &canon_ids,
+                self.ctx.trace(),
+                self.ctx.cfg.dirty_tracking,
+            ) {
+                Some(gen) => self.store_generalizing(gen),
+                None => {
+                    self.gen_fail.insert(canon_ids.clone());
+                }
+            }
+        }
+        let rewrites: Vec<SRewrite> = speculate(&item, &mut self.ctx, deadline);
+        for sr in &rewrites {
+            stats.validations += 1;
+            if let Some(new_item) = validate(sr, &item, &self.ctx) {
+                stats.pushes += 1;
+                self.push_spliced(new_item, &canon_ids, sr);
+            }
+            if interruptible && stats.validations.is_multiple_of(64) && Instant::now() > deadline {
+                stats.timed_out = true;
+                break;
+            }
+        }
+        self.processed.push(item);
+    }
+
+    /// Sums the per-DOM resolution-cache counters over the trace's
+    /// snapshots. Every resolution during synthesis targets a trace DOM,
+    /// and snapshots are never shared across sessions, so before/after
+    /// deltas of this sum attribute hits and misses exactly to this
+    /// synthesizer even when other shards resolve concurrently.
+    fn resolve_counters(&self) -> (u64, u64) {
+        let mut hits = 0;
+        let mut misses = 0;
+        for dom in self.ctx.trace().doms() {
+            let (h, m) = dom.resolve_cache_counters();
+            hits += h;
+            misses += m;
+        }
+        (hits, misses)
+    }
+
+    fn finish_resolve_stats(&self, stats: &mut SynthStats, hits0: u64, misses0: u64) {
+        let (hits, misses) = self.resolve_counters();
         stats.resolve_hits = hits - hits0;
         stats.resolve_misses = misses - misses0;
-        self.rank(stats)
     }
 
     /// Drops cached generalizing programs that no longer generalize the
@@ -509,6 +675,7 @@ impl Synthesizer {
         self.generalizing.clear();
         self.gen_fail.clear();
         self.seen.clear();
+        self.searching = false;
         self.synced_len = self.ctx.trace().len();
         let initial = Item::initial(self.ctx.trace());
         self.push_item(initial);
@@ -826,6 +993,81 @@ mod tests {
         let mut synth = Synthesizer::new(SynthConfig::default(), t);
         let result = synth.synthesize();
         assert!(result.programs.is_empty());
+    }
+
+    /// Drives a sliced search to completion one item per quantum,
+    /// counting the number of parked quanta along the way.
+    fn synthesize_in_quanta(synth: &mut Synthesizer) -> (SynthResult, usize) {
+        let mut parked = 0;
+        loop {
+            let result = synth.synthesize_quantum(Duration::ZERO);
+            if !result.stats.parked {
+                return (result, parked);
+            }
+            assert!(
+                result.programs.is_empty(),
+                "parked results withhold programs"
+            );
+            assert!(result.predictions.is_empty());
+            assert!(synth.is_parked());
+            parked += 1;
+        }
+    }
+
+    #[test]
+    fn quantum_slicing_matches_unsliced_synthesis() {
+        let full = scrape_trace(4, 6);
+        let mut sliced = Synthesizer::new(SynthConfig::default(), full.prefix(2));
+        let mut unsliced = Synthesizer::new(SynthConfig::default(), full.prefix(2));
+        for k in 2..=4 {
+            if k > 2 {
+                sliced.observe(full.actions()[k - 1].clone(), full.doms()[k].clone());
+                unsliced.observe(full.actions()[k - 1].clone(), full.doms()[k].clone());
+            }
+            let (rs, parked) = synthesize_in_quanta(&mut sliced);
+            let ru = unsliced.synthesize();
+            assert_eq!(rs.predictions, ru.predictions, "prefix {k}");
+            assert_eq!(rs.programs.len(), ru.programs.len(), "prefix {k}");
+            assert_eq!(rs.stats.fast_path, ru.stats.fast_path, "prefix {k}");
+            if !rs.stats.fast_path {
+                // A zero budget parks after every item but the last.
+                assert!(parked > 0, "prefix {k} search was sliced");
+            }
+            assert!(!sliced.is_parked());
+        }
+    }
+
+    #[test]
+    fn large_quantum_completes_in_one_call() {
+        let mut synth = Synthesizer::new(SynthConfig::default(), scrape_trace(2, 5));
+        let result = synth.synthesize_quantum(Duration::from_secs(3600));
+        assert!(!result.stats.parked);
+        assert!(!result.programs.is_empty());
+        assert!(!synth.is_parked());
+    }
+
+    #[test]
+    fn observe_invalidates_a_parked_search() {
+        let full = scrape_trace(3, 6);
+        let mut synth = Synthesizer::new(SynthConfig::default(), full.prefix(2));
+        let first = synth.synthesize_quantum(Duration::ZERO);
+        assert!(first.stats.parked, "zero budget parks after one item");
+        synth.observe(full.actions()[2].clone(), full.doms()[3].clone());
+        assert!(!synth.is_parked(), "observation cancels the parked search");
+        let (result, _) = synthesize_in_quanta(&mut synth);
+        let mut fresh = Synthesizer::new(SynthConfig::default(), full.prefix(3));
+        let reference = fresh.synthesize();
+        assert_eq!(result.predictions, reference.predictions);
+    }
+
+    #[test]
+    fn resolve_stats_cover_the_call() {
+        let mut synth = Synthesizer::new(SynthConfig::default(), scrape_trace(2, 5));
+        let result = synth.synthesize();
+        assert!(
+            result.stats.resolve_hits + result.stats.resolve_misses > 0,
+            "synthesis resolves selectors through the cache"
+        );
     }
 
     #[test]

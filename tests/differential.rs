@@ -13,9 +13,22 @@
 //! 4. a **fully legacy** incremental synthesizer
 //!    ([`SynthConfig::no_optimizations`]: additionally no dirty
 //!    tracking — eager re-extension of every stored item per
-//!    observation, full re-execution of every cached program per call)
+//!    observation, full re-execution of every cached program per call),
+//!    and
+//! 5. a **quantum-sliced** incremental synthesizer, driven exclusively
+//!    through [`Synthesizer::synthesize_quantum`] with a zero budget —
+//!    the maximally sliced schedule a serving shard could impose, parking
+//!    after every worklist item
 //!
 //! are compared.
+//!
+//! **Claim (d) — quantum slicing changes nothing, checked
+//! unconditionally:** a parked search resumes exactly where it stopped
+//! (items are processed atomically, one or more per quantum), so driving
+//! the identical configuration through zero-budget quanta until it
+//! concludes must produce byte-identical prediction lists to (1) at
+//! every prefix, truncated search or not — the service's latency
+//! slicing is invisible on the wire.
 //!
 //! **Claim (b) — memoization/pruning change nothing, checked
 //! unconditionally:** the memo tables and the kind-run-length pruning
@@ -59,7 +72,7 @@ use std::time::Duration;
 
 use webrobot_benchmarks::suite;
 use webrobot_semantics::{action_consistent, Trace};
-use webrobot_synth::{SynthConfig, Synthesizer};
+use webrobot_synth::{SynthConfig, SynthResult, Synthesizer};
 
 fn harness_config(mut cfg: SynthConfig) -> SynthConfig {
     cfg.timeout = Duration::from_secs(3600);
@@ -84,6 +97,19 @@ struct Tally {
     scratch_compared: usize,
     legacy_compared: usize,
     predicted: usize,
+    quanta_parked: usize,
+}
+
+/// Drives a synthesizer through zero-budget quanta until the search
+/// concludes, counting how many times it parked along the way.
+fn synthesize_in_quanta(synth: &mut Synthesizer, tally: &mut Tally) -> SynthResult {
+    loop {
+        let r = synth.synthesize_quantum(Duration::ZERO);
+        if !r.stats.parked {
+            return r;
+        }
+        tally.quanta_parked += 1;
+    }
 }
 
 /// Drives one benchmark through all four synthesizers, prefix by prefix.
@@ -96,6 +122,7 @@ fn check_benchmark(id: u32, trace: &Trace, tally: &mut Tally) {
         harness_config(SynthConfig::no_optimizations()),
         trace.prefix(1),
     );
+    let mut quantum = Synthesizer::new(harness_config(SynthConfig::default()), trace.prefix(1));
     // Once a search is truncated, every later incremental call builds on
     // the cut-off frontier: the exhaustion-gated claims are suspended
     // from there on.
@@ -109,6 +136,7 @@ fn check_benchmark(id: u32, trace: &Trace, tally: &mut Tally) {
             inc.observe(action.clone(), dom.clone());
             scratch.observe(action.clone(), dom.clone());
             plain.observe(action.clone(), dom.clone());
+            quantum.observe(action.clone(), dom.clone());
             legacy.observe(action, dom);
         }
         scratch.reset_incremental();
@@ -117,9 +145,22 @@ fn check_benchmark(id: u32, trace: &Trace, tally: &mut Tally) {
         let rs = scratch.synthesize();
         let rp = plain.synthesize();
         let rl = legacy.synthesize();
+        let rq = synthesize_in_quanta(&mut quantum, tally);
         tally.prefixes += 1;
         inc_tainted |= ri.stats.truncated || ri.stats.timed_out;
         legacy_tainted |= rl.stats.truncated || rl.stats.timed_out;
+
+        // Claim (d), unconditional: slicing the identical search into
+        // zero-budget quanta is invisible in the result.
+        assert_eq!(
+            ri.predictions, rq.predictions,
+            "b{id} prefix {k}: unsliced vs quantum-sliced incremental"
+        );
+        assert_eq!(
+            ri.programs.len(),
+            rq.programs.len(),
+            "b{id} prefix {k}: program count diverged under slicing"
+        );
 
         // Claim (b), unconditional.
         assert_eq!(
@@ -194,8 +235,20 @@ fn incremental_scratch_and_unoptimized_agree_on_all_76() {
     }
     eprintln!(
         "differential: {} prefixes, {} with complete-search scratch comparison \
-         ({} of those with a prediction), {} with legacy comparison",
-        tally.prefixes, tally.scratch_compared, tally.predicted, tally.legacy_compared
+         ({} of those with a prediction), {} with legacy comparison, \
+         {} quantum parks",
+        tally.prefixes,
+        tally.scratch_compared,
+        tally.predicted,
+        tally.legacy_compared,
+        tally.quanta_parked
+    );
+    // The quantum claim is only meaningful if slicing actually happened.
+    assert!(
+        tally.quanta_parked > tally.prefixes,
+        "zero-budget quanta barely parked: {} parks over {} prefixes",
+        tally.quanta_parked,
+        tally.prefixes
     );
     // The exhaustion-gated comparisons must keep covering the vast
     // majority of the suite — and a healthy share of compared prefixes

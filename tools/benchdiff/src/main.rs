@@ -5,7 +5,7 @@
 //! baseline at the repo root, benchmark id by benchmark id:
 //!
 //! ```text
-//! benchdiff <baseline.json> <fresh.json> [--max-ratio N]
+//! benchdiff <baseline.json> <fresh.json> [--max-ratio N] [--field NAME]
 //! ```
 //!
 //! - **Hard failure** (exit 1): a pinned id — any id present in the
@@ -21,6 +21,19 @@
 //!   *stale baseline*: they don't fail the gate, but an out-of-date
 //!   committed number would hide a later regression of the same size,
 //!   so the advisory asks for a `BENCH_*.json` refresh.
+//! - `--field NAME` gates a different per-id metric than the default
+//!   `mean_ns` — CI runs a second pass with `--field p99_ns` over the
+//!   `service_latency` rows, because the quantum scheduler's promise is
+//!   about tail latency, which a mean can hide.
+//!
+//! A second mode compares two ids *within one snapshot* — machine-speed-
+//! independent, so it gates a structural property (e.g. "skewed p99 stays
+//! within N× of uniform p99") on any runner:
+//!
+//! ```text
+//! benchdiff --compare-ids <snapshot.json> <baseline-id> <subject-id> \
+//!           [--max-ratio N] [--field NAME]
+//! ```
 //!
 //! The JSON is parsed with `webrobot_data::parse_json` — the snapshots
 //! are integer-only by construction, so the gate needs no dependency the
@@ -65,18 +78,19 @@ impl RowDiff {
     }
 }
 
-/// Extracts `id → mean_ns` from one `BENCH_*.json` document.
-fn mean_ns_by_id(doc: &Value) -> Result<Vec<(String, i64)>, String> {
+/// Extracts `id → <field>` (e.g. `mean_ns`, `p99_ns`) from one
+/// `BENCH_*.json` document.
+fn field_by_id(doc: &Value, field: &str) -> Result<Vec<(String, i64)>, String> {
     let Value::Object(fields) = doc else {
         return Err("top level must be an object of benchmark ids".to_string());
     };
     fields
         .iter()
         .map(|(id, row)| {
-            row.field("mean_ns")
+            row.field(field)
                 .and_then(Value::as_int)
                 .map(|ns| (id.clone(), ns))
-                .ok_or_else(|| format!("benchmark '{id}' has no integer 'mean_ns'"))
+                .ok_or_else(|| format!("benchmark '{id}' has no integer '{field}'"))
         })
         .collect()
 }
@@ -163,32 +177,73 @@ fn print_table(rows: &[RowDiff], max_ratio: f64) {
 }
 
 fn run(args: &[String]) -> Result<bool, String> {
-    const USAGE: &str = "usage: benchdiff <baseline.json> <fresh.json> [--max-ratio N]";
+    const USAGE: &str = "usage: benchdiff <baseline.json> <fresh.json> \
+                         [--max-ratio N] [--field NAME]\n\
+                         \u{20}      benchdiff --compare-ids <snapshot.json> \
+                         <baseline-id> <subject-id> [--max-ratio N] [--field NAME]";
     // One pass so `--max-ratio`'s value is consumed as the flag's
     // argument, never mistaken for a third positional path.
     let mut positional: Vec<&String> = Vec::new();
     let mut max_ratio = 3.0;
+    let mut field = "mean_ns".to_string();
+    let mut compare_ids = false;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
-        if arg == "--max-ratio" {
+        if arg == "--compare-ids" {
+            compare_ids = true;
+        } else if arg == "--max-ratio" {
             max_ratio = iter
                 .next()
                 .and_then(|n| n.parse::<f64>().ok())
                 .filter(|&r| r >= 1.0)
                 .ok_or("--max-ratio takes a number ≥ 1")?;
+        } else if arg == "--field" {
+            field = iter
+                .next()
+                .filter(|name| !name.starts_with("--"))
+                .ok_or("--field takes a metric name, e.g. p99_ns")?
+                .clone();
         } else if arg.starts_with("--") {
             return Err(format!("unknown flag '{arg}'\n{USAGE}"));
         } else {
             positional.push(arg);
         }
     }
-    let [baseline_path, fresh_path] = positional.as_slice() else {
-        return Err(USAGE.to_string());
-    };
     let load = |path: &str| -> Result<Vec<(String, i64)>, String> {
         let body = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
         let doc = parse_json(&body).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
-        mean_ns_by_id(&doc).map_err(|e| format!("{path}: {e}"))
+        field_by_id(&doc, &field).map_err(|e| format!("{path}: {e}"))
+    };
+    if compare_ids {
+        let [path, baseline_id, subject_id] = positional.as_slice() else {
+            return Err(USAGE.to_string());
+        };
+        let table = load(path)?;
+        let value_of = |id: &str| -> Result<i64, String> {
+            table
+                .iter()
+                .find(|(row, _)| row == id)
+                .map(|&(_, ns)| ns)
+                .ok_or_else(|| format!("{path}: no benchmark '{id}'"))
+        };
+        let baseline = value_of(baseline_id)?;
+        let subject = value_of(subject_id)?;
+        if baseline <= 0 {
+            return Err(format!(
+                "'{baseline_id}' has non-positive {field} {baseline}"
+            ));
+        }
+        let ratio = subject as f64 / baseline as f64;
+        let ok = ratio <= max_ratio;
+        println!(
+            "benchdiff [{field}]: {subject_id} = {subject} vs {baseline_id} = {baseline} \
+             → {ratio:.2}× (cap {max_ratio}×): {}",
+            if ok { "OK" } else { "FAIL" }
+        );
+        return Ok(ok);
+    }
+    let [baseline_path, fresh_path] = positional.as_slice() else {
+        return Err(USAGE.to_string());
     };
     let baseline = load(baseline_path)?;
     let fresh = load(fresh_path)?;
@@ -196,7 +251,7 @@ fn run(args: &[String]) -> Result<bool, String> {
         return Err(format!("{baseline_path}: no pinned benchmarks"));
     }
     let rows = diff(&baseline, &fresh, max_ratio);
-    println!("benchdiff: {baseline_path} (baseline) vs {fresh_path} (fresh)\n");
+    println!("benchdiff [{field}]: {baseline_path} (baseline) vs {fresh_path} (fresh)\n");
     print_table(&rows, max_ratio);
     Ok(rows
         .iter()
@@ -278,14 +333,91 @@ mod tests {
     #[test]
     fn parses_snapshot_shape() {
         let doc = parse_json(
-            r#"{"service_wire/interleaved_s8": {"mean_ns": 1131183, "min_ns": 981115, "samples": 20, "elements_per_sec": 7072}}"#,
+            r#"{"service_wire/interleaved_s8": {"mean_ns": 1131183, "min_ns": 981115, "p99_ns": 1500000, "samples": 20, "elements_per_sec": 7072}}"#,
         )
         .unwrap();
         assert_eq!(
-            mean_ns_by_id(&doc).unwrap(),
+            field_by_id(&doc, "mean_ns").unwrap(),
             vec![("service_wire/interleaved_s8".to_string(), 1_131_183)]
         );
-        assert!(mean_ns_by_id(&parse_json(r#"{"x": {"min_ns": 3}}"#).unwrap()).is_err());
+        assert_eq!(
+            field_by_id(&doc, "p99_ns").unwrap(),
+            vec![("service_wire/interleaved_s8".to_string(), 1_500_000)]
+        );
+        assert!(field_by_id(&parse_json(r#"{"x": {"min_ns": 3}}"#).unwrap(), "mean_ns").is_err());
+    }
+
+    #[test]
+    fn compare_ids_gates_a_within_snapshot_ratio() {
+        let dir = std::env::temp_dir().join(format!("benchdiff-cmp-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let snap = dir.join("snap.json");
+        std::fs::write(
+            &snap,
+            r#"{
+  "lat/uniform": {"mean_ns": 30000, "p99_ns": 100000},
+  "lat/skewed": {"mean_ns": 60000, "p99_ns": 250000}
+}"#,
+        )
+        .unwrap();
+        let base: Vec<String> = vec![
+            "--compare-ids".to_string(),
+            snap.to_string_lossy().into_owned(),
+            "lat/uniform".to_string(),
+            "lat/skewed".to_string(),
+        ];
+        // p99 ratio 2.5× passes the default 3× cap; mean ratio 2× too.
+        let p99: Vec<String> = base
+            .iter()
+            .cloned()
+            .chain(["--field".to_string(), "p99_ns".to_string()])
+            .collect();
+        assert_eq!(run(&p99), Ok(true));
+        assert_eq!(run(&base), Ok(true));
+        // A 2× cap catches the 2.5× p99 ratio.
+        let tight: Vec<String> = p99
+            .iter()
+            .cloned()
+            .chain(["--max-ratio".to_string(), "2".to_string()])
+            .collect();
+        assert_eq!(run(&tight), Ok(false));
+        // Unknown ids and missing positionals are errors, not verdicts.
+        let unknown: Vec<String> = base[..3]
+            .iter()
+            .cloned()
+            .chain(["nope".to_string()])
+            .collect();
+        assert!(run(&unknown).is_err());
+        assert!(run(&base[..3]).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn field_flag_selects_the_gated_metric() {
+        let dir = std::env::temp_dir().join(format!("benchdiff-field-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("base.json");
+        let fresh = dir.join("fresh.json");
+        // Means agree; the fresh p99 blew past the cap. Only the
+        // `--field p99_ns` pass may fail.
+        std::fs::write(&base, r#"{"g/a": {"mean_ns": 100, "p99_ns": 200}}"#).unwrap();
+        std::fs::write(&fresh, r#"{"g/a": {"mean_ns": 110, "p99_ns": 900}}"#).unwrap();
+        let paths: Vec<String> = vec![
+            base.to_string_lossy().into_owned(),
+            fresh.to_string_lossy().into_owned(),
+        ];
+        assert_eq!(run(&paths), Ok(true), "mean gate passes");
+        let p99: Vec<String> = ["--field".to_string(), "p99_ns".to_string()]
+            .into_iter()
+            .chain(paths.clone())
+            .collect();
+        assert_eq!(run(&p99), Ok(false), "p99 gate catches the tail blowup");
+        let missing: Vec<String> = ["--field".to_string(), "--max-ratio".to_string()]
+            .into_iter()
+            .chain(paths)
+            .collect();
+        assert!(run(&missing).is_err(), "--field needs a metric name");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -16,8 +16,9 @@
 //!
 //! Besides the stdout lines, each bench target writes a JSON snapshot
 //! `BENCH_<bench>.json` mapping every benchmark id to `mean_ns` /
-//! `min_ns` / `samples`, so perf PRs can diff baselines mechanically
-//! instead of hand-editing BENCH_NOTES.md.
+//! `min_ns` / `p99_ns` (nearest-rank 99th percentile) / `samples`, so
+//! perf PRs can diff baselines mechanically instead of hand-editing
+//! BENCH_NOTES.md.
 //!
 //! Only the surface the workspace's benches use is provided: `Criterion`,
 //! `BenchmarkGroup` (including `throughput`), `Bencher::{iter,
@@ -50,6 +51,7 @@ struct BenchRecord {
     label: String,
     mean_ns: u128,
     min_ns: u128,
+    p99_ns: u128,
     samples: usize,
     /// `("elements_per_sec" | "bytes_per_sec", rate)` when the group
     /// declared a [`Throughput`].
@@ -100,8 +102,9 @@ pub fn write_json_snapshot() {
             None => String::new(),
         };
         body.push_str(&format!(
-            "  \"{}\": {{\"mean_ns\": {}, \"min_ns\": {}, \"samples\": {}{per_sec}}}{comma}\n",
-            r.label, r.mean_ns, r.min_ns, r.samples
+            "  \"{}\": {{\"mean_ns\": {}, \"min_ns\": {}, \"p99_ns\": {}, \
+             \"samples\": {}{per_sec}}}{comma}\n",
+            r.label, r.mean_ns, r.min_ns, r.p99_ns, r.samples
         ));
     }
     body.push_str("}\n");
@@ -245,6 +248,13 @@ fn run_one(
     let total: Duration = samples.iter().sum();
     let mean = total / samples.len() as u32;
     let min = *samples.iter().min().expect("non-empty");
+    // Nearest-rank 99th percentile: with few samples this degrades to
+    // the max, which is the conservative direction for a latency gate.
+    let p99 = {
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        sorted[(sorted.len() * 99).div_ceil(100) - 1]
+    };
     let per_sec = throughput.and_then(|t| {
         let (key, units) = match t {
             Throughput::Elements(n) => ("elements_per_sec", n),
@@ -271,6 +281,7 @@ fn run_one(
         label,
         mean_ns: mean.as_nanos(),
         min_ns: min.as_nanos(),
+        p99_ns: p99.as_nanos(),
         samples: samples.len(),
         per_sec,
     });
@@ -436,6 +447,7 @@ mod tests {
         let body = std::fs::read_to_string(written[0].path()).unwrap();
         assert!(body.contains("\"snapshot/probe\""), "{body}");
         assert!(body.contains("\"mean_ns\""), "{body}");
+        assert!(body.contains("\"p99_ns\""), "{body}");
         std::fs::remove_dir_all(&dir).ok();
     }
 
