@@ -10,7 +10,11 @@
 //!   [`ShardedManager`] at shard counts 1/2/4, one driver thread per
 //!   shard. On a multi-core runner the rows scale with the shard count;
 //!   on one core they bound the routing/channel overhead instead.
-//! - `service_evict` / `service_codec` — eviction thrash and raw codec.
+//! - `service_evict` / `service_codec` — eviction thrash (with
+//!   digest/no-digest/full-replay restoration ablations) and raw codec.
+//! - `service_store` — checkpoint cost shape (O(dirty) vs full rewrite)
+//!   and the [`SegmentStore`](webrobot_service::SegmentStore)
+//!   group-commit batch sweep.
 //! - `service_latency` — per-request latency of a light session's
 //!   `outputs` probe on a single quantum-scheduled shard, once under a
 //!   *uniform* background load (another light session) and once under a
@@ -47,16 +51,23 @@ fn anchor_site(n: usize) -> Arc<Site> {
 }
 
 fn manager(max_live: usize) -> SessionManager {
-    manager_with(max_live, ITEMS_PER_SITE, true)
+    manager_with(max_live, ITEMS_PER_SITE, true, true)
 }
 
 /// A manager with `max_live` live slots over an `items`-item site;
 /// `delta_restore: false` prices the legacy full-replay restoration the
-/// delta snapshots replaced.
-fn manager_with(max_live: usize, items: usize, delta_restore: bool) -> SessionManager {
+/// delta snapshots replaced, `engine_digest: false` the schedule-driven
+/// delta restore the engine digest replaced.
+fn manager_with(
+    max_live: usize,
+    items: usize,
+    delta_restore: bool,
+    engine_digest: bool,
+) -> SessionManager {
     let mut m = SessionManager::new(ServiceConfig {
         max_live_sessions: max_live,
         delta_restore,
+        engine_digest,
         ..ServiceConfig::default()
     });
     m.register_site("anchors", anchor_site(items), Value::Object(vec![]));
@@ -282,14 +293,18 @@ fn bench_evict_thrash(c: &mut Criterion) {
     let mut group = c.benchmark_group("service_evict");
     group.sample_size(10);
     let sessions = 4usize;
-    for (label, delta) in [("thrash_s4", true), ("thrash_s4_full_replay", false)] {
+    for (label, delta, digest) in [
+        ("thrash_s4", true, true),
+        ("thrash_s4_no_digest", true, false),
+        ("thrash_s4_full_replay", false, false),
+    ] {
         group.throughput(Throughput::Elements(sessions as u64));
         group.bench_with_input(
             BenchmarkId::from_parameter(label),
             &sessions,
             |bench, &sessions| {
                 bench.iter_batched(
-                    || manager_with(1, ITEMS_PER_SITE, delta),
+                    || manager_with(1, ITEMS_PER_SITE, delta, digest),
                     |mut m| {
                         run_interleaved(&mut |r| m.handle_json(r), sessions);
                         let stats = m.stats();
@@ -304,15 +319,17 @@ fn bench_evict_thrash(c: &mut Criterion) {
     }
 
     group.throughput(Throughput::Elements(1));
-    for (label, delta) in [
-        ("restore_nested_h16", true),
-        ("restore_nested_h16_full_replay", false),
+    for (label, delta, digest) in [
+        ("restore_nested_h16", true, true),
+        ("restore_nested_h16_no_digest", true, false),
+        ("restore_nested_h16_full_replay", false, false),
     ] {
         // One session, demonstrated 4 actions and automated to a history
         // of 16, held by a manager with headroom; each iteration forces
         // one evict + one transparent restore through the wire boundary.
         let mut m = SessionManager::new(ServiceConfig {
             delta_restore: delta,
+            engine_digest: digest,
             ..ServiceConfig::default()
         });
         m.register_site("people", nested_site(), Value::Object(vec![]));
@@ -454,6 +471,120 @@ fn bench_latency(c: &mut Criterion) {
     group.finish();
 }
 
+/// Checkpoint and snapshot-store cost shapes — the log-structured store
+/// story in three pairs of rows:
+///
+/// - `checkpoint_dirty1_of_64` vs `checkpoint_full_rewrite_64` — a
+///   64-tenant manager where each iteration dirties exactly one session
+///   (a create), checkpoints, and closes it. Incremental checkpoints
+///   write the one dirty record plus shard metadata; the
+///   `incremental_checkpoint: false` ablation re-encodes and re-writes
+///   all 64 — the O(dirty) vs O(sessions) gap the dirty bit buys.
+/// - `segment_commit_ops_{1,8,64}` — 64 kilobyte-record puts plus a
+///   final flush straight into a [`SegmentStore`], with the group-commit
+///   batch threshold swept from fsync-per-op to one fsync per batch of
+///   64. The spread between the rows is precisely the cost the deferred
+///   COMMIT amortizes.
+fn bench_store(c: &mut Criterion) {
+    use webrobot_service::{MemoryStore, SegmentConfig, SegmentStore, SnapshotStore};
+
+    let mut group = c.benchmark_group("service_store");
+    group.sample_size(20);
+
+    for (label, incremental) in [
+        ("checkpoint_dirty1_of_64", true),
+        ("checkpoint_full_rewrite_64", false),
+    ] {
+        let mut m = SessionManager::with_store(
+            ServiceConfig {
+                max_live_sessions: 128,
+                incremental_checkpoint: incremental,
+                ..ServiceConfig::default()
+            },
+            Box::new(MemoryStore::new()),
+        )
+        .unwrap();
+        m.register_site(
+            "anchors",
+            anchor_site(ITEMS_PER_SITE),
+            Value::Object(vec![]),
+        );
+        for s in 1..=64 {
+            let reply = m.handle_json(r#"{"v": 1, "kind": "create", "site": "anchors"}"#);
+            assert!(reply.contains("\"ok\""), "{reply}");
+            for i in 1..=2 {
+                let reply = m.handle_json(&event_request(&format!("s-{s}"), scrape(i)));
+                assert!(reply.contains("\"ok\""), "{reply}");
+            }
+        }
+        // Settle: after this checkpoint all 64 base sessions are clean.
+        assert!(m
+            .handle_json(r#"{"v": 1, "kind": "checkpoint"}"#)
+            .contains("\"ok\""));
+
+        group.bench_with_input(BenchmarkId::from_parameter(label), &(), |bench, ()| {
+            bench.iter(|| {
+                // Exactly one dirty session per checkpoint: a fresh
+                // create (closed again afterwards, so the population
+                // stays 64 + 1 transient).
+                let created = m.handle_json(r#"{"v": 1, "kind": "create", "site": "anchors"}"#);
+                assert!(created.contains("\"ok\""), "{created}");
+                let session: String = created
+                    .split(r#""session":""#)
+                    .nth(1)
+                    .unwrap()
+                    .chars()
+                    .take_while(|c| *c != '"')
+                    .collect();
+                let reply = m.handle_json(r#"{"v": 1, "kind": "checkpoint"}"#);
+                assert!(reply.contains(r#""sessions":65"#), "{reply}");
+                m.handle_json(&Request::Close { session }.to_json());
+            });
+        });
+    }
+
+    // A representative kilobyte-scale record (what one mid-workflow
+    // session encodes to, order-of-magnitude-wise).
+    let record = parse_json(&format!(
+        r#"{{"v": 1, "kind": "bench", "payload": "{}"}}"#,
+        "x".repeat(1024)
+    ))
+    .unwrap();
+    for ops in [1usize, 8, 64] {
+        let dir = std::env::temp_dir().join(format!(
+            "webrobot-bench-segment-{}-{ops}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut store = SegmentStore::with_config(
+            SegmentConfig {
+                commit_ops: ops,
+                commit_bytes: u64::MAX,
+                commit_interval: std::time::Duration::from_secs(3600),
+                ..SegmentConfig::default()
+            },
+            &dir,
+        )
+        .unwrap();
+        group.throughput(Throughput::Elements(64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("segment_commit_ops_{ops}")),
+            &(),
+            |bench, ()| {
+                bench.iter(|| {
+                    for i in 0..64 {
+                        store.put(&format!("k-{i}"), &record).unwrap();
+                    }
+                    store.flush().unwrap();
+                });
+            },
+        );
+        drop(store);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    group.finish();
+}
+
 /// Raw codec cost: decode a demonstrate request and re-encode the
 /// response-sized reply, no session behind it.
 fn bench_codec(c: &mut Criterion) {
@@ -478,6 +609,7 @@ criterion_group!(
     bench_sharded,
     bench_evict_thrash,
     bench_latency,
+    bench_store,
     bench_codec
 );
 criterion_main!(benches);

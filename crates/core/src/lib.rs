@@ -96,10 +96,11 @@ pub use webrobot_semantics::{
     action_consistent, execute, generalizes, satisfies, trace_consistent, Stepper, Trace,
 };
 pub use webrobot_service::{
-    FileStore, MemoryStore, Request, Response, ServiceConfig, ServiceError, ServiceStats,
-    SessionId, SessionManager, ShardedManager, SnapshotStore, StoreError, PROTOCOL_VERSION,
+    FileStore, MemoryStore, Request, Response, SegmentConfig, SegmentHandle, SegmentStore,
+    ServiceConfig, ServiceError, ServiceStats, SessionId, SessionManager, ShardedManager,
+    SnapshotStore, StoreError, PROTOCOL_VERSION,
 };
-pub use webrobot_synth::{RankedProgram, SynthConfig, SynthResult, Synthesizer};
+pub use webrobot_synth::{EngineDigest, RankedProgram, SynthConfig, SynthResult, Synthesizer};
 
 /// High-level synthesizer handle: observe demonstrated actions, ask for
 /// generalizing programs and predictions.

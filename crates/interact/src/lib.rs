@@ -35,4 +35,8 @@ mod user;
 
 pub use error::SessionError;
 pub use session::{Event, Mode, Session, SessionConfig, SessionSnapshot, StepOutcome};
+// Re-exported so snapshot persistence layers can name the digest type
+// (and the worklist items inside it) without depending on the synthesis
+// crate directly.
 pub use user::{drive_session, LatencyModel, OracleUser, SessionReport, UserModel};
+pub use webrobot_synth::{EngineDigest, Item};

@@ -19,7 +19,7 @@ use webrobot_browser::{Browser, BrowserError, Site};
 use webrobot_data::Value;
 use webrobot_lang::Action;
 use webrobot_semantics::{satisfies, Trace};
-use webrobot_synth::{SynthConfig, Synthesizer};
+use webrobot_synth::{EngineDigest, SynthConfig, Synthesizer};
 
 use crate::error::SessionError;
 
@@ -228,6 +228,18 @@ pub struct SessionSnapshot {
     /// `None` marks a legacy snapshot that restores via full per-action
     /// replay.
     pub resynth: Option<Vec<usize>>,
+    /// The synthesizer's stored search state (worklist, processed
+    /// rewrites, generalizing programs), captured as an adoptable
+    /// [`EngineDigest`]. When both this and [`resynth`] are present,
+    /// restoration replays the history observe-only and *adopts* the
+    /// engine state instead of re-running any scheduled worklist pass —
+    /// the restore floor drops from "replay + scheduled synthesis" to
+    /// "replay". `None` (a pre-digest record, or a digest stripped by
+    /// [`SessionSnapshot::without_digest`]) restores through the
+    /// schedule as before.
+    ///
+    /// [`resynth`]: SessionSnapshot::resynth
+    pub engine: Option<EngineDigest>,
 }
 
 impl SessionSnapshot {
@@ -241,13 +253,25 @@ impl SessionSnapshot {
         self.mode
     }
 
-    /// Strips the delta-restore schedule, producing a snapshot that
-    /// [`Session::restore`] rebuilds through the legacy full-replay path
-    /// (one synthesis run per executed action). Used by the eviction
+    /// Strips the delta-restore schedule (and with it the engine digest,
+    /// which is only usable alongside the schedule), producing a snapshot
+    /// that [`Session::restore`] rebuilds through the legacy full-replay
+    /// path (one synthesis run per executed action). Used by the eviction
     /// benchmarks to price delta restoration against full replay, and by
     /// the service layer when `delta_restore` is disabled.
     pub fn without_schedule(mut self) -> SessionSnapshot {
         self.resynth = None;
+        self.engine = None;
+        self
+    }
+
+    /// Strips only the engine digest, producing a snapshot that restores
+    /// through the schedule-driven delta path (replay observe-only,
+    /// re-synthesize at the recorded points). Used to price digest
+    /// adoption against scheduled re-synthesis, and by the service layer
+    /// when `engine_digest` is disabled.
+    pub fn without_digest(mut self) -> SessionSnapshot {
+        self.engine = None;
         self
     }
 }
@@ -770,6 +794,15 @@ impl Session {
             automated_steps: self.automated_steps,
             last_program: self.last_program.clone(),
             resynth: Some(self.resynth.clone()),
+            // An empty history needs no digest: restoration builds a
+            // fresh synthesizer, which *is* the state at trace length 0.
+            // (`digest()` itself returns `None` only for a parked sliced
+            // search, which the service never snapshots.)
+            engine: if self.executed.is_empty() {
+                None
+            } else {
+                self.synth.digest()
+            },
         }
     }
 
@@ -795,6 +828,15 @@ impl Session {
     /// per action, exactly as the original session ran; the restored
     /// session re-derives its schedule along the way.
     ///
+    /// A snapshot carrying an [`EngineDigest`]
+    /// ([`SessionSnapshot::engine`], captured by default) goes one step
+    /// further: the replay is entirely observe-only and the engine state
+    /// is adopted from the digest, skipping even the scheduled worklist
+    /// runs. A digest the adoption check rejects (tampered by hand)
+    /// degrades to one full synthesis over the complete trace rather
+    /// than failing the restore — the replayed history, not the digest,
+    /// is authoritative.
+    ///
     /// # Errors
     ///
     /// [`SessionError::Browser`] when a recorded action no longer replays
@@ -802,6 +844,28 @@ impl Session {
     pub fn restore(snap: &SessionSnapshot) -> Result<Session, SessionError> {
         let mut session = Session::new(snap.site.clone(), snap.input.clone(), snap.cfg.clone());
         match &snap.resynth {
+            // Digest restore: replay the history observe-only — zero
+            // synthesize calls — then adopt the captured engine state
+            // directly. Equivalent to the schedule-driven path because
+            // the digest *is* the state that path would re-derive, and
+            // strictly cheaper: the scheduled worklist runs (the restore
+            // floor on flat sites, where the schedule front-loads) are
+            // skipped entirely.
+            Some(schedule) if snap.engine.is_some() && !snap.executed.is_empty() => {
+                for action in &snap.executed {
+                    session.perform_and_record(action)?;
+                }
+                let digest = snap.engine.as_ref().expect("guarded by the match arm");
+                if !session.synth.adopt_digest(digest) {
+                    // A digest inconsistent with the replayed history
+                    // (hand-tampered record): fall back to one full
+                    // synthesis over the complete trace. Incremental ≡
+                    // from-scratch (the differential harness pins it), so
+                    // the observable session state is still correct.
+                    let _ = session.synth.synthesize();
+                }
+                session.resynth = schedule.clone();
+            }
             Some(schedule) => {
                 let mut next = schedule.iter().peekable();
                 for (i, action) in snap.executed.iter().enumerate() {
@@ -1156,6 +1220,68 @@ mod tests {
         assert_eq!(original.executed(), delta.executed());
         assert_eq!(original.snapshot().resynth, delta.snapshot().resynth);
         assert_eq!(original.snapshot().resynth, full.snapshot().resynth);
+    }
+
+    /// Digest restore ≡ schedule-driven delta restore ≡ legacy full
+    /// replay: all three rebuild a session that continues identically,
+    /// and the digest variant is the only one that runs zero synthesize
+    /// calls during replay (witnessed by the adopted engine answering
+    /// the next event from the fast path exactly like the original).
+    #[test]
+    fn digest_restore_matches_schedule_and_full_replay() {
+        let mut original = session(8);
+        original.demonstrate(&scrape(1)).unwrap();
+        original.demonstrate(&scrape(2)).unwrap();
+        original.authorize(Some(0)).unwrap();
+        let snap = original.snapshot();
+        assert!(snap.engine.is_some(), "snapshots carry a digest by default");
+        let mut digest = Session::restore(&snap).unwrap();
+        let mut sched = Session::restore(&snap.clone().without_digest()).unwrap();
+        let mut full = Session::restore(&snap.clone().without_schedule()).unwrap();
+
+        for s in [&digest, &sched, &full] {
+            assert_eq!(s.mode(), original.mode());
+            assert_eq!(s.executed(), original.executed());
+            assert_eq!(s.predictions(), original.predictions());
+            assert_eq!(s.browser().outputs(), original.browser().outputs());
+            assert_eq!(s.current_program(), original.current_program());
+        }
+
+        loop {
+            let a = original.handle(Event::Accept { index: 0 });
+            assert_eq!(a, digest.handle(Event::Accept { index: 0 }));
+            assert_eq!(a, sched.handle(Event::Accept { index: 0 }));
+            assert_eq!(a, full.handle(Event::Accept { index: 0 }));
+            assert_eq!(original.predictions(), digest.predictions());
+            if original.mode() != Mode::Authorize {
+                break;
+            }
+        }
+        while original.mode() == Mode::Automate {
+            let a = original.automate_step();
+            assert_eq!(a, digest.automate_step());
+            assert_eq!(a, sched.automate_step());
+            assert_eq!(a, full.automate_step());
+        }
+        assert_eq!(original.browser().outputs(), digest.browser().outputs());
+        assert_eq!(original.snapshot().resynth, digest.snapshot().resynth);
+        assert_eq!(original.snapshot().engine, digest.snapshot().engine);
+    }
+
+    /// A tampered digest degrades to a correct (re-synthesized) restore
+    /// instead of failing: the replayed history is authoritative.
+    #[test]
+    fn tampered_digest_degrades_to_resynthesis() {
+        let mut s = session(6);
+        s.demonstrate(&scrape(1)).unwrap();
+        s.demonstrate(&scrape(2)).unwrap();
+        let mut snap = s.snapshot();
+        let digest = snap.engine.as_mut().unwrap();
+        digest.synced_len = 99; // inconsistent with any replayed trace
+        let restored = Session::restore(&snap).unwrap();
+        assert_eq!(restored.mode(), s.mode());
+        assert_eq!(restored.predictions(), s.predictions());
+        assert_eq!(restored.current_program(), s.current_program());
     }
 
     /// Re-eviction after a delta restore keeps working: snapshot → delta

@@ -1,17 +1,24 @@
 //! `webrobot-server` — the WebRobot session service on a TCP socket.
 //!
 //! ```text
-//! webrobot-server [--addr 127.0.0.1:7411] [--shards N] [--store DIR] [--smoke]
+//! webrobot-server [--addr 127.0.0.1:7411] [--shards N] [--store DIR]
+//!                 [--backend file|segment] [--smoke] [--resilience]
 //! ```
 //!
 //! Speaks the v1 JSON protocol with 4-byte big-endian length-prefixed
 //! frames (`PROTOCOL.md` § Transport). A built-in demo site `"anchors"`
 //! is registered so the server is drivable out of the box. `--store DIR`
-//! attaches one [`webrobot_service::FileStore`] per shard (all sharing
-//! `DIR`), making sessions survive a restart; `--smoke` runs an
-//! end-to-end self-check (bind an ephemeral port, drive one session over
-//! real TCP, drain) and exits non-zero on any mismatch — the form CI
-//! runs.
+//! attaches a persistent store rooted at `DIR`, making sessions survive a
+//! restart: `--backend file` (the default) opens one
+//! [`webrobot_service::FileStore`] per shard, `--backend segment` opens a
+//! single log-structured [`webrobot_service::SegmentStore`] shared by all
+//! shards. `--smoke` runs an end-to-end self-check (bind an ephemeral
+//! port, drive one session over real TCP, drain); `--resilience` goes
+//! further — it spawns *this binary* as a store-backed child server,
+//! checkpoints a session over TCP, kills the child with SIGKILL, restarts
+//! it on the same store and asserts the session's outputs are
+//! byte-identical across the kill. Both exit non-zero on any mismatch —
+//! the forms CI runs.
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -20,24 +27,44 @@ use webrobot_browser::{Site, SiteBuilder};
 use webrobot_data::Value;
 use webrobot_dom::parse_html;
 use webrobot_server::{Client, Server};
-use webrobot_service::{ServiceConfig, ShardedManager, SnapshotStore};
+use webrobot_service::{SegmentStore, ServiceConfig, ShardedManager, SnapshotStore};
+
+/// Which persistent store `--store DIR` opens.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Backend {
+    File,
+    Segment,
+}
+
+impl Backend {
+    fn as_str(self) -> &'static str {
+        match self {
+            Backend::File => "file",
+            Backend::Segment => "segment",
+        }
+    }
+}
 
 struct Options {
     addr: String,
     shards: usize,
     store: Option<String>,
+    backend: Backend,
     smoke: bool,
+    resilience: bool,
 }
 
-const USAGE: &str =
-    "usage: webrobot-server [--addr HOST:PORT] [--shards N] [--store DIR] [--smoke]";
+const USAGE: &str = "usage: webrobot-server [--addr HOST:PORT] [--shards N] [--store DIR] \
+                     [--backend file|segment] [--smoke] [--resilience]";
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut opts = Options {
         addr: "127.0.0.1:7411".to_string(),
         shards: 2,
         store: None,
+        backend: Backend::File,
         smoke: false,
+        resilience: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -51,7 +78,17 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     .map_err(|_| "--shards needs a number".to_string())?
             }
             "--store" => opts.store = Some(it.next().ok_or("--store needs a value")?.clone()),
+            "--backend" => {
+                opts.backend = match it.next().ok_or("--backend needs a value")?.as_str() {
+                    "file" => Backend::File,
+                    "segment" => Backend::Segment,
+                    other => {
+                        return Err(format!("unknown backend '{other}' (expected file|segment)"))
+                    }
+                }
+            }
             "--smoke" => opts.smoke = true,
+            "--resilience" => opts.resilience = true,
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown argument '{other}'\n{USAGE}")),
         }
@@ -74,13 +111,26 @@ fn anchor_site() -> Arc<Site> {
 fn build_manager(opts: &Options) -> Result<ShardedManager, String> {
     let manager = match &opts.store {
         Some(dir) => {
-            let stores = (0..opts.shards.max(1))
-                .map(|_| {
-                    webrobot_service::FileStore::open(dir)
-                        .map(|s| Box::new(s) as Box<dyn SnapshotStore>)
-                })
-                .collect::<Result<Vec<_>, _>>()
-                .map_err(|e| format!("open store '{dir}': {e}"))?;
+            let shards = opts.shards.max(1);
+            let stores: Vec<Box<dyn SnapshotStore>> = match opts.backend {
+                Backend::File => (0..shards)
+                    .map(|_| {
+                        webrobot_service::FileStore::open(dir)
+                            .map(|s| Box::new(s) as Box<dyn SnapshotStore>)
+                    })
+                    .collect::<Result<Vec<_>, _>>()
+                    .map_err(|e| format!("open store '{dir}': {e}"))?,
+                Backend::Segment => {
+                    // One log for the whole deployment; the shards share
+                    // it through cloned handles.
+                    let handle = SegmentStore::open(dir)
+                        .map_err(|e| format!("open store '{dir}': {e}"))?
+                        .into_shared();
+                    (0..shards)
+                        .map(|_| Box::new(handle.clone()) as Box<dyn SnapshotStore>)
+                        .collect()
+                }
+            };
             ShardedManager::with_stores(ServiceConfig::default(), stores)
                 .map_err(|e| format!("reopen store '{dir}': {e}"))?
         }
@@ -155,6 +205,153 @@ fn smoke(opts: &Options) -> Result<(), String> {
     }
 }
 
+/// Spawns this binary as a store-backed child server on an ephemeral
+/// port and returns the child plus the address it printed in its banner.
+fn spawn_child_server(
+    dir: &std::path::Path,
+    backend: Backend,
+) -> Result<(std::process::Child, String), String> {
+    use std::io::BufRead as _;
+
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let dir_arg = dir.to_string_lossy().into_owned();
+    let mut child = std::process::Command::new(exe)
+        .args([
+            "--addr",
+            "127.0.0.1:0",
+            "--shards",
+            "2",
+            "--store",
+            dir_arg.as_str(),
+            "--backend",
+            backend.as_str(),
+        ])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .map_err(|e| format!("spawn child server: {e}"))?;
+    let stdout = child.stdout.take().ok_or("child stdout not captured")?;
+    let mut banner = String::new();
+    std::io::BufReader::new(stdout)
+        .read_line(&mut banner)
+        .map_err(|e| format!("read child banner: {e}"))?;
+    // "webrobot-server listening on 127.0.0.1:PORT (2 shards)"
+    match banner.split_whitespace().nth(3) {
+        Some(addr) => Ok((child, addr.to_string())),
+        None => {
+            child.kill().ok();
+            child.wait().ok();
+            Err(format!("unexpected child banner: {banner:?}"))
+        }
+    }
+}
+
+fn checked_call(client: &mut Client, request: &str, expect: &str) -> Result<String, String> {
+    let reply = client.call(request).map_err(|e| format!("call: {e}"))?;
+    if reply.contains(expect) {
+        Ok(reply)
+    } else {
+        Err(format!(
+            "expected '{expect}' in reply to {request}, got {reply}"
+        ))
+    }
+}
+
+/// First life of the child: drive a session to having outputs, checkpoint
+/// it (which flushes the store), and return the outputs reply verbatim.
+fn resilience_before_kill(addr: &str) -> Result<String, String> {
+    let mut client = Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    checked_call(
+        &mut client,
+        r#"{"v": 1, "kind": "create", "site": "anchors"}"#,
+        r#""session":"s-1""#,
+    )?;
+    for i in 1..=2 {
+        checked_call(
+            &mut client,
+            &format!(
+                r#"{{"v": 1, "kind": "event", "session": "s-1", "event":
+                   {{"type": "demonstrate", "action": {{"op": "scrape_text", "selector": "/a[{i}]"}}}}}}"#
+            ),
+            r#""outcome":"recorded""#,
+        )?;
+    }
+    checked_call(
+        &mut client,
+        r#"{"v": 1, "kind": "event", "session": "s-1", "event": {"type": "accept", "index": 0}}"#,
+        r#""outputs":3"#,
+    )?;
+    checked_call(
+        &mut client,
+        r#"{"v": 1, "kind": "checkpoint"}"#,
+        r#""kind":"checkpointed""#,
+    )?;
+    checked_call(
+        &mut client,
+        r#"{"v": 1, "kind": "outputs", "session": "s-1"}"#,
+        "item 3",
+    )
+}
+
+/// Second life: the restarted child must serve the exact same outputs,
+/// continue the workflow, and drain cleanly.
+fn resilience_after_restart(addr: &str, outputs_before: &str) -> Result<(), String> {
+    let mut client = Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let outputs_after = checked_call(
+        &mut client,
+        r#"{"v": 1, "kind": "outputs", "session": "s-1"}"#,
+        "item 3",
+    )?;
+    if outputs_before != outputs_after {
+        return Err(format!(
+            "outputs diverged across the kill:\n  before: {outputs_before}\n  after:  {outputs_after}"
+        ));
+    }
+    checked_call(
+        &mut client,
+        r#"{"v": 1, "kind": "event", "session": "s-1", "event": {"type": "accept", "index": 0}}"#,
+        r#""outcome":"recorded""#,
+    )?;
+    let drained = Client::connect(addr)
+        .and_then(|mut c| c.drain())
+        .map_err(|e| format!("drain: {e}"))?;
+    if !drained.contains(r#""kind":"drained""#) {
+        return Err(format!("expected drained reply, got {drained}"));
+    }
+    Ok(())
+}
+
+/// Crash-resilience self-check: child server, TCP load, checkpoint, kill
+/// -9, restart on the same store, byte-identity. Exercises the real
+/// recovery path — no drop-flush, no in-process shortcuts.
+fn resilience(opts: &Options) -> Result<(), String> {
+    let dir = std::env::temp_dir().join(format!("webrobot-resilience-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+
+    let (mut child, addr) = spawn_child_server(&dir, opts.backend)?;
+    let before = resilience_before_kill(&addr);
+    // SIGKILL, deliberately while the server is live: only what the
+    // checkpoint committed may survive — and everything it committed must.
+    child.kill().map_err(|e| format!("kill child: {e}"))?;
+    child.wait().map_err(|e| format!("reap child: {e}"))?;
+    let before = before?;
+
+    let (mut child, addr) = spawn_child_server(&dir, opts.backend)?;
+    let verdict = resilience_after_restart(&addr, &before);
+    if verdict.is_err() {
+        child.kill().ok();
+    }
+    child.wait().map_err(|e| format!("reap child: {e}"))?;
+    let _ = std::fs::remove_dir_all(&dir);
+    verdict?;
+
+    println!(
+        "resilience ok: session survived kill -9 byte-identically on the {} backend",
+        opts.backend.as_str()
+    );
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let opts = match parse_args(&args) {
@@ -164,7 +361,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let result = if opts.smoke {
+    let result = if opts.resilience {
+        resilience(&opts)
+    } else if opts.smoke {
         smoke(&opts)
     } else {
         serve(&opts)

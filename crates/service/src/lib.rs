@@ -92,4 +92,6 @@ pub use protocol::{
     Response, PROTOCOL_VERSION,
 };
 pub use sharded::ShardedManager;
-pub use store::{FileStore, MemoryStore, SnapshotStore, StoreError};
+pub use store::{
+    FileStore, MemoryStore, SegmentConfig, SegmentHandle, SegmentStore, SnapshotStore, StoreError,
+};

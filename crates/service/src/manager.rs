@@ -187,6 +187,20 @@ pub struct ServiceConfig {
     /// rejected with the `overloaded` error code instead of growing the
     /// queue without limit.
     pub max_queued_per_shard: usize,
+    /// Skip clean sessions on `checkpoint` (the default): a session whose
+    /// store record is already current is not re-serialized or re-written,
+    /// making the periodic flush O(dirty sessions) instead of O(live
+    /// sessions). Disable to rewrite every record on every checkpoint —
+    /// the legacy behavior the `service_store` bench rows price the
+    /// dirty-bit against; wire behavior is identical either way.
+    pub incremental_checkpoint: bool,
+    /// Persist the synthesizer's engine digest (worklist, processed set,
+    /// generalization candidates) inside snapshots (the default), so a
+    /// delta restore adopts the engine state directly instead of
+    /// re-running the early schedule points. Disable to strip the digest
+    /// — the ablation the `service_store` restore rows price; wire
+    /// behavior is identical either way.
+    pub engine_digest: bool,
 }
 
 impl Default for ServiceConfig {
@@ -198,6 +212,8 @@ impl Default for ServiceConfig {
             delta_restore: true,
             quantum: Some(Duration::from_millis(5)),
             max_queued_per_shard: 256,
+            incremental_checkpoint: true,
+            engine_digest: true,
         }
     }
 }
@@ -269,6 +285,12 @@ struct Tracked {
     site: String,
     deadline_ms: Option<u64>,
     slot: Slot,
+    /// `true` while the session's state has diverged from the record the
+    /// store holds for it: set on create and on every successful event,
+    /// cleared when a snapshot record reaches the store (checkpoint or
+    /// eviction spill). `checkpoint` skips clean sessions, which is what
+    /// makes the periodic flush O(dirty) rather than O(live).
+    dirty: bool,
 }
 
 /// A tracked session's state: live (boxed — a live session is orders of
@@ -543,6 +565,7 @@ impl SessionManager {
                     session: Box::new(session),
                     last_used: self.clock,
                 },
+                dirty: true,
             },
         );
         self.live += 1;
@@ -564,11 +587,10 @@ impl SessionManager {
         // Enforce the live cap up front so a restore that displaced the
         // cap holds even when the event itself is rejected below.
         self.enforce_live_capacity(Some(id.0));
-        let Some(Tracked {
-            slot: Slot::Live { session, .. },
-            ..
-        }) = self.sessions.get_mut(&id.0)
-        else {
+        let Some(tracked) = self.sessions.get_mut(&id.0) else {
+            return Err(ServiceError::UnknownSession(id.to_string()));
+        };
+        let Slot::Live { session, .. } = &mut tracked.slot else {
             return Err(ServiceError::UnknownSession(id.to_string()));
         };
         let result = session.handle(event);
@@ -584,6 +606,8 @@ impl SessionManager {
                 return Err(ServiceError::Session(e));
             }
         };
+        // The session advanced: its store record (if any) is now stale.
+        tracked.dirty = true;
         self.stats.events_ok += 1;
         Ok(reply)
     }
@@ -610,21 +634,28 @@ impl SessionManager {
             return Some(error_response(&e));
         }
         self.enforce_live_capacity(Some(id.0));
-        let Some(Tracked {
-            slot: Slot::Live { session: live, .. },
-            ..
-        }) = self.sessions.get_mut(&id.0)
-        else {
+        let Some(tracked) = self.sessions.get_mut(&id.0) else {
+            return Some(error_response(&ServiceError::UnknownSession(
+                id.to_string(),
+            )));
+        };
+        let Slot::Live { session: live, .. } = &mut tracked.slot else {
             return Some(error_response(&ServiceError::UnknownSession(
                 id.to_string(),
             )));
         };
         match live.handle_quantum(event, budget) {
             Ok(Some(outcome)) => {
+                tracked.dirty = true;
                 self.stats.events_ok += 1;
                 Some(self.event_response(id, outcome))
             }
-            Ok(None) => None,
+            Ok(None) => {
+                // Parked mid-synthesis, but the action itself already
+                // executed — the session has diverged from its record.
+                tracked.dirty = true;
+                None
+            }
             Err(e) => {
                 self.stats.events_rejected += 1;
                 Some(error_response(&ServiceError::Session(e)))
@@ -642,16 +673,18 @@ impl SessionManager {
             Ok(id) => id,
             Err(e) => return Some(error_response(&e)),
         };
-        let Some(Tracked {
-            slot: Slot::Live { session: live, .. },
-            ..
-        }) = self.sessions.get_mut(&id.0)
-        else {
+        let Some(tracked) = self.sessions.get_mut(&id.0) else {
+            return Some(error_response(&ServiceError::UnknownSession(
+                id.to_string(),
+            )));
+        };
+        let Slot::Live { session: live, .. } = &mut tracked.slot else {
             return Some(error_response(&ServiceError::UnknownSession(
                 id.to_string(),
             )));
         };
         let outcome = live.continue_quantum(budget)?;
+        tracked.dirty = true;
         self.stats.events_ok += 1;
         Some(self.event_response(id, outcome))
     }
@@ -758,6 +791,8 @@ impl SessionManager {
         let mut snapshot = session.snapshot();
         if !self.cfg.delta_restore {
             snapshot = snapshot.without_schedule();
+        } else if !self.cfg.engine_digest {
+            snapshot = snapshot.without_digest();
         }
         let record = self
             .store
@@ -769,7 +804,13 @@ impl SessionManager {
         self.live -= 1;
         self.stats.evictions += 1;
         if let (Some(store), Some(record)) = (self.store.as_mut(), record) {
-            store.put(&id.to_string(), &record).ok();
+            if store.put(&id.to_string(), &record).is_ok() {
+                // The spilled record is exactly the snapshot we now hold:
+                // the next checkpoint can skip this session.
+                if let Some(tracked) = self.sessions.get_mut(&id.0) {
+                    tracked.dirty = false;
+                }
+            }
         }
         true
     }
@@ -852,13 +893,21 @@ impl SessionManager {
         // Stream one record at a time — a manager may track thousands of
         // sessions, and buffering every serialized record before the
         // first write would spike memory by the whole serialized state.
-        let mut count = 0usize;
-        for (&id, tracked) in &self.sessions {
+        let count = self.sessions.len();
+        for (&id, tracked) in &mut self.sessions {
+            // A clean session's store record is already current: skip the
+            // serialization and the write entirely. This is what makes a
+            // steady-state checkpoint O(dirty), not O(live).
+            if self.cfg.incremental_checkpoint && !tracked.dirty {
+                continue;
+            }
             let record = match &tracked.slot {
                 Slot::Live { session, .. } => {
                     let mut snapshot = session.snapshot();
                     if !self.cfg.delta_restore {
                         snapshot = snapshot.without_schedule();
+                    } else if !self.cfg.engine_digest {
+                        snapshot = snapshot.without_digest();
                     }
                     persist::encode_session(id, &tracked.site, tracked.deadline_ms, &snapshot)
                 }
@@ -870,7 +919,7 @@ impl SessionManager {
                 Slot::Stored { raw } => raw.clone(),
             };
             store.put(&SessionId(id).to_string(), &record)?;
-            count += 1;
+            tracked.dirty = false;
         }
         let meta = persist::encode_meta(&ManagerMeta {
             next_id: self.next_id,
@@ -885,6 +934,9 @@ impl SessionManager {
         // process's hand-off awaiting `recover`).
         self.pending_removals
             .retain(|&id| store.remove(&SessionId(id).to_string()).is_err());
+        // Group-committing stores defer fsync; "checkpoint replied ok"
+        // must always mean "on disk", so force the commit here.
+        store.flush()?;
         Ok(count)
     }
 
@@ -1034,6 +1086,7 @@ impl SessionManager {
                     automated_steps: record.automated_steps,
                     last_program: record.last_program,
                     resynth: record.resynth,
+                    engine: record.engine,
                 };
                 let session = Session::restore(&snapshot).map_err(ServiceError::Session)?;
                 tracked.site = record.site;
@@ -1139,6 +1192,8 @@ impl SessionManager {
                     site: String::new(),
                     deadline_ms: None,
                     slot: Slot::Stored { raw },
+                    // The record we adopted *is* the store's record.
+                    dirty: false,
                 },
             );
             // Jump the cursor past the adopted id arithmetically (a

@@ -20,7 +20,7 @@
 //! history.
 
 use webrobot_data::Value;
-use webrobot_interact::{Mode, SessionSnapshot};
+use webrobot_interact::{EngineDigest, Item, Mode, SessionSnapshot};
 use webrobot_lang::{parse_program, Action, Program};
 
 use crate::manager::ServiceStats;
@@ -56,6 +56,9 @@ pub struct SessionRecord {
     pub resynth: Option<Vec<usize>>,
     /// The cached last-generalizing program, if any.
     pub last_program: Option<Program>,
+    /// The synthesizer's engine digest (`None` → pre-digest record:
+    /// restore re-synthesizes at the schedule points).
+    pub engine: Option<EngineDigest>,
 }
 
 /// Serializes one session into its store record.
@@ -101,7 +104,113 @@ pub fn encode_session(
     if let Some(program) = &snap.last_program {
         fields.push(("program".to_string(), Value::str(program.to_string())));
     }
+    if let Some(engine) = &snap.engine {
+        fields.push(("engine".to_string(), engine_to_value(engine)));
+    }
     Value::Object(fields)
+}
+
+/// Serializes an engine digest: item lists as `{"p": <program text>,
+/// "b": [bounds]}` objects plus the sync point. Compact by construction —
+/// worklist items are short programs, not steppers or memo tables.
+fn engine_to_value(engine: &EngineDigest) -> Value {
+    let items = |items: &[Item]| {
+        Value::Array(
+            items
+                .iter()
+                .map(|item| {
+                    Value::object([
+                        ("p".to_string(), Value::str(item.to_program().to_string())),
+                        (
+                            "b".to_string(),
+                            Value::Array(
+                                item.bounds()
+                                    .iter()
+                                    .map(|&n| Value::Int(n as i64))
+                                    .collect(),
+                            ),
+                        ),
+                    ])
+                })
+                .collect(),
+        )
+    };
+    Value::object([
+        ("synced".to_string(), Value::Int(engine.synced_len as i64)),
+        ("worklist".to_string(), items(&engine.worklist)),
+        ("processed".to_string(), items(&engine.processed)),
+        ("generalizing".to_string(), items(&engine.generalizing)),
+    ])
+}
+
+/// Decodes one digest item. `Item::from_parts` re-checks the bounds
+/// invariants (one more entry than statements, starting at 0, strictly
+/// increasing), so a shape-tampered item is a typed decode error.
+fn item_from_value(v: &Value, key: &str) -> Result<Item, String> {
+    let text = v
+        .field("p")
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("engine '{key}' items need a string field 'p'"))?;
+    let program = parse_program(text).map_err(|e| format!("bad program in engine '{key}': {e}"))?;
+    let bounds = v
+        .field("b")
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("engine '{key}' items need an array field 'b'"))?
+        .iter()
+        .map(|n| {
+            n.as_int()
+                .and_then(|n| usize::try_from(n).ok())
+                .ok_or_else(|| format!("engine '{key}' bounds must be non-negative integers"))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    Item::from_parts(program.into_statements(), bounds)
+        .ok_or_else(|| format!("engine '{key}' item bounds are not a valid slice partition"))
+}
+
+/// Decodes the optional engine digest, checking it against the executed
+/// history: items may not cover more actions than the history holds and
+/// the sync point may not lie past it. (The deep check — do the
+/// "generalizing" programs actually generalize? — runs at adoption time,
+/// where the replayed trace exists; an inconsistent digest degrades to
+/// re-synthesis there, never to a wrong restore.)
+fn engine_from_value(raw: &Value, executed_len: usize) -> Result<Option<EngineDigest>, String> {
+    let Some(v) = raw.field("engine") else {
+        return Ok(None);
+    };
+    let synced_len = v
+        .field("synced")
+        .and_then(Value::as_int)
+        .and_then(|n| usize::try_from(n).ok())
+        .ok_or_else(|| "engine field 'synced' must be a non-negative integer".to_string())?;
+    if synced_len > executed_len {
+        return Err(format!(
+            "engine sync point {synced_len} lies past the {executed_len}-action history"
+        ));
+    }
+    let items = |key: &str| -> Result<Vec<Item>, String> {
+        let list = v
+            .field(key)
+            .and_then(Value::as_array)
+            .ok_or_else(|| format!("engine field '{key}' must be an array"))?;
+        let items: Vec<Item> = list
+            .iter()
+            .map(|item| item_from_value(item, key))
+            .collect::<Result<_, _>>()?;
+        if let Some(over) = items.iter().find(|item| item.covered() > executed_len) {
+            return Err(format!(
+                "engine '{key}' item covers {} of {} executed actions",
+                over.covered(),
+                executed_len
+            ));
+        }
+        Ok(items)
+    };
+    Ok(Some(EngineDigest {
+        worklist: items("worklist")?,
+        processed: items("processed")?,
+        generalizing: items("generalizing")?,
+        synced_len,
+    }))
 }
 
 fn require_field<'v>(raw: &'v Value, key: &str) -> Result<&'v Value, String> {
@@ -198,6 +307,7 @@ pub fn decode_session(raw: &Value) -> Result<SessionRecord, String> {
         }
     };
     let executed = actions_field(raw, "executed")?;
+    let engine = engine_from_value(raw, executed.len())?;
     if let Some(schedule) = &resynth {
         // A schedule Session::restore could only partially follow (not
         // strictly increasing from ≥ 1, or pointing past the history)
@@ -224,6 +334,7 @@ pub fn decode_session(raw: &Value) -> Result<SessionRecord, String> {
         automated_steps: require_usize(raw, "automated_steps")?,
         resynth,
         last_program,
+        engine,
     })
 }
 
@@ -343,6 +454,51 @@ mod tests {
         assert_eq!(decoded.automated_steps, snap.automated_steps);
         assert_eq!(decoded.resynth, snap.resynth);
         assert_eq!(decoded.last_program, snap.last_program);
+        assert_eq!(decoded.engine, snap.engine);
+        assert!(decoded.engine.is_some(), "snapshots carry a digest");
+    }
+
+    /// Engine digests survive the print/parse cycle, and tampered ones
+    /// are typed decode errors (shape and range checks) rather than
+    /// silent mis-restores.
+    #[test]
+    fn engine_digests_round_trip_and_validate() {
+        let snap = sample_snapshot();
+        let record = encode_session(4, "codec", None, &snap);
+        let json = record.to_json();
+        let decoded = decode_session(&parse_json(&json).unwrap()).unwrap();
+        assert_eq!(decoded.engine, snap.engine);
+
+        // A sync point past the executed history.
+        let mut overlong = snap.clone();
+        overlong.engine.as_mut().unwrap().synced_len = 99;
+        let err = decode_session(&encode_session(4, "codec", None, &overlong)).unwrap_err();
+        assert!(err.contains("lies past"), "{err}");
+
+        // An item covering more actions than the history holds.
+        let mut overcovering = snap.clone();
+        {
+            let digest = overcovering.engine.as_mut().unwrap();
+            let donor = &digest.processed[0];
+            let mut bounds = donor.bounds().to_vec();
+            *bounds.last_mut().unwrap() = 99;
+            digest.processed[0] =
+                webrobot_interact::Item::from_parts(donor.statements().to_vec(), bounds).unwrap();
+        }
+        let err = decode_session(&encode_session(4, "codec", None, &overcovering)).unwrap_err();
+        assert!(err.contains("covers 99"), "{err}");
+
+        // Bounds that are not a valid slice partition (first entry ≠ 0).
+        let bad = json.replacen("\"b\":[0", "\"b\":[1", 1);
+        assert_ne!(bad, json, "an engine item was mangled");
+        let err = decode_session(&parse_json(&bad).unwrap()).unwrap_err();
+        assert!(err.contains("slice partition"), "{err}");
+
+        // A record without the field decodes to no digest (pre-digest
+        // compatibility), and the digest is stripped alongside the
+        // schedule.
+        let stripped = encode_session(4, "codec", None, &snap.clone().without_schedule());
+        assert_eq!(decode_session(&stripped).unwrap().engine, None);
     }
 
     #[test]

@@ -89,7 +89,10 @@ struct CreateRouter {
 struct ShardHandle {
     tx: Sender<Job>,
     /// Requests admitted but not yet answered; the admission limit is
-    /// checked against this before every send.
+    /// checked against this before every send. The worker releases the
+    /// slot *before* delivering the reply, so a caller that has received
+    /// a response is guaranteed re-admission (no spurious `overloaded`
+    /// on an immediate follow-up request).
     inflight: Arc<AtomicUsize>,
     /// Set by the worker's panic guard; once down, requests are rejected
     /// with `shard_down` up front instead of blocking on a dead thread.
@@ -609,8 +612,11 @@ fn serve(manager: &mut SessionManager, jobs: &Receiver<Job>, ctx: &ShardCtx) {
                 let key = ready.remove(pos).expect("position is in range");
                 run_session(manager, ctx, &mut queues, &mut ready, key, None);
             }
-            reply.send(manager.handle(request)).ok();
+            let response = manager.handle(request);
+            // Release the admission slot *before* replying: a caller that
+            // has seen the response must never find the slot still taken.
             ctx.inflight.fetch_sub(1, Ordering::SeqCst);
+            reply.send(response).ok();
             continue;
         }
 
@@ -657,8 +663,10 @@ fn ingest(
             Request::Checkpoint | Request::Recover => barriers.push_back((request, reply)),
             // Create/Stats touch no in-flight session state: answer now.
             other => {
-                reply.send(manager.handle(other)).ok();
+                let response = manager.handle(other);
+                // Slot before reply, as in the barrier path.
                 ctx.inflight.fetch_sub(1, Ordering::SeqCst);
+                reply.send(response).ok();
             }
         },
     }
@@ -705,8 +713,9 @@ fn run_session(
         None
     };
     if let Some((reply, response)) = finished {
-        reply.send(response).ok();
+        // Slot before reply, as in the barrier path.
         ctx.inflight.fetch_sub(1, Ordering::SeqCst);
+        reply.send(response).ok();
     }
     if queue.has_work() {
         ready.push_back(key);

@@ -1,433 +1,15 @@
-//! Persistent snapshot stores: the durability substrate sessions are
-//! spilled to.
+//! Persistent snapshot stores — re-exported from the dedicated
+//! [`webrobot_store`] crate.
 //!
-//! A [`SnapshotStore`] is a tiny keyed record store over the wire JSON
-//! subset ([`webrobot_data::Value`]): eviction spills serialized
-//! [`SessionSnapshot`](webrobot_interact::SessionSnapshot) records into
-//! it, [`checkpoint`](crate::SessionManager::checkpoint) flushes live
-//! sessions, and a manager constructed with
-//! [`SessionManager::with_store`](crate::SessionManager::with_store)
-//! adopts whatever the store already holds — that is how a whole manager
-//! survives a process restart (see `PROTOCOL.md` § Durability and
-//! `tests/persistence.rs`).
-//!
-//! Two implementations ship:
-//!
-//! - [`MemoryStore`] — an in-process map, for tests and for deployments
-//!   that want checkpoint semantics without a filesystem;
-//! - [`FileStore`] — one JSON file per record in a directory, written
-//!   atomically (write-temp-then-rename). The layout is
-//!   **shard-count-stable**: records are keyed by session id only, so the
-//!   same directory serves a [`SessionManager`](crate::SessionManager) or
-//!   a [`ShardedManager`](crate::ShardedManager) at any shard count, each
-//!   shard adopting exactly the ids it owns.
-//!
-//! Every failure mode is a typed [`StoreError`] — tampered or truncated
-//! records surface as `snapshot_corrupt` wire errors, never panics.
+//! The durability substrate grew into its own subsystem (the
+//! log-structured [`SegmentStore`] with group commit and compaction, the
+//! [`FileStore`] compat backend, the in-process [`MemoryStore`]); this
+//! module keeps the service crate's historical paths working and pins
+//! the contract the manager relies on: every failure is a typed
+//! [`StoreError`] (`store_io` / `snapshot_corrupt`), never a panic, and
+//! [`SnapshotStore::flush`] makes everything accepted so far durable —
+//! the manager calls it at the end of every `checkpoint`.
 
-use std::collections::BTreeMap;
-use std::error::Error;
-use std::fmt;
-use std::fs;
-use std::io;
-use std::path::PathBuf;
-
-use webrobot_data::{parse_json, Value};
-
-/// Why a store operation failed.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum StoreError {
-    /// The underlying medium failed (I/O error, invalid key, unwritable
-    /// directory).
-    Io {
-        /// Human-readable detail.
-        detail: String,
-    },
-    /// A record exists but cannot be decoded (truncated file, tampered
-    /// JSON, wrong shape or version).
-    Corrupt {
-        /// The record's key.
-        key: String,
-        /// Human-readable detail.
-        detail: String,
-    },
-}
-
-impl StoreError {
-    pub(crate) fn io(detail: impl Into<String>) -> StoreError {
-        StoreError::Io {
-            detail: detail.into(),
-        }
-    }
-
-    pub(crate) fn corrupt(key: impl Into<String>, detail: impl Into<String>) -> StoreError {
-        StoreError::Corrupt {
-            key: key.into(),
-            detail: detail.into(),
-        }
-    }
-
-    /// Stable machine-readable error code (the wire protocol's
-    /// `error.code` field): `store_io` or `snapshot_corrupt`.
-    pub fn code(&self) -> &'static str {
-        match self {
-            StoreError::Io { .. } => "store_io",
-            StoreError::Corrupt { .. } => "snapshot_corrupt",
-        }
-    }
-}
-
-impl fmt::Display for StoreError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            StoreError::Io { detail } => write!(f, "snapshot store i/o failure: {detail}"),
-            StoreError::Corrupt { key, detail } => {
-                write!(f, "store record '{key}' is corrupt: {detail}")
-            }
-        }
-    }
-}
-
-impl Error for StoreError {}
-
-/// A keyed, durable record store for serialized session snapshots and
-/// manager metadata.
-///
-/// Keys are short identifiers (`s-<n>` for sessions, `shard-<k>-of-<n>`
-/// for manager metadata); values are records in the wire JSON subset.
-/// Implementations must be `Send + Sync` (a store rides inside its
-/// manager, which moves onto — and is shared behind — shard worker
-/// threads; mutation goes through `&mut self`, so `Sync` costs an
-/// implementation nothing) and total: every failure is a [`StoreError`],
-/// never a panic.
-pub trait SnapshotStore: fmt::Debug + Send + Sync {
-    /// Writes (or replaces) one record.
-    ///
-    /// # Errors
-    ///
-    /// [`StoreError::Io`] when the medium rejects the write or the key is
-    /// not a valid store key.
-    fn put(&mut self, key: &str, record: &Value) -> Result<(), StoreError>;
-
-    /// Reads one record; `Ok(None)` when the key is absent.
-    ///
-    /// # Errors
-    ///
-    /// [`StoreError::Corrupt`] when the record exists but does not parse;
-    /// [`StoreError::Io`] when the medium fails.
-    fn get(&self, key: &str) -> Result<Option<Value>, StoreError>;
-
-    /// Deletes one record. Deleting an absent key succeeds.
-    ///
-    /// # Errors
-    ///
-    /// [`StoreError::Io`] when the medium rejects the delete.
-    fn remove(&mut self, key: &str) -> Result<(), StoreError>;
-
-    /// Every key currently in the store, sorted.
-    ///
-    /// # Errors
-    ///
-    /// [`StoreError::Io`] when the medium cannot be enumerated.
-    fn keys(&self) -> Result<Vec<String>, StoreError>;
-}
-
-/// Store keys are embedded in file names, so restrict them to a safe
-/// alphabet (no separators, no leading dot — rules out path traversal and
-/// hidden files by construction).
-fn check_key(key: &str) -> Result<(), StoreError> {
-    let valid = !key.is_empty()
-        && !key.starts_with('.')
-        && key
-            .bytes()
-            .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_' || b == b'.');
-    if valid {
-        Ok(())
-    } else {
-        Err(StoreError::io(format!("invalid store key '{key}'")))
-    }
-}
-
-/// An in-process [`SnapshotStore`]: records live in a map for the life of
-/// the process.
-///
-/// Records are kept in their serialized form (exactly what a
-/// [`FileStore`] would write to disk), so the two implementations share
-/// byte-level behavior — including the ability to hold a corrupt record,
-/// which [`MemoryStore::insert_raw`] exists to inject for tests.
-#[derive(Debug, Default)]
-pub struct MemoryStore {
-    records: BTreeMap<String, String>,
-}
-
-impl MemoryStore {
-    /// Creates an empty store.
-    pub fn new() -> MemoryStore {
-        MemoryStore::default()
-    }
-
-    /// How many records the store holds.
-    pub fn len(&self) -> usize {
-        self.records.len()
-    }
-
-    /// Whether the store is empty.
-    pub fn is_empty(&self) -> bool {
-        self.records.is_empty()
-    }
-
-    /// Inserts a raw serialized record verbatim — the moral equivalent of
-    /// editing a [`FileStore`] file by hand. Exists so tests can prove
-    /// that tampered records surface as typed [`StoreError::Corrupt`]
-    /// failures rather than panics.
-    pub fn insert_raw(&mut self, key: impl Into<String>, raw: impl Into<String>) {
-        self.records.insert(key.into(), raw.into());
-    }
-}
-
-impl SnapshotStore for MemoryStore {
-    fn put(&mut self, key: &str, record: &Value) -> Result<(), StoreError> {
-        check_key(key)?;
-        self.records.insert(key.to_string(), record.to_json());
-        Ok(())
-    }
-
-    fn get(&self, key: &str) -> Result<Option<Value>, StoreError> {
-        match self.records.get(key) {
-            None => Ok(None),
-            Some(raw) => parse_json(raw)
-                .map(Some)
-                .map_err(|e| StoreError::corrupt(key, format!("invalid record json: {e}"))),
-        }
-    }
-
-    fn remove(&mut self, key: &str) -> Result<(), StoreError> {
-        self.records.remove(key);
-        Ok(())
-    }
-
-    fn keys(&self) -> Result<Vec<String>, StoreError> {
-        Ok(self.records.keys().cloned().collect())
-    }
-}
-
-/// A directory-backed [`SnapshotStore`]: one `<key>.json` file per
-/// record.
-///
-/// Writes go to a `.tmp` sibling first and are renamed into place, so a
-/// crash mid-write leaves the previous record intact instead of a
-/// truncated one. The layout carries no shard topology: reopening the
-/// same directory with a different shard count redistributes sessions by
-/// id alone (see the module docs).
-#[derive(Debug)]
-pub struct FileStore {
-    dir: PathBuf,
-}
-
-impl FileStore {
-    /// Opens (creating if necessary) the store rooted at `dir`.
-    ///
-    /// # Errors
-    ///
-    /// [`StoreError::Io`] when the directory cannot be created.
-    pub fn open(dir: impl Into<PathBuf>) -> Result<FileStore, StoreError> {
-        let dir = dir.into();
-        fs::create_dir_all(&dir)
-            .map_err(|e| StoreError::io(format!("create '{}': {e}", dir.display())))?;
-        // Sweep temp files orphaned by a crash between write and rename,
-        // so a crash-looping process cannot grow the directory
-        // unboundedly. Only *stale* temp files are touched: an in-flight
-        // `put` by another process sharing the directory (the `recover`
-        // hand-off scenario) holds its temp for milliseconds, so an
-        // age gate keeps the sweep from racing a live writer's rename.
-        if let Ok(entries) = fs::read_dir(&dir) {
-            for entry in entries.flatten() {
-                // Temp names end ".json.tmp<pid>"; a *record* for a key
-                // that merely contains that substring (keys may contain
-                // dots) still ends ".json" and must never be swept.
-                let is_tmp = entry
-                    .file_name()
-                    .to_str()
-                    .is_some_and(|name| name.contains(".json.tmp") && !name.ends_with(".json"));
-                let stale = entry
-                    .metadata()
-                    .and_then(|m| m.modified())
-                    .ok()
-                    .and_then(|t| t.elapsed().ok())
-                    .is_some_and(|age| age.as_secs() >= 60);
-                if is_tmp && stale {
-                    fs::remove_file(entry.path()).ok();
-                }
-            }
-        }
-        Ok(FileStore { dir })
-    }
-
-    /// The directory this store writes into.
-    pub fn dir(&self) -> &std::path::Path {
-        &self.dir
-    }
-
-    fn path_of(&self, key: &str) -> Result<PathBuf, StoreError> {
-        check_key(key)?;
-        Ok(self.dir.join(format!("{key}.json")))
-    }
-}
-
-impl SnapshotStore for FileStore {
-    fn put(&mut self, key: &str, record: &Value) -> Result<(), StoreError> {
-        let path = self.path_of(key)?;
-        // Per-process temp name: two processes sharing a directory (the
-        // `recover` hand-off scenario) must not interleave writes into
-        // one temp file and rename mixed content into place.
-        let tmp = self
-            .dir
-            .join(format!("{key}.json.tmp{}", std::process::id()));
-        fs::write(&tmp, record.to_json())
-            .map_err(|e| StoreError::io(format!("write '{}': {e}", tmp.display())))?;
-        fs::rename(&tmp, &path)
-            .map_err(|e| StoreError::io(format!("rename into '{}': {e}", path.display())))
-    }
-
-    fn get(&self, key: &str) -> Result<Option<Value>, StoreError> {
-        let path = self.path_of(key)?;
-        let raw = match fs::read_to_string(&path) {
-            Ok(raw) => raw,
-            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
-            Err(e) => return Err(StoreError::io(format!("read '{}': {e}", path.display()))),
-        };
-        parse_json(&raw)
-            .map(Some)
-            .map_err(|e| StoreError::corrupt(key, format!("invalid record json: {e}")))
-    }
-
-    fn remove(&mut self, key: &str) -> Result<(), StoreError> {
-        let path = self.path_of(key)?;
-        match fs::remove_file(&path) {
-            Ok(()) => Ok(()),
-            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
-            Err(e) => Err(StoreError::io(format!("remove '{}': {e}", path.display()))),
-        }
-    }
-
-    fn keys(&self) -> Result<Vec<String>, StoreError> {
-        let entries = fs::read_dir(&self.dir)
-            .map_err(|e| StoreError::io(format!("list '{}': {e}", self.dir.display())))?;
-        let mut keys = Vec::new();
-        for entry in entries {
-            let entry =
-                entry.map_err(|e| StoreError::io(format!("list '{}': {e}", self.dir.display())))?;
-            let name = entry.file_name();
-            let Some(name) = name.to_str() else { continue };
-            if let Some(key) = name.strip_suffix(".json") {
-                if check_key(key).is_ok() {
-                    keys.push(key.to_string());
-                }
-            }
-        }
-        keys.sort();
-        Ok(keys)
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn record(n: i64) -> Value {
-        Value::object([("n".to_string(), Value::Int(n))])
-    }
-
-    fn exercise(store: &mut dyn SnapshotStore) {
-        assert_eq!(store.get("s-1").unwrap(), None);
-        store.put("s-1", &record(1)).unwrap();
-        store.put("s-2", &record(2)).unwrap();
-        store.put("shard-1-of-1", &record(0)).unwrap();
-        assert_eq!(store.get("s-1").unwrap(), Some(record(1)));
-        assert_eq!(
-            store.keys().unwrap(),
-            vec!["s-1", "s-2", "shard-1-of-1"],
-            "sorted keys"
-        );
-        // Overwrite, then delete (idempotently).
-        store.put("s-1", &record(7)).unwrap();
-        assert_eq!(store.get("s-1").unwrap(), Some(record(7)));
-        store.remove("s-1").unwrap();
-        store.remove("s-1").unwrap();
-        assert_eq!(store.get("s-1").unwrap(), None);
-        // Hostile keys are typed errors, not path escapes.
-        for bad in ["", "..", "a/b", "a\\b", ".hidden", "s 1"] {
-            assert!(matches!(
-                store.put(bad, &record(0)),
-                Err(StoreError::Io { .. })
-            ));
-        }
-    }
-
-    #[test]
-    fn memory_store_round_trips() {
-        let mut store = MemoryStore::new();
-        exercise(&mut store);
-        assert_eq!(store.len(), 2);
-    }
-
-    #[test]
-    fn file_store_round_trips() {
-        let dir = std::env::temp_dir().join(format!("webrobot-store-{}", std::process::id()));
-        let _ = fs::remove_dir_all(&dir);
-        let mut store = FileStore::open(&dir).unwrap();
-        exercise(&mut store);
-        // A second handle on the same directory sees the same records —
-        // the reopen path a process restart takes.
-        let reopened = FileStore::open(&dir).unwrap();
-        assert_eq!(reopened.get("s-2").unwrap(), Some(record(2)));
-        let _ = fs::remove_dir_all(&dir);
-    }
-
-    #[test]
-    fn open_sweeps_stale_orphaned_temp_files_only() {
-        let dir = std::env::temp_dir().join(format!("webrobot-store-tmp-{}", std::process::id()));
-        let _ = fs::remove_dir_all(&dir);
-        {
-            let mut store = FileStore::open(&dir).unwrap();
-            store.put("s-1", &record(1)).unwrap();
-        }
-        // A crash between write and rename left this temp file behind
-        // hours ago…
-        let orphan = dir.join("s-2.json.tmp4242");
-        fs::write(&orphan, "partial").unwrap();
-        fs::File::options()
-            .write(true)
-            .open(&orphan)
-            .unwrap()
-            .set_modified(std::time::SystemTime::now() - std::time::Duration::from_secs(7200))
-            .unwrap();
-        // …while this one belongs to another process's put in flight
-        // right now.
-        let in_flight = dir.join("s-3.json.tmp7777");
-        fs::write(&in_flight, "mid-write").unwrap();
-
-        let store = FileStore::open(&dir).unwrap();
-        assert!(!orphan.exists(), "stale orphan swept on open");
-        assert!(in_flight.exists(), "fresh temp (live writer) untouched");
-        assert_eq!(store.get("s-1").unwrap(), Some(record(1)), "records kept");
-        assert_eq!(store.keys().unwrap(), vec!["s-1"]);
-        let _ = fs::remove_dir_all(&dir);
-    }
-
-    #[test]
-    fn corrupt_records_are_typed_errors() {
-        let mut store = MemoryStore::new();
-        store.insert_raw("s-1", "{\"truncated\":");
-        let err = store.get("s-1").unwrap_err();
-        assert_eq!(err.code(), "snapshot_corrupt");
-        assert!(err.to_string().contains("s-1"));
-
-        let dir = std::env::temp_dir().join(format!("webrobot-store-bad-{}", std::process::id()));
-        let _ = fs::remove_dir_all(&dir);
-        let store = FileStore::open(&dir).unwrap();
-        fs::write(dir.join("s-9.json"), "not json at all").unwrap();
-        assert_eq!(store.get("s-9").unwrap_err().code(), "snapshot_corrupt");
-        let _ = fs::remove_dir_all(&dir);
-    }
-}
+pub use webrobot_store::{
+    FileStore, MemoryStore, SegmentConfig, SegmentHandle, SegmentStore, SnapshotStore, StoreError,
+};

@@ -205,6 +205,46 @@ impl GenEntry {
     }
 }
 
+/// A compact, adoptable image of the synthesizer's stored search state:
+/// the worklist (in pop-tiebreak order), the processed rewrites `W′`, the
+/// cached generalizing programs, and the trace length the stored items
+/// were last synced to.
+///
+/// Produced by [`Synthesizer::digest`], consumed by
+/// [`Synthesizer::adopt_digest`]. The digest is *positional*, not
+/// executable: items are plain programs plus slice bounds, so it
+/// serializes to a handful of program strings — no steppers, no memo
+/// tables, no DOM references. Everything execution-dependent (resumable
+/// prediction steppers, canonical-id interning, the dedup set) is
+/// rebuilt deterministically against the adopting synthesizer's own
+/// trace, which is what makes adoption equivalent to having re-run the
+/// schedule: the engine's stored state provably does not move between
+/// worklist runs, so carrying the state across a restore skips those
+/// runs without changing any observable result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineDigest {
+    /// Queued worklist items, in the order the heap would tie-break them
+    /// (insertion sequence). Adoption re-queues them in this order, which
+    /// preserves the pop order because the ranking key is recomputed from
+    /// the item itself.
+    pub worklist: Vec<Item>,
+    /// Processed rewrites (`W′` of paper §5.4) — re-queued, un-extended,
+    /// on the next incremental resume, exactly as the live engine keeps
+    /// them.
+    pub processed: Vec<Item>,
+    /// The items behind the cached generalizing programs. Adoption
+    /// re-executes each one over the adopting trace to rebuild its
+    /// resumable prediction stepper (the execution *is* the
+    /// generalization re-check, so a tampered digest is rejected, never
+    /// trusted).
+    pub generalizing: Vec<Item>,
+    /// Trace length the stored items were last synced to. Carried as-is
+    /// — *not* necessarily the full trace length — so the deferred
+    /// extension bookkeeping of the dirty-tracked resume lands exactly
+    /// where the original engine left it.
+    pub synced_len: usize,
+}
+
 /// The interactive, incremental synthesizer (paper Alg. 1 + §5.4).
 ///
 /// Feed demonstrated actions with [`Synthesizer::observe`], then call
@@ -857,6 +897,113 @@ impl Synthesizer {
         }
     }
 
+    /// Captures the stored search state as an [`EngineDigest`], or `None`
+    /// while a sliced search is parked mid-worklist (a half-run search
+    /// has no consistent stored state to carry; conclude it first).
+    pub fn digest(&self) -> Option<EngineDigest> {
+        if self.searching {
+            return None;
+        }
+        let mut queued: Vec<&HeapEntry> = self.worklist.iter().collect();
+        queued.sort_by_key(|e| e.seq);
+        Some(EngineDigest {
+            worklist: queued.into_iter().map(|e| e.item.clone()).collect(),
+            processed: self.processed.clone(),
+            generalizing: self.generalizing.iter().map(|e| e.item.clone()).collect(),
+            synced_len: self.synced_len,
+        })
+    }
+
+    /// Replaces the stored search state with `digest`, rebuilding
+    /// everything execution-dependent against this synthesizer's own
+    /// trace: generalizing entries re-execute their programs (the
+    /// generalization re-check doubles as stepper construction), the
+    /// dedup set is recomputed from the adopted items, and worklist
+    /// entries are re-keyed in digest order.
+    ///
+    /// Returns `false` — leaving the synthesizer untouched — when the
+    /// digest is inconsistent with the trace: malformed slice bounds,
+    /// items covering more actions than the trace holds, a sync point
+    /// past the frontier, or a "generalizing" program that does not in
+    /// fact generalize. A `false` return means the digest was not
+    /// produced by [`Synthesizer::digest`] on an equivalent synthesizer
+    /// (e.g. a hand-tampered persisted record); the caller falls back to
+    /// re-deriving the state by synthesis.
+    ///
+    /// Failure memo tables (`gen_fail`, plus the context's validation
+    /// memos) are *not* carried: they are pure caches whose absence only
+    /// re-pays a lookup, never changes a result.
+    pub fn adopt_digest(&mut self, digest: &EngineDigest) -> bool {
+        let m = self.ctx.trace().len();
+        if digest.synced_len > m {
+            return false;
+        }
+        let well_formed = |item: &Item| {
+            item.bounds().len() == item.len() + 1
+                && item.bounds().first() == Some(&0)
+                && item.bounds().windows(2).all(|w| w[0] < w[1])
+                && item.covered() <= m
+        };
+        if !digest
+            .worklist
+            .iter()
+            .chain(&digest.processed)
+            .chain(&digest.generalizing)
+            .all(well_formed)
+        {
+            return false;
+        }
+        // Rebuild the generalizing entries before touching any state, so
+        // a rejected digest leaves the synthesizer exactly as it was.
+        let mut gens: Vec<GenEntry> = Vec::with_capacity(digest.generalizing.len());
+        for item in &digest.generalizing {
+            let canon_ids: Vec<StmtId> = item
+                .statements()
+                .iter()
+                .map(|s| self.ctx.canon_id(s))
+                .collect();
+            match GenEntry::build(
+                item,
+                &canon_ids,
+                self.ctx.trace(),
+                self.ctx.cfg.dirty_tracking,
+            ) {
+                Some(entry) => gens.push(entry),
+                None => return false,
+            }
+        }
+        self.worklist.clear();
+        self.processed = digest.processed.clone();
+        self.generalizing = gens;
+        self.gen_fail.clear();
+        self.seen.clear();
+        self.seq = 0;
+        self.searching = false;
+        self.search_spent = Duration::ZERO;
+        self.synced_len = digest.synced_len;
+        for item in digest.worklist.iter().cloned() {
+            let hash = self.item_hash(&item);
+            self.seen.insert(hash);
+            self.requeue(item);
+        }
+        // Processed items were admitted through the worklist once, so
+        // their hashes were in the dedup set; restore that. (Hashes of
+        // items that were since *extended* are unreachable to future
+        // pushes — every push covers the full trace at push time, and
+        // the covered length is part of the hash — so dropping them
+        // cannot re-admit anything the original engine would have
+        // deduplicated.)
+        for i in 0..self.processed.len() {
+            let hash = self.item_hash(&self.processed[i]);
+            self.seen.insert(hash);
+        }
+        for i in 0..self.generalizing.len() {
+            let hash = self.item_hash(&self.generalizing[i].item);
+            self.seen.insert(hash);
+        }
+        true
+    }
+
     /// Direct access to generalizing rewrites (e.g. for inspecting slice
     /// boundaries in tests and experiments).
     pub fn generalizing_items(&self) -> impl Iterator<Item = &Item> {
@@ -1068,6 +1215,86 @@ mod tests {
             result.stats.resolve_hits + result.stats.resolve_misses > 0,
             "synthesis resolves selectors through the cache"
         );
+    }
+
+    /// A digest adopted by a fresh synthesizer over the same trace is
+    /// behaviorally identical to the original engine: same results now,
+    /// same results after further observations (including the incremental
+    /// fast path and the worklist resume).
+    #[test]
+    fn digest_adoption_matches_the_original_engine() {
+        let full = scrape_trace(5, 8);
+        let mut original = Synthesizer::new(SynthConfig::default(), full.prefix(2));
+        original.synthesize();
+
+        let digest = original.digest().expect("concluded search has a digest");
+        assert!(!digest.generalizing.is_empty());
+        let mut adopted = Synthesizer::new(SynthConfig::default(), full.prefix(2));
+        assert!(adopted.adopt_digest(&digest));
+
+        for k in 3..=5 {
+            original.observe(full.actions()[k - 1].clone(), full.doms()[k].clone());
+            adopted.observe(full.actions()[k - 1].clone(), full.doms()[k].clone());
+            let ro = original.synthesize();
+            let ra = adopted.synthesize();
+            assert_eq!(ro.stats.fast_path, ra.stats.fast_path, "prefix {k}");
+            assert_eq!(ro.stats.pops, ra.stats.pops, "prefix {k}");
+            assert_eq!(ro.predictions, ra.predictions, "prefix {k}");
+            assert_eq!(ro.programs.len(), ra.programs.len(), "prefix {k}");
+        }
+    }
+
+    /// Digest round-trip: capture → adopt → capture yields the same
+    /// digest (the image is a faithful, stable projection of the state).
+    #[test]
+    fn digest_round_trips_through_adoption() {
+        let mut synth = Synthesizer::new(SynthConfig::default(), scrape_trace(3, 6));
+        synth.synthesize();
+        let digest = synth.digest().unwrap();
+        let mut adopted = Synthesizer::new(SynthConfig::default(), scrape_trace(3, 6));
+        assert!(adopted.adopt_digest(&digest));
+        assert_eq!(adopted.digest().unwrap(), digest);
+    }
+
+    /// Inconsistent digests are rejected wholesale, leaving the adopting
+    /// synthesizer untouched.
+    #[test]
+    fn tampered_digests_are_rejected_without_side_effects() {
+        let mut donor = Synthesizer::new(SynthConfig::default(), scrape_trace(3, 6));
+        donor.synthesize();
+        let good = donor.digest().unwrap();
+
+        let mut with_bad_bounds = good.clone();
+        with_bad_bounds.generalizing[0].bounds.reverse();
+        let mut overlong = good.clone();
+        overlong.synced_len = 99;
+        let mut overcovering = good.clone();
+        // An item claiming to cover more actions than the trace holds.
+        assert!(!overcovering.processed.is_empty());
+        *overcovering.processed[0].bounds.last_mut().unwrap() = 99;
+        let mut non_generalizing = good.clone();
+        // Swap a worklist item in as a "generalizing" program: the
+        // adoption re-check executes it and finds it does not predict.
+        non_generalizing.generalizing = vec![Item::initial(donor.trace())];
+
+        for bad in [with_bad_bounds, overlong, overcovering, non_generalizing] {
+            let mut target = Synthesizer::new(SynthConfig::default(), scrape_trace(3, 6));
+            let before = target.digest().unwrap();
+            assert!(!target.adopt_digest(&bad));
+            assert_eq!(target.digest().unwrap(), before, "rejected ⇒ untouched");
+        }
+    }
+
+    /// A parked sliced search has no digest (its stored state is
+    /// mid-mutation); concluding the search restores capture.
+    #[test]
+    fn parked_searches_have_no_digest() {
+        let mut synth = Synthesizer::new(SynthConfig::default(), scrape_trace(3, 6));
+        let first = synth.synthesize_quantum(Duration::ZERO);
+        assert!(first.stats.parked);
+        assert!(synth.digest().is_none());
+        synthesize_in_quanta(&mut synth);
+        assert!(synth.digest().is_some());
     }
 
     #[test]

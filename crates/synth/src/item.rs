@@ -95,6 +95,21 @@ impl Item {
         h.finish()
     }
 
+    /// Rebuilds an item from a program and its slice boundaries — the
+    /// inverse of [`Item::statements`] / [`Item::bounds`], used to adopt
+    /// a persisted engine digest. Returns `None` unless `bounds` is a
+    /// plausible partition witness: one more entry than statements,
+    /// starting at 0, strictly increasing. (Whether each statement
+    /// actually satisfies its slice is re-checked semantically when the
+    /// adopted item next reaches the generalization check, exactly as a
+    /// live item would be.)
+    pub fn from_parts(stmts: Vec<Statement>, bounds: Vec<usize>) -> Option<Item> {
+        let valid = bounds.len() == stmts.len() + 1
+            && bounds.first() == Some(&0)
+            && bounds.windows(2).all(|w| w[0] < w[1]);
+        valid.then_some(Item { stmts, bounds })
+    }
+
     /// Replaces statements `i..=r` with `stmt`, whose slice is
     /// `bounds[i] .. bounds[r+1]`.
     pub(crate) fn splice(&self, i: usize, r: usize, stmt: Statement) -> Item {

@@ -56,7 +56,7 @@ mod validate;
 pub use antiunify::{anti_unify, LoopSeed};
 pub use config::SynthConfig;
 pub use context::SynthContext;
-pub use engine::{RankedProgram, SynthResult, SynthStats, Synthesizer};
+pub use engine::{EngineDigest, RankedProgram, SynthResult, SynthStats, Synthesizer};
 pub use item::Item;
 pub use speculate::{speculate, SRewrite};
 pub use validate::validate;
