@@ -64,12 +64,14 @@ fn manager_with(
     delta_restore: bool,
     engine_digest: bool,
 ) -> SessionManager {
-    let mut m = SessionManager::new(ServiceConfig {
-        max_live_sessions: max_live,
-        delta_restore,
-        engine_digest,
-        ..ServiceConfig::default()
-    });
+    let mut m = SessionManager::new(
+        ServiceConfig::builder()
+            .max_live_sessions(max_live)
+            .delta_restore(delta_restore)
+            .engine_digest(engine_digest)
+            .build()
+            .expect("valid bench config"),
+    );
     m.register_site("anchors", anchor_site(items), Value::Object(vec![]));
     m
 }
@@ -327,11 +329,13 @@ fn bench_evict_thrash(c: &mut Criterion) {
         // One session, demonstrated 4 actions and automated to a history
         // of 16, held by a manager with headroom; each iteration forces
         // one evict + one transparent restore through the wire boundary.
-        let mut m = SessionManager::new(ServiceConfig {
-            delta_restore: delta,
-            engine_digest: digest,
-            ..ServiceConfig::default()
-        });
+        let mut m = SessionManager::new(
+            ServiceConfig::builder()
+                .delta_restore(delta)
+                .engine_digest(digest)
+                .build()
+                .expect("valid bench config"),
+        );
         m.register_site("people", nested_site(), Value::Object(vec![]));
         assert!(m
             .handle_json(r#"{"v": 1, "kind": "create", "site": "people"}"#)
@@ -496,11 +500,11 @@ fn bench_store(c: &mut Criterion) {
         ("checkpoint_full_rewrite_64", false),
     ] {
         let mut m = SessionManager::with_store(
-            ServiceConfig {
-                max_live_sessions: 128,
-                incremental_checkpoint: incremental,
-                ..ServiceConfig::default()
-            },
+            ServiceConfig::builder()
+                .max_live_sessions(128)
+                .incremental_checkpoint(incremental)
+                .build()
+                .expect("valid bench config"),
             Box::new(MemoryStore::new()),
         )
         .unwrap();

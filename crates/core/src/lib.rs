@@ -96,9 +96,10 @@ pub use webrobot_semantics::{
     action_consistent, execute, generalizes, satisfies, trace_consistent, Stepper, Trace,
 };
 pub use webrobot_service::{
-    FileStore, MemoryStore, Request, Response, SegmentConfig, SegmentHandle, SegmentStore,
-    ServiceConfig, ServiceError, ServiceStats, SessionId, SessionManager, ShardedManager,
-    SnapshotStore, StoreError, PROTOCOL_VERSION,
+    ConfigError, FileStore, MemoryStore, Metrics, MetricsSnapshot, Request, Response,
+    SegmentConfig, SegmentHandle, SegmentStore, ServiceConfig, ServiceConfigBuilder, ServiceError,
+    ServiceStats, SessionId, SessionManager, ShardedManager, SnapshotStore, StatsV2, StoreError,
+    PROTOCOL_VERSION,
 };
 pub use webrobot_synth::{EngineDigest, RankedProgram, SynthConfig, SynthResult, Synthesizer};
 

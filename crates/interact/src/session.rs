@@ -727,6 +727,10 @@ impl Session {
     /// # Errors
     ///
     /// See [`Session::handle`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use Session::handle(Event::Demonstrate(action))"
+    )]
     pub fn demonstrate(&mut self, action: &Action) -> Result<StepOutcome, SessionError> {
         self.handle(Event::Demonstrate(action.clone()))
     }
@@ -739,6 +743,10 @@ impl Session {
     ///
     /// See [`Session::handle`]. An out-of-range index is
     /// [`SessionError::InvalidPrediction`] (it used to be a panic).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use Session::handle(Event::Accept { index }) / Session::handle(Event::RejectAll)"
+    )]
     pub fn authorize(&mut self, index: Option<usize>) -> Result<StepOutcome, SessionError> {
         match index {
             Some(index) => self.handle(Event::Accept { index }),
@@ -752,6 +760,7 @@ impl Session {
     /// # Errors
     ///
     /// See [`Session::handle`].
+    #[deprecated(since = "0.1.0", note = "use Session::handle(Event::AutomateStep)")]
     pub fn automate_step(&mut self) -> Result<StepOutcome, SessionError> {
         self.handle(Event::AutomateStep)
     }
@@ -762,6 +771,7 @@ impl Session {
     /// # Errors
     ///
     /// [`SessionError::SessionClosed`] if the session already finished.
+    #[deprecated(since = "0.1.0", note = "use Session::handle(Event::Interrupt)")]
     pub fn interrupt(&mut self) -> Result<StepOutcome, SessionError> {
         self.handle(Event::Interrupt)
     }
@@ -772,6 +782,7 @@ impl Session {
     /// # Errors
     ///
     /// [`SessionError::SessionClosed`] if the session already finished.
+    #[deprecated(since = "0.1.0", note = "use Session::handle(Event::Finish)")]
     pub fn finish(&mut self) -> Result<StepOutcome, SessionError> {
         self.handle(Event::Finish)
     }
@@ -929,22 +940,38 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
+    fn legacy_wrappers_still_delegate_to_handle() {
+        // The PR-3 convenience wrappers are deprecated but must keep
+        // behaving exactly like the `handle` calls they forward to.
+        let mut s = session(6);
+        s.demonstrate(&scrape(1)).unwrap();
+        s.demonstrate(&scrape(2)).unwrap();
+        s.authorize(Some(0)).unwrap();
+        s.authorize(Some(0)).unwrap();
+        s.automate_step().unwrap();
+        assert_eq!(s.interrupt(), Ok(StepOutcome::Interrupted));
+        assert_eq!(s.finish(), Ok(StepOutcome::Finished));
+        assert_eq!(s.authorize(None), Err(SessionError::SessionClosed));
+    }
+
+    #[test]
     fn demo_auth_auto_workflow() {
         let mut s = session(6);
         assert_eq!(s.mode(), Mode::Demonstrate);
-        s.demonstrate(&scrape(1)).unwrap();
+        s.handle(Event::Demonstrate(scrape(1))).unwrap();
         assert_eq!(s.mode(), Mode::Demonstrate, "one action cannot generalize");
-        s.demonstrate(&scrape(2)).unwrap();
+        s.handle(Event::Demonstrate(scrape(2))).unwrap();
         assert_eq!(s.mode(), Mode::Authorize);
         // Accept twice → automation takes over.
-        s.authorize(Some(0)).unwrap();
+        s.handle(Event::Accept { index: 0 }).unwrap();
         assert_eq!(s.mode(), Mode::Authorize);
-        s.authorize(Some(0)).unwrap();
+        s.handle(Event::Accept { index: 0 }).unwrap();
         assert_eq!(s.mode(), Mode::Automate);
         // Automation scrapes the remaining items, then the loop finishes.
         let mut automated = 0;
         while s.mode() == Mode::Automate {
-            match s.automate_step().unwrap() {
+            match s.handle(Event::AutomateStep).unwrap() {
                 StepOutcome::Automated(_) => automated += 1,
                 StepOutcome::ProgramFinished => break,
                 other => panic!("unexpected {other:?}"),
@@ -959,10 +986,13 @@ mod tests {
     #[test]
     fn reject_returns_to_demonstration() {
         let mut s = session(4);
-        s.demonstrate(&scrape(1)).unwrap();
-        s.demonstrate(&scrape(2)).unwrap();
+        s.handle(Event::Demonstrate(scrape(1))).unwrap();
+        s.handle(Event::Demonstrate(scrape(2))).unwrap();
         assert_eq!(s.mode(), Mode::Authorize);
-        assert_eq!(s.authorize(None), Ok(StepOutcome::NeedDemonstration));
+        assert_eq!(
+            s.handle(Event::RejectAll),
+            Ok(StepOutcome::NeedDemonstration)
+        );
         assert_eq!(s.mode(), Mode::Demonstrate);
         assert!(s.predictions().is_empty());
     }
@@ -970,13 +1000,13 @@ mod tests {
     #[test]
     fn interrupt_stops_automation() {
         let mut s = session(8);
-        s.demonstrate(&scrape(1)).unwrap();
-        s.demonstrate(&scrape(2)).unwrap();
-        s.authorize(Some(0)).unwrap();
-        s.authorize(Some(0)).unwrap();
+        s.handle(Event::Demonstrate(scrape(1))).unwrap();
+        s.handle(Event::Demonstrate(scrape(2))).unwrap();
+        s.handle(Event::Accept { index: 0 }).unwrap();
+        s.handle(Event::Accept { index: 0 }).unwrap();
         assert_eq!(s.mode(), Mode::Automate);
-        s.automate_step().unwrap();
-        assert_eq!(s.interrupt(), Ok(StepOutcome::Interrupted));
+        s.handle(Event::AutomateStep).unwrap();
+        assert_eq!(s.handle(Event::Interrupt), Ok(StepOutcome::Interrupted));
         assert_eq!(s.mode(), Mode::Demonstrate);
         assert_eq!(s.executed().len(), 5);
     }
@@ -985,7 +1015,7 @@ mod tests {
     fn failed_demonstration_is_an_error() {
         let mut s = session(2);
         assert!(matches!(
-            s.demonstrate(&scrape(9)),
+            s.handle(Event::Demonstrate(scrape(9))),
             Err(SessionError::Browser(_))
         ));
         assert!(s.executed().is_empty());
@@ -996,11 +1026,15 @@ mod tests {
     #[test]
     fn out_of_range_accept_is_a_typed_error() {
         let mut s = session(4);
-        s.demonstrate(&scrape(1)).unwrap();
-        s.demonstrate(&scrape(2)).unwrap();
+        s.handle(Event::Demonstrate(scrape(1))).unwrap();
+        s.handle(Event::Demonstrate(scrape(2))).unwrap();
         assert_eq!(s.mode(), Mode::Authorize);
         let available = s.predictions().len();
-        let err = s.authorize(Some(available + 5)).unwrap_err();
+        let err = s
+            .handle(Event::Accept {
+                index: available + 5,
+            })
+            .unwrap_err();
         assert_eq!(
             err,
             SessionError::InvalidPrediction {
@@ -1011,7 +1045,7 @@ mod tests {
         // Nothing executed, session still usable.
         assert_eq!(s.executed().len(), 2);
         assert_eq!(s.mode(), Mode::Authorize);
-        s.authorize(Some(0)).unwrap();
+        s.handle(Event::Accept { index: 0 }).unwrap();
         assert_eq!(s.executed().len(), 3);
     }
 
@@ -1020,17 +1054,26 @@ mod tests {
     #[test]
     fn events_after_finish_are_rejected() {
         let mut s = session(4);
-        s.demonstrate(&scrape(1)).unwrap();
-        assert_eq!(s.finish(), Ok(StepOutcome::Finished));
+        s.handle(Event::Demonstrate(scrape(1))).unwrap();
+        assert_eq!(s.handle(Event::Finish), Ok(StepOutcome::Finished));
         assert_eq!(s.mode(), Mode::Done);
         let executed = s.executed().len();
         let outputs = s.browser().outputs().len();
-        assert_eq!(s.demonstrate(&scrape(2)), Err(SessionError::SessionClosed));
-        assert_eq!(s.automate_step(), Err(SessionError::SessionClosed));
-        assert_eq!(s.authorize(Some(0)), Err(SessionError::SessionClosed));
-        assert_eq!(s.authorize(None), Err(SessionError::SessionClosed));
-        assert_eq!(s.interrupt(), Err(SessionError::SessionClosed));
-        assert_eq!(s.finish(), Err(SessionError::SessionClosed));
+        assert_eq!(
+            s.handle(Event::Demonstrate(scrape(2))),
+            Err(SessionError::SessionClosed)
+        );
+        assert_eq!(
+            s.handle(Event::AutomateStep),
+            Err(SessionError::SessionClosed)
+        );
+        assert_eq!(
+            s.handle(Event::Accept { index: 0 }),
+            Err(SessionError::SessionClosed)
+        );
+        assert_eq!(s.handle(Event::RejectAll), Err(SessionError::SessionClosed));
+        assert_eq!(s.handle(Event::Interrupt), Err(SessionError::SessionClosed));
+        assert_eq!(s.handle(Event::Finish), Err(SessionError::SessionClosed));
         assert_eq!(s.executed().len(), executed, "no side effects after Done");
         assert_eq!(s.browser().outputs().len(), outputs);
     }
@@ -1054,13 +1097,13 @@ mod tests {
             );
         }
         // Automate mode: demonstrating without interrupting first is invalid.
-        s.demonstrate(&scrape(1)).unwrap();
-        s.demonstrate(&scrape(2)).unwrap();
-        s.authorize(Some(0)).unwrap();
-        s.authorize(Some(0)).unwrap();
+        s.handle(Event::Demonstrate(scrape(1))).unwrap();
+        s.handle(Event::Demonstrate(scrape(2))).unwrap();
+        s.handle(Event::Accept { index: 0 }).unwrap();
+        s.handle(Event::Accept { index: 0 }).unwrap();
         assert_eq!(s.mode(), Mode::Automate);
         assert_eq!(
-            s.demonstrate(&scrape(1)),
+            s.handle(Event::Demonstrate(scrape(1))),
             Err(SessionError::WrongMode {
                 event: "demonstrate",
                 mode: Mode::Automate
@@ -1074,10 +1117,10 @@ mod tests {
     #[test]
     fn demonstrating_past_predictions_is_allowed() {
         let mut s = session(6);
-        s.demonstrate(&scrape(1)).unwrap();
-        s.demonstrate(&scrape(2)).unwrap();
+        s.handle(Event::Demonstrate(scrape(1))).unwrap();
+        s.handle(Event::Demonstrate(scrape(2))).unwrap();
         assert_eq!(s.mode(), Mode::Authorize);
-        s.demonstrate(&scrape(3)).unwrap();
+        s.handle(Event::Demonstrate(scrape(3))).unwrap();
         assert_eq!(s.executed().len(), 3);
     }
 
@@ -1087,15 +1130,15 @@ mod tests {
     #[test]
     fn interrupt_discards_cached_program() {
         let mut s = session(4);
-        s.demonstrate(&scrape(1)).unwrap();
-        s.demonstrate(&scrape(2)).unwrap();
-        s.authorize(Some(0)).unwrap();
-        s.authorize(Some(0)).unwrap();
+        s.handle(Event::Demonstrate(scrape(1))).unwrap();
+        s.handle(Event::Demonstrate(scrape(2))).unwrap();
+        s.handle(Event::Accept { index: 0 }).unwrap();
+        s.handle(Event::Accept { index: 0 }).unwrap();
         // Run automation to the end of the list: the trace is complete, so
         // nothing generalizes it and `current_program` falls back to the
         // cached last program.
         while s.mode() == Mode::Automate {
-            if s.automate_step().unwrap() == StepOutcome::ProgramFinished {
+            if s.handle(Event::AutomateStep).unwrap() == StepOutcome::ProgramFinished {
                 break;
             }
         }
@@ -1103,7 +1146,7 @@ mod tests {
             s.current_program().is_some(),
             "completed run keeps its program"
         );
-        s.interrupt().unwrap();
+        s.handle(Event::Interrupt).unwrap();
         assert_eq!(
             s.current_program(),
             None,
@@ -1116,9 +1159,9 @@ mod tests {
     #[test]
     fn snapshot_restore_round_trips() {
         let mut original = session(8);
-        original.demonstrate(&scrape(1)).unwrap();
-        original.demonstrate(&scrape(2)).unwrap();
-        original.authorize(Some(0)).unwrap();
+        original.handle(Event::Demonstrate(scrape(1))).unwrap();
+        original.handle(Event::Demonstrate(scrape(2))).unwrap();
+        original.handle(Event::Accept { index: 0 }).unwrap();
         let snap = original.snapshot();
         assert_eq!(snap.executed().len(), 3);
         assert_eq!(snap.mode(), Mode::Authorize);
@@ -1147,7 +1190,10 @@ mod tests {
             }
         }
         while original.mode() == Mode::Automate {
-            assert_eq!(original.automate_step(), restored.automate_step());
+            assert_eq!(
+                original.handle(Event::AutomateStep),
+                restored.handle(Event::AutomateStep)
+            );
         }
         assert_eq!(original.browser().outputs(), restored.browser().outputs());
         assert_eq!(original.executed(), restored.executed());
@@ -1158,8 +1204,8 @@ mod tests {
     #[test]
     fn resynth_schedule_is_recorded_and_snapshotted() {
         let mut s = session(6);
-        s.demonstrate(&scrape(1)).unwrap();
-        s.demonstrate(&scrape(2)).unwrap();
+        s.handle(Event::Demonstrate(scrape(1))).unwrap();
+        s.handle(Event::Demonstrate(scrape(2))).unwrap();
         let snap = s.snapshot();
         let schedule = snap.resynth.clone().expect("delta snapshots by default");
         // The first synthesis can never answer from an (empty) program
@@ -1172,8 +1218,8 @@ mod tests {
         // Steady-state accepts ride the fast path: the schedule stops
         // growing while the cached program keeps predicting.
         let before = schedule.len();
-        s.authorize(Some(0)).unwrap();
-        s.authorize(Some(0)).unwrap();
+        s.handle(Event::Accept { index: 0 }).unwrap();
+        s.handle(Event::Accept { index: 0 }).unwrap();
         let after = s.snapshot().resynth.unwrap();
         assert_eq!(&after[..before], &schedule[..]);
         assert_eq!(after.len(), before, "accepts answered from the fast path");
@@ -1185,9 +1231,9 @@ mod tests {
     #[test]
     fn delta_restore_matches_full_replay() {
         let mut original = session(8);
-        original.demonstrate(&scrape(1)).unwrap();
-        original.demonstrate(&scrape(2)).unwrap();
-        original.authorize(Some(0)).unwrap();
+        original.handle(Event::Demonstrate(scrape(1))).unwrap();
+        original.handle(Event::Demonstrate(scrape(2))).unwrap();
+        original.handle(Event::Accept { index: 0 }).unwrap();
         let snap = original.snapshot();
         let mut delta = Session::restore(&snap).unwrap();
         let mut full = Session::restore(&snap.clone().without_schedule()).unwrap();
@@ -1211,9 +1257,9 @@ mod tests {
             }
         }
         while original.mode() == Mode::Automate {
-            let a = original.automate_step();
-            assert_eq!(a, delta.automate_step());
-            assert_eq!(a, full.automate_step());
+            let a = original.handle(Event::AutomateStep);
+            assert_eq!(a, delta.handle(Event::AutomateStep));
+            assert_eq!(a, full.handle(Event::AutomateStep));
         }
         assert_eq!(original.browser().outputs(), delta.browser().outputs());
         assert_eq!(original.browser().outputs(), full.browser().outputs());
@@ -1230,9 +1276,9 @@ mod tests {
     #[test]
     fn digest_restore_matches_schedule_and_full_replay() {
         let mut original = session(8);
-        original.demonstrate(&scrape(1)).unwrap();
-        original.demonstrate(&scrape(2)).unwrap();
-        original.authorize(Some(0)).unwrap();
+        original.handle(Event::Demonstrate(scrape(1))).unwrap();
+        original.handle(Event::Demonstrate(scrape(2))).unwrap();
+        original.handle(Event::Accept { index: 0 }).unwrap();
         let snap = original.snapshot();
         assert!(snap.engine.is_some(), "snapshots carry a digest by default");
         let mut digest = Session::restore(&snap).unwrap();
@@ -1258,10 +1304,10 @@ mod tests {
             }
         }
         while original.mode() == Mode::Automate {
-            let a = original.automate_step();
-            assert_eq!(a, digest.automate_step());
-            assert_eq!(a, sched.automate_step());
-            assert_eq!(a, full.automate_step());
+            let a = original.handle(Event::AutomateStep);
+            assert_eq!(a, digest.handle(Event::AutomateStep));
+            assert_eq!(a, sched.handle(Event::AutomateStep));
+            assert_eq!(a, full.handle(Event::AutomateStep));
         }
         assert_eq!(original.browser().outputs(), digest.browser().outputs());
         assert_eq!(original.snapshot().resynth, digest.snapshot().resynth);
@@ -1273,8 +1319,8 @@ mod tests {
     #[test]
     fn tampered_digest_degrades_to_resynthesis() {
         let mut s = session(6);
-        s.demonstrate(&scrape(1)).unwrap();
-        s.demonstrate(&scrape(2)).unwrap();
+        s.handle(Event::Demonstrate(scrape(1))).unwrap();
+        s.handle(Event::Demonstrate(scrape(2))).unwrap();
         let mut snap = s.snapshot();
         let digest = snap.engine.as_mut().unwrap();
         digest.synced_len = 99; // inconsistent with any replayed trace
@@ -1309,7 +1355,10 @@ mod tests {
             thrashed = Session::restore(&thrashed.snapshot()).unwrap();
         }
         while reference.mode() == Mode::Automate {
-            assert_eq!(reference.automate_step(), thrashed.automate_step());
+            assert_eq!(
+                reference.handle(Event::AutomateStep),
+                thrashed.handle(Event::AutomateStep)
+            );
             thrashed = Session::restore(&thrashed.snapshot()).unwrap();
         }
         assert_eq!(reference.browser().outputs(), thrashed.browser().outputs());
@@ -1407,9 +1456,9 @@ mod tests {
     #[test]
     fn snapshot_preserves_rejection_state() {
         let mut s = session(5);
-        s.demonstrate(&scrape(1)).unwrap();
-        s.demonstrate(&scrape(2)).unwrap();
-        s.authorize(None).unwrap();
+        s.handle(Event::Demonstrate(scrape(1))).unwrap();
+        s.handle(Event::Demonstrate(scrape(2))).unwrap();
+        s.handle(Event::RejectAll).unwrap();
         let restored = Session::restore(&s.snapshot()).unwrap();
         assert_eq!(restored.mode(), Mode::Demonstrate);
         assert!(restored.predictions().is_empty());

@@ -13,7 +13,7 @@ use webrobot_dom::Dom;
 use webrobot_lang::{Action, ActionKind};
 use webrobot_semantics::{action_consistent, Trace};
 
-use crate::session::{Mode, Session, SessionConfig, StepOutcome};
+use crate::session::{Event, Mode, Session, SessionConfig, StepOutcome};
 
 /// A scripted user that knows the intended action sequence (the recorded
 /// ground-truth trace) and authorizes predictions accordingly.
@@ -207,7 +207,7 @@ fn drive_once(
             Mode::Demonstrate => {
                 let Some(action) = oracle.next_action().cloned() else {
                     report.solved = true;
-                    session.finish().ok();
+                    session.handle(Event::Finish).ok();
                     return Ok(report);
                 };
                 report.human_time += user.latency.demonstrate(rng, &action);
@@ -215,7 +215,7 @@ fn drive_once(
                     // Mis-click: the paper's protocol restarts the tool.
                     return Err(report);
                 }
-                if session.demonstrate(&action).is_err() {
+                if session.handle(Event::Demonstrate(action.clone())).is_err() {
                     // Front-end replay failure: unsolved.
                     return Ok(report);
                 }
@@ -230,14 +230,14 @@ fn drive_once(
                     .position(|p| oracle.approves(p, session.browser().dom()));
                 match choice {
                     Some(i) => {
-                        if session.authorize(Some(i)).is_err() {
+                        if session.handle(Event::Accept { index: i }).is_err() {
                             return Ok(report);
                         }
                         report.authorized += 1;
                         oracle.advance();
                     }
                     None => {
-                        session.authorize(None).ok();
+                        session.handle(Event::RejectAll).ok();
                     }
                 }
             }
@@ -249,11 +249,11 @@ fn drive_once(
                     .first()
                     .is_some_and(|p| oracle.approves(p, session.browser().dom()));
                 if !next_ok {
-                    session.interrupt().ok();
+                    session.handle(Event::Interrupt).ok();
                     report.interruptions += 1;
                     continue;
                 }
-                match session.automate_step() {
+                match session.handle(Event::AutomateStep) {
                     Ok(StepOutcome::Automated(_)) => {
                         report.automated += 1;
                         oracle.advance();

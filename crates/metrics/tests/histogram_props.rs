@@ -1,0 +1,37 @@
+//! Property tests for the log2 histogram: whatever is recorded, the bucket
+//! totals always account for every event, and quantiles stay ordered and
+//! bounded by the observed extremes.
+
+use proptest::prelude::*;
+use std::time::Duration;
+use webrobot_metrics::{Histogram, BUCKETS};
+
+proptest! {
+    #[test]
+    fn bucket_totals_equal_recorded_event_count(ns in proptest::collection::vec(0u64..=u64::MAX, 0..200)) {
+        let h = Histogram::new();
+        for &n in &ns {
+            h.record(Duration::from_nanos(n));
+        }
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.count, ns.len() as u64);
+        prop_assert_eq!(snap.buckets.len(), BUCKETS);
+        prop_assert_eq!(snap.buckets.iter().sum::<u64>(), ns.len() as u64);
+        prop_assert_eq!(snap.max_ns, ns.iter().copied().max().unwrap_or(0));
+    }
+
+    #[test]
+    fn percentiles_are_monotonic_and_bounded(ns in proptest::collection::vec(0u64..1_000_000_000u64, 1..100)) {
+        let h = Histogram::new();
+        for &n in &ns {
+            h.record(Duration::from_nanos(n));
+        }
+        let snap = h.snapshot();
+        let p50 = snap.percentile(50);
+        let p95 = snap.percentile(95);
+        let p99 = snap.percentile(99);
+        prop_assert!(p50 <= p95);
+        prop_assert!(p95 <= p99);
+        prop_assert!(p99 <= snap.max_ns);
+    }
+}

@@ -33,6 +33,7 @@ use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Instant;
 
 use webrobot_data::{parse_json, Value};
 use webrobot_service::{Request, Response, ShardedManager};
@@ -215,6 +216,10 @@ impl Server {
                 break;
             }
             let stream = conn?;
+            // A frame is two small writes (header + payload); without
+            // TCP_NODELAY, Nagle holding the second write for the peer's
+            // delayed ACK adds ~40ms per round trip on loopback.
+            stream.set_nodelay(true).ok();
             let shared = self.shared.clone();
             workers.push(std::thread::spawn(move || {
                 serve_connection(stream, &shared)
@@ -240,6 +245,7 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) {
     // A clean close, a truncated frame, and a drain-initiated shutdown
     // all end the connection the same way: stop reading.
     while let Ok(Some(frame)) = read_frame(&mut stream) {
+        let started = Instant::now();
         let text = String::from_utf8_lossy(&frame);
         if is_drain(&text) {
             let reply = shared.drain();
@@ -247,7 +253,12 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) {
             break;
         }
         let reply = shared.manager.handle_json(&text);
-        if write_frame(&mut stream, reply.as_bytes()).is_err() {
+        let written = write_frame(&mut stream, reply.as_bytes());
+        // The transport histogram spans frame-received → reply-written:
+        // service handling plus reply serialization and socket write,
+        // but never the idle wait for the client's next frame.
+        shared.manager.metrics().record_transport(started.elapsed());
+        if written.is_err() {
             break;
         }
     }
@@ -268,9 +279,11 @@ impl Client {
     ///
     /// Any I/O error from connecting.
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
-        Ok(Client {
-            stream: TcpStream::connect(addr)?,
-        })
+        let stream = TcpStream::connect(addr)?;
+        // Mirror of the server side: the header/payload write pair must
+        // not wait out Nagle + delayed ACK.
+        stream.set_nodelay(true).ok();
+        Ok(Client { stream })
     }
 
     /// Sends one JSON request frame and awaits the reply frame.

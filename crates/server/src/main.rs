@@ -109,6 +109,9 @@ fn anchor_site() -> Arc<Site> {
 }
 
 fn build_manager(opts: &Options) -> Result<ShardedManager, String> {
+    let cfg = ServiceConfig::builder()
+        .build()
+        .map_err(|e| format!("config: {e}"))?;
     let manager = match &opts.store {
         Some(dir) => {
             let shards = opts.shards.max(1);
@@ -131,10 +134,10 @@ fn build_manager(opts: &Options) -> Result<ShardedManager, String> {
                         .collect()
                 }
             };
-            ShardedManager::with_stores(ServiceConfig::default(), stores)
+            ShardedManager::with_stores(cfg, stores)
                 .map_err(|e| format!("reopen store '{dir}': {e}"))?
         }
-        None => ShardedManager::new(ServiceConfig::default(), opts.shards),
+        None => ShardedManager::new(cfg, opts.shards),
     };
     manager.register_site("anchors", anchor_site(), Value::Object(vec![]));
     Ok(manager)

@@ -1,0 +1,289 @@
+//! Service tuning: [`ServiceConfig`], its validating [`builder`] and the
+//! typed [`ConfigError`] the builder rejects nonsense with.
+//!
+//! [`ServiceConfig::builder`]: ServiceConfig::builder
+
+use std::fmt;
+use std::time::Duration;
+
+use webrobot_interact::SessionConfig;
+
+/// Service tuning.
+///
+/// Construct via [`ServiceConfig::builder`] (validated) or
+/// [`ServiceConfig::default`]; struct literals with field update syntax
+/// remain possible for tests that deliberately need out-of-envelope
+/// values (e.g. a zero quantum to exercise maximal slicing).
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Per-session configuration template. A `create` request's
+    /// `deadline_ms` overrides `session.synth.timeout` for that session
+    /// only (the per-session synthesis deadline).
+    pub session: SessionConfig,
+    /// How many sessions may be *live* (holding a browser + synthesizer)
+    /// at once. The least-recently-used live session beyond this cap is
+    /// evicted to a compact snapshot and transparently restored on its
+    /// next event.
+    pub max_live_sessions: usize,
+    /// Hard cap on tracked sessions, live + evicted. Further `create`
+    /// requests fail with `too_many_sessions`.
+    pub max_sessions: usize,
+    /// Evict to **delta snapshots** (the default): snapshots carry the
+    /// engine's re-synthesis schedule, so restoration replays the action
+    /// history observe-only and re-enters the synthesizer only where the
+    /// original session actually ran its worklist. Disable to evict to
+    /// legacy full-replay snapshots (one synthesis per replayed action) —
+    /// the ablation the `service_evict` bench rows price against each
+    /// other; wire behavior is identical either way.
+    pub delta_restore: bool,
+    /// Synthesis work-quantum for the sharded scheduler: each scheduling
+    /// turn runs at most this much synthesis for one session before
+    /// round-robining to the next ready session, so one pathological
+    /// worklist degrades only its own session's latency, not the whole
+    /// shard's. `None` runs every step to completion (the legacy FIFO
+    /// behavior). Quantum-sliced synthesis is exactly equal to unsliced
+    /// synthesis (pinned by the 76-benchmark differential), so this knob
+    /// is invisible on the wire — it only redistributes latency.
+    pub quantum: Option<Duration>,
+    /// Bound on in-flight jobs per shard (queued in the channel, waiting
+    /// in a run queue, or being processed). Jobs beyond the bound are
+    /// rejected with the `overloaded` error code instead of growing the
+    /// queue without limit.
+    pub max_queued_per_shard: usize,
+    /// Skip clean sessions on `checkpoint` (the default): a session whose
+    /// store record is already current is not re-serialized or re-written,
+    /// making the periodic flush O(dirty sessions) instead of O(live
+    /// sessions). Disable to rewrite every record on every checkpoint —
+    /// the legacy behavior the `service_store` bench rows price the
+    /// dirty-bit against; wire behavior is identical either way.
+    pub incremental_checkpoint: bool,
+    /// Persist the synthesizer's engine digest (worklist, processed set,
+    /// generalization candidates) inside snapshots (the default), so a
+    /// delta restore adopts the engine state directly instead of
+    /// re-running the early schedule points. Disable to strip the digest
+    /// — the ablation the `service_store` restore rows price; wire
+    /// behavior is identical either way.
+    pub engine_digest: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            session: SessionConfig::default(),
+            max_live_sessions: 64,
+            max_sessions: 4096,
+            delta_restore: true,
+            quantum: Some(Duration::from_millis(5)),
+            max_queued_per_shard: 256,
+            incremental_checkpoint: true,
+            engine_digest: true,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Starts a validating builder seeded with [`ServiceConfig::default`]
+    /// — so `ServiceConfig::builder().build()` is exactly the default
+    /// config, and each setter overrides one knob.
+    pub fn builder() -> ServiceConfigBuilder {
+        ServiceConfigBuilder {
+            cfg: ServiceConfig::default(),
+        }
+    }
+}
+
+/// Why [`ServiceConfigBuilder::build`] rejected a configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `max_sessions` was zero — the service could never create a
+    /// session.
+    ZeroMaxSessions,
+    /// `max_live_sessions` was zero — every session would thrash through
+    /// an eviction/restore cycle per event. (The manager internally
+    /// clamps this to 1; the builder rejects it outright.)
+    ZeroMaxLiveSessions,
+    /// `max_queued_per_shard` was zero — every sharded request would be
+    /// rejected as `overloaded`.
+    ZeroQueueBound,
+    /// A synthesis quantum below one millisecond: slicing overhead would
+    /// dominate useful synthesis work. Use `quantum(None)` for unsliced
+    /// run-to-completion instead.
+    SubMillisecondQuantum {
+        /// The rejected quantum.
+        quantum: Duration,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroMaxSessions => write!(f, "max_sessions must be at least 1"),
+            ConfigError::ZeroMaxLiveSessions => write!(f, "max_live_sessions must be at least 1"),
+            ConfigError::ZeroQueueBound => write!(f, "max_queued_per_shard must be at least 1"),
+            ConfigError::SubMillisecondQuantum { quantum } => write!(
+                f,
+                "quantum {quantum:?} is below 1ms; use quantum(None) for unsliced synthesis"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Validating builder for [`ServiceConfig`], created by
+/// [`ServiceConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfigBuilder {
+    cfg: ServiceConfig,
+}
+
+impl ServiceConfigBuilder {
+    /// Sets the per-session configuration template.
+    pub fn session(mut self, session: SessionConfig) -> Self {
+        self.cfg.session = session;
+        self
+    }
+
+    /// Sets the live-session cap (LRU eviction beyond it).
+    pub fn max_live_sessions(mut self, max: usize) -> Self {
+        self.cfg.max_live_sessions = max;
+        self
+    }
+
+    /// Sets the hard cap on tracked sessions.
+    pub fn max_sessions(mut self, max: usize) -> Self {
+        self.cfg.max_sessions = max;
+        self
+    }
+
+    /// Chooses delta (true, default) or full-replay (false) snapshots.
+    pub fn delta_restore(mut self, on: bool) -> Self {
+        self.cfg.delta_restore = on;
+        self
+    }
+
+    /// Sets the synthesis work-quantum (`None` = run to completion).
+    pub fn quantum(mut self, quantum: Option<Duration>) -> Self {
+        self.cfg.quantum = quantum;
+        self
+    }
+
+    /// Sets the per-shard in-flight job bound.
+    pub fn max_queued_per_shard(mut self, max: usize) -> Self {
+        self.cfg.max_queued_per_shard = max;
+        self
+    }
+
+    /// Enables (default) or disables O(dirty) incremental checkpoints.
+    pub fn incremental_checkpoint(mut self, on: bool) -> Self {
+        self.cfg.incremental_checkpoint = on;
+        self
+    }
+
+    /// Enables (default) or disables persisting the engine digest.
+    pub fn engine_digest(mut self, on: bool) -> Self {
+        self.cfg.engine_digest = on;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`ConfigError`] naming the offending knob; see each
+    /// variant for the rule it enforces.
+    pub fn build(self) -> Result<ServiceConfig, ConfigError> {
+        if self.cfg.max_sessions == 0 {
+            return Err(ConfigError::ZeroMaxSessions);
+        }
+        if self.cfg.max_live_sessions == 0 {
+            return Err(ConfigError::ZeroMaxLiveSessions);
+        }
+        if self.cfg.max_queued_per_shard == 0 {
+            return Err(ConfigError::ZeroQueueBound);
+        }
+        if let Some(quantum) = self.cfg.quantum {
+            if quantum < Duration::from_millis(1) {
+                return Err(ConfigError::SubMillisecondQuantum { quantum });
+            }
+        }
+        Ok(self.cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_default_matches_default() {
+        let built = ServiceConfig::builder().build().unwrap();
+        let default = ServiceConfig::default();
+        assert_eq!(built.max_live_sessions, default.max_live_sessions);
+        assert_eq!(built.max_sessions, default.max_sessions);
+        assert_eq!(built.delta_restore, default.delta_restore);
+        assert_eq!(built.quantum, default.quantum);
+        assert_eq!(built.max_queued_per_shard, default.max_queued_per_shard);
+        assert_eq!(built.incremental_checkpoint, default.incremental_checkpoint);
+        assert_eq!(built.engine_digest, default.engine_digest);
+    }
+
+    #[test]
+    fn builder_overrides_individual_knobs() {
+        let cfg = ServiceConfig::builder()
+            .max_sessions(7)
+            .max_live_sessions(2)
+            .quantum(Some(Duration::from_millis(10)))
+            .max_queued_per_shard(16)
+            .delta_restore(false)
+            .incremental_checkpoint(false)
+            .engine_digest(false)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.max_sessions, 7);
+        assert_eq!(cfg.max_live_sessions, 2);
+        assert_eq!(cfg.quantum, Some(Duration::from_millis(10)));
+        assert_eq!(cfg.max_queued_per_shard, 16);
+        assert!(!cfg.delta_restore);
+        assert!(!cfg.incremental_checkpoint);
+        assert!(!cfg.engine_digest);
+    }
+
+    #[test]
+    fn builder_rejects_nonsense_with_typed_errors() {
+        assert_eq!(
+            ServiceConfig::builder()
+                .max_sessions(0)
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroMaxSessions
+        );
+        assert_eq!(
+            ServiceConfig::builder()
+                .max_live_sessions(0)
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroMaxLiveSessions
+        );
+        assert_eq!(
+            ServiceConfig::builder()
+                .max_queued_per_shard(0)
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroQueueBound
+        );
+        let err = ServiceConfig::builder()
+            .quantum(Some(Duration::from_micros(250)))
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::SubMillisecondQuantum {
+                quantum: Duration::from_micros(250)
+            }
+        );
+        assert!(err.to_string().contains("below 1ms"), "{err}");
+        // `None` (run to completion) is always valid.
+        ServiceConfig::builder().quantum(None).build().unwrap();
+    }
+}

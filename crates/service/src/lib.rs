@@ -74,15 +74,16 @@
 
 #![warn(missing_docs)]
 
+mod config;
 mod manager;
 mod persist;
 mod protocol;
 mod sharded;
+mod stats;
 mod store;
 
-pub use manager::{
-    EventReply, ServiceConfig, ServiceError, ServiceStats, SessionId, SessionManager,
-};
+pub use config::{ConfigError, ServiceConfig, ServiceConfigBuilder};
+pub use manager::{EventReply, ServiceError, SessionId, SessionManager};
 pub use persist::{
     decode_meta, decode_session, encode_meta, encode_session, ManagerMeta, SessionRecord,
     STORE_VERSION,
@@ -92,6 +93,11 @@ pub use protocol::{
     Response, PROTOCOL_VERSION,
 };
 pub use sharded::ShardedManager;
+pub use stats::{EventCounters, ResidencyCounters, ServiceStats, SessionCounters, StatsV2};
 pub use store::{
     FileStore, MemoryStore, SegmentConfig, SegmentHandle, SegmentStore, SnapshotStore, StoreError,
+};
+pub use webrobot_metrics::{
+    bucket_bound, HistogramSnapshot, Metrics, MetricsSnapshot, RequestKind, RequestStats,
+    ShardGaugesSnapshot, METRICS_VERSION,
 };

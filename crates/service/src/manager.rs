@@ -8,17 +8,18 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::str::FromStr;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use webrobot_browser::{Output, Site};
 use webrobot_data::Value;
-use webrobot_interact::{
-    Event, Mode, Session, SessionConfig, SessionError, SessionSnapshot, StepOutcome,
-};
+use webrobot_interact::{Event, Mode, Session, SessionError, SessionSnapshot, StepOutcome};
 use webrobot_lang::Action;
+use webrobot_metrics::{Metrics, RequestKind};
 
+use crate::config::ServiceConfig;
 use crate::persist::{self, ManagerMeta};
-use crate::protocol::{Request, Response};
+use crate::protocol::{self, Request, Response};
+use crate::stats::{ServiceStats, StatsV2};
 use crate::store::{SnapshotStore, StoreError};
 
 /// The largest session id a manager will adopt from a store. Ids are
@@ -150,111 +151,6 @@ impl From<StoreError> for ServiceError {
     }
 }
 
-/// Service tuning.
-#[derive(Debug, Clone)]
-pub struct ServiceConfig {
-    /// Per-session configuration template. A `create` request's
-    /// `deadline_ms` overrides `session.synth.timeout` for that session
-    /// only (the per-session synthesis deadline).
-    pub session: SessionConfig,
-    /// How many sessions may be *live* (holding a browser + synthesizer)
-    /// at once. The least-recently-used live session beyond this cap is
-    /// evicted to a compact snapshot and transparently restored on its
-    /// next event.
-    pub max_live_sessions: usize,
-    /// Hard cap on tracked sessions, live + evicted. Further `create`
-    /// requests fail with `too_many_sessions`.
-    pub max_sessions: usize,
-    /// Evict to **delta snapshots** (the default): snapshots carry the
-    /// engine's re-synthesis schedule, so restoration replays the action
-    /// history observe-only and re-enters the synthesizer only where the
-    /// original session actually ran its worklist. Disable to evict to
-    /// legacy full-replay snapshots (one synthesis per replayed action) —
-    /// the ablation the `service_evict` bench rows price against each
-    /// other; wire behavior is identical either way.
-    pub delta_restore: bool,
-    /// Synthesis work-quantum for the sharded scheduler: each scheduling
-    /// turn runs at most this much synthesis for one session before
-    /// round-robining to the next ready session, so one pathological
-    /// worklist degrades only its own session's latency, not the whole
-    /// shard's. `None` runs every step to completion (the legacy FIFO
-    /// behavior). Quantum-sliced synthesis is exactly equal to unsliced
-    /// synthesis (pinned by the 76-benchmark differential), so this knob
-    /// is invisible on the wire — it only redistributes latency.
-    pub quantum: Option<Duration>,
-    /// Bound on in-flight jobs per shard (queued in the channel, waiting
-    /// in a run queue, or being processed). Jobs beyond the bound are
-    /// rejected with the `overloaded` error code instead of growing the
-    /// queue without limit.
-    pub max_queued_per_shard: usize,
-    /// Skip clean sessions on `checkpoint` (the default): a session whose
-    /// store record is already current is not re-serialized or re-written,
-    /// making the periodic flush O(dirty sessions) instead of O(live
-    /// sessions). Disable to rewrite every record on every checkpoint —
-    /// the legacy behavior the `service_store` bench rows price the
-    /// dirty-bit against; wire behavior is identical either way.
-    pub incremental_checkpoint: bool,
-    /// Persist the synthesizer's engine digest (worklist, processed set,
-    /// generalization candidates) inside snapshots (the default), so a
-    /// delta restore adopts the engine state directly instead of
-    /// re-running the early schedule points. Disable to strip the digest
-    /// — the ablation the `service_store` restore rows price; wire
-    /// behavior is identical either way.
-    pub engine_digest: bool,
-}
-
-impl Default for ServiceConfig {
-    fn default() -> ServiceConfig {
-        ServiceConfig {
-            session: SessionConfig::default(),
-            max_live_sessions: 64,
-            max_sessions: 4096,
-            delta_restore: true,
-            quantum: Some(Duration::from_millis(5)),
-            max_queued_per_shard: 256,
-            incremental_checkpoint: true,
-            engine_digest: true,
-        }
-    }
-}
-
-/// Aggregate service statistics (the wire protocol's `stats` reply).
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
-pub struct ServiceStats {
-    /// Sessions ever created.
-    pub sessions_created: u64,
-    /// Sessions closed (finished and forgotten).
-    pub sessions_closed: u64,
-    /// Sessions currently live (browser + synthesizer in memory).
-    pub live_sessions: u64,
-    /// Sessions currently evicted to snapshots.
-    pub evicted_sessions: u64,
-    /// Events dispatched successfully.
-    pub events_ok: u64,
-    /// Events rejected with a typed error.
-    pub events_rejected: u64,
-    /// Live→snapshot evictions performed.
-    pub evictions: u64,
-    /// Snapshot→live restorations performed.
-    pub restores: u64,
-}
-
-impl ServiceStats {
-    /// Field-wise sum — how [`ShardedManager`](crate::ShardedManager)
-    /// aggregates its shards' counters into one service-wide view. Every
-    /// field is a disjoint per-shard count, so addition is exact.
-    pub fn absorb(&mut self, other: &ServiceStats) {
-        self.sessions_created += other.sessions_created;
-        self.sessions_closed += other.sessions_closed;
-        self.live_sessions += other.live_sessions;
-        self.evicted_sessions += other.evicted_sessions;
-        self.events_ok += other.events_ok;
-        self.events_rejected += other.events_rejected;
-        self.evictions += other.evictions;
-        self.restores += other.restores;
-    }
-}
-
 /// What one dispatched event did, plus the session state a front-end
 /// needs to render its next screen.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -372,7 +268,20 @@ pub struct SessionManager {
     /// manager would).
     id_stride: u64,
     clock: u64,
-    stats: ServiceStats,
+    stats: StatsV2,
+    /// The observability registry this manager records into. A standalone
+    /// manager owns a single-shard registry and records its own requests;
+    /// a shard of a [`ShardedManager`](crate::ShardedManager) shares the
+    /// front end's registry (see [`SessionManager::attach_metrics`]) and
+    /// leaves request accounting to the front end, recording only its
+    /// lifecycle events (evict/restore/checkpoint) and gauges.
+    metrics: Arc<Metrics>,
+    /// Which gauge slot in `metrics` this manager owns.
+    metrics_shard: usize,
+    /// Whether `handle`/`handle_json` record request counters/latency
+    /// here (false when a sharded front end records at its boundary, so
+    /// requests are never double-counted).
+    record_requests: bool,
     /// The durability substrate, when attached: evictions spill serialized
     /// snapshots into it, `checkpoint`/`Drop` flush everything, and the
     /// constructor adopts whatever the store already holds.
@@ -410,10 +319,35 @@ impl SessionManager {
             id_first: 1,
             id_stride: 1,
             clock: 0,
-            stats: ServiceStats::default(),
+            stats: StatsV2::default(),
+            metrics: Arc::new(Metrics::new(1)),
+            metrics_shard: 0,
+            record_requests: true,
             store: None,
             pending_removals: Vec::new(),
         }
+    }
+
+    /// Points this manager at a shared [`Metrics`] registry, owning gauge
+    /// slot `shard`. `record_requests` controls whether `handle` records
+    /// request counters here — a sharded front end passes `false` and
+    /// records at its own boundary instead.
+    pub(crate) fn attach_metrics(
+        &mut self,
+        metrics: Arc<Metrics>,
+        shard: usize,
+        record_requests: bool,
+    ) {
+        self.metrics = metrics;
+        self.metrics_shard = shard;
+        self.record_requests = record_requests;
+    }
+
+    /// The observability registry this manager records into. Scrape with
+    /// [`Metrics::snapshot`]; the wire form is the `{"kind":"metrics"}`
+    /// request.
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.metrics
     }
 
     /// Creates a manager backed by a persistent [`SnapshotStore`],
@@ -481,7 +415,7 @@ impl SessionManager {
             }
             manager.next_id = meta.next_id.max(manager.next_id);
             manager.clock = meta.clock;
-            manager.stats = meta.stats;
+            manager.stats = StatsV2::from_legacy(&meta.stats);
         }
         manager.adopt_sessions()?;
         Ok(manager)
@@ -569,7 +503,7 @@ impl SessionManager {
             },
         );
         self.live += 1;
-        self.stats.sessions_created += 1;
+        self.stats.sessions.created += 1;
         self.enforce_live_capacity(Some(id.0));
         Ok(id)
     }
@@ -602,13 +536,13 @@ impl SessionManager {
                 outputs: session.browser().outputs().len(),
             },
             Err(e) => {
-                self.stats.events_rejected += 1;
+                self.stats.events.rejected += 1;
                 return Err(ServiceError::Session(e));
             }
         };
         // The session advanced: its store record (if any) is now stale.
         tracked.dirty = true;
-        self.stats.events_ok += 1;
+        self.stats.events.ok += 1;
         Ok(reply)
     }
 
@@ -647,7 +581,7 @@ impl SessionManager {
         match live.handle_quantum(event, budget) {
             Ok(Some(outcome)) => {
                 tracked.dirty = true;
-                self.stats.events_ok += 1;
+                self.stats.events.ok += 1;
                 Some(self.event_response(id, outcome))
             }
             Ok(None) => {
@@ -657,7 +591,7 @@ impl SessionManager {
                 None
             }
             Err(e) => {
-                self.stats.events_rejected += 1;
+                self.stats.events.rejected += 1;
                 Some(error_response(&ServiceError::Session(e)))
             }
         }
@@ -685,7 +619,7 @@ impl SessionManager {
         };
         let outcome = live.continue_quantum(budget)?;
         tracked.dirty = true;
-        self.stats.events_ok += 1;
+        self.stats.events.ok += 1;
         Some(self.event_response(id, outcome))
     }
 
@@ -748,7 +682,7 @@ impl SessionManager {
         match self.sessions.remove(&id.0) {
             Some(mut tracked) => {
                 if let Slot::Live { session, .. } = &mut tracked.slot {
-                    session.finish().ok(); // idempotent best effort
+                    session.handle(Event::Finish).ok(); // idempotent best effort
                     self.live -= 1;
                 }
                 if let Some(store) = self.store.as_mut() {
@@ -759,7 +693,7 @@ impl SessionManager {
                         self.pending_removals.push(id.0);
                     }
                 }
-                self.stats.sessions_closed += 1;
+                self.stats.sessions.closed += 1;
                 Ok(())
             }
             None => Err(ServiceError::UnknownSession(id.to_string())),
@@ -788,6 +722,7 @@ impl SessionManager {
             // taken now would not replay to an equivalent session.
             return false;
         }
+        let started = Instant::now();
         let mut snapshot = session.snapshot();
         if !self.cfg.delta_restore {
             snapshot = snapshot.without_schedule();
@@ -802,7 +737,7 @@ impl SessionManager {
             snapshot: Box::new(snapshot),
         };
         self.live -= 1;
-        self.stats.evictions += 1;
+        self.stats.residency.evictions += 1;
         if let (Some(store), Some(record)) = (self.store.as_mut(), record) {
             if store.put(&id.to_string(), &record).is_ok() {
                 // The spilled record is exactly the snapshot we now hold:
@@ -812,6 +747,7 @@ impl SessionManager {
                 }
             }
         }
+        self.metrics.record_evict(started.elapsed());
         true
     }
 
@@ -838,12 +774,45 @@ impl SessionManager {
         count
     }
 
-    /// Current aggregate statistics.
+    /// Current aggregate statistics in the flat legacy shape (the
+    /// `{"kind":"stats"}` wire reply). New code should prefer
+    /// [`SessionManager::stats_v2`].
     pub fn stats(&self) -> ServiceStats {
-        let mut stats = self.stats.clone();
-        stats.live_sessions = self.live as u64;
-        stats.evicted_sessions = (self.sessions.len() - self.live) as u64;
+        self.stats_v2().legacy()
+    }
+
+    /// Current aggregate statistics in the versioned, grouped v2 shape
+    /// (what the `{"kind":"metrics"}` wire reply carries).
+    pub fn stats_v2(&self) -> StatsV2 {
+        let mut stats = self.stats;
+        stats.sessions.live = self.live as u64;
+        stats.sessions.evicted = (self.sessions.len() - self.live) as u64;
         stats
+    }
+
+    /// Refreshes this manager's gauge slot in the metrics registry:
+    /// session residency (live/evicted/dirty) and, when a store is
+    /// attached, its cumulative I/O totals. The sharded scheduler calls
+    /// this between jobs; the standalone manager on every `metrics`
+    /// request.
+    pub(crate) fn refresh_gauges(&self) {
+        let gauges = self.metrics.shard(self.metrics_shard);
+        let dirty = self.sessions.values().filter(|t| t.dirty).count() as u64;
+        gauges.set_sessions(
+            self.live as u64,
+            (self.sessions.len() - self.live) as u64,
+            dirty,
+        );
+        if let Some(store) = self.store.as_ref() {
+            let io = store.io_stats();
+            gauges.set_store_io(
+                io.puts,
+                io.removes,
+                io.bytes_written,
+                io.fsyncs,
+                io.compactions,
+            );
+        }
     }
 
     /// How many sessions are currently live.
@@ -887,6 +856,7 @@ impl SessionManager {
     /// [`ServiceError::Store`] when a write fails (records already
     /// written stay written — the operation is idempotent, re-run it).
     pub fn checkpoint(&mut self) -> Result<usize, ServiceError> {
+        let started = Instant::now();
         let Some(store) = self.store.as_mut() else {
             return Err(ServiceError::NoStore);
         };
@@ -924,7 +894,7 @@ impl SessionManager {
         let meta = persist::encode_meta(&ManagerMeta {
             next_id: self.next_id,
             clock: self.clock,
-            stats: self.stats.clone(),
+            stats: self.stats.legacy(),
         });
         let meta_key = format!("shard-{}-of-{}", self.id_first, self.id_stride);
         store.put(&meta_key, &meta)?;
@@ -937,6 +907,7 @@ impl SessionManager {
         // Group-committing stores defer fsync; "checkpoint replied ok"
         // must always mean "on disk", so force the commit here.
         store.flush()?;
+        self.metrics.record_checkpoint(started.elapsed());
         Ok(count)
     }
 
@@ -961,6 +932,21 @@ impl SessionManager {
     /// Handles one typed request. Never panics: every failure is a
     /// [`Response::Error`].
     pub fn handle(&mut self, request: Request) -> Response {
+        if !self.record_requests {
+            return self.handle_inner(request);
+        }
+        let kind = protocol::request_kind(&request);
+        let started = Instant::now();
+        let response = self.handle_inner(request);
+        self.metrics.record_request(
+            kind,
+            protocol::response_error_code(&response),
+            started.elapsed(),
+        );
+        response
+    }
+
+    fn handle_inner(&mut self, request: Request) -> Response {
         match request {
             Request::Create {
                 site,
@@ -993,6 +979,14 @@ impl SessionManager {
                 }
             }
             Request::Stats => Response::Stats(self.stats()),
+            Request::Metrics => {
+                self.refresh_gauges();
+                self.metrics.shard(self.metrics_shard).set_queue_depth(0);
+                Response::Metrics {
+                    stats: self.stats_v2(),
+                    metrics: Box::new(self.metrics.snapshot()),
+                }
+            }
             Request::Close { session } => {
                 match self.parse_id(&session).and_then(|id| self.close(id)) {
                     Ok(()) => Response::Closed { session },
@@ -1016,7 +1010,16 @@ impl SessionManager {
     pub fn handle_json(&mut self, request: &str) -> String {
         match Request::from_json(request) {
             Ok(request) => self.handle(request),
-            Err(e) => Response::from(e),
+            Err(e) => {
+                if self.record_requests {
+                    self.metrics.record_request(
+                        RequestKind::Malformed,
+                        Some(e.code()),
+                        Duration::ZERO,
+                    );
+                }
+                Response::from(e)
+            }
         }
         .to_json()
     }
@@ -1043,13 +1046,15 @@ impl SessionManager {
                 Ok(())
             }
             Slot::Evicted { snapshot } => {
+                let started = Instant::now();
                 let session = Session::restore(snapshot).map_err(ServiceError::Session)?;
                 tracked.slot = Slot::Live {
                     session: Box::new(session),
                     last_used: clock,
                 };
                 self.live += 1;
-                self.stats.restores += 1;
+                self.stats.residency.restores += 1;
+                self.metrics.record_restore(started.elapsed());
                 Ok(())
             }
             Slot::Stored { raw } => {

@@ -23,8 +23,8 @@ use webrobot_data::Value;
 use webrobot_interact::{EngineDigest, Item, Mode, SessionSnapshot};
 use webrobot_lang::{parse_program, Action, Program};
 
-use crate::manager::ServiceStats;
 use crate::protocol::{action_from_value, action_to_value};
+use crate::stats::ServiceStats;
 
 /// The snapshot-record format version this build reads and writes.
 pub const STORE_VERSION: i64 = 1;
@@ -427,12 +427,13 @@ mod tests {
         let site = Arc::new(b.start_at(home).finish());
         let mut s = Session::new(site, LangValue::Object(vec![]), SessionConfig::default());
         for i in 1..=2 {
-            s.demonstrate(&webrobot_lang::Action::ScrapeText(
-                format!("/a[{i}]").parse().unwrap(),
+            s.handle(webrobot_interact::Event::Demonstrate(
+                webrobot_lang::Action::ScrapeText(format!("/a[{i}]").parse().unwrap()),
             ))
             .unwrap();
         }
-        s.authorize(Some(0)).unwrap();
+        s.handle(webrobot_interact::Event::Accept { index: 0 })
+            .unwrap();
         s.snapshot()
     }
 

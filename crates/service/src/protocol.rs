@@ -19,8 +19,11 @@ use webrobot_browser::Output;
 use webrobot_data::{parse_json, PathSeg, Value, ValuePath};
 use webrobot_interact::{Event, Mode, StepOutcome};
 use webrobot_lang::Action;
+use webrobot_metrics::{
+    bucket_bound, HistogramSnapshot, MetricsSnapshot, RequestKind, ShardGaugesSnapshot,
+};
 
-use crate::manager::ServiceStats;
+use crate::stats::{ServiceStats, StatsV2};
 
 /// The protocol version this build speaks. Requests must carry
 /// `{"v": 1}`; anything else is rejected with `unsupported_version`.
@@ -89,6 +92,10 @@ pub enum Request {
     },
     /// Fetch aggregate service statistics.
     Stats,
+    /// Fetch the full observability snapshot: versioned service counters
+    /// plus latency histograms, per-kind request counters and per-shard
+    /// gauges. Supersedes `stats` for new clients.
+    Metrics,
     /// Finish and forget a session.
     Close {
         /// The session id.
@@ -145,6 +152,7 @@ impl Request {
                 session: require_str(&value, "session")?.to_string(),
             }),
             "stats" => Ok(Request::Stats),
+            "metrics" => Ok(Request::Metrics),
             "close" => Ok(Request::Close {
                 session: require_str(&value, "session")?.to_string(),
             }),
@@ -185,6 +193,7 @@ impl Request {
                 fields.push(("session".to_string(), Value::str(session.clone())));
             }
             Request::Stats => fields.push(("kind".to_string(), Value::str("stats"))),
+            Request::Metrics => fields.push(("kind".to_string(), Value::str("metrics"))),
             Request::Close { session } => {
                 fields.push(("kind".to_string(), Value::str("close")));
                 fields.push(("session".to_string(), Value::str(session.clone())));
@@ -227,8 +236,18 @@ pub enum Response {
         /// Everything scraped so far, in order.
         outputs: Vec<Output>,
     },
-    /// Aggregate service statistics.
+    /// Aggregate service statistics (legacy flat shape).
     Stats(ServiceStats),
+    /// The full observability snapshot: versioned grouped counters plus
+    /// latency histograms, per-kind request counters and per-shard gauges.
+    Metrics {
+        /// Versioned service counters (the v2 stats shape).
+        stats: StatsV2,
+        /// Histograms, request counters, scheduler counters and gauges.
+        /// Boxed: the snapshot dwarfs every other variant, and boxing it
+        /// keeps `Response` small for the common replies.
+        metrics: Box<MetricsSnapshot>,
+    },
     /// A session was finished and forgotten.
     Closed {
         /// The closed session's id.
@@ -298,6 +317,11 @@ impl Response {
             Response::Stats(stats) => {
                 ok(&mut fields, "stats");
                 fields.push(("stats".to_string(), stats_to_value(stats)));
+            }
+            Response::Metrics { stats, metrics } => {
+                ok(&mut fields, "metrics");
+                fields.push(("stats".to_string(), stats_v2_to_value(stats)));
+                fields.push(("metrics".to_string(), metrics_to_value(metrics)));
             }
             Response::Closed { session } => {
                 ok(&mut fields, "closed");
@@ -528,6 +552,203 @@ fn stats_to_value(stats: &ServiceStats) -> Value {
     ])
 }
 
+fn stats_v2_to_value(stats: &StatsV2) -> Value {
+    Value::object([
+        ("v".to_string(), Value::Int(2)),
+        (
+            "sessions".to_string(),
+            Value::object([
+                (
+                    "created".to_string(),
+                    Value::Int(stats.sessions.created as i64),
+                ),
+                (
+                    "closed".to_string(),
+                    Value::Int(stats.sessions.closed as i64),
+                ),
+                ("live".to_string(), Value::Int(stats.sessions.live as i64)),
+                (
+                    "evicted".to_string(),
+                    Value::Int(stats.sessions.evicted as i64),
+                ),
+            ]),
+        ),
+        (
+            "events".to_string(),
+            Value::object([
+                ("ok".to_string(), Value::Int(stats.events.ok as i64)),
+                (
+                    "rejected".to_string(),
+                    Value::Int(stats.events.rejected as i64),
+                ),
+            ]),
+        ),
+        (
+            "residency".to_string(),
+            Value::object([
+                (
+                    "evictions".to_string(),
+                    Value::Int(stats.residency.evictions as i64),
+                ),
+                (
+                    "restores".to_string(),
+                    Value::Int(stats.residency.restores as i64),
+                ),
+            ]),
+        ),
+    ])
+}
+
+fn histogram_to_value(hist: &HistogramSnapshot) -> Value {
+    let buckets = hist
+        .buckets
+        .iter()
+        .enumerate()
+        .filter(|(_, count)| **count > 0)
+        .map(|(idx, count)| {
+            Value::object([
+                ("le_ns".to_string(), Value::Int(bucket_bound(idx) as i64)),
+                ("count".to_string(), Value::Int(*count as i64)),
+            ])
+        })
+        .collect();
+    Value::object([
+        ("count".to_string(), Value::Int(hist.count as i64)),
+        ("mean_ns".to_string(), Value::Int(hist.mean_ns() as i64)),
+        ("max_ns".to_string(), Value::Int(hist.max_ns as i64)),
+        ("p50_ns".to_string(), Value::Int(hist.percentile(50) as i64)),
+        ("p95_ns".to_string(), Value::Int(hist.percentile(95) as i64)),
+        ("p99_ns".to_string(), Value::Int(hist.percentile(99) as i64)),
+        ("buckets".to_string(), Value::Array(buckets)),
+    ])
+}
+
+fn shard_gauges_to_value(shard: usize, gauges: &ShardGaugesSnapshot) -> Value {
+    Value::object([
+        ("shard".to_string(), Value::Int(shard as i64)),
+        (
+            "queue_depth".to_string(),
+            Value::Int(gauges.queue_depth as i64),
+        ),
+        (
+            "parked_sessions".to_string(),
+            Value::Int(gauges.parked_sessions as i64),
+        ),
+        (
+            "live_sessions".to_string(),
+            Value::Int(gauges.live_sessions as i64),
+        ),
+        (
+            "evicted_sessions".to_string(),
+            Value::Int(gauges.evicted_sessions as i64),
+        ),
+        (
+            "dirty_sessions".to_string(),
+            Value::Int(gauges.dirty_sessions as i64),
+        ),
+        (
+            "store_puts".to_string(),
+            Value::Int(gauges.store_puts as i64),
+        ),
+        (
+            "store_removes".to_string(),
+            Value::Int(gauges.store_removes as i64),
+        ),
+        (
+            "store_bytes".to_string(),
+            Value::Int(gauges.store_bytes as i64),
+        ),
+        (
+            "store_fsyncs".to_string(),
+            Value::Int(gauges.store_fsyncs as i64),
+        ),
+        (
+            "store_compactions".to_string(),
+            Value::Int(gauges.store_compactions as i64),
+        ),
+    ])
+}
+
+fn metrics_to_value(metrics: &MetricsSnapshot) -> Value {
+    let requests = metrics
+        .requests
+        .iter()
+        .map(|req| {
+            let errors = req
+                .errors
+                .iter()
+                .map(|(code, count)| {
+                    Value::object([
+                        ("code".to_string(), Value::str(*code)),
+                        ("count".to_string(), Value::Int(*count as i64)),
+                    ])
+                })
+                .collect();
+            Value::object([
+                ("kind".to_string(), Value::str(req.kind)),
+                ("ok".to_string(), Value::Int(req.ok as i64)),
+                ("errors".to_string(), Value::Array(errors)),
+                ("latency".to_string(), histogram_to_value(&req.latency)),
+            ])
+        })
+        .collect();
+    let shards = metrics
+        .shards
+        .iter()
+        .enumerate()
+        .map(|(shard, gauges)| shard_gauges_to_value(shard, gauges))
+        .collect();
+    Value::object([
+        ("version".to_string(), Value::Int(metrics.version as i64)),
+        ("requests".to_string(), Value::Array(requests)),
+        (
+            "lifecycle".to_string(),
+            Value::object([
+                ("evict".to_string(), histogram_to_value(&metrics.evict)),
+                ("restore".to_string(), histogram_to_value(&metrics.restore)),
+                (
+                    "checkpoint".to_string(),
+                    histogram_to_value(&metrics.checkpoint),
+                ),
+            ]),
+        ),
+        (
+            "transport".to_string(),
+            histogram_to_value(&metrics.transport),
+        ),
+        (
+            "scheduler".to_string(),
+            Value::object([
+                ("quanta".to_string(), Value::Int(metrics.quanta as i64)),
+                ("parks".to_string(), Value::Int(metrics.parks as i64)),
+            ]),
+        ),
+        ("shards".to_string(), Value::Array(shards)),
+    ])
+}
+
+/// Classifies a decoded request for per-kind metrics accounting.
+pub(crate) fn request_kind(request: &Request) -> RequestKind {
+    match request {
+        Request::Create { .. } => RequestKind::Create,
+        Request::Event { .. } => RequestKind::Event,
+        Request::Outputs { .. } => RequestKind::Outputs,
+        Request::Stats => RequestKind::Stats,
+        Request::Metrics => RequestKind::Metrics,
+        Request::Close { .. } => RequestKind::Close,
+        Request::Checkpoint => RequestKind::Checkpoint,
+        Request::Recover => RequestKind::Recover,
+    }
+}
+
+/// The stable error code carried by an error response, if any.
+pub(crate) fn response_error_code(response: &Response) -> Option<&str> {
+    match response {
+        Response::Error { code, .. } => Some(code.as_str()),
+        _ => None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -600,6 +821,7 @@ mod tests {
                 session: "s-2".to_string(),
             },
             Request::Stats,
+            Request::Metrics,
             Request::Close {
                 session: "s-1".to_string(),
             },

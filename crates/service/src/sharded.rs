@@ -52,14 +52,17 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender, TryRecvError};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use webrobot_browser::Site;
 use webrobot_data::Value;
 use webrobot_interact::Event;
+use webrobot_metrics::{Metrics, RequestKind};
 
-use crate::manager::{error_response, ServiceConfig, ServiceError, ServiceStats, SessionManager};
-use crate::protocol::{Request, Response};
+use crate::config::ServiceConfig;
+use crate::manager::{error_response, ServiceError, SessionManager};
+use crate::protocol::{self, Request, Response};
+use crate::stats::{ServiceStats, StatsV2};
 use crate::store::{SnapshotStore, StoreError};
 
 /// One unit of work sent to a shard thread.
@@ -153,6 +156,9 @@ pub struct ShardedManager {
     workers: Vec<JoinHandle<()>>,
     /// Admission limit per shard, from [`ServiceConfig::max_queued_per_shard`].
     max_queued: usize,
+    /// Shared with every shard worker (one gauge set per shard); request
+    /// latency is recorded here, at the front-end boundary, exactly once.
+    metrics: Arc<Metrics>,
 }
 
 // The whole point: front-end threads share one `&ShardedManager`.
@@ -222,7 +228,18 @@ impl ShardedManager {
     }
 
     /// Spawns one worker thread per prepared manager.
-    fn spawn(managers: Vec<SessionManager>, created: u64, cfg: &ServiceConfig) -> ShardedManager {
+    fn spawn(
+        mut managers: Vec<SessionManager>,
+        created: u64,
+        cfg: &ServiceConfig,
+    ) -> ShardedManager {
+        // One shared metrics registry: each shard records into its own
+        // gauge slot, while request accounting stays at the front end
+        // (the workers' managers are told not to double-count).
+        let metrics = Arc::new(Metrics::new(managers.len()));
+        for (k, manager) in managers.iter_mut().enumerate() {
+            manager.attach_metrics(metrics.clone(), k, false);
+        }
         let mut shards = Vec::with_capacity(managers.len());
         let mut workers = Vec::with_capacity(managers.len());
         for (k, manager) in managers.into_iter().enumerate() {
@@ -232,6 +249,7 @@ impl ShardedManager {
                 quantum: cfg.quantum,
                 inflight: Arc::new(AtomicUsize::new(0)),
                 down: Arc::new(AtomicBool::new(false)),
+                metrics: metrics.clone(),
             };
             shards.push(ShardHandle {
                 tx,
@@ -250,6 +268,7 @@ impl ShardedManager {
             router: Mutex::new(CreateRouter { created }),
             workers,
             max_queued: cfg.max_queued_per_shard.max(1),
+            metrics,
         }
     }
 
@@ -293,6 +312,19 @@ impl ShardedManager {
     /// shard's admission queue is full and `shard_down` when its worker
     /// has panicked.
     pub fn handle(&self, request: Request) -> Response {
+        let kind = protocol::request_kind(&request);
+        let started = Instant::now();
+        let response = self.handle_inner(request);
+        self.metrics.record_request(
+            kind,
+            protocol::response_error_code(&response),
+            started.elapsed(),
+        );
+        response
+    }
+
+    /// [`handle`](ShardedManager::handle) minus the metrics boundary.
+    fn handle_inner(&self, request: Request) -> Response {
         match request {
             Request::Create { .. } => self.create(request),
             Request::Event { ref session, .. }
@@ -307,6 +339,7 @@ impl ShardedManager {
                 Err(()) => error_response(&ServiceError::UnknownSession(session.clone())),
             },
             Request::Stats => Response::Stats(self.stats()),
+            Request::Metrics => self.metrics_response(),
             // Durability requests fan out to every shard (each owns a
             // disjoint slice of the sessions and its own store handle)
             // and report the summed session count.
@@ -320,23 +353,61 @@ impl ShardedManager {
     pub fn handle_json(&self, request: &str) -> String {
         match Request::from_json(request) {
             Ok(request) => self.handle(request),
-            Err(e) => Response::from(e),
+            Err(e) => {
+                self.metrics
+                    .record_request(RequestKind::Malformed, Some(e.code()), Duration::ZERO);
+                Response::from(e)
+            }
         }
         .to_json()
     }
 
-    /// Aggregate statistics, summed field-wise over all shards. Each
-    /// counter counts disjoint per-shard events, so the sum is exact
-    /// (pinned against the unsharded manager by `tests/sharded.rs`).
-    /// Shards that are down (or over their admission limit) are skipped.
+    /// Aggregate statistics in the flat legacy shape, summed field-wise
+    /// over all shards (pinned against the unsharded manager by
+    /// `tests/sharded.rs`). Shards that are down (or over their admission
+    /// limit) are skipped.
     pub fn stats(&self) -> ServiceStats {
-        let mut total = ServiceStats::default();
+        self.stats_v2().legacy()
+    }
+
+    /// Aggregate statistics in the versioned grouped shape. Each counter
+    /// counts disjoint per-shard events, so the field-wise sum is exact.
+    pub fn stats_v2(&self) -> StatsV2 {
+        let mut total = StatsV2::default();
         for reply in self.fan_out(&Request::Stats) {
             if let Some(Response::Stats(stats)) = reply {
-                total.absorb(&stats);
+                total.absorb(&StatsV2::from_legacy(&stats));
             }
         }
         total
+    }
+
+    /// The shared observability registry: request/lifecycle histograms,
+    /// scheduler counters and one gauge set per shard.
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.metrics
+    }
+
+    /// Builds the `metrics` response: fans out to every shard so each
+    /// refreshes its own gauge slot (and reports its counters), then
+    /// overwrites the queue-depth gauges with the front end's in-flight
+    /// counts and snapshots the shared registry.
+    fn metrics_response(&self) -> Response {
+        let mut stats = StatsV2::default();
+        for reply in self.fan_out(&Request::Metrics) {
+            if let Some(Response::Metrics { stats: shard, .. }) = reply {
+                stats.absorb(&shard);
+            }
+        }
+        for (shard, handle) in self.shards.iter().enumerate() {
+            self.metrics
+                .shard(shard)
+                .set_queue_depth(handle.inflight.load(Ordering::SeqCst) as u64);
+        }
+        Response::Metrics {
+            stats,
+            metrics: Box::new(self.metrics.snapshot()),
+        }
     }
 
     // ───────────────────── internals ─────────────────────
@@ -503,6 +574,9 @@ struct ShardCtx {
     quantum: Option<Duration>,
     inflight: Arc<AtomicUsize>,
     down: Arc<AtomicBool>,
+    /// Shared observability registry; the scheduler counts quanta and
+    /// parks here, and the worker owns gauge slot `index`.
+    metrics: Arc<Metrics>,
 }
 
 /// Far past any real synthesis timeout: "run this step to completion".
@@ -661,8 +735,18 @@ fn ingest(
                 queue.jobs.push_back((request, reply));
             }
             Request::Checkpoint | Request::Recover => barriers.push_back((request, reply)),
-            // Create/Stats touch no in-flight session state: answer now.
+            // Create/Stats/Metrics touch no in-flight session state:
+            // answer now.
             other => {
+                // A metrics scrape also publishes this shard's scheduler
+                // gauge (how many sessions sit parked mid-quantum), which
+                // only the worker can observe.
+                if matches!(other, Request::Metrics) {
+                    let parked = queues.values().filter(|q| q.parked.is_some()).count();
+                    ctx.metrics
+                        .shard(ctx.index)
+                        .set_parked_sessions(parked as u64);
+                }
                 let response = manager.handle(other);
                 // Slot before reply, as in the barrier path.
                 ctx.inflight.fetch_sub(1, Ordering::SeqCst);
@@ -687,7 +771,7 @@ fn run_session(
         return;
     };
     let finished = if let Some((session, reply)) = queue.parked.take() {
-        match step_event(manager, &session, None, budget) {
+        match step_event(manager, ctx, &session, None, budget) {
             Some(response) => Some((reply, response)),
             None => {
                 queue.parked = Some((session, reply));
@@ -699,7 +783,7 @@ fn run_session(
             // Slice only when configured to: `quantum: None` keeps the
             // legacy run-to-completion dispatch byte for byte.
             Request::Event { session, event } if ctx.quantum.is_some() => {
-                match step_event(manager, &session, Some(event), budget) {
+                match step_event(manager, ctx, &session, Some(event), budget) {
                     Some(response) => Some((reply, response)),
                     None => {
                         queue.parked = Some((session, reply));
@@ -730,17 +814,23 @@ fn run_session(
 /// step parked again.
 fn step_event(
     manager: &mut SessionManager,
+    ctx: &ShardCtx,
     session: &str,
     event: Option<Event>,
     budget: Option<Duration>,
 ) -> Option<Response> {
     let slice = budget.unwrap_or(RUN_TO_COMPLETION);
+    ctx.metrics.record_quantum();
     let mut response = match event {
         Some(event) => manager.handle_event_quantum(session, event, slice),
         None => manager.continue_event_quantum(session, slice),
     };
     while response.is_none() && budget.is_none() {
+        ctx.metrics.record_quantum();
         response = manager.continue_event_quantum(session, slice);
+    }
+    if response.is_none() {
+        ctx.metrics.record_park();
     }
     response
 }

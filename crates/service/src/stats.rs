@@ -1,0 +1,187 @@
+//! Aggregate service statistics: the versioned [`StatsV2`] shape the
+//! manager maintains internally and the `metrics` wire response exposes,
+//! plus the flat legacy [`ServiceStats`] blob the original `stats`
+//! response (and the persisted metadata record) is pinned to.
+//!
+//! [`StatsV2`] is the source of truth: the manager bumps its grouped
+//! counters directly, and every legacy surface is derived through
+//! [`StatsV2::legacy`] / [`StatsV2::from_legacy`] (lossless in both
+//! directions, which is what keeps the old `{"kind":"stats"}` response and
+//! the on-disk metadata format byte-identical to previous releases).
+
+/// Session lifecycle counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionCounters {
+    /// Sessions ever created.
+    pub created: u64,
+    /// Sessions closed (finished and forgotten).
+    pub closed: u64,
+    /// Sessions currently live (browser + synthesizer in memory). A
+    /// point-in-time gauge, filled in when a snapshot is taken.
+    pub live: u64,
+    /// Sessions currently evicted to snapshots. A point-in-time gauge,
+    /// filled in when a snapshot is taken.
+    pub evicted: u64,
+}
+
+/// Event dispatch counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EventCounters {
+    /// Events dispatched successfully.
+    pub ok: u64,
+    /// Events rejected with a typed error.
+    pub rejected: u64,
+}
+
+/// Residency churn counters (the LRU eviction machinery).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResidencyCounters {
+    /// Live→snapshot evictions performed.
+    pub evictions: u64,
+    /// Snapshot→live restorations performed.
+    pub restores: u64,
+}
+
+/// Versioned, grouped service statistics — the v2 shape shared by the
+/// `metrics` wire response, the manager's internal accounting, and
+/// [`ServiceStats::absorb`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsV2 {
+    /// Session lifecycle counters.
+    pub sessions: SessionCounters,
+    /// Event dispatch counters.
+    pub events: EventCounters,
+    /// Residency churn counters.
+    pub residency: ResidencyCounters,
+}
+
+impl StatsV2 {
+    /// Field-wise sum — how a sharded front end aggregates its shards'
+    /// counters into one service-wide view. Every field is a disjoint
+    /// per-shard count, so addition is exact.
+    pub fn absorb(&mut self, other: &StatsV2) {
+        self.sessions.created += other.sessions.created;
+        self.sessions.closed += other.sessions.closed;
+        self.sessions.live += other.sessions.live;
+        self.sessions.evicted += other.sessions.evicted;
+        self.events.ok += other.events.ok;
+        self.events.rejected += other.events.rejected;
+        self.residency.evictions += other.residency.evictions;
+        self.residency.restores += other.residency.restores;
+    }
+
+    /// Projects into the flat legacy shape (lossless).
+    pub fn legacy(&self) -> ServiceStats {
+        ServiceStats {
+            sessions_created: self.sessions.created,
+            sessions_closed: self.sessions.closed,
+            live_sessions: self.sessions.live,
+            evicted_sessions: self.sessions.evicted,
+            events_ok: self.events.ok,
+            events_rejected: self.events.rejected,
+            evictions: self.residency.evictions,
+            restores: self.residency.restores,
+        }
+    }
+
+    /// Lifts the flat legacy shape into v2 (lossless) — how counters
+    /// persisted in the legacy metadata record are re-adopted.
+    pub fn from_legacy(legacy: &ServiceStats) -> StatsV2 {
+        StatsV2 {
+            sessions: SessionCounters {
+                created: legacy.sessions_created,
+                closed: legacy.sessions_closed,
+                live: legacy.live_sessions,
+                evicted: legacy.evicted_sessions,
+            },
+            events: EventCounters {
+                ok: legacy.events_ok,
+                rejected: legacy.events_rejected,
+            },
+            residency: ResidencyCounters {
+                evictions: legacy.evictions,
+                restores: legacy.restores,
+            },
+        }
+    }
+}
+
+/// Aggregate service statistics in the flat legacy shape (the wire
+/// protocol's `stats` reply and the persisted metadata record).
+///
+/// New code should read [`StatsV2`] (via `SessionManager::stats_v2`, the
+/// sharded equivalent, or the `{"kind":"metrics"}` wire request); this
+/// shape is kept for the byte-pinned legacy `{"kind":"stats"}` response
+/// and the on-disk metadata format, and converts losslessly both ways.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Sessions ever created.
+    pub sessions_created: u64,
+    /// Sessions closed (finished and forgotten).
+    pub sessions_closed: u64,
+    /// Sessions currently live (browser + synthesizer in memory).
+    pub live_sessions: u64,
+    /// Sessions currently evicted to snapshots.
+    pub evicted_sessions: u64,
+    /// Events dispatched successfully.
+    pub events_ok: u64,
+    /// Events rejected with a typed error.
+    pub events_rejected: u64,
+    /// Live→snapshot evictions performed.
+    pub evictions: u64,
+    /// Snapshot→live restorations performed.
+    pub restores: u64,
+}
+
+impl ServiceStats {
+    /// Field-wise sum, delegated through the v2 shape so both
+    /// representations aggregate by the same rule.
+    pub fn absorb(&mut self, other: &ServiceStats) {
+        let mut v2 = StatsV2::from_legacy(self);
+        v2.absorb(&StatsV2::from_legacy(other));
+        *self = v2.legacy();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> StatsV2 {
+        StatsV2 {
+            sessions: SessionCounters {
+                created: 5,
+                closed: 2,
+                live: 2,
+                evicted: 1,
+            },
+            events: EventCounters {
+                ok: 40,
+                rejected: 3,
+            },
+            residency: ResidencyCounters {
+                evictions: 4,
+                restores: 3,
+            },
+        }
+    }
+
+    #[test]
+    fn legacy_round_trips_losslessly() {
+        let v2 = sample();
+        assert_eq!(StatsV2::from_legacy(&v2.legacy()), v2);
+        let legacy = v2.legacy();
+        assert_eq!(StatsV2::from_legacy(&legacy).legacy(), legacy);
+    }
+
+    #[test]
+    fn absorb_agrees_between_shapes() {
+        let mut v2 = sample();
+        v2.absorb(&sample());
+        let mut legacy = sample().legacy();
+        legacy.absorb(&sample().legacy());
+        assert_eq!(v2.legacy(), legacy);
+        assert_eq!(v2.sessions.created, 10);
+        assert_eq!(v2.events.ok, 80);
+    }
+}

@@ -101,6 +101,25 @@ impl fmt::Display for StoreError {
 
 impl Error for StoreError {}
 
+/// Cumulative I/O totals a [`SnapshotStore`] has performed since it was
+/// opened. Scraped by the service's observability layer into per-shard
+/// gauges; stores that do not track I/O report the all-zero default.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreIoStats {
+    /// Successful `put` calls.
+    pub puts: u64,
+    /// Successful `remove` calls.
+    pub removes: u64,
+    /// Serialized record bytes handed to the medium by `put` (and, for a
+    /// log-structured store, tombstones and rewrites).
+    pub bytes_written: u64,
+    /// Durability syncs issued (`fsync`/`fdatasync`); 0 for stores whose
+    /// writes are synchronous or in-memory.
+    pub fsyncs: u64,
+    /// Segment compactions completed; 0 for non-log stores.
+    pub compactions: u64,
+}
+
 /// A keyed, durable record store for serialized session snapshots and
 /// manager metadata.
 ///
@@ -156,6 +175,14 @@ pub trait SnapshotStore: fmt::Debug + Send + Sync {
     fn flush(&mut self) -> Result<(), StoreError> {
         Ok(())
     }
+
+    /// Cumulative I/O totals since the store was opened.
+    ///
+    /// The default reports all zeros, so minimal test doubles need not
+    /// track anything; the shipped stores override it.
+    fn io_stats(&self) -> StoreIoStats {
+        StoreIoStats::default()
+    }
 }
 
 /// Store keys are embedded in file names, so restrict them to a safe
@@ -184,6 +211,7 @@ fn check_key(key: &str) -> Result<(), StoreError> {
 #[derive(Debug, Default)]
 pub struct MemoryStore {
     records: BTreeMap<String, String>,
+    io: StoreIoStats,
 }
 
 impl MemoryStore {
@@ -214,7 +242,10 @@ impl MemoryStore {
 impl SnapshotStore for MemoryStore {
     fn put(&mut self, key: &str, record: &Value) -> Result<(), StoreError> {
         check_key(key)?;
-        self.records.insert(key.to_string(), record.to_json());
+        let raw = record.to_json();
+        self.io.puts += 1;
+        self.io.bytes_written += raw.len() as u64;
+        self.records.insert(key.to_string(), raw);
         Ok(())
     }
 
@@ -229,11 +260,16 @@ impl SnapshotStore for MemoryStore {
 
     fn remove(&mut self, key: &str) -> Result<(), StoreError> {
         self.records.remove(key);
+        self.io.removes += 1;
         Ok(())
     }
 
     fn keys(&self) -> Result<Vec<String>, StoreError> {
         Ok(self.records.keys().cloned().collect())
+    }
+
+    fn io_stats(&self) -> StoreIoStats {
+        self.io
     }
 }
 
@@ -248,6 +284,7 @@ impl SnapshotStore for MemoryStore {
 #[derive(Debug)]
 pub struct FileStore {
     dir: PathBuf,
+    io: StoreIoStats,
 }
 
 impl FileStore {
@@ -286,7 +323,10 @@ impl FileStore {
                 }
             }
         }
-        Ok(FileStore { dir })
+        Ok(FileStore {
+            dir,
+            io: StoreIoStats::default(),
+        })
     }
 
     /// The directory this store writes into.
@@ -309,10 +349,14 @@ impl SnapshotStore for FileStore {
         let tmp = self
             .dir
             .join(format!("{key}.json.tmp{}", std::process::id()));
-        fs::write(&tmp, record.to_json())
+        let raw = record.to_json();
+        fs::write(&tmp, &raw)
             .map_err(|e| StoreError::io(format!("write '{}': {e}", tmp.display())))?;
         fs::rename(&tmp, &path)
-            .map_err(|e| StoreError::io(format!("rename into '{}': {e}", path.display())))
+            .map_err(|e| StoreError::io(format!("rename into '{}': {e}", path.display())))?;
+        self.io.puts += 1;
+        self.io.bytes_written += raw.len() as u64;
+        Ok(())
     }
 
     fn get(&self, key: &str) -> Result<Option<Value>, StoreError> {
@@ -330,10 +374,12 @@ impl SnapshotStore for FileStore {
     fn remove(&mut self, key: &str) -> Result<(), StoreError> {
         let path = self.path_of(key)?;
         match fs::remove_file(&path) {
-            Ok(()) => Ok(()),
-            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
-            Err(e) => Err(StoreError::io(format!("remove '{}': {e}", path.display()))),
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(StoreError::io(format!("remove '{}': {e}", path.display()))),
         }
+        self.io.removes += 1;
+        Ok(())
     }
 
     fn keys(&self) -> Result<Vec<String>, StoreError> {
@@ -353,6 +399,10 @@ impl SnapshotStore for FileStore {
         }
         keys.sort();
         Ok(keys)
+    }
+
+    fn io_stats(&self) -> StoreIoStats {
+        self.io
     }
 }
 
@@ -389,6 +439,10 @@ mod tests {
             ));
         }
         store.flush().unwrap();
+        let io = store.io_stats();
+        assert_eq!(io.puts, 4, "three keys plus one overwrite");
+        assert_eq!(io.removes, 2, "idempotent remove still counts the call");
+        assert!(io.bytes_written > 0);
     }
 
     #[test]

@@ -62,7 +62,7 @@ use std::time::{Duration, Instant};
 
 use webrobot_data::{parse_json, Value};
 
-use crate::{check_key, SnapshotStore, StoreError};
+use crate::{check_key, SnapshotStore, StoreError, StoreIoStats};
 
 const TAG_PUT: u8 = b'P';
 const TAG_DEL: u8 = b'D';
@@ -439,6 +439,7 @@ pub struct SegmentStore {
     pending_ops: usize,
     pending_bytes: u64,
     last_commit: Instant,
+    io: StoreIoStats,
 }
 
 impl SegmentStore {
@@ -496,6 +497,7 @@ impl SegmentStore {
             pending_ops: 0,
             pending_bytes: 0,
             last_commit: Instant::now(),
+            io: StoreIoStats::default(),
         };
         for (key, raw) in &legacy {
             store.append_put(key, raw)?;
@@ -505,6 +507,7 @@ impl SegmentStore {
             .writer
             .sync_data()
             .map_err(|e| StoreError::io(format!("sync seg-1: {e}")))?;
+        store.io.fsyncs += 1;
         write_manifest(&store.dir, &[1])?;
         for (key, _) in &legacy {
             fs::remove_file(store.dir.join(format!("{key}.json"))).ok();
@@ -614,6 +617,7 @@ impl SegmentStore {
             pending_ops: 0,
             pending_bytes: 0,
             last_commit: Instant::now(),
+            io: StoreIoStats::default(),
         })
     }
 
@@ -644,6 +648,7 @@ impl SegmentStore {
         self.active_len += frame.len() as u64;
         self.pending_ops += 1;
         self.pending_bytes += frame.len() as u64;
+        self.io.bytes_written += frame.len() as u64;
         Ok(())
     }
 
@@ -681,6 +686,8 @@ impl SegmentStore {
         self.writer
             .sync_data()
             .map_err(|e| StoreError::io(format!("sync seg-{}: {e}", self.active)))?;
+        self.io.bytes_written += frame.len() as u64;
+        self.io.fsyncs += 1;
         self.pending_ops = 0;
         self.pending_bytes = 0;
         self.last_commit = Instant::now();
@@ -773,6 +780,7 @@ impl SegmentStore {
         write_manifest(&self.dir, &ids)?;
         self.segments.remove(&victim);
         fs::remove_file(seg_path(&self.dir, victim)).ok();
+        self.io.compactions += 1;
         Ok(())
     }
 
@@ -797,6 +805,7 @@ impl SnapshotStore for SegmentStore {
     fn put(&mut self, key: &str, record: &Value) -> Result<(), StoreError> {
         check_key(key)?;
         self.append_put(key, &record.to_json())?;
+        self.io.puts += 1;
         self.after_write()
     }
 
@@ -812,6 +821,7 @@ impl SnapshotStore for SegmentStore {
 
     fn remove(&mut self, key: &str) -> Result<(), StoreError> {
         check_key(key)?;
+        self.io.removes += 1;
         let Some(old) = self.index.remove(key) else {
             return Ok(()); // removing an absent key needs no log entry
         };
@@ -829,6 +839,10 @@ impl SnapshotStore for SegmentStore {
     fn flush(&mut self) -> Result<(), StoreError> {
         self.commit()?;
         self.maintain()
+    }
+
+    fn io_stats(&self) -> StoreIoStats {
+        self.io
     }
 }
 
@@ -873,6 +887,10 @@ impl SnapshotStore for SegmentHandle {
 
     fn flush(&mut self) -> Result<(), StoreError> {
         self.lock().flush()
+    }
+
+    fn io_stats(&self) -> StoreIoStats {
+        self.lock().io_stats()
     }
 }
 

@@ -9,7 +9,7 @@
 use std::error::Error;
 use std::sync::Arc;
 
-use webrobot::{Action, Mode, Session, SessionConfig, SiteBuilder, Value};
+use webrobot::{Action, Event, Mode, Session, SessionConfig, SiteBuilder, Value};
 use webrobot_dom::parse_html;
 use webrobot_interact::StepOutcome;
 
@@ -34,22 +34,26 @@ fn main() -> Result<(), Box<dyn Error>> {
         "mode: {:?} — the user scrapes the first two names…",
         session.mode()
     );
-    session.demonstrate(&Action::ScrapeText("/body[1]/div[1]/h3[1]".parse()?))?;
-    session.demonstrate(&Action::ScrapeText("/body[1]/div[2]/h3[1]".parse()?))?;
+    session.handle(Event::Demonstrate(Action::ScrapeText(
+        "/body[1]/div[1]/h3[1]".parse()?,
+    )))?;
+    session.handle(Event::Demonstrate(Action::ScrapeText(
+        "/body[1]/div[2]/h3[1]".parse()?,
+    )))?;
     println!("mode: {:?} — predictions: ", session.mode());
     for (i, p) in session.predictions().iter().enumerate() {
         println!("   [{i}] {p}");
     }
 
     // The user inspects and accepts the correct prediction twice.
-    session.authorize(Some(0))?;
+    session.handle(Event::Accept { index: 0 })?;
     println!("accepted once → mode: {:?}", session.mode());
-    session.authorize(Some(0))?;
+    session.handle(Event::Accept { index: 0 })?;
     println!("accepted twice → mode: {:?}", session.mode());
 
     // Automation takes over for the rest of the directory.
     while session.mode() == Mode::Automate {
-        match session.automate_step()? {
+        match session.handle(Event::AutomateStep)? {
             StepOutcome::Automated(a) => println!("   auto: {a}"),
             StepOutcome::ProgramFinished => println!("   program finished"),
             other => println!("   {other:?}"),

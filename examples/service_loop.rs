@@ -43,10 +43,8 @@ fn main() -> Result<(), Box<dyn Error>> {
     );
     let news = Arc::new(b.start_at(news).finish());
 
-    let mut manager = SessionManager::new(ServiceConfig {
-        max_live_sessions: 1, // force eviction on every tenant switch
-        ..ServiceConfig::default()
-    });
+    // Force eviction on every tenant switch.
+    let mut manager = SessionManager::new(ServiceConfig::builder().max_live_sessions(1).build()?);
     manager.register_site("directory", directory, Value::Object(vec![]));
     manager.register_site("news", news, Value::Object(vec![]));
 

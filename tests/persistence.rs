@@ -419,10 +419,10 @@ fn eviction_thrash_differential(backend: Backend) {
     let sites: Vec<_> = [5, 6, 7].into_iter().map(anchor_site).collect();
     let dir_ref = TempDir::new(&format!("thrash-{backend:?}-ref"));
     let dir_sub = TempDir::new(&format!("thrash-{backend:?}-sub"));
-    let cfg = ServiceConfig {
-        max_live_sessions: 1,
-        ..ServiceConfig::default()
-    };
+    let cfg = ServiceConfig::builder()
+        .max_live_sessions(1)
+        .build()
+        .unwrap();
 
     let reference = open_sharded_with(backend, &cfg, 1, dir_ref.path());
     register_sites(&reference, &sites);
@@ -820,10 +820,10 @@ fn incremental_checkpoints_write_only_dirty_sessions() {
             inner: MemoryStore::new(),
             puts: puts.clone(),
         });
-        let cfg = ServiceConfig {
-            incremental_checkpoint: incremental,
-            ..ServiceConfig::default()
-        };
+        let cfg = ServiceConfig::builder()
+            .incremental_checkpoint(incremental)
+            .build()
+            .unwrap();
         let mut m = SessionManager::with_store(cfg, store).unwrap();
         m.register_site("site0", site.clone(), Value::Object(vec![]));
         for _ in 0..3 {
