@@ -1,9 +1,11 @@
 //! Criterion benches for the synthesis engine (Fig. 12 / Table 1 backing
 //! measurements): per-prediction latency across benchmark families, the
-//! incremental fast path, and from-scratch synthesis.
+//! incremental fast path, from-scratch synthesis, and pinned rows over
+//! the procedural generator's families (off-suite, seeded — so perf on
+//! *generated* workloads is diffed release-over-release too).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use webrobot_benchmarks::benchmark;
+use webrobot_benchmarks::{benchmark, generated, GenFamily};
 use webrobot_synth::{SynthConfig, Synthesizer};
 
 /// From-scratch synthesis on a fixed prefix of a benchmark's trace.
@@ -63,5 +65,36 @@ fn bench_incremental_step(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_scratch, bench_incremental_step);
+/// From-scratch synthesis over generated benchmarks: one pinned
+/// `(family, seed)` row per generated family, on a fixed trace prefix.
+/// The seeds match the differential harness's grid, so a row that
+/// regresses here has an exact-equality test pinning its behavior.
+fn bench_generated_scratch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generated_scratch");
+    let seed = 42u64;
+    for family in GenFamily::ALL {
+        let b = generated(family, seed);
+        let trace = b.record().unwrap().trace;
+        let k = 8.min(trace.len());
+        let prefix_trace = trace.prefix(k);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}_{seed}", family.key())),
+            &prefix_trace,
+            |bench, t| {
+                bench.iter(|| {
+                    let mut s = Synthesizer::new(SynthConfig::default(), t.clone());
+                    std::hint::black_box(s.synthesize())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_scratch,
+    bench_incremental_step,
+    bench_generated_scratch
+);
 criterion_main!(benches);

@@ -22,6 +22,16 @@
 //! and [`benchmark`]`(9)` uses a pagination mechanism the DSL cannot
 //! express.
 //!
+//! Beyond the fixed suite, the [`gen`] module is a **seeded procedural
+//! generator**: [`generated`]`(family, seed)` builds a complete off-suite
+//! benchmark deterministically from a `u64` — five [`GenFamily`] shapes
+//! covering conditional rows, ragged nesting, noisy listings, full
+//! entry/search/pagination flows, and a recurring macro sub-program
+//! (ARCHITECTURE.md § "Generated workloads and the fuzz contract").
+//! [`perturb`] mutates any generated site with seeded DOM damage for
+//! fuzzing; [`canonical_spec`] / [`fingerprint`] pin the determinism
+//! contract.
+//!
 //! # Example
 //!
 //! ```
@@ -34,8 +44,12 @@
 
 mod fakedata;
 mod families;
+pub mod gen;
+pub mod perturb;
 mod sites;
 mod spec;
 
 pub use fakedata::Faker;
+pub use gen::{canonical_spec, fingerprint, generated, generated_suite, GenFamily};
+pub use perturb::{perturb_site, PerturbConfig};
 pub use spec::{benchmark, suite, Benchmark, Family, Features, Quirk};

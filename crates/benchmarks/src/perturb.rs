@@ -1,0 +1,239 @@
+//! Seeded DOM perturbation: structural fuzzing of benchmark sites.
+//!
+//! [`perturb_site`] applies a fixed budget of seeded mutations to every
+//! page of a site — node insertion, deletion, reordering, attribute and
+//! text churn, and list-length jitter (duplicating or dropping a repeated
+//! child) — while leaving URLs, the start page and search-form routing
+//! untouched.
+//!
+//! The contract the fuzz suite enforces on top of this module: synthesis
+//! and replay over any perturbed site must yield **typed errors or
+//! degraded predictions — never a panic, never a hang past the configured
+//! deadline**. Perturbation deliberately produces hostile shapes (dangling
+//! `href="#p…"` targets, deleted payload subtrees, duplicated "unique"
+//! nodes); the engine is not expected to produce useful programs on them,
+//! only to fail cleanly.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use webrobot_browser::Site;
+use webrobot_dom::{Dom, NodeId};
+
+const TAGS: &[&str] = &["div", "span", "p", "li", "aside", "b"];
+const WORDS: &[&str] = &["zz", "lorem", "noise", "sale", "beta", "x9"];
+const HREFS: &[&str] = &["#p0", "#p1", "#p99", "https://ext.test/x", ""];
+
+/// Mutation budget for [`perturb_site`].
+#[derive(Debug, Clone, Copy)]
+pub struct PerturbConfig {
+    /// Seeded mutation operations applied to each page.
+    pub ops_per_page: usize,
+}
+
+impl Default for PerturbConfig {
+    fn default() -> PerturbConfig {
+        PerturbConfig { ops_per_page: 6 }
+    }
+}
+
+/// Returns a copy of `site` with every page's DOM perturbed by
+/// `cfg.ops_per_page` seeded mutations. Deterministic in `(site, seed)`.
+pub fn perturb_site(site: &Site, seed: u64, cfg: PerturbConfig) -> Arc<Site> {
+    Arc::new(site.with_doms(|pid, dom| {
+        let mut out = dom.clone();
+        let salt = (pid.index() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut rng = StdRng::seed_from_u64(seed ^ salt);
+        perturb_dom(&mut out, &mut rng, cfg.ops_per_page);
+        out
+    }))
+}
+
+/// Applies `ops` seeded mutations to `dom` in place. Exposed so tests can
+/// perturb a single page template directly.
+pub fn perturb_dom(dom: &mut Dom, rng: &mut StdRng, ops: usize) {
+    for _ in 0..ops {
+        let nodes = dom.all_nodes();
+        match rng.gen_range(0..6u32) {
+            // Insert a node under a random live parent.
+            0 => {
+                let parent = nodes[rng.gen_range(0..nodes.len())];
+                let n = dom.append(parent, pick(rng, TAGS));
+                dom.set_text(n, pick(rng, WORDS));
+            }
+            // Delete a random non-root subtree (possibly a payload the
+            // ground truth scrapes, possibly a whole section).
+            1 => {
+                let victims: Vec<NodeId> = nodes
+                    .iter()
+                    .copied()
+                    .filter(|&n| dom.parent(n).is_some())
+                    .collect();
+                if let Some(&n) = choose(rng, &victims) {
+                    dom.detach(n);
+                }
+            }
+            // Reorder two children of a random multi-child parent.
+            2 => {
+                let parents: Vec<NodeId> = nodes
+                    .iter()
+                    .copied()
+                    .filter(|&n| dom.children(n).len() >= 2)
+                    .collect();
+                if let Some(&p) = choose(rng, &parents) {
+                    let len = dom.children(p).len();
+                    let from = rng.gen_range(0..len);
+                    let to = rng.gen_range(0..len);
+                    dom.move_child(p, from, to);
+                }
+            }
+            // Attribute churn: clobber `class` or `href` (dangling page
+            // targets included — the browser must treat them as no-ops).
+            3 => {
+                let n = nodes[rng.gen_range(0..nodes.len())];
+                match rng.gen_range(0..3u32) {
+                    0 => dom.set_attr(n, "class", pick(rng, WORDS)),
+                    1 => dom.set_attr(n, "href", pick(rng, HREFS)),
+                    _ => dom.set_attr(n, "data-noise", pick(rng, WORDS)),
+                }
+            }
+            // Text churn.
+            4 => {
+                let n = nodes[rng.gen_range(0..nodes.len())];
+                dom.set_text(n, pick(rng, WORDS));
+            }
+            // List-length jitter: duplicate or drop one child of a parent
+            // with repeated same-tag children.
+            _ => {
+                let parents: Vec<NodeId> = nodes
+                    .iter()
+                    .copied()
+                    .filter(|&n| {
+                        let cs = dom.children(n);
+                        cs.len() >= 2 && cs.windows(2).any(|w| dom.tag(w[0]) == dom.tag(w[1]))
+                    })
+                    .collect();
+                if let Some(&p) = choose(rng, &parents) {
+                    let cs = dom.children(p);
+                    let i = rng.gen_range(0..cs.len());
+                    let child = cs[i];
+                    if rng.gen_range(0..2u32) == 0 {
+                        let template = capture(dom, child);
+                        instantiate(dom, p, &template);
+                    } else {
+                        dom.detach(child);
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn pick<'a>(rng: &mut StdRng, pool: &[&'a str]) -> &'a str {
+    pool[rng.gen_range(0..pool.len())]
+}
+
+fn choose<'a, T>(rng: &mut StdRng, pool: &'a [T]) -> Option<&'a T> {
+    if pool.is_empty() {
+        None
+    } else {
+        Some(&pool[rng.gen_range(0..pool.len())])
+    }
+}
+
+/// Owned copy of a subtree, read out before mutation (the arena cannot be
+/// read and grown simultaneously).
+struct Template {
+    tag: String,
+    attrs: Vec<(String, String)>,
+    text: String,
+    children: Vec<Template>,
+}
+
+fn capture(dom: &Dom, node: NodeId) -> Template {
+    Template {
+        tag: dom.tag(node).to_string(),
+        attrs: dom.attrs(node).to_vec(),
+        text: dom.text(node).to_string(),
+        children: dom
+            .children(node)
+            .iter()
+            .map(|&c| capture(dom, c))
+            .collect(),
+    }
+}
+
+fn instantiate(dom: &mut Dom, parent: NodeId, t: &Template) {
+    let n = dom.append(parent, t.tag.clone());
+    for (k, v) in &t.attrs {
+        dom.set_attr(n, k.clone(), v.clone());
+    }
+    if !t.text.is_empty() {
+        dom.set_text(n, t.text.clone());
+    }
+    for c in &t.children {
+        instantiate(dom, n, c);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generated, GenFamily};
+    use webrobot_browser::PageId;
+
+    #[test]
+    fn perturbation_is_deterministic() {
+        let b = generated(GenFamily::Noisy, 5);
+        let a = perturb_site(&b.site, 77, PerturbConfig::default());
+        let c = perturb_site(&b.site, 77, PerturbConfig::default());
+        for p in 0..a.page_count() {
+            let pid = PageId::from_index(p);
+            assert_eq!(a.dom(pid), c.dom(pid));
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_usually_differ() {
+        let b = generated(GenFamily::Macro, 3);
+        let a = perturb_site(&b.site, 1, PerturbConfig::default());
+        let c = perturb_site(&b.site, 2, PerturbConfig::default());
+        let pid = PageId::from_index(0);
+        assert_ne!(a.dom(pid).structure_hash(), c.dom(pid).structure_hash());
+    }
+
+    #[test]
+    fn perturbation_preserves_urls_and_start() {
+        let b = generated(GenFamily::Mixed, 9);
+        let p = perturb_site(&b.site, 4, PerturbConfig::default());
+        assert_eq!(p.page_count(), b.site.page_count());
+        assert_eq!(p.start(), b.site.start());
+        for i in 0..p.page_count() {
+            let pid = PageId::from_index(i);
+            assert_eq!(p.url(pid), b.site.url(pid));
+        }
+    }
+
+    #[test]
+    fn zero_ops_is_identity() {
+        let b = generated(GenFamily::Ragged, 11);
+        let p = perturb_site(&b.site, 8, PerturbConfig { ops_per_page: 0 });
+        let pid = PageId::from_index(0);
+        assert_eq!(p.dom(pid), b.site.dom(pid));
+    }
+
+    #[test]
+    fn heavy_perturbation_does_not_corrupt_the_arena() {
+        let b = generated(GenFamily::Conditional, 13);
+        let p = perturb_site(&b.site, 21, PerturbConfig { ops_per_page: 200 });
+        let pid = PageId::from_index(0);
+        let dom = p.dom(pid);
+        // Every live node is reachable and renders a consistent path.
+        for n in dom.all_nodes() {
+            if dom.parent(n).is_some() {
+                let _ = dom.absolute_path(n);
+            }
+        }
+    }
+}

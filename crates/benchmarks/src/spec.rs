@@ -40,6 +40,8 @@ pub enum Family {
     MultiAttr,
     /// Failure: inert next button (b9-style pagination).
     DisabledPagination,
+    /// Procedurally generated (seeded, off-suite) — see [`crate::gen`].
+    Generated(crate::gen::GenFamily),
 }
 
 /// Which action categories a benchmark involves (paper §7 statistics).

@@ -1,0 +1,105 @@
+//! Property tests for the procedural generator: determinism in-process and
+//! across process boundaries.
+//!
+//! The generator's contract is that a `(family, seed)` pair names one
+//! benchmark forever: same canonical spec (metadata, input, ground truth,
+//! every page's URL and DOM), same recording, same fingerprint — in this
+//! process, in the next one, on another machine. Distinct seeds must yield
+//! distinct fingerprints (every page URL embeds the seed, so this is exact,
+//! not probabilistic).
+
+use proptest::prelude::*;
+use webrobot_benchmarks::{canonical_spec, fingerprint, generated, GenFamily};
+
+fn family(idx: usize) -> GenFamily {
+    GenFamily::ALL[idx % GenFamily::ALL.len()]
+}
+
+proptest! {
+    #[test]
+    fn same_seed_rebuilds_byte_identical(seed in any::<u64>(), idx in 0usize..5) {
+        let f = family(idx);
+        let a = generated(f, seed);
+        let b = generated(f, seed);
+        prop_assert_eq!(canonical_spec(&a), canonical_spec(&b));
+        prop_assert_eq!(fingerprint(&a), fingerprint(&b));
+        let ra = a.record().expect("generated ground truths always record");
+        let rb = b.record().expect("generated ground truths always record");
+        prop_assert_eq!(ra.trace.actions(), rb.trace.actions());
+        prop_assert_eq!(ra.trace.len(), rb.trace.len());
+        prop_assert_eq!(ra.outputs, rb.outputs);
+    }
+
+    #[test]
+    fn distinct_seeds_have_distinct_fingerprints(a in any::<u64>(), b in any::<u64>(), idx in 0usize..5) {
+        if a != b {
+            let f = family(idx);
+            prop_assert_ne!(fingerprint(&generated(f, a)), fingerprint(&generated(f, b)));
+        }
+    }
+}
+
+/// Two *process runs* must agree byte-for-byte: the parent re-executes this
+/// test binary (filtered to this test, with a marker env var), the child
+/// prints every `(family, seed)` fingerprint, and the parent compares them
+/// against freshly computed ones. This would catch any hash-order,
+/// address-dependence, or ambient-state leak that an in-process double
+/// construction cannot.
+#[test]
+fn cross_process_fingerprints_match() {
+    const SEEDS: [u64; 3] = [5, 77, 4242];
+    if std::env::var("WR_GEN_DIGEST_CHILD").is_ok() {
+        for &f in &GenFamily::ALL {
+            for &s in &SEEDS {
+                println!(
+                    "digest {} {} {:016x}",
+                    f.key(),
+                    s,
+                    fingerprint(&generated(f, s))
+                );
+            }
+        }
+        return;
+    }
+    let exe = std::env::current_exe().expect("test binary path");
+    let out = std::process::Command::new(exe)
+        .args([
+            "cross_process_fingerprints_match",
+            "--exact",
+            "--nocapture",
+            "--test-threads=1",
+        ])
+        .env("WR_GEN_DIGEST_CHILD", "1")
+        .output()
+        .expect("re-exec the test binary");
+    assert!(
+        out.status.success(),
+        "child run failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let mut seen = 0;
+    // libtest glues its "test … ..." prefix onto the first print, so scan
+    // for the marker anywhere in the line.
+    for line in stdout.lines() {
+        let Some(pos) = line.find("digest ") else {
+            continue;
+        };
+        let mut parts = line[pos..].split_whitespace().skip(1);
+        let fam = GenFamily::from_key(parts.next().unwrap()).expect("family key");
+        let seed: u64 = parts.next().unwrap().parse().expect("seed");
+        let fp = u64::from_str_radix(parts.next().unwrap(), 16).expect("fingerprint");
+        assert_eq!(
+            fp,
+            fingerprint(&generated(fam, seed)),
+            "cross-process fingerprint mismatch for {} seed {seed}",
+            fam.key()
+        );
+        seen += 1;
+    }
+    assert_eq!(
+        seen,
+        GenFamily::ALL.len() * SEEDS.len(),
+        "child printed too few digests:\n{stdout}"
+    );
+}

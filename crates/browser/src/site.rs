@@ -84,6 +84,26 @@ impl Site {
     pub fn url(&self, page: PageId) -> &str {
         &self.pages[page.0].url
     }
+
+    /// Rebuilds the site with every page's DOM transformed by `f`, keeping
+    /// URLs, the start page and all search-form routing intact. This is the
+    /// seam the DOM-perturbation fuzzer uses: mutated page templates over
+    /// unchanged navigation behaviour.
+    pub fn with_doms(&self, mut f: impl FnMut(PageId, &Dom) -> Dom) -> Site {
+        Site {
+            pages: self
+                .pages
+                .iter()
+                .enumerate()
+                .map(|(i, p)| Page {
+                    dom: Arc::new(f(PageId(i), &p.dom)),
+                    url: p.url.clone(),
+                })
+                .collect(),
+            start: self.start,
+            searches: self.searches.clone(),
+        }
+    }
 }
 
 /// Builder for [`Site`]s.

@@ -227,6 +227,21 @@ impl Dom {
         id
     }
 
+    /// Moves the `from`-th child of `parent` (0-based, document order) to
+    /// position `to` among the remaining siblings, shifting the others.
+    /// Out-of-range indices are a no-op — callers like the benchmark
+    /// perturbation fuzzer draw indices blindly from a seeded RNG.
+    pub fn move_child(&mut self, parent: NodeId, from: usize, to: usize) {
+        let n = self.nodes[parent.index()].children.len();
+        if from >= n || to >= n || from == to {
+            return;
+        }
+        self.cache.invalidate();
+        let children = &mut self.nodes[parent.index()].children;
+        let child = children.remove(from);
+        children.insert(to, child);
+    }
+
     /// Removes `node` (and its entire subtree) from its parent's child list.
     ///
     /// The arena entries remain allocated but become unreachable; selector
@@ -659,6 +674,33 @@ mod tests {
         assert!(!dom.contains(h3));
         assert!(dom.contains(body));
         assert_eq!(dom.nth_descendant(NodeId::ROOT, &Pred::tag("h3"), 2), None);
+    }
+
+    #[test]
+    fn move_child_reorders_and_reresolves() {
+        let mut dom = sample();
+        let body = dom.children(NodeId::ROOT)[0];
+        // Warm the resolve cache, then reorder: div.b becomes child 1.
+        let first = dom.nth_child(body, &Pred::tag("div"), 1).unwrap();
+        assert_eq!(dom.attr(first, "class"), Some("a"));
+        dom.move_child(body, 1, 0);
+        let first = dom.nth_child(body, &Pred::tag("div"), 1).unwrap();
+        assert_eq!(dom.attr(first, "class"), Some("b"));
+        // Paths still resolve back after the reorder.
+        for node in dom.all_nodes() {
+            assert_eq!(dom.absolute_path(node).resolve(&dom), Some(node));
+        }
+    }
+
+    #[test]
+    fn move_child_out_of_range_is_noop() {
+        let mut dom = sample();
+        let body = dom.children(NodeId::ROOT)[0];
+        let before = dom.children(body).to_vec();
+        dom.move_child(body, 5, 0);
+        dom.move_child(body, 0, 5);
+        dom.move_child(body, 1, 1);
+        assert_eq!(dom.children(body), &before[..]);
     }
 
     #[test]

@@ -2,12 +2,17 @@
 //!
 //! ```text
 //! webrobot-server [--addr 127.0.0.1:7411] [--shards N] [--store DIR]
-//!                 [--backend file|segment] [--smoke] [--resilience]
+//!                 [--backend file|segment] [--gen-sites SEED]
+//!                 [--smoke] [--resilience]
 //! ```
 //!
 //! Speaks the v1 JSON protocol with 4-byte big-endian length-prefixed
 //! frames (`PROTOCOL.md` § Transport). A built-in demo site `"anchors"`
-//! is registered so the server is drivable out of the box. `--store DIR`
+//! is registered so the server is drivable out of the box, and
+//! `--gen-sites SEED` additionally registers one procedurally generated
+//! site per [`webrobot_benchmarks::GenFamily`] (named
+//! `gen-<family>-<seed>`), giving load harnesses richer workloads than
+//! the anchor page. `--store DIR`
 //! attaches a persistent store rooted at `DIR`, making sessions survive a
 //! restart: `--backend file` (the default) opens one
 //! [`webrobot_service::FileStore`] per shard, `--backend segment` opens a
@@ -50,12 +55,13 @@ struct Options {
     shards: usize,
     store: Option<String>,
     backend: Backend,
+    gen_sites: Option<u64>,
     smoke: bool,
     resilience: bool,
 }
 
 const USAGE: &str = "usage: webrobot-server [--addr HOST:PORT] [--shards N] [--store DIR] \
-                     [--backend file|segment] [--smoke] [--resilience]";
+                     [--backend file|segment] [--gen-sites SEED] [--smoke] [--resilience]";
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut opts = Options {
@@ -63,6 +69,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         shards: 2,
         store: None,
         backend: Backend::File,
+        gen_sites: None,
         smoke: false,
         resilience: false,
     };
@@ -86,6 +93,14 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                         return Err(format!("unknown backend '{other}' (expected file|segment)"))
                     }
                 }
+            }
+            "--gen-sites" => {
+                opts.gen_sites = Some(
+                    it.next()
+                        .ok_or("--gen-sites needs a value")?
+                        .parse()
+                        .map_err(|_| "--gen-sites needs a u64 seed".to_string())?,
+                )
             }
             "--smoke" => opts.smoke = true,
             "--resilience" => opts.resilience = true,
@@ -140,6 +155,12 @@ fn build_manager(opts: &Options) -> Result<ShardedManager, String> {
         None => ShardedManager::new(cfg, opts.shards),
     };
     manager.register_site("anchors", anchor_site(), Value::Object(vec![]));
+    if let Some(seed) = opts.gen_sites {
+        for family in webrobot_benchmarks::GenFamily::ALL {
+            let b = webrobot_benchmarks::generated(family, seed);
+            manager.register_site(format!("gen-{}-{seed}", family.key()), b.site, b.input);
+        }
+    }
     Ok(manager)
 }
 

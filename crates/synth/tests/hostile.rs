@@ -1,0 +1,233 @@
+//! Minimized hostile-shape regression tests distilled from the
+//! DOM-perturbation fuzz sweep (`tests/fuzz.rs` at the workspace root).
+//!
+//! The sweep (≈15 000 synthesis+replay cycles over seeded perturbations of
+//! every generated family) flushed out no panics or hangs; these tests pin
+//! the minimized versions of the shapes that came closest — the cases
+//! where a panic *would* live if the engine ever regressed: snapshots that
+//! contradict the recorded actions, payload nodes deleted mid-trace,
+//! "unique" anchors duplicated, and pagination links bent into cycles.
+//! Each case must finish within a deadline and report failure only through
+//! typed channels (`SynthStats` flags, empty prediction lists,
+//! `BrowserError`).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use webrobot_browser::{record_demonstration, run_program, Browser, RecordLimits, SiteBuilder};
+use webrobot_data::Value;
+use webrobot_dom::parse_html;
+use webrobot_lang::parse_program;
+use webrobot_semantics::Trace;
+use webrobot_synth::{SynthConfig, Synthesizer};
+
+const DEADLINE: Duration = Duration::from_secs(15);
+
+fn bounded_config() -> SynthConfig {
+    SynthConfig {
+        timeout: Duration::from_millis(500),
+        max_items: 400,
+        ..SynthConfig::default()
+    }
+}
+
+fn synthesize_within_deadline(synth: &mut Synthesizer) -> webrobot_synth::SynthResult {
+    let started = Instant::now();
+    let r = synth.synthesize();
+    assert!(
+        started.elapsed() < DEADLINE,
+        "synthesis overran its deadline; stats: {:?}",
+        r.stats
+    );
+    r
+}
+
+/// A three-item listing page and its straight-scrape recording.
+fn listing_recording() -> (Arc<webrobot_browser::Site>, webrobot_browser::Recording) {
+    let mut b = SiteBuilder::new();
+    let home = b.add_page(
+        "https://tiny.test/",
+        parse_html(
+            "<html><body><ul>\
+             <li>alpha</li><li>beta</li><li>gamma</li>\
+             </ul></body></html>",
+        )
+        .unwrap(),
+    );
+    let site = Arc::new(b.start_at(home).finish());
+    let gt =
+        parse_program("foreach %r0 in Children(/body[1]/ul[1], li) do {\n  ScrapeText(%r0)\n}")
+            .unwrap();
+    let rec = record_demonstration(
+        site.clone(),
+        Value::Object(vec![]),
+        gt.statements(),
+        RecordLimits::default(),
+    )
+    .unwrap();
+    (site, rec)
+}
+
+/// Every snapshot in the trace is an empty page that none of the recorded
+/// scrape actions could have come from — the engine must degrade to "no
+/// generalization" without touching a nonexistent node.
+#[test]
+fn contradictory_empty_snapshots_degrade_typed() {
+    let (_, rec) = listing_recording();
+    let empty = Arc::new(parse_html("<html><body></body></html>").unwrap());
+    let mut trace = Trace::new(empty.clone(), Value::Object(vec![]));
+    for action in rec.trace.actions() {
+        trace.push(action.clone(), empty.clone());
+    }
+    let mut synth = Synthesizer::new(bounded_config(), trace);
+    let r = synthesize_within_deadline(&mut synth);
+    assert!(
+        r.predictions.is_empty(),
+        "no program can generalize a trace its snapshots contradict"
+    );
+}
+
+/// The payload list disappears halfway through the trace (the perturbation
+/// fuzzer's node-deletion op): later snapshots lack the nodes earlier
+/// actions scraped.
+#[test]
+fn payload_deleted_mid_trace_degrades_typed() {
+    let (site, rec) = listing_recording();
+    let mut gutted = site.dom(site.start()).as_ref().clone();
+    let body = gutted.children(webrobot_dom::NodeId::ROOT)[0];
+    let ul = gutted.children(body)[0];
+    gutted.detach(ul);
+    let gutted = Arc::new(gutted);
+    let mut trace = Trace::new(rec.trace.doms()[0].clone(), Value::Object(vec![]));
+    for (i, action) in rec.trace.actions().iter().enumerate() {
+        // First half sees the real page, second half the gutted one.
+        let dom = if i < rec.trace.actions().len() / 2 {
+            rec.trace.doms()[i + 1].clone()
+        } else {
+            gutted.clone()
+        };
+        trace.push(action.clone(), dom);
+    }
+    let mut synth = Synthesizer::new(bounded_config(), trace);
+    let _ = synthesize_within_deadline(&mut synth);
+}
+
+/// The "unique" next-page anchor is duplicated (list-length jitter on a
+/// singleton): selector resolution must stay deterministic and synthesis
+/// must conclude.
+#[test]
+fn duplicated_anchor_stays_deterministic() {
+    let mut b = SiteBuilder::new();
+    let p0 = b.add_page(
+        "https://dup.test/1",
+        parse_html(
+            "<html><body>\
+             <div class='item'><h3>one</h3></div>\
+             <div class='item'><h3>two</h3></div>\
+             <button class='next' href='#p1'>&gt;</button>\
+             <button class='next' href='#p0'>&gt;</button>\
+             </body></html>",
+        )
+        .unwrap(),
+    );
+    b.add_page(
+        "https://dup.test/2",
+        parse_html(
+            "<html><body>\
+             <div class='item'><h3>three</h3></div>\
+             </body></html>",
+        )
+        .unwrap(),
+    );
+    let site = Arc::new(b.start_at(p0).finish());
+    let gt = parse_program(
+        "while true do {\n\
+           foreach %r0 in Dscts(eps, div[@class='item']) do {\n\
+             ScrapeText(%r0//h3[1])\n\
+           }\n\
+           Click(//button[@class='next'][1])\n\
+         }",
+    )
+    .unwrap();
+    let rec = record_demonstration(
+        site.clone(),
+        Value::Object(vec![]),
+        gt.statements(),
+        RecordLimits::default(),
+    )
+    .unwrap();
+    let mut a = Synthesizer::new(bounded_config(), rec.trace.clone());
+    let mut b2 = Synthesizer::new(bounded_config(), rec.trace.clone());
+    let ra = synthesize_within_deadline(&mut a);
+    let rb = synthesize_within_deadline(&mut b2);
+    assert_eq!(ra.predictions, rb.predictions);
+}
+
+/// Pagination bent into a cycle (the fuzzer's href churn): recording hits
+/// the action cap with `truncated` set, the replay cap bounds execution,
+/// and both plain and zero-budget-quantum synthesis conclude on the
+/// truncated trace.
+#[test]
+fn cyclic_pagination_truncates_and_synthesizes() {
+    let mut b = SiteBuilder::new();
+    let p0 = b.add_page(
+        "https://cycle.test/1",
+        parse_html(
+            "<html><body>\
+             <div class='item'><h3>one</h3></div>\
+             <button class='next' href='#p1'>&gt;</button>\
+             </body></html>",
+        )
+        .unwrap(),
+    );
+    b.add_page(
+        "https://cycle.test/2",
+        parse_html(
+            "<html><body>\
+             <div class='item'><h3>two</h3></div>\
+             <button class='next' href='#p0'>&gt;</button>\
+             </body></html>",
+        )
+        .unwrap(),
+    );
+    let site = Arc::new(b.start_at(p0).finish());
+    let gt = parse_program(
+        "while true do {\n\
+           foreach %r0 in Dscts(eps, div[@class='item']) do {\n\
+             ScrapeText(%r0//h3[1])\n\
+           }\n\
+           Click(//button[@class='next'][1])\n\
+         }",
+    )
+    .unwrap();
+    let rec = record_demonstration(
+        site.clone(),
+        Value::Object(vec![]),
+        gt.statements(),
+        RecordLimits::default(),
+    )
+    .unwrap();
+    assert!(rec.truncated, "a pagination cycle must hit the action cap");
+
+    let mut browser = Browser::new(site.clone(), Value::Object(vec![]));
+    let run = run_program(&mut browser, gt.statements(), 50).unwrap();
+    assert!(run.truncated, "replay over the cycle must be cap-bounded");
+
+    let mut synth = Synthesizer::new(bounded_config(), rec.trace.clone());
+    let _ = synthesize_within_deadline(&mut synth);
+
+    let mut quantum = Synthesizer::new(bounded_config(), rec.trace);
+    let started = Instant::now();
+    let mut quanta = 0u64;
+    loop {
+        let r = quantum.synthesize_quantum(Duration::ZERO);
+        if !r.stats.parked {
+            break;
+        }
+        quanta += 1;
+        assert!(
+            quanta < 5_000_000 && started.elapsed() < DEADLINE,
+            "quantum scheduler failed to conclude on the truncated trace"
+        );
+    }
+}

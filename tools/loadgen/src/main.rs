@@ -4,7 +4,7 @@
 //! ```text
 //! loadgen [--rate RPS] [--duration SECS] [--conns N]
 //!         [--backend file|segment] [--server PATH] [--out PATH]
-//!         [--skip-resilience]
+//!         [--workload anchors|generated:<seed>] [--skip-resilience]
 //! ```
 //!
 //! Spawns `webrobot-server` (a sibling binary by default, `--server` to
@@ -18,7 +18,13 @@
 //! Each connection drives its own sessions through a scripted
 //! create → demonstrate ×2 → accept → outputs → close loop on the
 //! built-in `anchors` site, with `stats` and `metrics` scrapes mixed in
-//! (1/8 of ticks). Every reply is classified: `ok`, `overloaded` (a
+//! (1/8 of ticks). `--workload generated:<seed>` swaps the anchor script
+//! for the procedural benchmark families (`webrobot_benchmarks::gen`):
+//! the server is spawned with `--gen-sites <seed>`, and each connection
+//! cycles through one session per family, demonstrating a prefix of the
+//! family's pristine recording (real `EnterData`/`Click`/scrape wire
+//! actions) before finishing and scraping outputs — a deterministic,
+//! seed-named load far richer than the single anchor page. Every reply is classified: `ok`, `overloaded` (a
 //! correct backpressure answer, not a failure) or a *hard error*
 //! (anything else).
 //!
@@ -52,6 +58,16 @@ use std::time::{Duration, Instant};
 use webrobot_data::{parse_json, Value};
 use webrobot_server::Client;
 
+/// Which scripted session mix the connections drive.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Workload {
+    /// The built-in single-page `anchors` site (the default).
+    Anchors,
+    /// One session per generated family (`webrobot_benchmarks::gen`),
+    /// against sites the server registers under `--gen-sites <seed>`.
+    Generated { seed: u64 },
+}
+
 struct Options {
     rate: u64,
     duration_s: u64,
@@ -59,11 +75,13 @@ struct Options {
     backend: String,
     server: Option<PathBuf>,
     out: PathBuf,
+    workload: Workload,
     skip_resilience: bool,
 }
 
 const USAGE: &str = "usage: loadgen [--rate RPS] [--duration SECS] [--conns N] \
-                     [--backend file|segment] [--server PATH] [--out PATH] [--skip-resilience]";
+                     [--backend file|segment] [--server PATH] [--out PATH] \
+                     [--workload anchors|generated:<seed>] [--skip-resilience]";
 
 fn positive(it: &mut std::slice::Iter<'_, String>, name: &str) -> Result<u64, String> {
     it.next()
@@ -80,6 +98,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         backend: "file".to_string(),
         server: None,
         out: PathBuf::from("BENCH_load.json"),
+        workload: Workload::Anchors,
         skip_resilience: false,
     };
     let mut it = args.iter();
@@ -101,6 +120,20 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 opts.server = Some(PathBuf::from(it.next().ok_or("--server needs a path")?))
             }
             "--out" => opts.out = PathBuf::from(it.next().ok_or("--out needs a path")?),
+            "--workload" => {
+                let workload = it.next().ok_or("--workload needs a value")?;
+                opts.workload = match workload.as_str() {
+                    "anchors" => Workload::Anchors,
+                    spec => match spec.strip_prefix("generated:").and_then(|s| s.parse().ok()) {
+                        Some(seed) => Workload::Generated { seed },
+                        None => {
+                            return Err(format!(
+                                "unknown workload '{spec}' (expected anchors|generated:<seed>)"
+                            ))
+                        }
+                    },
+                };
+            }
             "--skip-resilience" => opts.skip_resilience = true,
             other => return Err(format!("unknown argument '{other}'\n{USAGE}")),
         }
@@ -136,6 +169,7 @@ fn spawn_server(
     shards: usize,
     store: Option<&Path>,
     backend: &str,
+    workload: Workload,
 ) -> Result<(std::process::Child, String), String> {
     use std::io::BufRead as _;
 
@@ -143,6 +177,9 @@ fn spawn_server(
     cmd.args(["--addr", "127.0.0.1:0", "--shards", &shards.to_string()]);
     if let Some(dir) = store {
         cmd.arg("--store").arg(dir).args(["--backend", backend]);
+    }
+    if let Workload::Generated { seed } = workload {
+        cmd.args(["--gen-sites", &seed.to_string()]);
     }
     let mut child = cmd
         .stdout(std::process::Stdio::piped())
@@ -164,18 +201,77 @@ fn spawn_server(
     }
 }
 
-/// The scripted always-valid session loop one connection drives. Steps
-/// cycle create → demonstrate `/a[1]` → demonstrate `/a[2]` → accept 0 →
-/// outputs → close → create …, so a healthy server answers every one of
-/// them with `"status":"ok"`.
-struct SessionScript {
+/// One site's scripted session: the create request, then per-session
+/// event objects (demonstrates, accepts, finishes), then outputs and
+/// close. Built once per workload and shared read-only by every
+/// connection.
+struct SitePlan {
+    site: String,
+    /// Wire event objects (`{"type": ...}`) sent in order, one per tick.
+    events: Vec<String>,
+}
+
+/// The always-valid session mix: anchors is the classic
+/// create → demonstrate ×2 → accept 0 → outputs → close loop; generated
+/// workloads demonstrate a prefix of each family's pristine recording
+/// and `finish` instead of accepting (predictions on the hostile
+/// families may legitimately fail, and the load script must stay
+/// all-`"status":"ok"` so hard errors keep meaning *server* trouble).
+fn build_plans(workload: Workload) -> Vec<SitePlan> {
+    match workload {
+        Workload::Anchors => vec![SitePlan {
+            site: "anchors".to_string(),
+            events: vec![
+                r#"{"type": "demonstrate", "action": {"op": "scrape_text", "selector": "/a[1]"}}"#
+                    .to_string(),
+                r#"{"type": "demonstrate", "action": {"op": "scrape_text", "selector": "/a[2]"}}"#
+                    .to_string(),
+                r#"{"type": "accept", "index": 0}"#.to_string(),
+            ],
+        }],
+        Workload::Generated { seed } => webrobot_benchmarks::GenFamily::ALL
+            .into_iter()
+            .map(|family| {
+                let b = webrobot_benchmarks::generated(family, seed);
+                let rec = b.record().expect("generated ground truths record");
+                let mut events: Vec<String> = rec
+                    .trace
+                    .actions()
+                    .iter()
+                    .take(4)
+                    .map(|action| {
+                        format!(
+                            r#"{{"type": "demonstrate", "action": {}}}"#,
+                            webrobot_service::action_to_value(action)
+                        )
+                    })
+                    .collect();
+                events.push(r#"{"type": "finish"}"#.to_string());
+                SitePlan {
+                    site: format!("gen-{}-{seed}", family.key()),
+                    events,
+                }
+            })
+            .collect(),
+    }
+}
+
+/// The scripted session loop one connection drives: each [`SitePlan`] in
+/// turn, create → events → outputs → close, then the next plan — so a
+/// healthy server answers every request with `"status":"ok"`.
+struct SessionScript<'p> {
+    plans: &'p [SitePlan],
+    plan: usize,
     session: Option<String>,
     step: usize,
 }
 
-impl SessionScript {
-    fn new() -> SessionScript {
+impl<'p> SessionScript<'p> {
+    fn new(plans: &'p [SitePlan]) -> SessionScript<'p> {
+        assert!(!plans.is_empty(), "a workload needs at least one plan");
         SessionScript {
+            plans,
+            plan: 0,
             session: None,
             step: 0,
         }
@@ -183,18 +279,18 @@ impl SessionScript {
 
     /// The next request in the script.
     fn next_request(&self) -> String {
+        let plan = &self.plans[self.plan];
         let Some(session) = &self.session else {
-            return r#"{"v": 1, "kind": "create", "site": "anchors"}"#.to_string();
+            return format!(r#"{{"v": 1, "kind": "create", "site": "{}"}}"#, plan.site);
         };
         match self.step {
-            1 | 2 => format!(
-                r#"{{"v": 1, "kind": "event", "session": "{session}", "event": {{"type": "demonstrate", "action": {{"op": "scrape_text", "selector": "/a[{}]"}}}}}}"#,
-                self.step
+            s if s <= plan.events.len() => format!(
+                r#"{{"v": 1, "kind": "event", "session": "{session}", "event": {}}}"#,
+                plan.events[s - 1]
             ),
-            3 => format!(
-                r#"{{"v": 1, "kind": "event", "session": "{session}", "event": {{"type": "accept", "index": 0}}}}"#
-            ),
-            4 => format!(r#"{{"v": 1, "kind": "outputs", "session": "{session}"}}"#),
+            s if s == plan.events.len() + 1 => {
+                format!(r#"{{"v": 1, "kind": "outputs", "session": "{session}"}}"#)
+            }
             _ => format!(r#"{{"v": 1, "kind": "close", "session": "{session}"}}"#),
         }
     }
@@ -214,9 +310,10 @@ impl SessionScript {
             }
             return;
         }
-        if self.step >= 5 {
+        if self.step >= self.plans[self.plan].events.len() + 2 {
             self.session = None;
             self.step = 0;
+            self.plan = (self.plan + 1) % self.plans.len();
         } else {
             self.step += 1;
         }
@@ -250,7 +347,13 @@ const LATE_BY: Duration = Duration::from_millis(100);
 /// Drives the open-loop arrival process: workers claim ticks from a
 /// shared counter, sleep until the tick is due, send, and measure.
 /// Replies never gate arrivals.
-fn open_loop(addr: &str, rate: u64, duration: Duration, conns: usize) -> Result<RunReport, String> {
+fn open_loop(
+    addr: &str,
+    rate: u64,
+    duration: Duration,
+    conns: usize,
+    plans: &[SitePlan],
+) -> Result<RunReport, String> {
     let total_ticks = rate * duration.as_secs().max(1);
     let interval_ns = 1_000_000_000 / rate.max(1);
     let next_tick = AtomicU64::new(0);
@@ -265,7 +368,7 @@ fn open_loop(addr: &str, rate: u64, duration: Duration, conns: usize) -> Result<
             workers.push(scope.spawn(move || -> Result<RunReport, String> {
                 let mut client =
                     Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
-                let mut script = SessionScript::new();
+                let mut script = SessionScript::new(plans);
                 let mut local = RunReport::default();
                 loop {
                     let tick = next_tick.fetch_add(1, Ordering::Relaxed);
@@ -392,14 +495,16 @@ fn measure_shards(
     exe: &Path,
     opts: &Options,
     shards: usize,
+    plans: &[SitePlan],
 ) -> Result<(RunReport, Duration, i64), String> {
-    let (mut child, addr) = spawn_server(exe, shards, None, &opts.backend)?;
+    let (mut child, addr) = spawn_server(exe, shards, None, &opts.backend, opts.workload)?;
     let started = Instant::now();
     let run = open_loop(
         &addr,
         opts.rate,
         Duration::from_secs(opts.duration_s),
         opts.conns,
+        plans,
     );
     let wall = started.elapsed();
     let rss = peak_rss_kb(child.id());
@@ -433,16 +538,16 @@ struct ResilienceReport {
 /// store, and verify the checkpointed outputs survived byte-for-byte —
 /// then scrape `metrics` from the recovered server to prove the
 /// observability surface is back too.
-fn resilience(exe: &Path, opts: &Options) -> Result<ResilienceReport, String> {
+fn resilience(exe: &Path, opts: &Options, plans: &[SitePlan]) -> Result<ResilienceReport, String> {
     let dir = std::env::temp_dir().join(format!("webrobot-loadgen-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     std::fs::create_dir_all(&dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
 
     // First life: background load, then a ledger session that is
     // explicitly checkpointed — its outputs are the loss oracle.
-    let (mut child, addr) = spawn_server(exe, 2, Some(&dir), &opts.backend)?;
+    let (mut child, addr) = spawn_server(exe, 2, Some(&dir), &opts.backend, opts.workload)?;
     let phase = Duration::from_secs(opts.duration_s.div_ceil(2));
-    let mut run = open_loop(&addr, opts.rate, phase, opts.conns)?;
+    let mut run = open_loop(&addr, opts.rate, phase, opts.conns, plans)?;
 
     let mut client = Client::connect(&addr).map_err(|e| format!("connect {addr}: {e}"))?;
     let create = checked_call(
@@ -484,12 +589,12 @@ fn resilience(exe: &Path, opts: &Options) -> Result<ResilienceReport, String> {
         r#""kind":"outputs""#,
     )?;
     // More uncheckpointed churn, then the axe falls mid-load.
-    run.merge(open_loop(&addr, opts.rate, phase, opts.conns)?);
+    run.merge(open_loop(&addr, opts.rate, phase, opts.conns, plans)?);
     child.kill().map_err(|e| format!("kill -9 server: {e}"))?;
     child.wait().map_err(|e| format!("reap server: {e}"))?;
 
     // Second life: everything the checkpoint committed must be there.
-    let (mut child, addr) = spawn_server(exe, 2, Some(&dir), &opts.backend)?;
+    let (mut child, addr) = spawn_server(exe, 2, Some(&dir), &opts.backend, opts.workload)?;
     let mut post_restart_errors = 0i64;
     let mut sessions_lost = 0i64;
     let verdict = (|| -> Result<(), String> {
@@ -538,18 +643,19 @@ fn resilience(exe: &Path, opts: &Options) -> Result<ResilienceReport, String> {
 
 fn run(opts: &Options) -> Result<bool, String> {
     let exe = server_path(opts)?;
+    let plans = build_plans(opts.workload);
 
     println!(
-        "loadgen: open loop at {} req/s for {}s over {} connections ({} backend)",
-        opts.rate, opts.duration_s, opts.conns, opts.backend
+        "loadgen: open loop at {} req/s for {}s over {} connections ({} backend, {:?} workload)",
+        opts.rate, opts.duration_s, opts.conns, opts.backend, opts.workload
     );
-    let (mut shards4, wall4, rss4) = measure_shards(&exe, opts, 4)?;
-    let (mut shards1, wall1, _) = measure_shards(&exe, opts, 1)?;
+    let (mut shards4, wall4, rss4) = measure_shards(&exe, opts, 4, &plans)?;
+    let (mut shards1, wall1, _) = measure_shards(&exe, opts, 1, &plans)?;
 
     let resilience = if opts.skip_resilience {
         None
     } else {
-        Some(resilience(&exe, opts)?)
+        Some(resilience(&exe, opts, &plans)?)
     };
 
     let per_sec4 = achieved_per_sec(&shards4, wall4);
@@ -650,7 +756,8 @@ mod tests {
 
     #[test]
     fn script_cycles_through_a_valid_session() {
-        let mut s = SessionScript::new();
+        let plans = build_plans(Workload::Anchors);
+        let mut s = SessionScript::new(&plans);
         assert!(s.next_request().contains(r#""kind": "create""#));
         s.advance(r#"{"v":1,"status":"ok","kind":"created","session":"s-7","mode":"demonstrate"}"#);
         assert!(s.next_request().contains("/a[1]"));
@@ -669,9 +776,38 @@ mod tests {
 
     #[test]
     fn failed_create_retries_instead_of_wedging() {
-        let mut s = SessionScript::new();
+        let plans = build_plans(Workload::Anchors);
+        let mut s = SessionScript::new(&plans);
         s.advance(r#"{"v":1,"status":"error","error":{"code":"too_many_sessions","message":"x"}}"#);
         assert!(s.next_request().contains(r#""kind": "create""#));
+    }
+
+    #[test]
+    fn generated_plans_cover_every_family_and_cycle() {
+        let plans = build_plans(Workload::Generated { seed: 42 });
+        assert_eq!(plans.len(), webrobot_benchmarks::GenFamily::ALL.len());
+        for plan in &plans {
+            assert!(plan.site.starts_with("gen-") && plan.site.ends_with("-42"));
+            // 4 demonstrates from the pristine recording, then a finish.
+            assert_eq!(plan.events.len(), 5);
+            assert!(plan.events[0].contains(r#""type": "demonstrate""#));
+            assert!(plan.events[4].contains(r#""type": "finish""#));
+        }
+        // The mixed family's recording opens with a real data-entry
+        // action — the wire codec's enter_data path is on the script.
+        assert!(
+            plans.iter().any(|p| p.events[0].contains("enter_data")),
+            "expected an EnterData demonstrate in some plan"
+        );
+
+        // The script walks a whole plan, then advances to the next site.
+        let mut s = SessionScript::new(&plans);
+        assert!(s.next_request().contains(&plans[0].site));
+        s.advance(r#"{"v":1,"status":"ok","kind":"created","session":"s-1","mode":"demonstrate"}"#);
+        for _ in 0..plans[0].events.len() + 2 {
+            s.advance("ok");
+        }
+        assert!(s.next_request().contains(&plans[1].site));
     }
 
     #[test]
